@@ -1,0 +1,45 @@
+"""Shared benchmark fixtures and artifact output.
+
+Every benchmark regenerates one of the paper's tables/figures.  The
+rendered artifact is printed to stdout (visible with ``-s``) and also
+written to ``benchmarks/results/<name>.txt`` so the harness leaves a
+reviewable record.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.core.pipeline import PolicyGenerator
+from repro.operators import all_charts
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def charts():
+    return all_charts()
+
+
+@pytest.fixture(scope="session")
+def reports(charts):
+    generator = PolicyGenerator()
+    return {name: generator.generate(chart) for name, chart in charts.items()}
+
+
+@pytest.fixture(scope="session")
+def validators(reports):
+    return {name: report.validator for name, report in reports.items()}
+
+
+@pytest.fixture(scope="session")
+def emit_artifact():
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def emit(name: str, text: str) -> None:
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+        print(f"\n===== {name} =====\n{text}\n")
+
+    return emit

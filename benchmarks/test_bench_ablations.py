@@ -1,0 +1,158 @@
+"""Ablation benchmarks for KubeFence's design choices (DESIGN.md).
+
+Not a paper artifact; quantifies the trade-offs behind Sec. V-A:
+
+- offline policy-generation cost, per phase and end to end;
+- boolean exploration (two-valued enums) vs the paper's bool
+  placeholder: variant count, generation cost, validator size;
+- validation cost as a function of manifest size.
+"""
+
+from repro.core.explorer import explore_variants
+from repro.core.pipeline import PolicyGenerator
+from repro.core.renderer import render_all_variants
+from repro.core.schema_gen import generate_values_schema
+from repro.core.validator_gen import build_validator
+from repro.operators import get_chart
+
+
+def test_policy_generation_end_to_end(benchmark):
+    """Offline-phase cost (excluded from the paper's runtime overhead,
+    quantified here for completeness)."""
+    chart = get_chart("sonarqube")
+    generator = PolicyGenerator()
+    report = benchmark(generator.generate, chart)
+    assert report.validator.kinds
+
+
+def test_phase1_schema_generation(benchmark):
+    chart = get_chart("sonarqube")
+    schema = benchmark(generate_values_schema, chart)
+    assert schema.enums
+
+
+def test_phase2_exploration(benchmark):
+    schema = generate_values_schema(get_chart("sonarqube"))
+    variants = benchmark(explore_variants, schema)
+    assert len(variants) >= 2
+
+
+def test_phase3_rendering(benchmark):
+    chart = get_chart("sonarqube")
+    variants = explore_variants(generate_values_schema(chart))
+    manifests = benchmark(render_all_variants, chart, variants)
+    assert manifests
+
+
+def test_phase4_consolidation(benchmark):
+    chart = get_chart("sonarqube")
+    variants = explore_variants(generate_values_schema(chart))
+    manifests = render_all_variants(chart, variants)
+    validator = benchmark(build_validator, chart.name, manifests)
+    assert validator.kinds
+
+
+def test_ablation_boolean_exploration(benchmark, emit_artifact):
+    """Boolean conditionals as two-valued enums: more variants, same
+    soundness on defaults, broader else-branch coverage."""
+    chart = get_chart("nginx")
+
+    explored = benchmark(PolicyGenerator(explore_booleans=True).generate, chart)
+    base = PolicyGenerator().generate(chart)
+
+    lines = [
+        "ablation: boolean exploration (nginx)",
+        f"  variants (paper mode, bool placeholder): {len(base.variants)}",
+        f"  variants (explore_booleans=True):        {len(explored.variants)}",
+        f"  manifests merged (paper mode):           {len(base.manifests)}",
+        f"  manifests merged (explored):             {len(explored.manifests)}",
+    ]
+    assert len(explored.variants) >= len(base.variants)
+    emit_artifact("ablation_boolean_exploration", "\n".join(lines))
+
+
+def test_validation_cost_scales_with_manifest_size(benchmark, validators, emit_artifact):
+    """Validation is a tree overlap: cost grows with manifest size."""
+    import time
+
+    from repro.helm.chart import render_chart
+
+    validator = validators["sonarqube"]
+    manifests = sorted(
+        render_chart(get_chart("sonarqube")), key=lambda m: len(str(m))
+    )
+    smallest, largest = manifests[0], manifests[-1]
+
+    def validate_both():
+        validator.validate(smallest)
+        validator.validate(largest)
+
+    benchmark(validate_both)
+
+    lines = ["validation cost vs manifest size (sonarqube):"]
+    for manifest in manifests:
+        started = time.perf_counter()
+        for _ in range(200):
+            validator.validate(manifest)
+        per_call_us = (time.perf_counter() - started) / 200 * 1e6
+        lines.append(
+            f"  {manifest['kind']:24s} {len(str(manifest)):6d} chars  {per_call_us:8.1f} us/validate"
+        )
+    emit_artifact("ablation_validation_scaling", "\n".join(lines))
+
+
+def test_multi_policy_proxy_scaling(benchmark, validators, emit_artifact):
+    """Mediation cost with many workload policies behind one proxy:
+    routing is per-identity, so per-request cost must stay flat as the
+    bound-policy count grows (cluster-scale deployment)."""
+    import time
+
+    from repro.core.proxy import MultiPolicyProxy
+    from repro.helm.chart import render_chart
+    from repro.k8s.apiserver import ApiRequest, Cluster, User
+
+    deployment = next(
+        m for m in render_chart(get_chart("nginx")) if m["kind"] == "Deployment"
+    )
+    request = ApiRequest.from_manifest(deployment, User("nginx-operator"), "update")
+
+    def throughput(policy_count: int) -> float:
+        cluster = Cluster()
+        bound = {}
+        for i in range(policy_count):
+            bound[f"tenant-{i}"] = validators["nginx"]
+        bound["nginx-operator"] = validators["nginx"]
+        proxy = MultiPolicyProxy(cluster.api, bound)
+        proxy.submit(ApiRequest.from_manifest(deployment, User("nginx-operator"), "create"))
+        started = time.perf_counter()
+        for _ in range(300):
+            proxy.submit(request)
+        return 300 / (time.perf_counter() - started)
+
+    benchmark.pedantic(lambda: throughput(10), rounds=1, iterations=1)
+
+    lines = ["multi-policy proxy throughput (nginx update requests/s):"]
+    for count in (1, 10, 100, 500):
+        lines.append(f"  {count:4d} bound policies: {throughput(count):8.0f} req/s")
+    emit_artifact("ablation_multipolicy_scaling", "\n".join(lines))
+
+
+def test_residual_surface_fuzzing(benchmark, validators, emit_artifact):
+    """Sec. VIII's proposal, measured: structure-aware fuzzing of the
+    residual attack surface.  Random schema-valid manifests exploit an
+    unprotected cluster but are almost entirely filtered by the
+    workload policy."""
+    from repro.fuzz import run_fuzz_campaign
+
+    def campaign():
+        return run_fuzz_campaign(
+            validators["nginx"],
+            ["Deployment", "Service", "Pod"],
+            count_per_kind=40,
+            seed=7,
+        )
+
+    result = benchmark.pedantic(campaign, rounds=1, iterations=1)
+    assert result.denial_rate > 0.95
+    assert result.residual_exploit_count == 0
+    emit_artifact("ablation_residual_fuzzing", result.render())

@@ -1,0 +1,26 @@
+"""Fig. 9 -- percentage of API fields used per workload x endpoint.
+
+Regenerates the usage heatmap from the five operators' validators.
+Expected shape: strong under-utilisation everywhere; several endpoints
+at exactly 0% for most workloads (Pod, Job for non-batch operators);
+no endpoint anywhere near full utilisation.
+"""
+
+from repro.analysis.report import render_fig9
+from repro.analysis.surface import ANALYSIS_KINDS, usage_matrix
+
+
+def test_fig9_usage_matrix(benchmark, validators, emit_artifact):
+    matrix = benchmark(usage_matrix, validators)
+
+    # Shape assertions from the paper's Sec. VI-B discussion.
+    for name, usage in matrix.items():
+        assert usage.usage_percent("Pod") == 0.0, name  # operators use controllers
+        assert usage.used_fields / usage.total_fields < 0.10, name
+    assert matrix["nginx"].usage_percent("Job") == 0.0
+    # Service/ServiceAccount are used by all workloads, yet only partially.
+    for name, usage in matrix.items():
+        assert 0 < usage.usage_percent("Service") < 60, name
+        assert 0 < usage.usage_percent("ServiceAccount") < 60, name
+
+    emit_artifact("fig9_usage", render_fig9(matrix, ANALYSIS_KINDS))

@@ -1,0 +1,24 @@
+"""Table II -- the catalog of malicious K8s specifications.
+
+Regenerates the catalog listing and benchmarks malicious-manifest
+construction (15 injections per operator from its legitimate
+manifests).
+"""
+
+from repro.analysis.report import render_table2
+from repro.attacks.catalog import ATTACKS
+from repro.attacks.injector import build_malicious_manifests
+from repro.helm.chart import render_chart
+from repro.operators import get_chart
+
+
+def test_table2_catalog(benchmark, emit_artifact):
+    legitimate = render_chart(get_chart("nginx"))
+
+    malicious = benchmark(build_malicious_manifests, "nginx", legitimate)
+
+    assert len(ATTACKS) == 15
+    assert len(malicious) == 15
+    assert sum(1 for m in malicious if m.attack.is_cve) == 8
+
+    emit_artifact("table2_catalog", render_table2())

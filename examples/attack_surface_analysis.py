@@ -1,0 +1,55 @@
+#!/usr/bin/env python3
+"""The attack-surface studies: Fig. 5, Fig. 9, and Table I.
+
+- Fig. 5 (motivation): how little of the vulnerable Kubernetes code the
+  6,580-test e2e corpus actually touches (<0.5% of tests), i.e. how
+  much of the attack surface typical workloads never need.
+- Fig. 9: per-operator, per-endpoint field usage from the generated
+  validators.
+- Table I: restrictable fields under RBAC (whole endpoints only) vs
+  KubeFence (any unused field), and the reduction percentages.
+
+Run:  python examples/attack_surface_analysis.py
+"""
+
+from repro.analysis.coverage import fig5_analysis
+from repro.analysis.reduction import average_improvement, compute_reduction
+from repro.analysis.report import render_fig5, render_fig9, render_table1
+from repro.analysis.surface import ANALYSIS_KINDS, usage_matrix
+from repro.core import generate_policy
+from repro.operators import all_charts
+
+
+def main() -> None:
+    print("=" * 72)
+    print("FIG. 5 -- e2e tests covering CVE-patched code (motivation)")
+    print("=" * 72)
+    data = fig5_analysis()
+    print(render_fig5(data))
+
+    print("\ngenerating the five workload policies ...")
+    validators = {name: generate_policy(chart) for name, chart in all_charts().items()}
+    matrix = usage_matrix(validators)
+
+    print("\n" + "=" * 72)
+    print("FIG. 9 -- % of configurable fields used, per workload x endpoint")
+    print("=" * 72)
+    print(render_fig9(matrix, ANALYSIS_KINDS))
+
+    print("\n" + "=" * 72)
+    print("TABLE I -- attack surface reduction, RBAC vs KubeFence")
+    print("=" * 72)
+    rows = [compute_reduction(matrix[name]) for name in sorted(matrix)]
+    print(render_table1(rows))
+
+    print("\nReading the numbers:")
+    print("- RBAC can only blank out endpoints a workload never touches;")
+    print("  workloads that span many endpoints (SonarQube) leave most of")
+    print("  the surface exposed.")
+    print("- KubeFence filters unused fields *inside* used endpoints too,")
+    print(f"  reducing >90% of the surface everywhere "
+          f"(avg. +{average_improvement(rows):.1f} pp over RBAC; paper: ~35 pp).")
+
+
+if __name__ == "__main__":
+    main()

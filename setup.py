@@ -1,0 +1,19 @@
+"""Legacy setup shim so editable installs work offline (no wheel pkg)."""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "KubeFence reproduction: workload-aware fine-grained Kubernetes "
+        "API filtering (DSN 2025)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    install_requires=["PyYAML>=6.0"],
+    entry_points={
+        "console_scripts": ["kubefence-repro = repro.cli:main"],
+    },
+)

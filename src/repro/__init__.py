@@ -1,0 +1,40 @@
+"""KubeFence reproduction: security hardening of the Kubernetes attack
+surface (Cesarano & Natella, DSN 2025).
+
+Public API quick tour::
+
+    from repro import generate_policy, get_chart, Cluster, KubeFenceProxy
+    from repro.operators import OperatorClient
+
+    chart = get_chart("nginx")
+    validator = generate_policy(chart)        # offline policy generation
+    cluster = Cluster()                       # mini Kubernetes
+    proxy = KubeFenceProxy(cluster.api, validator)
+    client = OperatorClient(proxy)            # complete mediation
+    client.deploy_chart(chart)                # benign traffic passes
+
+Sub-packages: :mod:`repro.core` (KubeFence), :mod:`repro.k8s` (mini
+Kubernetes), :mod:`repro.helm` (template engine), :mod:`repro.rbac`
+(baseline), :mod:`repro.operators` (evaluation charts),
+:mod:`repro.attacks` (Table II catalog), :mod:`repro.analysis`
+(experiment computations).
+"""
+
+from repro.core import KubeFenceProxy, Validator, generate_policy
+from repro.helm import Chart, render_chart
+from repro.k8s import Cluster
+from repro.operators import all_charts, get_chart
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Chart",
+    "Cluster",
+    "KubeFenceProxy",
+    "Validator",
+    "all_charts",
+    "generate_policy",
+    "get_chart",
+    "render_chart",
+    "__version__",
+]

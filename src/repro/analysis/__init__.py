@@ -1,0 +1,28 @@
+"""Attack-surface analysis and experiment reporting.
+
+- :mod:`repro.analysis.surface` -- quantification of the K8s API
+  attack surface and per-workload field usage (Fig. 9).
+- :mod:`repro.analysis.reduction` -- attack-surface reduction
+  achievable by RBAC vs KubeFence (Table I).
+- :mod:`repro.analysis.coverage` -- the e2e-coverage analysis
+  formatting (Fig. 5; the computation lives in :mod:`repro.k8s.e2e`).
+- :mod:`repro.analysis.report` -- plain-text table/heatmap rendering
+  used by the benchmark harness and examples.
+"""
+
+from repro.analysis.reduction import ReductionRow, compute_reduction
+from repro.analysis.surface import (
+    ANALYSIS_KINDS,
+    SurfaceUsage,
+    usage_matrix,
+    workload_usage,
+)
+
+__all__ = [
+    "ANALYSIS_KINDS",
+    "ReductionRow",
+    "SurfaceUsage",
+    "compute_reduction",
+    "usage_matrix",
+    "workload_usage",
+]

@@ -1,0 +1,51 @@
+"""Fig. 5 analysis: e2e tests vs vulnerable code.
+
+The computation lives in :mod:`repro.k8s.e2e` (corpus generation and
+coverage cross-referencing); this module provides the evaluation's
+summary statistics and the figure-shaped data structure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.k8s.e2e import CoverageReport, E2ECorpus, analyze_coverage
+from repro.k8s.vulndb import VulnerabilityDatabase, vulndb
+
+
+@dataclass
+class Fig5Data:
+    """Everything Fig. 5 shows, plus the in-text statistics."""
+
+    categories: list[str]
+    category_sizes: dict[str, int]
+    #: Only CVEs with non-zero coverage appear as heatmap rows.
+    rows: dict[str, dict[str, int]]
+    uncovered_cves: list[str]
+    total_tests: int
+    covering_tests: int
+    covering_excluding_largest: tuple[int, int]
+
+    @property
+    def covering_fraction(self) -> float:
+        return self.covering_tests / self.total_tests if self.total_tests else 0.0
+
+
+def fig5_analysis(
+    corpus: E2ECorpus | None = None, db: VulnerabilityDatabase | None = None
+) -> Fig5Data:
+    """Run the full motivation analysis (Sec. III-C)."""
+    corpus = corpus if corpus is not None else E2ECorpus()
+    db = db if db is not None else vulndb
+    report: CoverageReport = analyze_coverage(corpus, db)
+    covered = report.cves_with_coverage()
+    largest = max(corpus.sizes, key=lambda c: corpus.sizes[c])
+    return Fig5Data(
+        categories=corpus.categories(),
+        category_sizes=dict(corpus.sizes),
+        rows={cve: dict(report.heatmap[cve]) for cve in covered},
+        uncovered_cves=report.cves_without_coverage(),
+        total_tests=report.total_tests,
+        covering_tests=report.covering_tests,
+        covering_excluding_largest=report.covering_tests_excluding[largest],
+    )

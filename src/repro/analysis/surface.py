@@ -1,0 +1,108 @@
+"""Quantifying the K8s API attack surface (Sec. VI-B, Fig. 9).
+
+The attack surface is the set of configurable fields exposed by the API
+endpoints (the schema catalog).  A workload's *usage* of an endpoint is
+the fraction of that endpoint's fields that appear in the workload's
+KubeFence validator -- i.e. the fields the workload could legitimately
+send.  Everything else is unnecessary exposure that can be filtered.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.core.enforcement import Validator
+from repro.k8s.schema import SchemaCatalog, catalog as default_catalog
+
+#: The endpoints considered in the evaluation (the paper's catalog
+#: spans 4,882 configurable fields; this set spans the same order).
+ANALYSIS_KINDS: tuple[str, ...] = (
+    "Pod",
+    "Deployment",
+    "StatefulSet",
+    "DaemonSet",
+    "Job",
+    "Service",
+    "ServiceAccount",
+    "ConfigMap",
+    "Secret",
+    "PersistentVolumeClaim",
+    "Ingress",
+    "NetworkPolicy",
+    "Role",
+    "RoleBinding",
+    "PodDisruptionBudget",
+    "HorizontalPodAutoscaler",
+    "Endpoints",
+    "LimitRange",
+    "ResourceQuota",
+    "Namespace",
+)
+
+
+def catalog_paths(kind: str, schemas: SchemaCatalog | None = None) -> set[tuple[str, ...]]:
+    """All schema field paths of *kind* as key tuples (the counting
+    unit of the attack-surface analysis)."""
+    schemas = schemas or default_catalog
+    root = schemas.schema(kind)
+    out: set[tuple[str, ...]] = set()
+    for path, _ in root.walk():
+        parts = tuple(path.split("."))
+        if parts[0] == kind:
+            parts = parts[1:]
+        if parts:
+            out.add(parts)
+    return out
+
+
+@dataclass
+class SurfaceUsage:
+    """Per-workload, per-endpoint field usage."""
+
+    operator: str
+    #: kind -> (used fields, total fields)
+    per_kind: dict[str, tuple[int, int]] = field(default_factory=dict)
+
+    def usage_percent(self, kind: str) -> float:
+        used, total = self.per_kind.get(kind, (0, 0))
+        return 100.0 * used / total if total else 0.0
+
+    @property
+    def used_fields(self) -> int:
+        return sum(used for used, _ in self.per_kind.values())
+
+    @property
+    def total_fields(self) -> int:
+        return sum(total for _, total in self.per_kind.values())
+
+    def unused_kinds(self) -> list[str]:
+        """Endpoints entirely unused (restrictable by RBAC)."""
+        return sorted(k for k, (used, _) in self.per_kind.items() if used == 0)
+
+
+def workload_usage(
+    validator: Validator,
+    kinds: Iterable[str] = ANALYSIS_KINDS,
+    schemas: SchemaCatalog | None = None,
+) -> SurfaceUsage:
+    """Compute one workload's API usage from its validator."""
+    schemas = schemas or default_catalog
+    usage = SurfaceUsage(operator=validator.operator)
+    for kind in kinds:
+        total_paths = catalog_paths(kind, schemas)
+        allowed = validator.allowed_field_paths(kind)
+        used = len(allowed & total_paths)
+        usage.per_kind[kind] = (used, len(total_paths))
+    return usage
+
+
+def usage_matrix(
+    validators: dict[str, Validator],
+    kinds: Iterable[str] = ANALYSIS_KINDS,
+    schemas: SchemaCatalog | None = None,
+) -> dict[str, SurfaceUsage]:
+    """Fig. 9's matrix: operator -> per-endpoint usage."""
+    return {
+        name: workload_usage(v, kinds, schemas) for name, v in sorted(validators.items())
+    }

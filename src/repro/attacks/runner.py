@@ -1,0 +1,148 @@
+"""The attack campaign: Table III's experiment.
+
+For one operator, two protected configurations are attacked with the
+full catalog of malicious manifests:
+
+**RBAC baseline** (Sec. VI-D, "Native K8s RBAC setup"):
+
+1. the operator is deployed attack-free on an audit-enabled cluster,
+   including a day-2 reconcile pass (operators continuously get/update
+   their resources);
+2. ``audit2rbac`` infers the workload's least-privilege policy;
+3. a fresh cluster is configured with that policy, the workload is
+   re-deployed, and the malicious manifests are submitted as the
+   operator's own user (the insider threat model).
+
+**KubeFence** (Sec. VI-D, "KubeFence setup"):
+
+1. the workload policy (validator) is generated from the Helm chart;
+2. the workload is deployed *through* the KubeFence proxy (complete
+   mediation) -- all benign requests must pass;
+3. the same malicious manifests are submitted through the proxy.
+
+An attack is *mitigated* when its API request is rejected.  The live
+:class:`~repro.k8s.vulndb.ExploitEngine` sits in the admission chain of
+both clusters, so the result also reports which CVEs actually fired
+when requests got through.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.attacks.catalog import ATTACKS, AttackSpec
+from repro.attacks.injector import MaliciousManifest, build_malicious_manifests
+from repro.core.enforcement import Validator
+from repro.core.pipeline import generate_policy
+from repro.core.proxy import KubeFenceProxy
+from repro.helm.chart import Chart, render_chart
+from repro.k8s.apiserver import Cluster
+from repro.k8s.vulndb import ExploitEngine
+from repro.operators.client import DirectTransport, OperatorClient
+from repro.rbac import RBACAuthorizer, infer_policy
+
+
+@dataclass
+class AttackOutcome:
+    """One attack against one protected configuration."""
+
+    attack: AttackSpec
+    mitigated: bool
+    response_code: int
+    exploit_fired: bool
+    detail: str = ""
+
+
+@dataclass
+class CampaignResult:
+    """Table III row material for one operator."""
+
+    operator: str
+    rbac: list[AttackOutcome] = field(default_factory=list)
+    kubefence: list[AttackOutcome] = field(default_factory=list)
+    validator: Validator | None = None
+
+    def mitigated_counts(self, outcomes: list[AttackOutcome]) -> tuple[int, int]:
+        """(mitigated CVE exploits, mitigated misconfigurations)."""
+        cves = sum(1 for o in outcomes if o.attack.is_cve and o.mitigated)
+        misconfigs = sum(1 for o in outcomes if not o.attack.is_cve and o.mitigated)
+        return cves, misconfigs
+
+    @property
+    def rbac_counts(self) -> tuple[int, int]:
+        return self.mitigated_counts(self.rbac)
+
+    @property
+    def kubefence_counts(self) -> tuple[int, int]:
+        return self.mitigated_counts(self.kubefence)
+
+
+def _deploy_and_reconcile(client: OperatorClient, chart: Chart) -> Any:
+    result = client.deploy_chart(chart)
+    if not result.all_ok:
+        denied = [(m.get("kind"), r.code) for m, r in result.denied]
+        raise RuntimeError(f"benign deployment of {chart.name} was blocked: {denied}")
+    client.reconcile(result)
+    return result
+
+
+def _attack(
+    client: OperatorClient,
+    malicious: list[MaliciousManifest],
+    engine: ExploitEngine,
+) -> list[AttackOutcome]:
+    outcomes: list[AttackOutcome] = []
+    for item in malicious:
+        engine.clear()
+        response = client.submit_manifest(item.operator, item.manifest, verb="update")
+        fired = item.attack.reference in engine.triggered_cves()
+        outcomes.append(
+            AttackOutcome(
+                attack=item.attack,
+                mitigated=not response.ok,
+                response_code=response.code,
+                exploit_fired=fired,
+                detail="" if response.ok else str((response.body or {}).get("message", "")),
+            )
+        )
+    return outcomes
+
+
+def run_campaign(
+    chart: Chart,
+    attacks: tuple[AttackSpec, ...] = ATTACKS,
+    validator: Validator | None = None,
+) -> CampaignResult:
+    """Run the full Table III experiment for one operator chart."""
+    result = CampaignResult(operator=chart.name)
+    legitimate = render_chart(chart)
+    malicious = build_malicious_manifests(chart.name, legitimate, attacks)
+
+    # ---- RBAC baseline ---------------------------------------------------
+    # Phase A: attack-free run on an audit-enabled permissive cluster.
+    learn_cluster = Cluster()
+    learn_client = OperatorClient(DirectTransport(learn_cluster.api))
+    _deploy_and_reconcile(learn_client, chart)
+    username = f"{chart.name}-operator"
+    rbac_policy = infer_policy(learn_cluster.api.audit_log, username)
+
+    # Phase B: fresh cluster protected by the inferred RBAC policy.
+    rbac_cluster = Cluster(authorizer=RBACAuthorizer(rbac_policy))
+    rbac_engine = ExploitEngine()
+    rbac_cluster.api.register_admission_plugin(rbac_engine)
+    rbac_client = OperatorClient(DirectTransport(rbac_cluster.api))
+    _deploy_and_reconcile(rbac_client, chart)
+    result.rbac = _attack(rbac_client, malicious, rbac_engine)
+
+    # ---- KubeFence ------------------------------------------------------
+    validator = validator or generate_policy(chart)
+    result.validator = validator
+    kf_cluster = Cluster()
+    kf_engine = ExploitEngine()
+    kf_cluster.api.register_admission_plugin(kf_engine)
+    proxy = KubeFenceProxy(kf_cluster.api, validator)
+    kf_client = OperatorClient(proxy)
+    _deploy_and_reconcile(kf_client, chart)
+    result.kubefence = _attack(kf_client, malicious, kf_engine)
+    return result

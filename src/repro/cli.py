@@ -1,0 +1,300 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands mirror how a downstream user would operate KubeFence:
+
+- ``generate``  -- build a validator from an operator chart (built-in
+  name or a chart directory) and write it as YAML.
+- ``validate``  -- check manifest files against a validator.
+- ``campaign``  -- run the Table III attack campaign for an operator.
+- ``surface``   -- print the Fig. 9 usage heatmap and Table I.
+- ``coverage``  -- print the Fig. 5 e2e-coverage analysis.
+- ``overhead``  -- measure the Table IV RTT overhead.
+- ``operators`` -- list the built-in evaluation operators.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+import yaml
+
+
+def _load_chart(ref: str):
+    from repro.helm.chart import Chart
+    from repro.operators import OPERATOR_NAMES, get_chart
+
+    if ref in OPERATOR_NAMES:
+        return get_chart(ref)
+    path = Path(ref)
+    if (path / "Chart.yaml").exists():
+        return Chart.from_directory(path)
+    raise SystemExit(
+        f"error: {ref!r} is neither a built-in operator {OPERATOR_NAMES} "
+        "nor a chart directory"
+    )
+
+
+def cmd_operators(_args: argparse.Namespace) -> int:
+    from repro.helm.chart import render_chart
+    from repro.operators import all_charts
+
+    for name, chart in all_charts().items():
+        kinds = sorted({m["kind"] for m in render_chart(chart)})
+        print(f"{name:12s} v{chart.version:10s} kinds: {', '.join(kinds)}")
+    return 0
+
+
+def cmd_generate(args: argparse.Namespace) -> int:
+    from repro.core.pipeline import PolicyGenerator
+
+    source = Path(args.chart)
+    if source.is_dir() and (source / "kustomization.yaml").exists():
+        return _generate_from_kustomize(source, args)
+    chart = _load_chart(args.chart)
+    generator = PolicyGenerator(explore_booleans=args.explore_booleans)
+    report = generator.generate(chart)
+    text = report.validator.to_yaml()
+    if args.output:
+        Path(args.output).write_text(text)
+        print(
+            f"wrote validator for {chart.name!r} to {args.output} "
+            f"({len(report.variants)} variants, "
+            f"{len(report.manifests)} manifests merged, "
+            f"kinds: {', '.join(report.kinds)})"
+        )
+    else:
+        print(text)
+    return 0
+
+
+def _generate_from_kustomize(source: Path, args: argparse.Namespace) -> int:
+    """Kustomize mode: the directory is an overlay (or a base when it
+    has no overlays); sibling ``--overlay`` directories are the
+    configuration variants."""
+    from repro.kustomize import Kustomization, generate_policy_from_kustomize
+
+    base = Kustomization.from_directory(source)
+    overlays = [Kustomization.from_directory(path) for path in args.overlay or []]
+    validator = generate_policy_from_kustomize(base, overlays or None)
+    text = validator.to_yaml()
+    if args.output:
+        Path(args.output).write_text(text)
+        layers = ", ".join(validator.meta["overlays"])
+        print(f"wrote kustomize validator for {validator.operator!r} to "
+              f"{args.output} (layers: {layers})")
+    else:
+        print(text)
+    return 0
+
+
+def cmd_validate(args: argparse.Namespace) -> int:
+    from repro.core.enforcement import Validator
+
+    validator = Validator.from_yaml(Path(args.validator).read_text())
+    failures = 0
+    for manifest_file in args.manifests:
+        for document in yaml.safe_load_all(Path(manifest_file).read_text()):
+            if not isinstance(document, dict) or not document.get("kind"):
+                continue
+            name = document.get("metadata", {}).get("name", "?")
+            result = validator.validate(document)
+            status = "ALLOWED" if result.allowed else "DENIED "
+            print(f"[{status}] {document['kind']}/{name}  ({manifest_file})")
+            for violation in result.violations:
+                print(f"    - {violation}")
+            failures += 0 if result.allowed else 1
+    return 1 if failures else 0
+
+
+def cmd_lint(args: argparse.Namespace) -> int:
+    from repro.lint import lint_chart, lint_manifests
+
+    source = Path(args.target)
+    if source.is_file():
+        manifests = [
+            doc
+            for doc in yaml.safe_load_all(source.read_text())
+            if isinstance(doc, dict) and doc.get("kind")
+        ]
+        report = lint_manifests(manifests, ignore=frozenset(args.ignore or []))
+    else:
+        chart = _load_chart(args.target)
+        report = lint_chart(chart, ignore=frozenset(args.ignore or []))
+    print(report.render())
+    return 1 if report.errors else 0
+
+
+def cmd_inspect(args: argparse.Namespace) -> int:
+    from repro.core.enforcement import Validator
+    from repro.core.inspect import summarize
+
+    validator = Validator.from_yaml(Path(args.validator).read_text())
+    print(summarize(validator).render())
+    return 0
+
+
+def cmd_diff(args: argparse.Namespace) -> int:
+    from repro.core.enforcement import Validator
+    from repro.core.inspect import diff_validators
+
+    old = Validator.from_yaml(Path(args.old).read_text())
+    new = Validator.from_yaml(Path(args.new).read_text())
+    drift = diff_validators(old, new)
+    print(drift.render())
+    return 0 if drift.is_empty else 2
+
+
+def cmd_campaign(args: argparse.Namespace) -> int:
+    from repro.analysis.report import render_table3
+    from repro.attacks.runner import run_campaign
+    from repro.operators import OPERATOR_NAMES
+
+    names = [args.operator] if args.operator else list(OPERATOR_NAMES)
+    results = []
+    for name in names:
+        chart = _load_chart(name)
+        result = run_campaign(chart)
+        results.append(result)
+        fired = sorted({o.attack.reference for o in result.rbac if o.exploit_fired})
+        print(f"{name}: RBAC mitigated {sum(result.rbac_counts)}/15, "
+              f"KubeFence {sum(result.kubefence_counts)}/15; "
+              f"CVEs fired under RBAC: {len(fired)}")
+    print()
+    print(render_table3(results))
+    return 0
+
+
+def cmd_surface(_args: argparse.Namespace) -> int:
+    from repro.analysis.reduction import compute_reduction
+    from repro.analysis.report import render_fig9, render_table1
+    from repro.analysis.surface import ANALYSIS_KINDS, usage_matrix
+    from repro.core.pipeline import generate_policy
+    from repro.operators import all_charts
+
+    validators = {n: generate_policy(c) for n, c in all_charts().items()}
+    matrix = usage_matrix(validators)
+    print(render_fig9(matrix, ANALYSIS_KINDS))
+    print()
+    print(render_table1([compute_reduction(matrix[n]) for n in sorted(matrix)]))
+    return 0
+
+
+def cmd_coverage(args: argparse.Namespace) -> int:
+    from repro.analysis.coverage import fig5_analysis
+    from repro.analysis.report import render_fig5
+    from repro.k8s.e2e import E2ECorpus
+
+    print(render_fig5(fig5_analysis(E2ECorpus(seed=args.seed))))
+    return 0
+
+
+def cmd_overhead(args: argparse.Namespace) -> int:
+    from repro.analysis.overhead import OverheadConfig, measure_overhead
+    from repro.analysis.report import render_table4
+    from repro.operators import OPERATOR_NAMES
+
+    config = OverheadConfig(
+        repetitions=args.repetitions, network_delay_ms=args.network_delay_ms
+    )
+    names = [args.operator] if args.operator else list(OPERATOR_NAMES)
+    rows = []
+    for name in names:
+        print(f"measuring {name} ({config.repetitions} repetitions) ...")
+        rows.append(measure_overhead(_load_chart(name), config))
+    print()
+    print(render_table4(sorted(rows, key=lambda r: r.operator)))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="KubeFence reproduction: workload-aware K8s API filtering",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("operators", help="list built-in evaluation operators")
+
+    generate = sub.add_parser(
+        "generate", help="generate a validator from a chart or kustomization"
+    )
+    generate.add_argument(
+        "chart",
+        help="built-in operator name, chart directory, or kustomize directory",
+    )
+    generate.add_argument("-o", "--output", help="write the validator YAML here")
+    generate.add_argument(
+        "--explore-booleans",
+        action="store_true",
+        help="treat boolean values as two-valued enums during exploration",
+    )
+    generate.add_argument(
+        "--overlay",
+        action="append",
+        help="kustomize mode: overlay directory (repeatable)",
+    )
+
+    validate = sub.add_parser("validate", help="validate manifests against a validator")
+    validate.add_argument("validator", help="validator YAML produced by 'generate'")
+    validate.add_argument("manifests", nargs="+", help="manifest YAML files")
+
+    lint = sub.add_parser("lint", help="statically lint a chart or manifest file")
+    lint.add_argument("target", help="operator name, chart directory, or manifest YAML")
+    lint.add_argument("--ignore", action="append", help="rule id to skip (repeatable)")
+
+    inspect = sub.add_parser("inspect", help="summarize a validator")
+    inspect.add_argument("validator", help="validator YAML file")
+
+    diff = sub.add_parser("diff", help="policy drift between two validators")
+    diff.add_argument("old", help="previous validator YAML")
+    diff.add_argument("new", help="regenerated validator YAML")
+
+    campaign = sub.add_parser("campaign", help="run the Table III attack campaign")
+    campaign.add_argument("operator", nargs="?", help="one operator (default: all five)")
+
+    sub.add_parser("surface", help="print Fig. 9 and Table I")
+
+    coverage = sub.add_parser("coverage", help="print the Fig. 5 analysis")
+    coverage.add_argument("--seed", type=int, default=1337)
+
+    overhead = sub.add_parser("overhead", help="measure Table IV overhead")
+    overhead.add_argument("operator", nargs="?", help="one operator (default: all five)")
+    overhead.add_argument("-r", "--repetitions", type=int, default=10)
+    overhead.add_argument("--network-delay-ms", type=float, default=4.0)
+
+    return parser
+
+
+_COMMANDS = {
+    "operators": cmd_operators,
+    "generate": cmd_generate,
+    "validate": cmd_validate,
+    "lint": cmd_lint,
+    "inspect": cmd_inspect,
+    "diff": cmd_diff,
+    "campaign": cmd_campaign,
+    "surface": cmd_surface,
+    "coverage": cmd_coverage,
+    "overhead": cmd_overhead,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except BrokenPipeError:
+        # Standard CLI behaviour when piped into `head` and friends.
+        import os
+
+        try:
+            os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        except OSError:
+            pass
+        return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

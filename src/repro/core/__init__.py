@@ -1,0 +1,37 @@
+"""KubeFence: the paper's contribution.
+
+Automatic generation and enforcement of fine-grained, workload-aware
+Kubernetes API security policies from Helm-based operator charts
+(Sec. V of the paper):
+
+- :mod:`repro.core.placeholders` -- typed placeholders (``string``,
+  ``int``, ``bool``, ``IP``, ``quantity``, ``port``) and matching.
+- :mod:`repro.core.security` -- the best-practice lock catalog
+  (Pod Security Standards constants, trusted-image pinning).
+- :mod:`repro.core.schema_gen` -- values-schema generation (phase 1,
+  Fig. 7): placeholder substitution, enum extraction, security locks.
+- :mod:`repro.core.explorer` -- configuration-space exploration
+  (phase 2): values variants covering every enumerative option.
+- :mod:`repro.core.renderer` -- variant rendering through the Helm
+  engine (phase 3) with placeholder-propagating arithmetic.
+- :mod:`repro.core.validator_gen` -- validator consolidation
+  (phase 4, Fig. 8): per-kind tree merge, enum union, lock overlay.
+- :mod:`repro.core.enforcement` -- hierarchical request validation
+  against a validator (Sec. V-B).
+- :mod:`repro.core.proxy` -- the enforcement proxy (complete
+  mediation between clients and the API server).
+- :mod:`repro.core.pipeline` -- ``generate_policy``: one call from
+  chart to enforceable validator.
+"""
+
+from repro.core.enforcement import ValidationResult, Validator
+from repro.core.pipeline import PolicyGenerator, generate_policy
+from repro.core.proxy import KubeFenceProxy
+
+__all__ = [
+    "KubeFenceProxy",
+    "PolicyGenerator",
+    "ValidationResult",
+    "Validator",
+    "generate_policy",
+]

@@ -1,0 +1,220 @@
+"""Anomaly detection on API calls (paper Sec. VIII, residual risk).
+
+KubeFence deliberately does not restrict interfaces that legitimate
+workloads use, even when those interfaces are vulnerability-prone; the
+paper proposes anomaly detection on API calls as the complementary
+strategy for this *residual* attack surface.  This module implements
+that complement:
+
+- :class:`ApiAnomalyDetector` learns a per-user behavioural profile
+  from an attack-free window: the (verb, kind) pairs used, the schema
+  field-sets sent per kind, and the scalar values observed per field;
+- at runtime each request is scored against the profile: novel kinds,
+  verbs, fields, and values each contribute to the anomaly score;
+- :class:`AnomalyMonitoringTransport` wraps any transport
+  (:class:`~repro.core.proxy.KubeFenceProxy` or a direct connection)
+  and raises alerts without blocking -- detection, not prevention.
+
+Unlike the validator (derived from charts), the profile is derived from
+*observed traffic*, so the two mechanisms fail independently: a field
+inside the policy but outside the behavioural norm still raises.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.k8s.apiserver import ApiRequest, ApiResponse
+from repro.k8s.audit import AuditLog
+from repro.yamlutil import walk_leaves
+
+
+def _field_set(manifest: dict[str, Any]) -> set[tuple[str, ...]]:
+    """Schema field paths of a manifest (list indexes stripped)."""
+    return {
+        path.keys_only
+        for path, _ in walk_leaves(manifest)
+        if path.keys_only and path.keys_only[0] not in ("status",)
+    }
+
+
+def _scalar_items(manifest: dict[str, Any]) -> list[tuple[tuple[str, ...], Any]]:
+    return [
+        (path.keys_only, value)
+        for path, value in walk_leaves(manifest)
+        if not isinstance(value, (dict, list)) and path.keys_only
+    ]
+
+
+@dataclass
+class AnomalyReport:
+    """The scored verdict for one request."""
+
+    score: float
+    novel_kind: bool = False
+    novel_verb: bool = False
+    novel_fields: list[str] = field(default_factory=list)
+    novel_values: list[str] = field(default_factory=list)
+
+    def summary(self) -> str:
+        parts = []
+        if self.novel_kind:
+            parts.append("novel kind")
+        if self.novel_verb:
+            parts.append("novel verb")
+        if self.novel_fields:
+            parts.append(f"{len(self.novel_fields)} novel field(s)")
+        if self.novel_values:
+            parts.append(f"{len(self.novel_values)} novel value(s)")
+        return f"score={self.score:.2f}" + (f" ({', '.join(parts)})" if parts else "")
+
+
+@dataclass
+class _Profile:
+    kinds_verbs: set[tuple[str, str]] = field(default_factory=set)
+    fields_by_kind: dict[str, set[tuple[str, ...]]] = field(default_factory=dict)
+    values_by_field: dict[tuple[str, tuple[str, ...]], set[Any]] = field(default_factory=dict)
+    observations: int = 0
+
+
+class ApiAnomalyDetector:
+    """Learns per-user API behaviour; scores deviations.
+
+    Scoring weights (sum-capped at 1.0): novel kind 1.0, novel verb
+    0.6, each novel field 0.3, each novel scalar value 0.05.  The
+    default threshold of 0.3 flags any structural novelty (one new
+    field suffices) while tolerating small value drift.
+    """
+
+    WEIGHT_KIND = 1.0
+    WEIGHT_VERB = 0.6
+    WEIGHT_FIELD = 0.3
+    WEIGHT_VALUE = 0.05
+
+    def __init__(self, threshold: float = 0.3):
+        self.threshold = threshold
+        self._profiles: dict[str, _Profile] = {}
+
+    def _profile(self, username: str) -> _Profile:
+        return self._profiles.setdefault(username, _Profile())
+
+    # -- learning ------------------------------------------------------------
+
+    def learn(self, request: ApiRequest) -> None:
+        profile = self._profile(request.user.username)
+        profile.observations += 1
+        profile.kinds_verbs.add((request.kind, request.verb))
+        if isinstance(request.body, dict):
+            fields = profile.fields_by_kind.setdefault(request.kind, set())
+            fields.update(_field_set(request.body))
+            for path, value in _scalar_items(request.body):
+                try:
+                    profile.values_by_field.setdefault((request.kind, path), set()).add(value)
+                except TypeError:  # unhashable scalar; skip value memory
+                    pass
+
+    def learn_from_audit(self, audit_log: AuditLog, username: str) -> int:
+        """Bootstrap a profile from an attack-free audit window."""
+        from repro.k8s.apiserver import User
+
+        learned = 0
+        for event in audit_log.successful():
+            if event.username != username:
+                continue
+            self.learn(
+                ApiRequest(
+                    verb=event.verb,
+                    kind=_kind_from_resource(event.resource),
+                    user=User(username),
+                    namespace=event.namespace,
+                    name=event.name,
+                    body=event.request_object,
+                )
+            )
+            learned += 1
+        return learned
+
+    # -- scoring ------------------------------------------------------------
+
+    def score(self, request: ApiRequest) -> AnomalyReport:
+        profile = self._profiles.get(request.user.username)
+        if profile is None or profile.observations == 0:
+            # No baseline: everything is maximally anomalous.
+            return AnomalyReport(score=1.0, novel_kind=True, novel_verb=True)
+        report = AnomalyReport(score=0.0)
+        if (request.kind, request.verb) not in profile.kinds_verbs:
+            known_kinds = {kind for kind, _ in profile.kinds_verbs}
+            if request.kind not in known_kinds:
+                report.novel_kind = True
+                report.score += self.WEIGHT_KIND
+            else:
+                report.novel_verb = True
+                report.score += self.WEIGHT_VERB
+        if isinstance(request.body, dict):
+            known_fields = profile.fields_by_kind.get(request.kind, set())
+            for path in sorted(_field_set(request.body) - known_fields):
+                report.novel_fields.append(".".join(path))
+                report.score += self.WEIGHT_FIELD
+            for path, value in _scalar_items(request.body):
+                known_values = profile.values_by_field.get((request.kind, path))
+                if known_values is not None and value not in known_values:
+                    report.novel_values.append(f"{'.'.join(path)}={value!r}")
+                    report.score += self.WEIGHT_VALUE
+        report.score = min(report.score, 1.0)
+        return report
+
+    def is_anomalous(self, request: ApiRequest) -> bool:
+        return self.score(request).score >= self.threshold
+
+
+@dataclass(frozen=True)
+class AnomalyAlert:
+    """One raised alert (the request was still forwarded)."""
+
+    username: str
+    verb: str
+    kind: str
+    name: str
+    report: AnomalyReport
+
+
+class AnomalyMonitoringTransport:
+    """Detection-mode wrapper: score every request, alert on threshold,
+    forward regardless (complements, never replaces, enforcement)."""
+
+    def __init__(self, inner: Any, detector: ApiAnomalyDetector,
+                 learn_online: bool = False):
+        self.inner = inner
+        self.detector = detector
+        self.learn_online = learn_online
+        self.alerts: list[AnomalyAlert] = []
+
+    def submit(self, request: ApiRequest) -> ApiResponse:
+        report = self.detector.score(request)
+        if report.score >= self.detector.threshold:
+            name = ""
+            if request.body:
+                name = request.body.get("metadata", {}).get("name", "")
+            self.alerts.append(
+                AnomalyAlert(
+                    username=request.user.username,
+                    verb=request.verb,
+                    kind=request.kind,
+                    name=name or (request.name or ""),
+                    report=report,
+                )
+            )
+        response = self.inner.submit(request)
+        if self.learn_online and response.ok:
+            self.detector.learn(request)
+        return response
+
+
+def _kind_from_resource(plural: str) -> str:
+    from repro.k8s.gvk import registry
+
+    try:
+        return registry.by_plural(plural).kind
+    except KeyError:
+        return plural

@@ -1,0 +1,52 @@
+"""Phase 2: exploration of the configuration space.
+
+The values schema still contains enumerative fields whose options must
+each appear in at least one rendered manifest.  Exhaustively rendering
+the cross product would explode combinatorially, so KubeFence uses the
+paper's covering strategy: at iteration *i*, every enumerative field is
+set to its *i*-th valid option (reusing the last option when a list is
+shorter), and the process iterates up to the length of the longest
+enum.  The union of the variants therefore covers every valid option of
+every enumerative field at linear cost.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.core.schema_gen import ValuesSchema
+from repro.yamlutil import deep_copy, set_path
+
+
+def explore_variants(schema: ValuesSchema) -> list[dict[str, Any]]:
+    """Generate the values variants for *schema*.
+
+    Returns at least one variant (the schema itself when there are no
+    enumerative fields).
+    """
+    iterations = schema.max_enum_length()
+    if iterations == 0:
+        return [deep_copy(schema.schema)]
+    variants: list[dict[str, Any]] = []
+    for i in range(iterations):
+        variant = deep_copy(schema.schema)
+        for path, options in sorted(schema.enums.items()):
+            option = options[min(i, len(options) - 1)]
+            set_path(variant, path, option)
+        variants.append(variant)
+    return variants
+
+
+def coverage_of(variants: list[dict[str, Any]], schema: ValuesSchema) -> dict[str, set]:
+    """Which enum options are covered by *variants* (self-check used in
+    tests: every option of every enum must appear in some variant)."""
+    from repro.yamlutil import get_path
+
+    covered: dict[str, set] = {path: set() for path in schema.enums}
+    for variant in variants:
+        for path in schema.enums:
+            try:
+                covered[path].add(get_path(variant, path))
+            except (KeyError, IndexError):
+                pass
+    return covered

@@ -1,0 +1,216 @@
+"""Validator inspection and drift analysis.
+
+Operating KubeFence day to day means answering two questions the paper
+leaves to tooling:
+
+- *what does this policy actually allow?* -- :func:`summarize` distils
+  a validator into per-kind field counts, placeholder/enums/constant
+  composition, and the active security locks;
+- *what changed when the chart was upgraded?* -- :func:`diff_validators`
+  compares two validators field by field and classifies each change as
+  an **opening** (new field/value allowed: attack surface grows) or a
+  **restriction** (field/value no longer allowed: legitimate traffic
+  may break), which is exactly the review an admin performs before
+  rolling a regenerated policy out.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.core import placeholders as ph
+from repro.core.enforcement import Validator
+
+
+@dataclass
+class KindSummary:
+    """Composition of one kind's allowed-configuration tree."""
+
+    kind: str
+    fields: int = 0
+    constants: int = 0
+    placeholders: int = 0
+    patterns: int = 0
+    enums: int = 0
+
+    def line(self) -> str:
+        return (
+            f"{self.kind:24s} {self.fields:4d} fields "
+            f"({self.constants} const, {self.placeholders} typed, "
+            f"{self.patterns} pattern, {self.enums} enum)"
+        )
+
+
+@dataclass
+class ValidatorSummary:
+    operator: str
+    kinds: list[KindSummary] = field(default_factory=list)
+    locks: int = 0
+
+    def render(self) -> str:
+        lines = [f"validator for {self.operator!r}: "
+                 f"{len(self.kinds)} kinds, {self.locks} security locks"]
+        lines += ["  " + k.line() for k in self.kinds]
+        return "\n".join(lines)
+
+
+def _classify_scalar(value: Any, summary: KindSummary) -> None:
+    if ph.placeholder_type(value) is not None:
+        summary.placeholders += 1
+    elif ph.has_embedded(value):
+        summary.patterns += 1
+    else:
+        summary.constants += 1
+
+
+def _walk_kind(node: Any, summary: KindSummary, in_union: bool = False) -> None:
+    if isinstance(node, dict):
+        for value in node.values():
+            summary.fields += 1
+            _walk_kind(value, summary)
+    elif isinstance(node, list):
+        scalars = [v for v in node if not isinstance(v, (dict, list))]
+        if len(scalars) == len(node) and len(node) > 1:
+            summary.enums += 1
+            return
+        for element in node:
+            _walk_kind(element, summary, in_union=True)
+    else:
+        _classify_scalar(node, summary)
+
+
+def summarize(validator: Validator) -> ValidatorSummary:
+    """Distil a validator into reviewable numbers."""
+    summary = ValidatorSummary(operator=validator.operator, locks=len(validator.locks))
+    for kind in sorted(validator.kinds):
+        kind_summary = KindSummary(kind=kind)
+        _walk_kind(validator.kinds[kind], kind_summary)
+        summary.kinds.append(kind_summary)
+    return summary
+
+
+# ---------------------------------------------------------------------------
+# Drift
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class DriftEntry:
+    """One policy change between two validator versions."""
+
+    kind: str
+    path: str
+    change: str  # "opened" | "restricted" | "value-changed"
+    detail: str
+
+
+@dataclass
+class PolicyDrift:
+    operator: str
+    openings: list[DriftEntry] = field(default_factory=list)
+    restrictions: list[DriftEntry] = field(default_factory=list)
+    value_changes: list[DriftEntry] = field(default_factory=list)
+
+    @property
+    def is_empty(self) -> bool:
+        return not (self.openings or self.restrictions or self.value_changes)
+
+    def render(self) -> str:
+        if self.is_empty:
+            return f"no policy drift for {self.operator!r}"
+        lines = [f"policy drift for {self.operator!r}:"]
+        for title, entries in (
+            ("OPENINGS (attack surface grows)", self.openings),
+            ("RESTRICTIONS (may break legitimate traffic)", self.restrictions),
+            ("VALUE CHANGES", self.value_changes),
+        ):
+            if entries:
+                lines.append(f"  {title}:")
+                lines += [f"    {e.kind}: {e.path} -- {e.detail}" for e in entries]
+        return "\n".join(lines)
+
+
+def _field_map(tree: Any, prefix: str = "") -> dict[str, Any]:
+    """Flatten a kind tree into path -> allowed-value (lists folded)."""
+    out: dict[str, Any] = {}
+    if isinstance(tree, dict):
+        for key, value in tree.items():
+            path = f"{prefix}.{key}" if prefix else key
+            out[path] = value
+            out.update(_field_map(value, path))
+    elif isinstance(tree, list):
+        for element in tree:
+            if isinstance(element, dict):
+                # Named elements (containers, ports, env) keep their
+                # identity so same-named fields of siblings don't mask
+                # each other in the comparison.
+                name = element.get("name")
+                element_prefix = (
+                    f"{prefix}[{name}]" if isinstance(name, str) else prefix
+                )
+                out.update(_field_map(element, element_prefix))
+            elif isinstance(element, list):
+                out.update(_field_map(element, prefix))
+    return out
+
+
+def diff_validators(old: Validator, new: Validator) -> PolicyDrift:
+    """Classify the changes from *old* to *new*."""
+    drift = PolicyDrift(operator=new.operator or old.operator)
+    for kind in sorted(set(old.kinds) | set(new.kinds)):
+        if kind not in old.kinds:
+            drift.openings.append(
+                DriftEntry(kind, "(kind)", "opened", "kind newly allowed")
+            )
+            continue
+        if kind not in new.kinds:
+            drift.restrictions.append(
+                DriftEntry(kind, "(kind)", "restricted", "kind no longer allowed")
+            )
+            continue
+        old_fields = _field_map(old.kinds[kind])
+        new_fields = _field_map(new.kinds[kind])
+        for path in sorted(set(old_fields) | set(new_fields)):
+            if path not in old_fields:
+                drift.openings.append(
+                    DriftEntry(kind, path, "opened", "field newly allowed")
+                )
+            elif path not in new_fields:
+                drift.restrictions.append(
+                    DriftEntry(kind, path, "restricted", "field no longer allowed")
+                )
+            else:
+                old_value, new_value = old_fields[path], new_fields[path]
+                if old_value == new_value or isinstance(new_value, (dict,)):
+                    continue
+                if isinstance(old_value, (dict, list)) or isinstance(new_value, (dict, list)):
+                    continue
+                if _is_widening(old_value, new_value):
+                    drift.openings.append(
+                        DriftEntry(kind, path, "opened",
+                                   f"widened {old_value!r} -> {new_value!r}")
+                    )
+                elif _is_widening(new_value, old_value):
+                    drift.restrictions.append(
+                        DriftEntry(kind, path, "restricted",
+                                   f"narrowed {old_value!r} -> {new_value!r}")
+                    )
+                else:
+                    drift.value_changes.append(
+                        DriftEntry(kind, path, "value-changed",
+                                   f"{old_value!r} -> {new_value!r}")
+                    )
+    return drift
+
+
+def _is_widening(old_value: Any, new_value: Any) -> bool:
+    """True when every value allowed by *old_value* is allowed by
+    *new_value* (constant -> matching placeholder, etc.)."""
+    new_type = ph.placeholder_type(new_value)
+    if new_type is None:
+        return False
+    old_type = ph.placeholder_type(old_value)
+    if old_type is not None:
+        return old_type == new_type or (old_type == "port" and new_type == "int")
+    return ph.matches(old_value, new_value)

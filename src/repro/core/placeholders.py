@@ -1,0 +1,211 @@
+"""Typed placeholders for values schemas and validators.
+
+The values-schema generation phase replaces concrete values with
+placeholders "representing data types or valid ranges, such as bool,
+string, int, IP" (Sec. V-A).  Placeholders survive Helm rendering as
+ordinary strings, so they flow from the values schema through templates
+into rendered manifests and finally into the validator.
+
+Two textual forms exist:
+
+- the **internal token** ``⟨type⟩`` (e.g. ``⟨int⟩``), chosen so that it
+  can never collide with legitimate manifest content and so that
+  *embedded* occurrences inside composite strings remain detectable --
+  e.g. the template ``image: {{ .registry }}/{{ .repo }}:{{ .tag }}``
+  renders to ``docker.io/bitnami/nginx:⟨string⟩``, which the enforcer
+  treats as a pattern (trusted registry/repository pinned, tag free);
+- the **paper form** (bare ``int``, ``string``, ...) used when
+  serializing validators for human consumption, applied only when the
+  placeholder is the entire value.
+
+Matching rules are deliberately YAML-tolerant: an ``int`` placeholder
+accepts ``8080`` and ``"8080"`` (quoted template output parses as a
+string), ``quantity`` accepts ``500m``/``8Gi``/plain integers, ``bool``
+accepts booleans and ``"true"``/``"false"``.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any
+
+#: Placeholder type names, in detection-priority order.
+TYPES = ("bool", "port", "int", "IP", "quantity", "string", "list", "dict")
+
+_OPEN, _CLOSE = "⟨", "⟩"  # ⟨ ⟩
+
+#: Regex finding internal tokens inside a string.
+TOKEN_RE = re.compile(f"{_OPEN}({'|'.join(TYPES)}){_CLOSE}")
+
+_IPV4_RE = re.compile(r"^(\d{1,3})\.(\d{1,3})\.(\d{1,3})\.(\d{1,3})$")
+_QUANTITY_RE = re.compile(r"^\d+(\.\d+)?(m|k|Ki|Mi|Gi|Ti|Pi|K|M|G|T|P|E|Ei)?$")
+_INT_RE = re.compile(r"^-?\d+$")
+
+#: Regex fragments used when a validator string embeds tokens.
+_TYPE_PATTERNS = {
+    "string": r".+",
+    "int": r"-?\d+",
+    "port": r"\d{1,5}",
+    "bool": r"(?:true|false|True|False)",
+    "IP": r"\d{1,3}\.\d{1,3}\.\d{1,3}\.\d{1,3}",
+    "quantity": r"\d+(?:\.\d+)?(?:m|k|Ki|Mi|Gi|Ti|Pi|K|M|G|T|P|E|Ei)?",
+    "list": r".*",
+    "dict": r".*",
+}
+
+
+def make(ptype: str) -> str:
+    """The internal token for *ptype* (e.g. ``⟨int⟩``)."""
+    if ptype not in TYPES:
+        raise ValueError(f"unknown placeholder type {ptype!r}")
+    return f"{_OPEN}{ptype}{_CLOSE}"
+
+
+def is_placeholder(value: Any) -> bool:
+    """True when *value* is exactly one placeholder token (either the
+    internal or the paper form)."""
+    return placeholder_type(value) is not None
+
+
+def placeholder_type(value: Any) -> str | None:
+    """The type of a whole-value placeholder, or None."""
+    if not isinstance(value, str):
+        return None
+    match = TOKEN_RE.fullmatch(value)
+    if match:
+        return match.group(1)
+    if value in TYPES:
+        return value
+    return None
+
+
+def has_embedded(value: Any) -> bool:
+    """True when *value* is a string containing at least one internal
+    token (possibly among literal text)."""
+    return isinstance(value, str) and TOKEN_RE.search(value) is not None
+
+
+def to_paper_form(value: str) -> str:
+    """Serialize for validator output: whole-token values become the
+    bare paper form; embedded tokens are kept in internal form."""
+    ptype = placeholder_type(value)
+    return ptype if ptype is not None else value
+
+
+# ---------------------------------------------------------------------------
+# Matching
+# ---------------------------------------------------------------------------
+
+
+def _is_intlike(value: Any) -> bool:
+    if isinstance(value, bool):
+        return False
+    if isinstance(value, int):
+        return True
+    return isinstance(value, str) and _INT_RE.match(value) is not None
+
+
+def matches_type(value: Any, ptype: str) -> bool:
+    """Does a concrete manifest value satisfy a placeholder type?"""
+    if ptype == "string":
+        return isinstance(value, str)
+    if ptype == "int":
+        return _is_intlike(value)
+    if ptype == "port":
+        if not _is_intlike(value):
+            return False
+        return 0 <= int(value) <= 65535
+    if ptype == "bool":
+        return isinstance(value, bool) or value in ("true", "false", "True", "False")
+    if ptype == "IP":
+        if not isinstance(value, str):
+            return False
+        match = _IPV4_RE.match(value)
+        return match is not None and all(int(g) <= 255 for g in match.groups())
+    if ptype == "quantity":
+        if _is_intlike(value) or isinstance(value, float):
+            return True
+        return isinstance(value, str) and _QUANTITY_RE.match(value) is not None
+    if ptype == "list":
+        return isinstance(value, list)
+    if ptype == "dict":
+        return isinstance(value, dict)
+    raise ValueError(f"unknown placeholder type {ptype!r}")
+
+
+def matches_pattern(value: Any, pattern: str) -> bool:
+    """Match a manifest value against a validator string that embeds
+    placeholder tokens, e.g. ``docker.io/bitnami/nginx:⟨string⟩``."""
+    if not isinstance(value, (str, int, float, bool)):
+        return False
+    regex_parts: list[str] = []
+    pos = 0
+    for match in TOKEN_RE.finditer(pattern):
+        regex_parts.append(re.escape(pattern[pos : match.start()]))
+        regex_parts.append(_TYPE_PATTERNS[match.group(1)])
+        pos = match.end()
+    regex_parts.append(re.escape(pattern[pos:]))
+    from repro.helm.functions import _go_str
+
+    return re.fullmatch("".join(regex_parts), _go_str(value)) is not None
+
+
+def matches(value: Any, allowed: Any) -> bool:
+    """Full scalar matching: *allowed* may be a whole placeholder, a
+    pattern string with embedded tokens, or a constant."""
+    ptype = placeholder_type(allowed)
+    if ptype is not None:
+        return matches_type(value, ptype)
+    if has_embedded(allowed):
+        return matches_pattern(value, allowed)
+    if allowed == value:
+        return True
+    # YAML tolerance for quoted scalars: "8080" vs 8080, "true" vs true.
+    if isinstance(allowed, str) and not isinstance(value, str):
+        from repro.helm.functions import _go_str
+
+        return allowed == _go_str(value)
+    if isinstance(value, str) and not isinstance(allowed, str):
+        from repro.helm.functions import _go_str
+
+        return value == _go_str(allowed)
+    return False
+
+
+# ---------------------------------------------------------------------------
+# Type inference (schema generation)
+# ---------------------------------------------------------------------------
+
+_PORT_KEY_RE = re.compile(r"(?:^|[a-z])port", re.I)
+_QUANTITY_KEY_RE = re.compile(r"cpu|memory|storage|size|limit|request", re.I)
+_QUANTITY_UNIT_RE = re.compile(r"^\d+(\.\d+)?(m|k|Ki|Mi|Gi|Ti|Pi|K|M|G|T|P|E|Ei)$")
+
+
+def infer_placeholder(key: str, value: Any) -> str:
+    """Infer the placeholder token for a default value during values-
+    schema generation (regex-based substitution per Sec. V-A)."""
+    if isinstance(value, bool):
+        return make("bool")
+    if isinstance(value, int):
+        if _PORT_KEY_RE.search(key) and 0 <= value <= 65535:
+            return make("port")
+        return make("int")
+    if isinstance(value, float):
+        return make("quantity")
+    if isinstance(value, str):
+        if matches_type(value, "IP"):
+            return make("IP")
+        # A bare decimal like "2.10" is usually a version tag, not a
+        # quantity: require a unit suffix, or a resource-flavoured key.
+        if _QUANTITY_UNIT_RE.match(value):
+            return make("quantity")
+        if (
+            _QUANTITY_KEY_RE.search(key)
+            and _QUANTITY_RE.match(value)
+            and not _INT_RE.match(value)
+        ):
+            return make("quantity")
+        if _PORT_KEY_RE.search(key) and _INT_RE.match(value):
+            return make("port")
+        return make("string")
+    return make("string")

@@ -1,0 +1,300 @@
+"""The KubeFence enforcement proxy (Sec. V-B).
+
+Deployed between clients and the API server (mitmproxy in the paper's
+testbed), the proxy intercepts every API request, validates write
+payloads against the workload's validator, and either forwards the
+request or answers with an HTTP 403 containing the offending fields.
+Denials are logged with the field and reason for auditing and
+forensics.
+
+Complete mediation: in the paper the API server only accepts
+certificate-authenticated connections from the proxy.  Here the proxy
+*is* the only transport handed to clients in the protected
+configuration, which yields the same property in-process; the HTTP
+deployment (:mod:`repro.k8s.http` + :class:`HttpKubeFenceProxy`)
+reproduces the real network topology.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.core.enforcement import ValidationResult, Validator
+from repro.k8s.apiserver import APIServer, ApiRequest, ApiResponse
+from repro.k8s.errors import ApiError
+
+#: Verbs whose payload is validated.
+_WRITE_VERBS = frozenset({"create", "update", "patch"})
+
+
+@dataclass(frozen=True)
+class DenialRecord:
+    """One blocked request, for auditing and forensic analysis."""
+
+    username: str
+    verb: str
+    kind: str
+    name: str
+    violations: tuple[str, ...]
+
+
+@dataclass
+class ProxyStats:
+    """Runtime counters (overhead analysis, Table IV)."""
+
+    requests_total: int = 0
+    requests_validated: int = 0
+    requests_denied: int = 0
+    validation_seconds: float = 0.0
+
+
+class KubeFenceProxy:
+    """In-process enforcement proxy implementing the client Transport."""
+
+    def __init__(self, api: APIServer, validator: Validator):
+        self.api = api
+        self.validator = validator
+        self.denials: list[DenialRecord] = []
+        self.stats = ProxyStats()
+
+    def submit(self, request: ApiRequest) -> ApiResponse:
+        """Intercept, validate, and forward or deny."""
+        self.stats.requests_total += 1
+        if request.verb in _WRITE_VERBS and isinstance(request.body, dict):
+            started = time.perf_counter()
+            result = self.validator.validate(request.body)
+            self.stats.validation_seconds += time.perf_counter() - started
+            self.stats.requests_validated += 1
+            if not result.allowed:
+                return self._deny(request, result)
+        return self.api.handle(request)
+
+    def _deny(self, request: ApiRequest, result: ValidationResult) -> ApiResponse:
+        self.stats.requests_denied += 1
+        name = ""
+        if request.body:
+            name = request.body.get("metadata", {}).get("name", "")
+        record = DenialRecord(
+            username=request.user.username,
+            verb=request.verb,
+            kind=request.kind,
+            name=name or (request.name or ""),
+            violations=tuple(str(v) for v in result.violations),
+        )
+        self.denials.append(record)
+        error = ApiError.forbidden(
+            f"KubeFence policy for workload {self.validator.operator!r} denied "
+            f"{request.verb} of {request.kind}/{record.name}: {result.summary()}",
+            violations=[str(v) for v in result.violations],
+        )
+        return ApiResponse.from_error(error)
+
+
+class HttpKubeFenceProxy:
+    """The proxy as a real HTTP reverse proxy (stdlib only).
+
+    Mirrors the paper's mitmproxy deployment: clients speak HTTP to the
+    proxy, which validates write bodies and forwards allowed requests
+    to the upstream API server over HTTP.
+    """
+
+    def __init__(self, upstream_base_url: str, validator: Validator,
+                 host: str = "127.0.0.1", port: int = 0):
+        import json
+        import threading
+        from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+        from urllib import request as urllib_request
+        from urllib.error import HTTPError
+
+        proxy = self
+        self.validator = validator
+        self.upstream = upstream_base_url.rstrip("/")
+        self.denials: list[DenialRecord] = []
+        self.stats = ProxyStats()
+
+        class Handler(BaseHTTPRequestHandler):
+            def log_message(self, fmt: str, *args: Any) -> None:
+                pass
+
+            def _reply(self, code: int, payload: dict | list) -> None:
+                body = json.dumps(payload).encode()
+                self.send_response(code)
+                self.send_header("Content-Type", "application/json")
+                self.send_header("Content-Length", str(len(body)))
+                self.end_headers()
+                self.wfile.write(body)
+
+            def _forward(self, method: str, body: bytes | None) -> None:
+                req = urllib_request.Request(
+                    proxy.upstream + self.path,
+                    data=body,
+                    method=method,
+                    headers={
+                        "Content-Type": "application/json",
+                        "X-Remote-User": self.headers.get("X-Remote-User", ""),
+                        "X-Remote-Groups": self.headers.get("X-Remote-Groups", ""),
+                    },
+                )
+                try:
+                    with urllib_request.urlopen(req) as resp:
+                        self._reply(resp.status, json.loads(resp.read() or b"{}"))
+                except HTTPError as err:
+                    self._reply(err.code, json.loads(err.read() or b"{}"))
+
+            def _handle(self, method: str) -> None:
+                proxy.stats.requests_total += 1
+                length = int(self.headers.get("Content-Length") or 0)
+                raw = self.rfile.read(length) if length else None
+                if method in ("POST", "PUT", "PATCH") and raw:
+                    try:
+                        manifest = json.loads(raw)
+                    except (ValueError, RecursionError):
+                        self._reply(
+                            400,
+                            {"kind": "Status", "status": "Failure", "code": 400,
+                             "reason": "BadRequest",
+                             "message": "request body is not valid JSON"},
+                        )
+                        return
+                    if not isinstance(manifest, dict):
+                        self._reply(
+                            400,
+                            {"kind": "Status", "status": "Failure", "code": 400,
+                             "reason": "BadRequest",
+                             "message": "request body must be a JSON object"},
+                        )
+                        return
+                    started = time.perf_counter()
+                    result = proxy.validator.validate(manifest)
+                    proxy.stats.validation_seconds += time.perf_counter() - started
+                    proxy.stats.requests_validated += 1
+                    if not result.allowed:
+                        proxy.stats.requests_denied += 1
+                        proxy.denials.append(
+                            DenialRecord(
+                                username=self.headers.get("X-Remote-User", ""),
+                                verb=method.lower(),
+                                kind=manifest.get("kind", ""),
+                                name=manifest.get("metadata", {}).get("name", ""),
+                                violations=tuple(str(v) for v in result.violations),
+                            )
+                        )
+                        self._reply(
+                            403,
+                            {
+                                "kind": "Status",
+                                "apiVersion": "v1",
+                                "status": "Failure",
+                                "reason": "Forbidden",
+                                "code": 403,
+                                "message": "KubeFence policy denied the request: "
+                                + result.summary(),
+                            },
+                        )
+                        return
+                self._forward(method, raw)
+
+            def do_GET(self) -> None:
+                self._handle("GET")
+
+            def do_POST(self) -> None:
+                self._handle("POST")
+
+            def do_PUT(self) -> None:
+                self._handle("PUT")
+
+            def do_PATCH(self) -> None:
+                self._handle("PATCH")
+
+            def do_DELETE(self) -> None:
+                self._handle("DELETE")
+
+        self._httpd = ThreadingHTTPServer((host, port), Handler)
+        self._thread: Any = None
+        self._threading = threading
+
+    @property
+    def base_url(self) -> str:
+        host, port = self._httpd.server_address[:2]
+        return f"http://{host}:{port}"
+
+    def start(self) -> "HttpKubeFenceProxy":
+        self._thread = self._threading.Thread(
+            target=self._httpd.serve_forever, daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5)
+
+    def __enter__(self) -> "HttpKubeFenceProxy":
+        return self.start()
+
+    def __exit__(self, *exc: Any) -> None:
+        self.stop()
+
+
+class MultiPolicyProxy:
+    """One proxy mediating several workloads (multi-tenant clusters).
+
+    Each client identity is bound to its workload's validator; requests
+    from identities with no bound policy are rejected outright
+    (default-deny, per the least-privilege principle).  This models the
+    paper's deployment at cluster scale: one mitmproxy instance, one
+    policy per operator.
+    """
+
+    def __init__(self, api: APIServer, validators: dict[str, Validator],
+                 read_through: bool = True):
+        self.api = api
+        self._proxies = {
+            username: KubeFenceProxy(api, validator)
+            for username, validator in validators.items()
+        }
+        self.read_through = read_through
+        self.unbound_denials: list[DenialRecord] = []
+
+    def bind(self, username: str, validator: Validator) -> None:
+        """Attach a (new) workload policy to an identity."""
+        self._proxies[username] = KubeFenceProxy(self.api, validator)
+
+    def proxy_for(self, username: str) -> "KubeFenceProxy | None":
+        return self._proxies.get(username)
+
+    @property
+    def denials(self) -> list[DenialRecord]:
+        out = list(self.unbound_denials)
+        for proxy in self._proxies.values():
+            out.extend(proxy.denials)
+        return out
+
+    def submit(self, request: ApiRequest) -> ApiResponse:
+        proxy = self._proxies.get(request.user.username)
+        if proxy is not None:
+            return proxy.submit(request)
+        if self.read_through and request.verb in ("get", "list", "watch"):
+            return self.api.handle(request)
+        name = ""
+        if request.body:
+            name = request.body.get("metadata", {}).get("name", "")
+        self.unbound_denials.append(
+            DenialRecord(
+                username=request.user.username,
+                verb=request.verb,
+                kind=request.kind,
+                name=name or (request.name or ""),
+                violations=("no policy bound to this identity",),
+            )
+        )
+        return ApiResponse.from_error(
+            ApiError.forbidden(
+                f"KubeFence: no workload policy bound to identity "
+                f"{request.user.username!r} (default deny)"
+            )
+        )

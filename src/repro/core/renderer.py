@@ -1,0 +1,68 @@
+"""Phase 3: rendering of manifests from values variants.
+
+Each values variant is combined with the chart templates (the ``helm
+template`` equivalent).  Placeholders flow through rendering as plain
+strings; the only special handling is **placeholder-propagating
+arithmetic**: template expressions like ``{{ add 1 .Values.replicas }}``
+must yield an ``int`` placeholder rather than treating ``⟨int⟩`` as 0,
+otherwise the validator would wrongly pin a computed field to a
+constant and block legitimate overrides.
+
+The release name is rendered as the sentinel ``RELEASE-NAME`` (as
+``helm template`` does); the validator generator later converts any
+string containing the sentinel into a name *pattern*.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.core import placeholders
+from repro.helm.chart import Chart, render_chart
+from repro.helm.functions import build_function_map
+
+#: helm template's default release name.
+RELEASE_SENTINEL = "RELEASE-NAME"
+
+_ARITHMETIC = ("add", "add1", "sub", "mul", "div", "mod", "max", "min", "int", "int64")
+
+
+def _placeholder_aware(fn: Callable[..., Any]) -> Callable[..., Any]:
+    def wrapped(*args: Any) -> Any:
+        if any(
+            placeholders.has_embedded(a) or placeholders.is_placeholder(a) for a in args
+        ):
+            return placeholders.make("int")
+        return fn(*args)
+
+    return wrapped
+
+
+def placeholder_function_overrides() -> dict[str, Callable[..., Any]]:
+    """Arithmetic functions that propagate placeholders instead of
+    coercing them to zero."""
+    base = build_function_map()
+    return {name: _placeholder_aware(base[name]) for name in _ARITHMETIC}
+
+
+def render_variant(
+    chart: Chart, variant: dict[str, Any], namespace: str = "default"
+) -> list[dict[str, Any]]:
+    """Render one values variant into manifests."""
+    return render_chart(
+        chart,
+        values=variant,
+        release_name=RELEASE_SENTINEL,
+        namespace=namespace,
+        function_overrides=placeholder_function_overrides(),
+    )
+
+
+def render_all_variants(
+    chart: Chart, variants: list[dict[str, Any]], namespace: str = "default"
+) -> list[dict[str, Any]]:
+    """Render every variant; returns the concatenated manifest list."""
+    manifests: list[dict[str, Any]] = []
+    for variant in variants:
+        manifests.extend(render_variant(chart, variant, namespace=namespace))
+    return manifests

@@ -1,0 +1,115 @@
+"""Phase 1: generation of the values schema (Fig. 7).
+
+Transforms a chart's default values into a generalized *values schema*:
+
+1. static scalars are replaced by typed placeholders (regex-based type
+   inference: bool, int, port, IP, quantity, string);
+2. enumerative fields (``# @enum:`` annotations in the values file) are
+   recorded with their full option lists for the exploration phase;
+3. security-critical fields are locked to safe constants, and fields in
+   the trusted-constant list (image registry/repository) keep their
+   chart defaults instead of becoming placeholders;
+4. lists are generalized: a list of scalars becomes a single-element
+   list holding the element placeholder, and a list of objects becomes
+   a single-element list holding the merged, placeholder-ized object
+   (the paper's ``[list]`` generalization, kept structured so that
+   templates can still ``range`` over it).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.core import placeholders
+from repro.core.security import VALUE_KEY_LOCKS, VALUE_SAFE_CONSTANTS
+from repro.helm.chart import Chart
+from repro.yamlutil import deep_merge
+
+
+@dataclass
+class ValuesSchema:
+    """The generalized values structure plus its enum registry."""
+
+    schema: dict[str, Any]
+    enums: dict[str, list[Any]] = field(default_factory=dict)
+    locked_paths: list[str] = field(default_factory=list)
+
+    def max_enum_length(self) -> int:
+        return max((len(v) for v in self.enums.values()), default=0)
+
+
+def generate_values_schema(
+    chart: Chart,
+    explore_booleans: bool = False,
+    extra_enums: dict[str, list[Any]] | None = None,
+) -> ValuesSchema:
+    """Build the values schema for *chart*.
+
+    With ``explore_booleans=True``, boolean fields are additionally
+    registered as two-valued enums so that the exploration phase covers
+    both branches of boolean conditionals (an extension over the
+    paper's bool placeholder, evaluated as an ablation).
+    """
+    enums: dict[str, list[Any]] = dict(chart.enum_annotations())
+    if extra_enums:
+        enums.update(extra_enums)
+    locked: list[str] = []
+
+    def transform(node: Any, path: str, key: str) -> Any:
+        if path in enums:
+            # Enum fields keep their default; the explorer substitutes
+            # each valid option in turn.
+            return node
+        if isinstance(node, dict):
+            return {k: transform(v, f"{path}.{k}" if path else k, k) for k, v in node.items()}
+        if isinstance(node, list):
+            return _generalize_list(node, path, key, transform)
+        if key in VALUE_SAFE_CONSTANTS:
+            locked.append(path)
+            return VALUE_SAFE_CONSTANTS[key]
+        if key in VALUE_KEY_LOCKS and isinstance(node, str):
+            locked.append(path)
+            return node
+        if node is None:
+            return None
+        if isinstance(node, bool):
+            if explore_booleans:
+                # Order matters: [default, flipped] keeps variant 0 the
+                # pure-default configuration, so structure gated by one
+                # boolean is rendered with every *other* value at its
+                # default (correlated flips are not enumerated; that
+                # residual imprecision is the ablation's finding).
+                enums.setdefault(path, [node, not node])
+                return node
+            return placeholders.make("bool")
+        return placeholders.infer_placeholder(key, node)
+
+    schema = transform(chart.values, "", "")
+    # Subchart defaults are part of the configuration space too: their
+    # values live under the dependency key (Helm convention), so users
+    # can override them -- generalize them exactly like parent values.
+    # Parent-declared entries win (they are the chart author's intent).
+    for dep_name, subchart in chart.dependencies.items():
+        for path, options in subchart.enum_annotations().items():
+            enums.setdefault(f"{dep_name}.{path}", options)
+        sub_schema = transform(subchart.values, dep_name, dep_name)
+        parent_entry = schema.get(dep_name)
+        if isinstance(sub_schema, dict):
+            schema[dep_name] = deep_merge(
+                sub_schema, parent_entry if isinstance(parent_entry, dict) else {}
+            )
+    return ValuesSchema(schema=schema, enums=enums, locked_paths=sorted(locked))
+
+
+def _generalize_list(items: list, path: str, key: str, transform: Any) -> list:
+    """Generalize a values list to one representative element."""
+    if not items:
+        return []
+    if all(isinstance(item, dict) for item in items):
+        merged: dict = {}
+        for item in items:
+            merged = deep_merge(merged, item, delete_on_none=False)
+        return [transform(merged, f"{path}[]", key)]
+    # Scalar (or mixed) list: one placeholder of the first element's type.
+    return [placeholders.infer_placeholder(key, items[0])]

@@ -1,0 +1,107 @@
+"""The best-practice security lock catalog (Sec. V-A, phase 1).
+
+KubeFence locks "predefined safe constants to fields critical to
+security, according to best practices for K8s resource specifications"
+-- the Pod Security Standards and the NSA/CISA hardening guide.  Locks
+apply at two points:
+
+1. during values-schema generation, a default value whose key matches a
+   lock is replaced by the safe constant instead of a placeholder, so
+   user overrides cannot weaken it;
+2. during validator consolidation, locks are overlaid on every workload
+   manifest so that the critical attributes are enforced "regardless of
+   their presence in the Helm charts".
+
+Each lock carries a *mode*:
+
+- ``equals``   -- the field, when present, must equal the safe value;
+- ``required`` -- the field must be present (and, with a value, equal);
+- ``forbidden``-- the field must not appear at all.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+#: Lock scopes: where in a workload manifest the rule applies.
+SCOPE_POD = "pod"            # pod-spec level (hostNetwork, ...)
+SCOPE_CONTAINER = "container"  # each container/initContainer entry
+SCOPE_SERVICE = "service"    # Service spec level
+
+
+@dataclass(frozen=True)
+class SecurityLock:
+    """One best-practice constraint."""
+
+    path: str          # dotted path relative to the scope root
+    scope: str         # SCOPE_POD | SCOPE_CONTAINER | SCOPE_SERVICE
+    mode: str          # "equals" | "required" | "forbidden"
+    value: Any = None  # safe constant for equals/required
+    rationale: str = ""
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "path": self.path,
+            "scope": self.scope,
+            "mode": self.mode,
+            "value": self.value,
+            "rationale": self.rationale,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "SecurityLock":
+        return cls(
+            path=data["path"],
+            scope=data["scope"],
+            mode=data["mode"],
+            value=data.get("value"),
+            rationale=data.get("rationale", ""),
+        )
+
+
+#: The default lock catalog (Pod Security Standards "restricted"
+#: profile plus the paper's trusted-image pinning).
+DEFAULT_LOCKS: tuple[SecurityLock, ...] = (
+    SecurityLock("hostNetwork", SCOPE_POD, "equals", False,
+                 "host network sharing exposes the node (CVE-2020-15257)"),
+    SecurityLock("hostPID", SCOPE_POD, "equals", False,
+                 "host PID namespace enables process spying/kill"),
+    SecurityLock("hostIPC", SCOPE_POD, "equals", False,
+                 "host IPC namespace enables shared-memory attacks"),
+    SecurityLock("securityContext.runAsNonRoot", SCOPE_CONTAINER, "equals", True,
+                 "containers must not run as root (PSS restricted)"),
+    SecurityLock("securityContext.privileged", SCOPE_CONTAINER, "equals", False,
+                 "privileged containers escape isolation (CVE-2021-21334)"),
+    SecurityLock("securityContext.allowPrivilegeEscalation", SCOPE_CONTAINER, "equals", False,
+                 "no setuid/exec privilege gain for child processes"),
+    SecurityLock("securityContext.readOnlyRootFilesystem", SCOPE_CONTAINER, "equals", True,
+                 "immutable root filesystem limits post-exploit persistence"),
+    SecurityLock("securityContext.capabilities.add", SCOPE_CONTAINER, "forbidden", None,
+                 "added capabilities (SYS_ADMIN, NET_RAW, ...) are dangerous"),
+    SecurityLock("securityContext.seLinuxOptions.user", SCOPE_CONTAINER, "forbidden", None,
+                 "custom SELinux users weaken mandatory access control"),
+    SecurityLock("securityContext.seLinuxOptions.role", SCOPE_CONTAINER, "forbidden", None,
+                 "custom SELinux roles weaken mandatory access control"),
+    SecurityLock("securityContext.seccompProfile.localhostProfile", SCOPE_CONTAINER, "forbidden", None,
+                 "localhost seccomp profiles can bypass confinement (CVE-2023-2431)"),
+    SecurityLock("resources.limits", SCOPE_CONTAINER, "required", None,
+                 "absent resource limits enable DoS amplification (CVE-2019-11253)"),
+    SecurityLock("externalIPs", SCOPE_SERVICE, "forbidden", None,
+                 "externalIPs allow traffic interception (CVE-2020-8554)"),
+)
+
+
+#: values.yaml keys that are locked to their chart constants during
+#: schema generation (never replaced by placeholders).  Pinning
+#: registry/repository mitigates typosquatting (Sec. V-A).
+VALUE_KEY_LOCKS: frozenset[str] = frozenset({"registry", "repository"})
+
+#: values.yaml leaf keys replaced by their safe constant regardless of
+#: the chart default (subset of locks addressable from values files).
+VALUE_SAFE_CONSTANTS: dict[str, Any] = {
+    "runAsNonRoot": True,
+    "privileged": False,
+    "allowPrivilegeEscalation": False,
+    "readOnlyRootFilesystem": True,
+}

@@ -1,0 +1,231 @@
+"""Phase 4: consolidation of rendered manifests into a validator.
+
+Manifests from all values variants are grouped by resource kind and
+merged into a single allowed-configuration tree per kind (Fig. 8):
+
+- maps merge key-by-key, recursively;
+- list elements are aligned by their ``name`` field (the Kubernetes
+  convention for containers, ports, env, volumes) and merged; unnamed
+  elements are aligned by index, and genuinely distinct elements are
+  kept side by side as alternatives;
+- conflicting scalars consolidate into an array of all valid values
+  (placeholders retained), implementing the paper's enum union;
+- strings containing the ``RELEASE-NAME`` sentinel become name
+  *patterns* (release names are chosen by the user at install time);
+- finally the security-lock overlay is applied: ``equals`` locks are
+  pinned to their safe constants, ``forbidden`` locks are stripped so
+  their fields stay unknown (and hence denied), and ``required`` locks
+  are recorded for the enforcement engine.
+
+The validator's matching semantics give a YAML list two readings that
+deliberately coincide: *a list in the validator is a set of allowed
+values/shapes*.  A scalar manifest value must match one element; a list
+manifest value must have every element match some validator element.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.core import placeholders
+from repro.core.enforcement import Validator
+from repro.core.renderer import RELEASE_SENTINEL
+from repro.core.security import (
+    SCOPE_CONTAINER,
+    SCOPE_POD,
+    SCOPE_SERVICE,
+    DEFAULT_LOCKS,
+    SecurityLock,
+)
+from repro.k8s.gvk import registry
+from repro.yamlutil import FieldPath, deep_copy, delete_path, get_path, set_path
+
+# ---------------------------------------------------------------------------
+# Normalization
+# ---------------------------------------------------------------------------
+
+_SERVER_MANAGED_METADATA = ("resourceVersion", "uid", "creationTimestamp", "generation")
+
+
+def normalize_manifest(manifest: dict[str, Any]) -> dict[str, Any]:
+    """Pre-merge normalization: release-name sentinels become string
+    patterns and the namespace becomes a placeholder (policies are
+    name- and namespace-agnostic; RBAC already scopes namespaces)."""
+    normalized = _replace_sentinels(deep_copy(manifest))
+    meta = normalized.get("metadata")
+    if isinstance(meta, dict) and "namespace" in meta:
+        meta["namespace"] = placeholders.make("string")
+    return normalized
+
+
+def _replace_sentinels(node: Any) -> Any:
+    if isinstance(node, dict):
+        return {k: _replace_sentinels(v) for k, v in node.items()}
+    if isinstance(node, list):
+        return [_replace_sentinels(v) for v in node]
+    if isinstance(node, str) and RELEASE_SENTINEL in node:
+        return node.replace(RELEASE_SENTINEL, placeholders.make("string"))
+    return node
+
+
+# ---------------------------------------------------------------------------
+# Tree merge
+# ---------------------------------------------------------------------------
+
+
+def merge_trees(left: Any, right: Any) -> Any:
+    """Merge two allowed-configuration trees."""
+    if left == right:
+        return deep_copy(left)
+    if isinstance(left, dict) and isinstance(right, dict):
+        merged = {}
+        for key in list(left) + [k for k in right if k not in left]:
+            if key in left and key in right:
+                merged[key] = merge_trees(left[key], right[key])
+            else:
+                merged[key] = deep_copy(left.get(key, right.get(key)))
+        return merged
+    if isinstance(left, list) and isinstance(right, list):
+        return _merge_lists(left, right)
+    # Scalar conflict (or scalar vs structure): union of alternatives.
+    return _union(left, right)
+
+
+def _union(left: Any, right: Any) -> list:
+    alternatives = left if isinstance(left, list) else [left]
+    out = [deep_copy(a) for a in alternatives]
+    for candidate in right if isinstance(right, list) else [right]:
+        if not any(candidate == existing for existing in out):
+            out.append(deep_copy(candidate))
+    return out
+
+
+def _element_name(element: Any) -> str | None:
+    if isinstance(element, dict):
+        name = element.get("name")
+        if isinstance(name, str):
+            return name
+    return None
+
+
+def _merge_lists(left: list, right: list) -> list:
+    """Merge two allowed-element lists (see module docstring)."""
+    merged: list[Any] = [deep_copy(e) for e in left]
+    by_name = {
+        _element_name(e): i for i, e in enumerate(merged) if _element_name(e) is not None
+    }
+    unnamed_cursor = 0
+    for element in right:
+        name = _element_name(element)
+        if name is not None and name in by_name:
+            idx = by_name[name]
+            merged[idx] = merge_trees(merged[idx], element)
+            continue
+        if name is None and isinstance(element, dict):
+            # Align unnamed dict elements by index among unnamed slots.
+            unnamed_slots = [
+                i
+                for i, e in enumerate(merged)
+                if isinstance(e, dict) and _element_name(e) is None
+            ]
+            if unnamed_cursor < len(unnamed_slots):
+                idx = unnamed_slots[unnamed_cursor]
+                unnamed_cursor += 1
+                merged[idx] = merge_trees(merged[idx], element)
+                continue
+        if not any(element == existing for existing in merged):
+            merged.append(deep_copy(element))
+            if name is not None:
+                by_name[name] = len(merged) - 1
+    return merged
+
+
+# ---------------------------------------------------------------------------
+# Security-lock overlay
+# ---------------------------------------------------------------------------
+
+
+def _container_lists(tree: dict[str, Any], kind: str) -> list[list]:
+    """The containers/initContainers allowed-element lists of a
+    workload-kind validator tree."""
+    if kind not in registry:
+        return []
+    pod_path = registry.by_kind(kind).pod_spec_path
+    if pod_path is None:
+        return []
+    pod_spec = get_path(tree, pod_path, None)
+    if not isinstance(pod_spec, dict):
+        return []
+    out = []
+    for key in ("containers", "initContainers"):
+        value = pod_spec.get(key)
+        if isinstance(value, list):
+            out.append(value)
+    return out
+
+
+def apply_locks(tree: dict[str, Any], kind: str, locks: tuple[SecurityLock, ...]) -> None:
+    """Overlay the lock catalog on one kind's validator tree, in place."""
+    pod_path = registry.by_kind(kind).pod_spec_path if kind in registry else None
+    for lock in locks:
+        if lock.scope == SCOPE_POD and pod_path is not None:
+            pod_spec = get_path(tree, pod_path, None)
+            if isinstance(pod_spec, dict):
+                _apply_lock_at(pod_spec, lock)
+        elif lock.scope == SCOPE_CONTAINER:
+            for container_list in _container_lists(tree, kind):
+                for element in container_list:
+                    if isinstance(element, dict):
+                        _apply_lock_at(element, lock)
+        elif lock.scope == SCOPE_SERVICE and kind == "Service":
+            spec = tree.get("spec")
+            if isinstance(spec, dict):
+                _apply_lock_at(spec, lock)
+
+
+def _apply_lock_at(root: dict[str, Any], lock: SecurityLock) -> None:
+    path = FieldPath.parse(lock.path)
+    if lock.mode == "forbidden":
+        delete_path(root, path)
+        return
+    if lock.mode == "equals":
+        set_path(root, path, lock.value)
+        return
+    if lock.mode == "required":
+        # Presence is checked by the enforcement engine; make sure the
+        # field at least exists in the tree so it is not "unknown".
+        current = get_path(root, path, None)
+        if current is None and lock.value is not None:
+            set_path(root, path, lock.value)
+
+
+# ---------------------------------------------------------------------------
+# Builder
+# ---------------------------------------------------------------------------
+
+
+def build_validator(
+    operator: str,
+    manifests: list[dict[str, Any]],
+    locks: tuple[SecurityLock, ...] = DEFAULT_LOCKS,
+    variants_rendered: int = 0,
+) -> Validator:
+    """Consolidate *manifests* (from all variants) into a validator."""
+    kinds: dict[str, dict[str, Any]] = {}
+    for manifest in manifests:
+        kind = manifest.get("kind")
+        if not kind:
+            continue
+        normalized = normalize_manifest(manifest)
+        if kind in kinds:
+            kinds[kind] = merge_trees(kinds[kind], normalized)
+        else:
+            kinds[kind] = normalized
+    for kind, tree in kinds.items():
+        apply_locks(tree, kind, locks)
+    return Validator(
+        operator=operator,
+        kinds=kinds,
+        locks=list(locks),
+        meta={"variantsRendered": variants_rendered, "manifestsMerged": len(manifests)},
+    )

@@ -1,0 +1,20 @@
+"""Structure-aware manifest fuzzing (paper Sec. VIII).
+
+For the attack surface KubeFence cannot close -- interfaces legitimate
+workloads genuinely use -- the paper suggests "more thorough testing,
+such as fuzzing, to identify vulnerabilities in the residual attack
+surface" (citing structure-aware K8s object fuzzing).  This package
+implements that tool against the schema catalog:
+
+- :mod:`repro.fuzz.generator` -- seeded generation of schema-valid
+  manifests directly from the FieldSpec trees (every generated object
+  passes server-side structural validation by construction);
+- :mod:`repro.fuzz.campaign` -- drive generated manifests at a
+  policy-protected cluster and report what the policy admits, what the
+  exploit engine triggers, and therefore where residual risk lives.
+"""
+
+from repro.fuzz.campaign import FuzzCampaignResult, run_fuzz_campaign
+from repro.fuzz.generator import ManifestFuzzer
+
+__all__ = ["FuzzCampaignResult", "ManifestFuzzer", "run_fuzz_campaign"]

@@ -1,0 +1,22 @@
+"""A from-scratch Helm template engine (Go-template subset).
+
+KubeFence's policy generation (Sec. V-A) depends on Helm semantics:
+conditional blocks, ``range`` loops, value placeholders, ``include``
+helpers, and default-values merging with user overrides.  This package
+implements that machinery without Helm or Go:
+
+- :mod:`repro.helm.lexer` -- tokenizes template text into literal text
+  and ``{{ ... }}`` actions (with ``{{-``/``-}}`` trimming).
+- :mod:`repro.helm.parser` -- builds the template AST (if/range/with/
+  define/include, pipelines, variables).
+- :mod:`repro.helm.functions` -- the sprig-like function library
+  (default, quote, toYaml, nindent, eq/and/or, ...).
+- :mod:`repro.helm.engine` -- the renderer.
+- :mod:`repro.helm.chart` -- charts: templates + values + metadata,
+  ``helm template``-equivalent rendering to manifests.
+"""
+
+from repro.helm.chart import Chart, render_chart
+from repro.helm.engine import TemplateError, render_template
+
+__all__ = ["Chart", "render_chart", "render_template", "TemplateError"]

@@ -1,0 +1,254 @@
+"""Helm charts: metadata + values + templates, and chart rendering.
+
+A :class:`Chart` bundles what a chart directory holds -- ``Chart.yaml``
+metadata, a default ``values.yaml`` (kept both as text, because enum
+annotations live in comments, and parsed), a ``templates/`` map, and an
+optional ``_helpers.tpl``.  :func:`render_chart` is the ``helm
+template`` equivalent: merge values with overrides, render every
+template, split multi-document outputs, and parse them into manifest
+dicts.
+
+Enum annotations: KubeFence (Sec. V-A) extracts the valid options of
+enumerative fields "from annotations in the values file".  We use the
+convention::
+
+    arch: standalone  # @enum: standalone, replication
+
+on the line of the annotated value.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+import yaml
+
+from repro.helm.engine import Renderer, TemplateError
+from repro.helm.parser import parse_template
+from repro.yamlutil import deep_merge
+
+#: values.yaml comment annotation: ``key: value  # @enum: a, b, c``
+_ENUM_ANNOTATION_RE = re.compile(
+    r"^(?P<indent>\s*)(?P<key>[A-Za-z0-9_.-]+)\s*:.*?#\s*@enum:\s*(?P<options>.+)$"
+)
+
+
+@dataclass
+class Chart:
+    """An in-memory Helm chart (optionally with subchart dependencies)."""
+
+    name: str
+    version: str = "1.0.0"
+    app_version: str = "1.0.0"
+    description: str = ""
+    values_text: str = ""
+    templates: dict[str, str] = field(default_factory=dict)
+    helpers: str = ""
+    #: Subcharts keyed by dependency name.  A subchart's values live
+    #: under that key in the parent values (Helm convention), plus the
+    #: shared ``global`` subtree.
+    dependencies: dict[str, "Chart"] = field(default_factory=dict)
+    #: Optional enable conditions per dependency: a dotted path into
+    #: the parent values (Helm's ``condition:`` field); a falsy value
+    #: skips rendering that subchart.
+    dependency_conditions: dict[str, str] = field(default_factory=dict)
+
+    @property
+    def values(self) -> dict[str, Any]:
+        """The parsed default values."""
+        return yaml.safe_load(self.values_text) or {}
+
+    def enum_annotations(self) -> dict[str, list[str]]:
+        """Extract ``# @enum:`` annotations from the values file.
+
+        Returns dotted value-path -> list of valid options.  Paths are
+        reconstructed from YAML indentation, which is sufficient for
+        the block-style values files used by charts.
+        """
+        annotations: dict[str, list[str]] = {}
+        stack: list[tuple[int, str]] = []  # (indent, key)
+        for line in self.values_text.split("\n"):
+            stripped = line.split("#", 1)[0].rstrip()
+            key_match = re.match(r"^(\s*)([A-Za-z0-9_.-]+)\s*:", stripped)
+            if key_match:
+                indent = len(key_match.group(1))
+                key = key_match.group(2)
+                while stack and stack[-1][0] >= indent:
+                    stack.pop()
+                stack.append((indent, key))
+            enum_match = _ENUM_ANNOTATION_RE.match(line)
+            if enum_match:
+                path = ".".join(k for _, k in stack)
+                options = [opt.strip() for opt in enum_match.group("options").split(",")]
+                annotations[path] = [opt for opt in options if opt]
+        return annotations
+
+    @classmethod
+    def from_directory(cls, path: str | Path) -> "Chart":
+        """Load a chart from a standard chart directory layout."""
+        root = Path(path)
+        meta = yaml.safe_load((root / "Chart.yaml").read_text()) or {}
+        values_text = ""
+        values_file = root / "values.yaml"
+        if values_file.exists():
+            values_text = values_file.read_text()
+        templates: dict[str, str] = {}
+        helpers = ""
+        tdir = root / "templates"
+        if tdir.is_dir():
+            for tfile in sorted(tdir.iterdir()):
+                if tfile.name == "_helpers.tpl":
+                    helpers = tfile.read_text()
+                elif tfile.suffix in (".yaml", ".yml", ".tpl"):
+                    templates[tfile.name] = tfile.read_text()
+        # Subcharts live in charts/<name>/ (the `helm dependency build`
+        # layout); conditions come from Chart.yaml's dependencies list.
+        dependencies: dict[str, Chart] = {}
+        conditions: dict[str, str] = {}
+        charts_dir = root / "charts"
+        if charts_dir.is_dir():
+            for sub in sorted(charts_dir.iterdir()):
+                if (sub / "Chart.yaml").exists():
+                    dependencies[sub.name] = cls.from_directory(sub)
+        for dep in meta.get("dependencies", []) or []:
+            if isinstance(dep, dict) and dep.get("condition") and dep.get("name"):
+                conditions[dep["name"]] = dep["condition"]
+        return cls(
+            name=meta.get("name", root.name),
+            version=str(meta.get("version", "1.0.0")),
+            app_version=str(meta.get("appVersion", "1.0.0")),
+            description=meta.get("description", ""),
+            values_text=values_text,
+            templates=templates,
+            helpers=helpers,
+            dependencies=dependencies,
+            dependency_conditions=conditions,
+        )
+
+    def to_directory(self, path: str | Path) -> Path:
+        """Write the chart out as a standard chart directory."""
+        root = Path(path) / self.name
+        (root / "templates").mkdir(parents=True, exist_ok=True)
+        meta: dict[str, Any] = {
+            "apiVersion": "v2",
+            "name": self.name,
+            "version": self.version,
+            "appVersion": self.app_version,
+            "description": self.description,
+        }
+        if self.dependencies:
+            meta["dependencies"] = [
+                {
+                    "name": dep_name,
+                    "version": subchart.version,
+                    **(
+                        {"condition": self.dependency_conditions[dep_name]}
+                        if dep_name in self.dependency_conditions
+                        else {}
+                    ),
+                }
+                for dep_name, subchart in self.dependencies.items()
+            ]
+        (root / "Chart.yaml").write_text(yaml.safe_dump(meta))
+        (root / "values.yaml").write_text(self.values_text)
+        if self.helpers:
+            (root / "templates" / "_helpers.tpl").write_text(self.helpers)
+        for fname, source in self.templates.items():
+            (root / "templates" / fname).write_text(source)
+        for subchart in self.dependencies.values():
+            subchart.to_directory(root / "charts")
+        return root
+
+
+def render_chart(
+    chart: Chart,
+    overrides: dict[str, Any] | None = None,
+    release_name: str | None = None,
+    namespace: str = "default",
+    values: dict[str, Any] | None = None,
+    function_overrides: dict[str, Any] | None = None,
+) -> list[dict[str, Any]]:
+    """``helm template``: render every template and parse manifests.
+
+    *values*, when given, replaces the chart defaults entirely (used by
+    KubeFence's variant rendering); otherwise *overrides* are deep-
+    merged over the chart defaults, as ``helm install -f`` does.
+    *function_overrides* replaces engine functions for this render
+    (KubeFence injects placeholder-aware arithmetic).  Returns the
+    parsed manifest dicts, skipping empty documents.
+    """
+    if values is None:
+        values = deep_merge(chart.values, overrides or {})
+    release_name = release_name or chart.name
+    manifests = _render_single(chart, values, release_name, namespace, function_overrides)
+    for dep_name, subchart in chart.dependencies.items():
+        condition = chart.dependency_conditions.get(dep_name)
+        if condition is not None:
+            from repro.yamlutil import get_path
+
+            if not get_path(values, condition, None):
+                continue
+        sub_overrides = values.get(dep_name) if isinstance(values, dict) else None
+        sub_values = deep_merge(subchart.values, sub_overrides or {})
+        if isinstance(values, dict) and "global" in values:
+            sub_values = deep_merge(sub_values, {"global": values["global"]})
+        manifests.extend(
+            _render_single(
+                subchart, sub_values, release_name, namespace, function_overrides
+            )
+        )
+    return manifests
+
+
+def _render_single(
+    chart: Chart,
+    values: dict[str, Any],
+    release_name: str,
+    namespace: str,
+    function_overrides: dict[str, Any] | None,
+) -> list[dict[str, Any]]:
+    context = {
+        "Values": values,
+        "Release": {
+            "Name": release_name,
+            "Namespace": namespace,
+            "Service": "Helm",
+            "IsInstall": True,
+            "IsUpgrade": False,
+        },
+        "Chart": {
+            "Name": chart.name,
+            "Version": chart.version,
+            "AppVersion": chart.app_version,
+        },
+        "Capabilities": {"KubeVersion": {"Version": "v1.28.6", "Major": "1", "Minor": "28"}},
+        "Template": {"Name": "", "BasePath": f"{chart.name}/templates"},
+    }
+    renderer = Renderer(context)
+    if function_overrides:
+        renderer.functions.update(function_overrides)
+    if chart.helpers:
+        renderer._collect_defines(parse_template(chart.helpers))
+    manifests: list[dict[str, Any]] = []
+    for fname in sorted(chart.templates):
+        source = chart.templates[fname]
+        context["Template"]["Name"] = f"{chart.name}/templates/{fname}"
+        try:
+            rendered = renderer.render(parse_template(source))
+        except TemplateError as exc:
+            raise TemplateError(f"{chart.name}/templates/{fname}: {exc}") from exc
+        for document in rendered.split("\n---"):
+            if not document.strip():
+                continue
+            try:
+                manifest = yaml.safe_load(document)
+            except yaml.YAMLError as exc:
+                raise TemplateError(
+                    f"{chart.name}/templates/{fname}: rendered invalid YAML: {exc}"
+                ) from exc
+            if isinstance(manifest, dict) and manifest.get("kind"):
+                manifests.append(manifest)
+    return manifests

@@ -1,0 +1,274 @@
+"""The template renderer.
+
+Walks the AST produced by :mod:`repro.helm.parser` with a rendering
+context (dot value, variable scopes, named defines, function map) and
+produces output text.  Implements Go/Helm semantics for missing fields
+(resolve to ``nil``, render as empty), truthiness, ``range`` over lists
+and maps, variable scoping, and the ``include``/``tpl`` functions.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.helm.functions import TemplateRuntimeError, build_function_map, is_truthy, _go_str
+from repro.helm.lexer import TemplateSyntaxError
+from repro.helm.parser import (
+    AssignNode,
+    DefineNode,
+    FieldRef,
+    FuncCall,
+    IfNode,
+    Literal,
+    Node,
+    OutputNode,
+    Pipeline,
+    RangeNode,
+    TemplateCallNode,
+    TextNode,
+    WithNode,
+    _BlockNode,
+    parse_template,
+)
+
+
+class TemplateError(Exception):
+    """Any rendering failure, with template name context."""
+
+
+class _Scope:
+    """A chain of variable scopes.  ``$`` always resolves to the root
+    context; assignments with ``:=`` create in the innermost scope,
+    ``=`` updates the nearest existing binding."""
+
+    def __init__(self, root: Any):
+        self.frames: list[dict[str, Any]] = [{"$": root}]
+
+    def push(self) -> None:
+        self.frames.append({})
+
+    def pop(self) -> None:
+        self.frames.pop()
+
+    def declare(self, name: str, value: Any) -> None:
+        self.frames[-1][name] = value
+
+    def assign(self, name: str, value: Any) -> None:
+        for frame in reversed(self.frames):
+            if name in frame:
+                frame[name] = value
+                return
+        self.frames[-1][name] = value
+
+    def lookup(self, name: str) -> Any:
+        for frame in reversed(self.frames):
+            if name in frame:
+                return frame[name]
+        raise TemplateError(f"undefined variable {name}")
+
+
+class Renderer:
+    """Renders parsed templates against a context."""
+
+    def __init__(
+        self,
+        context: dict[str, Any],
+        defines: dict[str, list[Node]] | None = None,
+    ):
+        self.root = context
+        self.defines: dict[str, list[Node]] = dict(defines or {})
+        self.functions = build_function_map()
+        self.functions["include"] = self._include
+        self.functions["tpl"] = self._tpl
+
+    # -- public API ---------------------------------------------------------
+
+    def render(self, nodes: list[Node]) -> str:
+        self._collect_defines(nodes)
+        scope = _Scope(self.root)
+        return self._render_nodes(nodes, self.root, scope)
+
+    def _collect_defines(self, nodes: list[Node]) -> None:
+        for node in nodes:
+            if isinstance(node, DefineNode):
+                self.defines[node.name] = node.body
+            elif isinstance(node, _BlockNode):
+                self.defines[node.define.name] = node.define.body
+
+    # -- node rendering -------------------------------------------------------
+
+    def _render_nodes(self, nodes: list[Node], dot: Any, scope: _Scope) -> str:
+        out: list[str] = []
+        for node in nodes:
+            out.append(self._render_node(node, dot, scope))
+        return "".join(out)
+
+    def _render_node(self, node: Node, dot: Any, scope: _Scope) -> str:
+        if isinstance(node, TextNode):
+            return node.text
+        if isinstance(node, OutputNode):
+            return _go_str(self._eval_pipeline(node.pipeline, dot, scope))
+        if isinstance(node, AssignNode):
+            value = self._eval_pipeline(node.pipeline, dot, scope)
+            if node.declare:
+                scope.declare(node.var, value)
+            else:
+                scope.assign(node.var, value)
+            return ""
+        if isinstance(node, IfNode):
+            for condition, body in node.branches:
+                if is_truthy(self._eval_pipeline(condition, dot, scope)):
+                    scope.push()
+                    try:
+                        return self._render_nodes(body, dot, scope)
+                    finally:
+                        scope.pop()
+            scope.push()
+            try:
+                return self._render_nodes(node.else_body, dot, scope)
+            finally:
+                scope.pop()
+        if isinstance(node, RangeNode):
+            return self._render_range(node, dot, scope)
+        if isinstance(node, WithNode):
+            value = self._eval_pipeline(node.pipeline, dot, scope)
+            scope.push()
+            try:
+                if is_truthy(value):
+                    return self._render_nodes(node.body, value, scope)
+                return self._render_nodes(node.else_body, dot, scope)
+            finally:
+                scope.pop()
+        if isinstance(node, DefineNode):
+            return ""  # registered in _collect_defines
+        if isinstance(node, _BlockNode):
+            return self._invoke_define(node.define.name, dot)
+        if isinstance(node, TemplateCallNode):
+            context = (
+                self._eval_pipeline(node.context, dot, scope)
+                if node.context is not None
+                else None
+            )
+            return self._invoke_define(node.name, context)
+        raise TemplateError(f"unrenderable node: {type(node).__name__}")
+
+    def _render_range(self, node: RangeNode, dot: Any, scope: _Scope) -> str:
+        value = self._eval_pipeline(node.pipeline, dot, scope)
+        items: list[tuple[Any, Any]]
+        if isinstance(value, dict):
+            items = [(k, value[k]) for k in sorted(value, key=str)]
+        elif isinstance(value, (list, tuple)):
+            items = list(enumerate(value))
+        elif isinstance(value, int) and not isinstance(value, bool):
+            items = list(enumerate(range(value)))
+        elif value is None:
+            items = []
+        else:
+            raise TemplateError(f"cannot range over {type(value).__name__}")
+        if not items:
+            scope.push()
+            try:
+                return self._render_nodes(node.else_body, dot, scope)
+            finally:
+                scope.pop()
+        out: list[str] = []
+        for key, item in items:
+            scope.push()
+            try:
+                if node.index_var:
+                    scope.declare(node.index_var, key)
+                if node.value_var:
+                    scope.declare(node.value_var, item)
+                out.append(self._render_nodes(node.body, item, scope))
+            finally:
+                scope.pop()
+        return "".join(out)
+
+    # -- expression evaluation ------------------------------------------------
+
+    def _eval_pipeline(self, pipeline: Pipeline, dot: Any, scope: _Scope) -> Any:
+        value: Any = None
+        for i, stage in enumerate(pipeline.stages):
+            if i == 0:
+                value = self._eval_node(stage, dot, scope)
+            else:
+                value = self._eval_node(stage, dot, scope, piped=value)
+        return value
+
+    _NO_PIPE = object()
+
+    def _eval_node(self, node: Node, dot: Any, scope: _Scope, piped: Any = _NO_PIPE) -> Any:
+        if isinstance(node, Literal):
+            return node.value
+        if isinstance(node, FieldRef):
+            return self._resolve_field(node, dot, scope)
+        if isinstance(node, Pipeline):
+            return self._eval_pipeline(node, dot, scope)
+        if isinstance(node, FuncCall):
+            func = self.functions.get(node.name)
+            if func is None:
+                raise TemplateError(f"unknown function {node.name!r}")
+            args = [self._eval_node(arg, dot, scope) for arg in node.args]
+            if piped is not self._NO_PIPE:
+                args.append(piped)
+            try:
+                return func(*args)
+            except TemplateRuntimeError:
+                raise
+            except Exception as exc:
+                raise TemplateError(f"error calling {node.name}: {exc}") from exc
+        raise TemplateError(f"unevaluable node: {type(node).__name__}")
+
+    def _resolve_field(self, ref: FieldRef, dot: Any, scope: _Scope) -> Any:
+        if ref.var is not None:
+            base = scope.lookup(ref.var) if ref.var != "$" else scope.lookup("$")
+        else:
+            base = dot
+        node = base
+        for part in ref.parts:
+            if isinstance(node, dict):
+                node = node.get(part)
+            elif node is None:
+                return None
+            else:
+                # attribute access on non-dict: missing -> nil
+                node = getattr(node, part, None)
+        return node
+
+    # -- engine functions -----------------------------------------------------
+
+    def _include(self, name: str, context: Any = None) -> str:
+        return self._invoke_define(name, context)
+
+    def _invoke_define(self, name: str, context: Any) -> str:
+        body = self.defines.get(name)
+        if body is None:
+            raise TemplateError(f"no template named {name!r}")
+        scope = _Scope(self.root)
+        return self._render_nodes(body, context, scope)
+
+    def _tpl(self, source: str, context: Any = None) -> str:
+        nodes = parse_template(str(source))
+        self._collect_defines(nodes)
+        scope = _Scope(self.root)
+        return self._render_nodes(nodes, context if context is not None else self.root, scope)
+
+
+def render_template(
+    source: str,
+    context: dict[str, Any],
+    helpers: str | None = None,
+    name: str = "<template>",
+) -> str:
+    """Render one template string against *context*.
+
+    *helpers* is an optional ``_helpers.tpl`` source whose defines are
+    made available (as in a chart's ``templates/`` directory).
+    """
+    try:
+        renderer = Renderer(context)
+        if helpers:
+            renderer._collect_defines(parse_template(helpers))
+        return renderer.render(parse_template(source))
+    except (TemplateSyntaxError, TemplateRuntimeError, TemplateError) as exc:
+        raise TemplateError(f"{name}: {exc}") from exc

@@ -1,0 +1,263 @@
+"""The template function library (Go builtins + the sprig subset that
+real-world Helm charts rely on).
+
+Functions receive *evaluated* arguments.  Pipeline semantics append
+the piped value as the final argument, so sprig's argument order works
+naturally: ``{{ .Values.tag | default "latest" }}`` evaluates
+``default("latest", tag)``.
+"""
+
+from __future__ import annotations
+
+import base64
+import re
+from typing import Any, Callable
+
+import yaml
+
+
+class TemplateRuntimeError(Exception):
+    """Raised by ``required``/``fail`` and on bad function usage."""
+
+
+def is_truthy(value: Any) -> bool:
+    """Go-template truthiness: nil, false, 0, "", and empty
+    collections are false."""
+    if value is None or value is False:
+        return False
+    if isinstance(value, (int, float)) and not isinstance(value, bool):
+        return value != 0
+    if isinstance(value, (str, list, dict, tuple)):
+        return len(value) > 0
+    return True
+
+
+def to_yaml(value: Any) -> str:
+    """Render a value as YAML (sprig ``toYaml``): block style, no
+    trailing newline."""
+    if value is None:
+        return ""
+    text = yaml.safe_dump(value, default_flow_style=False, sort_keys=False)
+    return text.rstrip("\n")
+
+
+def _indent(n: Any, text: Any) -> str:
+    pad = " " * int(n)
+    return "\n".join(pad + line if line else line for line in str(text).split("\n"))
+
+
+def _nindent(n: Any, text: Any) -> str:
+    return "\n" + _indent(n, text)
+
+
+_PRINTF_RE = re.compile(r"%[-+ #0]*\d*(?:\.\d+)?[sdvfqtxXeEgGbco%]")
+
+
+def _printf(fmt: str, *args: Any) -> str:
+    """Go fmt.Sprintf subset: %s %d %v %q %f and friends."""
+    out: list[str] = []
+    arg_iter = iter(args)
+    pos = 0
+    for match in _PRINTF_RE.finditer(fmt):
+        out.append(fmt[pos : match.start()])
+        spec = match.group()
+        pos = match.end()
+        if spec.endswith("%"):
+            out.append("%")
+            continue
+        value = next(arg_iter, "")
+        verb = spec[-1]
+        if verb == "v":
+            out.append(_go_str(value))
+        elif verb == "q":
+            out.append('"' + str(value).replace('"', '\\"') + '"')
+        elif verb == "t":
+            out.append("true" if is_truthy(value) else "false")
+        else:
+            try:
+                out.append(spec % value)
+            except (TypeError, ValueError):
+                out.append(_go_str(value))
+    out.append(fmt[pos:])
+    return "".join(out)
+
+
+def _go_str(value: Any) -> str:
+    """Render a value the way template output does."""
+    if value is None:
+        return ""
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return str(value)
+
+
+def _default(default_value: Any, value: Any = None) -> Any:
+    return value if is_truthy(value) else default_value
+
+
+def _required(message: str, value: Any = None) -> Any:
+    if not is_truthy(value):
+        raise TemplateRuntimeError(str(message))
+    return value
+
+
+def _fail(message: Any = "") -> Any:
+    raise TemplateRuntimeError(str(message))
+
+
+def _eq(first: Any, *rest: Any) -> bool:
+    return any(first == other for other in rest)
+
+
+def _coalesce(*args: Any) -> Any:
+    for arg in args:
+        if is_truthy(arg):
+            return arg
+    return None
+
+
+def _dict(*pairs: Any) -> dict:
+    if len(pairs) % 2 != 0:
+        raise TemplateRuntimeError("dict requires an even number of arguments")
+    return {str(pairs[i]): pairs[i + 1] for i in range(0, len(pairs), 2)}
+
+
+def _merge(*dicts: Any) -> dict:
+    """sprig merge: left-most wins for conflicting keys."""
+    out: dict = {}
+    for d in reversed([d for d in dicts if isinstance(d, dict)]):
+        out.update(d)
+    return out
+
+
+def _kind_of(value: Any) -> str:
+    if value is None:
+        return "invalid"
+    if isinstance(value, bool):
+        return "bool"
+    if isinstance(value, int):
+        return "int"
+    if isinstance(value, float):
+        return "float64"
+    if isinstance(value, str):
+        return "string"
+    if isinstance(value, list):
+        return "slice"
+    if isinstance(value, dict):
+        return "map"
+    return type(value).__name__
+
+
+def _to_int(value: Any = 0) -> int:
+    if isinstance(value, bool):
+        return int(value)
+    try:
+        return int(float(value)) if value not in (None, "") else 0
+    except (TypeError, ValueError):
+        return 0
+
+
+def _index(collection: Any, *keys: Any) -> Any:
+    node = collection
+    for key in keys:
+        if isinstance(node, dict):
+            node = node.get(key)
+        elif isinstance(node, (list, tuple)) and isinstance(key, int):
+            node = node[key] if 0 <= key < len(node) else None
+        else:
+            return None
+    return node
+
+
+def build_function_map() -> dict[str, Callable[..., Any]]:
+    """All engine-independent functions.  ``include`` and ``tpl`` are
+    added by the engine because they need render state."""
+    return {
+        # -- flow / comparison (Go builtins) --------------------------------
+        "eq": _eq,
+        "ne": lambda a, b: a != b,
+        "lt": lambda a, b: a < b,
+        "le": lambda a, b: a <= b,
+        "gt": lambda a, b: a > b,
+        "ge": lambda a, b: a >= b,
+        "and": lambda *a: next((x for x in a if not is_truthy(x)), a[-1] if a else None),
+        "or": lambda *a: next((x for x in a if is_truthy(x)), a[-1] if a else None),
+        "not": lambda v: not is_truthy(v),
+        "len": lambda v: len(v) if isinstance(v, (str, list, dict, tuple)) else 0,
+        "index": _index,
+        "printf": _printf,
+        "print": lambda *a: "".join(_go_str(x) for x in a),
+        # -- defaults & validation -----------------------------------------
+        "default": _default,
+        "required": _required,
+        "fail": _fail,
+        "empty": lambda v: not is_truthy(v),
+        "coalesce": _coalesce,
+        "ternary": lambda true_val, false_val, cond: true_val if is_truthy(cond) else false_val,
+        # -- strings ---------------------------------------------------------
+        "quote": lambda *a: " ".join('"' + _go_str(x).replace('"', '\\"') + '"' for x in a),
+        "squote": lambda *a: " ".join("'" + _go_str(x) + "'" for x in a),
+        "upper": lambda s: str(s).upper(),
+        "lower": lambda s: str(s).lower(),
+        "title": lambda s: str(s).title(),
+        "trim": lambda s: str(s).strip(),
+        "trimSuffix": lambda suffix, s: str(s)[: -len(suffix)] if str(s).endswith(str(suffix)) else str(s),
+        "trimPrefix": lambda prefix, s: str(s)[len(prefix):] if str(s).startswith(str(prefix)) else str(s),
+        "trunc": lambda n, s: str(s)[: int(n)] if int(n) >= 0 else str(s)[int(n):],
+        "replace": lambda old, new, s: str(s).replace(str(old), str(new)),
+        "contains": lambda needle, haystack: str(needle) in str(haystack),
+        "hasPrefix": lambda prefix, s: str(s).startswith(str(prefix)),
+        "hasSuffix": lambda suffix, s: str(s).endswith(str(suffix)),
+        "repeat": lambda n, s: str(s) * int(n),
+        "indent": _indent,
+        "nindent": _nindent,
+        "join": lambda sep, seq: str(sep).join(_go_str(x) for x in (seq or [])),
+        "splitList": lambda sep, s: str(s).split(str(sep)),
+        "toString": _go_str,
+        "toYaml": to_yaml,
+        "fromYaml": lambda s: yaml.safe_load(s) or {},
+        "toJson": lambda v: __import__("json").dumps(v),
+        "b64enc": lambda s: base64.b64encode(str(s).encode()).decode(),
+        "b64dec": lambda s: base64.b64decode(str(s).encode()).decode(),
+        "sha256sum": lambda s: __import__("hashlib").sha256(str(s).encode()).hexdigest(),
+        "kebabcase": lambda s: re.sub(r"(?<=[a-z0-9])([A-Z])", r"-\1", str(s)).lower(),
+        # -- numbers -----------------------------------------------------------
+        "add": lambda *a: sum(_to_int(x) for x in a),
+        "add1": lambda v: _to_int(v) + 1,
+        "sub": lambda a, b: _to_int(a) - _to_int(b),
+        "mul": lambda *a: __import__("math").prod(_to_int(x) for x in a),
+        "div": lambda a, b: _to_int(a) // _to_int(b) if _to_int(b) else 0,
+        "mod": lambda a, b: _to_int(a) % _to_int(b) if _to_int(b) else 0,
+        "max": lambda *a: max(_to_int(x) for x in a),
+        "min": lambda *a: min(_to_int(x) for x in a),
+        "int": _to_int,
+        "int64": _to_int,
+        "float64": lambda v: float(v or 0),
+        # -- collections -------------------------------------------------------
+        "list": lambda *a: list(a),
+        "dict": _dict,
+        "merge": _merge,
+        "first": lambda seq: seq[0] if seq else None,
+        "last": lambda seq: seq[-1] if seq else None,
+        "rest": lambda seq: list(seq[1:]) if seq else [],
+        "uniq": lambda seq: list(dict.fromkeys(seq or [])),
+        "sortAlpha": lambda seq: sorted(str(x) for x in (seq or [])),
+        "hasKey": lambda mapping, key: isinstance(mapping, dict) and key in mapping,
+        "get": lambda mapping, key: mapping.get(key) if isinstance(mapping, dict) else None,
+        "keys": lambda *maps: [k for mp in maps if isinstance(mp, dict) for k in mp],
+        "values": lambda *maps: [v for mp in maps if isinstance(mp, dict) for v in mp.values()],
+        "pluck": lambda key, *maps: [mp[key] for mp in maps if isinstance(mp, dict) and key in mp],
+        "append": lambda seq, item: list(seq or []) + [item],
+        "concat": lambda *seqs: [x for seq in seqs for x in (seq or [])],
+        "until": lambda n: list(range(_to_int(n))),
+        "range_list": lambda a, b: list(range(_to_int(a), _to_int(b))),
+        # -- type inspection -----------------------------------------------------
+        "kindIs": lambda kind, v: _kind_of(v) == kind,
+        "kindOf": _kind_of,
+        "typeOf": _kind_of,
+        "typeIs": lambda kind, v: _kind_of(v) == kind,
+        # -- cluster access (no cluster in the offline engine) --------------------
+        "lookup": lambda *a: {},
+    }

@@ -1,0 +1,112 @@
+"""Tokenizer for the Go-template subset used by Helm charts.
+
+Two levels of lexing:
+
+1. :func:`split_actions` cuts raw template text into TEXT chunks and
+   ACTION chunks (the ``{{ ... }}`` blocks), honouring the whitespace
+   trim markers ``{{-`` and ``-}}`` and stripping ``{{/* comments */}}``.
+2. :func:`tokenize_action` lexes the inside of one action into the
+   tokens the parser consumes (fields, variables, strings, numbers,
+   pipes, parentheses, declarations).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+
+class TemplateSyntaxError(Exception):
+    """Malformed template text."""
+
+
+@dataclass(frozen=True)
+class Chunk:
+    """A piece of the template: literal text or one action."""
+
+    kind: str  # "text" | "action"
+    value: str
+    line: int = 0
+
+
+_ACTION_RE = re.compile(r"\{\{(-)?\s*(.*?)\s*(-)?\}\}", re.S)
+
+
+def split_actions(source: str) -> list[Chunk]:
+    """Split template source into text and action chunks.
+
+    ``{{-`` trims whitespace (including the preceding newline) from the
+    text before the action; ``-}}`` trims whitespace after it --
+    exactly Go's text/template semantics.
+    """
+    chunks: list[Chunk] = []
+    pos = 0
+    pending_rtrim = False
+    for match in _ACTION_RE.finditer(source):
+        text = source[pos : match.start()]
+        if match.group(1):  # {{- : trim trailing whitespace of preceding text
+            text = text.rstrip(" \t\r\n")
+        if pending_rtrim:
+            text = text.lstrip(" \t\r\n")
+        if text:
+            line = source.count("\n", 0, pos) + 1
+            chunks.append(Chunk("text", text, line))
+        body = match.group(2)
+        if not (body.startswith("/*") and body.endswith("*/")):
+            line = source.count("\n", 0, match.start()) + 1
+            chunks.append(Chunk("action", body, line))
+        pending_rtrim = bool(match.group(3))
+        pos = match.end()
+    tail = source[pos:]
+    if pending_rtrim:
+        tail = tail.lstrip(" \t\r\n")
+    if tail:
+        chunks.append(Chunk("text", tail, source.count("\n", 0, pos) + 1))
+    # Catch unbalanced delimiters: any stray "{{" or "}}" left in text.
+    for chunk in chunks:
+        if chunk.kind == "text" and ("{{" in chunk.value or "}}" in chunk.value):
+            raise TemplateSyntaxError(
+                f"unbalanced template delimiter near line {chunk.line}"
+            )
+    return chunks
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str
+    value: str
+
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<string>"(?:\\.|[^"\\])*"|'(?:\\.|[^'\\])*'|`[^`]*`)
+  | (?P<number>-?\d+(?:\.\d+)?)
+  | (?P<declare>:=)
+  | (?P<assign>=)
+  | (?P<pipe>\|)
+  | (?P<lparen>\()
+  | (?P<rparen>\))
+  | (?P<comma>,)
+  | (?P<var>\$[A-Za-z_][A-Za-z0-9_]*|\$)
+  | (?P<field>\.[A-Za-z_][A-Za-z0-9_.\-]*|\.)
+  | (?P<ident>[A-Za-z_][A-Za-z0-9_]*)
+    """,
+    re.X,
+)
+
+
+def tokenize_action(body: str) -> list[Token]:
+    """Lex the inside of one ``{{ ... }}`` action."""
+    tokens: list[Token] = []
+    pos = 0
+    while pos < len(body):
+        match = _TOKEN_RE.match(body, pos)
+        if match is None:
+            raise TemplateSyntaxError(f"cannot tokenize action at: {body[pos:pos+20]!r}")
+        pos = match.end()
+        kind = match.lastgroup or ""
+        if kind == "ws":
+            continue
+        tokens.append(Token(kind, match.group()))
+    return tokens

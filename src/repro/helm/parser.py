@@ -1,0 +1,395 @@
+"""Parser producing the template AST.
+
+Grammar (Go text/template subset used by real-world Helm charts)::
+
+    template  := (TEXT | action)*
+    action    := '{{' stmt '}}'
+    stmt      := 'if' pipeline | 'else if' pipeline | 'else' | 'end'
+               | 'range' [VAR [',' VAR] ':='] pipeline
+               | 'with' pipeline
+               | 'define' STRING
+               | 'template' STRING [pipeline]
+               | VAR (':=' | '=') pipeline
+               | pipeline
+    pipeline  := command ('|' command)*
+    command   := operand operand*        # IDENT head -> function call
+    operand   := FIELD | VAR FIELD? | STRING | NUMBER | '(' pipeline ')'
+               | IDENT                   # niladic function / true / false
+
+Block statements (if/range/with/define) consume chunks until their
+matching ``end``, yielding a proper tree.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.helm.lexer import Chunk, TemplateSyntaxError, Token, split_actions, tokenize_action
+
+# ---------------------------------------------------------------------------
+# AST nodes
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Node:
+    pass
+
+
+@dataclass
+class TextNode(Node):
+    text: str
+
+
+@dataclass
+class FieldRef(Node):
+    """``.a.b.c`` relative to dot, or ``$var.a.b`` relative to a variable.
+    ``var`` of "$" means the root context."""
+
+    parts: tuple[str, ...]
+    var: str | None = None  # None -> relative to dot
+
+
+@dataclass
+class Literal(Node):
+    value: Any
+
+
+@dataclass
+class FuncCall(Node):
+    name: str
+    args: list[Node] = field(default_factory=list)
+
+
+@dataclass
+class Pipeline(Node):
+    """A chain of commands; each stage receives the previous stage's
+    result as its final argument."""
+
+    stages: list[Node] = field(default_factory=list)
+
+
+@dataclass
+class OutputNode(Node):
+    """``{{ pipeline }}`` -- evaluate and write to output."""
+
+    pipeline: Pipeline
+
+
+@dataclass
+class IfNode(Node):
+    """if / else-if chain with optional else."""
+
+    branches: list[tuple[Pipeline, list[Node]]] = field(default_factory=list)
+    else_body: list[Node] = field(default_factory=list)
+
+
+@dataclass
+class RangeNode(Node):
+    pipeline: Pipeline
+    body: list[Node] = field(default_factory=list)
+    else_body: list[Node] = field(default_factory=list)
+    index_var: str | None = None
+    value_var: str | None = None
+
+
+@dataclass
+class WithNode(Node):
+    pipeline: Pipeline
+    body: list[Node] = field(default_factory=list)
+    else_body: list[Node] = field(default_factory=list)
+
+
+@dataclass
+class DefineNode(Node):
+    name: str
+    body: list[Node] = field(default_factory=list)
+
+
+@dataclass
+class TemplateCallNode(Node):
+    """``{{ template "name" ctx }}`` (statement form of include)."""
+
+    name: str
+    context: Pipeline | None = None
+
+
+@dataclass
+class AssignNode(Node):
+    var: str
+    pipeline: Pipeline
+    declare: bool = True  # := vs =
+
+
+# ---------------------------------------------------------------------------
+# Pipeline parsing
+# ---------------------------------------------------------------------------
+
+
+class _TokenStream:
+    def __init__(self, tokens: list[Token]):
+        self.tokens = tokens
+        self.pos = 0
+
+    def peek(self) -> Token | None:
+        return self.tokens[self.pos] if self.pos < len(self.tokens) else None
+
+    def next(self) -> Token:
+        token = self.peek()
+        if token is None:
+            raise TemplateSyntaxError("unexpected end of action")
+        self.pos += 1
+        return token
+
+    def expect(self, kind: str) -> Token:
+        token = self.next()
+        if token.kind != kind:
+            raise TemplateSyntaxError(f"expected {kind}, got {token.kind} {token.value!r}")
+        return token
+
+    @property
+    def exhausted(self) -> bool:
+        return self.pos >= len(self.tokens)
+
+
+def _unquote(raw: str) -> str:
+    if raw.startswith("`"):
+        return raw[1:-1]
+    body = raw[1:-1]
+    return (
+        body.replace("\\\\", "\x00")
+        .replace('\\"', '"')
+        .replace("\\'", "'")
+        .replace("\\n", "\n")
+        .replace("\\t", "\t")
+        .replace("\x00", "\\")
+    )
+
+
+def _parse_operand(stream: _TokenStream) -> Node:
+    token = stream.next()
+    if token.kind == "field":
+        parts = tuple(p for p in token.value.split(".") if p)
+        return FieldRef(parts)
+    if token.kind == "var":
+        nxt = stream.peek()
+        if nxt is not None and nxt.kind == "field":
+            stream.next()
+            parts = tuple(p for p in nxt.value.split(".") if p)
+            return FieldRef(parts, var=token.value)
+        return FieldRef((), var=token.value)
+    if token.kind == "string":
+        return Literal(_unquote(token.value))
+    if token.kind == "number":
+        text = token.value
+        return Literal(float(text) if "." in text else int(text))
+    if token.kind == "lparen":
+        pipeline = _parse_pipeline(stream, stop_at_rparen=True)
+        stream.expect("rparen")
+        return pipeline
+    if token.kind == "ident":
+        if token.value == "true":
+            return Literal(True)
+        if token.value == "false":
+            return Literal(False)
+        if token.value in ("nil", "null"):
+            return Literal(None)
+        return FuncCall(token.value)  # niladic in operand position
+    raise TemplateSyntaxError(f"unexpected token {token.kind} {token.value!r}")
+
+
+def _parse_command(stream: _TokenStream) -> Node:
+    first = stream.peek()
+    if first is None:
+        raise TemplateSyntaxError("empty command")
+    # A function call: identifier head (not a literal keyword).
+    if first.kind == "ident" and first.value not in ("true", "false", "nil", "null"):
+        stream.next()
+        call = FuncCall(first.value)
+        while not stream.exhausted and stream.peek().kind not in ("pipe", "rparen"):
+            call.args.append(_parse_operand(stream))
+        return call
+    operand = _parse_operand(stream)
+    # Allow juxtaposed args after a parenthesized head (rare); reject
+    # stray tokens otherwise for clearer error messages.
+    if not stream.exhausted and stream.peek().kind not in ("pipe", "rparen"):
+        raise TemplateSyntaxError(
+            f"unexpected token after operand: {stream.peek().value!r}"
+        )
+    return operand
+
+
+def _parse_pipeline(stream: _TokenStream, stop_at_rparen: bool = False) -> Pipeline:
+    pipeline = Pipeline()
+    pipeline.stages.append(_parse_command(stream))
+    while not stream.exhausted:
+        token = stream.peek()
+        if token.kind == "rparen":
+            if stop_at_rparen:
+                break
+            raise TemplateSyntaxError("unbalanced ')'")
+        if token.kind == "pipe":
+            stream.next()
+            pipeline.stages.append(_parse_command(stream))
+            continue
+        break
+    return pipeline
+
+
+def parse_pipeline_text(text: str) -> Pipeline:
+    """Parse a standalone pipeline (used by tests and ``tpl``)."""
+    stream = _TokenStream(tokenize_action(text))
+    pipeline = _parse_pipeline(stream)
+    if not stream.exhausted:
+        raise TemplateSyntaxError(f"trailing tokens in pipeline: {text!r}")
+    return pipeline
+
+
+# ---------------------------------------------------------------------------
+# Statement-level parsing
+# ---------------------------------------------------------------------------
+
+
+def _classify(body: str) -> tuple[str, str]:
+    """Split an action body into (keyword, rest)."""
+    stripped = body.strip()
+    for keyword in ("else if", "if", "else", "end", "range", "with", "define", "template", "block"):
+        if stripped == keyword or stripped.startswith(keyword + " "):
+            return keyword, stripped[len(keyword):].strip()
+    return "", stripped
+
+
+class _ChunkParser:
+    def __init__(self, chunks: list[Chunk]):
+        self.chunks = chunks
+        self.pos = 0
+
+    def parse_nodes(self, until: tuple[str, ...] = ()) -> tuple[list[Node], str, str]:
+        """Parse until one of the *until* keywords (at this nesting
+        level) or end of input.  Returns (nodes, stop_keyword, rest)."""
+        nodes: list[Node] = []
+        while self.pos < len(self.chunks):
+            chunk = self.chunks[self.pos]
+            if chunk.kind == "text":
+                nodes.append(TextNode(chunk.value))
+                self.pos += 1
+                continue
+            keyword, rest = _classify(chunk.value)
+            if keyword in until:
+                self.pos += 1
+                return nodes, keyword, rest
+            self.pos += 1
+            nodes.append(self._parse_action(keyword, rest, chunk))
+        if until:
+            raise TemplateSyntaxError(f"missing {'/'.join(until)} before end of template")
+        return nodes, "", ""
+
+    def _parse_action(self, keyword: str, rest: str, chunk: Chunk) -> Node:
+        if keyword == "if":
+            return self._parse_if(rest)
+        if keyword == "range":
+            return self._parse_range(rest)
+        if keyword == "with":
+            return self._parse_with(rest)
+        if keyword in ("define", "block"):
+            return self._parse_define(rest, is_block=keyword == "block")
+        if keyword == "template":
+            return self._parse_template_call(rest)
+        if keyword in ("else", "else if", "end"):
+            raise TemplateSyntaxError(f"unexpected {keyword!r} near line {chunk.line}")
+        # assignment or output pipeline
+        tokens = tokenize_action(rest)
+        if (
+            len(tokens) >= 2
+            and tokens[0].kind == "var"
+            and tokens[1].kind in ("declare", "assign")
+        ):
+            stream = _TokenStream(tokens[2:])
+            pipeline = _parse_pipeline(stream)
+            if not stream.exhausted:
+                raise TemplateSyntaxError(f"trailing tokens in assignment: {rest!r}")
+            return AssignNode(tokens[0].value, pipeline, declare=tokens[1].kind == "declare")
+        stream = _TokenStream(tokens)
+        pipeline = _parse_pipeline(stream)
+        if not stream.exhausted:
+            raise TemplateSyntaxError(f"trailing tokens in action: {rest!r}")
+        return OutputNode(pipeline)
+
+    def _parse_if(self, condition_text: str) -> IfNode:
+        node = IfNode()
+        condition = parse_pipeline_text(condition_text)
+        while True:
+            body, stop, rest = self.parse_nodes(until=("else if", "else", "end"))
+            node.branches.append((condition, body))
+            if stop == "end":
+                return node
+            if stop == "else if":
+                condition = parse_pipeline_text(rest)
+                continue
+            # plain else
+            node.else_body, stop, _ = self.parse_nodes(until=("end",))
+            return node
+
+    def _parse_range(self, header: str) -> RangeNode:
+        tokens = tokenize_action(header)
+        index_var = value_var = None
+        if tokens and tokens[0].kind == "var":
+            if len(tokens) > 2 and tokens[1].kind == "comma" and tokens[2].kind == "var":
+                if len(tokens) > 3 and tokens[3].kind == "declare":
+                    index_var, value_var = tokens[0].value, tokens[2].value
+                    tokens = tokens[4:]
+            elif len(tokens) > 1 and tokens[1].kind == "declare":
+                value_var = tokens[0].value
+                tokens = tokens[2:]
+        stream = _TokenStream(tokens)
+        pipeline = _parse_pipeline(stream)
+        if not stream.exhausted:
+            raise TemplateSyntaxError(f"trailing tokens in range: {header!r}")
+        node = RangeNode(pipeline, index_var=index_var, value_var=value_var)
+        node.body, stop, _ = self.parse_nodes(until=("else", "end"))
+        if stop == "else":
+            node.else_body, _, _ = self.parse_nodes(until=("end",))
+        return node
+
+    def _parse_with(self, header: str) -> WithNode:
+        node = WithNode(parse_pipeline_text(header))
+        node.body, stop, _ = self.parse_nodes(until=("else", "end"))
+        if stop == "else":
+            node.else_body, _, _ = self.parse_nodes(until=("end",))
+        return node
+
+    def _parse_define(self, header: str, is_block: bool = False) -> Node:
+        tokens = tokenize_action(header)
+        if not tokens or tokens[0].kind != "string":
+            raise TemplateSyntaxError(f"define/block needs a quoted name: {header!r}")
+        name = _unquote(tokens[0].value)
+        body, _, _ = self.parse_nodes(until=("end",))
+        define = DefineNode(name, body)
+        if is_block:
+            # block = define + immediate template call with dot.
+            return _BlockNode(define)
+        return define
+
+    def _parse_template_call(self, header: str) -> TemplateCallNode:
+        tokens = tokenize_action(header)
+        if not tokens or tokens[0].kind != "string":
+            raise TemplateSyntaxError(f"template needs a quoted name: {header!r}")
+        name = _unquote(tokens[0].value)
+        context = None
+        if len(tokens) > 1:
+            stream = _TokenStream(tokens[1:])
+            context = _parse_pipeline(stream)
+        return TemplateCallNode(name, context)
+
+
+@dataclass
+class _BlockNode(Node):
+    define: DefineNode
+
+
+def parse_template(source: str) -> list[Node]:
+    """Parse template source into an AST node list."""
+    parser = _ChunkParser(split_actions(source))
+    nodes, _, _ = parser.parse_nodes()
+    return nodes

@@ -1,0 +1,185 @@
+"""Built-in admission plugins: LimitRange defaulting and ResourceQuota.
+
+These are the mutating/validating admission controllers a hardened
+cluster runs alongside RBAC.  They matter to the paper's story in two
+ways: they demonstrate that *even a well-configured admission chain*
+does not subsume KubeFence (quota caps totals, it cannot pin individual
+spec fields), and they make the mini cluster a more faithful substrate
+for the overhead experiments.
+
+- :class:`LimitRangeDefaulter` (mutating): containers that omit
+  ``resources.requests``/``limits`` inherit the namespace LimitRange's
+  ``defaultRequest``/``default``; per-container ``max`` is validated.
+- :class:`ResourceQuotaEnforcer` (validating): per-namespace sums of
+  object counts and CPU/memory requests are checked against the hard
+  quota; requests that would exceed it are denied with 403, exactly
+  like upstream's quota admission.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.k8s.apiserver import ApiRequest
+from repro.k8s.errors import ApiError
+from repro.k8s.gvk import registry
+from repro.k8s.objects import K8sObject
+from repro.k8s.quantity import (
+    QuantityError,
+    parse_cpu_millis,
+    parse_memory_bytes,
+)
+from repro.k8s.store import ObjectStore
+from repro.yamlutil import get_path
+
+
+def _containers_of(obj: K8sObject) -> list[dict[str, Any]]:
+    if obj.kind not in registry:
+        return []
+    pod_path = registry.by_kind(obj.kind).pod_spec_path
+    if pod_path is None:
+        return []
+    pod_spec = get_path(obj.data, pod_path, None)
+    if not isinstance(pod_spec, dict):
+        return []
+    out: list[dict[str, Any]] = []
+    for group in ("containers", "initContainers"):
+        out.extend(c for c in pod_spec.get(group) or [] if isinstance(c, dict))
+    return out
+
+
+class LimitRangeDefaulter:
+    """Mutating admission: apply LimitRange defaults and enforce max."""
+
+    def __init__(self, store: ObjectStore):
+        self.store = store
+
+    def __call__(self, request: ApiRequest, obj: K8sObject) -> None:
+        containers = _containers_of(obj)
+        if not containers:
+            return
+        limit_ranges = self.store.list("LimitRange", obj.namespace)
+        for limit_range in limit_ranges:
+            for rule in limit_range.get("spec.limits", []) or []:
+                if rule.get("type") != "Container":
+                    continue
+                self._apply_rule(rule, containers, obj)
+
+    def _apply_rule(
+        self, rule: dict[str, Any], containers: list[dict[str, Any]], obj: K8sObject
+    ) -> None:
+        defaults = rule.get("default") or {}
+        default_requests = rule.get("defaultRequest") or {}
+        maxima = rule.get("max") or {}
+        for container in containers:
+            resources = container.setdefault("resources", {})
+            limits = resources.setdefault("limits", {})
+            requests = resources.setdefault("requests", {})
+            for resource_name, value in defaults.items():
+                limits.setdefault(resource_name, value)
+            for resource_name, value in default_requests.items():
+                requests.setdefault(resource_name, value)
+            for resource_name, maximum in maxima.items():
+                declared = limits.get(resource_name)
+                if declared is None:
+                    continue
+                if not self._leq(resource_name, declared, maximum):
+                    raise ApiError.forbidden(
+                        f"maximum {resource_name} usage per Container is {maximum}, "
+                        f"but limit is {declared} "
+                        f'(LimitRange violation in container "{container.get("name")}")'
+                    )
+
+    @staticmethod
+    def _leq(resource_name: str, left: Any, right: Any) -> bool:
+        try:
+            if resource_name == "cpu":
+                return parse_cpu_millis(left) <= parse_cpu_millis(right)
+            return parse_memory_bytes(left) <= parse_memory_bytes(right)
+        except QuantityError:
+            return True  # malformed values are caught by schema checks
+
+
+#: quota key -> (kind counted, or None for compute resources)
+_COUNT_KEYS = {
+    "pods": "Pod",
+    "services": "Service",
+    "configmaps": "ConfigMap",
+    "secrets": "Secret",
+    "persistentvolumeclaims": "PersistentVolumeClaim",
+}
+
+
+class ResourceQuotaEnforcer:
+    """Validating admission: enforce per-namespace ResourceQuota."""
+
+    def __init__(self, store: ObjectStore):
+        self.store = store
+
+    def __call__(self, request: ApiRequest, obj: K8sObject) -> None:
+        if request.verb != "create" or obj.kind == "ResourceQuota":
+            return
+        quotas = self.store.list("ResourceQuota", obj.namespace)
+        for quota in quotas:
+            hard = quota.get("spec.hard") or {}
+            self._check_counts(hard, obj, quota.name)
+            self._check_compute(hard, obj, quota.name)
+
+    def _check_counts(self, hard: dict[str, Any], obj: K8sObject, quota_name: str) -> None:
+        for key, kind in _COUNT_KEYS.items():
+            if key not in hard or obj.kind != kind:
+                continue
+            current = len(self.store.list(kind, obj.namespace))
+            allowed = int(hard[key])
+            if current + 1 > allowed:
+                raise ApiError.forbidden(
+                    f"exceeded quota: {quota_name}, requested: {key}=1, "
+                    f"used: {key}={current}, limited: {key}={allowed}"
+                )
+
+    def _check_compute(self, hard: dict[str, Any], obj: K8sObject, quota_name: str) -> None:
+        cpu_key = "requests.cpu" if "requests.cpu" in hard else None
+        memory_key = "requests.memory" if "requests.memory" in hard else None
+        if not (cpu_key or memory_key) or obj.kind != "Pod":
+            return
+        new_cpu, new_memory = self._pod_requests(obj)
+        used_cpu = used_memory = 0.0
+        for pod in self.store.list("Pod", obj.namespace):
+            cpu, memory = self._pod_requests(pod)
+            used_cpu += cpu
+            used_memory += memory
+        if cpu_key is not None:
+            allowed = parse_cpu_millis(hard[cpu_key])
+            if used_cpu + new_cpu > allowed:
+                raise ApiError.forbidden(
+                    f"exceeded quota: {quota_name}, requested: requests.cpu, "
+                    f"used: {used_cpu:.0f}m, limited: {allowed:.0f}m"
+                )
+        if memory_key is not None:
+            allowed = parse_memory_bytes(hard[memory_key])
+            if used_memory + new_memory > allowed:
+                raise ApiError.forbidden(
+                    f"exceeded quota: {quota_name}, requested: requests.memory, "
+                    f"used: {used_memory:.0f}, limited: {allowed:.0f}"
+                )
+
+    @staticmethod
+    def _pod_requests(obj: K8sObject) -> tuple[float, float]:
+        cpu = memory = 0.0
+        for container in _containers_of(obj):
+            requests = get_path(container, "resources.requests", {}) or {}
+            try:
+                if "cpu" in requests:
+                    cpu += parse_cpu_millis(requests["cpu"])
+                if "memory" in requests:
+                    memory += parse_memory_bytes(requests["memory"])
+            except QuantityError:
+                continue
+        return cpu, memory
+
+
+def install_builtin_admission(api: Any) -> None:
+    """Register the built-in admission chain on an APIServer in the
+    upstream order: defaulting (mutating) before quota (validating)."""
+    api.register_admission_plugin(LimitRangeDefaulter(api.store))
+    api.register_admission_plugin(ResourceQuotaEnforcer(api.store))

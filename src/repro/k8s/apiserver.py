@@ -1,0 +1,372 @@
+"""The miniature Kubernetes API server.
+
+Implements the request pipeline of a real API server in the order that
+matters for this paper's experiments:
+
+1. **Routing** -- resolve the (kind, verb) pair against the resource
+   registry; unknown kinds and unsupported verbs are rejected.
+2. **Authorization** -- a pluggable authorizer (RBAC in the
+   experiments) decides whether the authenticated user may perform the
+   verb on the resource.
+3. **Structural validation** -- the manifest is checked against the
+   schema catalog (unknown fields and type mismatches are rejected,
+   mirroring server-side strict validation).
+4. **Admission** -- a chain of admission plugins may mutate or reject
+   the object.  The CVE exploit engine registers here as an observer:
+   if a malicious manifest reaches admission (i.e. nothing upstream
+   filtered it), the corresponding vulnerability "fires".
+5. **Persistence** -- the object lands in the versioned store.
+6. **Audit** -- every request, allowed or denied, is recorded.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Protocol
+
+from repro.k8s.audit import AuditEvent, AuditLog
+from repro.k8s.errors import ApiError
+from repro.k8s.gvk import ResourceRegistry, ResourceType, registry as default_registry
+from repro.k8s.objects import K8sObject
+from repro.k8s.schema import SCALAR_TYPES, FieldSpec, SchemaCatalog, catalog as default_catalog
+from repro.k8s.store import ObjectStore
+
+
+@dataclass(frozen=True)
+class User:
+    """An authenticated API client identity."""
+
+    username: str
+    groups: tuple[str, ...] = ("system:authenticated",)
+
+    @classmethod
+    def admin(cls) -> "User":
+        return cls("kubernetes-admin", ("system:masters", "system:authenticated"))
+
+
+#: Verbs that carry a request body.
+_WRITE_VERBS = ("create", "update", "patch")
+
+
+@dataclass
+class ApiRequest:
+    """One API request as seen by the server (and by KubeFence)."""
+
+    verb: str
+    kind: str
+    user: User
+    namespace: str | None = "default"
+    name: str | None = None
+    body: dict[str, Any] | None = None
+    source_ip: str = "127.0.0.1"
+
+    @classmethod
+    def from_manifest(
+        cls, manifest: dict[str, Any], user: User, verb: str = "create"
+    ) -> "ApiRequest":
+        obj = K8sObject(manifest)
+        return cls(
+            verb=verb,
+            kind=obj.kind,
+            user=user,
+            namespace=obj.namespace,
+            name=obj.name or None,
+            body=manifest,
+        )
+
+    def url_path(self, reg: ResourceRegistry = default_registry) -> str:
+        rt = reg.by_kind(self.kind)
+        name = self.name if self.verb in ("get", "update", "patch", "delete") else None
+        return rt.url_path(self.namespace, name)
+
+
+@dataclass
+class ApiResponse:
+    """The server's answer: a status code plus a body (object, list,
+    or Status on failure)."""
+
+    code: int
+    body: dict[str, Any] | list[dict[str, Any]] | None = None
+    error: ApiError | None = None
+
+    @property
+    def ok(self) -> bool:
+        return 200 <= self.code < 300
+
+    @classmethod
+    def from_error(cls, err: ApiError) -> "ApiResponse":
+        return cls(code=err.code, body=err.to_status(), error=err)
+
+
+class Authorizer(Protocol):
+    """Authorization plugin interface (RBAC implements this)."""
+
+    def authorize(self, request: ApiRequest, resource: ResourceType) -> tuple[bool, str]:
+        """Return (allowed, reason)."""
+        ...
+
+
+class AllowAll:
+    """Default authorizer: everything is permitted."""
+
+    def authorize(self, request: ApiRequest, resource: ResourceType) -> tuple[bool, str]:
+        return True, "no authorization configured"
+
+
+#: Admission plugins get the request and the parsed object; they raise
+#: :class:`ApiError` to deny, and may mutate the object in place.
+AdmissionPlugin = Callable[[ApiRequest, K8sObject], None]
+
+
+class APIServer:
+    """The control-plane front end."""
+
+    def __init__(
+        self,
+        store: ObjectStore | None = None,
+        reg: ResourceRegistry | None = None,
+        schemas: SchemaCatalog | None = None,
+        authorizer: Authorizer | None = None,
+        version: str = "1.28.6",
+        validate_schema: bool = True,
+    ) -> None:
+        # Explicit None checks: ObjectStore and ResourceRegistry define
+        # __len__, so an empty instance is falsy and `or` would drop it.
+        self.store = store if store is not None else ObjectStore()
+        self.registry = reg if reg is not None else default_registry
+        self.schemas = schemas or default_catalog
+        self.authorizer: Authorizer = authorizer or AllowAll()
+        self.audit_log = AuditLog()
+        self.admission_plugins: list[AdmissionPlugin] = []
+        self.version = version
+        self.validate_schema = validate_schema
+
+    # -- plugin management ---------------------------------------------------
+
+    def register_admission_plugin(self, plugin: AdmissionPlugin) -> None:
+        self.admission_plugins.append(plugin)
+
+    # -- request handling ------------------------------------------------
+
+    def handle(self, request: ApiRequest) -> ApiResponse:
+        """Run the full request pipeline and audit the outcome."""
+        try:
+            resource = self._route(request)
+            self._authorize(request, resource)
+            response = self._dispatch(request, resource)
+        except ApiError as err:
+            response = ApiResponse.from_error(err)
+        self._audit(request, response)
+        return response
+
+    def _route(self, request: ApiRequest) -> ResourceType:
+        if request.kind not in self.registry:
+            raise ApiError.not_found(request.kind or "<missing kind>", request.name or "")
+        resource = self.registry.by_kind(request.kind)
+        if request.verb not in resource.verbs:
+            raise ApiError.method_not_allowed(
+                f"verb {request.verb!r} not supported on {resource.plural}"
+            )
+        return resource
+
+    def _authorize(self, request: ApiRequest, resource: ResourceType) -> None:
+        allowed, reason = self.authorizer.authorize(request, resource)
+        if not allowed:
+            raise ApiError.forbidden(
+                f'User "{request.user.username}" cannot {request.verb} resource '
+                f'"{resource.plural}" in API group "{resource.gvk.group}": {reason}'
+            )
+
+    def _dispatch(self, request: ApiRequest, resource: ResourceType) -> ApiResponse:
+        verb = request.verb
+        if verb in _WRITE_VERBS:
+            return self._handle_write(request, resource)
+        if verb == "get":
+            obj = self.store.get(request.kind, request.namespace or "default", request.name or "")
+            return ApiResponse(200, obj.data)
+        if verb == "list":
+            namespace = request.namespace if resource.namespaced else None
+            objs = self.store.list(request.kind, namespace)
+            return ApiResponse(200, [o.data for o in objs])
+        if verb == "delete":
+            obj = self.store.delete(
+                request.kind, request.namespace or "default", request.name or ""
+            )
+            return ApiResponse(200, obj.data)
+        if verb == "watch":
+            # Watch is exposed for API-surface completeness; the
+            # in-process event stream lives on the store itself.
+            return ApiResponse(200, [])
+        raise ApiError.method_not_allowed(f"unsupported verb {verb!r}")
+
+    def _handle_write(self, request: ApiRequest, resource: ResourceType) -> ApiResponse:
+        if not isinstance(request.body, dict):
+            raise ApiError.bad_request("request body must be a JSON/YAML object")
+        obj = K8sObject(request.body).copy()
+        if obj.kind != request.kind:
+            raise ApiError.bad_request(
+                f"body kind {obj.kind!r} does not match request kind {request.kind!r}"
+            )
+        if not obj.name:
+            raise ApiError.invalid("metadata.name is required")
+        if resource.namespaced:
+            obj.metadata.setdefault("namespace", request.namespace or "default")
+        if self.validate_schema and obj.kind in self.schemas:
+            self._validate_structure(obj)
+        for plugin in self.admission_plugins:
+            plugin(request, obj)
+        if request.verb == "create":
+            stored = self.store.create(obj)
+            return ApiResponse(201, stored.data)
+        if request.verb == "patch":
+            current = self.store.get(obj.kind, obj.namespace, obj.name)
+            from repro.yamlutil import deep_merge
+
+            merged = K8sObject(deep_merge(current.data, obj.data, delete_on_none=True))
+            stored = self.store.update(merged)
+            return ApiResponse(200, stored.data)
+        stored = self.store.update(obj)
+        return ApiResponse(200, stored.data)
+
+    # -- structural (schema) validation -----------------------------------
+
+    def _validate_structure(self, obj: K8sObject) -> None:
+        schema = self.schemas.schema(obj.kind)
+        errors: list[str] = []
+        for key, value in obj.data.items():
+            if key in ("apiVersion", "kind", "status"):
+                continue
+            child = schema.children.get(key)
+            if child is None:
+                errors.append(f"unknown field {key!r}")
+                continue
+            self._check_field(child, value, key, errors)
+        if errors:
+            raise ApiError.invalid(
+                f"{obj.kind} {obj.name!r} is invalid: " + "; ".join(errors[:10]),
+                fieldErrors=errors,
+            )
+
+    def _check_field(self, spec: FieldSpec, value: Any, path: str, errors: list[str]) -> None:
+        if value is None:
+            return
+        if spec.ftype == "object":
+            if not isinstance(value, dict):
+                errors.append(f"{path}: expected object, got {type(value).__name__}")
+                return
+            for key, child_value in value.items():
+                child = spec.children.get(key)
+                if child is None:
+                    errors.append(f"{path}.{key}: unknown field")
+                    continue
+                self._check_field(child, child_value, f"{path}.{key}", errors)
+        elif spec.ftype == "array":
+            if not isinstance(value, list):
+                errors.append(f"{path}: expected array, got {type(value).__name__}")
+                return
+            assert spec.items is not None
+            for idx, item in enumerate(value):
+                self._check_field(spec.items, item, f"{path}[{idx}]", errors)
+        elif spec.ftype == "" or spec.name == "":
+            # Anonymous array item schema: object items have children.
+            pass
+        else:
+            self._check_scalar(spec, value, path, errors)
+
+    def _check_scalar(self, spec: FieldSpec, value: Any, path: str, errors: list[str]) -> None:
+        ftype = spec.ftype
+        if ftype == "enum":
+            if value not in spec.enum:
+                errors.append(f"{path}: {value!r} not one of {list(spec.enum)}")
+        elif ftype == "string":
+            if not isinstance(value, str):
+                errors.append(f"{path}: expected string, got {type(value).__name__}")
+        elif ftype == "int":
+            if isinstance(value, bool) or not isinstance(value, int):
+                errors.append(f"{path}: expected integer, got {type(value).__name__}")
+        elif ftype == "bool":
+            if not isinstance(value, bool):
+                errors.append(f"{path}: expected boolean, got {type(value).__name__}")
+        elif ftype == "port":
+            if isinstance(value, bool) or not isinstance(value, (int, str)):
+                errors.append(f"{path}: expected port, got {type(value).__name__}")
+            elif isinstance(value, int) and not 0 <= value <= 65535:
+                errors.append(f"{path}: port {value} out of range")
+        elif ftype == "ip":
+            if not isinstance(value, str):
+                errors.append(f"{path}: expected IP string, got {type(value).__name__}")
+        elif ftype == "quantity":
+            if isinstance(value, bool) or not isinstance(value, (int, float, str)):
+                errors.append(f"{path}: expected quantity, got {type(value).__name__}")
+        elif ftype == "map":
+            if not isinstance(value, dict):
+                errors.append(f"{path}: expected map, got {type(value).__name__}")
+        elif ftype == "any":
+            pass
+        else:  # pragma: no cover - catalog bug guard
+            errors.append(f"{path}: unhandled schema type {ftype!r}")
+
+    # -- audit -------------------------------------------------------------
+
+    def _audit(self, request: ApiRequest, response: ApiResponse) -> None:
+        resource_plural = ""
+        api_group = ""
+        if request.kind in self.registry:
+            rt = self.registry.by_kind(request.kind)
+            resource_plural = rt.plural
+            api_group = rt.gvk.group
+        self.audit_log.record(
+            AuditEvent(
+                request_uri=(
+                    request.url_path(self.registry) if request.kind in self.registry else "/"
+                ),
+                verb=request.verb,
+                username=request.user.username,
+                groups=request.user.groups,
+                resource=resource_plural,
+                api_group=api_group,
+                namespace=request.namespace,
+                name=request.name or (K8sObject(request.body).name if request.body else None),
+                response_code=response.code,
+                request_object=request.body if request.verb in _WRITE_VERBS else None,
+                source_ip=request.source_ip,
+            )
+        )
+
+
+class Cluster:
+    """A convenience bundle: store + API server (+ later: controllers,
+    exploit engine).  This is what tests and examples instantiate."""
+
+    def __init__(
+        self,
+        version: str = "1.28.6",
+        authorizer: Authorizer | None = None,
+        validate_schema: bool = True,
+    ) -> None:
+        self.store = ObjectStore()
+        self.api = APIServer(
+            store=self.store,
+            authorizer=authorizer,
+            version=version,
+            validate_schema=validate_schema,
+        )
+
+    def apply(
+        self, manifest: dict[str, Any], user: User | None = None, verb: str | None = None
+    ) -> ApiResponse:
+        """kubectl-apply semantics: create, or update when it exists."""
+        user = user or User.admin()
+        obj = K8sObject(manifest)
+        if verb is None:
+            verb = (
+                "update"
+                if self.store.exists(obj.kind, obj.namespace, obj.name)
+                else "create"
+            )
+        return self.api.handle(ApiRequest.from_manifest(manifest, user, verb))
+
+    def apply_all(
+        self, manifests: list[dict[str, Any]], user: User | None = None
+    ) -> list[ApiResponse]:
+        return [self.apply(m, user) for m in manifests]

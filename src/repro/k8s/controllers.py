@@ -1,0 +1,328 @@
+"""Built-in controllers: the reconciliation loop of the control plane.
+
+The paper's background (Sec. II-C) relies on Kubernetes controllers
+continuously reconciling desired and current state; operators build on
+the same machinery.  This module implements the built-in controllers
+the experiments exercise:
+
+- DeploymentController  -- Deployment -> ReplicaSet
+- ReplicaSetController  -- ReplicaSet -> Pods
+- StatefulSetController -- StatefulSet -> ordered Pods (+ PVCs)
+- DaemonSetController   -- DaemonSet -> one Pod per node
+- JobController         -- Job -> Pods, completion tracking
+- EndpointsController   -- Service -> Endpoints from selected Pods
+
+Controllers are stepped deterministically (``reconcile_once`` /
+``run_until_stable``); there is no background thread, which keeps tests
+and benchmarks reproducible.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Any
+
+from repro.k8s.objects import K8sObject
+from repro.k8s.store import ObjectStore
+from repro.yamlutil import deep_copy, get_path
+
+
+def _hash_suffix(data: dict[str, Any]) -> str:
+    """A stable content hash used for ReplicaSet / Pod name suffixes,
+    mirroring the pod-template-hash of real Deployments."""
+    import json
+
+    digest = hashlib.sha1(json.dumps(data, sort_keys=True).encode()).hexdigest()
+    return digest[:10]
+
+
+def _selector_matches(selector: dict[str, Any] | None, labels: dict[str, str]) -> bool:
+    if not selector:
+        return False
+    match_labels = selector.get("matchLabels") or selector
+    if not isinstance(match_labels, dict):
+        return False
+    return all(labels.get(k) == v for k, v in match_labels.items())
+
+
+class Controller:
+    """Base class: one reconcile pass over the store."""
+
+    kind: str = ""
+    #: Optional shared EventRecorder (set by the ControllerManager).
+    recorder = None
+
+    def emit(self, obj, reason: str, message: str) -> None:
+        if self.recorder is not None:
+            self.recorder.normal(obj, reason, message)
+
+    def reconcile(self, store: ObjectStore) -> int:
+        """Run one pass; return the number of changes applied."""
+        raise NotImplementedError
+
+
+class DeploymentController(Controller):
+    kind = "Deployment"
+
+    def reconcile(self, store: ObjectStore) -> int:
+        changes = 0
+        for dep in store.list("Deployment"):
+            template = dep.get("spec.template", {}) or {}
+            rs_name = f"{dep.name}-{_hash_suffix(template)}"
+            if store.exists("ReplicaSet", dep.namespace, rs_name):
+                continue
+            # Scale down older ReplicaSets owned by this Deployment.
+            for rs in store.list("ReplicaSet", dep.namespace):
+                owners = rs.metadata.get("ownerReferences") or []
+                if any(o.get("name") == dep.name and o.get("kind") == "Deployment" for o in owners):
+                    if rs.get("spec.replicas", 0) != 0:
+                        rs.data.setdefault("spec", {})["replicas"] = 0
+                        store.update(rs)
+                        changes += 1
+            rs = K8sObject.make(
+                "apps/v1",
+                "ReplicaSet",
+                rs_name,
+                namespace=dep.namespace,
+                spec={
+                    "replicas": dep.get("spec.replicas", 1) or 1,
+                    "selector": deep_copy(dep.get("spec.selector", {}) or {}),
+                    "template": deep_copy(template),
+                },
+            )
+            rs.metadata["ownerReferences"] = [
+                {"apiVersion": "apps/v1", "kind": "Deployment", "name": dep.name,
+                 "uid": dep.metadata.get("uid"), "controller": True}
+            ]
+            rs.labels.update(get_path(template, "metadata.labels", {}) or {})
+            store.create(rs)
+            self.emit(dep, "ScalingReplicaSet",
+                      f"Scaled up replica set {rs_name} to {rs.get('spec.replicas')}")
+            changes += 1
+        return changes
+
+
+class ReplicaSetController(Controller):
+    kind = "ReplicaSet"
+
+    def reconcile(self, store: ObjectStore) -> int:
+        changes = 0
+        for rs in store.list("ReplicaSet"):
+            desired = rs.get("spec.replicas", 1)
+            desired = desired if desired is not None else 1
+            owned = [
+                p
+                for p in store.list("Pod", rs.namespace)
+                if any(
+                    o.get("name") == rs.name and o.get("kind") == "ReplicaSet"
+                    for o in (p.metadata.get("ownerReferences") or [])
+                )
+            ]
+            current = len(owned)
+            for i in range(current, desired):
+                pod = self._pod_from_template(rs, i)
+                store.create(pod)
+                self.emit(rs, "SuccessfulCreate", f"Created pod: {pod.name}")
+                changes += 1
+            for pod in owned[desired:]:
+                store.delete("Pod", pod.namespace, pod.name)
+                self.emit(rs, "SuccessfulDelete", f"Deleted pod: {pod.name}")
+                changes += 1
+        return changes
+
+    def _pod_from_template(self, rs: K8sObject, ordinal: int) -> K8sObject:
+        template = rs.get("spec.template", {}) or {}
+        pod = K8sObject.make(
+            "v1",
+            "Pod",
+            f"{rs.name}-{_hash_suffix({'i': ordinal, 'rs': rs.name})[:5]}",
+            namespace=rs.namespace,
+            spec=deep_copy(template.get("spec", {})),
+        )
+        pod.labels.update(get_path(template, "metadata.labels", {}) or {})
+        pod.metadata["ownerReferences"] = [
+            {"apiVersion": "apps/v1", "kind": "ReplicaSet", "name": rs.name,
+             "uid": rs.metadata.get("uid"), "controller": True}
+        ]
+        pod.data["status"] = {"phase": "Running"}
+        return pod
+
+
+class StatefulSetController(Controller):
+    kind = "StatefulSet"
+
+    def reconcile(self, store: ObjectStore) -> int:
+        changes = 0
+        for sts in store.list("StatefulSet"):
+            desired = sts.get("spec.replicas", 1)
+            desired = desired if desired is not None else 1
+            template = sts.get("spec.template", {}) or {}
+            for ordinal in range(desired):
+                pod_name = f"{sts.name}-{ordinal}"
+                if not store.exists("Pod", sts.namespace, pod_name):
+                    pod = K8sObject.make(
+                        "v1",
+                        "Pod",
+                        pod_name,
+                        namespace=sts.namespace,
+                        spec=deep_copy(template.get("spec", {})),
+                    )
+                    pod.labels.update(get_path(template, "metadata.labels", {}) or {})
+                    pod.metadata["ownerReferences"] = [
+                        {"apiVersion": "apps/v1", "kind": "StatefulSet",
+                         "name": sts.name, "controller": True}
+                    ]
+                    pod.data["status"] = {"phase": "Running"}
+                    store.create(pod)
+                    changes += 1
+                # Volume claim templates materialise one PVC per pod.
+                for vct in sts.get("spec.volumeClaimTemplates", []) or []:
+                    claim_name = f"{get_path(vct, 'metadata.name', 'data')}-{pod_name}"
+                    if not store.exists("PersistentVolumeClaim", sts.namespace, claim_name):
+                        pvc = K8sObject.make(
+                            "v1",
+                            "PersistentVolumeClaim",
+                            claim_name,
+                            namespace=sts.namespace,
+                            spec=deep_copy(vct.get("spec", {})),
+                        )
+                        store.create(pvc)
+                        changes += 1
+        return changes
+
+
+class DaemonSetController(Controller):
+    kind = "DaemonSet"
+
+    def __init__(self, nodes: tuple[str, ...] = ("node-1", "node-2")):
+        self.nodes = nodes
+
+    def reconcile(self, store: ObjectStore) -> int:
+        changes = 0
+        for ds in store.list("DaemonSet"):
+            template = ds.get("spec.template", {}) or {}
+            for node in self.nodes:
+                pod_name = f"{ds.name}-{node}"
+                if store.exists("Pod", ds.namespace, pod_name):
+                    continue
+                pod = K8sObject.make(
+                    "v1",
+                    "Pod",
+                    pod_name,
+                    namespace=ds.namespace,
+                    spec=deep_copy(template.get("spec", {})),
+                )
+                pod.spec["nodeName"] = node
+                pod.labels.update(get_path(template, "metadata.labels", {}) or {})
+                pod.metadata["ownerReferences"] = [
+                    {"apiVersion": "apps/v1", "kind": "DaemonSet",
+                     "name": ds.name, "controller": True}
+                ]
+                pod.data["status"] = {"phase": "Running"}
+                store.create(pod)
+                changes += 1
+        return changes
+
+
+class JobController(Controller):
+    kind = "Job"
+
+    def reconcile(self, store: ObjectStore) -> int:
+        changes = 0
+        for job in store.list("Job"):
+            completions = job.get("spec.completions", 1) or 1
+            template = job.get("spec.template", {}) or {}
+            for i in range(completions):
+                pod_name = f"{job.name}-{i}"
+                if store.exists("Pod", job.namespace, pod_name):
+                    continue
+                pod = K8sObject.make(
+                    "v1",
+                    "Pod",
+                    pod_name,
+                    namespace=job.namespace,
+                    spec=deep_copy(template.get("spec", {})),
+                )
+                pod.labels.update(get_path(template, "metadata.labels", {}) or {})
+                pod.metadata["ownerReferences"] = [
+                    {"apiVersion": "batch/v1", "kind": "Job",
+                     "name": job.name, "controller": True}
+                ]
+                pod.data["status"] = {"phase": "Succeeded"}
+                store.create(pod)
+                changes += 1
+        return changes
+
+
+class EndpointsController(Controller):
+    kind = "Service"
+
+    def reconcile(self, store: ObjectStore) -> int:
+        changes = 0
+        for svc in store.list("Service"):
+            selector = svc.get("spec.selector")
+            if not selector:
+                continue
+            addresses = []
+            for pod in store.list("Pod", svc.namespace):
+                if _selector_matches({"matchLabels": selector}, pod.labels):
+                    addresses.append(
+                        {"ip": f"10.244.0.{(hash(pod.name) % 250) + 1}",
+                         "targetRef": {"kind": "Pod", "name": pod.name,
+                                       "namespace": pod.namespace}}
+                    )
+            ports = [
+                {"name": p.get("name", ""), "port": p.get("targetPort", p.get("port")),
+                 "protocol": p.get("protocol", "TCP")}
+                for p in (svc.get("spec.ports") or [])
+            ]
+            subsets = [{"addresses": addresses, "ports": ports}] if addresses else []
+            if store.exists("Endpoints", svc.namespace, svc.name):
+                current = store.get("Endpoints", svc.namespace, svc.name)
+                if current.data.get("subsets") != subsets:
+                    current.data["subsets"] = subsets
+                    store.update(current)
+                    changes += 1
+            elif subsets:
+                ep = K8sObject.make("v1", "Endpoints", svc.name, namespace=svc.namespace)
+                ep.data["subsets"] = subsets
+                store.create(ep)
+                changes += 1
+        return changes
+
+
+class ControllerManager:
+    """Runs the built-in controllers to a fixed point."""
+
+    def __init__(
+        self,
+        store: ObjectStore,
+        nodes: tuple[str, ...] = ("node-1", "node-2"),
+        recorder=None,
+    ):
+        self.store = store
+        self.recorder = recorder
+        self.controllers: list[Controller] = [
+            DeploymentController(),
+            ReplicaSetController(),
+            StatefulSetController(),
+            DaemonSetController(nodes),
+            JobController(),
+            EndpointsController(),
+        ]
+        for controller in self.controllers:
+            controller.recorder = recorder
+
+    def reconcile_once(self) -> int:
+        return sum(c.reconcile(self.store) for c in self.controllers)
+
+    def run_until_stable(self, max_rounds: int = 20) -> int:
+        """Reconcile until no controller makes a change.  Returns the
+        total number of changes.  Raises if reconciliation diverges."""
+        total = 0
+        for _ in range(max_rounds):
+            changed = self.reconcile_once()
+            total += changed
+            if changed == 0:
+                return total
+        raise RuntimeError("controllers did not converge")

@@ -1,0 +1,68 @@
+"""Kubernetes API error model.
+
+The real API server answers failed requests with a ``Status`` object
+and an HTTP status code.  :class:`ApiError` carries both, and
+:meth:`ApiError.to_status` renders the same wire shape.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+
+class ApiError(Exception):
+    """An API request failure with Kubernetes status semantics."""
+
+    def __init__(self, code: int, reason: str, message: str, details: dict | None = None):
+        super().__init__(message)
+        self.code = code
+        self.reason = reason
+        self.message = message
+        self.details = details or {}
+
+    def to_status(self) -> dict[str, Any]:
+        """Render as a Kubernetes ``Status`` object."""
+        return {
+            "kind": "Status",
+            "apiVersion": "v1",
+            "status": "Failure",
+            "message": self.message,
+            "reason": self.reason,
+            "details": self.details,
+            "code": self.code,
+        }
+
+    # -- constructors mirroring k8s.io/apimachinery errors ----------------
+
+    @classmethod
+    def bad_request(cls, message: str, **details: Any) -> "ApiError":
+        return cls(400, "BadRequest", message, details)
+
+    @classmethod
+    def forbidden(cls, message: str, **details: Any) -> "ApiError":
+        return cls(403, "Forbidden", message, details)
+
+    @classmethod
+    def not_found(cls, kind: str, name: str) -> "ApiError":
+        return cls(404, "NotFound", f'{kind.lower()}s "{name}" not found',
+                   {"kind": kind, "name": name})
+
+    @classmethod
+    def method_not_allowed(cls, message: str) -> "ApiError":
+        return cls(405, "MethodNotAllowed", message)
+
+    @classmethod
+    def conflict(cls, kind: str, name: str, message: str | None = None) -> "ApiError":
+        return cls(
+            409,
+            "AlreadyExists" if message is None else "Conflict",
+            message or f'{kind.lower()}s "{name}" already exists',
+            {"kind": kind, "name": name},
+        )
+
+    @classmethod
+    def invalid(cls, message: str, **details: Any) -> "ApiError":
+        return cls(422, "Invalid", message, details)
+
+    def __repr__(self) -> str:
+        return f"ApiError(code={self.code}, reason={self.reason!r}, message={self.message!r})"

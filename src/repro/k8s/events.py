@@ -1,0 +1,105 @@
+"""Kubernetes Events: the control plane's operational breadcrumbs.
+
+Controllers and the scheduler publish ``Event`` objects describing what
+they did to which object (``SuccessfulCreate``, ``FailedScheduling``,
+``Killing``...).  Cluster operators read them first when debugging; the
+mini control plane records them through an :class:`EventRecorder` that
+any component can share.
+
+Events are kept out of the main object store on purpose (real clusters
+store them with a short TTL in a separate etcd prefix) -- the recorder
+is its own ring buffer with query helpers.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Iterable
+
+from repro.k8s.objects import K8sObject
+
+
+@dataclass(frozen=True)
+class Event:
+    """One recorded event."""
+
+    event_type: str  # "Normal" | "Warning"
+    reason: str      # CamelCase machine-readable reason
+    message: str
+    kind: str
+    namespace: str
+    name: str
+    component: str   # reporting controller
+    sequence: int
+
+    def line(self) -> str:
+        return (
+            f"{self.event_type:7s} {self.reason:20s} "
+            f"{self.kind}/{self.name}  {self.message}  ({self.component})"
+        )
+
+
+class EventRecorder:
+    """A bounded event sink shared by control-plane components."""
+
+    def __init__(self, capacity: int = 1000):
+        self._events: Deque[Event] = deque(maxlen=capacity)
+        self._sequence = 0
+
+    def record(
+        self,
+        obj: "K8sObject | tuple[str, str, str]",
+        event_type: str,
+        reason: str,
+        message: str,
+        component: str = "controller-manager",
+    ) -> Event:
+        if isinstance(obj, K8sObject):
+            kind, namespace, name = obj.kind, obj.namespace, obj.name
+        else:
+            kind, namespace, name = obj
+        self._sequence += 1
+        event = Event(
+            event_type=event_type,
+            reason=reason,
+            message=message,
+            kind=kind,
+            namespace=namespace,
+            name=name,
+            component=component,
+            sequence=self._sequence,
+        )
+        self._events.append(event)
+        return event
+
+    def normal(self, obj, reason: str, message: str, component: str = "controller-manager") -> Event:
+        return self.record(obj, "Normal", reason, message, component)
+
+    def warning(self, obj, reason: str, message: str, component: str = "controller-manager") -> Event:
+        return self.record(obj, "Warning", reason, message, component)
+
+    # -- queries -------------------------------------------------------------
+
+    def events(self) -> list[Event]:
+        return list(self._events)
+
+    def for_object(self, kind: str, name: str, namespace: str = "default") -> list[Event]:
+        return [
+            e
+            for e in self._events
+            if e.kind == kind and e.name == name and e.namespace == namespace
+        ]
+
+    def warnings(self) -> list[Event]:
+        return [e for e in self._events if e.event_type == "Warning"]
+
+    def by_reason(self, reason: str) -> list[Event]:
+        return [e for e in self._events if e.reason == reason]
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def render(self, events: Iterable[Event] | None = None) -> str:
+        chosen = list(events) if events is not None else self.events()
+        return "\n".join(e.line() for e in chosen) or "no events"

@@ -1,0 +1,178 @@
+"""Group/version/kind registry of Kubernetes resource types.
+
+The registry mirrors the discovery information a real API server
+publishes: for each resource type, its API group, version, kind name,
+plural resource name, whether it is namespaced, and which HTTP verbs it
+supports.  Both the API server's request router and the attack-surface
+analysis iterate over this registry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class GVK:
+    """A group/version/kind triple, e.g. ``apps/v1 Deployment``."""
+
+    group: str
+    version: str
+    kind: str
+
+    @property
+    def api_version(self) -> str:
+        """The ``apiVersion`` string as it appears in manifests."""
+        if self.group == "":
+            return self.version
+        return f"{self.group}/{self.version}"
+
+    def __str__(self) -> str:
+        return f"{self.api_version}/{self.kind}"
+
+
+_DEFAULT_VERBS = ("get", "list", "create", "update", "patch", "delete", "watch")
+
+
+@dataclass(frozen=True)
+class ResourceType:
+    """Discovery record for one resource type."""
+
+    gvk: GVK
+    plural: str
+    namespaced: bool = True
+    verbs: tuple[str, ...] = _DEFAULT_VERBS
+    # Kinds that embed a PodSpec (workload kinds); used by the attack
+    # catalog to decide where pod-level malicious fields can be injected.
+    pod_spec_path: str | None = None
+
+    @property
+    def kind(self) -> str:
+        return self.gvk.kind
+
+    def url_path(self, namespace: str | None = None, name: str | None = None) -> str:
+        """The REST path for this resource, mirroring real K8s routing."""
+        if self.gvk.group == "":
+            base = f"/api/{self.gvk.version}"
+        else:
+            base = f"/apis/{self.gvk.group}/{self.gvk.version}"
+        if self.namespaced and namespace:
+            base += f"/namespaces/{namespace}"
+        base += f"/{self.plural}"
+        if name:
+            base += f"/{name}"
+        return base
+
+
+class ResourceRegistry:
+    """All resource types known to the mini API server."""
+
+    def __init__(self) -> None:
+        self._by_kind: dict[str, ResourceType] = {}
+        self._by_plural: dict[str, ResourceType] = {}
+
+    def register(self, rt: ResourceType) -> ResourceType:
+        if rt.kind in self._by_kind:
+            raise ValueError(f"kind {rt.kind} already registered")
+        self._by_kind[rt.kind] = rt
+        self._by_plural[rt.plural] = rt
+        return rt
+
+    def by_kind(self, kind: str) -> ResourceType:
+        try:
+            return self._by_kind[kind]
+        except KeyError:
+            raise KeyError(f"unknown resource kind: {kind!r}") from None
+
+    def by_plural(self, plural: str) -> ResourceType:
+        try:
+            return self._by_plural[plural]
+        except KeyError:
+            raise KeyError(f"unknown resource plural: {plural!r}") from None
+
+    def __contains__(self, kind: str) -> bool:
+        return kind in self._by_kind
+
+    def __iter__(self):
+        return iter(self._by_kind.values())
+
+    def __len__(self) -> int:
+        return len(self._by_kind)
+
+    def kinds(self) -> list[str]:
+        return sorted(self._by_kind)
+
+    def workload_kinds(self) -> list[str]:
+        """Kinds that embed a PodSpec (Pod, Deployment, ...)."""
+        return sorted(k for k, rt in self._by_kind.items() if rt.pod_spec_path is not None)
+
+
+def _build_default_registry() -> ResourceRegistry:
+    reg = ResourceRegistry()
+    core = lambda kind, plural, **kw: reg.register(  # noqa: E731
+        ResourceType(GVK("", "v1", kind), plural, **kw)
+    )
+    apps = lambda kind, plural, **kw: reg.register(  # noqa: E731
+        ResourceType(GVK("apps", "v1", kind), plural, **kw)
+    )
+
+    core("Pod", "pods", pod_spec_path="spec")
+    core("Service", "services")
+    core("ConfigMap", "configmaps")
+    core("Secret", "secrets")
+    core("ServiceAccount", "serviceaccounts")
+    core("PersistentVolumeClaim", "persistentvolumeclaims")
+    core("PersistentVolume", "persistentvolumes", namespaced=False)
+    core("Namespace", "namespaces", namespaced=False)
+    core("Endpoints", "endpoints")
+    core("LimitRange", "limitranges")
+    core("ResourceQuota", "resourcequotas")
+
+    apps("Deployment", "deployments", pod_spec_path="spec.template.spec")
+    apps("ReplicaSet", "replicasets", pod_spec_path="spec.template.spec")
+    apps("StatefulSet", "statefulsets", pod_spec_path="spec.template.spec")
+    apps("DaemonSet", "daemonsets", pod_spec_path="spec.template.spec")
+
+    reg.register(
+        ResourceType(
+            GVK("batch", "v1", "Job"), "jobs", pod_spec_path="spec.template.spec"
+        )
+    )
+    reg.register(
+        ResourceType(
+            GVK("batch", "v1", "CronJob"),
+            "cronjobs",
+            pod_spec_path="spec.jobTemplate.spec.template.spec",
+        )
+    )
+    reg.register(ResourceType(GVK("networking.k8s.io", "v1", "Ingress"), "ingresses"))
+    reg.register(
+        ResourceType(GVK("networking.k8s.io", "v1", "NetworkPolicy"), "networkpolicies")
+    )
+    reg.register(
+        ResourceType(
+            GVK("autoscaling", "v2", "HorizontalPodAutoscaler"),
+            "horizontalpodautoscalers",
+        )
+    )
+    reg.register(
+        ResourceType(GVK("policy", "v1", "PodDisruptionBudget"), "poddisruptionbudgets")
+    )
+    rbac_group = "rbac.authorization.k8s.io"
+    reg.register(ResourceType(GVK(rbac_group, "v1", "Role"), "roles"))
+    reg.register(ResourceType(GVK(rbac_group, "v1", "RoleBinding"), "rolebindings"))
+    reg.register(
+        ResourceType(GVK(rbac_group, "v1", "ClusterRole"), "clusterroles", namespaced=False)
+    )
+    reg.register(
+        ResourceType(
+            GVK(rbac_group, "v1", "ClusterRoleBinding"),
+            "clusterrolebindings",
+            namespaced=False,
+        )
+    )
+    return reg
+
+
+#: The default registry used by the whole project.
+registry = _build_default_registry()

@@ -1,0 +1,236 @@
+"""Real-HTTP transport for the mini API server (stdlib only).
+
+The paper deploys mitmproxy between real HTTP clients and the K8s API
+server.  For the overhead experiment we support the same topology: the
+API server (and the KubeFence proxy) can be exposed over genuine TCP
+sockets so round-trip-time measurements include real network and
+serialization costs.
+
+The wire protocol mirrors Kubernetes REST conventions:
+
+- ``POST   /api/v1/namespaces/{ns}/pods``          -> create
+- ``GET    /apis/apps/v1/namespaces/{ns}/deployments[/name]`` -> list/get
+- ``PUT    .../{name}``                            -> update
+- ``DELETE .../{name}``                            -> delete
+
+Bodies are JSON; failures return Kubernetes ``Status`` objects.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Callable
+from urllib import request as urllib_request
+from urllib.error import HTTPError
+
+from repro.k8s.apiserver import APIServer, ApiRequest, ApiResponse, User
+from repro.k8s.errors import ApiError
+from repro.k8s.gvk import ResourceRegistry, registry as default_registry
+
+
+def parse_rest_path(path: str, reg: ResourceRegistry) -> tuple[str, str | None, str | None]:
+    """Parse a Kubernetes REST path into (kind, namespace, name).
+
+    Raises :class:`ValueError` for unroutable paths.
+    """
+    parts = [p for p in path.split("/") if p]
+    # /api/v1/... or /apis/{group}/{version}/...
+    if not parts or parts[0] not in ("api", "apis"):
+        raise ValueError(f"unroutable path: {path!r}")
+    idx = 2 if parts[0] == "api" else 3
+    rest = parts[idx:]
+    namespace: str | None = None
+    if len(rest) >= 2 and rest[0] == "namespaces":
+        namespace = rest[1]
+        rest = rest[2:]
+    if not rest:
+        raise ValueError(f"no resource in path: {path!r}")
+    plural = rest[0]
+    name = rest[1] if len(rest) > 1 else None
+    kind = reg.by_plural(plural).kind
+    return kind, namespace, name
+
+
+_METHOD_VERBS = {"POST": "create", "PUT": "update", "PATCH": "patch", "DELETE": "delete"}
+
+
+class _Handler(BaseHTTPRequestHandler):
+    server_version = "MiniKubeApiServer/1.0"
+    api: APIServer  # injected by serve()
+
+    # Silence the default stderr request logging.
+    def log_message(self, fmt: str, *args: Any) -> None:  # noqa: D102
+        pass
+
+    def _user(self) -> User:
+        username = self.headers.get("X-Remote-User", "kubernetes-admin")
+        groups = tuple(
+            g for g in self.headers.get("X-Remote-Groups", "system:masters").split(",") if g
+        )
+        return User(username, groups + ("system:authenticated",))
+
+    def _respond(self, response: ApiResponse) -> None:
+        payload = json.dumps(response.body if response.body is not None else {}).encode()
+        self.send_response(response.code)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(payload)))
+        self.end_headers()
+        self.wfile.write(payload)
+
+    def _handle(self, method: str) -> None:
+        try:
+            kind, namespace, name = parse_rest_path(self.path, self.api.registry)
+        except (ValueError, KeyError) as exc:
+            payload = json.dumps(
+                {"kind": "Status", "status": "Failure", "message": str(exc), "code": 404}
+            ).encode()
+            self.send_response(404)
+            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Length", str(len(payload)))
+            self.end_headers()
+            self.wfile.write(payload)
+            return
+
+        body: dict | None = None
+        length = int(self.headers.get("Content-Length") or 0)
+        if length:
+            try:
+                body = json.loads(self.rfile.read(length))
+            except (ValueError, RecursionError):
+                self._respond(
+                    ApiResponse.from_error(
+                        ApiError.bad_request("request body is not valid JSON")
+                    )
+                )
+                return
+
+        if method == "GET":
+            verb = "get" if name else "list"
+        else:
+            verb = _METHOD_VERBS[method]
+        request = ApiRequest(
+            verb=verb,
+            kind=kind,
+            user=self._user(),
+            namespace=namespace or "default",
+            name=name,
+            body=body,
+            source_ip=self.client_address[0],
+        )
+        self._respond(self.api.handle(request))
+
+    def do_GET(self) -> None:
+        self._handle("GET")
+
+    def do_POST(self) -> None:
+        self._handle("POST")
+
+    def do_PUT(self) -> None:
+        self._handle("PUT")
+
+    def do_PATCH(self) -> None:
+        self._handle("PATCH")
+
+    def do_DELETE(self) -> None:
+        self._handle("DELETE")
+
+
+class HttpApiServer:
+    """Serve an :class:`APIServer` over a real TCP socket."""
+
+    def __init__(self, api: APIServer, host: str = "127.0.0.1", port: int = 0):
+        handler = type("BoundHandler", (_Handler,), {"api": api})
+        self._httpd = ThreadingHTTPServer((host, port), handler)
+        self._thread: threading.Thread | None = None
+
+    @property
+    def address(self) -> tuple[str, int]:
+        return self._httpd.server_address[:2]  # type: ignore[return-value]
+
+    @property
+    def base_url(self) -> str:
+        host, port = self.address
+        return f"http://{host}:{port}"
+
+    def start(self) -> "HttpApiServer":
+        self._thread = threading.Thread(target=self._httpd.serve_forever, daemon=True)
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5)
+
+    def __enter__(self) -> "HttpApiServer":
+        return self.start()
+
+    def __exit__(self, *exc: Any) -> None:
+        self.stop()
+
+
+class HttpClient:
+    """A minimal kubectl-like HTTP client for the mini API."""
+
+    def __init__(self, base_url: str, username: str = "kubernetes-admin",
+                 groups: tuple[str, ...] = ("system:masters",),
+                 reg: ResourceRegistry | None = None):
+        self.base_url = base_url.rstrip("/")
+        self.username = username
+        self.groups = groups
+        self.registry = reg if reg is not None else default_registry
+
+    def _request(self, method: str, path: str, body: dict | None = None) -> tuple[int, Any]:
+        data = json.dumps(body).encode() if body is not None else None
+        req = urllib_request.Request(
+            self.base_url + path,
+            data=data,
+            method=method,
+            headers={
+                "Content-Type": "application/json",
+                "X-Remote-User": self.username,
+                "X-Remote-Groups": ",".join(self.groups),
+            },
+        )
+        try:
+            with urllib_request.urlopen(req) as resp:
+                return resp.status, json.loads(resp.read() or b"{}")
+        except HTTPError as err:
+            return err.code, json.loads(err.read() or b"{}")
+
+    def create(self, manifest: dict) -> tuple[int, Any]:
+        kind = manifest.get("kind", "")
+        rt = self.registry.by_kind(kind)
+        ns = manifest.get("metadata", {}).get("namespace", "default")
+        return self._request("POST", rt.url_path(ns if rt.namespaced else None), manifest)
+
+    def apply(self, manifest: dict) -> tuple[int, Any]:
+        """create-or-update, like ``kubectl apply``."""
+        kind = manifest.get("kind", "")
+        rt = self.registry.by_kind(kind)
+        meta = manifest.get("metadata", {})
+        ns = meta.get("namespace", "default")
+        name = meta.get("name", "")
+        status, body = self._request(
+            "GET", rt.url_path(ns if rt.namespaced else None, name)
+        )
+        if status == 200:
+            return self._request(
+                "PUT", rt.url_path(ns if rt.namespaced else None, name), manifest
+            )
+        return self._request(
+            "POST", rt.url_path(ns if rt.namespaced else None), manifest
+        )
+
+    def get(self, kind: str, name: str, namespace: str = "default") -> tuple[int, Any]:
+        rt = self.registry.by_kind(kind)
+        return self._request("GET", rt.url_path(namespace if rt.namespaced else None, name))
+
+    def delete(self, kind: str, name: str, namespace: str = "default") -> tuple[int, Any]:
+        rt = self.registry.by_kind(kind)
+        return self._request(
+            "DELETE", rt.url_path(namespace if rt.namespaced else None, name)
+        )

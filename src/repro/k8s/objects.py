@@ -1,0 +1,99 @@
+"""Kubernetes object helpers.
+
+Objects are kept as plain dicts (the same shape as parsed YAML
+manifests); :class:`K8sObject` is a thin wrapper adding typed access to
+the common metadata fields and convenience constructors.  Keeping the
+underlying representation as plain data means manifests flow unchanged
+between the Helm engine, the KubeFence validator, and the API server.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.yamlutil import deep_copy, get_path
+
+
+class K8sObject:
+    """A wrapper over a manifest dict with typed metadata access."""
+
+    __slots__ = ("data",)
+
+    def __init__(self, data: dict[str, Any]):
+        if not isinstance(data, dict):
+            raise TypeError(f"manifest must be a dict, got {type(data).__name__}")
+        self.data = data
+
+    @classmethod
+    def make(
+        cls,
+        api_version: str,
+        kind: str,
+        name: str,
+        namespace: str | None = "default",
+        spec: dict | None = None,
+        **extra: Any,
+    ) -> "K8sObject":
+        data: dict[str, Any] = {
+            "apiVersion": api_version,
+            "kind": kind,
+            "metadata": {"name": name},
+        }
+        if namespace is not None:
+            data["metadata"]["namespace"] = namespace
+        if spec is not None:
+            data["spec"] = spec
+        data.update(extra)
+        return cls(data)
+
+    @property
+    def api_version(self) -> str:
+        return self.data.get("apiVersion", "")
+
+    @property
+    def kind(self) -> str:
+        return self.data.get("kind", "")
+
+    @property
+    def metadata(self) -> dict[str, Any]:
+        return self.data.setdefault("metadata", {})
+
+    @property
+    def name(self) -> str:
+        return self.metadata.get("name", "")
+
+    @property
+    def namespace(self) -> str:
+        return self.metadata.get("namespace", "default")
+
+    @property
+    def labels(self) -> dict[str, str]:
+        return self.metadata.setdefault("labels", {})
+
+    @property
+    def spec(self) -> dict[str, Any]:
+        return self.data.get("spec", {})
+
+    @property
+    def resource_version(self) -> int | None:
+        rv = self.metadata.get("resourceVersion")
+        return int(rv) if rv is not None else None
+
+    def get(self, path: str, default: Any = None) -> Any:
+        """Field access by dotted path, e.g. ``spec.replicas``."""
+        return get_path(self.data, path, default)
+
+    def copy(self) -> "K8sObject":
+        return K8sObject(deep_copy(self.data))
+
+    def key(self) -> tuple[str, str, str]:
+        """(kind, namespace, name) identity inside the store."""
+        return (self.kind, self.namespace, self.name)
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, K8sObject):
+            return self.data == other.data
+        return NotImplemented
+
+    def __repr__(self) -> str:
+        return f"K8sObject({self.kind} {self.namespace}/{self.name})"

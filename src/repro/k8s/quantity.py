@@ -1,0 +1,82 @@
+"""Kubernetes resource-quantity arithmetic.
+
+Parses the quantity grammar used by ``resources.requests/limits``,
+LimitRange and ResourceQuota: plain numbers, decimal SI suffixes
+(``m``, ``k``, ``M``, ``G``, ...) and binary suffixes (``Ki``, ``Mi``,
+``Gi``, ...).  CPU is normalised to millicores, memory/storage to
+bytes, so quota accounting can sum and compare heterogeneous spellings
+(``0.5`` == ``500m``, ``1Gi`` == ``1073741824``).
+"""
+
+from __future__ import annotations
+
+import re
+
+_SUFFIXES: dict[str, float] = {
+    "": 1.0,
+    "m": 1e-3,
+    "k": 1e3,
+    "M": 1e6,
+    "G": 1e9,
+    "T": 1e12,
+    "P": 1e15,
+    "E": 1e18,
+    "Ki": 2**10,
+    "Mi": 2**20,
+    "Gi": 2**30,
+    "Ti": 2**40,
+    "Pi": 2**50,
+    "Ei": 2**60,
+}
+
+_QUANTITY_RE = re.compile(
+    r"^(?P<number>[+-]?\d+(?:\.\d+)?)(?P<suffix>m|k|M|G|T|P|E|Ki|Mi|Gi|Ti|Pi|Ei)?$"
+)
+
+
+class QuantityError(ValueError):
+    """Malformed quantity string."""
+
+
+def parse_quantity(value: "str | int | float") -> float:
+    """Parse a quantity into its base value (cores, bytes, counts)."""
+    if isinstance(value, bool):
+        raise QuantityError(f"not a quantity: {value!r}")
+    if isinstance(value, (int, float)):
+        return float(value)
+    match = _QUANTITY_RE.match(value.strip())
+    if match is None:
+        raise QuantityError(f"not a quantity: {value!r}")
+    return float(match.group("number")) * _SUFFIXES[match.group("suffix") or ""]
+
+
+def parse_cpu_millis(value: "str | int | float") -> float:
+    """CPU quantity in millicores (``1`` -> 1000, ``250m`` -> 250)."""
+    return parse_quantity(value) * 1000.0
+
+
+def parse_memory_bytes(value: "str | int | float") -> float:
+    """Memory/storage quantity in bytes."""
+    return parse_quantity(value)
+
+
+def format_cpu(millis: float) -> str:
+    if millis % 1000 == 0:
+        return str(int(millis // 1000))
+    return f"{int(millis)}m"
+
+
+def format_memory(num_bytes: float) -> str:
+    for suffix, factor in (("Gi", 2**30), ("Mi", 2**20), ("Ki", 2**10)):
+        if num_bytes >= factor and num_bytes % factor == 0:
+            return f"{int(num_bytes // factor)}{suffix}"
+    return str(int(num_bytes))
+
+
+def add_quantities(left: "str | int | float", right: "str | int | float") -> float:
+    return parse_quantity(left) + parse_quantity(right)
+
+
+def quantity_leq(left: "str | int | float", right: "str | int | float") -> bool:
+    """left <= right in base units."""
+    return parse_quantity(left) <= parse_quantity(right)

@@ -1,0 +1,164 @@
+"""A miniature kube-scheduler.
+
+Assigns pending pods (no ``spec.nodeName``) to nodes using the real
+scheduler's core predicates and a spreading heuristic:
+
+- **fit**: the pod's CPU/memory requests must fit the node's remaining
+  allocatable capacity;
+- **nodeSelector**: every selector label must match the node;
+- **taints/tolerations**: ``NoSchedule`` taints exclude pods that do
+  not tolerate them;
+- **unschedulable**: cordoned nodes receive nothing;
+- **scoring**: among feasible nodes, the least-loaded (by requested
+  CPU) wins, spreading pods like the default scheduler's
+  ``LeastAllocated`` strategy.
+
+Nodes are plain :class:`Node` records (capacity + labels + taints); the
+scheduler runs as a controller-style pass over the store.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.k8s.objects import K8sObject
+from repro.k8s.quantity import QuantityError, parse_cpu_millis, parse_memory_bytes
+from repro.k8s.store import ObjectStore
+from repro.yamlutil import get_path
+
+
+@dataclass
+class Node:
+    """A worker node: capacity, labels, taints, cordon state."""
+
+    name: str
+    cpu_millis: float = 8000.0
+    memory_bytes: float = 16 * 2**30
+    labels: dict[str, str] = field(default_factory=dict)
+    taints: list[dict[str, str]] = field(default_factory=list)
+    unschedulable: bool = False
+
+
+def pod_requests(pod: K8sObject) -> tuple[float, float]:
+    """(cpu millicores, memory bytes) requested by a pod."""
+    cpu = memory = 0.0
+    for group in ("containers", "initContainers"):
+        for container in pod.spec.get(group) or []:
+            if not isinstance(container, dict):
+                continue
+            requests = get_path(container, "resources.requests", {}) or {}
+            try:
+                if "cpu" in requests:
+                    cpu += parse_cpu_millis(requests["cpu"])
+                if "memory" in requests:
+                    memory += parse_memory_bytes(requests["memory"])
+            except QuantityError:
+                continue
+    return cpu, memory
+
+
+def _tolerates(pod: K8sObject, taint: dict[str, str]) -> bool:
+    for toleration in pod.spec.get("tolerations") or []:
+        if not isinstance(toleration, dict):
+            continue
+        operator = toleration.get("operator", "Equal")
+        key_matches = (
+            toleration.get("key") in (None, "", taint.get("key"))
+            if operator == "Exists"
+            else toleration.get("key") == taint.get("key")
+            and toleration.get("value") == taint.get("value")
+        )
+        effect_matches = toleration.get("effect") in (None, "", taint.get("effect"))
+        if key_matches and effect_matches:
+            return True
+    return False
+
+
+class Scheduler:
+    """Binds pending pods to feasible nodes."""
+
+    def __init__(self, store: ObjectStore, nodes: list[Node], recorder=None):
+        self.store = store
+        self.nodes = {node.name: node for node in nodes}
+        self.recorder = recorder
+        #: pods that could not be placed, with the reason per node.
+        self.unschedulable: dict[str, dict[str, str]] = {}
+
+    # -- feasibility -------------------------------------------------------
+
+    def _usage(self) -> dict[str, tuple[float, float]]:
+        usage: dict[str, tuple[float, float]] = {name: (0.0, 0.0) for name in self.nodes}
+        for pod in self.store.list("Pod"):
+            node_name = pod.spec.get("nodeName")
+            if node_name in usage:
+                cpu, memory = pod_requests(pod)
+                used_cpu, used_memory = usage[node_name]
+                usage[node_name] = (used_cpu + cpu, used_memory + memory)
+        return usage
+
+    def _feasible(
+        self, pod: K8sObject, node: Node, usage: dict[str, tuple[float, float]]
+    ) -> str | None:
+        """None when feasible, else the predicate that failed."""
+        if node.unschedulable:
+            return "node is unschedulable"
+        selector = pod.spec.get("nodeSelector") or {}
+        if any(node.labels.get(k) != v for k, v in selector.items()):
+            return "nodeSelector does not match"
+        for taint in node.taints:
+            if taint.get("effect") == "NoSchedule" and not _tolerates(pod, taint):
+                return f"untolerated taint {taint.get('key')}"
+        cpu, memory = pod_requests(pod)
+        used_cpu, used_memory = usage[node.name]
+        if used_cpu + cpu > node.cpu_millis:
+            return "insufficient cpu"
+        if used_memory + memory > node.memory_bytes:
+            return "insufficient memory"
+        return None
+
+    # -- scheduling pass -----------------------------------------------------
+
+    def schedule_once(self) -> int:
+        """Bind every schedulable pending pod; returns bindings made."""
+        bound = 0
+        usage = self._usage()
+        for pod in self.store.list("Pod"):
+            if pod.spec.get("nodeName"):
+                continue
+            failures: dict[str, str] = {}
+            candidates: list[tuple[float, str]] = []
+            for node in self.nodes.values():
+                reason = self._feasible(pod, node, usage)
+                if reason is None:
+                    candidates.append((usage[node.name][0], node.name))
+                else:
+                    failures[node.name] = reason
+            if not candidates:
+                self.unschedulable[f"{pod.namespace}/{pod.name}"] = failures
+                if self.recorder is not None:
+                    summary = "; ".join(
+                        f"{node}: {reason}" for node, reason in sorted(failures.items())
+                    )
+                    self.recorder.warning(
+                        pod, "FailedScheduling",
+                        f"0/{len(self.nodes)} nodes are available: {summary}",
+                        component="default-scheduler",
+                    )
+                continue
+            candidates.sort()  # least-allocated CPU first, then name
+            chosen = candidates[0][1]
+            pod.spec["nodeName"] = chosen
+            self.store.update(pod)
+            if self.recorder is not None:
+                self.recorder.normal(
+                    pod, "Scheduled",
+                    f"Successfully assigned {pod.namespace}/{pod.name} to {chosen}",
+                    component="default-scheduler",
+                )
+            cpu, memory = pod_requests(pod)
+            used_cpu, used_memory = usage[chosen]
+            usage[chosen] = (used_cpu + cpu, used_memory + memory)
+            self.unschedulable.pop(f"{pod.namespace}/{pod.name}", None)
+            bound += 1
+        return bound

@@ -1,0 +1,1207 @@
+"""The Kubernetes configurable-field catalog.
+
+The paper quantifies the K8s attack surface by counting the
+configurable fields exposed by each API endpoint (4,882 fields across
+the considered endpoints).  This module reconstructs that catalog: an
+OpenAPI-like schema tree per resource kind, built from the real
+Kubernetes v1 API structure (PodSpec, container, volume-source, probe,
+affinity trees, and the non-workload kinds).
+
+The catalog drives three consumers:
+
+- the API server's structural admission validation,
+- the attack-surface analysis (field counting for Fig. 9 / Table I),
+- KubeFence's type inference for validator placeholders.
+
+Field counting convention: every *named* schema node (leaf or interior)
+counts as one configurable field; array item subtrees count once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterator, Optional
+
+# ---------------------------------------------------------------------------
+# Field specification tree
+# ---------------------------------------------------------------------------
+
+#: Scalar field types understood by the catalog and by KubeFence
+#: placeholders.  ``map`` is a free-form string->string object.
+SCALAR_TYPES = ("string", "int", "bool", "ip", "port", "quantity", "map", "any")
+
+
+@dataclass
+class FieldSpec:
+    """One named field in a resource schema.
+
+    ``ftype`` is one of :data:`SCALAR_TYPES`, ``enum``, ``object`` or
+    ``array``.  ``object`` fields have named ``children``; ``array``
+    fields have an ``items`` schema (either a scalar FieldSpec or an
+    object with children).
+    """
+
+    name: str
+    ftype: str
+    children: dict[str, "FieldSpec"] = field(default_factory=dict)
+    items: Optional["FieldSpec"] = None
+    enum: tuple[Any, ...] = ()
+    # Security-critical fields are locked to safe values by KubeFence's
+    # policy generation regardless of the Helm chart contents (SV-A.1).
+    security_critical: bool = False
+    safe_value: Any = None
+
+    def count_fields(self) -> int:
+        """Number of named fields in this subtree, including self."""
+        total = 1
+        for child in self.children.values():
+            total += child.count_fields()
+        if self.items is not None and self.items.ftype in ("object", "array"):
+            # The items node itself is anonymous; count its fields only.
+            for child in self.items.children.values():
+                total += child.count_fields()
+            if self.items.items is not None:
+                total += self.items.count_fields() - 1
+        return total
+
+    def walk(self, prefix: str = "") -> Iterator[tuple[str, "FieldSpec"]]:
+        """Yield ``(dotted_path, spec)`` for every named field."""
+        path = f"{prefix}.{self.name}" if prefix else self.name
+        yield path, self
+        for child in self.children.values():
+            yield from child.walk(path)
+        if self.items is not None and self.items.ftype in ("object", "array"):
+            for child in self.items.children.values():
+                yield from child.walk(path)
+
+    def child(self, name: str) -> Optional["FieldSpec"]:
+        """Schema lookup for a child field, traversing array items."""
+        if self.ftype == "array" and self.items is not None:
+            return self.items.children.get(name)
+        return self.children.get(name)
+
+
+# -- builder helpers --------------------------------------------------------
+
+
+def obj(name: str, *children: FieldSpec, **kw: Any) -> FieldSpec:
+    return FieldSpec(name, "object", children={c.name: c for c in children}, **kw)
+
+
+def arr(name: str, *children: FieldSpec, item_type: str = "object", **kw: Any) -> FieldSpec:
+    """An array field.  With children, items are objects; otherwise
+    items are scalars of *item_type*."""
+    if children:
+        items = FieldSpec("", "object", children={c.name: c for c in children})
+    else:
+        items = FieldSpec("", item_type)
+    return FieldSpec(name, "array", items=items, **kw)
+
+
+def s(name: str, **kw: Any) -> FieldSpec:
+    return FieldSpec(name, "string", **kw)
+
+
+def i(name: str, **kw: Any) -> FieldSpec:
+    return FieldSpec(name, "int", **kw)
+
+
+def b(name: str, **kw: Any) -> FieldSpec:
+    return FieldSpec(name, "bool", **kw)
+
+
+def ip(name: str, **kw: Any) -> FieldSpec:
+    return FieldSpec(name, "ip", **kw)
+
+
+def port(name: str, **kw: Any) -> FieldSpec:
+    return FieldSpec(name, "port", **kw)
+
+
+def qty(name: str, **kw: Any) -> FieldSpec:
+    return FieldSpec(name, "quantity", **kw)
+
+
+def m(name: str, **kw: Any) -> FieldSpec:
+    return FieldSpec(name, "map", **kw)
+
+
+def enum(name: str, *values: Any, **kw: Any) -> FieldSpec:
+    return FieldSpec(name, "enum", enum=tuple(values), **kw)
+
+
+# ---------------------------------------------------------------------------
+# Shared sub-schemas
+# ---------------------------------------------------------------------------
+
+
+def _label_selector(name: str = "labelSelector") -> FieldSpec:
+    return obj(
+        name,
+        m("matchLabels"),
+        arr(
+            "matchExpressions",
+            s("key"),
+            enum("operator", "In", "NotIn", "Exists", "DoesNotExist"),
+            arr("values", item_type="string"),
+        ),
+    )
+
+
+def _probe(name: str) -> FieldSpec:
+    return obj(
+        name,
+        obj("exec", arr("command", item_type="string")),
+        obj(
+            "httpGet",
+            s("path"),
+            port("port"),
+            s("host"),
+            enum("scheme", "HTTP", "HTTPS"),
+            arr("httpHeaders", s("name"), s("value")),
+        ),
+        obj("tcpSocket", port("port"), s("host")),
+        obj("grpc", port("port"), s("service")),
+        i("initialDelaySeconds"),
+        i("timeoutSeconds"),
+        i("periodSeconds"),
+        i("successThreshold"),
+        i("failureThreshold"),
+        i("terminationGracePeriodSeconds"),
+    )
+
+
+def _lifecycle_handler(name: str) -> FieldSpec:
+    return obj(
+        name,
+        obj("exec", arr("command", item_type="string")),
+        obj(
+            "httpGet",
+            s("path"),
+            port("port"),
+            s("host"),
+            enum("scheme", "HTTP", "HTTPS"),
+            arr("httpHeaders", s("name"), s("value")),
+        ),
+        obj("tcpSocket", port("port"), s("host")),
+        obj("sleep", i("seconds")),
+    )
+
+
+def _container_security_context() -> FieldSpec:
+    return obj(
+        "securityContext",
+        obj(
+            "capabilities",
+            arr("add", item_type="string", security_critical=True, safe_value=[]),
+            arr("drop", item_type="string"),
+        ),
+        b("privileged", security_critical=True, safe_value=False),
+        obj(
+            "seLinuxOptions",
+            s("user", security_critical=True, safe_value=None),
+            s("role", security_critical=True, safe_value=None),
+            s("type"),
+            s("level"),
+        ),
+        i("runAsUser"),
+        i("runAsGroup"),
+        b("runAsNonRoot", security_critical=True, safe_value=True),
+        b("readOnlyRootFilesystem", security_critical=True, safe_value=True),
+        b("allowPrivilegeEscalation", security_critical=True, safe_value=False),
+        enum("procMount", "Default", "Unmasked"),
+        obj(
+            "seccompProfile",
+            enum(
+                "type",
+                "RuntimeDefault",
+                "Localhost",
+                "Unconfined",
+                security_critical=True,
+                safe_value="RuntimeDefault",
+            ),
+            s("localhostProfile", security_critical=True, safe_value=None),
+        ),
+        obj(
+            "appArmorProfile",
+            enum("type", "RuntimeDefault", "Localhost", "Unconfined"),
+            s("localhostProfile"),
+        ),
+    )
+
+
+def _env_var() -> list[FieldSpec]:
+    return [
+        s("name"),
+        s("value"),
+        obj(
+            "valueFrom",
+            obj("fieldRef", s("apiVersion"), s("fieldPath")),
+            obj("resourceFieldRef", s("containerName"), s("resource"), qty("divisor")),
+            obj("configMapKeyRef", s("name"), s("key"), b("optional")),
+            obj("secretKeyRef", s("name"), s("key"), b("optional")),
+        ),
+    ]
+
+
+def _container(name: str) -> FieldSpec:
+    return arr(
+        name,
+        s("name"),
+        s("image"),
+        enum("imagePullPolicy", "Always", "IfNotPresent", "Never"),
+        arr("command", item_type="string"),
+        arr("args", item_type="string"),
+        s("workingDir"),
+        arr(
+            "ports",
+            s("name"),
+            port("containerPort"),
+            port("hostPort"),
+            ip("hostIP"),
+            enum("protocol", "TCP", "UDP", "SCTP"),
+        ),
+        arr(
+            "envFrom",
+            s("prefix"),
+            obj("configMapRef", s("name"), b("optional")),
+            obj("secretRef", s("name"), b("optional")),
+        ),
+        arr("env", *_env_var()),
+        obj(
+            "resources",
+            obj("limits", qty("cpu"), qty("memory"), qty("ephemeral-storage")),
+            obj("requests", qty("cpu"), qty("memory"), qty("ephemeral-storage")),
+            arr("claims", s("name")),
+        ),
+        arr(
+            "volumeMounts",
+            s("name"),
+            s("mountPath"),
+            s("subPath"),
+            s("subPathExpr"),
+            b("readOnly"),
+            enum("mountPropagation", "None", "HostToContainer", "Bidirectional"),
+            enum("recursiveReadOnly", "Disabled", "IfPossible", "Enabled"),
+        ),
+        arr("volumeDevices", s("name"), s("devicePath")),
+        _probe("livenessProbe"),
+        _probe("readinessProbe"),
+        _probe("startupProbe"),
+        obj("lifecycle", _lifecycle_handler("postStart"), _lifecycle_handler("preStop")),
+        s("terminationMessagePath"),
+        enum("terminationMessagePolicy", "File", "FallbackToLogsOnError"),
+        b("stdin"),
+        b("stdinOnce"),
+        b("tty"),
+        arr("resizePolicy", s("resourceName"), s("restartPolicy")),
+        s("restartPolicy"),
+        _container_security_context(),
+    )
+
+
+def _volumes() -> FieldSpec:
+    return arr(
+        "volumes",
+        s("name"),
+        obj("hostPath", s("path"), s("type")),
+        obj("emptyDir", enum("medium", "", "Memory"), qty("sizeLimit")),
+        obj(
+            "secret",
+            s("secretName"),
+            arr("items", s("key"), s("path"), i("mode")),
+            i("defaultMode"),
+            b("optional"),
+        ),
+        obj(
+            "configMap",
+            s("name"),
+            arr("items", s("key"), s("path"), i("mode")),
+            i("defaultMode"),
+            b("optional"),
+        ),
+        obj("persistentVolumeClaim", s("claimName"), b("readOnly")),
+        obj("nfs", s("server"), s("path"), b("readOnly")),
+        obj(
+            "iscsi",
+            s("targetPortal"),
+            s("iqn"),
+            i("lun"),
+            s("iscsiInterface"),
+            s("fsType"),
+            b("readOnly"),
+            arr("portals", item_type="string"),
+            b("chapAuthDiscovery"),
+            b("chapAuthSession"),
+            obj("secretRef", s("name")),
+            s("initiatorName"),
+        ),
+        obj(
+            "csi",
+            s("driver"),
+            b("readOnly"),
+            s("fsType"),
+            m("volumeAttributes"),
+            obj("nodePublishSecretRef", s("name")),
+        ),
+        obj(
+            "downwardAPI",
+            arr(
+                "items",
+                s("path"),
+                obj("fieldRef", s("apiVersion"), s("fieldPath")),
+                obj("resourceFieldRef", s("containerName"), s("resource"), qty("divisor")),
+                i("mode"),
+            ),
+            i("defaultMode"),
+        ),
+        obj(
+            "projected",
+            arr(
+                "sources",
+                obj(
+                    "secret",
+                    s("name"),
+                    arr("items", s("key"), s("path"), i("mode")),
+                    b("optional"),
+                ),
+                obj(
+                    "configMap",
+                    s("name"),
+                    arr("items", s("key"), s("path"), i("mode")),
+                    b("optional"),
+                ),
+                obj(
+                    "serviceAccountToken",
+                    s("audience"),
+                    i("expirationSeconds"),
+                    s("path"),
+                ),
+                obj(
+                    "downwardAPI",
+                    arr(
+                        "items",
+                        s("path"),
+                        obj("fieldRef", s("apiVersion"), s("fieldPath")),
+                        i("mode"),
+                    ),
+                ),
+            ),
+            i("defaultMode"),
+        ),
+        obj(
+            "ephemeral",
+            obj(
+                "volumeClaimTemplate",
+                obj("metadata", m("labels"), m("annotations")),
+                obj(
+                    "spec",
+                    arr("accessModes", item_type="string"),
+                    s("storageClassName"),
+                    enum("volumeMode", "Filesystem", "Block"),
+                    obj("resources", obj("requests", qty("storage")), obj("limits", qty("storage"))),
+                    _label_selector("selector"),
+                ),
+            ),
+        ),
+        obj("fc", arr("targetWWNs", item_type="string"), i("lun"), s("fsType"), b("readOnly"), arr("wwids", item_type="string")),
+        obj("glusterfs", s("endpoints"), s("path"), b("readOnly")),
+        obj(
+            "rbd",
+            arr("monitors", item_type="string"),
+            s("image"),
+            s("fsType"),
+            s("pool"),
+            s("user"),
+            s("keyring"),
+            obj("secretRef", s("name")),
+            b("readOnly"),
+        ),
+        obj("cephfs", arr("monitors", item_type="string"), s("path"), s("user"), s("secretFile"), obj("secretRef", s("name")), b("readOnly")),
+        obj("cinder", s("volumeID"), s("fsType"), b("readOnly"), obj("secretRef", s("name"))),
+        obj("awsElasticBlockStore", s("volumeID"), s("fsType"), i("partition"), b("readOnly")),
+        obj("gcePersistentDisk", s("pdName"), s("fsType"), i("partition"), b("readOnly")),
+        obj(
+            "azureDisk",
+            s("diskName"),
+            s("diskURI"),
+            enum("cachingMode", "None", "ReadOnly", "ReadWrite"),
+            s("fsType"),
+            b("readOnly"),
+            enum("kind", "Shared", "Dedicated", "Managed"),
+        ),
+        obj("azureFile", s("secretName"), s("shareName"), b("readOnly")),
+        obj("vsphereVolume", s("volumePath"), s("fsType"), s("storagePolicyName"), s("storagePolicyID")),
+        obj("portworxVolume", s("volumeID"), s("fsType"), b("readOnly")),
+        obj("quobyte", s("registry"), s("volume"), b("readOnly"), s("user"), s("group"), s("tenant")),
+        obj("storageos", s("volumeName"), s("volumeNamespace"), s("fsType"), b("readOnly"), obj("secretRef", s("name"))),
+        obj("photonPersistentDisk", s("pdID"), s("fsType")),
+        obj("flocker", s("datasetName"), s("datasetUUID")),
+        obj("gitRepo", s("repository"), s("revision"), s("directory")),
+        obj("flexVolume", s("driver"), s("fsType"), obj("secretRef", s("name")), b("readOnly"), m("options")),
+        obj("image", s("reference"), enum("pullPolicy", "Always", "IfNotPresent", "Never")),
+    )
+
+
+def _affinity() -> FieldSpec:
+    node_selector_term = [
+        arr(
+            "matchExpressions",
+            s("key"),
+            enum("operator", "In", "NotIn", "Exists", "DoesNotExist", "Gt", "Lt"),
+            arr("values", item_type="string"),
+        ),
+        arr(
+            "matchFields",
+            s("key"),
+            enum("operator", "In", "NotIn", "Exists", "DoesNotExist", "Gt", "Lt"),
+            arr("values", item_type="string"),
+        ),
+    ]
+    pod_affinity_term = [
+        _label_selector(),
+        arr("namespaces", item_type="string"),
+        s("topologyKey"),
+        _label_selector("namespaceSelector"),
+        arr("matchLabelKeys", item_type="string"),
+        arr("mismatchLabelKeys", item_type="string"),
+    ]
+    return obj(
+        "affinity",
+        obj(
+            "nodeAffinity",
+            obj(
+                "requiredDuringSchedulingIgnoredDuringExecution",
+                arr("nodeSelectorTerms", *node_selector_term),
+            ),
+            arr(
+                "preferredDuringSchedulingIgnoredDuringExecution",
+                i("weight"),
+                obj("preference", *node_selector_term),
+            ),
+        ),
+        obj(
+            "podAffinity",
+            arr("requiredDuringSchedulingIgnoredDuringExecution", *pod_affinity_term),
+            arr(
+                "preferredDuringSchedulingIgnoredDuringExecution",
+                i("weight"),
+                obj("podAffinityTerm", *pod_affinity_term),
+            ),
+        ),
+        obj(
+            "podAntiAffinity",
+            arr("requiredDuringSchedulingIgnoredDuringExecution", *pod_affinity_term),
+            arr(
+                "preferredDuringSchedulingIgnoredDuringExecution",
+                i("weight"),
+                obj("podAffinityTerm", *pod_affinity_term),
+            ),
+        ),
+    )
+
+
+def _pod_security_context() -> FieldSpec:
+    return obj(
+        "securityContext",
+        obj("seLinuxOptions", s("user"), s("role"), s("type"), s("level")),
+        i("runAsUser"),
+        i("runAsGroup"),
+        b("runAsNonRoot", security_critical=True, safe_value=True),
+        arr("supplementalGroups", item_type="int"),
+        enum("supplementalGroupsPolicy", "Merge", "Strict"),
+        i("fsGroup"),
+        arr("sysctls", s("name"), s("value")),
+        enum("fsGroupChangePolicy", "OnRootMismatch", "Always"),
+        obj(
+            "seccompProfile",
+            enum("type", "RuntimeDefault", "Localhost", "Unconfined"),
+            s("localhostProfile"),
+        ),
+        obj(
+            "appArmorProfile",
+            enum("type", "RuntimeDefault", "Localhost", "Unconfined"),
+            s("localhostProfile"),
+        ),
+    )
+
+
+def pod_spec() -> FieldSpec:
+    """The full PodSpec schema, shared by all workload kinds."""
+    return obj(
+        "spec",
+        _container("containers"),
+        _container("initContainers"),
+        _volumes(),
+        enum("restartPolicy", "Always", "OnFailure", "Never"),
+        i("terminationGracePeriodSeconds"),
+        i("activeDeadlineSeconds"),
+        enum("dnsPolicy", "ClusterFirst", "ClusterFirstWithHostNet", "Default", "None"),
+        m("nodeSelector"),
+        s("serviceAccountName"),
+        s("serviceAccount"),
+        b("automountServiceAccountToken"),
+        s("nodeName"),
+        b("hostNetwork", security_critical=True, safe_value=False),
+        b("hostPID", security_critical=True, safe_value=False),
+        b("hostIPC", security_critical=True, safe_value=False),
+        b("shareProcessNamespace"),
+        _pod_security_context(),
+        arr("imagePullSecrets", s("name")),
+        s("hostname"),
+        s("subdomain"),
+        _affinity(),
+        s("schedulerName"),
+        arr(
+            "tolerations",
+            s("key"),
+            enum("operator", "Exists", "Equal"),
+            s("value"),
+            enum("effect", "NoSchedule", "PreferNoSchedule", "NoExecute"),
+            i("tolerationSeconds"),
+        ),
+        arr("hostAliases", ip("ip"), arr("hostnames", item_type="string")),
+        s("priorityClassName"),
+        i("priority"),
+        obj(
+            "dnsConfig",
+            arr("nameservers", item_type="ip"),
+            arr("searches", item_type="string"),
+            arr("options", s("name"), s("value")),
+        ),
+        arr("readinessGates", s("conditionType")),
+        s("runtimeClassName"),
+        b("enableServiceLinks"),
+        enum("preemptionPolicy", "PreemptLowerPriority", "Never"),
+        m("overhead"),
+        arr(
+            "topologySpreadConstraints",
+            i("maxSkew"),
+            s("topologyKey"),
+            enum("whenUnsatisfiable", "DoNotSchedule", "ScheduleAnyway"),
+            _label_selector(),
+            i("minDomains"),
+            enum("nodeAffinityPolicy", "Honor", "Ignore"),
+            enum("nodeTaintsPolicy", "Honor", "Ignore"),
+            arr("matchLabelKeys", item_type="string"),
+        ),
+        b("setHostnameAsFQDN"),
+        obj("os", enum("name", "linux", "windows")),
+        b("hostUsers"),
+        arr("schedulingGates", s("name")),
+        arr(
+            "resourceClaims",
+            s("name"),
+            s("resourceClaimName"),
+            s("resourceClaimTemplateName"),
+        ),
+    )
+
+
+def _object_meta() -> FieldSpec:
+    return obj(
+        "metadata",
+        s("name"),
+        s("namespace"),
+        m("labels"),
+        m("annotations"),
+        s("generateName"),
+        arr("finalizers", item_type="string"),
+        arr(
+            "ownerReferences",
+            s("apiVersion"),
+            s("kind"),
+            s("name"),
+            s("uid"),
+            b("controller"),
+            b("blockOwnerDeletion"),
+        ),
+    )
+
+
+def _pod_template() -> FieldSpec:
+    return obj("template", obj("metadata", m("labels"), m("annotations")), pod_spec())
+
+
+# ---------------------------------------------------------------------------
+# Per-kind schemas
+# ---------------------------------------------------------------------------
+
+
+def _pod_schema() -> FieldSpec:
+    return obj("Pod", _object_meta(), pod_spec())
+
+
+def _deployment_schema() -> FieldSpec:
+    return obj(
+        "Deployment",
+        _object_meta(),
+        obj(
+            "spec",
+            i("replicas"),
+            _label_selector("selector"),
+            _pod_template(),
+            obj(
+                "strategy",
+                enum("type", "RollingUpdate", "Recreate"),
+                obj("rollingUpdate", qty("maxUnavailable"), qty("maxSurge")),
+            ),
+            i("minReadySeconds"),
+            i("revisionHistoryLimit"),
+            b("paused"),
+            i("progressDeadlineSeconds"),
+        ),
+    )
+
+
+def _replicaset_schema() -> FieldSpec:
+    return obj(
+        "ReplicaSet",
+        _object_meta(),
+        obj(
+            "spec",
+            i("replicas"),
+            i("minReadySeconds"),
+            _label_selector("selector"),
+            _pod_template(),
+        ),
+    )
+
+
+def _statefulset_schema() -> FieldSpec:
+    return obj(
+        "StatefulSet",
+        _object_meta(),
+        obj(
+            "spec",
+            i("replicas"),
+            _label_selector("selector"),
+            _pod_template(),
+            arr(
+                "volumeClaimTemplates",
+                obj("metadata", s("name"), m("labels"), m("annotations")),
+                obj(
+                    "spec",
+                    arr("accessModes", item_type="string"),
+                    s("storageClassName"),
+                    enum("volumeMode", "Filesystem", "Block"),
+                    obj("resources", obj("requests", qty("storage")), obj("limits", qty("storage"))),
+                    _label_selector("selector"),
+                ),
+            ),
+            s("serviceName"),
+            enum("podManagementPolicy", "OrderedReady", "Parallel"),
+            obj(
+                "updateStrategy",
+                enum("type", "RollingUpdate", "OnDelete"),
+                obj("rollingUpdate", i("partition"), qty("maxUnavailable")),
+            ),
+            i("revisionHistoryLimit"),
+            i("minReadySeconds"),
+            obj(
+                "persistentVolumeClaimRetentionPolicy",
+                enum("whenDeleted", "Retain", "Delete"),
+                enum("whenScaled", "Retain", "Delete"),
+            ),
+            obj("ordinals", i("start")),
+        ),
+    )
+
+
+def _daemonset_schema() -> FieldSpec:
+    return obj(
+        "DaemonSet",
+        _object_meta(),
+        obj(
+            "spec",
+            _label_selector("selector"),
+            _pod_template(),
+            obj(
+                "updateStrategy",
+                enum("type", "RollingUpdate", "OnDelete"),
+                obj("rollingUpdate", qty("maxUnavailable"), qty("maxSurge")),
+            ),
+            i("minReadySeconds"),
+            i("revisionHistoryLimit"),
+        ),
+    )
+
+
+def _job_spec_fields() -> list[FieldSpec]:
+    return [
+        i("parallelism"),
+        i("completions"),
+        i("activeDeadlineSeconds"),
+        obj(
+            "podFailurePolicy",
+            arr(
+                "rules",
+                enum("action", "FailJob", "Ignore", "Count", "FailIndex"),
+                obj(
+                    "onExitCodes",
+                    s("containerName"),
+                    enum("operator", "In", "NotIn"),
+                    arr("values", item_type="int"),
+                ),
+                arr("onPodConditions", s("type"), s("status")),
+            ),
+        ),
+        obj(
+            "successPolicy",
+            arr("rules", i("succeededIndexes"), i("succeededCount")),
+        ),
+        i("backoffLimit"),
+        i("backoffLimitPerIndex"),
+        i("maxFailedIndexes"),
+        _label_selector("selector"),
+        b("manualSelector"),
+        i("ttlSecondsAfterFinished"),
+        enum("completionMode", "NonIndexed", "Indexed"),
+        b("suspend"),
+        enum("podReplacementPolicy", "TerminatingOrFailed", "Failed"),
+        s("managedBy"),
+    ]
+
+
+def _job_schema() -> FieldSpec:
+    return obj(
+        "Job",
+        _object_meta(),
+        obj("spec", *_job_spec_fields(), _pod_template()),
+    )
+
+
+def _cronjob_schema() -> FieldSpec:
+    return obj(
+        "CronJob",
+        _object_meta(),
+        obj(
+            "spec",
+            s("schedule"),
+            s("timeZone"),
+            i("startingDeadlineSeconds"),
+            enum("concurrencyPolicy", "Allow", "Forbid", "Replace"),
+            b("suspend"),
+            obj(
+                "jobTemplate",
+                obj("metadata", m("labels"), m("annotations")),
+                obj("spec", *_job_spec_fields(), _pod_template()),
+            ),
+            i("successfulJobsHistoryLimit"),
+            i("failedJobsHistoryLimit"),
+        ),
+    )
+
+
+def _service_schema() -> FieldSpec:
+    return obj(
+        "Service",
+        _object_meta(),
+        obj(
+            "spec",
+            arr(
+                "ports",
+                s("name"),
+                enum("protocol", "TCP", "UDP", "SCTP"),
+                s("appProtocol"),
+                port("port"),
+                port("targetPort"),
+                port("nodePort"),
+            ),
+            m("selector"),
+            ip("clusterIP"),
+            arr("clusterIPs", item_type="ip"),
+            enum("type", "ClusterIP", "NodePort", "LoadBalancer", "ExternalName"),
+            arr("externalIPs", item_type="ip", security_critical=True, safe_value=[]),
+            enum("sessionAffinity", "None", "ClientIP"),
+            ip("loadBalancerIP"),
+            arr("loadBalancerSourceRanges", item_type="string"),
+            s("externalName"),
+            enum("externalTrafficPolicy", "Cluster", "Local"),
+            port("healthCheckNodePort"),
+            b("publishNotReadyAddresses"),
+            obj("sessionAffinityConfig", obj("clientIP", i("timeoutSeconds"))),
+            arr("ipFamilies", item_type="string"),
+            enum("ipFamilyPolicy", "SingleStack", "PreferDualStack", "RequireDualStack"),
+            b("allocateLoadBalancerNodePorts"),
+            s("loadBalancerClass"),
+            enum("internalTrafficPolicy", "Cluster", "Local"),
+            enum("trafficDistribution", "PreferClose"),
+        ),
+    )
+
+
+def _configmap_schema() -> FieldSpec:
+    return obj("ConfigMap", _object_meta(), m("data"), m("binaryData"), b("immutable"))
+
+
+def _secret_schema() -> FieldSpec:
+    return obj(
+        "Secret",
+        _object_meta(),
+        m("data"),
+        m("stringData"),
+        s("type"),
+        b("immutable"),
+    )
+
+
+def _serviceaccount_schema() -> FieldSpec:
+    return obj(
+        "ServiceAccount",
+        _object_meta(),
+        arr("secrets", s("name"), s("namespace"), s("kind"), s("apiVersion")),
+        arr("imagePullSecrets", s("name")),
+        b("automountServiceAccountToken"),
+    )
+
+
+def _pvc_schema() -> FieldSpec:
+    return obj(
+        "PersistentVolumeClaim",
+        _object_meta(),
+        obj(
+            "spec",
+            arr("accessModes", item_type="string"),
+            _label_selector("selector"),
+            obj("resources", obj("requests", qty("storage")), obj("limits", qty("storage"))),
+            s("volumeName"),
+            s("storageClassName"),
+            enum("volumeMode", "Filesystem", "Block"),
+            obj("dataSource", s("apiGroup"), s("kind"), s("name")),
+            obj("dataSourceRef", s("apiGroup"), s("kind"), s("name"), s("namespace")),
+            s("volumeAttributesClassName"),
+        ),
+    )
+
+
+def _pv_schema() -> FieldSpec:
+    return obj(
+        "PersistentVolume",
+        _object_meta(),
+        obj(
+            "spec",
+            obj("capacity", qty("storage")),
+            arr("accessModes", item_type="string"),
+            s("storageClassName"),
+            enum("persistentVolumeReclaimPolicy", "Retain", "Recycle", "Delete"),
+            enum("volumeMode", "Filesystem", "Block"),
+            obj("claimRef", s("kind"), s("namespace"), s("name"), s("uid")),
+            arr("mountOptions", item_type="string"),
+            obj("hostPath", s("path"), s("type")),
+            obj("nfs", s("server"), s("path"), b("readOnly")),
+            obj(
+                "csi",
+                s("driver"),
+                s("volumeHandle"),
+                b("readOnly"),
+                s("fsType"),
+                m("volumeAttributes"),
+            ),
+            obj("local", s("path"), s("fsType")),
+            obj(
+                "nodeAffinity",
+                obj(
+                    "required",
+                    arr(
+                        "nodeSelectorTerms",
+                        arr(
+                            "matchExpressions",
+                            s("key"),
+                            enum("operator", "In", "NotIn", "Exists", "DoesNotExist"),
+                            arr("values", item_type="string"),
+                        ),
+                    ),
+                ),
+            ),
+        ),
+    )
+
+
+def _namespace_schema() -> FieldSpec:
+    return obj(
+        "Namespace",
+        _object_meta(),
+        obj("spec", arr("finalizers", item_type="string")),
+    )
+
+
+def _endpoints_schema() -> FieldSpec:
+    return obj(
+        "Endpoints",
+        _object_meta(),
+        arr(
+            "subsets",
+            arr(
+                "addresses",
+                ip("ip"),
+                s("hostname"),
+                s("nodeName"),
+                obj("targetRef", s("kind"), s("namespace"), s("name"), s("uid")),
+            ),
+            arr(
+                "notReadyAddresses",
+                ip("ip"),
+                s("hostname"),
+                s("nodeName"),
+            ),
+            arr("ports", s("name"), port("port"), enum("protocol", "TCP", "UDP", "SCTP"), s("appProtocol")),
+        ),
+    )
+
+
+def _limitrange_schema() -> FieldSpec:
+    return obj(
+        "LimitRange",
+        _object_meta(),
+        obj(
+            "spec",
+            arr(
+                "limits",
+                enum("type", "Pod", "Container", "PersistentVolumeClaim"),
+                m("max"),
+                m("min"),
+                m("default"),
+                m("defaultRequest"),
+                m("maxLimitRequestRatio"),
+            ),
+        ),
+    )
+
+
+def _resourcequota_schema() -> FieldSpec:
+    return obj(
+        "ResourceQuota",
+        _object_meta(),
+        obj(
+            "spec",
+            m("hard"),
+            arr("scopes", item_type="string"),
+            obj(
+                "scopeSelector",
+                arr(
+                    "matchExpressions",
+                    s("scopeName"),
+                    enum("operator", "In", "NotIn", "Exists", "DoesNotExist"),
+                    arr("values", item_type="string"),
+                ),
+            ),
+        ),
+    )
+
+
+def _ingress_schema() -> FieldSpec:
+    backend = obj(
+        "backend",
+        obj("service", s("name"), obj("port", s("name"), port("number"))),
+        obj("resource", s("apiGroup"), s("kind"), s("name")),
+    )
+    return obj(
+        "Ingress",
+        _object_meta(),
+        obj(
+            "spec",
+            s("ingressClassName"),
+            obj(
+                "defaultBackend",
+                obj("service", s("name"), obj("port", s("name"), port("number"))),
+                obj("resource", s("apiGroup"), s("kind"), s("name")),
+            ),
+            arr("tls", arr("hosts", item_type="string"), s("secretName")),
+            arr(
+                "rules",
+                s("host"),
+                obj(
+                    "http",
+                    arr(
+                        "paths",
+                        s("path"),
+                        enum("pathType", "Exact", "Prefix", "ImplementationSpecific"),
+                        backend,
+                    ),
+                ),
+            ),
+        ),
+    )
+
+
+def _networkpolicy_schema() -> FieldSpec:
+    peer = [
+        _label_selector("podSelector"),
+        _label_selector("namespaceSelector"),
+        obj("ipBlock", s("cidr"), arr("except", item_type="string")),
+    ]
+    np_port = [enum("protocol", "TCP", "UDP", "SCTP"), port("port"), port("endPort")]
+    return obj(
+        "NetworkPolicy",
+        _object_meta(),
+        obj(
+            "spec",
+            _label_selector("podSelector"),
+            arr("ingress", arr("ports", *np_port), arr("from", *peer)),
+            arr("egress", arr("ports", *np_port), arr("to", *peer)),
+            arr("policyTypes", item_type="string"),
+        ),
+    )
+
+
+def _hpa_schema() -> FieldSpec:
+    metric_target = obj(
+        "target",
+        enum("type", "Utilization", "Value", "AverageValue"),
+        qty("value"),
+        qty("averageValue"),
+        i("averageUtilization"),
+    )
+    metric_identifier = [
+        s("name"),
+        obj("selector", m("matchLabels")),
+    ]
+    scaling_rules = lambda n: obj(  # noqa: E731
+        n,
+        i("stabilizationWindowSeconds"),
+        enum("selectPolicy", "Max", "Min", "Disabled"),
+        arr("policies", enum("type", "Pods", "Percent"), i("value"), i("periodSeconds")),
+    )
+    return obj(
+        "HorizontalPodAutoscaler",
+        _object_meta(),
+        obj(
+            "spec",
+            obj("scaleTargetRef", s("apiVersion"), s("kind"), s("name")),
+            i("minReplicas"),
+            i("maxReplicas"),
+            arr(
+                "metrics",
+                enum("type", "Resource", "Pods", "Object", "External", "ContainerResource"),
+                obj("resource", s("name"), metric_target),
+                obj("containerResource", s("name"), s("container"), metric_target),
+                obj("pods", obj("metric", *metric_identifier), metric_target),
+                obj(
+                    "object",
+                    obj("describedObject", s("apiVersion"), s("kind"), s("name")),
+                    obj("metric", *metric_identifier),
+                    metric_target,
+                ),
+                obj("external", obj("metric", *metric_identifier), metric_target),
+            ),
+            obj("behavior", scaling_rules("scaleUp"), scaling_rules("scaleDown")),
+        ),
+    )
+
+
+def _pdb_schema() -> FieldSpec:
+    return obj(
+        "PodDisruptionBudget",
+        _object_meta(),
+        obj(
+            "spec",
+            qty("minAvailable"),
+            qty("maxUnavailable"),
+            _label_selector("selector"),
+            enum("unhealthyPodEvictionPolicy", "IfHealthyBudget", "AlwaysAllow"),
+        ),
+    )
+
+
+def _role_schema(kind: str) -> FieldSpec:
+    return obj(
+        kind,
+        _object_meta(),
+        arr(
+            "rules",
+            arr("apiGroups", item_type="string"),
+            arr("resources", item_type="string"),
+            arr("verbs", item_type="string"),
+            arr("resourceNames", item_type="string"),
+            arr("nonResourceURLs", item_type="string"),
+        ),
+    )
+
+
+def _binding_schema(kind: str) -> FieldSpec:
+    return obj(
+        kind,
+        _object_meta(),
+        arr("subjects", s("kind"), s("apiGroup"), s("name"), s("namespace")),
+        obj("roleRef", s("apiGroup"), s("kind"), s("name")),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Catalog
+# ---------------------------------------------------------------------------
+
+
+class SchemaCatalog:
+    """Per-kind field schemas with counting and lookup helpers."""
+
+    def __init__(self) -> None:
+        self._schemas: dict[str, FieldSpec] = {}
+        for spec in (
+            _pod_schema(),
+            _deployment_schema(),
+            _replicaset_schema(),
+            _statefulset_schema(),
+            _daemonset_schema(),
+            _job_schema(),
+            _cronjob_schema(),
+            _service_schema(),
+            _configmap_schema(),
+            _secret_schema(),
+            _serviceaccount_schema(),
+            _pvc_schema(),
+            _pv_schema(),
+            _namespace_schema(),
+            _endpoints_schema(),
+            _limitrange_schema(),
+            _resourcequota_schema(),
+            _ingress_schema(),
+            _networkpolicy_schema(),
+            _hpa_schema(),
+            _pdb_schema(),
+            _role_schema("Role"),
+            _role_schema("ClusterRole"),
+            _binding_schema("RoleBinding"),
+            _binding_schema("ClusterRoleBinding"),
+        ):
+            self._schemas[spec.name] = spec
+
+    def schema(self, kind: str) -> FieldSpec:
+        try:
+            return self._schemas[kind]
+        except KeyError:
+            raise KeyError(f"no schema for kind {kind!r}") from None
+
+    def __contains__(self, kind: str) -> bool:
+        return kind in self._schemas
+
+    def kinds(self) -> list[str]:
+        return sorted(self._schemas)
+
+    def field_count(self, kind: str) -> int:
+        """Configurable fields exposed by *kind* (excluding the kind
+        node itself)."""
+        return self.schema(kind).count_fields() - 1
+
+    def total_fields(self, kinds: list[str] | None = None) -> int:
+        """Total configurable fields across *kinds* (default: all)."""
+        use = kinds if kinds is not None else self.kinds()
+        return sum(self.field_count(k) for k in use)
+
+    def field_paths(self, kind: str) -> list[str]:
+        """All dotted schema paths of *kind* (excluding the root)."""
+        root = self.schema(kind)
+        return [path for path, _ in root.walk() if path != root.name]
+
+    def security_critical_fields(self, kind: str) -> list[tuple[str, FieldSpec]]:
+        root = self.schema(kind)
+        return [
+            (path, spec)
+            for path, spec in root.walk()
+            if spec.security_critical and path != root.name
+        ]
+
+
+#: Singleton catalog used across the project.
+catalog = SchemaCatalog()

@@ -1,0 +1,130 @@
+"""An etcd-like versioned object store.
+
+The store keeps Kubernetes objects keyed by ``(kind, namespace, name)``
+with a monotonically increasing cluster-wide ``resourceVersion``,
+optimistic-concurrency checks on update, and an event stream that
+controllers consume (a simplified watch).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterator
+
+from repro.k8s.errors import ApiError
+from repro.k8s.objects import K8sObject
+
+
+@dataclass(frozen=True)
+class StoreEvent:
+    """One watch event: ADDED, MODIFIED or DELETED."""
+
+    type: str
+    obj: K8sObject
+    resource_version: int
+
+
+class ObjectStore:
+    """In-memory versioned store with watch semantics."""
+
+    def __init__(self) -> None:
+        self._objects: dict[tuple[str, str, str], K8sObject] = {}
+        self._revision = 0
+        self._watchers: list[Callable[[StoreEvent], None]] = []
+
+    # -- versioning --------------------------------------------------------
+
+    @property
+    def revision(self) -> int:
+        """Current cluster-wide resource version."""
+        return self._revision
+
+    def _bump(self, obj: K8sObject) -> None:
+        self._revision += 1
+        obj.metadata["resourceVersion"] = str(self._revision)
+
+    # -- CRUD --------------------------------------------------------------
+
+    def create(self, obj: K8sObject) -> K8sObject:
+        key = obj.key()
+        if key in self._objects:
+            raise ApiError.conflict(obj.kind, obj.name)
+        stored = obj.copy()
+        self._bump(stored)
+        stored.metadata.setdefault("uid", f"uid-{self._revision:08d}")
+        self._objects[key] = stored
+        self._emit(StoreEvent("ADDED", stored.copy(), self._revision))
+        return stored.copy()
+
+    def get(self, kind: str, namespace: str, name: str) -> K8sObject:
+        try:
+            return self._objects[(kind, namespace, name)].copy()
+        except KeyError:
+            raise ApiError.not_found(kind, name) from None
+
+    def exists(self, kind: str, namespace: str, name: str) -> bool:
+        return (kind, namespace, name) in self._objects
+
+    def update(self, obj: K8sObject, check_version: bool = False) -> K8sObject:
+        key = obj.key()
+        if key not in self._objects:
+            raise ApiError.not_found(obj.kind, obj.name)
+        if check_version:
+            current = self._objects[key]
+            if obj.resource_version is not None and obj.resource_version != current.resource_version:
+                raise ApiError.conflict(
+                    obj.kind,
+                    obj.name,
+                    message=(
+                        f"Operation cannot be fulfilled on {obj.kind} {obj.name!r}: "
+                        "the object has been modified"
+                    ),
+                )
+        stored = obj.copy()
+        # Preserve the uid assigned at creation time.
+        stored.metadata["uid"] = self._objects[key].metadata.get("uid")
+        self._bump(stored)
+        self._objects[key] = stored
+        self._emit(StoreEvent("MODIFIED", stored.copy(), self._revision))
+        return stored.copy()
+
+    def delete(self, kind: str, namespace: str, name: str) -> K8sObject:
+        key = (kind, namespace, name)
+        if key not in self._objects:
+            raise ApiError.not_found(kind, name)
+        obj = self._objects.pop(key)
+        self._revision += 1
+        self._emit(StoreEvent("DELETED", obj.copy(), self._revision))
+        return obj.copy()
+
+    def list(self, kind: str, namespace: str | None = None) -> list[K8sObject]:
+        out = [
+            o.copy()
+            for (k, ns, _), o in self._objects.items()
+            if k == kind and (namespace is None or ns == namespace)
+        ]
+        out.sort(key=lambda o: (o.namespace, o.name))
+        return out
+
+    def all_objects(self) -> Iterator[K8sObject]:
+        for obj in self._objects.values():
+            yield obj.copy()
+
+    def __len__(self) -> int:
+        return len(self._objects)
+
+    # -- watch -------------------------------------------------------------
+
+    def watch(self, callback: Callable[[StoreEvent], None]) -> Callable[[], None]:
+        """Register a watcher; returns an unsubscribe function."""
+        self._watchers.append(callback)
+
+        def unsubscribe() -> None:
+            if callback in self._watchers:
+                self._watchers.remove(callback)
+
+        return unsubscribe
+
+    def _emit(self, event: StoreEvent) -> None:
+        for watcher in list(self._watchers):
+            watcher(event)

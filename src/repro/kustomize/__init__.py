@@ -1,0 +1,22 @@
+"""Kustomize support: policy generation beyond Helm (paper Sec. VIII).
+
+The paper's Discussion notes that KubeFence's methodology "can be
+easily extended to other deployment mechanisms, such as Kustomize or
+raw YAML manifests".  This package implements that extension:
+
+- :mod:`repro.kustomize.model` -- the Kustomization document model
+  (resources, bases, name prefix/suffix, namespace, common labels,
+  image/replica overrides, strategic-merge patches, generators).
+- :mod:`repro.kustomize.build` -- the ``kustomize build`` equivalent:
+  resolve bases recursively and apply the transformer chain.
+- :mod:`repro.kustomize.policy` -- KubeFence policy generation from a
+  base plus its overlays: each overlay is one configuration variant;
+  the union (with optional scalar generalization and the standard
+  security-lock overlay) becomes the validator.
+"""
+
+from repro.kustomize.build import build
+from repro.kustomize.model import Kustomization
+from repro.kustomize.policy import generate_policy_from_kustomize
+
+__all__ = ["Kustomization", "build", "generate_policy_from_kustomize"]

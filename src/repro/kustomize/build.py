@@ -1,0 +1,224 @@
+"""``kustomize build``: resolve bases and apply the transformer chain.
+
+Transformer order follows kustomize: bases first (recursively), then
+this layer's generators, then patches, then name prefix/suffix,
+namespace, common labels/annotations, image overrides, and replica
+overrides.
+
+Strategic-merge patch semantics: maps merge recursively; lists whose
+elements carry a ``name`` field merge element-wise by name (containers,
+ports, env, volumes); other lists are replaced.  The ``$patch: delete``
+directive removes a named list element or a map key.
+"""
+
+from __future__ import annotations
+
+import base64
+from typing import Any
+
+from repro.kustomize.model import Kustomization
+from repro.yamlutil import deep_copy, get_path, set_path
+
+#: Kinds whose selector/template labels must track commonLabels so the
+#: workload still selects its own pods (kustomize does the same).
+_WORKLOAD_LABEL_PATHS = {
+    "Deployment": ("spec.selector.matchLabels", "spec.template.metadata.labels"),
+    "ReplicaSet": ("spec.selector.matchLabels", "spec.template.metadata.labels"),
+    "StatefulSet": ("spec.selector.matchLabels", "spec.template.metadata.labels"),
+    "DaemonSet": ("spec.selector.matchLabels", "spec.template.metadata.labels"),
+    "Job": ("spec.template.metadata.labels",),
+    "Service": ("spec.selector",),
+}
+
+
+def build(kustomization: Kustomization) -> list[dict[str, Any]]:
+    """Produce the final manifest list for a kustomization layer."""
+    manifests: list[dict[str, Any]] = []
+    for base in kustomization.bases:
+        manifests.extend(build(base))
+    manifests.extend(deep_copy(m) for m in kustomization.manifests)
+    manifests.extend(_run_generators(kustomization))
+    manifests = [_apply_patches(m, kustomization.patches) for m in manifests]
+    manifests = [_apply_json_patches(m, kustomization.json_patches) for m in manifests]
+    for manifest in manifests:
+        # Name-based transformers (replicas) target the *original*
+        # names, so they run before prefix/suffix renaming.
+        _apply_replicas(manifest, kustomization)
+        _apply_images(manifest, kustomization)
+        _apply_names(manifest, kustomization)
+        _apply_namespace(manifest, kustomization)
+        _apply_common_metadata(manifest, kustomization)
+    return manifests
+
+
+# -- generators ---------------------------------------------------------------
+
+
+def _literals_to_map(entry: dict[str, Any]) -> dict[str, str]:
+    out: dict[str, str] = {}
+    for literal in entry.get("literals", []):
+        key, _, value = str(literal).partition("=")
+        out[key] = value
+    return out
+
+
+def _run_generators(kustomization: Kustomization) -> list[dict[str, Any]]:
+    generated: list[dict[str, Any]] = []
+    for entry in kustomization.config_map_generator:
+        generated.append(
+            {
+                "apiVersion": "v1",
+                "kind": "ConfigMap",
+                "metadata": {"name": entry["name"]},
+                "data": _literals_to_map(entry),
+            }
+        )
+    for entry in kustomization.secret_generator:
+        data = {
+            key: base64.b64encode(value.encode()).decode()
+            for key, value in _literals_to_map(entry).items()
+        }
+        generated.append(
+            {
+                "apiVersion": "v1",
+                "kind": "Secret",
+                "metadata": {"name": entry["name"]},
+                "type": entry.get("type", "Opaque"),
+                "data": data,
+            }
+        )
+    return generated
+
+
+# -- strategic merge patches --------------------------------------------------
+
+
+def strategic_merge(target: Any, patch: Any) -> Any:
+    """Strategic-merge *patch* into *target*, returning a new tree."""
+    if isinstance(target, dict) and isinstance(patch, dict):
+        merged = {k: deep_copy(v) for k, v in target.items()}
+        for key, value in patch.items():
+            if key == "$patch":
+                continue
+            if isinstance(value, dict) and value.get("$patch") == "delete":
+                merged.pop(key, None)
+            elif key in merged:
+                merged[key] = strategic_merge(merged[key], value)
+            else:
+                merged[key] = deep_copy(value)
+        return merged
+    if isinstance(target, list) and isinstance(patch, list):
+        return _merge_named_list(target, patch)
+    return deep_copy(patch)
+
+
+def _merge_named_list(target: list, patch: list) -> list:
+    def name_of(element: Any) -> str | None:
+        if isinstance(element, dict) and isinstance(element.get("name"), str):
+            return element["name"]
+        return None
+
+    if not patch or not all(
+        isinstance(e, dict) and name_of(e) is not None for e in patch
+    ):
+        return deep_copy(patch)  # unnamed lists replace
+    merged = [deep_copy(e) for e in target]
+    index = {name_of(e): i for i, e in enumerate(merged) if name_of(e) is not None}
+    for element in patch:
+        name = name_of(element)
+        if isinstance(element, dict) and element.get("$patch") == "delete":
+            if name in index:
+                merged[index[name]] = None
+            continue
+        if name in index:
+            merged[index[name]] = strategic_merge(merged[index[name]], element)
+        else:
+            merged.append(deep_copy(element))
+    return [e for e in merged if e is not None]
+
+
+def _apply_patches(manifest: dict[str, Any], patches: list[dict[str, Any]]) -> dict[str, Any]:
+    for patch in patches:
+        if patch.get("kind") != manifest.get("kind"):
+            continue
+        patch_name = patch.get("metadata", {}).get("name")
+        if patch_name and patch_name != manifest.get("metadata", {}).get("name"):
+            continue
+        manifest = strategic_merge(manifest, patch)
+    return manifest
+
+
+def _apply_json_patches(
+    manifest: dict[str, Any], json_patches: list[dict[str, Any]]
+) -> dict[str, Any]:
+    from repro.yamlutil.jsonpatch import apply_patch
+
+    for entry in json_patches:
+        target = entry.get("target", {})
+        if target.get("kind") and target["kind"] != manifest.get("kind"):
+            continue
+        if target.get("name") and target["name"] != manifest.get("metadata", {}).get("name"):
+            continue
+        manifest = apply_patch(manifest, entry.get("ops", []))
+    return manifest
+
+
+# -- simple transformers -------------------------------------------------------
+
+
+def _apply_names(manifest: dict[str, Any], k: Kustomization) -> None:
+    if not (k.name_prefix or k.name_suffix):
+        return
+    meta = manifest.setdefault("metadata", {})
+    if "name" in meta:
+        meta["name"] = f"{k.name_prefix}{meta['name']}{k.name_suffix}"
+
+
+def _apply_namespace(manifest: dict[str, Any], k: Kustomization) -> None:
+    if k.namespace:
+        manifest.setdefault("metadata", {})["namespace"] = k.namespace
+
+
+def _apply_common_metadata(manifest: dict[str, Any], k: Kustomization) -> None:
+    meta = manifest.setdefault("metadata", {})
+    if k.common_labels:
+        meta.setdefault("labels", {}).update(k.common_labels)
+        for path in _WORKLOAD_LABEL_PATHS.get(manifest.get("kind", ""), ()):
+            current = get_path(manifest, path, None)
+            if isinstance(current, dict):
+                current.update(k.common_labels)
+            elif current is None and path.endswith(("matchLabels", "labels")):
+                set_path(manifest, path, dict(k.common_labels))
+    if k.common_annotations:
+        meta.setdefault("annotations", {}).update(k.common_annotations)
+
+
+def _pod_spec_paths(kind: str) -> tuple[str, ...]:
+    from repro.k8s.gvk import registry
+
+    if kind in registry and registry.by_kind(kind).pod_spec_path:
+        return (registry.by_kind(kind).pod_spec_path,)
+    return ()
+
+
+def _apply_images(manifest: dict[str, Any], k: Kustomization) -> None:
+    if not k.images:
+        return
+    for pod_path in _pod_spec_paths(manifest.get("kind", "")):
+        pod_spec = get_path(manifest, pod_path, None)
+        if not isinstance(pod_spec, dict):
+            continue
+        for group in ("containers", "initContainers"):
+            for container in pod_spec.get(group) or []:
+                image = container.get("image")
+                if not isinstance(image, str):
+                    continue
+                for override in k.images:
+                    container["image"] = override.apply(container["image"])
+
+
+def _apply_replicas(manifest: dict[str, Any], k: Kustomization) -> None:
+    for override in k.replicas:
+        if manifest.get("metadata", {}).get("name") == override.name and "spec" in manifest:
+            if manifest.get("kind") in ("Deployment", "StatefulSet", "ReplicaSet"):
+                manifest["spec"]["replicas"] = override.count

@@ -1,0 +1,125 @@
+"""The Kustomization document model.
+
+Mirrors the fields of ``kustomization.yaml`` that real overlays use:
+``resources`` (manifests and bases), ``namePrefix``/``nameSuffix``,
+``namespace``, ``commonLabels``/``commonAnnotations``, ``images`` and
+``replicas`` overrides, strategic-merge ``patches``, and the configMap/
+secret generators.
+
+A Kustomization can be built fully in memory (manifests passed as
+dicts) or loaded from a directory containing ``kustomization.yaml``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+import yaml
+
+
+@dataclass(frozen=True)
+class ImageOverride:
+    """``images:`` entry: retag/rename an image by its name prefix."""
+
+    name: str
+    new_name: str | None = None
+    new_tag: str | None = None
+
+    def apply(self, image: str) -> str:
+        base, tag = (image.rsplit(":", 1) + [""])[:2] if ":" in image else (image, "")
+        if base != self.name:
+            return image
+        base = self.new_name or base
+        tag = self.new_tag or tag
+        return f"{base}:{tag}" if tag else base
+
+
+@dataclass(frozen=True)
+class ReplicaOverride:
+    """``replicas:`` entry: set the replica count of a named workload."""
+
+    name: str
+    count: int
+
+
+@dataclass
+class Kustomization:
+    """One kustomization layer (a base or an overlay)."""
+
+    name: str = "kustomization"
+    #: Inline manifests (the in-memory equivalent of resource files).
+    manifests: list[dict[str, Any]] = field(default_factory=list)
+    #: Parent layers, resolved before this layer's transformers run.
+    bases: list["Kustomization"] = field(default_factory=list)
+    name_prefix: str = ""
+    name_suffix: str = ""
+    namespace: str | None = None
+    common_labels: dict[str, str] = field(default_factory=dict)
+    common_annotations: dict[str, str] = field(default_factory=dict)
+    images: list[ImageOverride] = field(default_factory=list)
+    replicas: list[ReplicaOverride] = field(default_factory=list)
+    #: Strategic-merge patches (partial manifests keyed by kind+name).
+    patches: list[dict[str, Any]] = field(default_factory=list)
+    #: RFC 6902 patches: {"target": {"kind":..., "name":...}, "ops": [...]}.
+    json_patches: list[dict[str, Any]] = field(default_factory=list)
+    #: configMapGenerator entries: {"name": ..., "literals": ["k=v", ...]}
+    config_map_generator: list[dict[str, Any]] = field(default_factory=list)
+    #: secretGenerator entries: same shape, type Opaque.
+    secret_generator: list[dict[str, Any]] = field(default_factory=list)
+
+    @classmethod
+    def from_directory(cls, path: str | Path) -> "Kustomization":
+        """Load ``kustomization.yaml`` plus referenced resource files;
+        directory references among ``resources`` are loaded recursively
+        as bases."""
+        root = Path(path)
+        doc = yaml.safe_load((root / "kustomization.yaml").read_text()) or {}
+        manifests: list[dict[str, Any]] = []
+        bases: list[Kustomization] = []
+        for ref in doc.get("resources", []) + doc.get("bases", []):
+            target = root / ref
+            if target.is_dir():
+                bases.append(cls.from_directory(target))
+            else:
+                for document in yaml.safe_load_all(target.read_text()):
+                    if isinstance(document, dict) and document.get("kind"):
+                        manifests.append(document)
+        patches = []
+        for patch in doc.get("patchesStrategicMerge", []) + doc.get("patches", []):
+            if isinstance(patch, dict) and "patch" in patch:  # new-style wrapper
+                patches.append(yaml.safe_load(patch["patch"]))
+            elif isinstance(patch, dict):
+                patches.append(patch)
+            else:  # file reference
+                patches.append(yaml.safe_load((root / patch).read_text()))
+        json_patches = []
+        for entry in doc.get("patchesJson6902", []):
+            if "path" in entry:
+                ops = yaml.safe_load((root / entry["path"]).read_text())
+            else:
+                ops = yaml.safe_load(entry.get("patch", "")) or []
+            json_patches.append({"target": entry.get("target", {}), "ops": ops})
+        return cls(
+            name=root.name,
+            manifests=manifests,
+            bases=bases,
+            name_prefix=doc.get("namePrefix", ""),
+            name_suffix=doc.get("nameSuffix", ""),
+            namespace=doc.get("namespace"),
+            common_labels=doc.get("commonLabels", {}) or {},
+            common_annotations=doc.get("commonAnnotations", {}) or {},
+            images=[
+                ImageOverride(i["name"], i.get("newName"), i.get("newTag"))
+                for i in doc.get("images", [])
+            ],
+            replicas=[
+                ReplicaOverride(r["name"], int(r["count"]))
+                for r in doc.get("replicas", [])
+            ],
+            patches=patches,
+            json_patches=json_patches,
+            config_map_generator=doc.get("configMapGenerator", []) or [],
+            secret_generator=doc.get("secretGenerator", []) or [],
+        )

@@ -1,0 +1,90 @@
+"""KubeFence policy generation from Kustomize layers (Sec. VIII).
+
+With Helm, the configuration space is implicit in templates + value
+domains; with Kustomize it is explicit: a base plus the overlays an
+organisation actually deploys.  Each overlay build is therefore one
+configuration variant, and the validator is their consolidated union
+(the same phase-4 machinery as the Helm pipeline), with two additions:
+
+- **scalar generalization**: fields whose values differ across overlays
+  in a type-uniform way (all ints, all quantities, ...) can optionally
+  be widened to the corresponding placeholder instead of a closed enum,
+  matching Helm-mode permissiveness for free-form fields;
+- names are *not* release-templated in Kustomize, so prefix/suffix
+  variation across overlays is generalized through the same union.
+
+The security-lock overlay applies unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.core import placeholders as ph
+from repro.core.enforcement import Validator
+from repro.core.security import DEFAULT_LOCKS, SecurityLock
+from repro.core.validator_gen import apply_locks, merge_trees
+from repro.kustomize.build import build
+from repro.kustomize.model import Kustomization
+
+#: Scalar types eligible for widening, tried in order.  ``port`` is
+#: deliberately absent: any port is an int, and without key context the
+#: more general type is the safe generalization.
+_WIDENING_ORDER = ("bool", "int", "IP", "quantity", "string")
+
+
+def _widen_unions(node: Any) -> Any:
+    """Collapse homogeneous scalar unions into type placeholders."""
+    if isinstance(node, dict):
+        return {key: _widen_unions(value) for key, value in node.items()}
+    if isinstance(node, list):
+        widened = [_widen_unions(value) for value in node]
+        scalars = [v for v in widened if not isinstance(v, (dict, list))]
+        if len(scalars) == len(widened) and len(scalars) > 1:
+            for ptype in _WIDENING_ORDER:
+                if all(ph.matches_type(v, ptype) for v in scalars):
+                    return ph.make(ptype)
+        return widened
+    return node
+
+
+def generate_policy_from_kustomize(
+    base: Kustomization,
+    overlays: list[Kustomization] | None = None,
+    operator: str | None = None,
+    locks: tuple[SecurityLock, ...] = DEFAULT_LOCKS,
+    generalize_scalars: bool = True,
+) -> Validator:
+    """Build a validator from a base and the overlays in use.
+
+    When *overlays* is empty, the base itself is the single variant
+    (the "raw YAML manifests" case from the paper's Discussion).
+    """
+    layers = overlays if overlays else [base]
+    kinds: dict[str, dict[str, Any]] = {}
+    manifests_merged = 0
+    for layer in layers:
+        for manifest in build(layer):
+            kind = manifest.get("kind")
+            if not kind:
+                continue
+            manifests_merged += 1
+            if kind in kinds:
+                kinds[kind] = merge_trees(kinds[kind], manifest)
+            else:
+                kinds[kind] = manifest
+    if generalize_scalars:
+        kinds = {kind: _widen_unions(tree) for kind, tree in kinds.items()}
+    for kind, tree in kinds.items():
+        apply_locks(tree, kind, locks)
+    return Validator(
+        operator=operator or base.name,
+        kinds=kinds,
+        locks=list(locks),
+        meta={
+            "source": "kustomize",
+            "overlays": [layer.name for layer in layers],
+            "manifestsMerged": manifests_merged,
+            "generalizeScalars": generalize_scalars,
+        },
+    )

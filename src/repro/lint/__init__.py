@@ -1,0 +1,27 @@
+"""Static analysis of manifests and charts (the KubeLinter/Checkov role).
+
+The paper positions static checkers as *complementary* to KubeFence
+(Sec. VII-A, Sec. VIII): they catch misconfigurations pre-deployment
+but "operate pre-deployment, leaving systems exposed to runtime
+threats".  This package implements that complementary tool so the
+repository covers the full workflow the paper recommends -- lint the
+chart, then generate and enforce the policy:
+
+- :mod:`repro.lint.rules` -- the rule catalog (security-context,
+  host-namespace, image-hygiene, probe and resource checks, aligned
+  with the NSA/CISA hardening guide and Pod Security Standards);
+- :mod:`repro.lint.engine` -- runs rules over manifests, rendered
+  charts, or kustomize builds, producing a structured report.
+"""
+
+from repro.lint.engine import LintFinding, LintReport, lint_chart, lint_manifests
+from repro.lint.rules import ALL_RULES, LintRule
+
+__all__ = [
+    "ALL_RULES",
+    "LintFinding",
+    "LintReport",
+    "LintRule",
+    "lint_chart",
+    "lint_manifests",
+]

@@ -1,0 +1,106 @@
+"""The lint engine: run rules over manifests, charts, or overlays."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable
+
+from repro.helm.chart import Chart, render_chart
+from repro.lint.rules import ALL_RULES, LintRule
+
+_SEVERITY_ORDER = {"error": 0, "warning": 1, "info": 2}
+
+
+@dataclass(frozen=True)
+class LintFinding:
+    """One rule hit on one manifest."""
+
+    rule_id: str
+    severity: str
+    kind: str
+    name: str
+    path: str
+    message: str
+
+    def line(self) -> str:
+        return (
+            f"[{self.severity.upper():7s}] {self.rule_id} "
+            f"{self.kind}/{self.name} {self.path}: {self.message}"
+        )
+
+
+@dataclass
+class LintReport:
+    findings: list[LintFinding] = field(default_factory=list)
+
+    @property
+    def errors(self) -> list[LintFinding]:
+        return [f for f in self.findings if f.severity == "error"]
+
+    @property
+    def warnings(self) -> list[LintFinding]:
+        return [f for f in self.findings if f.severity == "warning"]
+
+    def by_rule(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for finding in self.findings:
+            counts[finding.rule_id] = counts.get(finding.rule_id, 0) + 1
+        return counts
+
+    @property
+    def clean(self) -> bool:
+        return not self.errors and not self.warnings
+
+    def render(self) -> str:
+        if not self.findings:
+            return "no lint findings"
+        ordered = sorted(
+            self.findings,
+            key=lambda f: (_SEVERITY_ORDER[f.severity], f.rule_id, f.kind, f.path),
+        )
+        lines = [finding.line() for finding in ordered]
+        lines.append(
+            f"{len(self.errors)} error(s), {len(self.warnings)} warning(s), "
+            f"{len(self.findings) - len(self.errors) - len(self.warnings)} info"
+        )
+        return "\n".join(lines)
+
+
+def lint_manifests(
+    manifests: Iterable[dict[str, Any]],
+    rules: tuple[LintRule, ...] = ALL_RULES,
+    ignore: frozenset[str] = frozenset(),
+) -> LintReport:
+    """Run *rules* over every manifest."""
+    report = LintReport()
+    for manifest in manifests:
+        if not isinstance(manifest, dict) or not manifest.get("kind"):
+            continue
+        kind = manifest.get("kind", "")
+        name = manifest.get("metadata", {}).get("name", "")
+        for rule in rules:
+            if rule.rule_id in ignore:
+                continue
+            for path, message in rule.check(manifest):
+                report.findings.append(
+                    LintFinding(
+                        rule_id=rule.rule_id,
+                        severity=rule.severity,
+                        kind=kind,
+                        name=name,
+                        path=path,
+                        message=message,
+                    )
+                )
+    return report
+
+
+def lint_chart(
+    chart: Chart,
+    overrides: dict[str, Any] | None = None,
+    rules: tuple[LintRule, ...] = ALL_RULES,
+    ignore: frozenset[str] = frozenset(),
+) -> LintReport:
+    """Render the chart (the configuration actually deployed) and lint
+    the result -- the paper's 'before policy generation' workflow."""
+    return lint_manifests(render_chart(chart, overrides=overrides), rules, ignore)

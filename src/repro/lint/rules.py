@@ -1,0 +1,256 @@
+"""The lint rule catalog.
+
+Each rule inspects one manifest and yields ``(path, message)`` pairs.
+Severity levels: ``error`` (exploitable now), ``warning`` (weakens the
+posture), ``info`` (hygiene).  The catalog mirrors the checks the
+NSA/CISA Kubernetes Hardening Guide and the Pod Security Standards
+codify -- the same sources the paper's security locks come from, which
+is why linting *before* policy generation removes exactly the unsafe
+defaults KubeFence would otherwise have to override.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Iterator
+
+from repro.k8s.gvk import registry
+from repro.yamlutil import get_path
+
+Findings = Iterator[tuple[str, str]]
+Check = Callable[[dict[str, Any]], Findings]
+
+
+@dataclass(frozen=True)
+class LintRule:
+    rule_id: str
+    severity: str  # "error" | "warning" | "info"
+    title: str
+    check: Check
+
+
+def _pod_spec(manifest: dict[str, Any]) -> tuple[str, dict[str, Any]] | None:
+    kind = manifest.get("kind", "")
+    if kind not in registry:
+        return None
+    path = registry.by_kind(kind).pod_spec_path
+    if path is None:
+        return None
+    spec = get_path(manifest, path, None)
+    return (path, spec) if isinstance(spec, dict) else None
+
+
+def _containers(manifest: dict[str, Any]) -> Iterator[tuple[str, dict[str, Any]]]:
+    located = _pod_spec(manifest)
+    if located is None:
+        return
+    prefix, spec = located
+    for group in ("containers", "initContainers"):
+        for index, container in enumerate(spec.get(group) or []):
+            if isinstance(container, dict):
+                yield f"{prefix}.{group}[{index}]", container
+
+
+# -- host namespaces --------------------------------------------------------
+
+
+def _check_host_namespaces(manifest: dict[str, Any]) -> Findings:
+    located = _pod_spec(manifest)
+    if located is None:
+        return
+    prefix, spec = located
+    for flag in ("hostNetwork", "hostPID", "hostIPC"):
+        if spec.get(flag) is True:
+            yield f"{prefix}.{flag}", f"{flag} shares a host namespace with the pod"
+
+
+def _check_host_path(manifest: dict[str, Any]) -> Findings:
+    located = _pod_spec(manifest)
+    if located is None:
+        return
+    prefix, spec = located
+    for index, volume in enumerate(spec.get("volumes") or []):
+        if isinstance(volume, dict) and "hostPath" in volume:
+            yield (
+                f"{prefix}.volumes[{index}].hostPath",
+                "hostPath volumes expose the node filesystem",
+            )
+
+
+# -- container security context ----------------------------------------------
+
+
+def _check_privileged(manifest: dict[str, Any]) -> Findings:
+    for path, container in _containers(manifest):
+        if get_path(container, "securityContext.privileged", None) is True:
+            yield f"{path}.securityContext.privileged", "privileged container"
+
+
+def _check_run_as_non_root(manifest: dict[str, Any]) -> Findings:
+    for path, container in _containers(manifest):
+        value = get_path(container, "securityContext.runAsNonRoot", None)
+        if value is False:
+            yield f"{path}.securityContext.runAsNonRoot", "container runs as root"
+        elif value is None:
+            yield (
+                f"{path}.securityContext.runAsNonRoot",
+                "runAsNonRoot not set (defaults to root-capable)",
+            )
+
+
+def _check_privilege_escalation(manifest: dict[str, Any]) -> Findings:
+    for path, container in _containers(manifest):
+        value = get_path(container, "securityContext.allowPrivilegeEscalation", None)
+        if value is not False:
+            yield (
+                f"{path}.securityContext.allowPrivilegeEscalation",
+                "allowPrivilegeEscalation not disabled",
+            )
+
+
+def _check_read_only_root(manifest: dict[str, Any]) -> Findings:
+    for path, container in _containers(manifest):
+        if get_path(container, "securityContext.readOnlyRootFilesystem", None) is not True:
+            yield (
+                f"{path}.securityContext.readOnlyRootFilesystem",
+                "root filesystem is writable",
+            )
+
+
+def _check_added_capabilities(manifest: dict[str, Any]) -> Findings:
+    dangerous = {"SYS_ADMIN", "NET_ADMIN", "NET_RAW", "SYS_PTRACE", "ALL"}
+    for path, container in _containers(manifest):
+        added = get_path(container, "securityContext.capabilities.add", None) or []
+        risky = sorted(set(map(str, added)) & dangerous)
+        if risky:
+            yield (
+                f"{path}.securityContext.capabilities.add",
+                f"dangerous capabilities added: {', '.join(risky)}",
+            )
+        elif added:
+            yield (
+                f"{path}.securityContext.capabilities.add",
+                f"capabilities added: {', '.join(map(str, added))}",
+            )
+
+
+def _check_selinux_options(manifest: dict[str, Any]) -> Findings:
+    for path, container in _containers(manifest):
+        for key in ("user", "role"):
+            if get_path(container, f"securityContext.seLinuxOptions.{key}", None):
+                yield (
+                    f"{path}.securityContext.seLinuxOptions.{key}",
+                    f"custom SELinux {key} weakens mandatory access control",
+                )
+
+
+# -- resources & probes ----------------------------------------------------------
+
+
+def _check_resource_limits(manifest: dict[str, Any]) -> Findings:
+    for path, container in _containers(manifest):
+        if not get_path(container, "resources.limits", None):
+            yield f"{path}.resources.limits", "no resource limits (DoS amplification)"
+
+
+def _check_probes(manifest: dict[str, Any]) -> Findings:
+    if manifest.get("kind") not in ("Deployment", "StatefulSet", "DaemonSet"):
+        return
+    located = _pod_spec(manifest)
+    if located is None:
+        return
+    prefix, spec = located
+    for index, container in enumerate(spec.get("containers") or []):
+        if not isinstance(container, dict):
+            continue
+        if "readinessProbe" not in container and "livenessProbe" not in container:
+            yield (
+                f"{prefix}.containers[{index}]",
+                "no liveness/readiness probe configured",
+            )
+
+
+# -- image hygiene -------------------------------------------------------------
+
+
+def _check_image_tags(manifest: dict[str, Any]) -> Findings:
+    for path, container in _containers(manifest):
+        image = container.get("image")
+        if not isinstance(image, str):
+            continue
+        if ":" not in image.rsplit("/", 1)[-1]:
+            yield f"{path}.image", f"image {image!r} has no tag (implicit :latest)"
+        elif image.endswith(":latest"):
+            yield f"{path}.image", f"image {image!r} uses the mutable :latest tag"
+
+
+# -- service account -----------------------------------------------------------
+
+
+def _check_automount_token(manifest: dict[str, Any]) -> Findings:
+    located = _pod_spec(manifest)
+    if located is not None:
+        prefix, spec = located
+        if spec.get("automountServiceAccountToken") is not False:
+            yield (
+                f"{prefix}.automountServiceAccountToken",
+                "service account token automounted into the pod",
+            )
+    if manifest.get("kind") == "ServiceAccount":
+        if manifest.get("automountServiceAccountToken") is not False:
+            yield (
+                "automountServiceAccountToken",
+                "ServiceAccount automounts its token by default",
+            )
+
+
+def _check_external_ips(manifest: dict[str, Any]) -> Findings:
+    if manifest.get("kind") == "Service" and get_path(manifest, "spec.externalIPs", None):
+        yield "spec.externalIPs", "externalIPs enable traffic interception (CVE-2020-8554)"
+
+
+def _check_subpath(manifest: dict[str, Any]) -> Findings:
+    for path, container in _containers(manifest):
+        for index, mount in enumerate(container.get("volumeMounts") or []):
+            if isinstance(mount, dict) and mount.get("subPath"):
+                yield (
+                    f"{path}.volumeMounts[{index}].subPath",
+                    "subPath mounts have a history of host-escape CVEs",
+                )
+
+
+def _check_seccomp_profile(manifest: dict[str, Any]) -> Findings:
+    for path, container in _containers(manifest):
+        profile_type = get_path(container, "securityContext.seccompProfile.type", None)
+        localhost = get_path(
+            container, "securityContext.seccompProfile.localhostProfile", None
+        )
+        if profile_type == "Unconfined":
+            yield (
+                f"{path}.securityContext.seccompProfile.type",
+                "seccomp disabled (Unconfined)",
+            )
+        if localhost is not None:
+            yield (
+                f"{path}.securityContext.seccompProfile.localhostProfile",
+                "localhost seccomp profiles can bypass confinement (CVE-2023-2431)",
+            )
+
+
+ALL_RULES: tuple[LintRule, ...] = (
+    LintRule("KF001", "error", "host namespace sharing", _check_host_namespaces),
+    LintRule("KF002", "error", "privileged container", _check_privileged),
+    LintRule("KF003", "error", "hostPath volume", _check_host_path),
+    LintRule("KF004", "warning", "container may run as root", _check_run_as_non_root),
+    LintRule("KF005", "warning", "privilege escalation allowed", _check_privilege_escalation),
+    LintRule("KF006", "warning", "writable root filesystem", _check_read_only_root),
+    LintRule("KF007", "error", "added Linux capabilities", _check_added_capabilities),
+    LintRule("KF008", "warning", "custom SELinux options", _check_selinux_options),
+    LintRule("KF009", "warning", "missing resource limits", _check_resource_limits),
+    LintRule("KF010", "info", "missing health probes", _check_probes),
+    LintRule("KF011", "warning", "unpinned image tag", _check_image_tags),
+    LintRule("KF012", "info", "service account token automount", _check_automount_token),
+    LintRule("KF013", "error", "Service externalIPs", _check_external_ips),
+    LintRule("KF014", "warning", "subPath volume mount", _check_subpath),
+    LintRule("KF015", "warning", "weak seccomp configuration", _check_seccomp_profile),
+)

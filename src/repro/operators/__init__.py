@@ -1,0 +1,39 @@
+"""The five Kubernetes Operators used in the paper's evaluation.
+
+The paper selects five Helm-based Operators from Artifact Hub --
+PostgreSQL, Nginx, MLflow, RabbitMQ, and SonarQube -- spanning
+databases, networking, AI/ML, data streaming, and security tooling.
+This package provides synthetic charts modelled on those operators:
+same resource kinds, same templating idioms (conditionals, loops, enum
+annotations, security contexts, user-overridable values), sized so the
+configuration-space exploration and attack-surface numbers behave like
+the paper's.
+
+- :mod:`repro.operators.charts` -- the five chart definitions.
+- :mod:`repro.operators.client` -- an operator deployment client that
+  drives the K8s API (directly or through the KubeFence proxy).
+"""
+
+from repro.operators.charts import (
+    OPERATOR_NAMES,
+    all_charts,
+    get_chart,
+    mlflow_chart,
+    nginx_chart,
+    postgresql_chart,
+    rabbitmq_chart,
+    sonarqube_chart,
+)
+from repro.operators.client import OperatorClient
+
+__all__ = [
+    "OPERATOR_NAMES",
+    "OperatorClient",
+    "all_charts",
+    "get_chart",
+    "mlflow_chart",
+    "nginx_chart",
+    "postgresql_chart",
+    "rabbitmq_chart",
+    "sonarqube_chart",
+]

@@ -1,0 +1,1408 @@
+"""Synthetic Helm charts for the five evaluation operators.
+
+Each chart mirrors the structure of its Artifact Hub counterpart:
+values files with typed defaults and ``# @enum:`` annotations,
+``_helpers.tpl`` defines, and templates exercising conditionals,
+loops, overridable values, and security contexts.  All rendered
+manifests are valid against the schema catalog, so they can be applied
+to the mini cluster.
+"""
+
+from __future__ import annotations
+
+from textwrap import dedent
+
+from repro.helm.chart import Chart
+
+OPERATOR_NAMES = ("nginx", "mlflow", "postgresql", "rabbitmq", "sonarqube")
+
+
+def _helpers(name: str) -> str:
+    return dedent(
+        """\
+        {{- define "%(name)s.fullname" -}}
+        {{ .Release.Name }}-%(name)s
+        {{- end -}}
+
+        {{- define "%(name)s.labels" -}}
+        app.kubernetes.io/name: %(name)s
+        app.kubernetes.io/instance: {{ .Release.Name }}
+        app.kubernetes.io/managed-by: {{ .Release.Service }}
+        helm.sh/chart: %(name)s-{{ .Chart.Version }}
+        {{- end -}}
+
+        {{- define "%(name)s.selectorLabels" -}}
+        app.kubernetes.io/name: %(name)s
+        app.kubernetes.io/instance: {{ .Release.Name }}
+        {{- end -}}
+        """
+        % {"name": name}
+    )
+
+
+# ---------------------------------------------------------------------------
+# Nginx (networking)
+# ---------------------------------------------------------------------------
+
+
+def nginx_chart() -> Chart:
+    values = dedent(
+        """\
+        replicaCount: 2
+        image:
+          registry: docker.io
+          repository: bitnami/nginx
+          tag: "1.25.4"
+          pullPolicy: IfNotPresent  # @enum: IfNotPresent, Always
+        imagePullSecrets: []
+        serviceAccount:
+          create: true
+          automountServiceAccountToken: false
+        containerPorts:
+          http: 8080
+          https: 8443
+        service:
+          type: ClusterIP  # @enum: ClusterIP, NodePort, LoadBalancer
+          port: 80
+          httpsPort: 443
+          sessionAffinity: None  # @enum: None, ClientIP
+        resources:
+          limits:
+            cpu: 500m
+            memory: 256Mi
+          requests:
+            cpu: 100m
+            memory: 128Mi
+        containerSecurityContext:
+          runAsNonRoot: true
+          runAsUser: 1001
+          allowPrivilegeEscalation: false
+          readOnlyRootFilesystem: true
+        podSecurityContext:
+          fsGroup: 1001
+        livenessProbe:
+          enabled: true
+          initialDelaySeconds: 10
+          periodSeconds: 10
+        readinessProbe:
+          enabled: true
+          initialDelaySeconds: 5
+          periodSeconds: 5
+        serverBlock: ""
+        ingress:
+          enabled: false
+          hostname: nginx.local
+          path: /
+          pathType: Prefix  # @enum: Prefix, Exact, ImplementationSpecific
+        autoscaling:
+          enabled: false
+          minReplicas: 2
+          maxReplicas: 6
+          targetCPU: 75
+        nodeSelector: {}
+        tolerations: []
+        """
+    )
+    deployment = dedent(
+        """\
+        apiVersion: apps/v1
+        kind: Deployment
+        metadata:
+          name: {{ include "nginx.fullname" . }}
+          namespace: {{ .Release.Namespace }}
+          labels: {{- include "nginx.labels" . | nindent 4 }}
+        spec:
+          replicas: {{ .Values.replicaCount }}
+          selector:
+            matchLabels: {{- include "nginx.selectorLabels" . | nindent 6 }}
+          strategy:
+            type: RollingUpdate
+          template:
+            metadata:
+              labels: {{- include "nginx.selectorLabels" . | nindent 8 }}
+            spec:
+              {{- if .Values.serviceAccount.create }}
+              serviceAccountName: {{ include "nginx.fullname" . }}
+              {{- end }}
+              automountServiceAccountToken: {{ .Values.serviceAccount.automountServiceAccountToken }}
+              {{- if .Values.imagePullSecrets }}
+              imagePullSecrets:
+              {{- range .Values.imagePullSecrets }}
+                - name: {{ . }}
+              {{- end }}
+              {{- end }}
+              securityContext:
+                fsGroup: {{ .Values.podSecurityContext.fsGroup }}
+                runAsNonRoot: true
+              containers:
+                - name: nginx
+                  image: "{{ .Values.image.registry }}/{{ .Values.image.repository }}:{{ .Values.image.tag }}"
+                  imagePullPolicy: {{ .Values.image.pullPolicy }}
+                  ports:
+                    - name: http
+                      containerPort: {{ .Values.containerPorts.http }}
+                      protocol: TCP
+                    - name: https
+                      containerPort: {{ .Values.containerPorts.https }}
+                      protocol: TCP
+                  env:
+                    - name: NGINX_HTTP_PORT_NUMBER
+                      value: {{ .Values.containerPorts.http | quote }}
+                  {{- if .Values.serverBlock }}
+                  volumeMounts:
+                    - name: server-block
+                      mountPath: /opt/bitnami/nginx/conf/server_blocks
+                  {{- end }}
+                  {{- if .Values.livenessProbe.enabled }}
+                  livenessProbe:
+                    tcpSocket:
+                      port: http
+                    initialDelaySeconds: {{ .Values.livenessProbe.initialDelaySeconds }}
+                    periodSeconds: {{ .Values.livenessProbe.periodSeconds }}
+                  {{- end }}
+                  {{- if .Values.readinessProbe.enabled }}
+                  readinessProbe:
+                    httpGet:
+                      path: /
+                      port: http
+                    initialDelaySeconds: {{ .Values.readinessProbe.initialDelaySeconds }}
+                    periodSeconds: {{ .Values.readinessProbe.periodSeconds }}
+                  {{- end }}
+                  resources: {{- toYaml .Values.resources | nindent 20 }}
+                  securityContext: {{- toYaml .Values.containerSecurityContext | nindent 20 }}
+              {{- if .Values.serverBlock }}
+              volumes:
+                - name: server-block
+                  configMap:
+                    name: {{ include "nginx.fullname" . }}-server-block
+              {{- end }}
+              {{- if .Values.nodeSelector }}
+              nodeSelector: {{- toYaml .Values.nodeSelector | nindent 16 }}
+              {{- end }}
+        """
+    )
+    service = dedent(
+        """\
+        apiVersion: v1
+        kind: Service
+        metadata:
+          name: {{ include "nginx.fullname" . }}
+          namespace: {{ .Release.Namespace }}
+          labels: {{- include "nginx.labels" . | nindent 4 }}
+        spec:
+          type: {{ .Values.service.type }}
+          sessionAffinity: {{ .Values.service.sessionAffinity }}
+          ports:
+            - name: http
+              port: {{ .Values.service.port }}
+              targetPort: http
+              protocol: TCP
+            - name: https
+              port: {{ .Values.service.httpsPort }}
+              targetPort: https
+              protocol: TCP
+          selector: {{- include "nginx.selectorLabels" . | nindent 4 }}
+        """
+    )
+    serviceaccount = dedent(
+        """\
+        {{- if .Values.serviceAccount.create }}
+        apiVersion: v1
+        kind: ServiceAccount
+        metadata:
+          name: {{ include "nginx.fullname" . }}
+          namespace: {{ .Release.Namespace }}
+          labels: {{- include "nginx.labels" . | nindent 4 }}
+        automountServiceAccountToken: {{ .Values.serviceAccount.automountServiceAccountToken }}
+        {{- end }}
+        """
+    )
+    configmap = dedent(
+        """\
+        {{- if .Values.serverBlock }}
+        apiVersion: v1
+        kind: ConfigMap
+        metadata:
+          name: {{ include "nginx.fullname" . }}-server-block
+          namespace: {{ .Release.Namespace }}
+          labels: {{- include "nginx.labels" . | nindent 4 }}
+        data:
+          server-block.conf: {{ .Values.serverBlock | quote }}
+        {{- end }}
+        """
+    )
+    hpa = dedent(
+        """\
+        {{- if .Values.autoscaling.enabled }}
+        apiVersion: autoscaling/v2
+        kind: HorizontalPodAutoscaler
+        metadata:
+          name: {{ include "nginx.fullname" . }}
+          namespace: {{ .Release.Namespace }}
+          labels: {{- include "nginx.labels" . | nindent 4 }}
+        spec:
+          scaleTargetRef:
+            apiVersion: apps/v1
+            kind: Deployment
+            name: {{ include "nginx.fullname" . }}
+          minReplicas: {{ .Values.autoscaling.minReplicas }}
+          maxReplicas: {{ .Values.autoscaling.maxReplicas }}
+          metrics:
+            - type: Resource
+              resource:
+                name: cpu
+                target:
+                  type: Utilization
+                  averageUtilization: {{ .Values.autoscaling.targetCPU }}
+        {{- end }}
+        """
+    )
+    ingress = dedent(
+        """\
+        {{- if .Values.ingress.enabled }}
+        apiVersion: networking.k8s.io/v1
+        kind: Ingress
+        metadata:
+          name: {{ include "nginx.fullname" . }}
+          namespace: {{ .Release.Namespace }}
+          labels: {{- include "nginx.labels" . | nindent 4 }}
+        spec:
+          rules:
+            - host: {{ .Values.ingress.hostname }}
+              http:
+                paths:
+                  - path: {{ .Values.ingress.path }}
+                    pathType: {{ .Values.ingress.pathType }}
+                    backend:
+                      service:
+                        name: {{ include "nginx.fullname" . }}
+                        port:
+                          name: http
+        {{- end }}
+        """
+    )
+    return Chart(
+        name="nginx",
+        version="15.4.4",
+        app_version="1.25.4",
+        description="NGINX Open Source web server (synthetic evaluation chart)",
+        values_text=values,
+        helpers=_helpers("nginx"),
+        templates={
+            "deployment.yaml": deployment,
+            "svc.yaml": service,
+            "serviceaccount.yaml": serviceaccount,
+            "server-block-configmap.yaml": configmap,
+            "hpa.yaml": hpa,
+            "ingress.yaml": ingress,
+        },
+    )
+
+
+# ---------------------------------------------------------------------------
+# MLflow (AI/ML) -- the paper's running example (Fig. 3 / Fig. 7)
+# ---------------------------------------------------------------------------
+
+
+def mlflow_chart() -> Chart:
+    values = dedent(
+        """\
+        image:
+          registry: docker.io
+          repository: bitnami/mlflow
+          tag: "2.10.2"
+          pullPolicy: IfNotPresent  # @enum: IfNotPresent, Always
+          pullSecrets:
+            - name: secret-1
+            - name: secret-2
+        tracking:
+          enabled: true
+          replicaCount: 1
+          host: "0.0.0.0"
+          port: 5000
+          containerSecurityContext:
+            runAsNonRoot: true
+            runAsUser: 1001
+            allowPrivilegeEscalation: false
+            readOnlyRootFilesystem: true
+          resources:
+            limits:
+              cpu: 750m
+              memory: 512Mi
+            requests:
+              cpu: 250m
+              memory: 256Mi
+          service:
+            type: ClusterIP  # @enum: ClusterIP, NodePort, LoadBalancer
+            port: 80
+        backendStore:
+          postgres:
+            enabled: true
+            host: mlflow-postgresql
+            port: 5432
+            database: bitnami_mlflow
+            user: bn_mlflow
+            password: mlflow-secret-pw
+        artifactRoot:
+          pvc:
+            enabled: true
+            size: 8Gi
+            accessMode: ReadWriteOnce  # @enum: ReadWriteOnce, ReadWriteMany, ReadOnlyMany
+        postgreSQL:
+          arch: standalone  # @enum: standalone, replication
+        serviceAccount:
+          create: true
+          automountServiceAccountToken: false
+        """
+    )
+    deployment = dedent(
+        """\
+        {{- if .Values.tracking.enabled }}
+        apiVersion: apps/v1
+        kind: Deployment
+        metadata:
+          name: {{ include "mlflow.fullname" . }}-tracking
+          namespace: {{ .Release.Namespace }}
+          labels: {{- include "mlflow.labels" . | nindent 4 }}
+        spec:
+          replicas: {{ .Values.tracking.replicaCount }}
+          selector:
+            matchLabels: {{- include "mlflow.selectorLabels" . | nindent 6 }}
+          template:
+            metadata:
+              labels: {{- include "mlflow.selectorLabels" . | nindent 8 }}
+            spec:
+              {{- if .Values.serviceAccount.create }}
+              serviceAccountName: {{ include "mlflow.fullname" . }}
+              {{- end }}
+              automountServiceAccountToken: {{ .Values.serviceAccount.automountServiceAccountToken }}
+              imagePullSecrets:
+              {{- range .Values.image.pullSecrets }}
+                - name: {{ .name }}
+              {{- end }}
+              securityContext:
+                runAsNonRoot: true
+              containers:
+                - name: mlflow
+                  image: "{{ .Values.image.registry }}/{{ .Values.image.repository }}:{{ .Values.image.tag }}"
+                  imagePullPolicy: {{ .Values.image.pullPolicy }}
+                  args:
+                    - server
+                    - --host={{ .Values.tracking.host }}
+                    - --port={{ .Values.tracking.port }}
+                  ports:
+                    - name: http
+                      containerPort: {{ .Values.tracking.port }}
+                      protocol: TCP
+                  envFrom:
+                    - secretRef:
+                        name: {{ include "mlflow.fullname" . }}-env-secret
+                  {{- if .Values.artifactRoot.pvc.enabled }}
+                  volumeMounts:
+                    - name: artifacts
+                      mountPath: /app/mlartifacts
+                  {{- end }}
+                  readinessProbe:
+                    httpGet:
+                      path: /health
+                      port: http
+                    initialDelaySeconds: 15
+                    periodSeconds: 10
+                  resources: {{- toYaml .Values.tracking.resources | nindent 20 }}
+                  securityContext: {{- toYaml .Values.tracking.containerSecurityContext | nindent 20 }}
+              {{- if .Values.artifactRoot.pvc.enabled }}
+              volumes:
+                - name: artifacts
+                  persistentVolumeClaim:
+                    claimName: {{ include "mlflow.fullname" . }}-artifacts
+              {{- end }}
+        {{- end }}
+        """
+    )
+    secret = dedent(
+        """\
+        apiVersion: v1
+        kind: Secret
+        metadata:
+          name: {{ include "mlflow.fullname" . }}-env-secret
+          namespace: {{ .Release.Namespace }}
+          labels: {{- include "mlflow.labels" . | nindent 4 }}
+        type: Opaque
+        stringData:
+          MLFLOW_HOST: {{ .Values.tracking.host | quote }}
+        {{- if .Values.backendStore.postgres.enabled }}
+          PGUSER: {{ .Values.backendStore.postgres.user | quote }}
+          PGPASSWORD: {{ .Values.backendStore.postgres.password | quote }}
+          PGHOST: {{ .Values.backendStore.postgres.host | quote }}
+          PGPORT: {{ .Values.backendStore.postgres.port | quote }}
+          PGDATABASE: {{ .Values.backendStore.postgres.database | quote }}
+        {{- end }}
+        """
+    )
+    service = dedent(
+        """\
+        {{- if .Values.tracking.enabled }}
+        apiVersion: v1
+        kind: Service
+        metadata:
+          name: {{ include "mlflow.fullname" . }}-tracking
+          namespace: {{ .Release.Namespace }}
+          labels: {{- include "mlflow.labels" . | nindent 4 }}
+        spec:
+          type: {{ .Values.tracking.service.type }}
+          ports:
+            - name: http
+              port: {{ .Values.tracking.service.port }}
+              targetPort: http
+              protocol: TCP
+          selector: {{- include "mlflow.selectorLabels" . | nindent 4 }}
+        {{- end }}
+        """
+    )
+    pvc = dedent(
+        """\
+        {{- if .Values.artifactRoot.pvc.enabled }}
+        apiVersion: v1
+        kind: PersistentVolumeClaim
+        metadata:
+          name: {{ include "mlflow.fullname" . }}-artifacts
+          namespace: {{ .Release.Namespace }}
+          labels: {{- include "mlflow.labels" . | nindent 4 }}
+        spec:
+          accessModes:
+            - {{ .Values.artifactRoot.pvc.accessMode }}
+          resources:
+            requests:
+              storage: {{ .Values.artifactRoot.pvc.size }}
+        {{- end }}
+        """
+    )
+    serviceaccount = dedent(
+        """\
+        {{- if .Values.serviceAccount.create }}
+        apiVersion: v1
+        kind: ServiceAccount
+        metadata:
+          name: {{ include "mlflow.fullname" . }}
+          namespace: {{ .Release.Namespace }}
+          labels: {{- include "mlflow.labels" . | nindent 4 }}
+        automountServiceAccountToken: {{ .Values.serviceAccount.automountServiceAccountToken }}
+        {{- end }}
+        """
+    )
+    return Chart(
+        name="mlflow",
+        version="1.4.14",
+        app_version="2.10.2",
+        description="MLflow tracking server (synthetic evaluation chart)",
+        values_text=values,
+        helpers=_helpers("mlflow"),
+        templates={
+            "deployment.yaml": deployment,
+            "secret.yaml": secret,
+            "svc.yaml": service,
+            "pvc.yaml": pvc,
+            "serviceaccount.yaml": serviceaccount,
+        },
+    )
+
+
+# ---------------------------------------------------------------------------
+# PostgreSQL (database)
+# ---------------------------------------------------------------------------
+
+
+def postgresql_chart() -> Chart:
+    values = dedent(
+        """\
+        architecture: standalone  # @enum: standalone, replication
+        image:
+          registry: docker.io
+          repository: bitnami/postgresql
+          tag: "16.2.0"
+          pullPolicy: IfNotPresent  # @enum: IfNotPresent, Always
+        auth:
+          username: bn_app
+          password: app-secret-pw
+          postgresPassword: postgres-secret-pw
+          database: bitnami_app
+        primary:
+          persistence:
+            enabled: true
+            size: 8Gi
+            storageClass: ""
+            accessMode: ReadWriteOnce  # @enum: ReadWriteOnce, ReadWriteMany
+          resources:
+            limits:
+              cpu: 1000m
+              memory: 1Gi
+            requests:
+              cpu: 250m
+              memory: 256Mi
+          podSecurityContext:
+            fsGroup: 1001
+          containerSecurityContext:
+            runAsNonRoot: true
+            runAsUser: 1001
+            allowPrivilegeEscalation: false
+            readOnlyRootFilesystem: true
+        readReplicas:
+          replicaCount: 1
+        service:
+          type: ClusterIP  # @enum: ClusterIP, NodePort
+          port: 5432
+        metrics:
+          enabled: false
+          image:
+            repository: bitnami/postgres-exporter
+            tag: "0.15.0"
+          port: 9187
+        serviceAccount:
+          create: true
+          automountServiceAccountToken: false
+        """
+    )
+    statefulset = dedent(
+        """\
+        apiVersion: apps/v1
+        kind: StatefulSet
+        metadata:
+          name: {{ include "postgresql.fullname" . }}
+          namespace: {{ .Release.Namespace }}
+          labels: {{- include "postgresql.labels" . | nindent 4 }}
+        spec:
+          {{- if eq .Values.architecture "replication" }}
+          replicas: {{ add 1 .Values.readReplicas.replicaCount }}
+          {{- else }}
+          replicas: 1
+          {{- end }}
+          serviceName: {{ include "postgresql.fullname" . }}-hl
+          podManagementPolicy: OrderedReady
+          selector:
+            matchLabels: {{- include "postgresql.selectorLabels" . | nindent 6 }}
+          updateStrategy:
+            type: RollingUpdate
+          template:
+            metadata:
+              labels: {{- include "postgresql.selectorLabels" . | nindent 8 }}
+            spec:
+              {{- if .Values.serviceAccount.create }}
+              serviceAccountName: {{ include "postgresql.fullname" . }}
+              {{- end }}
+              automountServiceAccountToken: {{ .Values.serviceAccount.automountServiceAccountToken }}
+              securityContext:
+                fsGroup: {{ .Values.primary.podSecurityContext.fsGroup }}
+                runAsNonRoot: true
+              containers:
+                - name: postgresql
+                  image: "{{ .Values.image.registry }}/{{ .Values.image.repository }}:{{ .Values.image.tag }}"
+                  imagePullPolicy: {{ .Values.image.pullPolicy }}
+                  ports:
+                    - name: tcp-postgresql
+                      containerPort: 5432
+                      protocol: TCP
+                  env:
+                    - name: POSTGRES_USER
+                      value: {{ .Values.auth.username | quote }}
+                    - name: POSTGRES_DATABASE
+                      value: {{ .Values.auth.database | quote }}
+                    - name: POSTGRES_PASSWORD
+                      valueFrom:
+                        secretKeyRef:
+                          name: {{ include "postgresql.fullname" . }}
+                          key: password
+                    - name: POSTGRES_POSTGRES_PASSWORD
+                      valueFrom:
+                        secretKeyRef:
+                          name: {{ include "postgresql.fullname" . }}
+                          key: postgres-password
+                    {{- if eq .Values.architecture "replication" }}
+                    - name: POSTGRES_REPLICATION_MODE
+                      value: "master"
+                    {{- end }}
+                  livenessProbe:
+                    exec:
+                      command:
+                        - /bin/sh
+                        - -c
+                        - exec pg_isready -U {{ .Values.auth.username | quote }}
+                    initialDelaySeconds: 30
+                    periodSeconds: 10
+                  readinessProbe:
+                    exec:
+                      command:
+                        - /bin/sh
+                        - -c
+                        - exec pg_isready -U {{ .Values.auth.username | quote }}
+                    initialDelaySeconds: 5
+                    periodSeconds: 10
+                  {{- if .Values.primary.persistence.enabled }}
+                  volumeMounts:
+                    - name: data
+                      mountPath: /bitnami/postgresql
+                  {{- end }}
+                  resources: {{- toYaml .Values.primary.resources | nindent 20 }}
+                  securityContext: {{- toYaml .Values.primary.containerSecurityContext | nindent 20 }}
+                {{- if .Values.metrics.enabled }}
+                - name: metrics
+                  image: "{{ .Values.image.registry }}/{{ .Values.metrics.image.repository }}:{{ .Values.metrics.image.tag }}"
+                  imagePullPolicy: {{ .Values.image.pullPolicy }}
+                  ports:
+                    - name: http-metrics
+                      containerPort: {{ .Values.metrics.port }}
+                      protocol: TCP
+                  resources:
+                    limits:
+                      cpu: 250m
+                      memory: 256Mi
+                    requests:
+                      cpu: 100m
+                      memory: 128Mi
+                  securityContext:
+                    runAsNonRoot: true
+                    allowPrivilegeEscalation: false
+                {{- end }}
+          {{- if .Values.primary.persistence.enabled }}
+          volumeClaimTemplates:
+            - metadata:
+                name: data
+              spec:
+                accessModes:
+                  - {{ .Values.primary.persistence.accessMode }}
+                resources:
+                  requests:
+                    storage: {{ .Values.primary.persistence.size }}
+                {{- if .Values.primary.persistence.storageClass }}
+                storageClassName: {{ .Values.primary.persistence.storageClass }}
+                {{- end }}
+          {{- end }}
+        """
+    )
+    secret = dedent(
+        """\
+        apiVersion: v1
+        kind: Secret
+        metadata:
+          name: {{ include "postgresql.fullname" . }}
+          namespace: {{ .Release.Namespace }}
+          labels: {{- include "postgresql.labels" . | nindent 4 }}
+        type: Opaque
+        stringData:
+          password: {{ .Values.auth.password | quote }}
+          postgres-password: {{ .Values.auth.postgresPassword | quote }}
+        """
+    )
+    service = dedent(
+        """\
+        apiVersion: v1
+        kind: Service
+        metadata:
+          name: {{ include "postgresql.fullname" . }}
+          namespace: {{ .Release.Namespace }}
+          labels: {{- include "postgresql.labels" . | nindent 4 }}
+        spec:
+          type: {{ .Values.service.type }}
+          ports:
+            - name: tcp-postgresql
+              port: {{ .Values.service.port }}
+              targetPort: tcp-postgresql
+              protocol: TCP
+          selector: {{- include "postgresql.selectorLabels" . | nindent 4 }}
+        ---
+        apiVersion: v1
+        kind: Service
+        metadata:
+          name: {{ include "postgresql.fullname" . }}-hl
+          namespace: {{ .Release.Namespace }}
+          labels: {{- include "postgresql.labels" . | nindent 4 }}
+        spec:
+          type: ClusterIP
+          clusterIP: None
+          publishNotReadyAddresses: true
+          ports:
+            - name: tcp-postgresql
+              port: {{ .Values.service.port }}
+              targetPort: tcp-postgresql
+              protocol: TCP
+          selector: {{- include "postgresql.selectorLabels" . | nindent 4 }}
+        """
+    )
+    serviceaccount = dedent(
+        """\
+        {{- if .Values.serviceAccount.create }}
+        apiVersion: v1
+        kind: ServiceAccount
+        metadata:
+          name: {{ include "postgresql.fullname" . }}
+          namespace: {{ .Release.Namespace }}
+          labels: {{- include "postgresql.labels" . | nindent 4 }}
+        automountServiceAccountToken: {{ .Values.serviceAccount.automountServiceAccountToken }}
+        {{- end }}
+        """
+    )
+    return Chart(
+        name="postgresql",
+        version="14.2.3",
+        app_version="16.2.0",
+        description="PostgreSQL database (synthetic evaluation chart)",
+        values_text=values,
+        helpers=_helpers("postgresql"),
+        templates={
+            "statefulset.yaml": statefulset,
+            "secret.yaml": secret,
+            "svc.yaml": service,
+            "serviceaccount.yaml": serviceaccount,
+        },
+    )
+
+
+# ---------------------------------------------------------------------------
+# RabbitMQ (data streaming)
+# ---------------------------------------------------------------------------
+
+
+def rabbitmq_chart() -> Chart:
+    values = dedent(
+        """\
+        replicaCount: 3
+        image:
+          registry: docker.io
+          repository: bitnami/rabbitmq
+          tag: "3.12.13"
+          pullPolicy: IfNotPresent  # @enum: IfNotPresent, Always
+        auth:
+          username: user
+          password: rabbitmq-secret-pw
+          erlangCookie: secretcookie
+        clustering:
+          enabled: true
+          addressType: hostname  # @enum: hostname, ip
+        plugins:
+          - rabbitmq_management
+          - rabbitmq_peer_discovery_k8s
+        persistence:
+          enabled: true
+          size: 8Gi
+          accessMode: ReadWriteOnce  # @enum: ReadWriteOnce, ReadWriteMany
+        service:
+          type: ClusterIP  # @enum: ClusterIP, NodePort, LoadBalancer
+          ports:
+            amqp: 5672
+            manager: 15672
+            epmd: 4369
+        resources:
+          limits:
+            cpu: 1000m
+            memory: 2Gi
+          requests:
+            cpu: 250m
+            memory: 512Mi
+        containerSecurityContext:
+          runAsNonRoot: true
+          runAsUser: 1001
+          allowPrivilegeEscalation: false
+          readOnlyRootFilesystem: true
+        podSecurityContext:
+          fsGroup: 1001
+        serviceAccount:
+          create: true
+          automountServiceAccountToken: true
+        terminationGracePeriodSeconds: 120
+        """
+    )
+    statefulset = dedent(
+        """\
+        apiVersion: apps/v1
+        kind: StatefulSet
+        metadata:
+          name: {{ include "rabbitmq.fullname" . }}
+          namespace: {{ .Release.Namespace }}
+          labels: {{- include "rabbitmq.labels" . | nindent 4 }}
+        spec:
+          {{- if .Values.clustering.enabled }}
+          replicas: {{ .Values.replicaCount }}
+          {{- else }}
+          replicas: 1
+          {{- end }}
+          serviceName: {{ include "rabbitmq.fullname" . }}-headless
+          podManagementPolicy: OrderedReady
+          selector:
+            matchLabels: {{- include "rabbitmq.selectorLabels" . | nindent 6 }}
+          template:
+            metadata:
+              labels: {{- include "rabbitmq.selectorLabels" . | nindent 8 }}
+            spec:
+              {{- if .Values.serviceAccount.create }}
+              serviceAccountName: {{ include "rabbitmq.fullname" . }}
+              {{- end }}
+              automountServiceAccountToken: {{ .Values.serviceAccount.automountServiceAccountToken }}
+              terminationGracePeriodSeconds: {{ .Values.terminationGracePeriodSeconds }}
+              securityContext:
+                fsGroup: {{ .Values.podSecurityContext.fsGroup }}
+                runAsNonRoot: true
+              containers:
+                - name: rabbitmq
+                  image: "{{ .Values.image.registry }}/{{ .Values.image.repository }}:{{ .Values.image.tag }}"
+                  imagePullPolicy: {{ .Values.image.pullPolicy }}
+                  ports:
+                    - name: amqp
+                      containerPort: {{ .Values.service.ports.amqp }}
+                      protocol: TCP
+                    - name: manager
+                      containerPort: {{ .Values.service.ports.manager }}
+                      protocol: TCP
+                    - name: epmd
+                      containerPort: {{ .Values.service.ports.epmd }}
+                      protocol: TCP
+                  env:
+                    - name: RABBITMQ_USERNAME
+                      value: {{ .Values.auth.username | quote }}
+                    - name: RABBITMQ_PASSWORD
+                      valueFrom:
+                        secretKeyRef:
+                          name: {{ include "rabbitmq.fullname" . }}
+                          key: rabbitmq-password
+                    - name: RABBITMQ_ERL_COOKIE
+                      valueFrom:
+                        secretKeyRef:
+                          name: {{ include "rabbitmq.fullname" . }}
+                          key: rabbitmq-erlang-cookie
+                    {{- if .Values.clustering.enabled }}
+                    - name: RABBITMQ_CLUSTER_ADDRESS_TYPE
+                      value: {{ .Values.clustering.addressType | quote }}
+                    {{- end }}
+                    - name: RABBITMQ_PLUGINS
+                      value: {{ join "," .Values.plugins | quote }}
+                  livenessProbe:
+                    exec:
+                      command:
+                        - /bin/bash
+                        - -ec
+                        - rabbitmq-diagnostics -q ping
+                    initialDelaySeconds: 120
+                    periodSeconds: 30
+                    timeoutSeconds: 20
+                  readinessProbe:
+                    exec:
+                      command:
+                        - /bin/bash
+                        - -ec
+                        - rabbitmq-diagnostics -q check_running
+                    initialDelaySeconds: 10
+                    periodSeconds: 30
+                    timeoutSeconds: 20
+                  {{- if .Values.persistence.enabled }}
+                  volumeMounts:
+                    - name: data
+                      mountPath: /bitnami/rabbitmq/mnesia
+                  {{- end }}
+                  resources: {{- toYaml .Values.resources | nindent 20 }}
+                  securityContext: {{- toYaml .Values.containerSecurityContext | nindent 20 }}
+          {{- if .Values.persistence.enabled }}
+          volumeClaimTemplates:
+            - metadata:
+                name: data
+              spec:
+                accessModes:
+                  - {{ .Values.persistence.accessMode }}
+                resources:
+                  requests:
+                    storage: {{ .Values.persistence.size }}
+          {{- end }}
+        """
+    )
+    secret = dedent(
+        """\
+        apiVersion: v1
+        kind: Secret
+        metadata:
+          name: {{ include "rabbitmq.fullname" . }}
+          namespace: {{ .Release.Namespace }}
+          labels: {{- include "rabbitmq.labels" . | nindent 4 }}
+        type: Opaque
+        stringData:
+          rabbitmq-password: {{ .Values.auth.password | quote }}
+          rabbitmq-erlang-cookie: {{ .Values.auth.erlangCookie | quote }}
+        """
+    )
+    service = dedent(
+        """\
+        apiVersion: v1
+        kind: Service
+        metadata:
+          name: {{ include "rabbitmq.fullname" . }}
+          namespace: {{ .Release.Namespace }}
+          labels: {{- include "rabbitmq.labels" . | nindent 4 }}
+        spec:
+          type: {{ .Values.service.type }}
+          ports:
+            - name: amqp
+              port: {{ .Values.service.ports.amqp }}
+              targetPort: amqp
+              protocol: TCP
+            - name: manager
+              port: {{ .Values.service.ports.manager }}
+              targetPort: manager
+              protocol: TCP
+          selector: {{- include "rabbitmq.selectorLabels" . | nindent 4 }}
+        ---
+        apiVersion: v1
+        kind: Service
+        metadata:
+          name: {{ include "rabbitmq.fullname" . }}-headless
+          namespace: {{ .Release.Namespace }}
+          labels: {{- include "rabbitmq.labels" . | nindent 4 }}
+        spec:
+          type: ClusterIP
+          clusterIP: None
+          publishNotReadyAddresses: true
+          ports:
+            - name: epmd
+              port: {{ .Values.service.ports.epmd }}
+              targetPort: epmd
+              protocol: TCP
+            - name: amqp
+              port: {{ .Values.service.ports.amqp }}
+              targetPort: amqp
+              protocol: TCP
+          selector: {{- include "rabbitmq.selectorLabels" . | nindent 4 }}
+        """
+    )
+    serviceaccount = dedent(
+        """\
+        {{- if .Values.serviceAccount.create }}
+        apiVersion: v1
+        kind: ServiceAccount
+        metadata:
+          name: {{ include "rabbitmq.fullname" . }}
+          namespace: {{ .Release.Namespace }}
+          labels: {{- include "rabbitmq.labels" . | nindent 4 }}
+        automountServiceAccountToken: {{ .Values.serviceAccount.automountServiceAccountToken }}
+        {{- end }}
+        """
+    )
+    configmap = dedent(
+        """\
+        apiVersion: v1
+        kind: ConfigMap
+        metadata:
+          name: {{ include "rabbitmq.fullname" . }}-config
+          namespace: {{ .Release.Namespace }}
+          labels: {{- include "rabbitmq.labels" . | nindent 4 }}
+        data:
+          rabbitmq.conf: |-
+            cluster_formation.peer_discovery_backend = rabbit_peer_discovery_k8s
+            cluster_formation.k8s.address_type = {{ .Values.clustering.addressType }}
+            queue_master_locator = min-masters
+          enabled_plugins: |-
+            [{{ join ", " .Values.plugins }}].
+        """
+    )
+    return Chart(
+        name="rabbitmq",
+        version="12.15.0",
+        app_version="3.12.13",
+        description="RabbitMQ message broker (synthetic evaluation chart)",
+        values_text=values,
+        helpers=_helpers("rabbitmq"),
+        templates={
+            "statefulset.yaml": statefulset,
+            "secret.yaml": secret,
+            "svc.yaml": service,
+            "serviceaccount.yaml": serviceaccount,
+            "configuration.yaml": configmap,
+        },
+    )
+
+
+# ---------------------------------------------------------------------------
+# SonarQube (security tooling)
+# ---------------------------------------------------------------------------
+
+
+def sonarqube_chart() -> Chart:
+    values = dedent(
+        """\
+        replicaCount: 1
+        image:
+          registry: docker.io
+          repository: sonarqube
+          tag: "10.4.1-community"
+          pullPolicy: IfNotPresent  # @enum: IfNotPresent, Always
+        deploymentStrategy:
+          type: Recreate  # @enum: Recreate, RollingUpdate
+        service:
+          type: ClusterIP  # @enum: ClusterIP, NodePort, LoadBalancer
+          port: 9000
+        ingress:
+          enabled: true
+          hostname: sonarqube.local
+          path: /
+          pathType: Prefix  # @enum: Prefix, Exact
+        persistence:
+          enabled: true
+          size: 10Gi
+          accessMode: ReadWriteOnce  # @enum: ReadWriteOnce, ReadWriteMany
+        postgresql:
+          host: sonarqube-postgresql
+          port: 5432
+          database: sonarDB
+          username: sonarUser
+          password: sonar-secret-pw
+        monitoring:
+          passcode: monitoring-pass
+        initSysctl:
+          enabled: true
+          vmMaxMapCount: 524288
+        resources:
+          limits:
+            cpu: 2000m
+            memory: 4Gi
+          requests:
+            cpu: 400m
+            memory: 2Gi
+        containerSecurityContext:
+          runAsNonRoot: true
+          runAsUser: 1000
+          allowPrivilegeEscalation: false
+          readOnlyRootFilesystem: true
+        podSecurityContext:
+          fsGroup: 0
+        serviceAccount:
+          create: true
+          automountServiceAccountToken: false
+        networkPolicy:
+          enabled: true
+        jobs:
+          migrationCheck: true
+        logCollector:
+          enabled: true
+          image:
+            repository: fluent-bit
+            tag: "2.2.2"
+          bufferLimit: 32Mi
+        """
+    )
+    deployment = dedent(
+        """\
+        apiVersion: apps/v1
+        kind: Deployment
+        metadata:
+          name: {{ include "sonarqube.fullname" . }}
+          namespace: {{ .Release.Namespace }}
+          labels: {{- include "sonarqube.labels" . | nindent 4 }}
+        spec:
+          replicas: {{ .Values.replicaCount }}
+          strategy:
+            type: {{ .Values.deploymentStrategy.type }}
+          selector:
+            matchLabels: {{- include "sonarqube.selectorLabels" . | nindent 6 }}
+          template:
+            metadata:
+              labels: {{- include "sonarqube.selectorLabels" . | nindent 8 }}
+            spec:
+              {{- if .Values.serviceAccount.create }}
+              serviceAccountName: {{ include "sonarqube.fullname" . }}
+              {{- end }}
+              automountServiceAccountToken: {{ .Values.serviceAccount.automountServiceAccountToken }}
+              securityContext:
+                fsGroup: {{ .Values.podSecurityContext.fsGroup }}
+              {{- if .Values.initSysctl.enabled }}
+              initContainers:
+                - name: init-sysctl
+                  image: "{{ .Values.image.registry }}/busybox:1.36"
+                  imagePullPolicy: {{ .Values.image.pullPolicy }}
+                  command:
+                    - sysctl
+                    - -w
+                    - vm.max_map_count={{ .Values.initSysctl.vmMaxMapCount }}
+                  resources:
+                    limits:
+                      cpu: 100m
+                      memory: 64Mi
+                    requests:
+                      cpu: 50m
+                      memory: 32Mi
+                  securityContext:
+                    runAsNonRoot: true
+                    allowPrivilegeEscalation: false
+              {{- end }}
+              containers:
+                - name: sonarqube
+                  image: "{{ .Values.image.registry }}/{{ .Values.image.repository }}:{{ .Values.image.tag }}"
+                  imagePullPolicy: {{ .Values.image.pullPolicy }}
+                  ports:
+                    - name: http
+                      containerPort: {{ .Values.service.port }}
+                      protocol: TCP
+                  env:
+                    - name: SONAR_JDBC_URL
+                      value: "jdbc:postgresql://{{ .Values.postgresql.host }}:{{ .Values.postgresql.port }}/{{ .Values.postgresql.database }}"
+                    - name: SONAR_JDBC_USERNAME
+                      value: {{ .Values.postgresql.username | quote }}
+                    - name: SONAR_JDBC_PASSWORD
+                      valueFrom:
+                        secretKeyRef:
+                          name: {{ include "sonarqube.fullname" . }}
+                          key: jdbc-password
+                    - name: SONAR_WEB_SYSTEMPASSCODE
+                      valueFrom:
+                        secretKeyRef:
+                          name: {{ include "sonarqube.fullname" . }}
+                          key: monitoring-passcode
+                  livenessProbe:
+                    httpGet:
+                      path: /api/system/liveness
+                      port: http
+                    initialDelaySeconds: 60
+                    periodSeconds: 30
+                  readinessProbe:
+                    httpGet:
+                      path: /api/system/status
+                      port: http
+                    initialDelaySeconds: 60
+                    periodSeconds: 30
+                  {{- if .Values.persistence.enabled }}
+                  volumeMounts:
+                    - name: data
+                      mountPath: /opt/sonarqube/data
+                  {{- end }}
+                  resources: {{- toYaml .Values.resources | nindent 20 }}
+                  securityContext: {{- toYaml .Values.containerSecurityContext | nindent 20 }}
+              {{- if .Values.persistence.enabled }}
+              volumes:
+                - name: data
+                  persistentVolumeClaim:
+                    claimName: {{ include "sonarqube.fullname" . }}-data
+              {{- end }}
+        """
+    )
+    secret = dedent(
+        """\
+        apiVersion: v1
+        kind: Secret
+        metadata:
+          name: {{ include "sonarqube.fullname" . }}
+          namespace: {{ .Release.Namespace }}
+          labels: {{- include "sonarqube.labels" . | nindent 4 }}
+        type: Opaque
+        stringData:
+          jdbc-password: {{ .Values.postgresql.password | quote }}
+          monitoring-passcode: {{ .Values.monitoring.passcode | quote }}
+        """
+    )
+    service = dedent(
+        """\
+        apiVersion: v1
+        kind: Service
+        metadata:
+          name: {{ include "sonarqube.fullname" . }}
+          namespace: {{ .Release.Namespace }}
+          labels: {{- include "sonarqube.labels" . | nindent 4 }}
+        spec:
+          type: {{ .Values.service.type }}
+          ports:
+            - name: http
+              port: {{ .Values.service.port }}
+              targetPort: http
+              protocol: TCP
+          selector: {{- include "sonarqube.selectorLabels" . | nindent 4 }}
+        """
+    )
+    pvc = dedent(
+        """\
+        {{- if .Values.persistence.enabled }}
+        apiVersion: v1
+        kind: PersistentVolumeClaim
+        metadata:
+          name: {{ include "sonarqube.fullname" . }}-data
+          namespace: {{ .Release.Namespace }}
+          labels: {{- include "sonarqube.labels" . | nindent 4 }}
+        spec:
+          accessModes:
+            - {{ .Values.persistence.accessMode }}
+          resources:
+            requests:
+              storage: {{ .Values.persistence.size }}
+        {{- end }}
+        """
+    )
+    ingress = dedent(
+        """\
+        {{- if .Values.ingress.enabled }}
+        apiVersion: networking.k8s.io/v1
+        kind: Ingress
+        metadata:
+          name: {{ include "sonarqube.fullname" . }}
+          namespace: {{ .Release.Namespace }}
+          labels: {{- include "sonarqube.labels" . | nindent 4 }}
+        spec:
+          rules:
+            - host: {{ .Values.ingress.hostname }}
+              http:
+                paths:
+                  - path: {{ .Values.ingress.path }}
+                    pathType: {{ .Values.ingress.pathType }}
+                    backend:
+                      service:
+                        name: {{ include "sonarqube.fullname" . }}
+                        port:
+                          name: http
+        {{- end }}
+        """
+    )
+    networkpolicy = dedent(
+        """\
+        {{- if .Values.networkPolicy.enabled }}
+        apiVersion: networking.k8s.io/v1
+        kind: NetworkPolicy
+        metadata:
+          name: {{ include "sonarqube.fullname" . }}
+          namespace: {{ .Release.Namespace }}
+          labels: {{- include "sonarqube.labels" . | nindent 4 }}
+        spec:
+          podSelector:
+            matchLabels: {{- include "sonarqube.selectorLabels" . | nindent 6 }}
+          policyTypes:
+            - Ingress
+          ingress:
+            - ports:
+                - protocol: TCP
+                  port: {{ .Values.service.port }}
+        {{- end }}
+        """
+    )
+    migration_job = dedent(
+        """\
+        {{- if .Values.jobs.migrationCheck }}
+        apiVersion: batch/v1
+        kind: Job
+        metadata:
+          name: {{ include "sonarqube.fullname" . }}-migration-check
+          namespace: {{ .Release.Namespace }}
+          labels: {{- include "sonarqube.labels" . | nindent 4 }}
+        spec:
+          backoffLimit: 3
+          template:
+            metadata:
+              labels: {{- include "sonarqube.selectorLabels" . | nindent 8 }}
+            spec:
+              restartPolicy: Never
+              containers:
+                - name: migration-check
+                  image: "{{ .Values.image.registry }}/curlimages/curl:8.6.0"
+                  imagePullPolicy: {{ .Values.image.pullPolicy }}
+                  command:
+                    - sh
+                    - -c
+                    - curl -sf http://{{ include "sonarqube.fullname" . }}:{{ .Values.service.port }}/api/system/status
+                  resources:
+                    limits:
+                      cpu: 100m
+                      memory: 64Mi
+                    requests:
+                      cpu: 50m
+                      memory: 32Mi
+                  securityContext:
+                    runAsNonRoot: true
+                    allowPrivilegeEscalation: false
+                    readOnlyRootFilesystem: true
+        {{- end }}
+        """
+    )
+    log_daemonset = dedent(
+        """\
+        {{- if .Values.logCollector.enabled }}
+        apiVersion: apps/v1
+        kind: DaemonSet
+        metadata:
+          name: {{ include "sonarqube.fullname" . }}-log-collector
+          namespace: {{ .Release.Namespace }}
+          labels: {{- include "sonarqube.labels" . | nindent 4 }}
+        spec:
+          selector:
+            matchLabels: {{- include "sonarqube.selectorLabels" . | nindent 6 }}
+          updateStrategy:
+            type: RollingUpdate
+          template:
+            metadata:
+              labels: {{- include "sonarqube.selectorLabels" . | nindent 8 }}
+            spec:
+              automountServiceAccountToken: false
+              securityContext:
+                runAsNonRoot: true
+              containers:
+                - name: log-collector
+                  image: "{{ .Values.image.registry }}/{{ .Values.logCollector.image.repository }}:{{ .Values.logCollector.image.tag }}"
+                  imagePullPolicy: {{ .Values.image.pullPolicy }}
+                  env:
+                    - name: BUFFER_LIMIT
+                      value: {{ .Values.logCollector.bufferLimit | quote }}
+                  resources:
+                    limits:
+                      cpu: 200m
+                      memory: 128Mi
+                    requests:
+                      cpu: 50m
+                      memory: 64Mi
+                  securityContext:
+                    runAsNonRoot: true
+                    allowPrivilegeEscalation: false
+                    readOnlyRootFilesystem: true
+        {{- end }}
+        """
+    )
+    serviceaccount = dedent(
+        """\
+        {{- if .Values.serviceAccount.create }}
+        apiVersion: v1
+        kind: ServiceAccount
+        metadata:
+          name: {{ include "sonarqube.fullname" . }}
+          namespace: {{ .Release.Namespace }}
+          labels: {{- include "sonarqube.labels" . | nindent 4 }}
+        automountServiceAccountToken: {{ .Values.serviceAccount.automountServiceAccountToken }}
+        {{- end }}
+        """
+    )
+    return Chart(
+        name="sonarqube",
+        version="10.4.0",
+        app_version="10.4.1",
+        description="SonarQube code-quality platform (synthetic evaluation chart)",
+        values_text=values,
+        helpers=_helpers("sonarqube"),
+        templates={
+            "deployment.yaml": deployment,
+            "secret.yaml": secret,
+            "svc.yaml": service,
+            "pvc.yaml": pvc,
+            "ingress.yaml": ingress,
+            "networkpolicy.yaml": networkpolicy,
+            "migration-job.yaml": migration_job,
+            "log-daemonset.yaml": log_daemonset,
+            "serviceaccount.yaml": serviceaccount,
+        },
+    )
+
+
+_FACTORIES = {
+    "nginx": nginx_chart,
+    "mlflow": mlflow_chart,
+    "postgresql": postgresql_chart,
+    "rabbitmq": rabbitmq_chart,
+    "sonarqube": sonarqube_chart,
+}
+
+
+def get_chart(name: str) -> Chart:
+    """Build the named operator chart."""
+    try:
+        return _FACTORIES[name]()
+    except KeyError:
+        raise KeyError(f"unknown operator {name!r}; choose from {OPERATOR_NAMES}") from None
+
+
+def all_charts() -> dict[str, Chart]:
+    """All five operator charts, keyed by name."""
+    return {name: factory() for name, factory in _FACTORIES.items()}

@@ -1,0 +1,121 @@
+"""The operator deployment client.
+
+Models the client side of the paper's testbed: a Helm-based operator
+(or `kubectl apply` of its rendered manifests) issuing API requests to
+the cluster.  The transport is pluggable so the same client runs
+against the API server directly (the RBAC baseline) or through the
+KubeFence proxy -- the two configurations compared in Tables III/IV.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Protocol
+
+from repro.helm.chart import Chart, render_chart
+from repro.k8s.apiserver import ApiRequest, ApiResponse, User
+
+
+class Transport(Protocol):
+    """Anything that can carry an API request to the cluster."""
+
+    def submit(self, request: ApiRequest) -> ApiResponse: ...
+
+
+class DirectTransport:
+    """Requests go straight to the API server (no proxy)."""
+
+    def __init__(self, api: Any):
+        self.api = api
+
+    def submit(self, request: ApiRequest) -> ApiResponse:
+        return self.api.handle(request)
+
+
+@dataclass
+class DeploymentResult:
+    """Outcome of one operator deployment."""
+
+    operator: str
+    responses: list[tuple[dict, ApiResponse]] = field(default_factory=list)
+
+    @property
+    def succeeded(self) -> list[dict]:
+        return [m for m, r in self.responses if r.ok]
+
+    @property
+    def denied(self) -> list[tuple[dict, ApiResponse]]:
+        return [(m, r) for m, r in self.responses if not r.ok]
+
+    @property
+    def all_ok(self) -> bool:
+        return all(r.ok for _, r in self.responses)
+
+
+class OperatorClient:
+    """Deploys an operator's rendered manifests through a transport."""
+
+    def __init__(self, transport: Transport, username: str | None = None,
+                 groups: tuple[str, ...] = ("system:authenticated",)):
+        self.transport = transport
+        self.username = username
+        self.groups = groups
+
+    def _user_for(self, operator: str) -> User:
+        return User(self.username or f"{operator}-operator", self.groups)
+
+    def deploy_chart(
+        self,
+        chart: Chart,
+        overrides: dict[str, Any] | None = None,
+        release_name: str | None = None,
+        namespace: str = "default",
+    ) -> DeploymentResult:
+        """Render the chart and apply every manifest (Day-1 install)."""
+        manifests = render_chart(
+            chart, overrides=overrides, release_name=release_name, namespace=namespace
+        )
+        return self.apply_manifests(chart.name, manifests)
+
+    def apply_manifests(self, operator: str, manifests: list[dict]) -> DeploymentResult:
+        result = DeploymentResult(operator=operator)
+        user = self._user_for(operator)
+        for manifest in manifests:
+            request = ApiRequest.from_manifest(manifest, user, verb="create")
+            result.responses.append((manifest, self.transport.submit(request)))
+        return result
+
+    def submit_manifest(
+        self, operator: str, manifest: dict, verb: str = "create"
+    ) -> ApiResponse:
+        """Submit a single manifest (used by the attack campaigns)."""
+        request = ApiRequest.from_manifest(manifest, self._user_for(operator), verb=verb)
+        return self.transport.submit(request)
+
+    def reconcile(self, result: DeploymentResult) -> list[ApiResponse]:
+        """Day-2 control loop: read back and re-apply every resource,
+        as operators do continuously (Sec. II-C).  This also puts the
+        get/update verbs into the audit log, so audit2rbac learns the
+        operator's full verb set."""
+        user = self._user_for(result.operator)
+        responses: list[ApiResponse] = []
+        for manifest in result.succeeded:
+            kind = manifest.get("kind", "")
+            meta = manifest.get("metadata", {})
+            responses.append(
+                self.transport.submit(
+                    ApiRequest(
+                        verb="get",
+                        kind=kind,
+                        user=user,
+                        namespace=meta.get("namespace", "default"),
+                        name=meta.get("name"),
+                    )
+                )
+            )
+            responses.append(
+                self.transport.submit(
+                    ApiRequest.from_manifest(manifest, user, verb="update")
+                )
+            )
+        return responses

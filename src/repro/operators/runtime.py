@@ -1,0 +1,131 @@
+"""The operator runtime: a live reconciliation control loop.
+
+Section II-C: "Operators continuously monitor and adjust the
+application state in a control loop.  If it detects that one replica
+has failed, it automatically triggers a new deployment to restore the
+desired count."  This module implements that loop for the evaluation
+operators, *mediated by whatever transport it is given* -- so when the
+transport is the KubeFence proxy, every corrective write the operator
+issues is validated like any other request.
+
+The runtime watches the store's event stream (the in-process stand-in
+for an API watch) and marks owned resources dirty on foreign
+modification or deletion; :meth:`reconcile` then re-applies the desired
+manifests through the transport.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.helm.chart import Chart, render_chart
+from repro.k8s.apiserver import ApiRequest, ApiResponse, User
+from repro.k8s.store import ObjectStore, StoreEvent
+from repro.operators.client import Transport
+
+
+@dataclass
+class ReconcileAction:
+    """One corrective write the operator issued."""
+
+    reason: str  # "drift" | "deleted"
+    kind: str
+    name: str
+    response: ApiResponse
+
+
+class OperatorRuntime:
+    """A Day-2 operator: installs, watches, and repairs its resources."""
+
+    def __init__(
+        self,
+        chart: Chart,
+        transport: Transport,
+        store: ObjectStore,
+        release_name: str | None = None,
+        namespace: str = "default",
+        overrides: dict[str, Any] | None = None,
+    ):
+        self.chart = chart
+        self.transport = transport
+        self.store = store
+        self.user = User(f"{chart.name}-operator")
+        self.desired = {
+            (m["kind"], m["metadata"]["name"]): m
+            for m in render_chart(
+                chart, overrides=overrides, release_name=release_name, namespace=namespace
+            )
+        }
+        self._dirty: set[tuple[str, str]] = set()
+        self._unsubscribe: Callable[[], None] | None = None
+        self.actions: list[ReconcileAction] = []
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def install(self) -> list[ApiResponse]:
+        """Day-1: create every desired resource, then start watching."""
+        responses = [
+            self.transport.submit(ApiRequest.from_manifest(m, self.user, "create"))
+            for m in self.desired.values()
+        ]
+        self.start_watching()
+        return responses
+
+    def start_watching(self) -> None:
+        if self._unsubscribe is None:
+            self._unsubscribe = self.store.watch(self._on_event)
+
+    def stop(self) -> None:
+        if self._unsubscribe is not None:
+            self._unsubscribe()
+            self._unsubscribe = None
+
+    # -- watch + reconcile -----------------------------------------------------
+
+    def _on_event(self, event: StoreEvent) -> None:
+        key = (event.obj.kind, event.obj.name)
+        if key not in self.desired:
+            return
+        if event.type == "DELETED":
+            self._dirty.add(key)
+        elif event.type == "MODIFIED" and self._drifted(event.obj.data, self.desired[key]):
+            self._dirty.add(key)
+
+    @staticmethod
+    def _drifted(current: dict[str, Any], desired: dict[str, Any]) -> bool:
+        # Drift = any difference outside server-managed parts.  Exact
+        # comparison (not containment) so *additive* tampering -- e.g.
+        # an injected privileged flag -- also counts as drift.
+        skip = ("apiVersion", "kind", "metadata", "status")
+        current_body = {k: v for k, v in current.items() if k not in skip}
+        desired_body = {k: v for k, v in desired.items() if k not in skip}
+        return current_body != desired_body
+
+    @property
+    def pending(self) -> set[tuple[str, str]]:
+        return set(self._dirty)
+
+    def reconcile(self) -> list[ReconcileAction]:
+        """Repair every dirty resource through the transport."""
+        actions: list[ReconcileAction] = []
+        snapshot = sorted(self._dirty)
+        for key in snapshot:
+            kind, name = key
+            manifest = self.desired[key]
+            exists = self.store.exists(kind, manifest["metadata"].get("namespace", "default"), name)
+            verb = "update" if exists else "create"
+            response = self.transport.submit(
+                ApiRequest.from_manifest(manifest, self.user, verb)
+            )
+            actions.append(
+                ReconcileAction(
+                    reason="drift" if exists else "deleted",
+                    kind=kind,
+                    name=name,
+                    response=response,
+                )
+            )
+        self._dirty -= set(snapshot)
+        self.actions.extend(actions)
+        return actions

@@ -1,0 +1,25 @@
+"""Kubernetes RBAC: model, authorizer, and audit2rbac inference.
+
+This is the baseline enforcement mechanism the paper compares
+KubeFence against:
+
+- :mod:`repro.rbac.model` -- Role/ClusterRole/RoleBinding/
+  ClusterRoleBinding objects and rule matching.
+- :mod:`repro.rbac.authorizer` -- the request authorizer plugged into
+  the API server.
+- :mod:`repro.rbac.audit2rbac` -- infers the minimal RBAC policy for a
+  workload from audit logs (the paper's ``audit2rbac`` baseline setup).
+"""
+
+from repro.rbac.audit2rbac import infer_policy
+from repro.rbac.authorizer import RBACAuthorizer
+from repro.rbac.model import PolicyRule, RBACPolicy, Role, RoleBinding
+
+__all__ = [
+    "PolicyRule",
+    "RBACPolicy",
+    "RBACAuthorizer",
+    "Role",
+    "RoleBinding",
+    "infer_policy",
+]

@@ -1,0 +1,34 @@
+"""The RBAC authorizer plugged into the mini API server.
+
+Decision logic mirrors upstream Kubernetes: members of
+``system:masters`` bypass RBAC entirely; everyone else needs at least
+one bound rule matching (apiGroup, resource, verb[, resourceName]).
+RBAC never inspects the request *body* -- that is precisely the
+granularity gap (Sec. III) that KubeFence fills.
+"""
+
+from __future__ import annotations
+
+from repro.k8s.apiserver import ApiRequest
+from repro.k8s.gvk import ResourceType
+from repro.rbac.model import RBACPolicy
+
+
+class RBACAuthorizer:
+    """Authorize requests against an :class:`RBACPolicy`."""
+
+    def __init__(self, policy: RBACPolicy | None = None, superuser_group: str = "system:masters"):
+        self.policy = policy or RBACPolicy()
+        self.superuser_group = superuser_group
+
+    def authorize(self, request: ApiRequest, resource: ResourceType) -> tuple[bool, str]:
+        if self.superuser_group in request.user.groups:
+            return True, "superuser group"
+        namespace = request.namespace if resource.namespaced else None
+        name = request.name
+        if name is None and request.body is not None:
+            name = request.body.get("metadata", {}).get("name")
+        for rule in self.policy.rules_for(request.user.username, namespace):
+            if rule.matches(resource.gvk.group, resource.plural, request.verb, name):
+                return True, "RBAC rule matched"
+        return False, "no RBAC rule matched"

@@ -1,0 +1,190 @@
+"""The RBAC object model: roles, bindings, and rule matching.
+
+Mirrors ``rbac.authorization.k8s.io/v1``: a :class:`Role` carries
+:class:`PolicyRule` entries (apiGroups x resources x verbs, optionally
+restricted to resourceNames); a :class:`RoleBinding` grants a role to
+subjects.  :class:`RBACPolicy` bundles roles and bindings for one
+workload and can serialise to/from manifests, so policies produced by
+``audit2rbac`` can be applied to the cluster like any other object.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable
+
+
+@dataclass(frozen=True)
+class PolicyRule:
+    """One RBAC rule.  ``"*"`` is the wildcard everywhere."""
+
+    api_groups: tuple[str, ...]
+    resources: tuple[str, ...]
+    verbs: tuple[str, ...]
+    resource_names: tuple[str, ...] = ()
+
+    def matches(self, api_group: str, resource: str, verb: str, name: str | None = None) -> bool:
+        if not self._match(self.api_groups, api_group):
+            return False
+        if not self._match(self.resources, resource):
+            return False
+        if not self._match(self.verbs, verb):
+            return False
+        if self.resource_names and name is not None:
+            return name in self.resource_names
+        return True
+
+    @staticmethod
+    def _match(allowed: tuple[str, ...], value: str) -> bool:
+        return "*" in allowed or value in allowed
+
+    def to_dict(self) -> dict[str, Any]:
+        rule: dict[str, Any] = {
+            "apiGroups": list(self.api_groups),
+            "resources": list(self.resources),
+            "verbs": list(self.verbs),
+        }
+        if self.resource_names:
+            rule["resourceNames"] = list(self.resource_names)
+        return rule
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "PolicyRule":
+        return cls(
+            api_groups=tuple(data.get("apiGroups", [])),
+            resources=tuple(data.get("resources", [])),
+            verbs=tuple(data.get("verbs", [])),
+            resource_names=tuple(data.get("resourceNames", [])),
+        )
+
+
+@dataclass
+class Role:
+    """A Role or ClusterRole."""
+
+    name: str
+    rules: list[PolicyRule] = field(default_factory=list)
+    namespace: str | None = "default"  # None -> ClusterRole
+
+    @property
+    def kind(self) -> str:
+        return "Role" if self.namespace is not None else "ClusterRole"
+
+    def to_manifest(self) -> dict[str, Any]:
+        manifest: dict[str, Any] = {
+            "apiVersion": "rbac.authorization.k8s.io/v1",
+            "kind": self.kind,
+            "metadata": {"name": self.name},
+            "rules": [r.to_dict() for r in self.rules],
+        }
+        if self.namespace is not None:
+            manifest["metadata"]["namespace"] = self.namespace
+        return manifest
+
+    @classmethod
+    def from_manifest(cls, manifest: dict[str, Any]) -> "Role":
+        meta = manifest.get("metadata", {})
+        namespace = meta.get("namespace") if manifest.get("kind") == "Role" else None
+        if manifest.get("kind") == "Role" and namespace is None:
+            namespace = "default"
+        return cls(
+            name=meta.get("name", ""),
+            rules=[PolicyRule.from_dict(r) for r in manifest.get("rules", [])],
+            namespace=namespace,
+        )
+
+
+@dataclass
+class RoleBinding:
+    """A RoleBinding or ClusterRoleBinding."""
+
+    name: str
+    role_name: str
+    subjects: list[str] = field(default_factory=list)  # usernames
+    namespace: str | None = "default"  # None -> ClusterRoleBinding
+
+    @property
+    def kind(self) -> str:
+        return "RoleBinding" if self.namespace is not None else "ClusterRoleBinding"
+
+    def to_manifest(self) -> dict[str, Any]:
+        manifest: dict[str, Any] = {
+            "apiVersion": "rbac.authorization.k8s.io/v1",
+            "kind": self.kind,
+            "metadata": {"name": self.name},
+            "subjects": [
+                {"kind": "User", "apiGroup": "rbac.authorization.k8s.io", "name": s}
+                for s in self.subjects
+            ],
+            "roleRef": {
+                "apiGroup": "rbac.authorization.k8s.io",
+                "kind": "Role" if self.namespace is not None else "ClusterRole",
+                "name": self.role_name,
+            },
+        }
+        if self.namespace is not None:
+            manifest["metadata"]["namespace"] = self.namespace
+        return manifest
+
+    @classmethod
+    def from_manifest(cls, manifest: dict[str, Any]) -> "RoleBinding":
+        meta = manifest.get("metadata", {})
+        namespace = meta.get("namespace") if manifest.get("kind") == "RoleBinding" else None
+        if manifest.get("kind") == "RoleBinding" and namespace is None:
+            namespace = "default"
+        return cls(
+            name=meta.get("name", ""),
+            role_name=manifest.get("roleRef", {}).get("name", ""),
+            subjects=[s.get("name", "") for s in manifest.get("subjects", [])],
+            namespace=namespace,
+        )
+
+
+@dataclass
+class RBACPolicy:
+    """A workload-tailored bundle of roles and bindings."""
+
+    roles: list[Role] = field(default_factory=list)
+    bindings: list[RoleBinding] = field(default_factory=list)
+
+    def grant(self, username: str, rule: PolicyRule, namespace: str | None = "default",
+              role_name: str | None = None) -> None:
+        """Convenience: create a single-rule role bound to *username*."""
+        role_name = role_name or f"granted-{len(self.roles)}"
+        self.roles.append(Role(role_name, [rule], namespace))
+        self.bindings.append(
+            RoleBinding(f"{role_name}-binding", role_name, [username], namespace)
+        )
+
+    def rules_for(self, username: str, namespace: str | None) -> Iterable[PolicyRule]:
+        """All rules granted to *username* that apply in *namespace*.
+
+        ClusterRole rules (namespace None) apply everywhere; Role rules
+        apply only inside their namespace.
+        """
+        roles_by_key = {(r.kind, r.namespace, r.name): r for r in self.roles}
+        for binding in self.bindings:
+            if username not in binding.subjects:
+                continue
+            if binding.namespace is not None and namespace != binding.namespace:
+                continue
+            role_kind = "Role" if binding.namespace is not None else "ClusterRole"
+            role = roles_by_key.get((role_kind, binding.namespace, binding.role_name))
+            if role is not None:
+                yield from role.rules
+
+    def to_manifests(self) -> list[dict[str, Any]]:
+        return [r.to_manifest() for r in self.roles] + [
+            b.to_manifest() for b in self.bindings
+        ]
+
+    @classmethod
+    def from_manifests(cls, manifests: list[dict[str, Any]]) -> "RBACPolicy":
+        policy = cls()
+        for manifest in manifests:
+            kind = manifest.get("kind")
+            if kind in ("Role", "ClusterRole"):
+                policy.roles.append(Role.from_manifest(manifest))
+            elif kind in ("RoleBinding", "ClusterRoleBinding"):
+                policy.bindings.append(RoleBinding.from_manifest(manifest))
+        return policy

@@ -1,0 +1,40 @@
+"""Generic YAML/tree utilities shared by every subsystem.
+
+This package provides the low-level plumbing that the Kubernetes
+substrate, the Helm engine, and the KubeFence core all build on:
+
+- :mod:`repro.yamlutil.paths` -- dotted field paths with list-index
+  support, plus get/set/walk helpers over nested dict/list structures.
+- :mod:`repro.yamlutil.merge` -- Helm-style deep merging of values
+  structures (maps merge recursively, scalars and lists replace).
+- :mod:`repro.yamlutil.tree` -- structural helpers: leaf enumeration,
+  deep copies, structural diff, and subtree containment checks.
+"""
+
+from repro.yamlutil.merge import deep_merge
+from repro.yamlutil.paths import (
+    FieldPath,
+    delete_path,
+    get_path,
+    set_path,
+    walk_leaves,
+)
+from repro.yamlutil.tree import (
+    deep_copy,
+    iter_nodes,
+    structural_diff,
+    subtree_contains,
+)
+
+__all__ = [
+    "FieldPath",
+    "get_path",
+    "set_path",
+    "delete_path",
+    "walk_leaves",
+    "deep_merge",
+    "deep_copy",
+    "iter_nodes",
+    "structural_diff",
+    "subtree_contains",
+]

@@ -1,0 +1,140 @@
+"""RFC 6902 JSON Patch over dict/list trees.
+
+Kustomize's ``patchesJson6902`` and the Kubernetes API's
+``application/json-patch+json`` content type both use this format.
+Implements the six operations (add, remove, replace, move, copy, test)
+with JSON-Pointer addressing (RFC 6901), including the ``-`` append
+index and ``~0``/``~1`` escapes.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.yamlutil.tree import deep_copy
+
+
+class JsonPatchError(ValueError):
+    """Invalid pointer, failed test, or malformed operation."""
+
+
+def parse_pointer(pointer: str) -> list[str]:
+    """Split an RFC 6901 pointer into unescaped reference tokens."""
+    if pointer == "":
+        return []
+    if not pointer.startswith("/"):
+        raise JsonPatchError(f"pointer must start with '/': {pointer!r}")
+    return [
+        token.replace("~1", "/").replace("~0", "~")
+        for token in pointer[1:].split("/")
+    ]
+
+
+def _resolve_parent(tree: Any, tokens: list[str]) -> tuple[Any, str]:
+    """Walk to the parent of the addressed location."""
+    node = tree
+    for token in tokens[:-1]:
+        node = _step(node, token)
+    return node, tokens[-1]
+
+
+def _step(node: Any, token: str) -> Any:
+    if isinstance(node, dict):
+        if token not in node:
+            raise JsonPatchError(f"member {token!r} not found")
+        return node[token]
+    if isinstance(node, list):
+        index = _list_index(node, token, allow_append=False)
+        return node[index]
+    raise JsonPatchError(f"cannot index scalar with {token!r}")
+
+
+def _list_index(node: list, token: str, allow_append: bool) -> int:
+    if token == "-":
+        if allow_append:
+            return len(node)
+        raise JsonPatchError("'-' index only valid for add")
+    try:
+        index = int(token)
+    except ValueError:
+        raise JsonPatchError(f"bad array index {token!r}") from None
+    limit = len(node) + (1 if allow_append else 0)
+    if not 0 <= index < limit:
+        raise JsonPatchError(f"array index {index} out of range")
+    return index
+
+
+def get_pointer(tree: Any, pointer: str) -> Any:
+    """Read the value addressed by *pointer*."""
+    node = tree
+    for token in parse_pointer(pointer):
+        node = _step(node, token)
+    return node
+
+
+def _op_add(tree: Any, tokens: list[str], value: Any) -> Any:
+    if not tokens:
+        return deep_copy(value)  # whole-document replace
+    parent, last = _resolve_parent(tree, tokens)
+    if isinstance(parent, dict):
+        parent[last] = deep_copy(value)
+    elif isinstance(parent, list):
+        parent.insert(_list_index(parent, last, allow_append=True), deep_copy(value))
+    else:
+        raise JsonPatchError(f"cannot add into scalar at {last!r}")
+    return tree
+
+
+def _op_remove(tree: Any, tokens: list[str]) -> Any:
+    if not tokens:
+        raise JsonPatchError("cannot remove the whole document")
+    parent, last = _resolve_parent(tree, tokens)
+    if isinstance(parent, dict):
+        if last not in parent:
+            raise JsonPatchError(f"member {last!r} not found")
+        del parent[last]
+    elif isinstance(parent, list):
+        del parent[_list_index(parent, last, allow_append=False)]
+    else:
+        raise JsonPatchError(f"cannot remove from scalar at {last!r}")
+    return tree
+
+
+def apply_patch(document: Any, operations: list[dict[str, Any]]) -> Any:
+    """Apply a JSON Patch; returns a new document (input untouched).
+
+    Raises :class:`JsonPatchError` on any failure, leaving no partial
+    state visible to the caller.
+    """
+    tree = deep_copy(document)
+    for operation in operations:
+        op = operation.get("op")
+        path = operation.get("path")
+        if op is None or path is None:
+            raise JsonPatchError(f"operation needs op and path: {operation!r}")
+        tokens = parse_pointer(path)
+        if op == "add":
+            tree = _op_add(tree, tokens, operation.get("value"))
+        elif op == "remove":
+            tree = _op_remove(tree, tokens)
+        elif op == "replace":
+            get_pointer(tree, path)  # must exist
+            tree = _op_remove(tree, tokens) if tokens else tree
+            tree = _op_add(tree, tokens, operation.get("value"))
+        elif op == "move":
+            from_tokens = parse_pointer(operation.get("from", ""))
+            value = get_pointer(tree, operation.get("from", ""))
+            tree = _op_remove(tree, from_tokens)
+            tree = _op_add(tree, tokens, value)
+        elif op == "copy":
+            value = get_pointer(tree, operation.get("from", ""))
+            tree = _op_add(tree, tokens, value)
+        elif op == "test":
+            actual = get_pointer(tree, path)
+            if actual != operation.get("value"):
+                raise JsonPatchError(
+                    f"test failed at {path!r}: {actual!r} != {operation.get('value')!r}"
+                )
+        else:
+            raise JsonPatchError(f"unknown op {op!r}")
+    return tree

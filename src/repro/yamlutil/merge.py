@@ -1,0 +1,41 @@
+"""Helm-style deep merge of values structures.
+
+Helm merges a chart's default ``values.yaml`` with user-supplied
+overrides: maps merge key-by-key recursively, while scalars and lists
+from the override *replace* the defaults wholesale.  Setting a key to
+``None`` in the override deletes it from the result, mirroring Helm's
+null-deletion semantics.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+
+def deep_merge(base: Any, override: Any, delete_on_none: bool = True) -> Any:
+    """Merge *override* on top of *base*, returning a new structure.
+
+    Neither argument is mutated.  ``dict`` values merge recursively;
+    anything else in *override* replaces the corresponding *base*
+    value.  When *delete_on_none* is true, a ``None`` override value
+    removes the key entirely (Helm semantics).
+    """
+    if isinstance(base, dict) and isinstance(override, dict):
+        merged: dict[Any, Any] = {k: _copy(v) for k, v in base.items()}
+        for key, value in override.items():
+            if value is None and delete_on_none:
+                merged.pop(key, None)
+            elif key in merged:
+                merged[key] = deep_merge(merged[key], value, delete_on_none)
+            else:
+                merged[key] = _copy(value)
+        return merged
+    return _copy(override)
+
+
+def _copy(value: Any) -> Any:
+    if isinstance(value, dict):
+        return {k: _copy(v) for k, v in value.items()}
+    if isinstance(value, list):
+        return [_copy(v) for v in value]
+    return value

@@ -1,0 +1,232 @@
+"""Dotted field paths over nested dict/list structures.
+
+Kubernetes manifests, Helm values files, and KubeFence validators are
+all deeply nested trees of dicts, lists, and scalars.  A
+:class:`FieldPath` names one location inside such a tree, e.g.::
+
+    spec.template.spec.containers[0].securityContext.runAsNonRoot
+
+Paths are immutable and hashable so they can be used as dict keys and
+set members (the attack-surface analysis counts *sets* of paths).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, Iterator
+
+# One path segment: a key name optionally followed by [i][j]... indexes.
+# The key may be absent for index-only segments (a list at the root).
+_SEGMENT_RE = re.compile(r"^(?P<key>[^.\[\]]+)?(?P<idx>(\[\d+\])+|)$")
+_INDEX_RE = re.compile(r"\[(\d+)\]")
+
+
+class FieldPath:
+    """An immutable path into a nested dict/list structure.
+
+    Internally a tuple of parts, where each part is either a ``str``
+    (dict key) or an ``int`` (list index).
+    """
+
+    __slots__ = ("_parts",)
+
+    def __init__(self, parts: tuple[str | int, ...] = ()):
+        self._parts = tuple(parts)
+
+    @classmethod
+    def parse(cls, text: str) -> "FieldPath":
+        """Parse a dotted path like ``spec.containers[0].image``.
+
+        Raises :class:`ValueError` on malformed input.
+        """
+        if text == "":
+            return cls(())
+        parts: list[str | int] = []
+        for segment in text.split("."):
+            match = _SEGMENT_RE.match(segment)
+            if match is None or (not match.group("key") and not match.group("idx")):
+                raise ValueError(f"malformed path segment {segment!r} in {text!r}")
+            if match.group("key"):
+                parts.append(match.group("key"))
+            for idx in _INDEX_RE.findall(match.group("idx")):
+                parts.append(int(idx))
+        return cls(tuple(parts))
+
+    @property
+    def parts(self) -> tuple[str | int, ...]:
+        return self._parts
+
+    @property
+    def keys_only(self) -> tuple[str, ...]:
+        """The path with list indexes stripped (structural identity).
+
+        ``containers[0].image`` and ``containers[3].image`` denote the
+        same *schema field*; the attack-surface analysis counts schema
+        fields, so it compares ``keys_only`` forms.
+        """
+        return tuple(p for p in self._parts if isinstance(p, str))
+
+    def child(self, part: str | int) -> "FieldPath":
+        return FieldPath(self._parts + (part,))
+
+    def parent(self) -> "FieldPath":
+        if not self._parts:
+            raise ValueError("root path has no parent")
+        return FieldPath(self._parts[:-1])
+
+    def startswith(self, other: "FieldPath") -> bool:
+        return self._parts[: len(other._parts)] == other._parts
+
+    def __len__(self) -> int:
+        return len(self._parts)
+
+    def __iter__(self) -> Iterator[str | int]:
+        return iter(self._parts)
+
+    def __hash__(self) -> int:
+        return hash(self._parts)
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, FieldPath):
+            return self._parts == other._parts
+        return NotImplemented
+
+    def __lt__(self, other: "FieldPath") -> bool:
+        return self._canonical() < other._canonical()
+
+    def _canonical(self) -> tuple[tuple[int, str], ...]:
+        # Mixed str/int tuples do not compare; normalise for ordering.
+        return tuple(
+            (0, f"{p:012d}") if isinstance(p, int) else (1, p) for p in self._parts
+        )
+
+    def __str__(self) -> str:
+        out: list[str] = []
+        for part in self._parts:
+            if isinstance(part, int):
+                out.append(f"[{part}]")
+            elif out:
+                out.append("." + part)
+            else:
+                out.append(part)
+        return "".join(out)
+
+    def __repr__(self) -> str:
+        return f"FieldPath({str(self)!r})"
+
+
+def _as_path(path: "FieldPath | str") -> FieldPath:
+    if isinstance(path, FieldPath):
+        return path
+    return FieldPath.parse(path)
+
+
+_MISSING = object()
+
+
+def get_path(tree: Any, path: "FieldPath | str", default: Any = _MISSING) -> Any:
+    """Return the value at *path* inside *tree*.
+
+    Raises :class:`KeyError` / :class:`IndexError` when the path does
+    not exist and no *default* was given.
+    """
+    node = tree
+    for part in _as_path(path):
+        try:
+            if isinstance(part, int):
+                if not isinstance(node, list):
+                    raise KeyError(part)
+                node = node[part]
+            else:
+                if not isinstance(node, dict):
+                    raise KeyError(part)
+                node = node[part]
+        except (KeyError, IndexError):
+            if default is _MISSING:
+                raise
+            return default
+    return node
+
+
+def set_path(tree: Any, path: "FieldPath | str", value: Any) -> Any:
+    """Set *value* at *path*, creating intermediate dicts/lists.
+
+    Intermediate dicts are created for string parts; lists are extended
+    with ``{}`` placeholders for integer parts.  Returns *tree* for
+    chaining.
+    """
+    parts = _as_path(path).parts
+    if not parts:
+        raise ValueError("cannot set the root of a tree")
+    node = tree
+    for i, part in enumerate(parts[:-1]):
+        nxt = parts[i + 1]
+        if isinstance(part, int):
+            if not isinstance(node, list):
+                raise TypeError(f"expected list at {parts[:i]}, got {type(node)}")
+            while len(node) <= part:
+                node.append([] if isinstance(nxt, int) else {})
+            if node[part] is None:
+                node[part] = [] if isinstance(nxt, int) else {}
+            node = node[part]
+        else:
+            if not isinstance(node, dict):
+                raise TypeError(f"expected dict at {parts[:i]}, got {type(node)}")
+            if part not in node or node[part] is None:
+                node[part] = [] if isinstance(nxt, int) else {}
+            node = node[part]
+    last = parts[-1]
+    if isinstance(last, int):
+        if not isinstance(node, list):
+            raise TypeError(f"expected list at {parts[:-1]}, got {type(node)}")
+        while len(node) <= last:
+            node.append(None)
+        node[last] = value
+    else:
+        if not isinstance(node, dict):
+            raise TypeError(f"expected dict at {parts[:-1]}, got {type(node)}")
+        node[last] = value
+    return tree
+
+
+def delete_path(tree: Any, path: "FieldPath | str") -> bool:
+    """Delete the value at *path*.  Returns True if something was removed."""
+    parts = _as_path(path).parts
+    if not parts:
+        raise ValueError("cannot delete the root of a tree")
+    try:
+        node = get_path(tree, FieldPath(parts[:-1]))
+    except (KeyError, IndexError):
+        return False
+    last = parts[-1]
+    if isinstance(last, int):
+        if isinstance(node, list) and 0 <= last < len(node):
+            del node[last]
+            return True
+        return False
+    if isinstance(node, dict) and last in node:
+        del node[last]
+        return True
+    return False
+
+
+def walk_leaves(tree: Any, _prefix: FieldPath = FieldPath()) -> Iterator[tuple[FieldPath, Any]]:
+    """Yield ``(path, value)`` for every leaf (non-dict, non-list) node.
+
+    Empty dicts and empty lists are themselves yielded as leaves so
+    that structure-only fields (e.g. ``emptyDir: {}``) are not lost.
+    """
+    if isinstance(tree, dict):
+        if not tree:
+            yield _prefix, tree
+            return
+        for key, value in tree.items():
+            yield from walk_leaves(value, _prefix.child(key))
+    elif isinstance(tree, list):
+        if not tree:
+            yield _prefix, tree
+            return
+        for i, value in enumerate(tree):
+            yield from walk_leaves(value, _prefix.child(i))
+    else:
+        yield _prefix, tree

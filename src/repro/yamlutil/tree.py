@@ -1,0 +1,80 @@
+"""Structural tree helpers: copies, node iteration, diff, containment."""
+
+from __future__ import annotations
+
+from typing import Any, Iterator
+
+from repro.yamlutil.paths import FieldPath
+
+
+def deep_copy(tree: Any) -> Any:
+    """Deep-copy a dict/list/scalar tree (faster than copy.deepcopy
+    for the plain-data trees used throughout this project)."""
+    if isinstance(tree, dict):
+        return {k: deep_copy(v) for k, v in tree.items()}
+    if isinstance(tree, list):
+        return [deep_copy(v) for v in tree]
+    return tree
+
+
+def iter_nodes(tree: Any, _prefix: FieldPath = FieldPath()) -> Iterator[tuple[FieldPath, Any]]:
+    """Yield ``(path, node)`` for *every* node, interior and leaf,
+    in depth-first pre-order.  The root is yielded with an empty path."""
+    yield _prefix, tree
+    if isinstance(tree, dict):
+        for key, value in tree.items():
+            yield from iter_nodes(value, _prefix.child(key))
+    elif isinstance(tree, list):
+        for i, value in enumerate(tree):
+            yield from iter_nodes(value, _prefix.child(i))
+
+
+def structural_diff(left: Any, right: Any) -> list[tuple[FieldPath, Any, Any]]:
+    """Return ``(path, left_value, right_value)`` triples where the two
+    trees differ.  A missing side is reported as the sentinel string
+    ``"<absent>"``."""
+    out: list[tuple[FieldPath, Any, Any]] = []
+    _diff(left, right, FieldPath(), out)
+    return out
+
+
+_ABSENT = "<absent>"
+
+
+def _diff(left: Any, right: Any, path: FieldPath, out: list) -> None:
+    if isinstance(left, dict) and isinstance(right, dict):
+        for key in sorted(set(left) | set(right), key=str):
+            if key not in left:
+                out.append((path.child(key), _ABSENT, right[key]))
+            elif key not in right:
+                out.append((path.child(key), left[key], _ABSENT))
+            else:
+                _diff(left[key], right[key], path.child(key), out)
+    elif isinstance(left, list) and isinstance(right, list):
+        for i in range(max(len(left), len(right))):
+            if i >= len(left):
+                out.append((path.child(i), _ABSENT, right[i]))
+            elif i >= len(right):
+                out.append((path.child(i), left[i], _ABSENT))
+            else:
+                _diff(left[i], right[i], path.child(i), out)
+    elif left != right:
+        out.append((path, left, right))
+
+
+def subtree_contains(haystack: Any, needle: Any) -> bool:
+    """True when every field present in *needle* exists in *haystack*
+    with an equal value (dicts compared as subsets, recursively; lists
+    compared element-wise as prefixes)."""
+    if isinstance(needle, dict):
+        if not isinstance(haystack, dict):
+            return False
+        return all(
+            key in haystack and subtree_contains(haystack[key], value)
+            for key, value in needle.items()
+        )
+    if isinstance(needle, list):
+        if not isinstance(haystack, list) or len(haystack) < len(needle):
+            return False
+        return all(subtree_contains(h, n) for h, n in zip(haystack, needle))
+    return haystack == needle

@@ -1,0 +1,40 @@
+"""Unit tests for the Fig. 5 analysis wrapper."""
+
+from repro.analysis.coverage import fig5_analysis
+from repro.k8s.e2e import E2ECorpus
+
+
+class TestFig5Analysis:
+    def test_headline_statistics(self):
+        data = fig5_analysis()
+        assert data.total_tests == 6580
+        assert data.covering_tests == 29
+        assert data.covering_fraction < 0.005
+        assert data.covering_excluding_largest == (21, 960)
+
+    def test_rows_are_only_covered_cves(self):
+        data = fig5_analysis()
+        assert sorted(data.rows) == [
+            "CVE-2017-1002101",
+            "CVE-2020-8554",
+            "CVE-2023-2431",
+        ]
+        assert len(data.uncovered_cves) == 46
+
+    def test_row_sums_match_covering_totals(self):
+        data = fig5_analysis()
+        per_cve_totals = {cve: sum(row.values()) for cve, row in data.rows.items()}
+        assert per_cve_totals["CVE-2023-2431"] == 2
+        assert per_cve_totals["CVE-2017-1002101"] == 6
+        assert per_cve_totals["CVE-2020-8554"] == 21
+
+    def test_categories_are_corpus_categories(self):
+        corpus = E2ECorpus()
+        data = fig5_analysis(corpus)
+        assert data.categories == corpus.categories()
+        assert data.category_sizes == corpus.sizes
+
+    def test_custom_corpus(self):
+        sizes = {c: 10 for c in E2ECorpus().categories()}
+        data = fig5_analysis(E2ECorpus(seed=5, sizes=sizes))
+        assert data.total_tests == 120

@@ -1,0 +1,79 @@
+"""Tests for the Table IV overhead measurement."""
+
+import pytest
+
+from repro.analysis.overhead import (
+    DelayedTransport,
+    OverheadConfig,
+    OverheadRow,
+    measure_overhead,
+)
+from repro.operators import get_chart
+
+
+class TestOverheadRow:
+    def test_increase_computation(self):
+        row = OverheadRow("x", 100.0, 5.0, 120.0, 6.0)
+        assert row.increase_ms == pytest.approx(20.0)
+        assert row.increase_percent == pytest.approx(20.0)
+
+    def test_zero_baseline_safe(self):
+        assert OverheadRow("x", 0.0, 0, 5.0, 0).increase_percent == 0.0
+
+
+class TestDelayedTransport:
+    def test_adds_delay(self):
+        import time
+
+        class Instant:
+            def submit(self, request):
+                return "ok"
+
+        transport = DelayedTransport(Instant(), delay_ms=20)
+        started = time.perf_counter()
+        assert transport.submit(None) == "ok"
+        assert time.perf_counter() - started >= 0.018
+
+
+class TestMeasureOverhead:
+    def test_kubefence_adds_measurable_validation_cost(self):
+        row = measure_overhead(get_chart("nginx"), OverheadConfig(repetitions=3))
+        assert row.operator == "nginx"
+        assert row.rbac_ms_mean > 0
+        assert row.kubefence_ms_mean > row.rbac_ms_mean
+
+    def test_network_model_brings_relative_overhead_down(self):
+        """With a realistic client link, the proxy's extra cost is a
+        modest fraction of the RTT (the paper's 12-27% band)."""
+        chart = get_chart("nginx")
+        raw = measure_overhead(chart, OverheadConfig(repetitions=2))
+        networked = measure_overhead(
+            chart, OverheadConfig(repetitions=2, network_delay_ms=4.0)
+        )
+        assert networked.increase_percent < raw.increase_percent
+        assert networked.increase_percent < 60
+
+    def test_benign_traffic_must_pass(self):
+        """measure_overhead raises if the policy blocks the deploy --
+        guards against measuring a broken configuration."""
+        row = measure_overhead(get_chart("mlflow"), OverheadConfig(repetitions=1))
+        assert row.kubefence_ms_mean > 0
+
+
+class TestResourceUsage:
+    def test_memory_attribution(self):
+        from repro.analysis.overhead import measure_resource_usage
+
+        usage = measure_resource_usage(get_chart("nginx"), repetitions=2)
+        assert usage.operator == "nginx"
+        # A loaded validator occupies real, attributable memory...
+        assert usage.validator_memory_bytes > 10_000
+        assert usage.proxy_state_memory_bytes >= 0
+        # ...but a pure-Python validator is far below mitmproxy's 85 MiB.
+        assert usage.memory_mib < 10
+
+    def test_cpu_overhead_positive(self):
+        from repro.analysis.overhead import measure_resource_usage
+
+        usage = measure_resource_usage(get_chart("nginx"), repetitions=2)
+        assert usage.cpu_overhead_percent > 0

@@ -1,0 +1,59 @@
+"""Tests for the plain-text table/figure rendering."""
+
+from repro.analysis.coverage import fig5_analysis
+from repro.analysis.reduction import ReductionRow
+from repro.analysis.report import (
+    format_table,
+    render_fig5,
+    render_fig9,
+    render_table1,
+    render_table2,
+    render_table4,
+)
+from repro.analysis.overhead import OverheadRow
+from repro.analysis.surface import ANALYSIS_KINDS, usage_matrix
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        out = format_table(["a", "long"], [["xxxx", "1"], ["y", "22"]])
+        lines = out.split("\n")
+        assert len(lines) == 4
+        assert all(len(line) == len(lines[0]) for line in lines[1:])
+
+    def test_headers_first(self):
+        out = format_table(["col"], [["v"]])
+        assert out.split("\n")[0].strip() == "col"
+
+
+class TestRenderers:
+    def test_fig5_contains_stats(self):
+        out = render_fig5(fig5_analysis())
+        assert "29" in out and "6580" in out
+        assert "CVE-2017-1002101" in out
+        assert "21/960" in out
+
+    def test_fig9_lists_kinds_and_operators(self, validators):
+        out = render_fig9(usage_matrix(validators), ANALYSIS_KINDS)
+        assert "Deployment" in out
+        assert "nginx" in out and "sonarqube" in out
+        assert "%" in out
+
+    def test_table1(self):
+        rows = [ReductionRow("nginx", 3747, 4751, 4882)]
+        out = render_table1(rows)
+        assert "3747 / 4882" in out
+        assert "76.75 %" in out
+        assert "average improvement" in out
+
+    def test_table2_lists_all_attacks(self):
+        out = render_table2()
+        for attack_id in ("E1", "E8", "M1", "M7"):
+            assert attack_id in out
+        assert "CVE-2017-1002101" in out
+
+    def test_table4(self):
+        rows = [OverheadRow("mlflow", 211.0, 39.2, 237.6, 37.5)]
+        out = render_table4(rows)
+        assert "211.0" in out and "237.6" in out
+        assert "12.61%" in out

@@ -1,0 +1,54 @@
+"""Unit tests for attack-surface quantification (Fig. 9)."""
+
+from repro.analysis.surface import ANALYSIS_KINDS, catalog_paths, usage_matrix, workload_usage
+from repro.k8s.schema import catalog
+
+
+class TestCatalogPaths:
+    def test_paths_are_key_tuples_without_kind_root(self):
+        paths = catalog_paths("Service")
+        assert ("spec", "externalIPs") in paths
+        assert ("metadata", "name") in paths
+
+    def test_count_matches_catalog(self):
+        for kind in ("Service", "Pod", "ConfigMap"):
+            assert len(catalog_paths(kind)) == catalog.field_count(kind)
+
+
+class TestWorkloadUsage:
+    def test_analysis_kind_set_magnitude(self):
+        total = sum(catalog.field_count(k) for k in ANALYSIS_KINDS)
+        assert 4000 <= total <= 6000  # paper: 4,882
+
+    def test_nginx_profile(self, validators):
+        usage = workload_usage(validators["nginx"])
+        # Endpoints the workload never touches are 0%.
+        assert usage.usage_percent("Pod") == 0.0
+        assert usage.usage_percent("StatefulSet") == 0.0
+        assert usage.usage_percent("Job") == 0.0
+        # Used endpoints sit well below 100% (field under-utilisation).
+        assert 0 < usage.usage_percent("Deployment") < 30
+        assert 0 < usage.usage_percent("Service") < 60
+
+    def test_used_fields_subset_of_totals(self, validators):
+        for validator in validators.values():
+            usage = workload_usage(validator)
+            for kind, (used, total) in usage.per_kind.items():
+                assert 0 <= used <= total, kind
+
+    def test_unused_kinds_listed(self, validators):
+        usage = workload_usage(validators["postgresql"])
+        unused = usage.unused_kinds()
+        assert "Deployment" in unused      # postgres uses StatefulSet
+        assert "StatefulSet" not in unused
+
+    def test_matrix_covers_all_operators(self, validators):
+        matrix = usage_matrix(validators)
+        assert set(matrix) == set(validators)
+
+    def test_every_workload_underutilizes_the_api(self, validators):
+        """The paper's Sec. VI-B hypothesis: workloads use only a small
+        subset of the API surface."""
+        for name, usage in usage_matrix(validators).items():
+            fraction = usage.used_fields / usage.total_fields
+            assert fraction < 0.10, (name, fraction)

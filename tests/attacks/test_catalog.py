@@ -1,0 +1,143 @@
+"""Unit tests for the Table II attack catalog."""
+
+import pytest
+
+from repro.attacks.catalog import ATTACKS, cve_attacks, get_attack, misconfig_attacks
+from repro.k8s.objects import K8sObject
+from repro.k8s.vulndb import vulndb
+from repro.yamlutil import deep_copy, get_path
+
+
+def deployment() -> dict:
+    return {
+        "apiVersion": "apps/v1",
+        "kind": "Deployment",
+        "metadata": {"name": "d", "namespace": "default"},
+        "spec": {
+            "template": {
+                "spec": {
+                    "containers": [
+                        {"name": "c", "image": "x",
+                         "resources": {"limits": {"cpu": "1"}},
+                         "securityContext": {"runAsNonRoot": True}}
+                    ]
+                }
+            }
+        },
+    }
+
+
+def service() -> dict:
+    return {
+        "apiVersion": "v1",
+        "kind": "Service",
+        "metadata": {"name": "s", "namespace": "default"},
+        "spec": {"ports": [{"port": 80}]},
+    }
+
+
+class TestCatalogShape:
+    def test_fifteen_attacks(self):
+        assert len(ATTACKS) == 15
+
+    def test_eight_cves_seven_misconfigs(self):
+        assert len(cve_attacks()) == 8
+        assert len(misconfig_attacks()) == 7
+
+    def test_ids_match_paper(self):
+        ids = [a.attack_id for a in ATTACKS]
+        assert ids == [f"E{i}" for i in range(1, 9)] + [f"M{i}" for i in range(1, 8)]
+
+    def test_cve_references_exist_in_vulndb(self):
+        for attack in cve_attacks():
+            assert attack.reference in vulndb, attack.attack_id
+
+    def test_misconfig_references_hardening_guide(self):
+        for attack in misconfig_attacks():
+            assert "NSA/CISA" in attack.reference
+
+    def test_lookup(self):
+        assert get_attack("E4").reference == "CVE-2017-1002101"
+        with pytest.raises(KeyError):
+            get_attack("E99")
+
+    def test_e2_targets_services_only(self):
+        assert get_attack("E2").kinds == ("Service",)
+
+    def test_pod_attacks_cover_all_workload_kinds(self):
+        for attack in ATTACKS:
+            if attack.attack_id != "E2":
+                assert "Deployment" in attack.kinds
+                assert "StatefulSet" in attack.kinds
+
+
+class TestInjections:
+    @pytest.mark.parametrize("attack", [a for a in ATTACKS if a.attack_id != "E2"],
+                             ids=lambda a: a.attack_id)
+    def test_injection_mutates_workload(self, attack):
+        manifest = deployment()
+        before = deep_copy(manifest)
+        attack.inject(manifest)
+        assert manifest != before, attack.attack_id
+
+    def test_e2_injects_external_ips(self):
+        manifest = service()
+        get_attack("E2").inject(manifest)
+        assert manifest["spec"]["externalIPs"] == ["203.0.113.7"]
+
+    def test_e1_sets_host_network(self):
+        manifest = deployment()
+        get_attack("E1").inject(manifest)
+        assert get_path(manifest, "spec.template.spec.hostNetwork") is True
+
+    def test_e4_adds_subpath_mount_and_volume(self):
+        manifest = deployment()
+        get_attack("E4").inject(manifest)
+        spec = get_path(manifest, "spec.template.spec")
+        mounts = spec["containers"][0]["volumeMounts"]
+        assert any(m.get("subPath") == "symlink-door" for m in mounts)
+        assert any(v.get("emptyDir") == {} for v in spec["volumes"])
+
+    def test_e5_removes_limits(self):
+        manifest = deployment()
+        get_attack("E5").inject(manifest)
+        container = get_path(manifest, "spec.template.spec.containers[0]")
+        assert "limits" not in container["resources"]
+
+    def test_e6_adds_symlink_init_container(self):
+        manifest = deployment()
+        get_attack("E6").inject(manifest)
+        init = get_path(manifest, "spec.template.spec.initContainers[0]")
+        assert init["command"][0] == "ln"
+
+    def test_m4_disables_run_as_non_root(self):
+        manifest = deployment()
+        get_attack("M4").inject(manifest)
+        sc = get_path(manifest, "spec.template.spec.containers[0].securityContext")
+        assert sc["runAsNonRoot"] is False
+
+    @pytest.mark.parametrize("attack", cve_attacks(), ids=lambda a: a.attack_id)
+    def test_cve_injections_trigger_their_cve(self, attack):
+        """Each E* injection actually exercises its CVE's trigger --
+        the catalog is live, not just descriptive."""
+        manifest = service() if attack.attack_id == "E2" else deployment()
+        attack.inject(manifest)
+        entry = vulndb.get(attack.reference)
+        assert entry.trigger is not None
+        assert entry.trigger(K8sObject(manifest)) is not None, attack.attack_id
+
+    @pytest.mark.parametrize("attack", cve_attacks(), ids=lambda a: a.attack_id)
+    def test_unmutated_manifests_do_not_trigger(self, attack):
+        manifest = service() if attack.attack_id == "E2" else deployment()
+        entry = vulndb.get(attack.reference)
+        assert entry.trigger(K8sObject(manifest)) is None, attack.attack_id
+
+    def test_injections_produce_schema_valid_manifests(self):
+        """Attacks must pass server-side structural validation (they
+        use real API fields); only KubeFence may stop them."""
+        from repro.k8s.apiserver import Cluster
+
+        for attack in ATTACKS:
+            manifest = service() if attack.attack_id == "E2" else deployment()
+            attack.inject(manifest)
+            assert Cluster().apply(manifest).ok, attack.attack_id

@@ -1,0 +1,71 @@
+"""Unit tests for malicious-manifest construction."""
+
+import pytest
+
+from repro.attacks.catalog import ATTACKS, get_attack
+from repro.attacks.injector import build_malicious_manifests
+from repro.helm.chart import render_chart
+from repro.operators import OPERATOR_NAMES, get_chart
+
+
+class TestBuildMaliciousManifests:
+    @pytest.mark.parametrize("name", OPERATOR_NAMES)
+    def test_fifteen_manifests_per_operator(self, name):
+        """'15 distinct malicious manifests for each operator'."""
+        legitimate = render_chart(get_chart(name))
+        malicious = build_malicious_manifests(name, legitimate)
+        assert len(malicious) == 15
+        ids = [m.attack.attack_id for m in malicious]
+        assert len(set(ids)) == 15
+
+    def test_injection_into_legitimate_base(self):
+        legitimate = render_chart(get_chart("nginx"))
+        malicious = build_malicious_manifests("nginx", legitimate)
+        e1 = next(m for m in malicious if m.attack.attack_id == "E1")
+        assert e1.base_kind == "Deployment"
+        # The base name is preserved (attack on the operator's resource).
+        base = next(m for m in legitimate if m["kind"] == "Deployment")
+        assert e1.manifest["metadata"]["name"] == base["metadata"]["name"]
+
+    def test_e2_lands_on_service(self):
+        legitimate = render_chart(get_chart("postgresql"))
+        malicious = build_malicious_manifests("postgresql", legitimate)
+        e2 = next(m for m in malicious if m.attack.attack_id == "E2")
+        assert e2.base_kind == "Service"
+
+    def test_workload_priority_prefers_deployment_statefulset(self):
+        legitimate = render_chart(get_chart("sonarqube"))  # has Deployment + DaemonSet + Job
+        malicious = build_malicious_manifests("sonarqube", legitimate)
+        for item in malicious:
+            if item.attack.attack_id != "E2":
+                assert item.base_kind == "Deployment"
+
+    def test_originals_not_mutated(self):
+        legitimate = render_chart(get_chart("nginx"))
+        import copy
+
+        pristine = copy.deepcopy(legitimate)
+        build_malicious_manifests("nginx", legitimate)
+        assert legitimate == pristine
+
+    def test_missing_target_kind_raises(self):
+        only_configmap = [{"apiVersion": "v1", "kind": "ConfigMap",
+                           "metadata": {"name": "c"}, "data": {}}]
+        with pytest.raises(ValueError, match="no resource of kinds"):
+            build_malicious_manifests("op", only_configmap)
+
+    def test_no_op_injection_raises(self):
+        """E5 on a workload with no limits to remove is a no-op and
+        must be flagged rather than silently producing a 'benign attack'."""
+        workload = [{
+            "apiVersion": "apps/v1", "kind": "Deployment",
+            "metadata": {"name": "d"},
+            "spec": {"template": {"spec": {"containers": [{"name": "c"}]}}},
+        }]
+        with pytest.raises(ValueError, match="no mutation"):
+            build_malicious_manifests("op", workload, attacks=(get_attack("E5"),))
+
+    def test_subset_of_attacks(self):
+        legitimate = render_chart(get_chart("nginx"))
+        subset = tuple(a for a in ATTACKS if a.attack_id in ("E1", "M1"))
+        assert len(build_malicious_manifests("nginx", legitimate, subset)) == 2

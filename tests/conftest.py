@@ -1,0 +1,57 @@
+"""Shared fixtures: charts, validators, rendered manifests.
+
+Policy generation is deterministic and cheap (<100 ms per chart), but
+many test modules need the same artifacts, so they are produced once
+per session.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.enforcement import Validator
+from repro.core.pipeline import PolicyGenerator
+from repro.helm.chart import Chart, render_chart
+from repro.operators import all_charts
+
+
+@pytest.fixture(scope="session")
+def charts() -> dict[str, Chart]:
+    return all_charts()
+
+
+@pytest.fixture(scope="session")
+def reports(charts):
+    """Full policy-generation reports for the five operators."""
+    generator = PolicyGenerator()
+    return {name: generator.generate(chart) for name, chart in charts.items()}
+
+
+@pytest.fixture(scope="session")
+def validators(reports) -> dict[str, Validator]:
+    return {name: report.validator for name, report in reports.items()}
+
+
+@pytest.fixture(scope="session")
+def default_manifests(charts):
+    """Manifests rendered from each chart's default values."""
+    return {name: render_chart(chart) for name, chart in charts.items()}
+
+
+@pytest.fixture()
+def nginx_chart(charts) -> Chart:
+    return charts["nginx"]
+
+
+@pytest.fixture()
+def nginx_validator(validators) -> Validator:
+    return validators["nginx"]
+
+
+@pytest.fixture()
+def nginx_deployment(default_manifests) -> dict:
+    from repro.yamlutil import deep_copy
+
+    return deep_copy(
+        next(m for m in default_manifests["nginx"] if m["kind"] == "Deployment")
+    )

@@ -1,0 +1,160 @@
+"""Tests for the residual-risk anomaly detector (Sec. VIII complement)."""
+
+from repro.core.anomaly import AnomalyMonitoringTransport, ApiAnomalyDetector
+from repro.helm.chart import render_chart
+from repro.k8s.apiserver import ApiRequest, Cluster, User
+from repro.operators import get_chart
+from repro.operators.client import DirectTransport, OperatorClient
+from repro.yamlutil import deep_copy, set_path
+
+USER = User("op")
+
+
+def req(manifest: dict, verb: str = "create", username: str = "op") -> ApiRequest:
+    return ApiRequest.from_manifest(manifest, User(username), verb)
+
+
+def pod(name: str = "p", **spec_extra) -> dict:
+    spec = {"containers": [{"name": "c", "image": "img:1",
+                            "resources": {"limits": {"cpu": "1"}}}]}
+    spec.update(spec_extra)
+    return {"apiVersion": "v1", "kind": "Pod",
+            "metadata": {"name": name, "namespace": "default"}, "spec": spec}
+
+
+class TestLearningAndScoring:
+    def test_cold_start_is_maximally_anomalous(self):
+        detector = ApiAnomalyDetector()
+        report = detector.score(req(pod()))
+        assert report.score == 1.0
+
+    def test_learned_request_scores_zero(self):
+        detector = ApiAnomalyDetector()
+        detector.learn(req(pod()))
+        report = detector.score(req(pod()))
+        assert report.score == 0.0
+        assert not detector.is_anomalous(req(pod()))
+
+    def test_novel_kind_scores_high(self):
+        detector = ApiAnomalyDetector()
+        detector.learn(req(pod()))
+        service = {"apiVersion": "v1", "kind": "Service",
+                   "metadata": {"name": "s"}, "spec": {"ports": [{"port": 80}]}}
+        report = detector.score(req(service))
+        assert report.novel_kind
+        assert report.score >= 1.0
+
+    def test_novel_verb_scores_medium(self):
+        detector = ApiAnomalyDetector()
+        detector.learn(req(pod()))
+        report = detector.score(req(pod(), verb="delete"))
+        assert report.novel_verb and not report.novel_kind
+        assert 0.3 <= report.score < 1.0
+
+    def test_novel_field_detected(self):
+        detector = ApiAnomalyDetector()
+        detector.learn(req(pod()))
+        attack = pod(hostNetwork=True)
+        report = detector.score(req(attack))
+        assert "spec.hostNetwork" in report.novel_fields
+        assert detector.is_anomalous(req(attack))
+
+    def test_novel_value_scores_low(self):
+        detector = ApiAnomalyDetector()
+        detector.learn(req(pod()))
+        changed = pod()
+        set_path(changed, "spec.containers[0].image", "img:2")
+        report = detector.score(req(changed))
+        assert report.novel_values
+        assert not report.novel_fields
+        assert report.score < 0.3  # value drift alone does not alert
+
+    def test_profiles_are_per_user(self):
+        detector = ApiAnomalyDetector()
+        detector.learn(req(pod(), username="alice"))
+        assert detector.score(req(pod(), username="alice")).score == 0.0
+        assert detector.score(req(pod(), username="bob")).score == 1.0
+
+    def test_learn_from_audit(self):
+        cluster = Cluster()
+        client = OperatorClient(DirectTransport(cluster.api))
+        result = client.deploy_chart(get_chart("nginx"))
+        client.reconcile(result)
+        detector = ApiAnomalyDetector()
+        learned = detector.learn_from_audit(cluster.api.audit_log, "nginx-operator")
+        assert learned > 0
+        deployment = next(
+            m for m in render_chart(get_chart("nginx")) if m["kind"] == "Deployment"
+        )
+        benign = ApiRequest.from_manifest(deployment, User("nginx-operator"), "update")
+        assert not detector.is_anomalous(benign)
+
+
+class TestResidualRiskScenario:
+    """The paper's motivating case: a field KubeFence must allow
+    (legitimately used) being *ab*used is still caught behaviourally."""
+
+    def test_attack_catalog_is_anomalous_after_benign_learning(self):
+        from repro.attacks import build_malicious_manifests
+
+        chart = get_chart("rabbitmq")
+        cluster = Cluster()
+        client = OperatorClient(DirectTransport(cluster.api))
+        result = client.deploy_chart(chart)
+        client.reconcile(result)
+        detector = ApiAnomalyDetector()
+        detector.learn_from_audit(cluster.api.audit_log, "rabbitmq-operator")
+
+        malicious = build_malicious_manifests(chart.name, render_chart(chart))
+        flagged = [
+            item.attack.attack_id
+            for item in malicious
+            if detector.is_anomalous(
+                ApiRequest.from_manifest(item.manifest, User("rabbitmq-operator"), "update")
+            )
+        ]
+        # Structural attacks (new fields) are all flagged; E5 only
+        # *removes* limits, which is value/shape-neutral to the profile.
+        assert set(flagged) >= {"E1", "E2", "E3", "E4", "E6", "E7", "E8",
+                                "M1", "M2", "M5", "M7"}
+
+    def test_monitoring_transport_alerts_without_blocking(self):
+        chart = get_chart("nginx")
+        cluster = Cluster()
+        detector = ApiAnomalyDetector()
+        transport = AnomalyMonitoringTransport(
+            DirectTransport(cluster.api), detector, learn_online=True
+        )
+        client = OperatorClient(transport)
+        result = client.deploy_chart(chart)
+        assert result.all_ok
+        # First-ever requests alert (cold start) but are forwarded.
+        assert transport.alerts
+        assert cluster.store.list("Deployment")
+
+        # After learning, re-creating the same shapes is quiet...
+        alerts_before = len(transport.alerts)
+        for manifest in render_chart(chart):
+            transport.submit(
+                ApiRequest.from_manifest(manifest, User("nginx-operator"), "create")
+            )  # 409 conflicts, but scored and quiet
+        assert len(transport.alerts) == alerts_before
+
+        # ...a first 'update' is a novel verb (alerts once, then learned).
+        deployment = next(m for m in render_chart(chart) if m["kind"] == "Deployment")
+        update = ApiRequest.from_manifest(deployment, User("nginx-operator"), "update")
+        transport.submit(update)
+        assert len(transport.alerts) == alerts_before + 1
+        assert transport.alerts[-1].report.novel_verb
+        transport.submit(update)
+        alerts_before = len(transport.alerts)  # learned online; now quiet
+
+        # An attack alerts even though nothing blocks it.
+        bad = deep_copy(deployment)
+        set_path(bad, "spec.template.spec.hostPID", True)
+        response = transport.submit(
+            ApiRequest.from_manifest(bad, User("nginx-operator"), "update")
+        )
+        assert response.ok  # detection mode: not blocked
+        assert len(transport.alerts) == alerts_before + 1
+        assert "spec.template.spec.hostPID" in transport.alerts[-1].report.novel_fields

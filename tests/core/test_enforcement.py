@@ -1,0 +1,203 @@
+"""Unit tests for hierarchical request validation (Sec. V-B)."""
+
+import yaml
+
+from repro.core import placeholders as ph
+from repro.core.enforcement import Validator
+from repro.core.security import DEFAULT_LOCKS
+from repro.core.validator_gen import build_validator
+from repro.yamlutil import deep_copy, set_path
+
+
+def _base_workload() -> dict:
+    return {
+        "apiVersion": "apps/v1",
+        "kind": "Deployment",
+        "metadata": {"name": "demo-app", "namespace": "default"},
+        "spec": {
+            "replicas": 2,
+            "template": {
+                "spec": {
+                    "containers": [
+                        {
+                            "name": "app",
+                            "image": "docker.io/bitnami/app:1.0",
+                            "resources": {"limits": {"cpu": "500m"}},
+                            "securityContext": {"runAsNonRoot": True},
+                        }
+                    ]
+                }
+            },
+        },
+    }
+
+
+def _validator() -> Validator:
+    manifest = _base_workload()
+    set_path(manifest, "spec.replicas", ph.make("int"))
+    set_path(
+        manifest,
+        "spec.template.spec.containers[0].image",
+        f"docker.io/bitnami/app:{ph.make('string')}",
+    )
+    set_path(manifest, "metadata.name", f"{ph.make('string')}-app")
+    return build_validator("op", [manifest])
+
+
+class TestKindGate:
+    def test_unknown_kind_denied(self):
+        result = _validator().validate({"kind": "CronJob", "metadata": {"name": "x"}})
+        assert not result.allowed
+        assert "not used by this workload" in result.violations[0].reason
+
+    def test_missing_kind_denied(self):
+        assert not _validator().validate({"metadata": {"name": "x"}}).allowed
+
+
+class TestFieldFiltering:
+    def test_conforming_manifest_allowed(self):
+        result = _validator().validate(_base_workload())
+        assert result.allowed, result.violations
+
+    def test_unknown_field_denied(self):
+        manifest = _base_workload()
+        set_path(manifest, "spec.template.spec.hostNetwork", True)
+        result = _validator().validate(manifest)
+        # hostNetwork is pinned False by the lock overlay -> value violation.
+        assert not result.allowed
+        assert any("hostNetwork" in str(v) for v in result.violations)
+
+    def test_truly_unknown_field_denied(self):
+        manifest = _base_workload()
+        set_path(manifest, "spec.paused", True)
+        result = _validator().validate(manifest)
+        assert not result.allowed
+        assert any("not allowed by workload policy" in v.reason for v in result.violations)
+
+    def test_placeholder_type_checked(self):
+        manifest = _base_workload()
+        set_path(manifest, "spec.replicas", "many")
+        assert not _validator().validate(manifest).allowed
+        set_path(manifest, "spec.replicas", 50)
+        assert _validator().validate(manifest).allowed
+
+    def test_image_pattern_pins_registry(self):
+        manifest = _base_workload()
+        set_path(manifest, "spec.template.spec.containers[0].image", "evil.io/bitnami/app:1.0")
+        assert not _validator().validate(manifest).allowed
+        set_path(manifest, "spec.template.spec.containers[0].image", "docker.io/bitnami/app:2.3")
+        assert _validator().validate(manifest).allowed
+
+    def test_name_pattern(self):
+        manifest = _base_workload()
+        manifest["metadata"]["name"] = "prod-app"
+        assert _validator().validate(manifest).allowed
+        manifest["metadata"]["name"] = "prod-db"
+        assert not _validator().validate(manifest).allowed
+
+    def test_server_managed_metadata_ignored(self):
+        manifest = _base_workload()
+        manifest["metadata"]["resourceVersion"] = "42"
+        manifest["metadata"]["uid"] = "abc"
+        assert _validator().validate(manifest).allowed
+
+    def test_status_subtree_ignored(self):
+        manifest = _base_workload()
+        manifest["status"] = {"observedGeneration": 2}
+        assert _validator().validate(manifest).allowed
+
+    def test_object_expected_but_scalar_given(self):
+        manifest = _base_workload()
+        manifest["spec"]["template"] = "not-an-object"
+        assert not _validator().validate(manifest).allowed
+
+
+class TestListSemantics:
+    def test_scalar_matches_union_element(self):
+        validator = Validator("op", {"Service": {"kind": "Service", "apiVersion": "v1",
+                                                 "metadata": {"name": ph.make("string")},
+                                                 "spec": {"type": ["ClusterIP", "NodePort"]}}})
+        ok = {"kind": "Service", "apiVersion": "v1", "metadata": {"name": "s"},
+              "spec": {"type": "NodePort"}}
+        bad = deep_copy(ok)
+        bad["spec"]["type"] = "LoadBalancer"
+        assert validator.validate(ok).allowed
+        assert not validator.validate(bad).allowed
+
+    def test_list_value_each_element_must_match(self):
+        validator = Validator(
+            "op",
+            {"PersistentVolumeClaim": {
+                "kind": "PersistentVolumeClaim", "apiVersion": "v1",
+                "metadata": {"name": ph.make("string")},
+                "spec": {"accessModes": ["ReadWriteOnce", "ReadWriteMany"]}}},
+        )
+        ok = {"kind": "PersistentVolumeClaim", "apiVersion": "v1",
+              "metadata": {"name": "p"}, "spec": {"accessModes": ["ReadWriteOnce"]}}
+        assert validator.validate(ok).allowed
+        bad = deep_copy(ok)
+        bad["spec"]["accessModes"] = ["ReadWriteOnce", "ReadOnlyMany"]
+        assert not validator.validate(bad).allowed
+
+    def test_named_element_detailed_violation(self):
+        manifest = _base_workload()
+        set_path(
+            manifest, "spec.template.spec.containers[0].securityContext.runAsNonRoot", False
+        )
+        result = _validator().validate(manifest)
+        assert not result.allowed
+        assert any("runAsNonRoot" in str(v) for v in result.violations)
+
+
+class TestRequiredRules:
+    def test_missing_limits_denied(self):
+        manifest = _base_workload()
+        del manifest["spec"]["template"]["spec"]["containers"][0]["resources"]["limits"]
+        result = _validator().validate(manifest)
+        assert not result.allowed
+        assert any("required by security policy" in v.reason for v in result.violations)
+
+    def test_empty_limits_denied(self):
+        manifest = _base_workload()
+        set_path(manifest, "spec.template.spec.containers[0].resources.limits", {})
+        assert not _validator().validate(manifest).allowed
+
+
+class TestSerialization:
+    def test_yaml_roundtrip_preserves_decisions(self):
+        validator = _validator()
+        reloaded = Validator.from_yaml(validator.to_yaml())
+        good = _base_workload()
+        bad = _base_workload()
+        set_path(bad, "spec.template.spec.hostPID", True)
+        assert reloaded.validate(good).allowed
+        assert not reloaded.validate(bad).allowed
+
+    def test_paper_form_in_yaml(self):
+        """Whole-value placeholders serialize as bare type names
+        (Fig. 7/8 style)."""
+        text = _validator().to_yaml()
+        data = yaml.safe_load(text)
+        assert data["kinds"]["Deployment"]["spec"]["replicas"] == "int"
+
+    def test_locks_survive_roundtrip(self):
+        reloaded = Validator.from_yaml(_validator().to_yaml())
+        assert reloaded.locks == list(DEFAULT_LOCKS)
+
+    def test_validate_never_raises_on_junk(self):
+        validator = _validator()
+        for junk in ({}, {"kind": None}, {"kind": "Deployment"},
+                     {"kind": "Deployment", "spec": 5},
+                     {"kind": "Deployment", "spec": {"replicas": [[]]}}):
+            result = validator.validate(junk)  # must not raise
+            assert result.allowed in (True, False)
+
+
+class TestAllowedFieldPaths:
+    def test_paths_strip_list_structure(self):
+        paths = _validator().allowed_field_paths("Deployment")
+        assert ("spec", "replicas") in paths
+        assert ("spec", "template", "spec", "containers", "image") in paths
+
+    def test_unknown_kind_empty(self):
+        assert _validator().allowed_field_paths("CronJob") == set()

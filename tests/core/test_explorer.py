@@ -1,0 +1,75 @@
+"""Unit tests for configuration-space exploration (phase 2)."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.explorer import coverage_of, explore_variants
+from repro.core.schema_gen import ValuesSchema
+from repro.yamlutil import get_path
+
+
+def schema(tree: dict, enums: dict) -> ValuesSchema:
+    return ValuesSchema(schema=tree, enums=enums)
+
+
+class TestExploration:
+    def test_no_enums_yields_single_variant(self):
+        result = explore_variants(schema({"a": 1}, {}))
+        assert result == [{"a": 1}]
+
+    def test_iteration_count_is_longest_enum(self):
+        variants = explore_variants(
+            schema({"x": "a", "y": "p"}, {"x": ["a", "b", "c"], "y": ["p", "q"]})
+        )
+        assert len(variants) == 3
+
+    def test_ith_value_selection(self):
+        variants = explore_variants(schema({"x": "a"}, {"x": ["a", "b"]}))
+        assert [v["x"] for v in variants] == ["a", "b"]
+
+    def test_last_value_reused_for_short_enums(self):
+        """The paper: 'If an enumerative list has fewer options than the
+        current iteration index, its last value is reused.'"""
+        variants = explore_variants(
+            schema({"x": "a", "y": "p"}, {"x": ["a", "b", "c"], "y": ["p", "q"]})
+        )
+        assert [v["y"] for v in variants] == ["p", "q", "q"]
+
+    def test_nested_enum_paths(self):
+        variants = explore_variants(
+            schema({"svc": {"type": "ClusterIP"}}, {"svc.type": ["ClusterIP", "NodePort"]})
+        )
+        assert [get_path(v, "svc.type") for v in variants] == ["ClusterIP", "NodePort"]
+
+    def test_variants_are_independent_copies(self):
+        variants = explore_variants(schema({"x": "a", "deep": {"n": 1}}, {"x": ["a", "b"]}))
+        variants[0]["deep"]["n"] = 99
+        assert variants[1]["deep"]["n"] == 1
+
+    def test_every_option_covered(self):
+        s = schema(
+            {"x": "a", "y": "p", "z": {"w": "1"}},
+            {"x": ["a", "b", "c"], "y": ["p", "q"], "z.w": ["1", "2", "3"]},
+        )
+        covered = coverage_of(explore_variants(s), s)
+        for path, options in s.enums.items():
+            assert covered[path] == set(options), path
+
+
+@given(
+    st.dictionaries(
+        st.sampled_from(["a", "b", "c", "d"]),
+        st.lists(st.text("xyz", min_size=1, max_size=2), min_size=1, max_size=4, unique=True),
+        min_size=1,
+        max_size=4,
+    )
+)
+def test_union_of_variants_covers_all_enum_options(enums):
+    """The covering guarantee of Sec. V-A holds for arbitrary enum sets."""
+    tree = {path: options[0] for path, options in enums.items()}
+    s = ValuesSchema(schema=tree, enums=enums)
+    variants = explore_variants(s)
+    assert len(variants) == max(len(v) for v in enums.values())
+    covered = coverage_of(variants, s)
+    for path, options in enums.items():
+        assert covered[path] == set(options)

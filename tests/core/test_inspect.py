@@ -1,0 +1,119 @@
+"""Tests for validator inspection and drift analysis."""
+
+from repro.core import placeholders as ph
+from repro.core.enforcement import Validator
+from repro.core.inspect import diff_validators, summarize
+from repro.core.pipeline import generate_policy
+from repro.operators import get_chart
+from repro.yamlutil import deep_copy, delete_path, set_path
+
+
+def small_validator(**spec) -> Validator:
+    tree = {
+        "apiVersion": "v1",
+        "kind": "Service",
+        "metadata": {"name": ph.make("string")},
+        "spec": {"type": ["ClusterIP", "NodePort"], "port": ph.make("port"),
+                 "clusterIP": "None",
+                 "image": f"docker.io/x:{ph.make('string')}"},
+    }
+    tree["spec"].update(spec)
+    return Validator("svc", {"Service": tree})
+
+
+class TestSummarize:
+    def test_composition_counts(self):
+        summary = summarize(small_validator())
+        service = summary.kinds[0]
+        assert service.kind == "Service"
+        assert service.enums == 1        # type: [ClusterIP, NodePort]
+        assert service.placeholders >= 2  # name, port
+        assert service.patterns == 1     # image pattern
+        assert service.constants >= 2    # apiVersion/kind/clusterIP
+
+    def test_real_validator_summary_renders(self):
+        validator = generate_policy(get_chart("nginx"))
+        text = summarize(validator).render()
+        assert "validator for 'nginx'" in text
+        assert "Deployment" in text
+        assert "security locks" in text
+
+    def test_lock_count(self):
+        validator = generate_policy(get_chart("mlflow"))
+        assert summarize(validator).locks == len(validator.locks)
+
+
+class TestDrift:
+    def test_no_drift_on_identical(self):
+        validator = generate_policy(get_chart("nginx"))
+        drift = diff_validators(validator, validator)
+        assert drift.is_empty
+        assert "no policy drift" in drift.render()
+
+    def test_new_kind_is_opening(self):
+        old = small_validator()
+        new = Validator("svc", {**deep_copy(old.kinds),
+                                "ConfigMap": {"kind": "ConfigMap", "data": {}}})
+        drift = diff_validators(old, new)
+        assert any(e.kind == "ConfigMap" for e in drift.openings)
+
+    def test_removed_kind_is_restriction(self):
+        old = small_validator()
+        drift = diff_validators(old, Validator("svc", {}))
+        assert any(e.detail == "kind no longer allowed" for e in drift.restrictions)
+
+    def test_new_field_is_opening(self):
+        old = small_validator()
+        new = small_validator()
+        set_path(new.kinds["Service"], "spec.externalName", ph.make("string"))
+        drift = diff_validators(old, new)
+        assert any(e.path == "spec.externalName" for e in drift.openings)
+
+    def test_removed_field_is_restriction(self):
+        old = small_validator()
+        new = small_validator()
+        delete_path(new.kinds["Service"], "spec.clusterIP")
+        drift = diff_validators(old, new)
+        assert any(e.path == "spec.clusterIP" for e in drift.restrictions)
+
+    def test_constant_to_placeholder_is_widening(self):
+        old = small_validator()
+        new = small_validator()
+        set_path(new.kinds["Service"], "spec.clusterIP", ph.make("string"))
+        drift = diff_validators(old, new)
+        assert any(e.path == "spec.clusterIP" and "widened" in e.detail
+                   for e in drift.openings)
+
+    def test_placeholder_to_constant_is_narrowing(self):
+        old = small_validator()
+        new = small_validator()
+        set_path(new.kinds["Service"], "spec.port", 8080)
+        drift = diff_validators(old, new)
+        assert any(e.path == "spec.port" and "narrowed" in e.detail
+                   for e in drift.restrictions)
+
+    def test_boolean_toggle_causes_no_drift(self):
+        """Flipping a boolean default does NOT change the policy: the
+        bool placeholder already covers both branches -- regeneration
+        is stable across such chart updates."""
+        chart_v1 = get_chart("postgresql")
+        chart_v2 = get_chart("postgresql")
+        chart_v2.values_text = chart_v2.values_text.replace(
+            "metrics:\n  enabled: false", "metrics:\n  enabled: true"
+        )
+        assert "enabled: true" in chart_v2.values_text
+        drift = diff_validators(generate_policy(chart_v1), generate_policy(chart_v2))
+        assert drift.is_empty
+
+    def test_chart_upgrade_repins_trusted_image(self):
+        """Changing the pinned repository shows up as a reviewable
+        value change (trusted-image pinning is a security decision)."""
+        chart_v1 = get_chart("postgresql")
+        chart_v2 = get_chart("postgresql")
+        chart_v2.values_text = chart_v2.values_text.replace(
+            "repository: bitnami/postgresql", "repository: bitnami/postgresql-ha"
+        )
+        drift = diff_validators(generate_policy(chart_v1), generate_policy(chart_v2))
+        assert not drift.is_empty
+        changed = drift.value_changes + drift.openings + drift.restrictions
+        assert any("postgresql-ha" in e.detail for e in changed)

@@ -1,0 +1,112 @@
+"""Tests for the end-to-end policy generation pipeline, including the
+central soundness property: every configuration derivable from a chart
+must pass its own validator."""
+
+import pytest
+
+from repro.core.pipeline import PolicyGenerator, generate_policy
+from repro.helm.chart import render_chart
+from repro.operators import OPERATOR_NAMES, get_chart
+
+
+class TestPipelineArtifacts:
+    def test_report_carries_all_phases(self, reports):
+        report = reports["mlflow"]
+        assert report.values_schema.enums
+        assert len(report.variants) >= 2
+        assert report.manifests
+        assert report.validator.kinds
+        assert report.validator.meta["variantsRendered"] == len(report.variants)
+
+    def test_generate_policy_shortcut(self):
+        validator = generate_policy(get_chart("nginx"))
+        assert validator.operator == "nginx"
+        assert "Deployment" in validator.kinds
+
+    def test_variant_count_bounded_by_longest_enum(self, charts, reports):
+        for name, report in reports.items():
+            longest = report.values_schema.max_enum_length()
+            assert len(report.variants) == max(longest, 1), name
+
+
+class TestSoundnessOnDefaults:
+    @pytest.mark.parametrize("name", OPERATOR_NAMES)
+    def test_chart_defaults_validate(self, name, validators):
+        """The validator must accept every manifest the chart renders
+        with default values (the paper: 'legitimate workload actions
+        were unaffected')."""
+        validator = validators[name]
+        for manifest in render_chart(get_chart(name), release_name="demo"):
+            result = validator.validate(manifest)
+            assert result.allowed, (name, manifest["kind"], result.violations)
+
+    @pytest.mark.parametrize("name", OPERATOR_NAMES)
+    def test_different_release_names_validate(self, name, validators):
+        for release in ("prod", "staging-3", "a"):
+            for manifest in render_chart(get_chart(name), release_name=release):
+                result = validator_result = validators[name].validate(manifest)
+                assert result.allowed, (name, release, manifest["kind"], result.violations)
+
+
+class TestSoundnessOnOverrides:
+    CASES = {
+        "nginx": [
+            {"replicaCount": 10},
+            {"service": {"type": "LoadBalancer"}},
+            {"image": {"tag": "9.9.9", "pullPolicy": "Always"}},
+            {"ingress": {"enabled": True, "hostname": "shop.example.com"}},
+            {"autoscaling": {"enabled": True, "minReplicas": 1, "maxReplicas": 99}},
+            {"serverBlock": "server { listen 8080; }"},
+            {"livenessProbe": {"enabled": False}},
+        ],
+        "mlflow": [
+            {"tracking": {"replicaCount": 4, "port": 6000}},
+            {"backendStore": {"postgres": {"enabled": False}}},
+            {"artifactRoot": {"pvc": {"size": "100Gi", "accessMode": "ReadWriteMany"}}},
+            {"postgreSQL": {"arch": "replication"}},
+        ],
+        "postgresql": [
+            {"architecture": "replication", "readReplicas": {"replicaCount": 4}},
+            {"metrics": {"enabled": True}},
+            {"primary": {"persistence": {"size": "50Gi"}}},
+            {"auth": {"password": "another-password"}},
+        ],
+        "rabbitmq": [
+            {"replicaCount": 7},
+            {"clustering": {"enabled": False}},
+            {"clustering": {"addressType": "ip"}},
+            {"plugins": ["rabbitmq_shovel", "rabbitmq_management"]},
+        ],
+        "sonarqube": [
+            {"deploymentStrategy": {"type": "RollingUpdate"}},
+            {"persistence": {"enabled": False}},
+            {"ingress": {"enabled": False}},
+            {"monitoring": {"passcode": "another"}},
+            {"logCollector": {"enabled": False}},
+        ],
+    }
+
+    @pytest.mark.parametrize("name", OPERATOR_NAMES)
+    def test_user_overrides_validate(self, name, validators):
+        """Overriding chart values within their domains stays inside
+        the policy (covering-exploration guarantee)."""
+        chart = get_chart(name)
+        for overrides in self.CASES[name]:
+            for manifest in render_chart(chart, overrides=overrides, release_name="x"):
+                result = validators[name].validate(manifest)
+                assert result.allowed, (name, overrides, manifest["kind"],
+                                        result.violations)
+
+
+class TestBooleanExplorationAblation:
+    def test_explore_booleans_still_sound(self):
+        chart = get_chart("nginx")
+        validator = PolicyGenerator(explore_booleans=True).generate(chart).validator
+        for manifest in render_chart(chart, release_name="demo"):
+            assert validator.validate(manifest).allowed
+
+    def test_explore_booleans_generates_more_variants(self):
+        chart = get_chart("nginx")
+        base = PolicyGenerator().generate(chart)
+        explored = PolicyGenerator(explore_booleans=True).generate(chart)
+        assert len(explored.variants) >= len(base.variants)

@@ -1,0 +1,162 @@
+"""Unit tests for typed placeholders and matching."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import placeholders as ph
+
+
+class TestTokens:
+    def test_make_and_detect(self):
+        token = ph.make("int")
+        assert ph.is_placeholder(token)
+        assert ph.placeholder_type(token) == "int"
+
+    def test_paper_form_accepted(self):
+        assert ph.placeholder_type("string") == "string"
+        assert ph.placeholder_type("IP") == "IP"
+
+    def test_non_placeholders(self):
+        assert ph.placeholder_type("hello") is None
+        assert ph.placeholder_type(42) is None
+        assert ph.placeholder_type(None) is None
+        # Embedded token is not a *whole-value* placeholder.
+        assert ph.placeholder_type(f"img:{ph.make('string')}") is None
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(ValueError):
+            ph.make("float128")
+
+    def test_has_embedded(self):
+        assert ph.has_embedded(f"registry/{ph.make('string')}")
+        assert ph.has_embedded(ph.make("int"))
+        assert not ph.has_embedded("plain")
+        assert not ph.has_embedded(7)
+
+    def test_to_paper_form(self):
+        assert ph.to_paper_form(ph.make("quantity")) == "quantity"
+        pattern = f"img:{ph.make('string')}"
+        assert ph.to_paper_form(pattern) == pattern  # embedded kept
+
+
+class TestTypeMatching:
+    def test_int_accepts_int_and_digit_string(self):
+        assert ph.matches_type(5, "int")
+        assert ph.matches_type("5", "int")
+        assert ph.matches_type(-3, "int")
+        assert not ph.matches_type(True, "int")
+        assert not ph.matches_type("5x", "int")
+
+    def test_port_range(self):
+        assert ph.matches_type(8080, "port")
+        assert ph.matches_type("443", "port")
+        assert not ph.matches_type(70000, "port")
+        assert not ph.matches_type(-1, "port")
+
+    def test_bool(self):
+        assert ph.matches_type(True, "bool")
+        assert ph.matches_type("false", "bool")
+        assert not ph.matches_type(1, "bool")
+
+    def test_ip(self):
+        assert ph.matches_type("10.0.0.1", "IP")
+        assert ph.matches_type("0.0.0.0", "IP")
+        assert not ph.matches_type("999.0.0.1", "IP")
+        assert not ph.matches_type("not-an-ip", "IP")
+
+    def test_quantity(self):
+        for good in ("500m", "8Gi", "256Mi", "1", 2, 1.5, "100"):
+            assert ph.matches_type(good, "quantity"), good
+        assert not ph.matches_type("lots", "quantity")
+
+    def test_string(self):
+        assert ph.matches_type("x", "string")
+        assert not ph.matches_type(1, "string")
+
+    def test_list_and_dict(self):
+        assert ph.matches_type([], "list")
+        assert ph.matches_type({}, "dict")
+        assert not ph.matches_type({}, "list")
+
+
+class TestPatternMatching:
+    def test_image_pattern(self):
+        pattern = f"docker.io/bitnami/nginx:{ph.make('string')}"
+        assert ph.matches_pattern("docker.io/bitnami/nginx:1.25.4", pattern)
+        assert not ph.matches_pattern("evil.io/bitnami/nginx:1.25.4", pattern)
+        assert not ph.matches_pattern("docker.io/bitnami/nginx:", pattern)
+
+    def test_name_pattern(self):
+        pattern = f"{ph.make('string')}-nginx"
+        assert ph.matches_pattern("prod-nginx", pattern)
+        assert not ph.matches_pattern("prod-apache", pattern)
+
+    def test_numeric_pattern(self):
+        pattern = f"--port={ph.make('port')}"
+        assert ph.matches_pattern("--port=5000", pattern)
+        assert not ph.matches_pattern("--port=high", pattern)
+
+    def test_regex_metacharacters_escaped(self):
+        pattern = f"a.b{ph.make('int')}"
+        assert ph.matches_pattern("a.b1", pattern)
+        assert not ph.matches_pattern("aXb1", pattern)
+
+
+class TestUnifiedMatches:
+    def test_whole_placeholder(self):
+        assert ph.matches(8080, ph.make("port"))
+        assert ph.matches("x", "string")  # paper form
+
+    def test_constant_equality(self):
+        assert ph.matches("ClusterIP", "ClusterIP")
+        assert not ph.matches("NodePort", "ClusterIP")
+
+    def test_yaml_quoting_tolerance(self):
+        assert ph.matches(8080, "8080")
+        assert ph.matches("8080", 8080)
+        assert ph.matches(True, "true")
+
+    def test_pattern_value(self):
+        assert ph.matches("rel-app", f"{ph.make('string')}-app")
+
+
+class TestInference:
+    def test_bool(self):
+        assert ph.infer_placeholder("enabled", True) == ph.make("bool")
+
+    def test_port_by_key_name(self):
+        assert ph.infer_placeholder("containerPort", 8080) == ph.make("port")
+        assert ph.infer_placeholder("httpPort", 80) == ph.make("port")
+        assert ph.infer_placeholder("replicas", 3) == ph.make("int")
+
+    def test_ip_detection(self):
+        assert ph.infer_placeholder("host", "0.0.0.0") == ph.make("IP")
+
+    def test_quantity_detection(self):
+        assert ph.infer_placeholder("memory", "256Mi") == ph.make("quantity")
+        assert ph.infer_placeholder("cpu", "500m") == ph.make("quantity")
+        # version strings are NOT quantities
+        assert ph.infer_placeholder("tag", "1.25.4") == ph.make("string")
+
+    def test_float_is_quantity(self):
+        assert ph.infer_placeholder("ratio", 1.5) == ph.make("quantity")
+
+
+@given(st.integers(min_value=0, max_value=65535))
+def test_any_port_matches_port_placeholder(port):
+    assert ph.matches(port, ph.make("port"))
+    assert ph.matches(str(port), ph.make("port"))
+
+
+@given(st.text(min_size=1, max_size=30))
+def test_inferred_placeholder_always_matches_its_value(value):
+    token = ph.infer_placeholder("somekey", value)
+    assert ph.matches(value, token)
+
+
+@given(st.one_of(st.integers(), st.booleans(), st.text(max_size=15)))
+def test_inference_matching_roundtrip(value):
+    """Whatever the default value, its inferred placeholder accepts it."""
+    token = ph.infer_placeholder("key", value)
+    assert ph.matches(value, token)

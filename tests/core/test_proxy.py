@@ -1,0 +1,87 @@
+"""Unit tests for the enforcement proxy (complete mediation)."""
+
+from repro.core.pipeline import generate_policy
+from repro.core.proxy import KubeFenceProxy
+from repro.helm.chart import render_chart
+from repro.k8s.apiserver import ApiRequest, Cluster, User
+from repro.operators import get_chart
+from repro.operators.client import OperatorClient
+from repro.yamlutil import deep_copy, set_path
+
+
+def _setup():
+    chart = get_chart("nginx")
+    validator = generate_policy(chart)
+    cluster = Cluster()
+    proxy = KubeFenceProxy(cluster.api, validator)
+    return chart, cluster, proxy
+
+
+class TestMediation:
+    def test_benign_deployment_forwarded(self):
+        chart, cluster, proxy = _setup()
+        client = OperatorClient(proxy)
+        result = client.deploy_chart(chart)
+        assert result.all_ok
+        assert cluster.store.list("Deployment")
+        assert proxy.stats.requests_denied == 0
+        assert proxy.stats.requests_validated == len(result.responses)
+
+    def test_malicious_write_denied_before_api_server(self):
+        chart, cluster, proxy = _setup()
+        manifests = render_chart(chart)
+        bad = deep_copy(next(m for m in manifests if m["kind"] == "Deployment"))
+        set_path(bad, "spec.template.spec.hostNetwork", True)
+        response = proxy.submit(ApiRequest.from_manifest(bad, User("eve")))
+        assert response.code == 403
+        assert "KubeFence" in response.body["message"]
+        # Complete mediation: the object never reached the store.
+        assert not cluster.store.list("Deployment")
+
+    def test_denial_logged_with_details(self):
+        chart, cluster, proxy = _setup()
+        bad = deep_copy(next(m for m in render_chart(chart) if m["kind"] == "Service"))
+        set_path(bad, "spec.externalIPs", ["203.0.113.9"])
+        proxy.submit(ApiRequest.from_manifest(bad, User("eve")))
+        assert len(proxy.denials) == 1
+        record = proxy.denials[0]
+        assert record.kind == "Service"
+        assert record.username == "eve"
+        assert any("externalIPs" in v for v in record.violations)
+
+    def test_reads_pass_through_unvalidated(self):
+        chart, cluster, proxy = _setup()
+        OperatorClient(proxy).deploy_chart(chart)
+        validated_before = proxy.stats.requests_validated
+        response = proxy.submit(ApiRequest("list", "Deployment", User("eve")))
+        assert response.ok
+        assert proxy.stats.requests_validated == validated_before
+
+    def test_updates_validated(self):
+        chart, cluster, proxy = _setup()
+        client = OperatorClient(proxy)
+        client.deploy_chart(chart)
+        bad = deep_copy(
+            next(m for m in render_chart(chart) if m["kind"] == "Deployment")
+        )
+        set_path(bad, "spec.template.spec.containers[0].securityContext.privileged", True)
+        response = client.submit_manifest("nginx", bad, verb="update")
+        assert response.code == 403
+
+    def test_unknown_kind_denied_by_policy_not_server(self):
+        chart, cluster, proxy = _setup()
+        cronjob = {
+            "apiVersion": "batch/v1",
+            "kind": "CronJob",
+            "metadata": {"name": "evil", "namespace": "default"},
+            "spec": {"schedule": "* * * * *"},
+        }
+        response = proxy.submit(ApiRequest.from_manifest(cronjob, User("eve")))
+        assert response.code == 403
+        assert "not used by this workload" in response.body["message"]
+
+    def test_stats_accumulate(self):
+        chart, cluster, proxy = _setup()
+        OperatorClient(proxy).deploy_chart(chart)
+        assert proxy.stats.requests_total == proxy.stats.requests_validated
+        assert proxy.stats.validation_seconds > 0

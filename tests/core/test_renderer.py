@@ -1,0 +1,90 @@
+"""Unit tests for variant rendering (phase 3)."""
+
+from repro.core import placeholders as ph
+from repro.core.explorer import explore_variants
+from repro.core.renderer import (
+    RELEASE_SENTINEL,
+    placeholder_function_overrides,
+    render_all_variants,
+    render_variant,
+)
+from repro.core.schema_gen import generate_values_schema
+from repro.helm.chart import Chart
+from repro.operators import get_chart
+
+
+class TestPlaceholderAwareArithmetic:
+    def test_add_propagates_placeholder(self):
+        functions = placeholder_function_overrides()
+        assert functions["add"](1, ph.make("int")) == ph.make("int")
+        assert functions["add"](1, 2) == 3
+
+    def test_all_arithmetic_functions_covered(self):
+        functions = placeholder_function_overrides()
+        for name in ("add", "add1", "sub", "mul", "div", "mod", "max", "min", "int"):
+            assert functions[name](ph.make("int")) == ph.make("int") or name == "add"
+
+    def test_embedded_placeholder_detected(self):
+        functions = placeholder_function_overrides()
+        assert functions["mul"](2, f"x{ph.make('int')}") == ph.make("int")
+
+
+class TestRenderVariant:
+    CHART = Chart(
+        name="mini",
+        values_text="replicas: 2\nmode: a  # @enum: a, b\n",
+        templates={
+            "cm.yaml": (
+                "apiVersion: v1\nkind: ConfigMap\n"
+                "metadata:\n  name: {{ .Release.Name }}-cm\n"
+                "data:\n  replicas: {{ .Values.replicas | quote }}\n"
+                "  mode: {{ .Values.mode }}\n"
+                "  computed: {{ add 1 .Values.replicas | quote }}\n"
+            )
+        },
+    )
+
+    def test_placeholders_flow_into_manifests(self):
+        schema = generate_values_schema(self.CHART)
+        manifests = render_variant(self.CHART, explore_variants(schema)[0])
+        cm = manifests[0]
+        assert cm["data"]["replicas"] == ph.make("int")
+
+    def test_release_sentinel_used(self):
+        schema = generate_values_schema(self.CHART)
+        manifests = render_variant(self.CHART, explore_variants(schema)[0])
+        assert manifests[0]["metadata"]["name"] == f"{RELEASE_SENTINEL}-cm"
+
+    def test_arithmetic_on_placeholder_stays_placeholder(self):
+        """Without propagation, `add 1 <int>` would pin the field to 1
+        and block legitimate overrides."""
+        schema = generate_values_schema(self.CHART)
+        manifests = render_variant(self.CHART, explore_variants(schema)[0])
+        assert manifests[0]["data"]["computed"] == ph.make("int")
+
+    def test_variants_render_enum_values(self):
+        schema = generate_values_schema(self.CHART)
+        manifests = render_all_variants(self.CHART, explore_variants(schema))
+        modes = {m["data"]["mode"] for m in manifests}
+        assert modes == {"a", "b"}
+
+
+class TestRealChartRendering:
+    def test_postgresql_replication_variant_keeps_replicas_open(self):
+        """The replication branch computes replicas with `add`; the
+        rendered value must be a placeholder, not a constant."""
+        chart = get_chart("postgresql")
+        schema = generate_values_schema(chart)
+        manifests = render_all_variants(chart, explore_variants(schema))
+        statefulsets = [m for m in manifests if m["kind"] == "StatefulSet"]
+        replica_values = {str(s["spec"]["replicas"]) for s in statefulsets}
+        assert ph.make("int") in replica_values  # replication variant
+        assert "1" in replica_values  # standalone variant
+
+    def test_every_operator_variant_set_renders(self):
+        for name in ("nginx", "mlflow", "postgresql", "rabbitmq", "sonarqube"):
+            chart = get_chart(name)
+            schema = generate_values_schema(chart)
+            variants = explore_variants(schema)
+            manifests = render_all_variants(chart, variants)
+            assert len(manifests) >= len(variants) * 3, name

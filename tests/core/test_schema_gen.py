@@ -1,0 +1,111 @@
+"""Unit tests for values-schema generation (phase 1, Fig. 7)."""
+
+from repro.core import placeholders as ph
+from repro.core.schema_gen import generate_values_schema
+from repro.helm.chart import Chart
+from repro.operators import get_chart
+
+VALUES = """\
+image:
+  registry: docker.io
+  repository: bitnami/mlflow
+  tag: "2.10"
+  pullSecrets:
+    - name: secret-1
+    - name: secret-2
+tracking:
+  enabled: true
+  replicaCount: 1
+  host: "0.0.0.0"
+  port: 5000
+  containerSecurityContext:
+    runAsNonRoot: true
+    readOnlyRootFilesystem: false
+postgreSQL:
+  arch: standalone  # @enum: standalone, replication
+emptyList: []
+nothing: null
+plugins:
+  - alpha
+  - beta
+"""
+
+
+def chart() -> Chart:
+    return Chart(name="t", values_text=VALUES)
+
+
+class TestPlaceholderSubstitution:
+    def test_fig7_transformations(self):
+        """The paper's Fig. 7 example end to end."""
+        schema = generate_values_schema(chart()).schema
+        assert schema["tracking"]["enabled"] == ph.make("bool")
+        assert schema["tracking"]["replicaCount"] == ph.make("int")
+        assert schema["tracking"]["host"] == ph.make("IP")
+        assert schema["tracking"]["port"] == ph.make("port")
+        assert schema["image"]["tag"] == ph.make("string")
+
+    def test_registry_and_repository_locked(self):
+        """Trusted-image pinning (typosquatting mitigation)."""
+        result = generate_values_schema(chart())
+        assert result.schema["image"]["registry"] == "docker.io"
+        assert result.schema["image"]["repository"] == "bitnami/mlflow"
+        assert "image.registry" in result.locked_paths
+
+    def test_security_constants_locked(self):
+        result = generate_values_schema(chart())
+        sc = result.schema["tracking"]["containerSecurityContext"]
+        assert sc["runAsNonRoot"] is True
+        # Chart default was unsafe (false); the lock overrides it.
+        assert sc["readOnlyRootFilesystem"] is True
+
+    def test_enums_recorded_not_substituted(self):
+        result = generate_values_schema(chart())
+        assert result.enums["postgreSQL.arch"] == ["standalone", "replication"]
+        assert result.schema["postgreSQL"]["arch"] == "standalone"
+
+    def test_object_list_generalized_to_one_element(self):
+        schema = generate_values_schema(chart()).schema
+        assert schema["image"]["pullSecrets"] == [{"name": ph.make("string")}]
+
+    def test_scalar_list_generalized(self):
+        schema = generate_values_schema(chart()).schema
+        assert schema["plugins"] == [ph.make("string")]
+
+    def test_empty_list_and_null_preserved(self):
+        schema = generate_values_schema(chart()).schema
+        assert schema["emptyList"] == []
+        assert schema["nothing"] is None
+
+
+class TestBooleanExploration:
+    def test_paper_mode_keeps_bool_placeholder(self):
+        result = generate_values_schema(chart(), explore_booleans=False)
+        assert "tracking.enabled" not in result.enums
+
+    def test_explore_mode_registers_two_valued_enum(self):
+        result = generate_values_schema(chart(), explore_booleans=True)
+        assert result.enums["tracking.enabled"] == [True, False]
+        assert result.schema["tracking"]["enabled"] is True  # default kept
+
+
+class TestMaxEnumLength:
+    def test_counts_longest(self):
+        result = generate_values_schema(chart())
+        assert result.max_enum_length() == 2
+
+    def test_no_enums_is_zero(self):
+        plain = Chart(name="p", values_text="a: 1\n")
+        assert generate_values_schema(plain).max_enum_length() == 0
+
+    def test_extra_enums_merged(self):
+        result = generate_values_schema(chart(), extra_enums={"image.tag": ["a", "b", "c"]})
+        assert result.max_enum_length() == 3
+
+
+class TestRealCharts:
+    def test_all_operator_charts_produce_schemas(self):
+        for name in ("nginx", "mlflow", "postgresql", "rabbitmq", "sonarqube"):
+            result = generate_values_schema(get_chart(name))
+            assert result.enums, name
+            assert result.locked_paths, name

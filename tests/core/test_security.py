@@ -1,0 +1,59 @@
+"""Unit tests for the security lock catalog."""
+
+from repro.core.security import (
+    DEFAULT_LOCKS,
+    SCOPE_CONTAINER,
+    SCOPE_POD,
+    SCOPE_SERVICE,
+    VALUE_SAFE_CONSTANTS,
+    SecurityLock,
+)
+
+
+class TestCatalogShape:
+    def test_modes_are_known(self):
+        assert {lock.mode for lock in DEFAULT_LOCKS} == {"equals", "required", "forbidden"}
+
+    def test_scopes_are_known(self):
+        assert {lock.scope for lock in DEFAULT_LOCKS} <= {
+            SCOPE_POD, SCOPE_CONTAINER, SCOPE_SERVICE
+        }
+
+    def test_paper_fields_covered(self):
+        """Every Table II targeted field family has a lock."""
+        paths = {lock.path for lock in DEFAULT_LOCKS}
+        for expected in (
+            "hostNetwork",
+            "hostPID",
+            "hostIPC",
+            "securityContext.runAsNonRoot",
+            "securityContext.privileged",
+            "securityContext.allowPrivilegeEscalation",
+            "securityContext.readOnlyRootFilesystem",
+            "securityContext.capabilities.add",
+            "securityContext.seLinuxOptions.user",
+            "securityContext.seLinuxOptions.role",
+            "securityContext.seccompProfile.localhostProfile",
+            "resources.limits",
+            "externalIPs",
+        ):
+            assert expected in paths, expected
+
+    def test_equals_locks_have_values(self):
+        for lock in DEFAULT_LOCKS:
+            if lock.mode == "equals":
+                assert lock.value is not None
+
+    def test_every_lock_has_rationale(self):
+        assert all(lock.rationale for lock in DEFAULT_LOCKS)
+
+    def test_dict_roundtrip(self):
+        for lock in DEFAULT_LOCKS:
+            assert SecurityLock.from_dict(lock.to_dict()) == lock
+
+    def test_value_safe_constants_align_with_locks(self):
+        by_leaf = {lock.path.rsplit(".", 1)[-1]: lock for lock in DEFAULT_LOCKS
+                   if lock.mode == "equals" and lock.scope == SCOPE_CONTAINER}
+        for key, value in VALUE_SAFE_CONSTANTS.items():
+            assert key in by_leaf
+            assert by_leaf[key].value == value

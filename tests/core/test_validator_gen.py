@@ -1,0 +1,195 @@
+"""Unit tests for validator consolidation (phase 4, Fig. 8)."""
+
+from repro.core import placeholders as ph
+from repro.core.renderer import RELEASE_SENTINEL
+from repro.core.security import DEFAULT_LOCKS
+from repro.core.validator_gen import (
+    build_validator,
+    merge_trees,
+    normalize_manifest,
+)
+from repro.yamlutil import get_path
+
+
+class TestMergeTrees:
+    def test_equal_trees_unchanged(self):
+        tree = {"a": {"b": 1}}
+        assert merge_trees(tree, tree) == tree
+
+    def test_fig8_enum_union(self):
+        """The paper's Fig. 8: two manifests differing only in
+        imagePullPolicy consolidate into an array of valid values."""
+        left = {"containers": [{"name": "nginx", "imagePullPolicy": "IfNotPresent"}]}
+        right = {"containers": [{"name": "nginx", "imagePullPolicy": "Always"}]}
+        merged = merge_trees(left, right)
+        assert merged["containers"][0]["imagePullPolicy"] == ["IfNotPresent", "Always"]
+
+    def test_union_deduplicates(self):
+        merged = merge_trees({"x": "a"}, {"x": "a"})
+        assert merged == {"x": "a"}
+        merged = merge_trees({"x": ["a", "b"]}, {"x": "b"})
+        assert merged == {"x": ["a", "b"]}
+
+    def test_dicts_union_keys(self):
+        merged = merge_trees({"a": 1}, {"b": 2})
+        assert merged == {"a": 1, "b": 2}
+
+    def test_named_list_elements_merge(self):
+        """Containers with the same name align and merge per field."""
+        left = {"containers": [{"name": "app", "image": "x"}]}
+        right = {"containers": [{"name": "app", "image": "x", "stdin": True},
+                                {"name": "sidecar", "image": "y"}]}
+        merged = merge_trees(left, right)
+        names = [c["name"] for c in merged["containers"]]
+        assert names == ["app", "sidecar"]
+        assert merged["containers"][0]["stdin"] is True
+
+    def test_unnamed_dict_elements_align_by_index(self):
+        left = {"rules": [{"host": "a"}]}
+        right = {"rules": [{"host": "b"}]}
+        merged = merge_trees(left, right)
+        assert merged["rules"] == [{"host": ["a", "b"]}]
+
+    def test_scalar_lists_union(self):
+        merged = merge_trees({"modes": ["RWO"]}, {"modes": ["RWX"]})
+        assert merged["modes"] == ["RWO", "RWX"]
+
+    def test_placeholder_kept_in_union(self):
+        merged = merge_trees({"r": 1}, {"r": ph.make("int")})
+        assert merged["r"] == [1, ph.make("int")]
+
+
+class TestNormalization:
+    def test_release_sentinel_becomes_pattern(self):
+        manifest = {
+            "kind": "Service",
+            "metadata": {"name": f"{RELEASE_SENTINEL}-svc", "namespace": "default"},
+        }
+        normalized = normalize_manifest(manifest)
+        assert normalized["metadata"]["name"] == f"{ph.make('string')}-svc"
+
+    def test_namespace_placeholderized(self):
+        manifest = {"kind": "Service", "metadata": {"name": "x", "namespace": "default"}}
+        assert normalize_manifest(manifest)["metadata"]["namespace"] == ph.make("string")
+
+    def test_sentinel_in_nested_values(self):
+        manifest = {
+            "kind": "Secret",
+            "metadata": {"name": "n"},
+            "stringData": {"host": f"{RELEASE_SENTINEL}-postgresql"},
+        }
+        normalized = normalize_manifest(manifest)
+        assert normalized["stringData"]["host"] == f"{ph.make('string')}-postgresql"
+
+    def test_original_not_mutated(self):
+        manifest = {"kind": "X", "metadata": {"name": RELEASE_SENTINEL}}
+        normalize_manifest(manifest)
+        assert manifest["metadata"]["name"] == RELEASE_SENTINEL
+
+
+def _workload_manifest(**pod_extra) -> dict:
+    pod = {
+        "containers": [
+            {"name": "c", "image": "img",
+             "resources": {"limits": {"cpu": "1"}},
+             "securityContext": {"runAsNonRoot": True}}
+        ]
+    }
+    pod.update(pod_extra)
+    return {
+        "apiVersion": "apps/v1",
+        "kind": "Deployment",
+        "metadata": {"name": "d", "namespace": "default"},
+        "spec": {"template": {"spec": pod}},
+    }
+
+
+class TestSecurityOverlay:
+    def test_pod_flags_pinned_to_safe_constants(self):
+        validator = build_validator("op", [_workload_manifest()])
+        tree = validator.kinds["Deployment"]
+        assert get_path(tree, "spec.template.spec.hostNetwork") is False
+        assert get_path(tree, "spec.template.spec.hostPID") is False
+        assert get_path(tree, "spec.template.spec.hostIPC") is False
+
+    def test_container_locks_pinned(self):
+        validator = build_validator("op", [_workload_manifest()])
+        container = get_path(validator.kinds["Deployment"], "spec.template.spec.containers")[0]
+        sc = container["securityContext"]
+        assert sc["runAsNonRoot"] is True
+        assert sc["privileged"] is False
+        assert sc["allowPrivilegeEscalation"] is False
+        assert sc["readOnlyRootFilesystem"] is True
+
+    def test_lock_overrides_unsafe_chart_value(self):
+        manifest = _workload_manifest()
+        manifest["spec"]["template"]["spec"]["containers"][0]["securityContext"][
+            "runAsNonRoot"
+        ] = False
+        validator = build_validator("op", [manifest])
+        container = get_path(validator.kinds["Deployment"], "spec.template.spec.containers")[0]
+        assert container["securityContext"]["runAsNonRoot"] is True
+
+    def test_forbidden_fields_stripped(self):
+        manifest = _workload_manifest()
+        manifest["spec"]["template"]["spec"]["containers"][0]["securityContext"][
+            "capabilities"
+        ] = {"add": ["SYS_ADMIN"], "drop": ["ALL"]}
+        validator = build_validator("op", [manifest])
+        container = get_path(validator.kinds["Deployment"], "spec.template.spec.containers")[0]
+        capabilities = container["securityContext"]["capabilities"]
+        assert "add" not in capabilities
+        assert capabilities["drop"] == ["ALL"]
+
+    def test_service_external_ips_stripped(self):
+        service = {
+            "apiVersion": "v1",
+            "kind": "Service",
+            "metadata": {"name": "s", "namespace": "default"},
+            "spec": {"ports": [{"port": 80}], "externalIPs": ["1.2.3.4"]},
+        }
+        validator = build_validator("op", [service])
+        assert "externalIPs" not in validator.kinds["Service"]["spec"]
+
+    def test_locks_recorded_on_validator(self):
+        validator = build_validator("op", [_workload_manifest()])
+        assert validator.locks == list(DEFAULT_LOCKS)
+
+
+class TestBuildValidator:
+    def test_manifests_grouped_by_kind(self):
+        service = {
+            "apiVersion": "v1",
+            "kind": "Service",
+            "metadata": {"name": "s", "namespace": "default"},
+            "spec": {"ports": [{"port": 80}]},
+        }
+        validator = build_validator("op", [_workload_manifest(), service])
+        assert set(validator.kinds) == {"Deployment", "Service"}
+
+    def test_same_kind_manifests_merge(self):
+        svc_a = {
+            "apiVersion": "v1",
+            "kind": "Service",
+            "metadata": {"name": "a", "namespace": "default"},
+            "spec": {"type": "ClusterIP", "ports": [{"port": 80}]},
+        }
+        svc_b = {
+            "apiVersion": "v1",
+            "kind": "Service",
+            "metadata": {"name": "b", "namespace": "default"},
+            "spec": {"type": "NodePort", "clusterIP": "None", "ports": [{"port": 80}]},
+        }
+        validator = build_validator("op", [svc_a, svc_b])
+        spec = validator.kinds["Service"]["spec"]
+        assert spec["type"] == ["ClusterIP", "NodePort"]
+        assert spec["clusterIP"] == "None"
+
+    def test_meta_recorded(self):
+        validator = build_validator("op", [_workload_manifest()], variants_rendered=3)
+        assert validator.meta["variantsRendered"] == 3
+        assert validator.meta["manifestsMerged"] == 1
+
+    def test_kindless_manifests_skipped(self):
+        validator = build_validator("op", [{"apiVersion": "v1"}])
+        assert validator.kinds == {}

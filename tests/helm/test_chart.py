@@ -1,0 +1,132 @@
+"""Unit tests for chart handling and helm-template rendering."""
+
+import pytest
+
+from repro.helm.chart import Chart, render_chart
+from repro.helm.engine import TemplateError
+
+VALUES = """\
+replicas: 2
+image:
+  tag: "1.0"
+mode: simple  # @enum: simple, advanced
+nested:
+  choice: a  # @enum: a, b, c
+flag: true
+"""
+
+TEMPLATE = """\
+apiVersion: apps/v1
+kind: Deployment
+metadata:
+  name: {{ .Release.Name }}-app
+  namespace: {{ .Release.Namespace }}
+spec:
+  replicas: {{ .Values.replicas }}
+  selector:
+    matchLabels:
+      app: app
+  template:
+    metadata:
+      labels:
+        app: app
+    spec:
+      containers:
+        - name: app
+          image: "repo:{{ .Values.image.tag }}"
+"""
+
+
+def make_chart(**kwargs) -> Chart:
+    defaults = dict(
+        name="testchart",
+        values_text=VALUES,
+        templates={"deployment.yaml": TEMPLATE},
+    )
+    defaults.update(kwargs)
+    return Chart(**defaults)
+
+
+class TestChartBasics:
+    def test_values_parsed(self):
+        chart = make_chart()
+        assert chart.values["replicas"] == 2
+        assert chart.values["image"]["tag"] == "1.0"
+
+    def test_enum_annotations_with_nesting(self):
+        annotations = make_chart().enum_annotations()
+        assert annotations == {
+            "mode": ["simple", "advanced"],
+            "nested.choice": ["a", "b", "c"],
+        }
+
+    def test_empty_values(self):
+        assert Chart(name="empty").values == {}
+
+
+class TestRenderChart:
+    def test_default_render(self):
+        manifests = render_chart(make_chart())
+        assert len(manifests) == 1
+        dep = manifests[0]
+        assert dep["metadata"]["name"] == "testchart-app"
+        assert dep["spec"]["replicas"] == 2
+
+    def test_release_name_and_namespace(self):
+        dep = render_chart(make_chart(), release_name="prod", namespace="apps")[0]
+        assert dep["metadata"]["name"] == "prod-app"
+        assert dep["metadata"]["namespace"] == "apps"
+
+    def test_overrides_deep_merge(self):
+        dep = render_chart(make_chart(), overrides={"image": {"tag": "2.0"}})[0]
+        assert dep["spec"]["template"]["spec"]["containers"][0]["image"] == "repo:2.0"
+        assert dep["spec"]["replicas"] == 2  # untouched default
+
+    def test_values_replace_defaults_entirely(self):
+        values = {"replicas": 9, "image": {"tag": "x"}}
+        dep = render_chart(make_chart(), values=values)[0]
+        assert dep["spec"]["replicas"] == 9
+
+    def test_multi_document_template(self):
+        multi = TEMPLATE + "---\napiVersion: v1\nkind: Service\nmetadata:\n  name: s\nspec:\n  ports: []\n"
+        manifests = render_chart(make_chart(templates={"all.yaml": multi}))
+        assert [m["kind"] for m in manifests] == ["Deployment", "Service"]
+
+    def test_conditional_document_skipped(self):
+        conditional = "{{ if .Values.flag }}" + TEMPLATE + "{{ end }}"
+        chart = make_chart(templates={"dep.yaml": conditional})
+        assert len(render_chart(chart)) == 1
+        assert len(render_chart(chart, overrides={"flag": False})) == 0
+
+    def test_invalid_rendered_yaml_raises(self):
+        chart = make_chart(templates={"bad.yaml": "kind: X\n\tbad: [unclosed"})
+        with pytest.raises(TemplateError, match="bad.yaml"):
+            render_chart(chart)
+
+    def test_template_error_names_file(self):
+        chart = make_chart(templates={"broken.yaml": "{{ nosuchfn }}"})
+        with pytest.raises(TemplateError, match="broken.yaml"):
+            render_chart(chart)
+
+    def test_function_overrides(self):
+        chart = make_chart(templates={"t.yaml": "kind: X\nv: {{ add 1 2 }}\nmetadata: {name: t}"})
+        manifests = render_chart(chart, function_overrides={"add": lambda *a: 99})
+        assert manifests[0]["v"] == 99
+
+
+class TestDirectoryRoundtrip:
+    def test_to_and_from_directory(self, tmp_path):
+        chart = make_chart(helpers='{{- define "h" -}}x{{- end -}}')
+        root = chart.to_directory(tmp_path)
+        assert (root / "Chart.yaml").exists()
+        assert (root / "values.yaml").exists()
+        assert (root / "templates" / "deployment.yaml").exists()
+        assert (root / "templates" / "_helpers.tpl").exists()
+
+        loaded = Chart.from_directory(root)
+        assert loaded.name == chart.name
+        assert loaded.values == chart.values
+        assert loaded.templates == chart.templates
+        assert loaded.helpers == chart.helpers
+        # The reloaded chart renders identically.
+        assert render_chart(loaded) == render_chart(chart)

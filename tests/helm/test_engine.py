@@ -1,0 +1,179 @@
+"""Unit tests for the template renderer (Go/Helm semantics)."""
+
+import pytest
+
+from repro.helm.engine import TemplateError, render_template
+
+
+def render(source: str, values: dict | None = None, helpers: str | None = None) -> str:
+    context = {
+        "Values": values or {},
+        "Release": {"Name": "rel", "Namespace": "ns", "Service": "Helm"},
+        "Chart": {"Name": "chart", "Version": "1.0.0"},
+    }
+    return render_template(source, context, helpers=helpers)
+
+
+class TestOutput:
+    def test_field_substitution(self):
+        assert render("x={{ .Values.a }}", {"a": 7}) == "x=7"
+
+    def test_missing_field_renders_empty(self):
+        assert render("[{{ .Values.missing.deep }}]") == "[]"
+
+    def test_bool_renders_go_style(self):
+        assert render("{{ .Values.b }}", {"b": True}) == "true"
+
+    def test_nested_access(self):
+        assert render("{{ .Values.a.b.c }}", {"a": {"b": {"c": "deep"}}}) == "deep"
+
+    def test_release_and_chart_context(self):
+        assert render("{{ .Release.Name }}/{{ .Chart.Name }}") == "rel/chart"
+
+
+class TestPipelines:
+    def test_default_pipeline(self):
+        assert render('{{ .Values.t | default "latest" }}', {"t": ""}) == "latest"
+        assert render('{{ .Values.t | default "latest" }}', {"t": "v2"}) == "v2"
+
+    def test_chained_pipeline(self):
+        assert render('{{ .Values.n | default "ab" | upper | quote }}', {}) == '"AB"'
+
+    def test_function_call_args(self):
+        assert render('{{ printf "%s:%d" .Values.h .Values.p }}', {"h": "x", "p": 1}) == "x:1"
+
+
+class TestConditionals:
+    def test_if_true_branch(self):
+        assert render("{{ if .Values.on }}Y{{ else }}N{{ end }}", {"on": True}) == "Y"
+
+    def test_if_empty_values_are_false(self):
+        for falsy in ("", 0, False, [], {}):
+            assert render("{{ if .Values.v }}Y{{ else }}N{{ end }}", {"v": falsy}) == "N"
+
+    def test_else_if(self):
+        src = "{{ if eq .Values.x 1 }}one{{ else if eq .Values.x 2 }}two{{ else }}many{{ end }}"
+        assert render(src, {"x": 2}) == "two"
+        assert render(src, {"x": 9}) == "many"
+
+    def test_boolean_operators(self):
+        src = "{{ if and .Values.a (or .Values.b .Values.c) }}ok{{ end }}"
+        assert render(src, {"a": 1, "b": 0, "c": 1}) == "ok"
+        assert render(src, {"a": 1, "b": 0, "c": 0}) == ""
+
+    def test_not(self):
+        assert render("{{ if not .Values.x }}none{{ end }}", {"x": ""}) == "none"
+
+    def test_comparisons(self):
+        assert render("{{ if gt .Values.n 3 }}big{{ end }}", {"n": 5}) == "big"
+        assert render("{{ if le .Values.n 3 }}small{{ end }}", {"n": 3}) == "small"
+
+
+class TestRange:
+    def test_range_list_dot_is_item(self):
+        assert render("{{ range .Values.l }}[{{ . }}]{{ end }}", {"l": [1, 2]}) == "[1][2]"
+
+    def test_range_with_index_and_value(self):
+        out = render("{{ range $i, $v := .Values.l }}{{ $i }}={{ $v }};{{ end }}", {"l": ["a", "b"]})
+        assert out == "0=a;1=b;"
+
+    def test_range_map_sorted_keys(self):
+        out = render("{{ range $k, $v := .Values.m }}{{ $k }}:{{ $v }},{{ end }}",
+                     {"m": {"b": 2, "a": 1}})
+        assert out == "a:1,b:2,"
+
+    def test_range_else_on_empty(self):
+        assert render("{{ range .Values.l }}x{{ else }}empty{{ end }}", {"l": []}) == "empty"
+
+    def test_range_over_int(self):
+        assert render("{{ range $i, $_ := .Values.n }}{{ $i }}{{ end }}", {"n": 3}) == "012"
+
+    def test_range_over_nil_is_empty(self):
+        assert render("{{ range .Values.nope }}x{{ end }}") == ""
+
+    def test_range_over_scalar_raises(self):
+        with pytest.raises(TemplateError):
+            render("{{ range .Values.s }}x{{ end }}", {"s": "str"})
+
+    def test_dollar_is_root_inside_range(self):
+        out = render("{{ range .Values.l }}{{ $.Release.Name }};{{ end }}", {"l": [1, 2]})
+        assert out == "rel;rel;"
+
+
+class TestWith:
+    def test_with_rebinds_dot(self):
+        assert render("{{ with .Values.a }}{{ .b }}{{ end }}", {"a": {"b": "x"}}) == "x"
+
+    def test_with_falsy_skips_body(self):
+        assert render("{{ with .Values.a }}{{ .b }}{{ end }}", {"a": None}) == ""
+
+
+class TestVariables:
+    def test_declare_and_use(self):
+        assert render('{{ $x := "v" }}{{ $x }}') == "v"
+
+    def test_scope_inside_if(self):
+        # := inside a block shadows; outer binding survives.
+        src = '{{ $x := "outer" }}{{ if true }}{{ $x := "inner" }}{{ $x }}{{ end }}|{{ $x }}'
+        assert render(src) == "inner|outer"
+
+    def test_reassign_escapes_block(self):
+        src = '{{ $x := "a" }}{{ if true }}{{ $x = "b" }}{{ end }}{{ $x }}'
+        assert render(src) == "b"
+
+    def test_undefined_variable_raises(self):
+        with pytest.raises(TemplateError):
+            render("{{ $ghost }}")
+
+
+class TestDefinesAndInclude:
+    HELPERS = '{{- define "h.name" -}}{{ .Release.Name }}-app{{- end -}}'
+
+    def test_include_function(self):
+        assert render('{{ include "h.name" . }}', helpers=self.HELPERS) == "rel-app"
+
+    def test_include_in_pipeline(self):
+        out = render('{{ include "h.name" . | upper }}', helpers=self.HELPERS)
+        assert out == "REL-APP"
+
+    def test_template_statement(self):
+        assert render('{{ template "h.name" . }}', helpers=self.HELPERS) == "rel-app"
+
+    def test_define_in_same_template(self):
+        src = '{{ define "local" }}L{{ end }}{{ include "local" . }}'
+        assert render(src) == "L"
+
+    def test_unknown_define_raises(self):
+        with pytest.raises(TemplateError):
+            render('{{ include "nope" . }}')
+
+    def test_include_context_becomes_dot(self):
+        helpers = '{{- define "show" -}}{{ .x }}{{- end -}}'
+        out = render('{{ include "show" .Values.sub }}', {"sub": {"x": "ctx"}}, helpers)
+        assert out == "ctx"
+
+
+class TestToYamlNindent:
+    def test_structured_injection(self):
+        out = render(
+            "securityContext: {{- toYaml .Values.sc | nindent 2 }}",
+            {"sc": {"runAsNonRoot": True, "runAsUser": 1001}},
+        )
+        import yaml
+
+        parsed = yaml.safe_load(out)
+        assert parsed["securityContext"] == {"runAsNonRoot": True, "runAsUser": 1001}
+
+
+class TestErrors:
+    def test_unknown_function(self):
+        with pytest.raises(TemplateError):
+            render("{{ frobnicate .x }}")
+
+    def test_error_carries_template_name(self):
+        with pytest.raises(TemplateError, match="<template>"):
+            render("{{ frobnicate }}")
+
+    def test_tpl_renders_string_as_template(self):
+        out = render('{{ tpl .Values.t . }}', {"t": "hello {{ .Values.who }}", "who": "world"})
+        assert out == "hello world"

@@ -1,0 +1,171 @@
+"""Unit tests for the sprig-like function library."""
+
+import pytest
+
+from repro.helm.functions import (
+    TemplateRuntimeError,
+    build_function_map,
+    is_truthy,
+    to_yaml,
+)
+
+F = build_function_map()
+
+
+class TestTruthiness:
+    @pytest.mark.parametrize("value", [None, False, 0, 0.0, "", [], {}, ()])
+    def test_falsy(self, value):
+        assert not is_truthy(value)
+
+    @pytest.mark.parametrize("value", [True, 1, -1, "x", [0], {"a": 1}, 0.5])
+    def test_truthy(self, value):
+        assert is_truthy(value)
+
+
+class TestDefaultsAndValidation:
+    def test_default(self):
+        assert F["default"]("fallback", "") == "fallback"
+        assert F["default"]("fallback", "real") == "real"
+        assert F["default"]("fallback", 0) == "fallback"
+        assert F["default"]("fallback") == "fallback"
+
+    def test_required_raises_on_empty(self):
+        with pytest.raises(TemplateRuntimeError, match="need it"):
+            F["required"]("need it", "")
+        assert F["required"]("msg", "v") == "v"
+
+    def test_fail(self):
+        with pytest.raises(TemplateRuntimeError):
+            F["fail"]("boom")
+
+    def test_coalesce(self):
+        assert F["coalesce"]("", None, "x", "y") == "x"
+        assert F["coalesce"]("", None) is None
+
+    def test_ternary(self):
+        assert F["ternary"]("yes", "no", True) == "yes"
+        assert F["ternary"]("yes", "no", "") == "no"
+
+
+class TestStrings:
+    def test_quote(self):
+        assert F["quote"]("x") == '"x"'
+        assert F["quote"](8080) == '"8080"'
+        assert F["quote"](True) == '"true"'
+
+    def test_trims(self):
+        assert F["trimSuffix"]("-x", "name-x") == "name"
+        assert F["trimSuffix"]("-x", "name") == "name"
+        assert F["trimPrefix"]("pre-", "pre-name") == "name"
+
+    def test_trunc(self):
+        assert F["trunc"](3, "abcdef") == "abc"
+        assert F["trunc"](-2, "abcdef") == "ef"
+
+    def test_replace_and_contains(self):
+        assert F["replace"]("a", "b", "banana") == "bbnbnb"
+        assert F["contains"]("nan", "banana")
+        assert not F["contains"]("xyz", "banana")
+
+    def test_printf_go_verbs(self):
+        assert F["printf"]("%s-%d", "a", 5) == "a-5"
+        assert F["printf"]("%v", True) == "true"
+        assert F["printf"]("%q", "x") == '"x"'
+        assert F["printf"]("100%%") == "100%"
+
+    def test_indent_and_nindent(self):
+        assert F["indent"](2, "a\nb") == "  a\n  b"
+        assert F["nindent"](2, "a") == "\n  a"
+
+    def test_join_and_split(self):
+        assert F["join"](",", ["a", "b"]) == "a,b"
+        assert F["join"](",", None) == ""
+        assert F["splitList"](",", "a,b") == ["a", "b"]
+
+    def test_b64(self):
+        assert F["b64dec"](F["b64enc"]("secret")) == "secret"
+
+    def test_kebabcase(self):
+        assert F["kebabcase"]("myAppName") == "my-app-name"
+
+
+class TestYaml:
+    def test_to_yaml_dict(self):
+        out = to_yaml({"a": 1, "b": {"c": True}})
+        assert "a: 1" in out and "c: true" in out
+        assert not out.endswith("\n")
+
+    def test_to_yaml_none_is_empty(self):
+        assert to_yaml(None) == ""
+
+    def test_from_yaml(self):
+        assert F["fromYaml"]("a: 1") == {"a": 1}
+
+
+class TestNumbers:
+    def test_arithmetic(self):
+        assert F["add"](1, 2, 3) == 6
+        assert F["sub"](5, 2) == 3
+        assert F["mul"](2, 3) == 6
+        assert F["div"](7, 2) == 3
+        assert F["div"](7, 0) == 0
+        assert F["mod"](7, 3) == 1
+        assert F["max"](1, 9, 3) == 9
+        assert F["min"](4, 2) == 2
+
+    def test_int_coercion(self):
+        assert F["int"]("42") == 42
+        assert F["int"]("") == 0
+        assert F["int"](None) == 0
+        assert F["int"]("abc") == 0
+        assert F["add1"]("2") == 3
+
+
+class TestCollections:
+    def test_list_dict(self):
+        assert F["list"](1, 2) == [1, 2]
+        assert F["dict"]("a", 1, "b", 2) == {"a": 1, "b": 2}
+        with pytest.raises(TemplateRuntimeError):
+            F["dict"]("odd")
+
+    def test_merge_leftmost_wins(self):
+        assert F["merge"]({"a": 1}, {"a": 2, "b": 3}) == {"a": 1, "b": 3}
+
+    def test_first_last_rest_uniq(self):
+        assert F["first"]([1, 2]) == 1
+        assert F["last"]([1, 2]) == 2
+        assert F["first"]([]) is None
+        assert F["rest"]([1, 2, 3]) == [2, 3]
+        assert F["uniq"]([1, 1, 2]) == [1, 2]
+
+    def test_has_key_get_keys(self):
+        assert F["hasKey"]({"a": 1}, "a")
+        assert not F["hasKey"](None, "a")
+        assert F["get"]({"a": 1}, "a") == 1
+        assert sorted(F["keys"]({"a": 1, "b": 2})) == ["a", "b"]
+        assert F["pluck"]("a", {"a": 1}, {"a": 2}, {"b": 3}) == [1, 2]
+
+    def test_until(self):
+        assert F["until"](3) == [0, 1, 2]
+
+
+class TestComparisons:
+    def test_eq_is_variadic(self):
+        assert F["eq"](1, 1)
+        assert F["eq"](1, 2, 1)
+        assert not F["eq"](1, 2, 3)
+
+    def test_and_or_return_operands(self):
+        # Go semantics: and/or return the deciding operand.
+        assert F["and"](1, 2) == 2
+        assert F["and"](0, 2) == 0
+        assert F["or"]("", "x") == "x"
+        assert F["or"]("a", "b") == "a"
+
+    def test_kind_is(self):
+        assert F["kindIs"]("map", {})
+        assert F["kindIs"]("slice", [])
+        assert F["kindIs"]("string", "x")
+        assert F["kindIs"]("bool", True)
+        assert F["kindIs"]("int", 3)
+        assert F["kindIs"]("invalid", None)

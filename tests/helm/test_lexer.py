@@ -1,0 +1,88 @@
+"""Unit tests for the template lexer."""
+
+import pytest
+
+from repro.helm.lexer import (
+    Chunk,
+    TemplateSyntaxError,
+    split_actions,
+    tokenize_action,
+)
+
+
+class TestSplitActions:
+    def test_plain_text(self):
+        chunks = split_actions("hello world")
+        assert chunks == [Chunk("text", "hello world", 1)]
+
+    def test_action_extraction(self):
+        chunks = split_actions("a {{ .x }} b")
+        assert [c.kind for c in chunks] == ["text", "action", "text"]
+        assert chunks[1].value == ".x"
+
+    def test_left_trim(self):
+        chunks = split_actions("line\n  {{- .x }}")
+        assert chunks[0].value == "line"
+
+    def test_right_trim(self):
+        chunks = split_actions("{{ .x -}}\n  next")
+        assert chunks[-1].value == "next"
+
+    def test_both_trims(self):
+        chunks = split_actions("a\n {{- .x -}}\n b")
+        assert [c.value for c in chunks] == ["a", ".x", "b"]
+
+    def test_comments_dropped(self):
+        chunks = split_actions("a{{/* note */}}b")
+        assert [c.kind for c in chunks] == ["text", "text"]
+
+    def test_multiline_action(self):
+        chunks = split_actions("{{ if\n .x }}y{{ end }}")
+        assert chunks[0].value == "if\n .x"
+
+    def test_unbalanced_delimiters_raise(self):
+        with pytest.raises(TemplateSyntaxError):
+            split_actions("text {{ .x }} and }} stray")
+
+    def test_line_numbers(self):
+        chunks = split_actions("a\nb\n{{ .x }}")
+        action = [c for c in chunks if c.kind == "action"][0]
+        assert action.line == 3
+
+
+class TestTokenizeAction:
+    def test_field(self):
+        tokens = tokenize_action(".Values.image.tag")
+        assert len(tokens) == 1
+        assert tokens[0].kind == "field"
+
+    def test_bare_dot(self):
+        assert tokenize_action(".")[0].kind == "field"
+
+    def test_variable_with_field(self):
+        kinds = [t.kind for t in tokenize_action("$v.name")]
+        assert kinds == ["var", "field"]
+
+    def test_strings(self):
+        tokens = tokenize_action('"hello \\"x\\"" \'single\' `raw`')
+        assert [t.kind for t in tokens] == ["string"] * 3
+
+    def test_numbers(self):
+        tokens = tokenize_action("42 -7 3.14")
+        assert [t.kind for t in tokens] == ["number"] * 3
+
+    def test_pipeline_tokens(self):
+        kinds = [t.kind for t in tokenize_action('.x | default "y" | quote')]
+        assert kinds == ["field", "pipe", "ident", "string", "pipe", "ident"]
+
+    def test_declare_vs_assign(self):
+        assert tokenize_action("$x := 1")[1].kind == "declare"
+        assert tokenize_action("$x = 1")[1].kind == "assign"
+
+    def test_parens_and_commas(self):
+        kinds = [t.kind for t in tokenize_action("(eq $a, $b)")]
+        assert kinds == ["lparen", "ident", "var", "comma", "var", "rparen"]
+
+    def test_untokenizable_raises(self):
+        with pytest.raises(TemplateSyntaxError):
+            tokenize_action(".x @ .y")

@@ -1,0 +1,152 @@
+"""Unit tests for the template parser."""
+
+import pytest
+
+from repro.helm.lexer import TemplateSyntaxError
+from repro.helm.parser import (
+    AssignNode,
+    DefineNode,
+    FieldRef,
+    FuncCall,
+    IfNode,
+    Literal,
+    OutputNode,
+    Pipeline,
+    RangeNode,
+    TemplateCallNode,
+    TextNode,
+    WithNode,
+    parse_pipeline_text,
+    parse_template,
+)
+
+
+class TestPipelines:
+    def test_field_access(self):
+        pipeline = parse_pipeline_text(".Values.image.tag")
+        ref = pipeline.stages[0]
+        assert isinstance(ref, FieldRef)
+        assert ref.parts == ("Values", "image", "tag")
+        assert ref.var is None
+
+    def test_variable_field(self):
+        ref = parse_pipeline_text("$item.name").stages[0]
+        assert ref.var == "$item" and ref.parts == ("name",)
+
+    def test_root_var(self):
+        ref = parse_pipeline_text("$.Values").stages[0]
+        assert ref.var == "$" and ref.parts == ("Values",)
+
+    def test_literals(self):
+        assert parse_pipeline_text('"s"').stages[0].value == "s"
+        assert parse_pipeline_text("42").stages[0].value == 42
+        assert parse_pipeline_text("3.5").stages[0].value == 3.5
+        assert parse_pipeline_text("true").stages[0].value is True
+        assert parse_pipeline_text("nil").stages[0].value is None
+
+    def test_function_with_args(self):
+        call = parse_pipeline_text('default "x" .Values.y').stages[0]
+        assert isinstance(call, FuncCall)
+        assert call.name == "default"
+        assert isinstance(call.args[0], Literal)
+        assert isinstance(call.args[1], FieldRef)
+
+    def test_pipeline_stages(self):
+        pipeline = parse_pipeline_text('.x | default "y" | quote')
+        assert len(pipeline.stages) == 3
+
+    def test_nested_parens(self):
+        call = parse_pipeline_text('and (eq .a 1) (not .b)').stages[0]
+        assert call.name == "and"
+        assert len(call.args) == 2
+        assert all(isinstance(a, Pipeline) for a in call.args)
+
+    def test_trailing_tokens_rejected(self):
+        with pytest.raises(TemplateSyntaxError):
+            parse_pipeline_text(".a .b")
+
+    def test_unbalanced_paren_rejected(self):
+        with pytest.raises(TemplateSyntaxError):
+            parse_pipeline_text("(eq .a 1")
+
+
+class TestStatements:
+    def test_text_and_output(self):
+        nodes = parse_template("hi {{ .x }}")
+        assert isinstance(nodes[0], TextNode)
+        assert isinstance(nodes[1], OutputNode)
+
+    def test_if_else(self):
+        nodes = parse_template("{{ if .a }}A{{ else }}B{{ end }}")
+        node = nodes[0]
+        assert isinstance(node, IfNode)
+        assert len(node.branches) == 1
+        assert isinstance(node.branches[0][1][0], TextNode)
+        assert node.else_body[0].text == "B"
+
+    def test_else_if_chain(self):
+        nodes = parse_template("{{ if .a }}A{{ else if .b }}B{{ else }}C{{ end }}")
+        node = nodes[0]
+        assert len(node.branches) == 2
+        assert node.else_body[0].text == "C"
+
+    def test_nested_if(self):
+        nodes = parse_template("{{ if .a }}{{ if .b }}X{{ end }}{{ end }}")
+        outer = nodes[0]
+        inner = outer.branches[0][1][0]
+        assert isinstance(inner, IfNode)
+
+    def test_range_with_vars(self):
+        nodes = parse_template("{{ range $k, $v := .m }}x{{ end }}")
+        node = nodes[0]
+        assert isinstance(node, RangeNode)
+        assert node.index_var == "$k"
+        assert node.value_var == "$v"
+
+    def test_range_single_var(self):
+        node = parse_template("{{ range $i := .l }}x{{ end }}")[0]
+        assert node.index_var is None and node.value_var == "$i"
+
+    def test_range_bare(self):
+        node = parse_template("{{ range .l }}x{{ end }}")[0]
+        assert node.index_var is None and node.value_var is None
+
+    def test_range_else(self):
+        node = parse_template("{{ range .l }}x{{ else }}empty{{ end }}")[0]
+        assert node.else_body[0].text == "empty"
+
+    def test_with(self):
+        node = parse_template("{{ with .x }}y{{ end }}")[0]
+        assert isinstance(node, WithNode)
+
+    def test_define(self):
+        node = parse_template('{{ define "name" }}body{{ end }}')[0]
+        assert isinstance(node, DefineNode)
+        assert node.name == "name"
+
+    def test_template_call(self):
+        node = parse_template('{{ template "name" . }}')[0]
+        assert isinstance(node, TemplateCallNode)
+        assert node.name == "name"
+        assert node.context is not None
+
+    def test_assignment(self):
+        node = parse_template("{{ $x := .Values.a }}")[0]
+        assert isinstance(node, AssignNode)
+        assert node.var == "$x" and node.declare
+
+    def test_reassignment(self):
+        node = parse_template("{{ $x = 5 }}")[0]
+        assert not node.declare
+
+    def test_missing_end_raises(self):
+        with pytest.raises(TemplateSyntaxError):
+            parse_template("{{ if .a }}unclosed")
+
+    def test_stray_end_raises(self):
+        with pytest.raises(TemplateSyntaxError):
+            parse_template("{{ end }}")
+
+    def test_stray_else_raises(self):
+        with pytest.raises(TemplateSyntaxError):
+            parse_template("{{ else }}")

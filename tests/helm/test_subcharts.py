@@ -1,0 +1,207 @@
+"""Tests for Helm subchart (dependency) rendering."""
+
+from textwrap import dedent
+
+from repro.helm.chart import Chart, render_chart
+
+
+def database_subchart() -> Chart:
+    return Chart(
+        name="database",
+        values_text=dedent(
+            """\
+            replicas: 1
+            auth:
+              password: default-pw
+            """
+        ),
+        templates={
+            "statefulset.yaml": dedent(
+                """\
+                apiVersion: apps/v1
+                kind: StatefulSet
+                metadata:
+                  name: {{ .Release.Name }}-database
+                spec:
+                  replicas: {{ .Values.replicas }}
+                  serviceName: {{ .Release.Name }}-database
+                  template:
+                    spec:
+                      containers:
+                        - name: db
+                          image: "postgres:{{ .Values.global.imageTag | default "16" }}"
+                          resources:
+                            limits:
+                              cpu: "1"
+                              memory: 1Gi
+                          env:
+                            - name: PASSWORD
+                              value: {{ .Values.auth.password | quote }}
+                """
+            )
+        },
+    )
+
+
+def parent_chart(**kwargs) -> Chart:
+    return Chart(
+        name="app",
+        values_text=dedent(
+            """\
+            web:
+              port: 8080
+            database:
+              enabled: true
+              replicas: 2
+            global:
+              imageTag: "15"
+            """
+        ),
+        templates={
+            "deployment.yaml": dedent(
+                """\
+                apiVersion: apps/v1
+                kind: Deployment
+                metadata:
+                  name: {{ .Release.Name }}-app
+                spec:
+                  template:
+                    spec:
+                      containers:
+                        - name: web
+                          image: app:1
+                          resources:
+                            limits:
+                              cpu: 500m
+                              memory: 256Mi
+                          ports:
+                            - containerPort: {{ .Values.web.port }}
+                """
+            )
+        },
+        dependencies={"database": database_subchart()},
+        **kwargs,
+    )
+
+
+class TestSubchartRendering:
+    def test_parent_and_subchart_render(self):
+        manifests = render_chart(parent_chart(), release_name="prod")
+        kinds = sorted(m["kind"] for m in manifests)
+        assert kinds == ["Deployment", "StatefulSet"]
+
+    def test_subchart_values_scoped_under_its_key(self):
+        """Parent values under 'database' override the subchart's own
+        defaults (Helm's dependency-values convention)."""
+        sts = next(
+            m for m in render_chart(parent_chart()) if m["kind"] == "StatefulSet"
+        )
+        assert sts["spec"]["replicas"] == 2  # parent override, not subchart's 1
+
+    def test_subchart_defaults_kept_when_not_overridden(self):
+        sts = next(
+            m for m in render_chart(parent_chart()) if m["kind"] == "StatefulSet"
+        )
+        container = sts["spec"]["template"]["spec"]["containers"][0]
+        env = {e["name"]: e["value"] for e in container["env"]}
+        assert env["PASSWORD"] == "default-pw"
+
+    def test_global_values_visible_in_subchart(self):
+        sts = next(
+            m for m in render_chart(parent_chart()) if m["kind"] == "StatefulSet"
+        )
+        image = sts["spec"]["template"]["spec"]["containers"][0]["image"]
+        assert image == "postgres:15"
+
+    def test_release_name_shared(self):
+        manifests = render_chart(parent_chart(), release_name="prod")
+        names = sorted(m["metadata"]["name"] for m in manifests)
+        assert names == ["prod-app", "prod-database"]
+
+    def test_condition_disables_dependency(self):
+        chart = parent_chart(
+            dependency_conditions={"database": "database.enabled"}
+        )
+        enabled = render_chart(chart)
+        assert any(m["kind"] == "StatefulSet" for m in enabled)
+        disabled = render_chart(chart, overrides={"database": {"enabled": False}})
+        assert not any(m["kind"] == "StatefulSet" for m in disabled)
+
+    def test_user_overrides_reach_subchart(self):
+        manifests = render_chart(
+            parent_chart(), overrides={"database": {"auth": {"password": "s3cret"}}}
+        )
+        sts = next(m for m in manifests if m["kind"] == "StatefulSet")
+        env = {e["name"]: e["value"]
+               for e in sts["spec"]["template"]["spec"]["containers"][0]["env"]}
+        assert env["PASSWORD"] == "s3cret"
+
+
+class TestPolicyGenerationWithSubcharts:
+    def test_validator_covers_both_charts(self):
+        """KubeFence sees the full dependency tree: the umbrella chart's
+        policy includes the subchart's kinds."""
+        from repro.core.pipeline import generate_policy
+
+        chart = parent_chart()
+        validator = generate_policy(chart)
+        assert "Deployment" in validator.kinds
+        assert "StatefulSet" in validator.kinds
+        for manifest in render_chart(chart, release_name="x"):
+            result = validator.validate(manifest)
+            assert result.allowed, (manifest["kind"], result.violations)
+
+
+class TestSubchartSchemaGeneration:
+    def test_subchart_defaults_generalized(self):
+        """Overriding a subchart default (the DB password) must stay
+        inside the umbrella policy."""
+        from repro.core.pipeline import generate_policy
+
+        chart = parent_chart()
+        validator = generate_policy(chart)
+        manifests = render_chart(
+            chart,
+            overrides={"database": {"auth": {"password": "rotated-pw"},
+                                    "replicas": 5}},
+            release_name="x",
+        )
+        for manifest in manifests:
+            result = validator.validate(manifest)
+            assert result.allowed, (manifest["kind"], result.violations)
+
+    def test_subchart_enum_annotations_explored(self):
+        from repro.core.schema_gen import generate_values_schema
+
+        sub = database_subchart()
+        sub.values_text += "mode: primary  # @enum: primary, replica\n"
+        chart = parent_chart()
+        chart.dependencies["database"] = sub
+        schema = generate_values_schema(chart)
+        assert schema.enums["database.mode"] == ["primary", "replica"]
+
+    def test_parent_schema_entries_win(self):
+        """The parent's declared value for a dependency key overrides
+        the subchart default during generalization."""
+        from repro.core.schema_gen import generate_values_schema
+        from repro.core import placeholders as ph
+
+        schema = generate_values_schema(parent_chart()).schema
+        # parent sets database.replicas: 2 -> int placeholder from parent
+        assert schema["database"]["replicas"] == ph.make("int")
+        # subchart-only key appears, generalized
+        assert schema["database"]["auth"]["password"] == ph.make("string")
+
+
+class TestSubchartDirectoryRoundtrip:
+    def test_to_and_from_directory_with_dependencies(self, tmp_path):
+        chart = parent_chart(dependency_conditions={"database": "database.enabled"})
+        root = chart.to_directory(tmp_path)
+        assert (root / "charts" / "database" / "Chart.yaml").exists()
+
+        loaded = Chart.from_directory(root)
+        assert set(loaded.dependencies) == {"database"}
+        assert loaded.dependency_conditions == {"database": "database.enabled"}
+        assert render_chart(loaded, release_name="x") == render_chart(
+            chart, release_name="x"
+        )

@@ -1,0 +1,224 @@
+"""Fault injection: the enforcement path must fail closed and stay up.
+
+A security proxy that crashes, hangs, or fails open under malformed
+input is itself an attack surface.  These tests throw hostile and
+broken inputs at every layer: the validator, the in-process proxy, the
+HTTP topology, and the operator runtime under a flaky transport.
+"""
+
+import json
+from urllib import request as urllib_request
+from urllib.error import HTTPError
+
+import pytest
+
+from repro.core.pipeline import generate_policy
+from repro.core.proxy import HttpKubeFenceProxy, KubeFenceProxy
+from repro.k8s.apiserver import ApiRequest, ApiResponse, Cluster, User
+from repro.k8s.errors import ApiError
+from repro.k8s.http import HttpApiServer
+from repro.operators import get_chart
+
+
+@pytest.fixture(scope="module")
+def validator():
+    return generate_policy(get_chart("nginx"))
+
+
+def deep_manifest(depth: int) -> dict:
+    node: dict = {"leaf": True}
+    for _ in range(depth):
+        node = {"nested": node}
+    return {"apiVersion": "apps/v1", "kind": "Deployment",
+            "metadata": {"name": "bomb", "namespace": "default"},
+            "spec": node}
+
+
+class TestValidatorRobustness:
+    def test_deeply_nested_manifest_denied_not_crashed(self, validator):
+        result = validator.validate(deep_manifest(500))
+        assert not result.allowed  # denied (unknown field), never raises
+
+    def test_depth_bomb_under_known_map_field(self, validator):
+        """Nested garbage placed under a map-typed field (labels) is a
+        type violation, not a recursion crash."""
+        manifest = deep_manifest(5)
+        manifest["spec"] = {}
+        deep_labels = {"app": "x"}
+        for _ in range(400):
+            deep_labels = {"l": deep_labels}
+        manifest["metadata"]["labels"] = deep_labels
+        result = validator.validate(manifest)
+        assert not result.allowed
+
+    @pytest.mark.parametrize(
+        "junk",
+        [
+            {},
+            {"kind": ""},
+            {"kind": None},
+            {"kind": 42},
+            {"kind": "Deployment", "spec": "not-a-dict"},
+            {"kind": "Deployment", "metadata": "nope"},
+            {"kind": "Deployment", "spec": {"replicas": [[[]]]}},
+            {"kind": "Deployment", "spec": {"template": [1, 2, 3]}},
+        ],
+    )
+    def test_junk_never_raises_never_allows(self, validator, junk):
+        result = validator.validate(junk)
+        assert result.allowed is False
+
+    def test_huge_flat_manifest_handled(self, validator):
+        manifest = {"apiVersion": "apps/v1", "kind": "Deployment",
+                    "metadata": {"name": "wide", "namespace": "default"},
+                    "spec": {f"field{i}": i for i in range(5000)}}
+        result = validator.validate(manifest)
+        assert not result.allowed
+        assert len(result.violations) >= 5000
+
+    def test_empty_body_defers_to_server_validation(self, validator):
+        """A bare {kind} carries no disallowed fields, so the policy
+        passes it; the API server then rejects it (name required).
+        Defense in depth, each layer checking what it owns."""
+        bare = {"kind": "Deployment"}
+        assert validator.validate(bare).allowed
+        cluster = Cluster()
+        proxy = KubeFenceProxy(cluster.api, validator)
+        response = proxy.submit(
+            ApiRequest("create", "Deployment", User.admin(), body=bare)
+        )
+        assert response.code == 422  # server: metadata.name is required
+
+
+class TestProxyFailsClosed:
+    def test_admission_exception_becomes_api_error(self, validator):
+        cluster = Cluster()
+
+        def broken_plugin(request, obj):
+            raise ApiError(500, "InternalError", "backend exploded")
+
+        cluster.api.register_admission_plugin(broken_plugin)
+        proxy = KubeFenceProxy(cluster.api, validator)
+        from repro.helm.chart import render_chart
+
+        deployment = next(m for m in render_chart(get_chart("nginx"))
+                          if m["kind"] == "Deployment")
+        response = proxy.submit(ApiRequest.from_manifest(deployment, User.admin()))
+        assert response.code == 500
+        assert not cluster.store.list("Deployment")
+
+    def test_non_dict_body_rejected(self, validator):
+        cluster = Cluster()
+        proxy = KubeFenceProxy(cluster.api, validator)
+        request = ApiRequest("create", "Deployment", User.admin(), body=None)
+        response = proxy.submit(request)
+        assert response.code == 400
+
+
+class TestHttpRobustness:
+    @pytest.fixture()
+    def http_stack(self, validator):
+        cluster = Cluster()
+        server = HttpApiServer(cluster.api).start()
+        proxy = HttpKubeFenceProxy(server.base_url, validator).start()
+        yield cluster, server, proxy
+        proxy.stop()
+        server.stop()
+
+    def _post(self, url: str, path: str, payload: bytes) -> tuple[int, dict]:
+        req = urllib_request.Request(
+            url + path, data=payload, method="POST",
+            headers={"Content-Type": "application/json"},
+        )
+        try:
+            with urllib_request.urlopen(req) as resp:
+                return resp.status, json.loads(resp.read() or b"{}")
+        except HTTPError as err:
+            return err.code, json.loads(err.read() or b"{}")
+
+    def test_malformed_json_is_400(self, http_stack):
+        _, _, proxy = http_stack
+        status, body = self._post(
+            proxy.base_url, "/apis/apps/v1/namespaces/default/deployments",
+            b"{not json",
+        )
+        assert status == 400
+        assert "not valid JSON" in body["message"]
+
+    def test_non_object_body_is_400(self, http_stack):
+        _, _, proxy = http_stack
+        status, body = self._post(
+            proxy.base_url, "/apis/apps/v1/namespaces/default/deployments",
+            b'[1, 2, 3]',
+        )
+        assert status == 400
+
+    def test_malformed_json_to_api_server_is_400(self, http_stack):
+        _, server, _ = http_stack
+        status, body = self._post(
+            server.base_url, "/api/v1/namespaces/default/pods", b"\xff\xfe{{",
+        )
+        assert status == 400
+
+    def test_proxy_still_serves_after_garbage(self, http_stack):
+        cluster, _, proxy = http_stack
+        self._post(proxy.base_url, "/api/v1/namespaces/default/pods", b"{bad")
+        from repro.k8s.http import HttpClient
+        from repro.helm.chart import render_chart
+
+        client = HttpClient(proxy.base_url)
+        manifest = next(m for m in render_chart(get_chart("nginx"))
+                        if m["kind"] == "Service")
+        status, _ = client.apply(manifest)
+        assert status == 201
+
+
+class FlakyTransport:
+    """Fails every other request with a 503 (control-plane hiccups)."""
+
+    def __init__(self, inner):
+        self.inner = inner
+        self.calls = 0
+
+    def submit(self, request: ApiRequest) -> ApiResponse:
+        self.calls += 1
+        if self.calls % 2 == 0:
+            return ApiResponse.from_error(
+                ApiError(503, "ServiceUnavailable", "etcd leader election in progress")
+            )
+        return self.inner.submit(request)
+
+
+class TestRuntimeUnderFaults:
+    def test_operator_retries_failed_repairs(self, validator):
+        """A reconcile that hits a 503 leaves the resource dirty, so
+        the next loop iteration repairs it -- at-least-once semantics."""
+        from repro.operators.runtime import OperatorRuntime
+
+        chart = get_chart("nginx")
+        cluster = Cluster()
+        flaky = FlakyTransport(KubeFenceProxy(cluster.api, validator))
+        runtime = OperatorRuntime(chart, flaky, cluster.store)
+
+        # Install: odd-numbered calls succeed, so retry until all live.
+        for _ in range(6):
+            missing = [
+                key for key in runtime.desired
+                if not cluster.store.exists(key[0], "default", key[1])
+            ]
+            if not missing:
+                break
+            runtime.install()  # re-creates; conflicts are fine
+        runtime._dirty.clear()
+
+        cluster.store.delete("Deployment", "default", "nginx-nginx")
+        for _ in range(4):
+            actions = runtime.reconcile()
+            if not actions:
+                break
+            if all(a.response.ok for a in actions):
+                break
+            for action in actions:
+                if not action.response.ok:
+                    runtime._dirty.add((action.kind, action.name))
+        assert cluster.store.exists("Deployment", "default", "nginx-nginx")

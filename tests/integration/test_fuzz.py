@@ -1,0 +1,82 @@
+"""Tests for structure-aware fuzzing of the residual attack surface."""
+
+import pytest
+
+from repro.core.pipeline import generate_policy
+from repro.fuzz import ManifestFuzzer, run_fuzz_campaign
+from repro.k8s.apiserver import Cluster
+from repro.operators import get_chart
+
+FUZZ_KINDS = ("Pod", "Deployment", "StatefulSet", "Service", "ConfigMap",
+              "PersistentVolumeClaim", "Ingress", "NetworkPolicy")
+
+
+class TestGenerator:
+    def test_deterministic_with_seed(self):
+        a = ManifestFuzzer(seed=3).corpus("Pod", 10)
+        b = ManifestFuzzer(seed=3).corpus("Pod", 10)
+        assert a == b
+
+    def test_seeds_differ(self):
+        a = ManifestFuzzer(seed=1).corpus("Pod", 10)
+        b = ManifestFuzzer(seed=2).corpus("Pod", 10)
+        assert a != b
+
+    @pytest.mark.parametrize("kind", FUZZ_KINDS)
+    def test_generated_manifests_pass_server_validation(self, kind):
+        """Structure-aware: every draw is schema-valid by construction."""
+        cluster = Cluster()
+        for manifest in ManifestFuzzer(seed=11).corpus(kind, 25):
+            response = cluster.apply(manifest)
+            assert response.ok, (kind, response.body)
+
+    def test_workload_repair_guarantees_containers(self):
+        for manifest in ManifestFuzzer(seed=5).corpus("Deployment", 20):
+            containers = manifest["spec"]["template"]["spec"]["containers"]
+            assert containers
+            for container in containers:
+                assert container["name"] and container["image"]
+
+    def test_unique_names(self):
+        corpus = ManifestFuzzer(seed=9).corpus("Pod", 30)
+        names = [m["metadata"]["name"] for m in corpus]
+        assert len(set(names)) == len(names)
+
+    def test_density_controls_size(self):
+        sparse = ManifestFuzzer(seed=4, density=0.02).corpus("Pod", 20)
+        dense = ManifestFuzzer(seed=4, density=0.5).corpus("Pod", 20)
+        assert sum(len(str(m)) for m in dense) > sum(len(str(m)) for m in sparse)
+
+
+class TestCampaign:
+    @pytest.fixture(scope="class")
+    def campaign(self):
+        validator = generate_policy(get_chart("nginx"))
+        return run_fuzz_campaign(
+            validator, ["Deployment", "Service", "Pod"], count_per_kind=40, seed=7
+        )
+
+    def test_accounting_adds_up(self, campaign):
+        assert campaign.total == 120
+        assert campaign.admitted + campaign.denied + campaign.server_rejected == 120
+
+    def test_random_valid_objects_overwhelmingly_denied(self, campaign):
+        """Random schema-valid manifests almost surely use fields the
+        workload never uses -- the policy's whole point."""
+        assert campaign.denial_rate > 0.95
+
+    def test_unprotected_cluster_is_exploitable(self, campaign):
+        """The same corpus fires real CVE triggers without the proxy:
+        the fuzzer genuinely reaches vulnerable features."""
+        assert sum(campaign.exploits_unprotected.values()) > 10
+        assert campaign.exploits_unprotected  # at least one CVE family
+
+    def test_policy_eliminates_fuzzed_exploits(self, campaign):
+        """Empirical residual risk for the nginx policy: zero fuzzed
+        exploits survive mediation."""
+        assert campaign.residual_exploit_count == 0
+
+    def test_render(self, campaign):
+        text = campaign.render()
+        assert "denied by policy" in text
+        assert "exploits (unprotected)" in text

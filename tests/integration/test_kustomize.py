@@ -1,0 +1,246 @@
+"""Tests for Kustomize support: build engine + policy generation."""
+
+import pytest
+
+from repro.core import placeholders as ph
+from repro.kustomize import Kustomization, build, generate_policy_from_kustomize
+from repro.kustomize.build import strategic_merge
+from repro.kustomize.model import ImageOverride, ReplicaOverride
+from repro.yamlutil import deep_copy, get_path, set_path
+
+
+def base_deployment(name: str = "web", replicas: int = 2) -> dict:
+    return {
+        "apiVersion": "apps/v1",
+        "kind": "Deployment",
+        "metadata": {"name": name, "labels": {"app": name}},
+        "spec": {
+            "replicas": replicas,
+            "selector": {"matchLabels": {"app": name}},
+            "template": {
+                "metadata": {"labels": {"app": name}},
+                "spec": {
+                    "containers": [
+                        {
+                            "name": "app",
+                            "image": "docker.io/acme/web:1.0",
+                            "resources": {"limits": {"cpu": "500m", "memory": "256Mi"}},
+                            "securityContext": {"runAsNonRoot": True},
+                        }
+                    ]
+                },
+            },
+        },
+    }
+
+
+def base_service(name: str = "web") -> dict:
+    return {
+        "apiVersion": "v1",
+        "kind": "Service",
+        "metadata": {"name": name},
+        "spec": {"selector": {"app": name}, "ports": [{"name": "http", "port": 80}]},
+    }
+
+
+def base_layer() -> Kustomization:
+    return Kustomization(name="base", manifests=[base_deployment(), base_service()])
+
+
+class TestStrategicMerge:
+    def test_maps_merge(self):
+        merged = strategic_merge({"a": {"x": 1}}, {"a": {"y": 2}})
+        assert merged == {"a": {"x": 1, "y": 2}}
+
+    def test_named_lists_merge_by_name(self):
+        target = {"containers": [{"name": "app", "image": "a"}]}
+        patch = {"containers": [{"name": "app", "stdin": True}, {"name": "sidecar"}]}
+        merged = strategic_merge(target, patch)
+        assert merged["containers"][0] == {"name": "app", "image": "a", "stdin": True}
+        assert merged["containers"][1] == {"name": "sidecar"}
+
+    def test_unnamed_lists_replace(self):
+        merged = strategic_merge({"args": ["a", "b"]}, {"args": ["c"]})
+        assert merged["args"] == ["c"]
+
+    def test_patch_delete_map_key(self):
+        merged = strategic_merge({"a": 1, "b": 2}, {"a": {"$patch": "delete"}})
+        assert merged == {"b": 2}
+
+    def test_patch_delete_named_element(self):
+        target = {"containers": [{"name": "app"}, {"name": "sidecar"}]}
+        patch = {"containers": [{"name": "sidecar", "$patch": "delete"}]}
+        merged = strategic_merge(target, patch)
+        assert merged["containers"] == [{"name": "app"}]
+
+
+class TestBuild:
+    def test_plain_build_copies(self):
+        layer = base_layer()
+        manifests = build(layer)
+        assert len(manifests) == 2
+        manifests[0]["metadata"]["name"] = "mutated"
+        assert layer.manifests[0]["metadata"]["name"] == "web"
+
+    def test_name_prefix_suffix_and_namespace(self):
+        overlay = Kustomization(
+            name="prod", bases=[base_layer()], name_prefix="prod-",
+            name_suffix="-v2", namespace="production",
+        )
+        deployment = build(overlay)[0]
+        assert deployment["metadata"]["name"] == "prod-web-v2"
+        assert deployment["metadata"]["namespace"] == "production"
+
+    def test_common_labels_propagate_to_selectors(self):
+        overlay = Kustomization(
+            name="prod", bases=[base_layer()], common_labels={"env": "prod"}
+        )
+        deployment, service = build(overlay)
+        assert deployment["metadata"]["labels"]["env"] == "prod"
+        assert get_path(deployment, "spec.selector.matchLabels.env") == "prod"
+        assert get_path(deployment, "spec.template.metadata.labels.env") == "prod"
+        assert get_path(service, "spec.selector.env") == "prod"
+
+    def test_image_override(self):
+        overlay = Kustomization(
+            name="prod",
+            bases=[base_layer()],
+            images=[ImageOverride("docker.io/acme/web", new_tag="2.5")],
+        )
+        deployment = build(overlay)[0]
+        image = get_path(deployment, "spec.template.spec.containers[0].image")
+        assert image == "docker.io/acme/web:2.5"
+
+    def test_replica_override(self):
+        overlay = Kustomization(
+            name="prod", bases=[base_layer()], replicas=[ReplicaOverride("web", 8)]
+        )
+        assert build(overlay)[0]["spec"]["replicas"] == 8
+
+    def test_strategic_patch_targets_kind_and_name(self):
+        patch = {
+            "apiVersion": "apps/v1",
+            "kind": "Deployment",
+            "metadata": {"name": "web"},
+            "spec": {"template": {"spec": {"containers": [
+                {"name": "app", "resources": {"limits": {"memory": "1Gi"}}}
+            ]}}},
+        }
+        overlay = Kustomization(name="big", bases=[base_layer()], patches=[patch])
+        deployment = build(overlay)[0]
+        limits = get_path(deployment, "spec.template.spec.containers[0].resources.limits")
+        assert limits == {"cpu": "500m", "memory": "1Gi"}
+
+    def test_generators(self):
+        overlay = Kustomization(
+            name="gen",
+            config_map_generator=[{"name": "cfg", "literals": ["LOG=debug"]}],
+            secret_generator=[{"name": "sec", "literals": ["PW=s3cret"]}],
+        )
+        configmap, secret = build(overlay)
+        assert configmap["data"] == {"LOG": "debug"}
+        import base64
+
+        assert base64.b64decode(secret["data"]["PW"]).decode() == "s3cret"
+
+    def test_nested_bases(self):
+        mid = Kustomization(name="mid", bases=[base_layer()], name_prefix="a-")
+        top = Kustomization(name="top", bases=[mid], name_prefix="b-")
+        assert build(top)[0]["metadata"]["name"] == "b-a-web"
+
+    def test_directory_roundtrip(self, tmp_path):
+        import yaml
+
+        base_dir = tmp_path / "base"
+        base_dir.mkdir()
+        (base_dir / "deployment.yaml").write_text(yaml.safe_dump(base_deployment()))
+        (base_dir / "kustomization.yaml").write_text(
+            yaml.safe_dump({"resources": ["deployment.yaml"]})
+        )
+        overlay_dir = tmp_path / "prod"
+        overlay_dir.mkdir()
+        (overlay_dir / "kustomization.yaml").write_text(
+            yaml.safe_dump(
+                {
+                    "resources": ["../base"],
+                    "namePrefix": "prod-",
+                    "commonLabels": {"env": "prod"},
+                    "images": [{"name": "docker.io/acme/web", "newTag": "9.9"}],
+                }
+            )
+        )
+        overlay = Kustomization.from_directory(overlay_dir)
+        deployment = build(overlay)[0]
+        assert deployment["metadata"]["name"] == "prod-web"
+        assert get_path(deployment, "spec.template.spec.containers[0].image").endswith(":9.9")
+
+
+class TestPolicyGeneration:
+    def _overlays(self):
+        base = base_layer()
+        staging = Kustomization(
+            name="staging", bases=[base], name_prefix="stg-",
+            replicas=[ReplicaOverride("web", 1)],
+            images=[ImageOverride("docker.io/acme/web", new_tag="1.1-rc")],
+        )
+        production = Kustomization(
+            name="production", bases=[base], name_prefix="prod-",
+            replicas=[ReplicaOverride("web", 6)],
+            common_labels={"env": "prod"},
+        )
+        return base, [staging, production]
+
+    def test_overlay_builds_validate(self):
+        base, overlays = self._overlays()
+        validator = generate_policy_from_kustomize(base, overlays, operator="web")
+        for overlay in overlays:
+            for manifest in build(overlay):
+                result = validator.validate(manifest)
+                assert result.allowed, (overlay.name, result.violations)
+
+    def test_scalar_generalization_widens_replicas(self):
+        base, overlays = self._overlays()
+        validator = generate_policy_from_kustomize(base, overlays)
+        replicas = get_path(validator.kinds["Deployment"], "spec.replicas")
+        assert replicas == ph.make("int")
+        # ... so an unseen replica count is accepted.
+        manifest = build(overlays[0])[0]
+        set_path(manifest, "spec.replicas", 42)
+        assert validator.validate(manifest).allowed
+
+    def test_without_generalization_unions_stay_closed(self):
+        base, overlays = self._overlays()
+        validator = generate_policy_from_kustomize(base, overlays, generalize_scalars=False)
+        manifest = build(overlays[0])[0]
+        set_path(manifest, "spec.replicas", 42)
+        assert not validator.validate(manifest).allowed
+
+    def test_security_locks_apply(self):
+        base, overlays = self._overlays()
+        validator = generate_policy_from_kustomize(base, overlays)
+        manifest = build(overlays[1])[0]
+        bad = deep_copy(manifest)
+        set_path(bad, "spec.template.spec.hostNetwork", True)
+        assert not validator.validate(bad).allowed
+        bad = deep_copy(manifest)
+        set_path(bad, "spec.template.spec.containers[0].securityContext.privileged", True)
+        assert not validator.validate(bad).allowed
+
+    def test_raw_manifest_mode(self):
+        """No overlays: the base alone defines the policy (the paper's
+        raw-YAML case)."""
+        base = base_layer()
+        validator = generate_policy_from_kustomize(base)
+        for manifest in build(base):
+            assert validator.validate(manifest).allowed
+        assert validator.meta["overlays"] == ["base"]
+
+    def test_attack_catalog_blocked_in_kustomize_mode(self):
+        from repro.attacks import build_malicious_manifests
+
+        base, overlays = self._overlays()
+        validator = generate_policy_from_kustomize(base, overlays)
+        malicious = build_malicious_manifests("web", build(overlays[1]))
+        for item in malicious:
+            result = validator.validate(item.manifest)
+            assert not result.allowed, item.attack.attack_id

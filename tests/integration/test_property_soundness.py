@@ -1,0 +1,192 @@
+"""Property-based soundness of policy generation.
+
+The central correctness property of KubeFence (Sec. V-A): the union of
+explored variants "covers all potential valid values from API requests,
+which should be allowed in the system".  We state it as: for *random
+user overrides drawn from the chart's own value domains*, every
+rendered manifest passes the chart's generated validator.
+
+Override domains are derived from the values schema itself: booleans
+flip, ints/ports/quantities vary within type, strings draw from a
+YAML-safe alphabet, enums draw from their annotated options.  Paths
+locked by security policy (registry/repository pinning, safe
+constants) are excluded -- overriding those is *supposed* to be denied,
+which a separate test asserts.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import placeholders as ph
+from repro.core.pipeline import PolicyGenerator
+from repro.core.schema_gen import generate_values_schema
+from repro.helm.chart import render_chart
+from repro.operators import OPERATOR_NAMES, get_chart
+from repro.yamlutil import set_path, walk_leaves
+
+# Alpha-leading so unquoted YAML keeps the value a string (a bare "0"
+# would be re-typed to an int by the YAML round trip).
+_SAFE_TEXT = st.text(alphabet="abcdefghij0123456789-", min_size=0, max_size=11).map(
+    lambda s: "v" + s.strip("-")
+)
+
+_VALUE_STRATEGIES = {
+    "bool": st.booleans(),
+    "int": st.integers(min_value=0, max_value=50),
+    "port": st.integers(min_value=1, max_value=65535),
+    "IP": st.tuples(*[st.integers(0, 255)] * 4).map(lambda t: ".".join(map(str, t))),
+    "quantity": st.sampled_from(["100m", "250m", "1", "2", "128Mi", "1Gi", "8Gi"]),
+    "string": _SAFE_TEXT,
+}
+
+
+def _override_domains(chart) -> dict[str, st.SearchStrategy]:
+    """path -> strategy, derived from the chart's values schema."""
+    schema = generate_values_schema(chart)
+    locked = set(schema.locked_paths)
+    domains: dict[str, st.SearchStrategy] = {}
+    for path, value in walk_leaves(schema.schema):
+        text = str(path)
+        if text in locked or "[" in text:
+            continue
+        ptype = ph.placeholder_type(value)
+        if ptype in _VALUE_STRATEGIES:
+            domains[text] = _VALUE_STRATEGIES[ptype]
+    for path, options in schema.enums.items():
+        domains[path] = st.sampled_from(options)
+    return domains
+
+
+@st.composite
+def _overrides(draw: st.DrawFn, domains: dict[str, st.SearchStrategy]) -> dict:
+    paths = draw(
+        st.lists(st.sampled_from(sorted(domains)), min_size=0, max_size=6, unique=True)
+    )
+    tree: dict = {}
+    for path in paths:
+        set_path(tree, path, draw(domains[path]))
+    return tree
+
+
+_GENERATOR = PolicyGenerator()
+_CACHE: dict[str, tuple] = {}
+
+
+def _chart_and_validator(name: str):
+    if name not in _CACHE:
+        chart = get_chart(name)
+        _CACHE[name] = (chart, _GENERATOR.generate(chart).validator)
+    return _CACHE[name]
+
+
+def _make_test(operator_name: str):
+    chart, validator = _chart_and_validator(operator_name)
+    domains = _override_domains(chart)
+
+    @settings(
+        max_examples=25,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(overrides=_overrides(domains))
+    def test(overrides):
+        manifests = render_chart(chart, overrides=overrides, release_name="fuzz")
+        for manifest in manifests:
+            result = validator.validate(manifest)
+            assert result.allowed, (
+                operator_name,
+                overrides,
+                manifest["kind"],
+                [str(v) for v in result.violations],
+            )
+
+    return test
+
+
+test_nginx_soundness = _make_test("nginx")
+test_mlflow_soundness = _make_test("mlflow")
+test_postgresql_soundness = _make_test("postgresql")
+test_rabbitmq_soundness = _make_test("rabbitmq")
+test_sonarqube_soundness = _make_test("sonarqube")
+
+
+class TestLockedOverridesAreDenied:
+    """The complement: tampering with security-locked values must NOT
+    slip through the policy."""
+
+    def test_registry_override_denied(self):
+        chart, validator = _chart_and_validator("nginx")
+        manifests = render_chart(
+            chart, overrides={"image": {"registry": "evil.example.com"}}
+        )
+        deployment = next(m for m in manifests if m["kind"] == "Deployment")
+        assert not validator.validate(deployment).allowed
+
+    def test_repository_override_denied(self):
+        chart, validator = _chart_and_validator("mlflow")
+        manifests = render_chart(
+            chart, overrides={"image": {"repository": "mallory/mlflow"}}
+        )
+        deployment = next(m for m in manifests if m["kind"] == "Deployment")
+        assert not validator.validate(deployment).allowed
+
+    def test_unsafe_security_context_override_denied(self):
+        chart, validator = _chart_and_validator("rabbitmq")
+        manifests = render_chart(
+            chart,
+            overrides={"containerSecurityContext": {"runAsNonRoot": False}},
+        )
+        sts = next(m for m in manifests if m["kind"] == "StatefulSet")
+        assert not validator.validate(sts).allowed
+
+
+class TestBuilderSoundnessOnFuzzedCorpora:
+    """Generic phase-4 soundness: a validator consolidated from ANY
+    manifest set accepts every one of its inputs (modulo the security
+    locks, which deliberately override unsafe inputs)."""
+
+    def test_fuzzed_corpus_roundtrip(self):
+        from repro.core.validator_gen import build_validator
+        from repro.fuzz import ManifestFuzzer
+
+        fuzzer = ManifestFuzzer(seed=21, density=0.1)
+        corpus = []
+        for kind in ("Service", "ConfigMap", "Ingress", "NetworkPolicy",
+                     "PersistentVolumeClaim"):
+            corpus.extend(fuzzer.corpus(kind, 15))
+        validator = build_validator("fuzz", corpus, locks=())
+        for manifest in corpus:
+            result = validator.validate(manifest)
+            assert result.allowed, (manifest["kind"], result.violations[:3])
+
+    def test_fuzzed_workloads_roundtrip_without_locks(self):
+        """Workload kinds too -- with locks disabled, since random
+        manifests legitimately contain what locks forbid."""
+        from repro.core.validator_gen import build_validator
+        from repro.fuzz import ManifestFuzzer
+
+        fuzzer = ManifestFuzzer(seed=33, density=0.08)
+        corpus = fuzzer.corpus("Deployment", 25) + fuzzer.corpus("Pod", 25)
+        validator = build_validator("fuzz", corpus, locks=())
+        for manifest in corpus:
+            result = validator.validate(manifest)
+            assert result.allowed, (manifest["metadata"]["name"],
+                                    result.violations[:3])
+
+    def test_manifest_outside_corpus_still_constrained(self):
+        from repro.core.validator_gen import build_validator
+        from repro.fuzz import ManifestFuzzer
+
+        corpus = ManifestFuzzer(seed=5, density=0.05).corpus("Service", 10)
+        validator = build_validator("fuzz", corpus, locks=())
+        alien = {"kind": "Service", "apiVersion": "v1",
+                 "metadata": {"name": "alien", "namespace": "default"},
+                 "spec": {"externalName": "evil.example.com"}}
+        # externalName was (almost surely) never drawn at density 0.05.
+        result = validator.validate(alien)
+        if not result.allowed:
+            assert any("externalName" in str(v) or "not allowed" in str(v)
+                       for v in result.violations)

@@ -1,0 +1,143 @@
+"""Tests for LimitRange and ResourceQuota admission."""
+
+import pytest
+
+from repro.k8s.admission import install_builtin_admission
+from repro.k8s.apiserver import Cluster
+
+
+def pod(name: str, cpu_request: str = "100m", memory_request: str = "128Mi",
+        with_resources: bool = True) -> dict:
+    container: dict = {"name": "c", "image": "img"}
+    if with_resources:
+        container["resources"] = {
+            "requests": {"cpu": cpu_request, "memory": memory_request},
+            "limits": {"cpu": "500m", "memory": "256Mi"},
+        }
+    return {
+        "apiVersion": "v1",
+        "kind": "Pod",
+        "metadata": {"name": name, "namespace": "default"},
+        "spec": {"containers": [container]},
+    }
+
+
+def limit_range(default_cpu: str = "200m", max_cpu: str = "1") -> dict:
+    return {
+        "apiVersion": "v1",
+        "kind": "LimitRange",
+        "metadata": {"name": "limits", "namespace": "default"},
+        "spec": {
+            "limits": [
+                {
+                    "type": "Container",
+                    "default": {"cpu": default_cpu, "memory": "256Mi"},
+                    "defaultRequest": {"cpu": "50m", "memory": "64Mi"},
+                    "max": {"cpu": max_cpu, "memory": "2Gi"},
+                }
+            ]
+        },
+    }
+
+
+def quota(**hard) -> dict:
+    return {
+        "apiVersion": "v1",
+        "kind": "ResourceQuota",
+        "metadata": {"name": "quota", "namespace": "default"},
+        "spec": {"hard": hard},
+    }
+
+
+@pytest.fixture()
+def cluster():
+    c = Cluster()
+    install_builtin_admission(c.api)
+    return c
+
+
+class TestLimitRange:
+    def test_defaults_applied_to_bare_containers(self, cluster):
+        cluster.apply(limit_range())
+        cluster.apply(pod("bare", with_resources=False))
+        stored = cluster.store.get("Pod", "default", "bare")
+        resources = stored.spec["containers"][0]["resources"]
+        assert resources["limits"] == {"cpu": "200m", "memory": "256Mi"}
+        assert resources["requests"] == {"cpu": "50m", "memory": "64Mi"}
+
+    def test_explicit_resources_kept(self, cluster):
+        cluster.apply(limit_range())
+        cluster.apply(pod("explicit"))
+        stored = cluster.store.get("Pod", "default", "explicit")
+        assert stored.spec["containers"][0]["resources"]["limits"]["cpu"] == "500m"
+
+    def test_max_enforced(self, cluster):
+        cluster.apply(limit_range(max_cpu="400m"))
+        response = cluster.apply(pod("greedy"))  # limit 500m > max 400m
+        assert response.code == 403
+        assert "maximum cpu usage" in response.body["message"]
+
+    def test_no_limitrange_no_defaulting(self, cluster):
+        cluster.apply(pod("plain", with_resources=False))
+        stored = cluster.store.get("Pod", "default", "plain")
+        assert "resources" not in stored.spec["containers"][0]
+
+    def test_deployments_also_defaulted(self, cluster):
+        cluster.apply(limit_range())
+        cluster.apply(
+            {
+                "apiVersion": "apps/v1",
+                "kind": "Deployment",
+                "metadata": {"name": "d", "namespace": "default"},
+                "spec": {
+                    "template": {"spec": {"containers": [{"name": "c", "image": "i"}]}}
+                },
+            }
+        )
+        stored = cluster.store.get("Deployment", "default", "d")
+        container = stored.get("spec.template.spec.containers[0]")
+        assert container["resources"]["limits"]["cpu"] == "200m"
+
+
+class TestResourceQuota:
+    def test_object_count_quota(self, cluster):
+        cluster.apply(quota(pods=2))
+        assert cluster.apply(pod("a")).ok
+        assert cluster.apply(pod("b")).ok
+        response = cluster.apply(pod("c"))
+        assert response.code == 403
+        assert "exceeded quota" in response.body["message"]
+
+    def test_cpu_request_quota(self, cluster):
+        cluster.apply(quota(**{"requests.cpu": "250m"}))
+        assert cluster.apply(pod("a", cpu_request="200m")).ok
+        response = cluster.apply(pod("b", cpu_request="100m"))
+        assert response.code == 403
+        assert "requests.cpu" in response.body["message"]
+
+    def test_memory_request_quota(self, cluster):
+        cluster.apply(quota(**{"requests.memory": "256Mi"}))
+        assert cluster.apply(pod("a", memory_request="200Mi")).ok
+        assert cluster.apply(pod("b", memory_request="100Mi")).code == 403
+
+    def test_updates_not_double_counted(self, cluster):
+        cluster.apply(quota(pods=1))
+        assert cluster.apply(pod("a")).ok
+        # Updating the existing pod is not a new consumption.
+        assert cluster.apply(pod("a")).ok
+
+    def test_quota_scoped_to_namespace(self, cluster):
+        cluster.apply(quota(pods=1))
+        assert cluster.apply(pod("a")).ok
+        other = pod("b")
+        other["metadata"]["namespace"] = "other"
+        assert cluster.apply(other).ok
+
+    def test_quota_cannot_replace_kubefence(self, cluster):
+        """The boundary the paper draws: quota caps totals but admits a
+        malicious spec that stays within them."""
+        cluster.apply(quota(pods=5, **{"requests.cpu": "4"}))
+        malicious = pod("evil")
+        malicious["spec"]["hostNetwork"] = True
+        malicious["spec"]["containers"][0]["securityContext"] = {"privileged": True}
+        assert cluster.apply(malicious).ok  # admission chain is blind to this

@@ -1,0 +1,225 @@
+"""Unit tests for the API server pipeline: routing, authorization,
+structural validation, admission, persistence, auditing."""
+
+import pytest
+
+from repro.k8s.apiserver import APIServer, ApiRequest, Cluster, User
+
+
+def pod_manifest(name: str = "web", **spec_extra) -> dict:
+    spec = {
+        "containers": [
+            {"name": "c", "image": "nginx:1.25", "resources": {"limits": {"cpu": "1"}}}
+        ]
+    }
+    spec.update(spec_extra)
+    return {
+        "apiVersion": "v1",
+        "kind": "Pod",
+        "metadata": {"name": name, "namespace": "default"},
+        "spec": spec,
+    }
+
+
+class TestRouting:
+    def test_unknown_kind_404(self):
+        cluster = Cluster()
+        response = cluster.api.handle(
+            ApiRequest("create", "Widget", User.admin(), body={"kind": "Widget"})
+        )
+        assert response.code == 404
+
+    def test_unsupported_verb_405(self):
+        cluster = Cluster()
+        response = cluster.api.handle(ApiRequest("eviscerate", "Pod", User.admin()))
+        assert response.code == 405
+
+
+class TestWrites:
+    def test_create_returns_201_and_persists(self):
+        cluster = Cluster()
+        response = cluster.apply(pod_manifest())
+        assert response.code == 201
+        assert cluster.store.exists("Pod", "default", "web")
+
+    def test_create_twice_conflicts(self):
+        cluster = Cluster()
+        cluster.apply(pod_manifest(), verb="create")
+        response = cluster.apply(pod_manifest(), verb="create")
+        assert response.code == 409
+
+    def test_apply_is_create_or_update(self):
+        cluster = Cluster()
+        assert cluster.apply(pod_manifest()).code == 201
+        assert cluster.apply(pod_manifest()).code == 200
+
+    def test_body_kind_mismatch_400(self):
+        cluster = Cluster()
+        manifest = pod_manifest()
+        response = cluster.api.handle(
+            ApiRequest("create", "Service", User.admin(), body=manifest)
+        )
+        assert response.code == 400
+
+    def test_missing_name_422(self):
+        cluster = Cluster()
+        manifest = pod_manifest()
+        del manifest["metadata"]["name"]
+        assert cluster.apply(manifest).code == 422
+
+    def test_missing_body_400(self):
+        cluster = Cluster()
+        response = cluster.api.handle(ApiRequest("create", "Pod", User.admin(), body=None))
+        assert response.code == 400
+
+    def test_patch_merges(self):
+        cluster = Cluster()
+        cluster.apply(pod_manifest())
+        patch = {
+            "apiVersion": "v1",
+            "kind": "Pod",
+            "metadata": {"name": "web", "namespace": "default", "labels": {"x": "1"}},
+        }
+        response = cluster.api.handle(
+            ApiRequest("patch", "Pod", User.admin(), name="web", body=patch)
+        )
+        assert response.code == 200
+        stored = cluster.store.get("Pod", "default", "web")
+        assert stored.labels == {"x": "1"}
+        assert stored.spec["containers"]  # original spec preserved
+
+
+class TestReads:
+    def test_get_and_list_and_delete(self):
+        cluster = Cluster()
+        cluster.apply(pod_manifest("a"))
+        cluster.apply(pod_manifest("b"))
+        got = cluster.api.handle(ApiRequest("get", "Pod", User.admin(), name="a"))
+        assert got.code == 200 and got.body["metadata"]["name"] == "a"
+        listed = cluster.api.handle(ApiRequest("list", "Pod", User.admin()))
+        assert [m["metadata"]["name"] for m in listed.body] == ["a", "b"]
+        deleted = cluster.api.handle(ApiRequest("delete", "Pod", User.admin(), name="a"))
+        assert deleted.code == 200
+        assert cluster.api.handle(ApiRequest("get", "Pod", User.admin(), name="a")).code == 404
+
+
+class TestStructuralValidation:
+    def test_unknown_field_rejected(self):
+        cluster = Cluster()
+        manifest = pod_manifest()
+        manifest["spec"]["bogusFeature"] = True
+        response = cluster.apply(manifest)
+        assert response.code == 422
+        assert "bogusFeature" in response.body["message"]
+
+    def test_wrong_type_rejected(self):
+        cluster = Cluster()
+        manifest = pod_manifest()
+        manifest["spec"]["hostNetwork"] = "yes-please"
+        assert cluster.apply(manifest).code == 422
+
+    def test_enum_violation_rejected(self):
+        cluster = Cluster()
+        manifest = pod_manifest()
+        manifest["spec"]["restartPolicy"] = "Sometimes"
+        assert cluster.apply(manifest).code == 422
+
+    def test_port_range_checked(self):
+        cluster = Cluster()
+        manifest = pod_manifest()
+        manifest["spec"]["containers"][0]["ports"] = [{"containerPort": 99999}]
+        assert cluster.apply(manifest).code == 422
+
+    def test_valid_security_fields_accepted(self):
+        """The malicious catalog uses real schema fields, so the server
+        must accept them -- it is KubeFence's job to filter."""
+        cluster = Cluster()
+        manifest = pod_manifest(hostNetwork=True, hostPID=True)
+        manifest["spec"]["containers"][0]["securityContext"] = {"privileged": True}
+        assert cluster.apply(manifest).ok
+
+    def test_status_subtree_ignored(self):
+        cluster = Cluster()
+        manifest = pod_manifest()
+        manifest["status"] = {"anything": "goes"}
+        assert cluster.apply(manifest).ok
+
+    def test_validation_can_be_disabled(self):
+        cluster = Cluster(validate_schema=False)
+        manifest = pod_manifest()
+        manifest["spec"]["bogusFeature"] = True
+        assert cluster.apply(manifest).ok
+
+
+class TestAdmission:
+    def test_plugin_observes_writes(self):
+        cluster = Cluster()
+        seen = []
+        cluster.api.register_admission_plugin(lambda req, obj: seen.append(obj.name))
+        cluster.apply(pod_manifest("observed"))
+        assert seen == ["observed"]
+
+    def test_plugin_can_deny(self):
+        from repro.k8s.errors import ApiError
+
+        cluster = Cluster()
+
+        def deny_all(request, obj):
+            raise ApiError.forbidden("admission says no")
+
+        cluster.api.register_admission_plugin(deny_all)
+        response = cluster.apply(pod_manifest())
+        assert response.code == 403
+        assert not cluster.store.exists("Pod", "default", "web")
+
+    def test_plugin_can_mutate(self):
+        cluster = Cluster()
+
+        def add_label(request, obj):
+            obj.labels["injected"] = "yes"
+
+        cluster.api.register_admission_plugin(add_label)
+        cluster.apply(pod_manifest())
+        assert cluster.store.get("Pod", "default", "web").labels["injected"] == "yes"
+
+
+class TestAudit:
+    def test_every_request_audited(self):
+        cluster = Cluster()
+        cluster.apply(pod_manifest())
+        cluster.api.handle(ApiRequest("get", "Pod", User.admin(), name="web"))
+        cluster.api.handle(ApiRequest("get", "Pod", User.admin(), name="ghost"))  # 404
+        assert len(cluster.api.audit_log) == 3
+        codes = [e.response_code for e in cluster.api.audit_log.events()]
+        assert codes == [201, 200, 404]
+
+    def test_audit_event_shape_matches_k8s(self):
+        cluster = Cluster()
+        cluster.apply(pod_manifest())
+        event = cluster.api.audit_log.events()[0].to_dict()
+        assert event["kind"] == "Event"
+        assert event["apiVersion"] == "audit.k8s.io/v1"
+        assert event["verb"] == "create"
+        assert event["objectRef"]["resource"] == "pods"
+        assert event["requestObject"]["kind"] == "Pod"
+        assert event["requestURI"].startswith("/api/v1/namespaces/default/pods")
+
+    def test_read_requests_omit_request_object(self):
+        cluster = Cluster()
+        cluster.apply(pod_manifest())
+        cluster.api.handle(ApiRequest("get", "Pod", User.admin(), name="web"))
+        get_event = cluster.api.audit_log.events()[-1]
+        assert get_event.request_object is None
+
+
+class TestAuthorization:
+    def test_denying_authorizer_yields_403(self):
+        class DenyAll:
+            def authorize(self, request, resource):
+                return False, "just no"
+
+        cluster = Cluster(authorizer=DenyAll())
+        response = cluster.apply(pod_manifest(), user=User("eve", ("system:authenticated",)))
+        assert response.code == 403
+        # Denials are audited too.
+        assert cluster.api.audit_log.events()[-1].response_code == 403

@@ -1,0 +1,180 @@
+"""Unit tests for the built-in controllers."""
+
+from repro.k8s.apiserver import Cluster
+from repro.k8s.controllers import ControllerManager
+
+
+def deployment(name: str = "web", replicas: int = 3) -> dict:
+    return {
+        "apiVersion": "apps/v1",
+        "kind": "Deployment",
+        "metadata": {"name": name, "namespace": "default"},
+        "spec": {
+            "replicas": replicas,
+            "selector": {"matchLabels": {"app": name}},
+            "template": {
+                "metadata": {"labels": {"app": name}},
+                "spec": {
+                    "containers": [
+                        {"name": "c", "image": "nginx",
+                         "resources": {"limits": {"cpu": "1"}}}
+                    ]
+                },
+            },
+        },
+    }
+
+
+class TestDeploymentChain:
+    def test_deployment_creates_replicaset_and_pods(self):
+        cluster = Cluster()
+        cluster.apply(deployment(replicas=3))
+        manager = ControllerManager(cluster.store)
+        manager.run_until_stable()
+        replicasets = cluster.store.list("ReplicaSet")
+        assert len(replicasets) == 1
+        assert replicasets[0].get("spec.replicas") == 3
+        pods = cluster.store.list("Pod")
+        assert len(pods) == 3
+        for pod in pods:
+            owners = pod.metadata["ownerReferences"]
+            assert owners[0]["kind"] == "ReplicaSet"
+            assert pod.labels["app"] == "web"
+
+    def test_reconcile_is_idempotent(self):
+        cluster = Cluster()
+        cluster.apply(deployment())
+        manager = ControllerManager(cluster.store)
+        manager.run_until_stable()
+        assert manager.reconcile_once() == 0
+
+    def test_template_change_rolls_new_replicaset(self):
+        cluster = Cluster()
+        cluster.apply(deployment())
+        manager = ControllerManager(cluster.store)
+        manager.run_until_stable()
+        updated = deployment()
+        updated["spec"]["template"]["spec"]["containers"][0]["image"] = "nginx:new"
+        cluster.apply(updated)
+        manager.run_until_stable()
+        replicasets = cluster.store.list("ReplicaSet")
+        assert len(replicasets) == 2
+        scaled_down = [rs for rs in replicasets if rs.get("spec.replicas") == 0]
+        assert len(scaled_down) == 1
+
+
+class TestStatefulSet:
+    def test_ordered_pods_and_pvcs(self):
+        cluster = Cluster()
+        cluster.apply(
+            {
+                "apiVersion": "apps/v1",
+                "kind": "StatefulSet",
+                "metadata": {"name": "db", "namespace": "default"},
+                "spec": {
+                    "replicas": 2,
+                    "serviceName": "db-hl",
+                    "selector": {"matchLabels": {"app": "db"}},
+                    "template": {
+                        "metadata": {"labels": {"app": "db"}},
+                        "spec": {"containers": [{"name": "pg", "image": "postgres"}]},
+                    },
+                    "volumeClaimTemplates": [
+                        {
+                            "metadata": {"name": "data"},
+                            "spec": {
+                                "accessModes": ["ReadWriteOnce"],
+                                "resources": {"requests": {"storage": "1Gi"}},
+                            },
+                        }
+                    ],
+                },
+            }
+        )
+        ControllerManager(cluster.store).run_until_stable()
+        pods = cluster.store.list("Pod")
+        assert [p.name for p in pods] == ["db-0", "db-1"]
+        pvcs = cluster.store.list("PersistentVolumeClaim")
+        assert sorted(p.name for p in pvcs) == ["data-db-0", "data-db-1"]
+
+
+class TestDaemonSetAndJob:
+    def test_daemonset_one_pod_per_node(self):
+        cluster = Cluster()
+        cluster.apply(
+            {
+                "apiVersion": "apps/v1",
+                "kind": "DaemonSet",
+                "metadata": {"name": "agent", "namespace": "default"},
+                "spec": {
+                    "selector": {"matchLabels": {"app": "agent"}},
+                    "template": {
+                        "metadata": {"labels": {"app": "agent"}},
+                        "spec": {"containers": [{"name": "a", "image": "agent"}]},
+                    },
+                },
+            }
+        )
+        manager = ControllerManager(cluster.store, nodes=("n1", "n2", "n3"))
+        manager.run_until_stable()
+        pods = cluster.store.list("Pod")
+        assert len(pods) == 3
+        assert sorted(p.spec["nodeName"] for p in pods) == ["n1", "n2", "n3"]
+
+    def test_job_creates_completion_pods(self):
+        cluster = Cluster()
+        cluster.apply(
+            {
+                "apiVersion": "batch/v1",
+                "kind": "Job",
+                "metadata": {"name": "migrate", "namespace": "default"},
+                "spec": {
+                    "completions": 2,
+                    "template": {
+                        "spec": {
+                            "restartPolicy": "Never",
+                            "containers": [{"name": "m", "image": "migrator"}],
+                        }
+                    },
+                },
+            }
+        )
+        ControllerManager(cluster.store).run_until_stable()
+        pods = cluster.store.list("Pod")
+        assert [p.name for p in pods] == ["migrate-0", "migrate-1"]
+        assert all(p.data["status"]["phase"] == "Succeeded" for p in pods)
+
+
+class TestEndpointsController:
+    def test_service_gets_endpoints_from_selected_pods(self):
+        cluster = Cluster()
+        cluster.apply(deployment("web", replicas=2))
+        cluster.apply(
+            {
+                "apiVersion": "v1",
+                "kind": "Service",
+                "metadata": {"name": "web", "namespace": "default"},
+                "spec": {
+                    "selector": {"app": "web"},
+                    "ports": [{"name": "http", "port": 80, "targetPort": 8080}],
+                },
+            }
+        )
+        ControllerManager(cluster.store).run_until_stable()
+        endpoints = cluster.store.get("Endpoints", "default", "web")
+        subset = endpoints.data["subsets"][0]
+        assert len(subset["addresses"]) == 2
+        assert subset["ports"][0]["port"] == 8080
+
+    def test_service_without_selector_gets_no_endpoints(self):
+        cluster = Cluster()
+        cluster.apply(
+            {
+                "apiVersion": "v1",
+                "kind": "Service",
+                "metadata": {"name": "external", "namespace": "default"},
+                "spec": {"ports": [{"port": 443}], "type": "ClusterIP"},
+            }
+        )
+        ControllerManager(cluster.store).run_until_stable()
+        assert not cluster.store.exists("Endpoints", "default", "external")

@@ -1,0 +1,88 @@
+"""Unit tests for the synthetic e2e corpus and coverage analysis."""
+
+from repro.k8s.e2e import (
+    CATEGORY_SIZES,
+    E2ECorpus,
+    FEATURE_FILES,
+    CATEGORY_FEATURES,
+    analyze_coverage,
+)
+from repro.k8s.vulndb import vulndb
+
+
+class TestCorpusGeneration:
+    def test_total_size_matches_paper(self):
+        corpus = E2ECorpus()
+        assert len(corpus) == 6580
+
+    def test_twelve_categories(self):
+        assert len(CATEGORY_SIZES) == 12
+        assert E2ECorpus().categories() == sorted(CATEGORY_SIZES)
+
+    def test_storage_dominates(self):
+        sizes = CATEGORY_SIZES
+        assert sizes["storage"] > sum(v for k, v in sizes.items() if k != "storage")
+
+    def test_non_storage_total_is_960(self):
+        assert sum(v for k, v in CATEGORY_SIZES.items() if k != "storage") == 960
+
+    def test_deterministic_with_seed(self):
+        a, b = E2ECorpus(seed=7), E2ECorpus(seed=7)
+        assert [t.name for t in a.tests] == [t.name for t in b.tests]
+        assert [t.features for t in a.tests] == [t.features for t in b.tests]
+
+    def test_different_seed_differs(self):
+        a, b = E2ECorpus(seed=1), E2ECorpus(seed=2)
+        assert [t.features for t in a.tests] != [t.features for t in b.tests]
+
+    def test_every_test_has_known_features(self):
+        corpus = E2ECorpus()
+        for test in corpus.tests:
+            assert test.features
+            for feature in test.features:
+                assert feature in FEATURE_FILES
+
+    def test_features_match_category_pools(self):
+        corpus = E2ECorpus()
+        vulnerable = {"volumes.subpath", "node.seccomp", "services.externalips"}
+        for test in corpus.tests:
+            pool = set(CATEGORY_FEATURES[test.category]) | vulnerable
+            assert set(test.features) <= pool
+
+    def test_tests_in_category(self):
+        corpus = E2ECorpus()
+        assert len(corpus.tests_in("network")) == CATEGORY_SIZES["network"]
+
+
+class TestCoverageAnalysis:
+    def test_paper_headline_numbers(self):
+        """29/6,580 tests (<0.5%) touch vulnerable code; 21/960
+        excluding storage; exactly 3 CVEs covered, 46 uncovered."""
+        report = analyze_coverage(E2ECorpus())
+        assert report.total_tests == 6580
+        assert report.covering_tests == 29
+        assert report.covering_tests / report.total_tests < 0.005
+        assert report.covering_tests_excluding["storage"] == (21, 960)
+        assert len(report.cves_with_coverage()) == 3
+        assert len(report.cves_without_coverage()) == 46
+
+    def test_cve_2023_2431_covered_by_two_storage_tests(self):
+        """The paper's Fig. 5 callout."""
+        report = analyze_coverage(E2ECorpus())
+        row = report.heatmap["CVE-2023-2431"]
+        assert row["storage"] == 2
+        assert sum(row.values()) == 2
+
+    def test_heatmap_covers_all_cves_and_categories(self):
+        corpus = E2ECorpus()
+        report = analyze_coverage(corpus)
+        assert set(report.heatmap) == {entry.cve_id for entry in vulndb}
+        for row in report.heatmap.values():
+            assert set(row) == set(corpus.categories())
+
+    def test_custom_sizes(self):
+        corpus = E2ECorpus(sizes={"storage": 10, "network": 5, "apps": 3,
+                                  "node": 2, "apimachinery": 2, "auth": 2,
+                                  "scheduling": 2, "autoscaling": 2, "common": 2,
+                                  "cli": 2, "instrumentation": 2, "lifecycle": 2})
+        assert len(corpus) == 36

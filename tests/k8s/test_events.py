@@ -1,0 +1,101 @@
+"""Tests for the event recorder and its control-plane integration."""
+
+from repro.k8s.apiserver import Cluster
+from repro.k8s.controllers import ControllerManager
+from repro.k8s.events import EventRecorder
+from repro.k8s.objects import K8sObject
+from repro.k8s.scheduler import Node, Scheduler
+
+
+class TestRecorder:
+    def test_record_and_query(self):
+        recorder = EventRecorder()
+        pod = K8sObject.make("v1", "Pod", "web")
+        recorder.normal(pod, "Started", "Container started")
+        recorder.warning(pod, "BackOff", "restarting failed container")
+        assert len(recorder) == 2
+        assert [e.reason for e in recorder.for_object("Pod", "web")] == [
+            "Started",
+            "BackOff",
+        ]
+        assert len(recorder.warnings()) == 1
+        assert recorder.by_reason("BackOff")[0].message.startswith("restarting")
+
+    def test_sequence_monotonic(self):
+        recorder = EventRecorder()
+        pod = K8sObject.make("v1", "Pod", "p")
+        events = [recorder.normal(pod, "R", str(i)) for i in range(5)]
+        assert [e.sequence for e in events] == [1, 2, 3, 4, 5]
+
+    def test_ring_buffer_capacity(self):
+        recorder = EventRecorder(capacity=3)
+        pod = K8sObject.make("v1", "Pod", "p")
+        for i in range(10):
+            recorder.normal(pod, "R", str(i))
+        assert len(recorder) == 3
+        assert [e.message for e in recorder.events()] == ["7", "8", "9"]
+
+    def test_tuple_target(self):
+        recorder = EventRecorder()
+        recorder.normal(("Deployment", "default", "web"), "R", "m")
+        assert recorder.for_object("Deployment", "web")
+
+    def test_render(self):
+        recorder = EventRecorder()
+        assert recorder.render() == "no events"
+        recorder.normal(K8sObject.make("v1", "Pod", "p"), "Started", "x")
+        assert "Started" in recorder.render()
+
+
+def _deployment() -> dict:
+    return {
+        "apiVersion": "apps/v1",
+        "kind": "Deployment",
+        "metadata": {"name": "web", "namespace": "default"},
+        "spec": {
+            "replicas": 2,
+            "selector": {"matchLabels": {"app": "web"}},
+            "template": {
+                "metadata": {"labels": {"app": "web"}},
+                "spec": {"containers": [
+                    {"name": "c", "image": "i",
+                     "resources": {"requests": {"cpu": "4"},
+                                   "limits": {"cpu": "4"}}}]},
+            },
+        },
+    }
+
+
+class TestControlPlaneIntegration:
+    def test_controllers_emit_lifecycle_events(self):
+        cluster = Cluster()
+        recorder = EventRecorder()
+        cluster.apply(_deployment())
+        ControllerManager(cluster.store, recorder=recorder).run_until_stable()
+        reasons = {e.reason for e in recorder.events()}
+        assert "ScalingReplicaSet" in reasons
+        assert "SuccessfulCreate" in reasons
+        creates = recorder.by_reason("SuccessfulCreate")
+        assert len(creates) == 2  # two replicas
+
+    def test_scheduler_emits_scheduled_and_failures(self):
+        cluster = Cluster()
+        recorder = EventRecorder()
+        cluster.apply(_deployment())
+        ControllerManager(cluster.store, recorder=recorder).run_until_stable()
+        # One node fits one 4-cpu pod; the second pod cannot fit.
+        scheduler = Scheduler(cluster.store, [Node("n1", cpu_millis=5000)],
+                              recorder=recorder)
+        scheduler.schedule_once()
+        assert len(recorder.by_reason("Scheduled")) == 1
+        failures = recorder.by_reason("FailedScheduling")
+        assert len(failures) == 1
+        assert failures[0].event_type == "Warning"
+        assert "insufficient cpu" in failures[0].message
+
+    def test_recorder_optional(self):
+        """Without a recorder everything still works (no-op emits)."""
+        cluster = Cluster()
+        cluster.apply(_deployment())
+        ControllerManager(cluster.store).run_until_stable()
+        assert cluster.store.list("Pod")

@@ -1,0 +1,108 @@
+"""Tests for ownerReference garbage collection."""
+
+import pytest
+
+from repro.k8s.apiserver import Cluster
+from repro.k8s.controllers import ControllerManager
+from repro.k8s.gc import GarbageCollector, delete_with_cascade
+
+
+def deployment(name: str = "web") -> dict:
+    return {
+        "apiVersion": "apps/v1",
+        "kind": "Deployment",
+        "metadata": {"name": name, "namespace": "default"},
+        "spec": {
+            "replicas": 2,
+            "selector": {"matchLabels": {"app": name}},
+            "template": {
+                "metadata": {"labels": {"app": name}},
+                "spec": {"containers": [{"name": "c", "image": "i",
+                                         "resources": {"limits": {"cpu": "1"}}}]},
+            },
+        },
+    }
+
+
+@pytest.fixture()
+def converged_cluster():
+    cluster = Cluster()
+    cluster.apply(deployment())
+    ControllerManager(cluster.store).run_until_stable()
+    return cluster
+
+
+class TestCollection:
+    def test_nothing_to_collect_when_owners_alive(self, converged_cluster):
+        collector = GarbageCollector(converged_cluster.store)
+        assert len(collector.collect()) == 0
+
+    def test_cascade_deployment_to_pods(self, converged_cluster):
+        store = converged_cluster.store
+        assert store.list("ReplicaSet") and store.list("Pod")
+        result = delete_with_cascade(store, "Deployment", "default", "web")
+        kinds = [kind for kind, _, _ in result.deleted]
+        assert kinds[0] == "Deployment"
+        assert "ReplicaSet" in kinds
+        assert kinds.count("Pod") == 2
+        assert store.list("ReplicaSet") == []
+        assert store.list("Pod") == []
+
+    def test_multilevel_order(self, converged_cluster):
+        """Pods disappear only after their ReplicaSet does (the chain
+        needs two sweeps)."""
+        store = converged_cluster.store
+        store.delete("Deployment", "default", "web")
+        collector = GarbageCollector(store)
+        first = collector.collect_once()
+        assert {kind for kind, _, _ in first.deleted} == {"ReplicaSet"}
+        second = collector.collect_once()
+        assert {kind for kind, _, _ in second.deleted} == {"Pod"}
+
+    def test_ownerless_objects_untouched(self, converged_cluster):
+        store = converged_cluster.store
+        converged_cluster.apply({"apiVersion": "v1", "kind": "ConfigMap",
+                                 "metadata": {"name": "standalone"}, "data": {}})
+        delete_with_cascade(store, "Deployment", "default", "web")
+        assert store.exists("ConfigMap", "default", "standalone")
+
+    def test_orphan_policy(self, converged_cluster):
+        store = converged_cluster.store
+        store.delete("Deployment", "default", "web")
+        collector = GarbageCollector(store, orphan_kinds=frozenset({"ReplicaSet"}))
+        collector.collect()
+        # ReplicaSet survives (orphaned), so its pods survive too.
+        assert store.list("ReplicaSet")
+        assert store.list("Pod")
+
+    def test_one_living_owner_keeps_object(self, converged_cluster):
+        store = converged_cluster.store
+        pod = store.list("Pod")[0]
+        pod.metadata["ownerReferences"].append(
+            {"apiVersion": "v1", "kind": "ConfigMap", "name": "keeper"}
+        )
+        store.update(pod)
+        converged_cluster.apply({"apiVersion": "v1", "kind": "ConfigMap",
+                                 "metadata": {"name": "keeper"}, "data": {}})
+        delete_with_cascade(store, "Deployment", "default", "web")
+        survivors = [p.name for p in store.list("Pod")]
+        assert survivors == [pod.name]
+
+    def test_operator_chart_cascade(self):
+        """Deleting an operator's StatefulSet collects its pods but not
+        its PVCs (volumeClaimTemplates PVCs have no owner refs,
+        matching the StatefulSet PVC-retention default)."""
+        from repro.helm.chart import render_chart
+        from repro.operators import get_chart
+
+        cluster = Cluster()
+        for manifest in render_chart(get_chart("postgresql")):
+            cluster.apply(manifest)
+        ControllerManager(cluster.store).run_until_stable()
+        assert cluster.store.list("Pod")
+        pvcs_before = len(cluster.store.list("PersistentVolumeClaim"))
+        delete_with_cascade(
+            cluster.store, "StatefulSet", "default", "postgresql-postgresql"
+        )
+        assert cluster.store.list("Pod") == []
+        assert len(cluster.store.list("PersistentVolumeClaim")) == pvcs_before

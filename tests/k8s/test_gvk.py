@@ -1,0 +1,80 @@
+"""Unit tests for the resource registry."""
+
+import pytest
+
+from repro.k8s.gvk import GVK, ResourceRegistry, ResourceType, registry
+
+
+class TestGVK:
+    def test_core_group_api_version(self):
+        assert GVK("", "v1", "Pod").api_version == "v1"
+
+    def test_named_group_api_version(self):
+        assert GVK("apps", "v1", "Deployment").api_version == "apps/v1"
+
+    def test_str(self):
+        assert str(GVK("batch", "v1", "Job")) == "batch/v1/Job"
+
+
+class TestResourceTypeUrls:
+    def test_core_namespaced_url(self):
+        rt = registry.by_kind("Pod")
+        assert rt.url_path("default") == "/api/v1/namespaces/default/pods"
+        assert rt.url_path("default", "web") == "/api/v1/namespaces/default/pods/web"
+
+    def test_group_namespaced_url(self):
+        rt = registry.by_kind("Deployment")
+        assert rt.url_path("prod") == "/apis/apps/v1/namespaces/prod/deployments"
+
+    def test_cluster_scoped_url_ignores_namespace(self):
+        rt = registry.by_kind("ClusterRole")
+        assert rt.url_path("anything") == "/apis/rbac.authorization.k8s.io/v1/clusterroles"
+
+    def test_url_without_namespace(self):
+        rt = registry.by_kind("Service")
+        assert rt.url_path(None) == "/api/v1/services"
+
+
+class TestDefaultRegistry:
+    def test_contains_core_kinds(self):
+        for kind in ("Pod", "Service", "ConfigMap", "Secret", "ServiceAccount"):
+            assert kind in registry
+
+    def test_lookup_by_plural(self):
+        assert registry.by_plural("deployments").kind == "Deployment"
+        assert registry.by_plural("networkpolicies").kind == "NetworkPolicy"
+
+    def test_unknown_kind_raises(self):
+        with pytest.raises(KeyError):
+            registry.by_kind("FooBar")
+
+    def test_unknown_plural_raises(self):
+        with pytest.raises(KeyError):
+            registry.by_plural("foobars")
+
+    def test_workload_kinds_have_pod_spec_paths(self):
+        workloads = registry.workload_kinds()
+        assert "Pod" in workloads
+        assert "Deployment" in workloads
+        assert "CronJob" in workloads
+        assert "Service" not in workloads
+        for kind in workloads:
+            assert registry.by_kind(kind).pod_spec_path is not None
+
+    def test_cronjob_pod_spec_is_deeply_nested(self):
+        path = registry.by_kind("CronJob").pod_spec_path
+        assert path == "spec.jobTemplate.spec.template.spec"
+
+    def test_iteration_and_len(self):
+        kinds = {rt.kind for rt in registry}
+        assert len(kinds) == len(registry) >= 20
+
+
+class TestCustomRegistry:
+    def test_register_and_duplicate_rejection(self):
+        reg = ResourceRegistry()
+        rt = ResourceType(GVK("example.io", "v1", "Widget"), "widgets")
+        reg.register(rt)
+        assert reg.by_kind("Widget") is rt
+        with pytest.raises(ValueError):
+            reg.register(rt)

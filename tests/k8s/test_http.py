@@ -1,0 +1,96 @@
+"""Integration tests for the real-HTTP transport."""
+
+import pytest
+
+from repro.k8s.apiserver import Cluster
+from repro.k8s.gvk import registry
+from repro.k8s.http import HttpApiServer, HttpClient, parse_rest_path
+
+
+class TestParseRestPath:
+    def test_core_collection(self):
+        assert parse_rest_path("/api/v1/namespaces/default/pods", registry) == (
+            "Pod",
+            "default",
+            None,
+        )
+
+    def test_group_named_resource(self):
+        kind, ns, name = parse_rest_path(
+            "/apis/apps/v1/namespaces/prod/deployments/web", registry
+        )
+        assert (kind, ns, name) == ("Deployment", "prod", "web")
+
+    def test_cluster_scoped(self):
+        kind, ns, name = parse_rest_path(
+            "/apis/rbac.authorization.k8s.io/v1/clusterroles/admin", registry
+        )
+        assert (kind, ns, name) == ("ClusterRole", None, "admin")
+
+    @pytest.mark.parametrize("bad", ["/", "/healthz", "/api/v1", "/api/v1/namespaces/x"])
+    def test_unroutable(self, bad):
+        with pytest.raises(ValueError):
+            parse_rest_path(bad, registry)
+
+
+@pytest.fixture()
+def http_server():
+    cluster = Cluster()
+    server = HttpApiServer(cluster.api)
+    with server:
+        yield cluster, server
+
+
+POD = {
+    "apiVersion": "v1",
+    "kind": "Pod",
+    "metadata": {"name": "web", "namespace": "default"},
+    "spec": {"containers": [{"name": "c", "image": "nginx",
+                             "resources": {"limits": {"cpu": "1"}}}]},
+}
+
+
+class TestHttpRoundTrip:
+    def test_create_get_delete(self, http_server):
+        cluster, server = http_server
+        client = HttpClient(server.base_url)
+        status, body = client.create(POD)
+        assert status == 201
+        assert body["metadata"]["name"] == "web"
+        assert cluster.store.exists("Pod", "default", "web")
+
+        status, body = client.get("Pod", "web")
+        assert status == 200
+
+        status, _ = client.delete("Pod", "web")
+        assert status == 200
+        status, _ = client.get("Pod", "web")
+        assert status == 404
+
+    def test_apply_creates_then_updates(self, http_server):
+        _, server = http_server
+        client = HttpClient(server.base_url)
+        status, _ = client.apply(POD)
+        assert status == 201
+        status, _ = client.apply(POD)
+        assert status == 200
+
+    def test_identity_headers_reach_audit_log(self, http_server):
+        cluster, server = http_server
+        client = HttpClient(server.base_url, username="ci-bot", groups=("system:masters",))
+        client.create(POD)
+        event = cluster.api.audit_log.events()[-1]
+        assert event.username == "ci-bot"
+
+    def test_unroutable_path_is_404(self, http_server):
+        _, server = http_server
+        client = HttpClient(server.base_url)
+        status, body = client._request("GET", "/healthz-unknown")
+        assert status == 404
+
+    def test_invalid_manifest_rejected_over_http(self, http_server):
+        _, server = http_server
+        client = HttpClient(server.base_url)
+        bad = {**POD, "spec": {"bogus": True}}
+        status, body = client.create(bad)
+        assert status == 422

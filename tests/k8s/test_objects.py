@@ -1,0 +1,72 @@
+"""Unit tests for the K8sObject wrapper."""
+
+import pytest
+
+from repro.k8s.objects import K8sObject
+
+
+class TestConstruction:
+    def test_make_builds_standard_manifest(self):
+        obj = K8sObject.make("apps/v1", "Deployment", "web", spec={"replicas": 1})
+        assert obj.data == {
+            "apiVersion": "apps/v1",
+            "kind": "Deployment",
+            "metadata": {"name": "web", "namespace": "default"},
+            "spec": {"replicas": 1},
+        }
+
+    def test_make_cluster_scoped(self):
+        obj = K8sObject.make("v1", "Namespace", "prod", namespace=None)
+        assert "namespace" not in obj.metadata
+
+    def test_extra_top_level_fields(self):
+        obj = K8sObject.make("v1", "ConfigMap", "c", data={"k": "v"})
+        assert obj.data["data"] == {"k": "v"}
+
+    def test_non_dict_rejected(self):
+        with pytest.raises(TypeError):
+            K8sObject("not a manifest")  # type: ignore[arg-type]
+
+
+class TestAccessors:
+    def test_properties(self):
+        obj = K8sObject.make("v1", "Pod", "p", namespace="ns", spec={"hostNetwork": True})
+        assert obj.kind == "Pod"
+        assert obj.api_version == "v1"
+        assert obj.name == "p"
+        assert obj.namespace == "ns"
+        assert obj.spec == {"hostNetwork": True}
+        assert obj.key() == ("Pod", "ns", "p")
+
+    def test_namespace_defaults(self):
+        obj = K8sObject({"kind": "Pod", "metadata": {"name": "p"}})
+        assert obj.namespace == "default"
+
+    def test_labels_created_on_access(self):
+        obj = K8sObject.make("v1", "Pod", "p")
+        obj.labels["app"] = "x"
+        assert obj.data["metadata"]["labels"] == {"app": "x"}
+
+    def test_get_dotted_path(self):
+        obj = K8sObject.make("v1", "Pod", "p", spec={"containers": [{"image": "i"}]})
+        assert obj.get("spec.containers[0].image") == "i"
+        assert obj.get("spec.missing", "dflt") == "dflt"
+
+    def test_resource_version_parsing(self):
+        obj = K8sObject.make("v1", "Pod", "p")
+        assert obj.resource_version is None
+        obj.metadata["resourceVersion"] = "17"
+        assert obj.resource_version == 17
+
+    def test_copy_is_deep(self):
+        obj = K8sObject.make("v1", "Pod", "p", spec={"a": [1]})
+        copied = obj.copy()
+        copied.data["spec"]["a"].append(2)
+        assert obj.data["spec"]["a"] == [1]
+
+    def test_equality_by_data(self):
+        a = K8sObject.make("v1", "Pod", "p")
+        b = K8sObject.make("v1", "Pod", "p")
+        assert a == b
+        b.labels["x"] = "y"
+        assert a != b

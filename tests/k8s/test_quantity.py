@@ -1,0 +1,87 @@
+"""Tests for quantity parsing and arithmetic."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.k8s.quantity import (
+    QuantityError,
+    add_quantities,
+    format_cpu,
+    format_memory,
+    parse_cpu_millis,
+    parse_memory_bytes,
+    parse_quantity,
+    quantity_leq,
+)
+
+
+class TestParsing:
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("1", 1.0),
+            ("0.5", 0.5),
+            ("500m", 0.5),
+            ("2k", 2000.0),
+            ("1Ki", 1024.0),
+            ("1Mi", 2**20),
+            ("8Gi", 8 * 2**30),
+            ("1G", 1e9),
+            ("-1", -1.0),
+        ],
+    )
+    def test_valid(self, text, expected):
+        assert parse_quantity(text) == expected
+
+    def test_numeric_passthrough(self):
+        assert parse_quantity(7) == 7.0
+        assert parse_quantity(0.25) == 0.25
+
+    @pytest.mark.parametrize("bad", ["", "lots", "1X", "Gi", "1.2.3", True])
+    def test_invalid(self, bad):
+        with pytest.raises(QuantityError):
+            parse_quantity(bad)
+
+    def test_cpu_millis(self):
+        assert parse_cpu_millis("250m") == 250.0
+        assert parse_cpu_millis("1") == 1000.0
+        assert parse_cpu_millis(2) == 2000.0
+
+    def test_memory_bytes(self):
+        assert parse_memory_bytes("256Mi") == 256 * 2**20
+
+    def test_equivalent_spellings(self):
+        assert parse_quantity("0.5") == parse_quantity("500m")
+        assert parse_quantity("1Gi") == parse_quantity(str(2**30))
+
+
+class TestArithmetic:
+    def test_add(self):
+        assert add_quantities("500m", "0.5") == 1.0
+
+    def test_leq(self):
+        assert quantity_leq("250m", "1")
+        assert not quantity_leq("2", "1500m")
+        assert quantity_leq("1Gi", "2Gi")
+
+    def test_format_cpu(self):
+        assert format_cpu(1000) == "1"
+        assert format_cpu(250) == "250m"
+
+    def test_format_memory(self):
+        assert format_memory(2**30) == "1Gi"
+        assert format_memory(256 * 2**20) == "256Mi"
+        assert format_memory(1000) == "1000"
+
+
+@given(st.integers(min_value=0, max_value=10**6))
+def test_cpu_format_parse_roundtrip(millis):
+    assert parse_cpu_millis(format_cpu(float(millis))) == pytest.approx(float(millis))
+
+
+@given(st.integers(min_value=0, max_value=2**40))
+def test_memory_format_parse_roundtrip(num_bytes):
+    assert parse_memory_bytes(format_memory(float(num_bytes))) == pytest.approx(
+        float(num_bytes)
+    )

@@ -1,0 +1,133 @@
+"""Tests for the miniature kube-scheduler."""
+
+from repro.k8s.apiserver import Cluster
+from repro.k8s.scheduler import Node, Scheduler, pod_requests
+from repro.k8s.objects import K8sObject
+
+
+def pod(name: str, cpu: str = "500m", memory: str = "512Mi", **spec_extra) -> dict:
+    spec = {
+        "containers": [
+            {"name": "c", "image": "img",
+             "resources": {"requests": {"cpu": cpu, "memory": memory},
+                           "limits": {"cpu": cpu, "memory": memory}}}
+        ]
+    }
+    spec.update(spec_extra)
+    return {"apiVersion": "v1", "kind": "Pod",
+            "metadata": {"name": name, "namespace": "default"}, "spec": spec}
+
+
+def make(nodes: list[Node]) -> tuple[Cluster, Scheduler]:
+    cluster = Cluster()
+    return cluster, Scheduler(cluster.store, nodes)
+
+
+class TestPodRequests:
+    def test_sums_containers(self):
+        manifest = pod("p")
+        manifest["spec"]["initContainers"] = [
+            {"name": "init", "resources": {"requests": {"cpu": "250m"}}}
+        ]
+        cpu, memory = pod_requests(K8sObject(manifest))
+        assert cpu == 750.0
+        assert memory == 512 * 2**20
+
+    def test_missing_requests_are_zero(self):
+        manifest = {"apiVersion": "v1", "kind": "Pod",
+                    "metadata": {"name": "x"},
+                    "spec": {"containers": [{"name": "c"}]}}
+        assert pod_requests(K8sObject(manifest)) == (0.0, 0.0)
+
+
+class TestScheduling:
+    def test_binds_pending_pod(self):
+        cluster, scheduler = make([Node("n1")])
+        cluster.apply(pod("a"))
+        assert scheduler.schedule_once() == 1
+        assert cluster.store.get("Pod", "default", "a").spec["nodeName"] == "n1"
+
+    def test_already_bound_pods_skipped(self):
+        cluster, scheduler = make([Node("n1")])
+        cluster.apply(pod("a", nodeName="manual"))
+        assert scheduler.schedule_once() == 0
+
+    def test_least_allocated_spreading(self):
+        cluster, scheduler = make([Node("n1"), Node("n2")])
+        for name in ("a", "b", "c", "d"):
+            cluster.apply(pod(name))
+        scheduler.schedule_once()
+        placements = [cluster.store.get("Pod", "default", n).spec["nodeName"]
+                      for n in ("a", "b", "c", "d")]
+        assert placements.count("n1") == 2
+        assert placements.count("n2") == 2
+
+    def test_capacity_respected(self):
+        cluster, scheduler = make([Node("tiny", cpu_millis=600)])
+        cluster.apply(pod("fits", cpu="500m"))
+        cluster.apply(pod("doesnt", cpu="500m"))
+        assert scheduler.schedule_once() == 1
+        # Exactly one of the two fits; the other is reported infeasible.
+        assert len(scheduler.unschedulable) == 1
+        (reasons,) = scheduler.unschedulable.values()
+        assert reasons["tiny"] == "insufficient cpu"
+
+    def test_node_selector(self):
+        cluster, scheduler = make(
+            [Node("plain"), Node("gpu", labels={"accelerator": "gpu"})]
+        )
+        cluster.apply(pod("ml", nodeSelector={"accelerator": "gpu"}))
+        scheduler.schedule_once()
+        assert cluster.store.get("Pod", "default", "ml").spec["nodeName"] == "gpu"
+
+    def test_unschedulable_node_cordoned(self):
+        cluster, scheduler = make([Node("n1", unschedulable=True)])
+        cluster.apply(pod("a"))
+        assert scheduler.schedule_once() == 0
+        assert scheduler.unschedulable["default/a"]["n1"] == "node is unschedulable"
+
+    def test_taints_and_tolerations(self):
+        tainted = Node("ctrl", taints=[{"key": "role", "value": "control-plane",
+                                        "effect": "NoSchedule"}])
+        cluster, scheduler = make([tainted])
+        cluster.apply(pod("normal"))
+        cluster.apply(pod("tolerant", tolerations=[
+            {"key": "role", "operator": "Equal", "value": "control-plane",
+             "effect": "NoSchedule"}]))
+        scheduler.schedule_once()
+        assert "default/normal" in scheduler.unschedulable
+        assert cluster.store.get("Pod", "default", "tolerant").spec["nodeName"] == "ctrl"
+
+    def test_exists_toleration(self):
+        tainted = Node("ctrl", taints=[{"key": "dedicated", "effect": "NoSchedule"}])
+        cluster, scheduler = make([tainted])
+        cluster.apply(pod("t", tolerations=[{"operator": "Exists"}]))
+        scheduler.schedule_once()
+        assert cluster.store.get("Pod", "default", "t").spec["nodeName"] == "ctrl"
+
+    def test_unschedulable_pod_recovers_when_space_frees(self):
+        cluster, scheduler = make([Node("n1", cpu_millis=600)])
+        cluster.apply(pod("first", cpu="500m"))
+        scheduler.schedule_once()
+        cluster.apply(pod("second", cpu="500m"))
+        scheduler.schedule_once()
+        assert "default/second" in scheduler.unschedulable
+        cluster.store.delete("Pod", "default", "first")
+        assert scheduler.schedule_once() == 1
+        assert "default/second" not in scheduler.unschedulable
+
+    def test_end_to_end_with_controllers(self):
+        """Deployment -> ReplicaSet -> Pods -> scheduled across nodes."""
+        from repro.k8s.controllers import ControllerManager
+        from repro.helm.chart import render_chart
+        from repro.operators import get_chart
+
+        cluster = Cluster()
+        for manifest in render_chart(get_chart("nginx")):
+            cluster.apply(manifest)
+        ControllerManager(cluster.store).run_until_stable()
+        scheduler = Scheduler(cluster.store, [Node("w1"), Node("w2")])
+        bound = scheduler.schedule_once()
+        assert bound == len(cluster.store.list("Pod"))
+        nodes_used = {p.spec.get("nodeName") for p in cluster.store.list("Pod")}
+        assert nodes_used <= {"w1", "w2"}

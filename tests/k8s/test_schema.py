@@ -1,0 +1,103 @@
+"""Unit tests for the configurable-field catalog."""
+
+import pytest
+
+from repro.k8s.schema import FieldSpec, catalog, obj, s, arr, enum
+
+
+class TestCatalogShape:
+    def test_all_workload_kinds_present(self):
+        for kind in ("Pod", "Deployment", "StatefulSet", "DaemonSet", "Job", "CronJob"):
+            assert kind in catalog
+
+    def test_unknown_kind_raises(self):
+        with pytest.raises(KeyError):
+            catalog.schema("Nonexistent")
+
+    def test_pod_has_hundreds_of_fields(self):
+        """PodSpec is the richest part of the attack surface."""
+        assert catalog.field_count("Pod") > 500
+
+    def test_total_catalog_magnitude(self):
+        """The paper's catalog spans 4,882 fields; ours must be the
+        same order of magnitude."""
+        total = catalog.total_fields()
+        assert 4000 <= total <= 9000
+
+    def test_workload_kinds_share_pod_spec_size(self):
+        """Deployment/StatefulSet/... wrap the same PodSpec, so their
+        field counts are close."""
+        counts = [catalog.field_count(k) for k in ("Deployment", "ReplicaSet", "DaemonSet")]
+        assert max(counts) - min(counts) < 100
+
+    def test_small_kinds_are_small(self):
+        assert catalog.field_count("ConfigMap") < 30
+        assert catalog.field_count("Secret") < 30
+
+
+class TestFieldLookup:
+    def test_paths_include_security_fields(self):
+        paths = catalog.field_paths("Pod")
+        assert "Pod.spec.hostNetwork" in paths
+        assert "Pod.spec.containers.securityContext.privileged" in paths
+        assert "Pod.spec.containers.volumeMounts.subPath" in paths
+
+    def test_service_has_external_ips(self):
+        assert "Service.spec.externalIPs" in catalog.field_paths("Service")
+
+    def test_security_critical_fields_marked(self):
+        critical = dict(catalog.security_critical_fields("Pod"))
+        assert any("runAsNonRoot" in p for p in critical)
+        assert any("privileged" in p for p in critical)
+        assert any("hostNetwork" in p for p in critical)
+
+    def test_child_traverses_array_items(self):
+        containers = catalog.schema("Pod").children["spec"].children["containers"]
+        assert containers.ftype == "array"
+        image = containers.child("image")
+        assert image is not None and image.ftype == "string"
+
+
+class TestFieldSpecCounting:
+    def test_leaf_counts_one(self):
+        assert s("x").count_fields() == 1
+
+    def test_object_counts_children(self):
+        spec = obj("o", s("a"), s("b"))
+        assert spec.count_fields() == 3
+
+    def test_array_counts_item_children_once(self):
+        spec = arr("l", s("a"), s("b"))
+        assert spec.count_fields() == 3
+
+    def test_scalar_array_counts_one(self):
+        assert arr("l", item_type="string").count_fields() == 1
+
+    def test_walk_yields_dotted_paths(self):
+        spec = obj("root", obj("mid", s("leaf")))
+        paths = [p for p, _ in spec.walk()]
+        assert paths == ["root", "root.mid", "root.mid.leaf"]
+
+    def test_enum_holds_values(self):
+        spec = enum("policy", "A", "B")
+        assert spec.enum == ("A", "B")
+        assert spec.ftype == "enum"
+
+
+class TestCatalogConsistency:
+    def test_every_kind_has_metadata(self):
+        for kind in catalog.kinds():
+            root = catalog.schema(kind)
+            assert "metadata" in root.children, kind
+
+    def test_field_count_matches_walk(self):
+        """count_fields must agree with walk enumeration."""
+        for kind in ("Pod", "Service", "ConfigMap", "Ingress"):
+            root = catalog.schema(kind)
+            walked = sum(1 for _ in root.walk())
+            assert walked == root.count_fields(), kind
+
+    def test_field_paths_unique(self):
+        for kind in catalog.kinds():
+            paths = catalog.field_paths(kind)
+            assert len(paths) == len(set(paths)), kind

@@ -1,0 +1,114 @@
+"""Unit tests for the etcd-like versioned store."""
+
+import pytest
+
+from repro.k8s.errors import ApiError
+from repro.k8s.objects import K8sObject
+from repro.k8s.store import ObjectStore
+
+
+def make_pod(name: str, namespace: str = "default") -> K8sObject:
+    return K8sObject.make("v1", "Pod", name, namespace=namespace, spec={"containers": []})
+
+
+class TestCrud:
+    def test_create_assigns_version_and_uid(self):
+        store = ObjectStore()
+        stored = store.create(make_pod("a"))
+        assert stored.resource_version == 1
+        assert stored.metadata["uid"].startswith("uid-")
+
+    def test_create_duplicate_conflicts(self):
+        store = ObjectStore()
+        store.create(make_pod("a"))
+        with pytest.raises(ApiError) as excinfo:
+            store.create(make_pod("a"))
+        assert excinfo.value.code == 409
+
+    def test_same_name_different_namespace_ok(self):
+        store = ObjectStore()
+        store.create(make_pod("a", "ns1"))
+        store.create(make_pod("a", "ns2"))
+        assert len(store) == 2
+
+    def test_get_returns_copy(self):
+        store = ObjectStore()
+        store.create(make_pod("a"))
+        first = store.get("Pod", "default", "a")
+        first.data["spec"]["mutated"] = True
+        second = store.get("Pod", "default", "a")
+        assert "mutated" not in second.data["spec"]
+
+    def test_get_missing_raises_404(self):
+        with pytest.raises(ApiError) as excinfo:
+            ObjectStore().get("Pod", "default", "nope")
+        assert excinfo.value.code == 404
+
+    def test_update_bumps_version_preserves_uid(self):
+        store = ObjectStore()
+        created = store.create(make_pod("a"))
+        uid = created.metadata["uid"]
+        updated = store.update(make_pod("a"))
+        assert updated.resource_version == 2
+        assert updated.metadata["uid"] == uid
+
+    def test_update_missing_raises(self):
+        with pytest.raises(ApiError):
+            ObjectStore().update(make_pod("ghost"))
+
+    def test_optimistic_concurrency_conflict(self):
+        store = ObjectStore()
+        store.create(make_pod("a"))
+        stale = store.get("Pod", "default", "a")
+        store.update(make_pod("a"))  # bumps version
+        with pytest.raises(ApiError) as excinfo:
+            store.update(stale, check_version=True)
+        assert excinfo.value.code == 409
+
+    def test_delete(self):
+        store = ObjectStore()
+        store.create(make_pod("a"))
+        store.delete("Pod", "default", "a")
+        assert not store.exists("Pod", "default", "a")
+
+    def test_delete_missing_raises(self):
+        with pytest.raises(ApiError):
+            ObjectStore().delete("Pod", "default", "x")
+
+    def test_list_filters_and_sorts(self):
+        store = ObjectStore()
+        for name in ("b", "a"):
+            store.create(make_pod(name))
+        store.create(K8sObject.make("v1", "Service", "svc"))
+        pods = store.list("Pod")
+        assert [p.name for p in pods] == ["a", "b"]
+        assert store.list("Pod", namespace="other") == []
+
+
+class TestWatch:
+    def test_events_emitted_in_order(self):
+        store = ObjectStore()
+        events = []
+        store.watch(lambda e: events.append((e.type, e.obj.name)))
+        store.create(make_pod("a"))
+        store.update(make_pod("a"))
+        store.delete("Pod", "default", "a")
+        assert events == [("ADDED", "a"), ("MODIFIED", "a"), ("DELETED", "a")]
+
+    def test_unsubscribe(self):
+        store = ObjectStore()
+        events = []
+        unsubscribe = store.watch(lambda e: events.append(e))
+        store.create(make_pod("a"))
+        unsubscribe()
+        store.create(make_pod("b"))
+        assert len(events) == 1
+
+    def test_revision_monotonically_increases(self):
+        store = ObjectStore()
+        revisions = []
+        store.watch(lambda e: revisions.append(e.resource_version))
+        for name in ("a", "b", "c"):
+            store.create(make_pod(name))
+        assert revisions == sorted(revisions)
+        assert len(set(revisions)) == 3

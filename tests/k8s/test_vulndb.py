@@ -1,0 +1,206 @@
+"""Unit tests for the CVE database and exploit engine."""
+
+import pytest
+
+from repro.k8s.apiserver import ApiRequest, Cluster, User
+from repro.k8s.objects import K8sObject
+from repro.k8s.vulndb import (
+    ExploitEngine,
+    external_ips_trigger,
+    missing_limits_trigger,
+    parse_version,
+    subpath_trigger,
+    subpath_injection_trigger,
+    symlink_exchange_trigger,
+    version_in_range,
+    vulndb,
+)
+
+
+class TestDatabaseShape:
+    def test_forty_nine_cves(self):
+        """The paper's window (Jul 2016 - Dec 2023) has exactly 49 CVEs."""
+        assert len(vulndb) == 49
+
+    def test_eight_api_exploitable(self):
+        """Table II uses 8 CVE exploits."""
+        exploitable = vulndb.api_exploitable()
+        assert len(exploitable) == 8
+        assert {e.cve_id for e in exploitable} == {
+            "CVE-2020-15257",
+            "CVE-2020-8554",
+            "CVE-2023-3676",
+            "CVE-2017-1002101",
+            "CVE-2019-11253",
+            "CVE-2021-25741",
+            "CVE-2023-2431",
+            "CVE-2021-21334",
+        }
+
+    def test_cvss_range_matches_paper(self):
+        """CVSS scores range 2.6 (low) to 9.8 (critical)."""
+        scores = [e.cvss for e in vulndb]
+        assert min(scores) >= 2.6
+        assert max(scores) == 9.8
+
+    def test_components_span_the_paper_list(self):
+        components = set(vulndb.components())
+        for expected in ("apiserver", "kubelet", "kubectl", "storage", "networking",
+                         "admission", "security", "cloud-provider"):
+            assert expected in components
+
+    def test_every_cve_has_vulnerable_files(self):
+        for entry in vulndb:
+            assert entry.vulnerable_files, entry.cve_id
+
+    def test_lookup(self):
+        assert vulndb.get("CVE-2017-1002101").component == "storage"
+        assert "CVE-2017-1002101" in vulndb
+        with pytest.raises(KeyError):
+            vulndb.get("CVE-9999-0000")
+
+    def test_vulnerable_files_mapping(self):
+        mapping = vulndb.vulnerable_files()
+        assert "pkg/volume/util/subpath/subpath_linux.go" in mapping
+        assert "CVE-2017-1002101" in mapping["pkg/volume/util/subpath/subpath_linux.go"]
+
+
+class TestVersions:
+    def test_parse(self):
+        assert parse_version("1.28.6") == (1, 28, 6)
+        assert parse_version("v1.9.4") == (1, 9, 4)
+
+    def test_in_range(self):
+        assert version_in_range("1.9.3", "1.9.4")
+        assert not version_in_range("1.9.4", "1.9.4")
+        assert not version_in_range("1.28.6", "1.9.4")
+        assert version_in_range("1.28.6", None)  # unfixed -> always vulnerable
+
+
+def workload(kind: str, pod_spec: dict) -> K8sObject:
+    if kind == "Pod":
+        return K8sObject.make("v1", "Pod", "x", spec=pod_spec)
+    return K8sObject.make(
+        "apps/v1", kind, "x", spec={"selector": {}, "template": {"spec": pod_spec}}
+    )
+
+
+class TestTriggers:
+    def test_subpath_trigger_on_pod_and_deployment(self):
+        spec = {"containers": [{"name": "c", "volumeMounts": [{"name": "v", "subPath": "d"}]}]}
+        assert subpath_trigger(workload("Pod", spec)) is not None
+        offending = subpath_trigger(workload("Deployment", spec))
+        assert offending == "spec.template.spec.containers[0].volumeMounts[0].subPath"
+
+    def test_subpath_trigger_negative(self):
+        spec = {"containers": [{"name": "c", "volumeMounts": [{"name": "v", "mountPath": "/x"}]}]}
+        assert subpath_trigger(workload("Pod", spec)) is None
+
+    def test_subpath_injection_needs_metacharacters(self):
+        benign = {"containers": [{"volumeMounts": [{"subPath": "plain/dir"}]}]}
+        evil = {"containers": [{"volumeMounts": [{"subPath": "$(rm -rf /)"}]}]}
+        assert subpath_injection_trigger(workload("Pod", benign)) is None
+        assert subpath_injection_trigger(workload("Pod", evil)) is not None
+
+    def test_missing_limits_trigger(self):
+        no_limits = {"containers": [{"name": "c"}]}
+        with_limits = {"containers": [{"name": "c", "resources": {"limits": {"cpu": "1"}}}]}
+        assert missing_limits_trigger(workload("Pod", no_limits)) is not None
+        assert missing_limits_trigger(workload("Pod", with_limits)) is None
+
+    def test_symlink_exchange_trigger(self):
+        evil = {"initContainers": [{"command": ["ln", "-s", "/", "/mnt/door"]}], "containers": []}
+        benign = {"containers": [{"command": ["nginx", "-g", "daemon off;"]}]}
+        assert symlink_exchange_trigger(workload("Pod", evil)) is not None
+        assert symlink_exchange_trigger(workload("Pod", benign)) is None
+
+    def test_external_ips_trigger_only_on_services(self):
+        svc = K8sObject.make("v1", "Service", "s", spec={"externalIPs": ["1.2.3.4"]})
+        assert external_ips_trigger(svc) == "spec.externalIPs"
+        plain = K8sObject.make("v1", "Service", "s", spec={"ports": []})
+        assert external_ips_trigger(plain) is None
+        pod = workload("Pod", {"containers": []})
+        assert external_ips_trigger(pod) is None
+
+    def test_non_workload_kinds_never_trigger_pod_rules(self):
+        cm = K8sObject.make("v1", "ConfigMap", "c")
+        assert subpath_trigger(cm) is None
+        assert missing_limits_trigger(cm) is None
+
+
+class TestExploitEngine:
+    def _cluster_with_engine(self, **engine_kwargs):
+        cluster = Cluster()
+        engine = ExploitEngine(**engine_kwargs)
+        cluster.api.register_admission_plugin(engine)
+        return cluster, engine
+
+    def test_hostnetwork_manifest_fires_cve(self):
+        cluster, engine = self._cluster_with_engine()
+        cluster.apply(
+            {
+                "apiVersion": "v1",
+                "kind": "Pod",
+                "metadata": {"name": "evil"},
+                "spec": {
+                    "hostNetwork": True,
+                    "containers": [{"name": "c", "image": "x",
+                                    "resources": {"limits": {"cpu": "1"}}}],
+                },
+            }
+        )
+        assert "CVE-2020-15257" in engine.triggered_cves()
+        event = [e for e in engine.events if e.cve_id == "CVE-2020-15257"][0]
+        assert event.field == "spec.hostNetwork"
+        assert event.username == "kubernetes-admin"
+
+    def test_benign_manifest_fires_nothing(self):
+        cluster, engine = self._cluster_with_engine()
+        cluster.apply(
+            {
+                "apiVersion": "v1",
+                "kind": "Pod",
+                "metadata": {"name": "ok"},
+                "spec": {"containers": [{"name": "c", "image": "x",
+                                         "resources": {"limits": {"cpu": "1"}}}]},
+            }
+        )
+        assert engine.triggered_cves() == set()
+
+    def test_version_gating(self):
+        """With assume_vulnerable=False, CVEs fixed before the cluster
+        version do not fire."""
+        cluster, engine = self._cluster_with_engine(
+            assume_vulnerable=False, cluster_version="1.28.6"
+        )
+        cluster.apply(
+            {
+                "apiVersion": "v1",
+                "kind": "Pod",
+                "metadata": {"name": "p"},
+                "spec": {
+                    "containers": [
+                        {"name": "c", "image": "x",
+                         "resources": {"limits": {"cpu": "1"}},
+                         "volumeMounts": [{"name": "v", "mountPath": "/m", "subPath": "d"}]}
+                    ],
+                    "volumes": [{"name": "v", "emptyDir": {}}],
+                },
+            }
+        )
+        # CVE-2017-1002101 fixed in 1.9.4 << 1.28.6: must not fire.
+        assert "CVE-2017-1002101" not in engine.triggered_cves()
+
+    def test_clear(self):
+        cluster, engine = self._cluster_with_engine()
+        cluster.apply(
+            {
+                "apiVersion": "v1",
+                "kind": "Service",
+                "metadata": {"name": "s"},
+                "spec": {"externalIPs": ["9.9.9.9"], "ports": [{"port": 80}]},
+            }
+        )
+        assert engine.events
+        engine.clear()
+        assert not engine.events

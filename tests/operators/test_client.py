@@ -1,0 +1,76 @@
+"""Tests for the operator deployment client."""
+
+from repro.k8s.apiserver import Cluster
+from repro.operators import get_chart
+from repro.operators.client import DirectTransport, OperatorClient
+
+
+class TestDeployment:
+    def test_deploy_chart_applies_all_manifests(self):
+        cluster = Cluster()
+        client = OperatorClient(DirectTransport(cluster.api))
+        result = client.deploy_chart(get_chart("nginx"))
+        assert result.all_ok
+        assert len(result.succeeded) == len(result.responses)
+        assert cluster.store.list("Deployment")
+        assert cluster.store.list("Service")
+
+    def test_operator_identity_used(self):
+        cluster = Cluster()
+        client = OperatorClient(DirectTransport(cluster.api))
+        client.deploy_chart(get_chart("nginx"))
+        usernames = {e.username for e in cluster.api.audit_log.events()}
+        assert usernames == {"nginx-operator"}
+
+    def test_custom_username(self):
+        cluster = Cluster()
+        client = OperatorClient(DirectTransport(cluster.api), username="ci")
+        client.deploy_chart(get_chart("nginx"))
+        assert {e.username for e in cluster.api.audit_log.events()} == {"ci"}
+
+    def test_denied_manifests_reported(self):
+        from repro.k8s.errors import ApiError
+
+        cluster = Cluster()
+
+        def deny_services(request, obj):
+            if obj.kind == "Service":
+                raise ApiError.forbidden("no services today")
+
+        cluster.api.register_admission_plugin(deny_services)
+        client = OperatorClient(DirectTransport(cluster.api))
+        result = client.deploy_chart(get_chart("nginx"))
+        assert not result.all_ok
+        assert all(m["kind"] == "Service" for m, _ in result.denied)
+
+    def test_reconcile_emits_get_and_update(self):
+        cluster = Cluster()
+        client = OperatorClient(DirectTransport(cluster.api))
+        result = client.deploy_chart(get_chart("nginx"))
+        cluster.api.audit_log.clear()
+        responses = client.reconcile(result)
+        assert all(r.ok for r in responses)
+        verbs = {e.verb for e in cluster.api.audit_log.events()}
+        assert verbs == {"get", "update"}
+
+    def test_deploy_with_overrides_and_release(self):
+        cluster = Cluster()
+        client = OperatorClient(DirectTransport(cluster.api))
+        result = client.deploy_chart(
+            get_chart("nginx"), overrides={"replicaCount": 5}, release_name="prod"
+        )
+        assert result.all_ok
+        deployment = cluster.store.get("Deployment", "default", "prod-nginx")
+        assert deployment.get("spec.replicas") == 5
+
+    def test_submit_manifest_single(self):
+        cluster = Cluster()
+        client = OperatorClient(DirectTransport(cluster.api))
+        manifest = {
+            "apiVersion": "v1",
+            "kind": "ConfigMap",
+            "metadata": {"name": "cm", "namespace": "default"},
+            "data": {"k": "v"},
+        }
+        assert client.submit_manifest("nginx", manifest).code == 201
+        assert client.submit_manifest("nginx", manifest, verb="update").code == 200

@@ -1,0 +1,150 @@
+"""Tests for the live operator reconciliation runtime."""
+
+from repro.core.pipeline import generate_policy
+from repro.core.proxy import KubeFenceProxy, MultiPolicyProxy
+from repro.k8s.apiserver import ApiRequest, Cluster, User
+from repro.operators import get_chart
+from repro.operators.client import DirectTransport
+from repro.operators.runtime import OperatorRuntime
+from repro.yamlutil import set_path
+
+
+def make_runtime(chart_name: str = "nginx", proxied: bool = True):
+    chart = get_chart(chart_name)
+    cluster = Cluster()
+    transport = (
+        KubeFenceProxy(cluster.api, generate_policy(chart))
+        if proxied
+        else DirectTransport(cluster.api)
+    )
+    runtime = OperatorRuntime(chart, transport, cluster.store)
+    return cluster, runtime
+
+
+class TestInstallAndWatch:
+    def test_install_creates_everything(self):
+        cluster, runtime = make_runtime()
+        responses = runtime.install()
+        assert all(r.ok for r in responses)
+        assert cluster.store.list("Deployment")
+        assert runtime.pending == set()
+
+    def test_untracked_resources_ignored(self):
+        cluster, runtime = make_runtime()
+        runtime.install()
+        cluster.apply({"apiVersion": "v1", "kind": "ConfigMap",
+                       "metadata": {"name": "unrelated"}, "data": {}})
+        assert runtime.pending == set()
+
+    def test_stop_unsubscribes(self):
+        cluster, runtime = make_runtime()
+        runtime.install()
+        runtime.stop()
+        cluster.store.delete("Deployment", "default", "nginx-nginx")
+        assert runtime.pending == set()
+
+
+class TestSelfHealing:
+    def test_deleted_resource_recreated(self):
+        cluster, runtime = make_runtime()
+        runtime.install()
+        cluster.store.delete("Deployment", "default", "nginx-nginx")
+        assert ("Deployment", "nginx-nginx") in runtime.pending
+
+        actions = runtime.reconcile()
+        assert len(actions) == 1
+        assert actions[0].reason == "deleted"
+        assert actions[0].response.ok
+        assert cluster.store.exists("Deployment", "default", "nginx-nginx")
+        assert runtime.pending == set()
+
+    def test_drifted_resource_restored(self):
+        cluster, runtime = make_runtime()
+        runtime.install()
+        tampered = cluster.store.get("Deployment", "default", "nginx-nginx")
+        tampered.data["spec"]["replicas"] = 99
+        cluster.store.update(tampered)
+        assert ("Deployment", "nginx-nginx") in runtime.pending
+
+        actions = runtime.reconcile()
+        assert actions[0].reason == "drift"
+        restored = cluster.store.get("Deployment", "default", "nginx-nginx")
+        assert restored.get("spec.replicas") == 2
+
+    def test_additive_tampering_detected(self):
+        """Injecting a field (e.g. hostPID) is drift even though every
+        desired field is still present."""
+        cluster, runtime = make_runtime()
+        runtime.install()
+        tampered = cluster.store.get("Deployment", "default", "nginx-nginx")
+        set_path(tampered.data, "spec.template.spec.hostPID", True)
+        cluster.store.update(tampered)
+        assert ("Deployment", "nginx-nginx") in runtime.pending
+        runtime.reconcile()
+        restored = cluster.store.get("Deployment", "default", "nginx-nginx")
+        assert restored.get("spec.template.spec.hostPID") is None
+
+    def test_own_repair_does_not_redirty(self):
+        cluster, runtime = make_runtime()
+        runtime.install()
+        cluster.store.delete("Service", "default", "nginx-nginx")
+        runtime.reconcile()
+        assert runtime.pending == set()
+
+    def test_corrective_writes_pass_the_proxy(self):
+        """Self-healing traffic is policy-conformant by construction,
+        so mediation never breaks the control loop."""
+        cluster, runtime = make_runtime(proxied=True)
+        runtime.install()
+        for name in ("nginx-nginx",):
+            cluster.store.delete("Deployment", "default", name)
+        actions = runtime.reconcile()
+        assert all(a.response.ok for a in actions)
+        proxy = runtime.transport
+        assert proxy.stats.requests_denied == 0
+
+
+class TestMultiPolicyProxy:
+    def test_two_operators_one_proxy(self):
+        cluster = Cluster()
+        charts = {name: get_chart(name) for name in ("nginx", "postgresql")}
+        proxy = MultiPolicyProxy(
+            cluster.api,
+            {f"{name}-operator": generate_policy(chart) for name, chart in charts.items()},
+        )
+        runtimes = {
+            name: OperatorRuntime(chart, proxy, cluster.store)
+            for name, chart in charts.items()
+        }
+        for runtime in runtimes.values():
+            assert all(r.ok for r in runtime.install())
+
+        # nginx's identity cannot write postgres's kinds.
+        statefulset = runtimes["postgresql"].desired[("StatefulSet", "postgresql-postgresql")]
+        cross = proxy.submit(
+            ApiRequest.from_manifest(statefulset, User("nginx-operator"), "update")
+        )
+        assert cross.code == 403
+
+    def test_unbound_identity_default_denied(self):
+        cluster = Cluster()
+        proxy = MultiPolicyProxy(cluster.api, {})
+        manifest = {"apiVersion": "v1", "kind": "ConfigMap",
+                    "metadata": {"name": "c"}, "data": {}}
+        response = proxy.submit(ApiRequest.from_manifest(manifest, User("stranger")))
+        assert response.code == 403
+        assert proxy.unbound_denials
+
+    def test_unbound_reads_pass_with_read_through(self):
+        cluster = Cluster()
+        proxy = MultiPolicyProxy(cluster.api, {})
+        response = proxy.submit(ApiRequest("list", "Pod", User("auditor")))
+        assert response.ok
+
+    def test_bind_later(self):
+        cluster = Cluster()
+        proxy = MultiPolicyProxy(cluster.api, {})
+        chart = get_chart("nginx")
+        proxy.bind("nginx-operator", generate_policy(chart))
+        runtime = OperatorRuntime(chart, proxy, cluster.store)
+        assert all(r.ok for r in runtime.install())

@@ -1,0 +1,73 @@
+"""Unit tests for the RBAC authorizer inside the API server."""
+
+from repro.k8s.apiserver import ApiRequest, Cluster, User
+from repro.rbac import RBACAuthorizer
+from repro.rbac.model import PolicyRule, RBACPolicy
+
+
+def pod(name: str = "p") -> dict:
+    return {
+        "apiVersion": "v1",
+        "kind": "Pod",
+        "metadata": {"name": name, "namespace": "default"},
+        "spec": {"containers": [{"name": "c", "image": "x",
+                                 "resources": {"limits": {"cpu": "1"}}}]},
+    }
+
+
+def _policy(*grants) -> RBACPolicy:
+    policy = RBACPolicy()
+    for username, rule, namespace in grants:
+        policy.grant(username, rule, namespace=namespace)
+    return policy
+
+
+USER = User("alice", ("system:authenticated",))
+
+
+class TestAuthorizer:
+    def test_superuser_bypasses_rbac(self):
+        cluster = Cluster(authorizer=RBACAuthorizer(RBACPolicy()))
+        assert cluster.apply(pod(), user=User.admin()).ok
+
+    def test_denied_without_rules(self):
+        cluster = Cluster(authorizer=RBACAuthorizer(RBACPolicy()))
+        response = cluster.apply(pod(), user=USER)
+        assert response.code == 403
+        assert "cannot create" in response.body["message"]
+
+    def test_allowed_with_matching_rule(self):
+        policy = _policy(("alice", PolicyRule(("",), ("pods",), ("create",)), "default"))
+        cluster = Cluster(authorizer=RBACAuthorizer(policy))
+        assert cluster.apply(pod(), user=USER).ok
+
+    def test_verb_mismatch_denied(self):
+        policy = _policy(("alice", PolicyRule(("",), ("pods",), ("get",)), "default"))
+        cluster = Cluster(authorizer=RBACAuthorizer(policy))
+        assert cluster.apply(pod(), user=USER).code == 403
+
+    def test_namespace_scoping(self):
+        policy = _policy(("alice", PolicyRule(("",), ("pods",), ("create",)), "default"))
+        cluster = Cluster(authorizer=RBACAuthorizer(policy))
+        other = pod()
+        other["metadata"]["namespace"] = "other"
+        request = ApiRequest.from_manifest(other, USER, "create")
+        assert cluster.api.handle(request).code == 403
+
+    def test_resource_name_scoping_on_update(self):
+        rule = PolicyRule(("",), ("pods",), ("update",), resource_names=("allowed",))
+        cluster = Cluster(authorizer=RBACAuthorizer(_policy(("alice", rule, "default"))))
+        cluster.apply(pod("allowed"), user=User.admin())
+        cluster.apply(pod("denied-name"), user=User.admin())
+        assert cluster.apply(pod("allowed"), user=USER, verb="update").ok
+        assert cluster.apply(pod("denied-name"), user=USER, verb="update").code == 403
+
+    def test_rbac_cannot_see_spec_fields(self):
+        """The paper's core point: an allowed (user, verb, resource)
+        passes RBAC *whatever* the payload contains."""
+        policy = _policy(("alice", PolicyRule(("",), ("pods",), ("create",)), "default"))
+        cluster = Cluster(authorizer=RBACAuthorizer(policy))
+        malicious = pod()
+        malicious["spec"]["hostNetwork"] = True
+        malicious["spec"]["containers"][0]["securityContext"] = {"privileged": True}
+        assert cluster.apply(malicious, user=USER).ok

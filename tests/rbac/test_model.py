@@ -1,0 +1,89 @@
+"""Unit tests for the RBAC object model."""
+
+from repro.rbac.model import PolicyRule, RBACPolicy, Role, RoleBinding
+
+
+class TestPolicyRule:
+    def test_exact_match(self):
+        rule = PolicyRule(("apps",), ("deployments",), ("create", "get"))
+        assert rule.matches("apps", "deployments", "create")
+        assert not rule.matches("apps", "deployments", "delete")
+        assert not rule.matches("", "deployments", "create")
+        assert not rule.matches("apps", "pods", "create")
+
+    def test_wildcards(self):
+        rule = PolicyRule(("*",), ("*",), ("*",))
+        assert rule.matches("anything", "whatever", "eviscerate")
+
+    def test_resource_names_scope(self):
+        rule = PolicyRule(("",), ("services",), ("update",), resource_names=("web",))
+        assert rule.matches("", "services", "update", "web")
+        assert not rule.matches("", "services", "update", "other")
+        # Without a name to check, the rule still matches the shape.
+        assert rule.matches("", "services", "update", None)
+
+    def test_dict_roundtrip(self):
+        rule = PolicyRule(("apps",), ("deployments",), ("get",), ("web",))
+        assert PolicyRule.from_dict(rule.to_dict()) == rule
+
+    def test_dict_omits_empty_resource_names(self):
+        rule = PolicyRule(("",), ("pods",), ("get",))
+        assert "resourceNames" not in rule.to_dict()
+
+
+class TestRoleManifests:
+    def test_role_manifest_shape(self):
+        role = Role("reader", [PolicyRule(("",), ("pods",), ("get", "list"))], "default")
+        manifest = role.to_manifest()
+        assert manifest["kind"] == "Role"
+        assert manifest["apiVersion"] == "rbac.authorization.k8s.io/v1"
+        assert manifest["metadata"] == {"name": "reader", "namespace": "default"}
+        assert manifest["rules"][0]["verbs"] == ["get", "list"]
+
+    def test_cluster_role(self):
+        role = Role("admin", [], namespace=None)
+        manifest = role.to_manifest()
+        assert manifest["kind"] == "ClusterRole"
+        assert "namespace" not in manifest["metadata"]
+
+    def test_roundtrip(self):
+        role = Role("r", [PolicyRule(("apps",), ("deployments",), ("create",))], "ns")
+        parsed = Role.from_manifest(role.to_manifest())
+        assert parsed.name == "r" and parsed.namespace == "ns"
+        assert parsed.rules == role.rules
+
+    def test_binding_roundtrip(self):
+        binding = RoleBinding("b", "r", ["alice", "bob"], "ns")
+        parsed = RoleBinding.from_manifest(binding.to_manifest())
+        assert parsed.subjects == ["alice", "bob"]
+        assert parsed.role_name == "r"
+
+
+class TestRBACPolicy:
+    def test_grant_creates_role_and_binding(self):
+        policy = RBACPolicy()
+        policy.grant("alice", PolicyRule(("",), ("pods",), ("get",)))
+        assert len(policy.roles) == 1
+        assert len(policy.bindings) == 1
+        assert "alice" in policy.bindings[0].subjects
+
+    def test_rules_for_user_and_namespace(self):
+        policy = RBACPolicy()
+        policy.grant("alice", PolicyRule(("",), ("pods",), ("get",)), namespace="default")
+        policy.grant("alice", PolicyRule(("",), ("nodes",), ("list",)), namespace=None)
+        policy.grant("bob", PolicyRule(("",), ("secrets",), ("get",)), namespace="default")
+
+        default_rules = list(policy.rules_for("alice", "default"))
+        assert len(default_rules) == 2  # namespaced + cluster-wide
+        other_ns_rules = list(policy.rules_for("alice", "other"))
+        assert len(other_ns_rules) == 1  # only the ClusterRole applies
+        assert list(policy.rules_for("mallory", "default")) == []
+
+    def test_manifest_roundtrip(self):
+        policy = RBACPolicy()
+        policy.grant("op", PolicyRule(("apps",), ("deployments",), ("create",)))
+        manifests = policy.to_manifests()
+        assert len(manifests) == 2
+        parsed = RBACPolicy.from_manifests(manifests)
+        assert [r.name for r in parsed.roles] == [r.name for r in policy.roles]
+        assert list(parsed.rules_for("op", "default"))

@@ -1,0 +1,176 @@
+"""Tests for RFC 6902 JSON Patch."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.yamlutil.jsonpatch import (
+    JsonPatchError,
+    apply_patch,
+    get_pointer,
+    parse_pointer,
+)
+
+DOC = {"spec": {"replicas": 2, "containers": [{"name": "a"}, {"name": "b"}]}}
+
+
+class TestPointer:
+    def test_root(self):
+        assert parse_pointer("") == []
+
+    def test_tokens(self):
+        assert parse_pointer("/spec/containers/0/name") == ["spec", "containers", "0", "name"]
+
+    def test_escapes(self):
+        assert parse_pointer("/a~1b/c~0d") == ["a/b", "c~d"]
+
+    def test_must_start_with_slash(self):
+        with pytest.raises(JsonPatchError):
+            parse_pointer("spec")
+
+    def test_get(self):
+        assert get_pointer(DOC, "/spec/replicas") == 2
+        assert get_pointer(DOC, "/spec/containers/1/name") == "b"
+        assert get_pointer(DOC, "") == DOC
+
+    def test_get_missing(self):
+        with pytest.raises(JsonPatchError):
+            get_pointer(DOC, "/spec/missing")
+        with pytest.raises(JsonPatchError):
+            get_pointer(DOC, "/spec/containers/9")
+
+
+class TestOperations:
+    def test_add_member(self):
+        out = apply_patch(DOC, [{"op": "add", "path": "/spec/paused", "value": True}])
+        assert out["spec"]["paused"] is True
+        assert "paused" not in DOC["spec"]  # input untouched
+
+    def test_add_list_insert_and_append(self):
+        out = apply_patch(
+            DOC,
+            [
+                {"op": "add", "path": "/spec/containers/1", "value": {"name": "mid"}},
+                {"op": "add", "path": "/spec/containers/-", "value": {"name": "end"}},
+            ],
+        )
+        names = [c["name"] for c in out["spec"]["containers"]]
+        assert names == ["a", "mid", "b", "end"]
+
+    def test_remove(self):
+        out = apply_patch(DOC, [{"op": "remove", "path": "/spec/containers/0"}])
+        assert [c["name"] for c in out["spec"]["containers"]] == ["b"]
+
+    def test_remove_missing_raises(self):
+        with pytest.raises(JsonPatchError):
+            apply_patch(DOC, [{"op": "remove", "path": "/spec/ghost"}])
+
+    def test_replace(self):
+        out = apply_patch(DOC, [{"op": "replace", "path": "/spec/replicas", "value": 9}])
+        assert out["spec"]["replicas"] == 9
+
+    def test_replace_requires_existing(self):
+        with pytest.raises(JsonPatchError):
+            apply_patch(DOC, [{"op": "replace", "path": "/spec/ghost", "value": 1}])
+
+    def test_move(self):
+        out = apply_patch(
+            DOC, [{"op": "move", "from": "/spec/replicas", "path": "/replicas"}]
+        )
+        assert out["replicas"] == 2
+        assert "replicas" not in out["spec"]
+
+    def test_copy(self):
+        out = apply_patch(
+            DOC, [{"op": "copy", "from": "/spec/containers/0", "path": "/spec/containers/-"}]
+        )
+        assert len(out["spec"]["containers"]) == 3
+
+    def test_test_success_and_failure(self):
+        apply_patch(DOC, [{"op": "test", "path": "/spec/replicas", "value": 2}])
+        with pytest.raises(JsonPatchError, match="test failed"):
+            apply_patch(DOC, [{"op": "test", "path": "/spec/replicas", "value": 3}])
+
+    def test_unknown_op(self):
+        with pytest.raises(JsonPatchError):
+            apply_patch(DOC, [{"op": "frobnicate", "path": "/x"}])
+
+    def test_whole_document_add(self):
+        assert apply_patch(DOC, [{"op": "add", "path": "", "value": {"new": 1}}]) == {"new": 1}
+
+
+class TestKustomizeIntegration:
+    def test_json6902_in_build(self):
+        from repro.kustomize import Kustomization, build
+
+        base = Kustomization(
+            name="base",
+            manifests=[{
+                "apiVersion": "apps/v1", "kind": "Deployment",
+                "metadata": {"name": "web"},
+                "spec": {"replicas": 1,
+                         "template": {"spec": {"containers": [{"name": "c", "image": "i"}]}}},
+            }],
+        )
+        overlay = Kustomization(
+            name="patched", bases=[base],
+            json_patches=[{
+                "target": {"kind": "Deployment", "name": "web"},
+                "ops": [
+                    {"op": "replace", "path": "/spec/replicas", "value": 5},
+                    {"op": "add",
+                     "path": "/spec/template/spec/containers/0/imagePullPolicy",
+                     "value": "Always"},
+                ],
+            }],
+        )
+        deployment = build(overlay)[0]
+        assert deployment["spec"]["replicas"] == 5
+        container = deployment["spec"]["template"]["spec"]["containers"][0]
+        assert container["imagePullPolicy"] == "Always"
+
+    def test_json6902_from_directory(self, tmp_path):
+        import yaml
+
+        (tmp_path / "deployment.yaml").write_text(yaml.safe_dump({
+            "apiVersion": "apps/v1", "kind": "Deployment",
+            "metadata": {"name": "web"}, "spec": {"replicas": 1},
+        }))
+        (tmp_path / "patch.yaml").write_text(yaml.safe_dump(
+            [{"op": "replace", "path": "/spec/replicas", "value": 7}]
+        ))
+        (tmp_path / "kustomization.yaml").write_text(yaml.safe_dump({
+            "resources": ["deployment.yaml"],
+            "patchesJson6902": [
+                {"target": {"kind": "Deployment", "name": "web"}, "path": "patch.yaml"}
+            ],
+        }))
+        from repro.kustomize import Kustomization, build
+
+        layer = Kustomization.from_directory(tmp_path)
+        assert build(layer)[0]["spec"]["replicas"] == 7
+
+
+_docs = st.recursive(
+    st.one_of(st.integers(), st.text(alphabet="ab", max_size=3)),
+    lambda c: st.one_of(
+        st.dictionaries(st.text(alphabet="xyz", min_size=1, max_size=2), c, max_size=3),
+        st.lists(c, max_size=3),
+    ),
+    max_leaves=10,
+)
+
+
+@given(_docs)
+def test_empty_patch_is_identity(document):
+    assert apply_patch(document, []) == document
+
+
+@given(st.dictionaries(st.text(alphabet="abc", min_size=1, max_size=3),
+                       st.integers(), min_size=1, max_size=4))
+def test_add_then_remove_roundtrip(document):
+    patched = apply_patch(document, [{"op": "add", "path": "/fresh", "value": 42}])
+    restored = apply_patch(patched, [{"op": "remove", "path": "/fresh"}])
+    expected = dict(document)
+    expected.pop("fresh", None)
+    assert restored == expected

@@ -1,0 +1,95 @@
+"""Unit and property tests for Helm-style deep merge."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.yamlutil import deep_merge
+
+
+class TestDeepMerge:
+    def test_dicts_merge_recursively(self):
+        base = {"a": {"x": 1, "y": 2}, "b": 3}
+        override = {"a": {"y": 20, "z": 30}}
+        assert deep_merge(base, override) == {"a": {"x": 1, "y": 20, "z": 30}, "b": 3}
+
+    def test_scalars_replace(self):
+        assert deep_merge({"a": 1}, {"a": "two"}) == {"a": "two"}
+
+    def test_lists_replace_wholesale(self):
+        assert deep_merge({"a": [1, 2, 3]}, {"a": [9]}) == {"a": [9]}
+
+    def test_none_deletes_key(self):
+        assert deep_merge({"a": 1, "b": 2}, {"a": None}) == {"b": 2}
+
+    def test_none_kept_when_disabled(self):
+        merged = deep_merge({"a": 1}, {"a": None}, delete_on_none=False)
+        assert merged == {"a": None}
+
+    def test_override_adds_new_keys(self):
+        assert deep_merge({}, {"new": {"k": 1}}) == {"new": {"k": 1}}
+
+    def test_dict_replaces_scalar(self):
+        assert deep_merge({"a": 1}, {"a": {"b": 2}}) == {"a": {"b": 2}}
+
+    def test_scalar_replaces_dict(self):
+        assert deep_merge({"a": {"b": 2}}, {"a": 1}) == {"a": 1}
+
+    def test_inputs_not_mutated(self):
+        base = {"a": {"x": [1, 2]}}
+        override = {"a": {"x": [3]}}
+        merged = deep_merge(base, override)
+        merged["a"]["x"].append(99)
+        assert base == {"a": {"x": [1, 2]}}
+        assert override == {"a": {"x": [3]}}
+
+    def test_helm_values_scenario(self):
+        """The exact merge Helm performs for -f overrides."""
+        defaults = {
+            "image": {"registry": "docker.io", "tag": "1.0"},
+            "replicas": 2,
+            "resources": {"limits": {"cpu": "500m"}},
+        }
+        user = {"image": {"tag": "2.0"}, "replicas": 5}
+        merged = deep_merge(defaults, user)
+        assert merged["image"] == {"registry": "docker.io", "tag": "2.0"}
+        assert merged["replicas"] == 5
+        assert merged["resources"] == {"limits": {"cpu": "500m"}}
+
+
+_keys = st.text(alphabet="abcde", min_size=1, max_size=3)
+_values = st.one_of(st.integers(), st.text(max_size=5), st.booleans())
+_dicts = st.recursive(
+    st.dictionaries(_keys, _values, max_size=4),
+    lambda children: st.dictionaries(_keys, st.one_of(_values, children), max_size=4),
+    max_leaves=15,
+)
+
+
+@given(_dicts)
+def test_merge_with_empty_override_is_identity(base):
+    assert deep_merge(base, {}) == base
+
+
+@given(_dicts)
+def test_merge_with_self_is_identity(base):
+    assert deep_merge(base, base) == base
+
+
+@given(_dicts, _dicts)
+def test_override_keys_win(base, override):
+    merged = deep_merge(base, override)
+    for key, value in override.items():
+        assert key in merged
+        if not isinstance(value, dict):
+            assert merged[key] == value
+
+
+@given(_dicts, _dicts)
+def test_merge_result_contains_all_override_leaf_paths(base, override):
+    from repro.yamlutil import get_path, walk_leaves
+
+    merged = deep_merge(base, override)
+    for path, value in walk_leaves(override):
+        if value == {} or value == []:
+            continue  # empty containers may merge into larger ones
+        assert get_path(merged, path) == value

@@ -1,0 +1,179 @@
+"""Unit tests for FieldPath and path-based access."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.yamlutil import FieldPath, delete_path, get_path, set_path, walk_leaves
+
+
+class TestFieldPathParse:
+    def test_simple_dotted(self):
+        assert FieldPath.parse("spec.replicas").parts == ("spec", "replicas")
+
+    def test_with_index(self):
+        path = FieldPath.parse("spec.containers[0].image")
+        assert path.parts == ("spec", "containers", 0, "image")
+
+    def test_multiple_indexes(self):
+        assert FieldPath.parse("a[1][2].b").parts == ("a", 1, 2, "b")
+
+    def test_empty_string_is_root(self):
+        assert FieldPath.parse("").parts == ()
+
+    def test_roundtrip_str(self):
+        text = "spec.template.spec.containers[2].ports[0].containerPort"
+        assert str(FieldPath.parse(text)) == text
+
+    @pytest.mark.parametrize("bad", ["a..b", "a[x]", "a[", "a]b"])
+    def test_malformed_raises(self, bad):
+        with pytest.raises(ValueError):
+            FieldPath.parse(bad)
+
+    def test_keys_only_strips_indexes(self):
+        path = FieldPath.parse("containers[3].ports[0].name")
+        assert path.keys_only == ("containers", "ports", "name")
+
+    def test_hashable_and_equal(self):
+        assert FieldPath.parse("a.b") == FieldPath.parse("a.b")
+        assert hash(FieldPath.parse("a.b")) == hash(FieldPath.parse("a.b"))
+        assert FieldPath.parse("a.b") != FieldPath.parse("a.c")
+
+    def test_child_and_parent(self):
+        path = FieldPath.parse("a.b")
+        assert path.child("c").parts == ("a", "b", "c")
+        assert path.parent().parts == ("a",)
+        with pytest.raises(ValueError):
+            FieldPath().parent()
+
+    def test_startswith(self):
+        assert FieldPath.parse("a.b.c").startswith(FieldPath.parse("a.b"))
+        assert not FieldPath.parse("a.b").startswith(FieldPath.parse("a.b.c"))
+
+    def test_ordering_is_total(self):
+        paths = [FieldPath.parse(p) for p in ("b", "a[1]", "a.c", "a")]
+        assert sorted(paths)  # must not raise on mixed str/int parts
+
+
+class TestGetPath:
+    TREE = {"spec": {"replicas": 3, "containers": [{"image": "nginx"}]}}
+
+    def test_nested_get(self):
+        assert get_path(self.TREE, "spec.replicas") == 3
+
+    def test_list_index(self):
+        assert get_path(self.TREE, "spec.containers[0].image") == "nginx"
+
+    def test_missing_raises_keyerror(self):
+        with pytest.raises(KeyError):
+            get_path(self.TREE, "spec.missing")
+
+    def test_missing_with_default(self):
+        assert get_path(self.TREE, "spec.missing", 42) == 42
+
+    def test_index_out_of_range_default(self):
+        assert get_path(self.TREE, "spec.containers[5].image", None) is None
+
+    def test_traverse_through_scalar_uses_default(self):
+        assert get_path(self.TREE, "spec.replicas.deep", "dflt") == "dflt"
+
+    def test_root_path_returns_tree(self):
+        assert get_path(self.TREE, "") is self.TREE
+
+
+class TestSetPath:
+    def test_set_creates_intermediate_dicts(self):
+        tree = {}
+        set_path(tree, "a.b.c", 1)
+        assert tree == {"a": {"b": {"c": 1}}}
+
+    def test_set_extends_lists(self):
+        tree = {}
+        set_path(tree, "a[2]", "x")
+        assert tree == {"a": [None, None, "x"]}
+
+    def test_set_list_of_dicts(self):
+        tree = {}
+        set_path(tree, "containers[0].name", "web")
+        assert tree == {"containers": [{"name": "web"}]}
+
+    def test_set_overwrites(self):
+        tree = {"a": {"b": 1}}
+        set_path(tree, "a.b", 2)
+        assert tree["a"]["b"] == 2
+
+    def test_set_root_raises(self):
+        with pytest.raises(ValueError):
+            set_path({}, "", 1)
+
+    def test_set_through_wrong_type_raises(self):
+        with pytest.raises(TypeError):
+            set_path({"a": 5}, "a.b", 1)
+
+
+class TestDeletePath:
+    def test_delete_existing_key(self):
+        tree = {"a": {"b": 1, "c": 2}}
+        assert delete_path(tree, "a.b") is True
+        assert tree == {"a": {"c": 2}}
+
+    def test_delete_missing_returns_false(self):
+        assert delete_path({"a": {}}, "a.b") is False
+        assert delete_path({}, "x.y.z") is False
+
+    def test_delete_list_element(self):
+        tree = {"a": [1, 2, 3]}
+        assert delete_path(tree, "a[1]") is True
+        assert tree == {"a": [1, 3]}
+
+    def test_delete_list_out_of_range(self):
+        assert delete_path({"a": [1]}, "a[5]") is False
+
+
+class TestWalkLeaves:
+    def test_walks_scalars(self):
+        tree = {"a": 1, "b": {"c": "x"}}
+        leaves = {str(p): v for p, v in walk_leaves(tree)}
+        assert leaves == {"a": 1, "b.c": "x"}
+
+    def test_empty_containers_are_leaves(self):
+        tree = {"a": {}, "b": []}
+        leaves = {str(p): v for p, v in walk_leaves(tree)}
+        assert leaves == {"a": {}, "b": []}
+
+    def test_list_leaves_have_indexes(self):
+        leaves = {str(p): v for p, v in walk_leaves({"a": [10, 20]})}
+        assert leaves == {"a[0]": 10, "a[1]": 20}
+
+
+# -- property-based ----------------------------------------------------------
+
+_keys = st.text(alphabet="abcdefgh", min_size=1, max_size=4)
+_scalars = st.one_of(st.integers(), st.booleans(), st.text(max_size=8))
+_trees = st.recursive(
+    _scalars,
+    lambda children: st.one_of(
+        st.dictionaries(_keys, children, max_size=4),
+        st.lists(children, max_size=4),
+    ),
+    max_leaves=20,
+)
+
+
+@given(_trees)
+def test_walk_leaves_paths_are_retrievable(tree):
+    """Every (path, value) from walk_leaves must round-trip via get_path."""
+    for path, value in walk_leaves(tree):
+        assert get_path(tree, path) == value
+
+
+@given(st.dictionaries(_keys, _scalars, min_size=1, max_size=5), _keys, _scalars)
+def test_set_then_get_roundtrip(tree, key, value):
+    set_path(tree, f"nested.{key}", value)
+    assert get_path(tree, f"nested.{key}") == value
+
+
+@given(_trees)
+def test_path_str_parse_roundtrip(tree):
+    for path, _ in walk_leaves(tree):
+        assert FieldPath.parse(str(path)) == path

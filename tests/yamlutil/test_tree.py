@@ -1,0 +1,92 @@
+"""Unit tests for structural tree helpers."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.yamlutil import deep_copy, iter_nodes, structural_diff, subtree_contains
+
+
+class TestDeepCopy:
+    def test_copies_nested(self):
+        tree = {"a": [{"b": 1}]}
+        copied = deep_copy(tree)
+        copied["a"][0]["b"] = 2
+        assert tree["a"][0]["b"] == 1
+
+    def test_scalars_pass_through(self):
+        assert deep_copy(5) == 5
+        assert deep_copy("x") == "x"
+        assert deep_copy(None) is None
+
+
+class TestIterNodes:
+    def test_yields_root_and_all_nodes(self):
+        tree = {"a": {"b": 1}, "c": [2]}
+        nodes = {str(p): n for p, n in iter_nodes(tree)}
+        assert nodes[""] == tree
+        assert nodes["a"] == {"b": 1}
+        assert nodes["a.b"] == 1
+        assert nodes["c[0]"] == 2
+
+
+class TestStructuralDiff:
+    def test_identical_trees_no_diff(self):
+        assert structural_diff({"a": 1}, {"a": 1}) == []
+
+    def test_value_change(self):
+        diffs = structural_diff({"a": 1}, {"a": 2})
+        assert len(diffs) == 1
+        path, left, right = diffs[0]
+        assert str(path) == "a" and left == 1 and right == 2
+
+    def test_missing_key_reported_absent(self):
+        diffs = structural_diff({"a": 1}, {})
+        assert diffs[0][2] == "<absent>"
+
+    def test_list_length_difference(self):
+        diffs = structural_diff({"a": [1]}, {"a": [1, 2]})
+        assert len(diffs) == 1
+        assert str(diffs[0][0]) == "a[1]"
+
+
+class TestSubtreeContains:
+    def test_dict_subset(self):
+        haystack = {"spec": {"replicas": 3, "selector": {}}}
+        assert subtree_contains(haystack, {"spec": {"replicas": 3}})
+
+    def test_value_mismatch(self):
+        assert not subtree_contains({"a": 1}, {"a": 2})
+
+    def test_missing_key(self):
+        assert not subtree_contains({"a": 1}, {"b": 1})
+
+    def test_list_prefix(self):
+        assert subtree_contains({"a": [1, 2, 3]}, {"a": [1, 2]})
+        assert not subtree_contains({"a": [1]}, {"a": [1, 2]})
+
+    def test_scalar_equality(self):
+        assert subtree_contains(5, 5)
+        assert not subtree_contains(5, 6)
+
+
+_keys = st.text(alphabet="abc", min_size=1, max_size=2)
+_trees = st.recursive(
+    st.one_of(st.integers(), st.text(max_size=4)),
+    lambda c: st.one_of(st.dictionaries(_keys, c, max_size=3), st.lists(c, max_size=3)),
+    max_leaves=12,
+)
+
+
+@given(_trees)
+def test_deep_copy_equals_original(tree):
+    assert deep_copy(tree) == tree
+
+
+@given(_trees)
+def test_diff_with_self_is_empty(tree):
+    assert structural_diff(tree, tree) == []
+
+
+@given(_trees)
+def test_tree_contains_itself(tree):
+    assert subtree_contains(tree, tree)
