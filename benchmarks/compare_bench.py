@@ -1,0 +1,175 @@
+#!/usr/bin/env python
+"""Interpreted-vs-compiled validation throughput, with regression gate.
+
+Measures ops/sec of ``Validator.validate_interpreted`` and of the
+compiled engine on the Table IV reference manifest (the SonarQube
+Deployment -- the same body ``test_single_request_validation_cost``
+benchmarks), writes ``benchmarks/results/BENCH_validation.json``, and
+compares against the committed baseline
+(``benchmarks/baseline_validation.json``).
+
+The regression gate is on the interpreted->compiled **speedup ratio**
+(dimensionless, so the committed baseline transfers across machines):
+the check fails when the measured compiled speedup falls below
+``(1 - tolerance)`` of the baseline speedup, or below the hard floor of
+3x that the compiled engine is required to deliver.  A baseline that
+sets ``"strict_absolute": true`` additionally gates on absolute
+compiled ops/sec (useful on pinned CI hardware).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/compare_bench.py
+    PYTHONPATH=src python benchmarks/compare_bench.py --update-baseline
+
+The same measurement runs under pytest via the ``bench_compare`` marker
+(``pytest benchmarks/test_bench_validation_compiled.py -m bench_compare``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+from typing import Any
+
+BENCH_DIR = Path(__file__).resolve().parent
+RESULTS_PATH = BENCH_DIR / "results" / "BENCH_validation.json"
+BASELINE_PATH = BENCH_DIR / "baseline_validation.json"
+
+#: Hard floor required of the compiled engine (acceptance criterion).
+SPEEDUP_FLOOR = 3.0
+#: Allowed relative regression versus the committed baseline.
+DEFAULT_TOLERANCE = 0.20
+
+
+def _ops_per_sec(fn: Any, arg: Any, min_seconds: float = 0.4) -> float:
+    """Best-of-3 throughput of ``fn(arg)`` (adaptive iteration count)."""
+    # Calibrate: grow the batch until one batch takes ~min_seconds/4.
+    batch = 64
+    while True:
+        started = time.perf_counter()
+        for _ in range(batch):
+            fn(arg)
+        elapsed = time.perf_counter() - started
+        if elapsed >= min_seconds / 4:
+            break
+        batch *= 4
+    best = batch / elapsed
+    for _ in range(2):
+        started = time.perf_counter()
+        for _ in range(batch):
+            fn(arg)
+        elapsed = time.perf_counter() - started
+        best = max(best, batch / elapsed)
+    return best
+
+
+def reference_workload() -> tuple[Any, dict]:
+    """The validator + manifest pair the numbers refer to."""
+    from repro.core.pipeline import generate_policy
+    from repro.helm.chart import render_chart
+    from repro.operators import get_chart
+
+    chart = get_chart("sonarqube")
+    validator = generate_policy(chart)
+    deployment = next(
+        m for m in render_chart(chart) if m["kind"] == "Deployment"
+    )
+    return validator, deployment
+
+
+def measure_validation(validator: Any, manifest: dict) -> dict[str, Any]:
+    """Interpreted and compiled ops/sec on one (validator, manifest)."""
+    compiled = validator.compiled()
+    result_interpreted = validator.validate_interpreted(manifest)
+    result_compiled = compiled.validate(manifest)
+    if result_interpreted.allowed != result_compiled.allowed:
+        raise RuntimeError("engine parity broken on the reference manifest")
+    interpreted_ops = _ops_per_sec(validator.validate_interpreted, manifest)
+    compiled_ops = _ops_per_sec(compiled.validate, manifest)
+    return {
+        "manifest_kind": manifest.get("kind"),
+        "operator": validator.operator,
+        "interpreted_ops_per_sec": round(interpreted_ops, 1),
+        "compiled_ops_per_sec": round(compiled_ops, 1),
+        "speedup": round(compiled_ops / interpreted_ops, 3),
+    }
+
+
+def check_regression(
+    current: dict[str, Any],
+    baseline: dict[str, Any] | None,
+    tolerance: float = DEFAULT_TOLERANCE,
+) -> tuple[bool, str]:
+    """(ok, message) -- compiled throughput gate versus baseline."""
+    speedup = current["speedup"]
+    if speedup < SPEEDUP_FLOOR:
+        return False, (
+            f"compiled engine speedup {speedup:.2f}x is below the required "
+            f"{SPEEDUP_FLOOR:.1f}x floor"
+        )
+    if baseline is None:
+        return True, f"no baseline; speedup {speedup:.2f}x >= {SPEEDUP_FLOOR:.1f}x floor"
+    allowed = baseline["speedup"] * (1.0 - tolerance)
+    if speedup < allowed:
+        return False, (
+            f"compiled speedup regressed: {speedup:.2f}x < {allowed:.2f}x "
+            f"(baseline {baseline['speedup']:.2f}x - {tolerance:.0%})"
+        )
+    if baseline.get("strict_absolute"):
+        floor_ops = baseline["compiled_ops_per_sec"] * (1.0 - tolerance)
+        if current["compiled_ops_per_sec"] < floor_ops:
+            return False, (
+                f"compiled throughput regressed: "
+                f"{current['compiled_ops_per_sec']:.0f} ops/s < {floor_ops:.0f} ops/s "
+                f"(baseline {baseline['compiled_ops_per_sec']:.0f} - {tolerance:.0%})"
+            )
+    return True, (
+        f"speedup {speedup:.2f}x (baseline {baseline['speedup']:.2f}x, "
+        f"tolerance {tolerance:.0%}) -- ok"
+    )
+
+
+def load_baseline() -> dict[str, Any] | None:
+    if BASELINE_PATH.exists():
+        return json.loads(BASELINE_PATH.read_text())
+    return None
+
+
+def write_results(result: dict[str, Any], path: Path = RESULTS_PATH) -> None:
+    path.parent.mkdir(exist_ok=True)
+    path.write_text(json.dumps(result, indent=2, sort_keys=True) + "\n")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--update-baseline", action="store_true",
+        help="write the measurement to the committed baseline file",
+    )
+    parser.add_argument(
+        "--tolerance", type=float, default=DEFAULT_TOLERANCE,
+        help="allowed relative regression (default 0.20)",
+    )
+    args = parser.parse_args(argv)
+
+    validator, manifest = reference_workload()
+    result = measure_validation(validator, manifest)
+    write_results(result)
+    print(json.dumps(result, indent=2, sort_keys=True))
+    print(f"wrote {RESULTS_PATH}")
+
+    if args.update_baseline:
+        BASELINE_PATH.write_text(json.dumps(result, indent=2, sort_keys=True) + "\n")
+        print(f"baseline updated: {BASELINE_PATH}")
+        return 0
+
+    ok, message = check_regression(result, load_baseline(), args.tolerance)
+    print(message)
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

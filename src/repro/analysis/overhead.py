@@ -58,6 +58,13 @@ class OverheadRow:
     rbac_ms_std: float
     kubefence_ms_mean: float
     kubefence_ms_std: float
+    #: aggregated proxy counters across repetitions (where time goes).
+    cache_hits: int = 0
+    cache_misses: int = 0
+    validation_ns_p50: float = 0.0
+    validation_ns_p99: float = 0.0
+    #: which validation engine the KubeFence arm used.
+    engine: str = "compiled"
 
     @property
     def increase_ms(self) -> float:
@@ -77,6 +84,13 @@ class OverheadConfig:
     network_delay_ms: float = 0.0
     #: cost of the proxy's localhost hop relative to the client link.
     localhost_hop_ratio: float = 0.1
+    #: validation engine for the KubeFence arm: "auto" (compiled unless
+    #: REPRO_NO_COMPILE is set), "compiled", or "interpreted" (the
+    #: pre-compilation baseline, kept for the comparison row).
+    engine: str = "auto"
+    #: decision-cache capacity for the KubeFence arm (0 disables; the
+    #: default measurement keeps it on, mirroring deployment).
+    cache_size: int = 1024
 
 
 def _learn_rbac_policy(chart: Chart) -> Any:
@@ -115,6 +129,7 @@ def measure_overhead(
     config = config or OverheadConfig()
     rbac_policy = _learn_rbac_policy(chart)
     validator = validator or generate_policy(chart)
+    proxies: list[KubeFenceProxy] = []
 
     def rbac_client() -> OperatorClient:
         cluster = Cluster(authorizer=RBACAuthorizer(rbac_policy))
@@ -125,7 +140,11 @@ def measure_overhead(
 
     def kubefence_client() -> OperatorClient:
         cluster = Cluster()
-        transport: Any = KubeFenceProxy(cluster.api, validator)
+        proxy = KubeFenceProxy(
+            cluster.api, validator, cache_size=config.cache_size, engine=config.engine
+        )
+        proxies.append(proxy)
+        transport: Any = proxy
         if config.network_delay_ms:
             # The proxy runs on the control-plane node (as the paper's
             # mitmproxy Pod does): the client->proxy leg costs the same
@@ -138,12 +157,22 @@ def measure_overhead(
 
     rbac_samples = _time_deploys(rbac_client, chart, config.repetitions)
     kf_samples = _time_deploys(kubefence_client, chart, config.repetitions)
+    from repro.core.proxy import ProxyStats
+
+    totals = ProxyStats()
+    for proxy in proxies:
+        totals.merge(proxy.stats)
     return OverheadRow(
         operator=chart.name,
         rbac_ms_mean=statistics.fmean(rbac_samples),
         rbac_ms_std=statistics.pstdev(rbac_samples),
         kubefence_ms_mean=statistics.fmean(kf_samples),
         kubefence_ms_std=statistics.pstdev(kf_samples),
+        cache_hits=totals.cache_hits,
+        cache_misses=totals.cache_misses,
+        validation_ns_p50=totals.validation_ns_p50,
+        validation_ns_p99=totals.validation_ns_p99,
+        engine=config.engine,
     )
 
 
@@ -157,6 +186,7 @@ def measure_overhead_http(
 
     validator = validator or generate_policy(chart)
     manifests = render_chart(chart)
+    proxies: list[Any] = []
 
     def run(base_url_factory: Callable[[], tuple[Any, str]]) -> list[float]:
         samples = []
@@ -182,16 +212,26 @@ def measure_overhead_http(
     def proxied() -> tuple[Any, str]:
         server = HttpApiServer(Cluster().api).start()
         proxy = HttpKubeFenceProxy(server.base_url, validator).start()
+        proxies.append(proxy)
         return [proxy, server], proxy.base_url
 
     rbac_samples = run(direct)
     kf_samples = run(proxied)
+    from repro.core.proxy import ProxyStats
+
+    totals = ProxyStats()
+    for proxy in proxies:
+        totals.merge(proxy.stats)
     return OverheadRow(
         operator=chart.name,
         rbac_ms_mean=statistics.fmean(rbac_samples),
         rbac_ms_std=statistics.pstdev(rbac_samples),
         kubefence_ms_mean=statistics.fmean(kf_samples),
         kubefence_ms_std=statistics.pstdev(kf_samples),
+        cache_hits=totals.cache_hits,
+        cache_misses=totals.cache_misses,
+        validation_ns_p50=totals.validation_ns_p50,
+        validation_ns_p99=totals.validation_ns_p99,
     )
 
 

@@ -21,6 +21,7 @@ not chosen by the client.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 from typing import Any
 
@@ -42,6 +43,12 @@ SERVER_MANAGED_METADATA = frozenset(
 #: allowed to exhaust the recursion stack (a billion-laughs-style DoS
 #: against the proxy itself, cf. CVE-2019-11253).
 MAX_VALIDATION_DEPTH = 100
+
+
+def compile_enabled() -> bool:
+    """Whether ``Validator.validate`` routes through the compiled
+    engine (default on; ``REPRO_NO_COMPILE=1`` is the escape hatch)."""
+    return not os.environ.get("REPRO_NO_COMPILE")
 
 
 @dataclass(frozen=True)
@@ -78,11 +85,50 @@ class Validator:
     kinds: dict[str, dict[str, Any]]
     locks: list[SecurityLock] = field(default_factory=list)
     meta: dict[str, Any] = field(default_factory=dict)
+    #: Bumped whenever the policy content changes (``invalidate_compiled``
+    #: or ``install``-style replacement); decision caches key on it.
+    policy_revision: int = field(default=0, init=False, repr=False, compare=False)
+    _compiled_engine: Any = field(default=None, init=False, repr=False, compare=False)
 
     # -- validation --------------------------------------------------------
 
     def validate(self, manifest: dict[str, Any]) -> ValidationResult:
-        """Validate one manifest; never raises."""
+        """Validate one manifest; never raises.
+
+        Routes through the compiled engine (one-time compilation,
+        memoized pattern matching, lazy violation paths) unless the
+        ``REPRO_NO_COMPILE`` environment variable is set, in which case
+        the interpreted tree-walk below runs instead.  Both engines are
+        outcome- and violation-identical (see
+        ``tests/core/test_compiled.py``).
+        """
+        if compile_enabled():
+            return self.compiled().validate(manifest)
+        return self.validate_interpreted(manifest)
+
+    def compiled(self) -> Any:
+        """The compiled form of this policy, built on first use.
+
+        Mutating ``kinds``/``locks`` after compilation requires calling
+        :meth:`invalidate_compiled` to rebuild (and to invalidate any
+        proxy decision caches keyed on :attr:`policy_revision`).
+        """
+        engine = self._compiled_engine
+        if engine is None:
+            from repro.core.compiled import compile_validator
+
+            engine = compile_validator(self)
+            self._compiled_engine = engine
+        return engine
+
+    def invalidate_compiled(self) -> None:
+        """Drop the compiled engine and bump :attr:`policy_revision`
+        (call after mutating the policy in place)."""
+        self._compiled_engine = None
+        self.policy_revision += 1
+
+    def validate_interpreted(self, manifest: dict[str, Any]) -> ValidationResult:
+        """The reference interpreted tree-walk (parity baseline)."""
         violations: list[Violation] = []
         kind = manifest.get("kind")
         if not isinstance(kind, str) or not kind:

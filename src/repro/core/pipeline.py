@@ -11,7 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any
 
-from repro.core.enforcement import Validator
+from repro.core.enforcement import Validator, compile_enabled
 from repro.core.explorer import explore_variants
 from repro.core.renderer import render_all_variants
 from repro.core.schema_gen import ValuesSchema, generate_values_schema
@@ -43,10 +43,15 @@ class PolicyGenerator:
         locks: tuple[SecurityLock, ...] = DEFAULT_LOCKS,
         explore_booleans: bool = False,
         namespace: str = "default",
+        precompile: bool = True,
     ):
         self.locks = locks
         self.explore_booleans = explore_booleans
         self.namespace = namespace
+        #: Compile the validator eagerly at generation time (offline
+        #: phase), so the enforcement proxy's first request does not
+        #: pay the one-time compilation cost.
+        self.precompile = precompile
 
     def generate(self, chart: Chart) -> PolicyGenerationReport:
         schema = generate_values_schema(chart, explore_booleans=self.explore_booleans)
@@ -57,6 +62,8 @@ class PolicyGenerator:
         )
         validator.meta["chartVersion"] = chart.version
         validator.meta["exploreBooleans"] = self.explore_booleans
+        if self.precompile and compile_enabled():
+            validator.compiled()
         return PolicyGenerationReport(
             operator=chart.name,
             values_schema=schema,

@@ -26,8 +26,12 @@ accepts booleans and ``"true"``/``"false"``.
 
 from __future__ import annotations
 
+import logging
 import re
+from functools import lru_cache
 from typing import Any
+
+logger = logging.getLogger(__name__)
 
 #: Placeholder type names, in detection-priority order.
 TYPES = ("bool", "port", "int", "IP", "quantity", "string", "list", "dict")
@@ -130,14 +134,24 @@ def matches_type(value: Any, ptype: str) -> bool:
         return isinstance(value, list)
     if ptype == "dict":
         return isinstance(value, dict)
-    raise ValueError(f"unknown placeholder type {ptype!r}")
+    # Unknown placeholder types must not break the enforcement path:
+    # ``Validator.validate`` documents that it never raises, so a
+    # malformed policy (hand-edited, version-skewed) degrades to a
+    # non-match (deny) rather than a crash of the proxy.
+    logger.warning("unknown placeholder type %r treated as non-matching", ptype)
+    return False
 
 
-def matches_pattern(value: Any, pattern: str) -> bool:
-    """Match a manifest value against a validator string that embeds
-    placeholder tokens, e.g. ``docker.io/bitnami/nginx:⟨string⟩``."""
-    if not isinstance(value, (str, int, float, bool)):
-        return False
+@lru_cache(maxsize=4096)
+def compile_pattern(pattern: str) -> "re.Pattern[str]":
+    """Compile a validator string embedding placeholder tokens into a
+    regular expression, once per distinct pattern string.
+
+    The enforcement hot path matches the same few hundred pattern
+    strings millions of times; memoizing the string -> ``re.Pattern``
+    step removes both the regex-source rebuild and the ``re`` cache
+    lookup from every scalar match (interpreted *and* compiled mode).
+    """
     regex_parts: list[str] = []
     pos = 0
     for match in TOKEN_RE.finditer(pattern):
@@ -145,9 +159,17 @@ def matches_pattern(value: Any, pattern: str) -> bool:
         regex_parts.append(_TYPE_PATTERNS[match.group(1)])
         pos = match.end()
     regex_parts.append(re.escape(pattern[pos:]))
+    return re.compile("".join(regex_parts))
+
+
+def matches_pattern(value: Any, pattern: str) -> bool:
+    """Match a manifest value against a validator string that embeds
+    placeholder tokens, e.g. ``docker.io/bitnami/nginx:⟨string⟩``."""
+    if not isinstance(value, (str, int, float, bool)):
+        return False
     from repro.helm.functions import _go_str
 
-    return re.fullmatch("".join(regex_parts), _go_str(value)) is not None
+    return compile_pattern(pattern).fullmatch(_go_str(value)) is not None
 
 
 def matches(value: Any, allowed: Any) -> bool:

@@ -58,6 +58,10 @@ _METHOD_VERBS = {"POST": "create", "PUT": "update", "PATCH": "patch", "DELETE": 
 
 class _Handler(BaseHTTPRequestHandler):
     server_version = "MiniKubeApiServer/1.0"
+    #: HTTP/1.1 so pooled clients (notably the KubeFence proxy's
+    #: keep-alive upstream connections) can reuse the TCP socket; every
+    #: response path sends an explicit Content-Length.
+    protocol_version = "HTTP/1.1"
     api: APIServer  # injected by serve()
 
     # Silence the default stderr request logging.
@@ -80,6 +84,12 @@ class _Handler(BaseHTTPRequestHandler):
         self.wfile.write(payload)
 
     def _handle(self, method: str) -> None:
+        # Drain the request body before any early reply: with HTTP/1.1
+        # keep-alive, unread body bytes would corrupt the next request
+        # on the same connection.
+        length = int(self.headers.get("Content-Length") or 0)
+        raw = self.rfile.read(length) if length else b""
+
         try:
             kind, namespace, name = parse_rest_path(self.path, self.api.registry)
         except (ValueError, KeyError) as exc:
@@ -94,10 +104,9 @@ class _Handler(BaseHTTPRequestHandler):
             return
 
         body: dict | None = None
-        length = int(self.headers.get("Content-Length") or 0)
-        if length:
+        if raw:
             try:
-                body = json.loads(self.rfile.read(length))
+                body = json.loads(raw)
             except (ValueError, RecursionError):
                 self._respond(
                     ApiResponse.from_error(

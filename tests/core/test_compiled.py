@@ -1,0 +1,179 @@
+"""Compiled validator engine: parity, caching, and invalidation.
+
+The compiled engine must be observationally identical to the
+interpreted tree-walk -- same allow/deny outcome, same violation
+paths/reasons, same order -- on benign manifests, attack manifests,
+and a fuzz corpus.  The decision cache must be LRU-bounded and drop
+everything when the policy changes.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.compiled import (
+    CompiledValidator,
+    DecisionCache,
+    canonical_body_key,
+    compile_validator,
+)
+from repro.core.enforcement import ValidationResult, Validator, Violation
+from repro.fuzz import ManifestFuzzer
+from repro.helm.chart import render_chart
+from repro.k8s.schema import catalog
+from repro.yamlutil import deep_copy, set_path
+
+
+def _signature(result: ValidationResult):
+    return (result.allowed, [(v.path, v.reason) for v in result.violations])
+
+
+def _assert_parity(validator: Validator, manifest: dict):
+    interpreted = validator.validate_interpreted(manifest)
+    fast = validator.compiled().validate(manifest)
+    assert _signature(interpreted) == _signature(fast), manifest.get("kind")
+    return fast
+
+
+class TestParity:
+    def test_benign_manifests_allowed_identically(self, validators, default_manifests):
+        for name, validator in validators.items():
+            for manifest in default_manifests[name]:
+                result = _assert_parity(validator, manifest)
+                assert result.allowed
+
+    def test_denials_carry_identical_violations(self, validators, default_manifests):
+        mutations = [
+            ("spec.template.spec.hostNetwork", True),
+            ("spec.template.spec.hostPID", True),
+            ("spec.template.spec.containers[0].securityContext.privileged", True),
+            ("spec.template.spec.volumes[0].hostPath.path", "/"),
+            ("spec.externalIPs", ["203.0.113.9"]),
+            ("spec.template.spec.containers[0].image", "evil.example/backdoor:latest"),
+        ]
+        for name, validator in validators.items():
+            for manifest in default_manifests[name]:
+                for path, value in mutations:
+                    bad = deep_copy(manifest)
+                    try:
+                        set_path(bad, path, value)
+                    except (KeyError, IndexError, TypeError):
+                        continue
+                    _assert_parity(validator, bad)
+
+    def test_missing_and_unknown_kind(self, nginx_validator):
+        _assert_parity(nginx_validator, {"metadata": {"name": "x"}})
+        _assert_parity(nginx_validator, {"kind": "", "metadata": {}})
+        _assert_parity(
+            nginx_validator,
+            {"kind": "CronJob", "apiVersion": "batch/v1", "metadata": {"name": "x"}},
+        )
+
+    def test_depth_bomb_rejected_identically(self, nginx_validator):
+        bomb: dict = {"kind": "Deployment", "apiVersion": "apps/v1"}
+        node = bomb
+        for _ in range(150):
+            node["metadata"] = {}
+            node = node["metadata"]
+        _assert_parity(nginx_validator, bomb)
+
+    def test_junk_shapes(self, nginx_validator):
+        cases = [
+            {"kind": "Deployment", "spec": "not-an-object"},
+            {"kind": "Deployment", "spec": ["not", "an", "object"]},
+            {"kind": "Service", "spec": {"ports": "scalar"}},
+            {"kind": "Service", "spec": {"ports": [{"name": 1234, "port": "http"}]}},
+            {"kind": "Deployment", "metadata": {"resourceVersion": "42", "uid": "u"}},
+        ]
+        for manifest in cases:
+            _assert_parity(nginx_validator, manifest)
+
+    def test_fuzz_corpus_parity(self, validators):
+        """>= 500 fuzzed schema-valid manifests across all operators."""
+        total = 0
+        for name, validator in sorted(validators.items()):
+            fuzzer = ManifestFuzzer(seed=len(name), density=0.3)
+            kinds = [k for k in validator.kinds if k in catalog.kinds()]
+            for kind in kinds:
+                for manifest in fuzzer.corpus(kind, 25):
+                    _assert_parity(validator, manifest)
+                    total += 1
+        assert total >= 500, f"corpus too small: {total}"
+
+
+class TestCompiledEngineLifecycle:
+    def test_validate_routes_through_compiled_by_default(self, nginx_validator):
+        engine = nginx_validator.compiled()
+        assert isinstance(engine, CompiledValidator)
+        # Compiled once, reused thereafter.
+        assert nginx_validator.compiled() is engine
+
+    def test_escape_hatch(self, nginx_validator, nginx_deployment, monkeypatch):
+        monkeypatch.setenv("REPRO_NO_COMPILE", "1")
+        assert nginx_validator.validate(nginx_deployment).allowed
+        monkeypatch.delenv("REPRO_NO_COMPILE")
+        assert nginx_validator.validate(nginx_deployment).allowed
+
+    def test_invalidate_compiled_rebuilds_and_bumps_revision(self, validators):
+        validator = Validator.from_dict(validators["nginx"].to_dict())
+        engine = validator.compiled()
+        revision = validator.policy_revision
+        # In-place policy mutation: drop Service from the allowed kinds.
+        validator.kinds.pop("Service", None)
+        validator.invalidate_compiled()
+        assert validator.policy_revision == revision + 1
+        rebuilt = validator.compiled()
+        assert rebuilt is not engine
+        service = {"kind": "Service", "metadata": {"name": "svc"}}
+        assert not rebuilt.validate(service).allowed
+        assert not validator.validate(service).allowed
+
+    def test_pipeline_precompiles(self, validators):
+        # Session fixtures come from PolicyGenerator(precompile=True).
+        for validator in validators.values():
+            assert validator._compiled_engine is not None
+
+    def test_compile_validator_function(self, nginx_validator, nginx_deployment):
+        engine = compile_validator(nginx_validator)
+        assert engine.validate(nginx_deployment).allowed
+        assert engine.operator == nginx_validator.operator
+
+
+class TestCanonicalKey:
+    def test_key_order_insensitive(self):
+        a = {"kind": "Pod", "metadata": {"name": "x", "labels": {"a": "1", "b": "2"}}}
+        b = {"metadata": {"labels": {"b": "2", "a": "1"}, "name": "x"}, "kind": "Pod"}
+        assert canonical_body_key(a) == canonical_body_key(b)
+
+    def test_value_sensitive(self):
+        assert canonical_body_key({"x": 1}) != canonical_body_key({"x": 2})
+        assert canonical_body_key({"x": 1}) != canonical_body_key({"x": "1"})
+
+    def test_uncacheable_body(self):
+        assert canonical_body_key({"x": object()}) is None
+
+
+class TestDecisionCache:
+    def test_lru_eviction(self):
+        cache = DecisionCache(maxsize=2)
+        allowed = ValidationResult(True)
+        cache.put("a", allowed, revision=1)
+        cache.put("b", allowed, revision=1)
+        assert cache.get("a", revision=1) is allowed  # refresh a
+        cache.put("c", allowed, revision=1)  # evicts b (LRU)
+        assert cache.get("b", revision=1) is None
+        assert cache.get("a", revision=1) is allowed
+        assert cache.get("c", revision=1) is allowed
+        assert len(cache) == 2
+
+    def test_revision_change_drops_everything(self):
+        cache = DecisionCache(maxsize=8)
+        denied = ValidationResult(False, [Violation("p", "r")])
+        cache.put("a", denied, revision=1)
+        assert cache.get("a", revision=1) is denied
+        assert cache.get("a", revision=2) is None
+        assert len(cache) == 0
+
+    def test_rejects_nonpositive_size(self):
+        with pytest.raises(ValueError):
+            DecisionCache(maxsize=0)

@@ -79,6 +79,17 @@ class TestTypeMatching:
         assert ph.matches_type({}, "dict")
         assert not ph.matches_type({}, "list")
 
+    def test_unknown_type_is_nonmatching_not_fatal(self, caplog):
+        """Regression: a stale policy referencing a type this build does
+        not know must deny the value (fail closed), not crash the
+        validation path with ValueError."""
+        with caplog.at_level("WARNING", logger="repro.core.placeholders"):
+            assert ph.matches_type("anything", "float128") is False
+            assert ph.matches_type(3.14, "no-such-type") is False
+        assert any("float128" in r.message for r in caplog.records)
+        # Known types are unaffected.
+        assert ph.matches_type(5, "int")
+
 
 class TestPatternMatching:
     def test_image_pattern(self):

@@ -85,3 +85,98 @@ class TestMediation:
         OperatorClient(proxy).deploy_chart(chart)
         assert proxy.stats.requests_total == proxy.stats.requests_validated
         assert proxy.stats.validation_seconds > 0
+
+
+class TestProxyDecisionCache:
+    """The proxy-level decision cache (satellite of the compiled
+    engine): identical bodies are decided once per policy revision."""
+
+    def _deployment(self, chart):
+        return next(m for m in render_chart(chart) if m["kind"] == "Deployment")
+
+    def test_identical_body_hits_cache(self):
+        chart, cluster, proxy = _setup()
+        deployment = self._deployment(chart)
+        proxy.submit(ApiRequest.from_manifest(deployment, User.admin(), "create"))
+        assert (proxy.stats.cache_misses, proxy.stats.cache_hits) == (1, 0)
+        proxy.submit(ApiRequest.from_manifest(deployment, User.admin(), "update"))
+        assert (proxy.stats.cache_misses, proxy.stats.cache_hits) == (1, 1)
+        assert proxy.stats.cache_hit_rate == 0.5
+
+    def test_cached_denial_still_denied_and_logged(self):
+        chart, cluster, proxy = _setup()
+        bad = deep_copy(self._deployment(chart))
+        set_path(bad, "spec.template.spec.hostNetwork", True)
+        first = proxy.submit(ApiRequest.from_manifest(bad, User("eve")))
+        second = proxy.submit(ApiRequest.from_manifest(bad, User("eve")))
+        assert first.code == second.code == 403
+        assert proxy.stats.cache_hits == 1
+        # The audit trail records every denied request, cached or not.
+        assert len(proxy.denials) == 2
+
+    def test_install_validator_drops_cached_decisions(self):
+        chart, cluster, proxy = _setup()
+        deployment = self._deployment(chart)
+        proxy.submit(ApiRequest.from_manifest(deployment, User.admin(), "create"))
+        replacement = generate_policy(chart)
+        proxy.install_validator(replacement)
+        assert proxy.validator is replacement
+        proxy.submit(ApiRequest.from_manifest(deployment, User.admin(), "update"))
+        assert (proxy.stats.cache_misses, proxy.stats.cache_hits) == (2, 0)
+
+    def test_policy_revision_bump_invalidates(self):
+        chart, cluster, proxy = _setup()
+        deployment = self._deployment(chart)
+        proxy.submit(ApiRequest.from_manifest(deployment, User.admin(), "create"))
+        proxy.submit(ApiRequest.from_manifest(deployment, User.admin(), "update"))
+        assert proxy.stats.cache_hits == 1
+        proxy.validator.invalidate_compiled()  # in-place policy edit
+        proxy.submit(ApiRequest.from_manifest(deployment, User.admin(), "update"))
+        assert (proxy.stats.cache_misses, proxy.stats.cache_hits) == (2, 1)
+
+    def test_uncacheable_body_validated_every_time(self):
+        chart, cluster, proxy = _setup()
+        weird = {
+            "kind": "Deployment",
+            "apiVersion": "apps/v1",
+            "metadata": {"name": "weird"},
+            "spec": object(),  # not JSON-serializable -> no cache key
+        }
+        for _ in range(2):
+            proxy.submit(ApiRequest.from_manifest(weird, User.admin(), "create"))
+        assert proxy.stats.requests_validated == 2
+        assert (proxy.stats.cache_misses, proxy.stats.cache_hits) == (0, 0)
+
+    def test_cache_disabled(self):
+        chart = get_chart("nginx")
+        proxy = KubeFenceProxy(Cluster().api, generate_policy(chart), cache_size=0)
+        deployment = self._deployment(chart)
+        proxy.submit(ApiRequest.from_manifest(deployment, User.admin(), "create"))
+        proxy.submit(ApiRequest.from_manifest(deployment, User.admin(), "update"))
+        assert (proxy.stats.cache_misses, proxy.stats.cache_hits) == (0, 0)
+        assert proxy.stats.requests_validated == 2
+
+    def test_validation_latency_percentiles_recorded(self):
+        chart, cluster, proxy = _setup()
+        OperatorClient(proxy).deploy_chart(chart)
+        assert proxy.stats.validation_ns_p50 > 0
+        assert proxy.stats.validation_ns_p99 >= proxy.stats.validation_ns_p50
+
+
+class TestEngineSelection:
+    def test_unknown_engine_rejected(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            KubeFenceProxy(Cluster().api, generate_policy(get_chart("nginx")), engine="jit")
+
+    def test_forced_engines_agree(self):
+        chart = get_chart("nginx")
+        deployment = next(m for m in render_chart(chart) if m["kind"] == "Deployment")
+        bad = deep_copy(deployment)
+        set_path(bad, "spec.template.spec.hostPID", True)
+        for engine in ("auto", "compiled", "interpreted"):
+            proxy = KubeFenceProxy(Cluster().api, generate_policy(chart), engine=engine)
+            ok = proxy.submit(ApiRequest.from_manifest(deployment, User.admin(), "create"))
+            denied = proxy.submit(ApiRequest.from_manifest(bad, User.admin(), "update"))
+            assert ok.ok and denied.code == 403, engine

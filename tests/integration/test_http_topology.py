@@ -68,3 +68,74 @@ class TestHttpMediation:
         status, _ = client.apply(bad)
         assert status in (200, 201)
         cluster.store.delete("Deployment", "default", "sneak-nginx")
+
+
+class TestKeepAliveAndCache:
+    """HTTP/1.1 keep-alive forwarding and the proxy decision cache."""
+
+    def _post(self, conn, method, path, manifest):
+        import http.client  # noqa: F401  (documents the client type)
+        import json
+
+        conn.request(
+            method,
+            path,
+            body=json.dumps(manifest).encode(),
+            headers={
+                "Content-Type": "application/json",
+                "X-Remote-User": "nginx-operator",
+                "X-Remote-Groups": "system:masters",
+            },
+        )
+        response = conn.getresponse()
+        payload = response.read()  # drain so the connection can be reused
+        return response.status, payload
+
+    def test_keepalive_client_reuses_upstream_connection(self, topology):
+        """One client TCP connection is served by one proxy thread whose
+        pooled upstream connection is opened once and then reused."""
+        import http.client
+        from urllib.parse import urlsplit
+
+        chart, cluster, server, proxy = topology
+        opened_before = proxy.stats.connections_opened
+        reused_before = proxy.stats.connections_reused
+
+        manifest = next(
+            m
+            for m in render_chart(chart, release_name="keep")
+            if m["kind"] == "Deployment"
+        )
+        netloc = urlsplit(proxy.base_url)
+        conn = http.client.HTTPConnection(netloc.hostname, netloc.port)
+        try:
+            collection = "/apis/apps/v1/namespaces/default/deployments"
+            status, _ = self._post(conn, "POST", collection, manifest)
+            assert status in (200, 201)
+            for _ in range(3):
+                status, _ = self._post(
+                    conn, "PUT", f"{collection}/{manifest['metadata']['name']}", manifest
+                )
+                assert status == 200
+        finally:
+            conn.close()
+
+        assert proxy.stats.connections_opened == opened_before + 1
+        assert proxy.stats.connections_reused >= reused_before + 3
+
+    def test_http_proxy_decision_cache_hits(self, topology):
+        """Identical bodies resubmitted over HTTP are decided from the
+        proxy's cache; the latency percentiles are populated."""
+        chart, cluster, server, proxy = topology
+        hits_before = proxy.stats.cache_hits
+        client = HttpClient(proxy.base_url, username="nginx-operator")
+        manifest = next(
+            m
+            for m in render_chart(chart, release_name="cached")
+            if m["kind"] == "Service"
+        )
+        for _ in range(3):
+            status, _ = client.apply(manifest)
+            assert status in (200, 201)
+        assert proxy.stats.cache_hits >= hits_before + 2
+        assert proxy.stats.validation_ns_p99 >= proxy.stats.validation_ns_p50 > 0
