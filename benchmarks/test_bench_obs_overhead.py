@@ -1,0 +1,44 @@
+"""Observability-overhead gate (PR 2).
+
+The telemetry layer -- per-request traces/spans, registry counters,
+latency histograms -- must stay cheap enough to leave on in deployment:
+
+1. < 5% added to the full-deploy RTT on the deployment-modeled link
+   (simulated client<->control-plane delay applied to both arms, the
+   same device ``analysis/overhead.py`` uses for Table IV), versus the
+   ``REPRO_NO_OBS=1`` escape hatch;
+2. an absolute per-request telemetry cost below the
+   ``OBS_COST_LIMIT_US_PER_REQUEST`` ceiling (the noise-free
+   microbenchmark number derived from the pure-compute arms).
+
+The measurement lands in ``benchmarks/results/BENCH_obs_overhead.json``
+(the same JSON ``python benchmarks/compare_bench.py`` writes).
+"""
+
+import json
+
+import pytest
+
+from benchmarks.compare_bench import (
+    OBS_RESULTS_PATH,
+    check_obs_overhead,
+    measure_observability_overhead,
+    write_results,
+)
+
+
+@pytest.mark.bench_obs
+def test_observability_overhead_gate(emit_artifact):
+    """Telemetry adds < 5% to deploy RTT vs. ``REPRO_NO_OBS=1``."""
+    result = measure_observability_overhead(repetitions=20)
+    write_results(result, OBS_RESULTS_PATH)
+
+    ok, message = check_obs_overhead(result)
+    emit_artifact(
+        "bench_obs_overhead",
+        json.dumps(result, indent=2, sort_keys=True) + "\n" + message,
+    )
+    assert ok, message
+    # Sanity on the measurement itself: both arms actually deployed.
+    assert result["deploy_ms_no_obs"] > 0
+    assert result["requests_per_deploy"] >= 3

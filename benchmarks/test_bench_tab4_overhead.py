@@ -69,7 +69,15 @@ def test_single_request_validation_cost(benchmark, validators):
 
 
 def test_proxied_request_roundtrip(benchmark, validators):
-    """Full proxy path: validate + forward + persist (update verb)."""
+    """Full proxy path: validate + forward + persist (update verb).
+
+    The proxy counters are checked as a *windowed* delta
+    (``snapshot()`` before / after, diffed with :func:`repro.obs.delta`)
+    rather than as absolute values: the warmup create is wiped by
+    ``reset()``, so the window covers exactly the benchmarked traffic.
+    """
+    from repro.obs import delta
+
     cluster = Cluster()
     proxy = KubeFenceProxy(cluster.api, validators["nginx"])
     deployment = next(
@@ -78,8 +86,19 @@ def test_proxied_request_roundtrip(benchmark, validators):
     proxy.submit(ApiRequest.from_manifest(deployment, User.admin(), "create"))
     request = ApiRequest.from_manifest(deployment, User.admin(), "update")
 
+    proxy.stats.reset()  # drop the warmup create from the window
+    before = proxy.stats.snapshot()
     response = benchmark(proxy.submit, request)
     assert response.ok
+
+    window = delta(before, proxy.stats.snapshot())
+    requests_in_window = window.get("kubefence_requests_total", 0)
+    assert requests_in_window >= 1
+    assert window.get("kubefence_requests_validated_total", 0) == requests_in_window
+    # Identical resubmissions are the decision cache's steady state:
+    # after the first miss, every request in the window is a hit.
+    assert window.get("kubefence_cache_hits_total", 0) >= requests_in_window - 1
+    assert window.get("kubefence_requests_denied_total", 0) == 0
 
 
 def test_unproxied_request_roundtrip(benchmark):

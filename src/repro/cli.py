@@ -9,6 +9,7 @@ Commands mirror how a downstream user would operate KubeFence:
 - ``surface``   -- print the Fig. 9 usage heatmap and Table I.
 - ``coverage``  -- print the Fig. 5 e2e-coverage analysis.
 - ``overhead``  -- measure the Table IV RTT overhead.
+- ``obs``       -- dump a metrics/trace snapshot (docs/OBSERVABILITY.md).
 - ``operators`` -- list the built-in evaluation operators.
 """
 
@@ -190,6 +191,68 @@ def cmd_coverage(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_obs(args: argparse.Namespace) -> int:
+    """Telemetry snapshot: drive a representative workload through the
+    enforcement stack and dump the Prometheus exposition plus the
+    request traces it produced (see docs/OBSERVABILITY.md)."""
+    import json as _json
+
+    from repro.core.pipeline import generate_policy
+    from repro.core.proxy import KubeFenceProxy
+    from repro.helm.chart import render_chart
+    from repro.k8s.apiserver import ApiRequest, Cluster, User
+    from repro.obs import TRACES, obs_enabled
+    from repro.operators.client import OperatorClient
+    from repro.yamlutil import deep_copy, set_path
+
+    if not obs_enabled():
+        print("observability is disabled (REPRO_NO_OBS is set)", file=sys.stderr)
+        return 1
+
+    chart = _load_chart(args.operator or "nginx")
+    validator = generate_policy(chart)
+    cluster = Cluster()
+    proxy = KubeFenceProxy(cluster.api, validator)
+
+    TRACES.clear()
+    result = OperatorClient(proxy).deploy_chart(chart)
+    if not result.all_ok:
+        print("warning: benign deployment was not fully admitted", file=sys.stderr)
+    # One denied request, so denial metrics and a denied trace appear.
+    bad = deep_copy(
+        next(m for m in render_chart(chart) if m["kind"] == "Deployment")
+    )
+    set_path(bad, "spec.template.spec.hostNetwork", True)
+    proxy.submit(ApiRequest.from_manifest(bad, User("eve"), "update"))
+
+    if args.json:
+        print(_json.dumps({
+            "metrics": proxy.stats.snapshot(),
+            "apiserver_metrics": cluster.api.metrics.snapshot(),
+            "traces": [t.to_dict() for t in TRACES.traces()[-args.traces:]],
+        }, indent=2, sort_keys=True))
+        return 0
+
+    print("# ---- proxy /metrics " + "-" * 40)
+    print(proxy.stats.registry.expose(), end="")
+    print("# ---- api-server /metrics " + "-" * 35)
+    print(cluster.api.metrics.expose(), end="")
+    print(f"# ---- last {args.traces} traces " + "-" * 38)
+    for finished in TRACES.traces()[-args.traces:]:
+        stages = ", ".join(
+            f"{s.name}={s.duration_ns / 1000:.1f}us" for s in _walk_spans(finished.spans)
+        )
+        print(f"{finished.trace_id}  {finished.name:16s} "
+              f"{finished.duration_ns / 1000:9.1f}us  [{stages}]")
+    return 0
+
+
+def _walk_spans(spans):
+    for s in spans:
+        yield s
+        yield from _walk_spans(s.children)
+
+
 def cmd_overhead(args: argparse.Namespace) -> int:
     from repro.analysis.overhead import OverheadConfig, measure_overhead
     from repro.analysis.report import render_table4
@@ -264,6 +327,13 @@ def build_parser() -> argparse.ArgumentParser:
     overhead.add_argument("-r", "--repetitions", type=int, default=10)
     overhead.add_argument("--network-delay-ms", type=float, default=4.0)
 
+    obs = sub.add_parser(
+        "obs", help="dump a metrics/trace snapshot of the enforcement stack"
+    )
+    obs.add_argument("operator", nargs="?", help="operator to exercise (default: nginx)")
+    obs.add_argument("--traces", type=int, default=8, help="trace count to print")
+    obs.add_argument("--json", action="store_true", help="machine-readable output")
+
     return parser
 
 
@@ -278,6 +348,7 @@ _COMMANDS = {
     "surface": cmd_surface,
     "coverage": cmd_coverage,
     "overhead": cmd_overhead,
+    "obs": cmd_obs,
 }
 
 

@@ -20,20 +20,29 @@ Performance: validation runs on the compiled engine
 canonical hash of the write body, invalidated whenever the bound
 validator (or its :attr:`policy_revision`) changes.  Controllers that
 resubmit identical manifests (the reconcile-loop steady state) skip
-validation entirely.  Per-request validation latency is sampled into
-``ProxyStats`` so Table IV can report p50/p99 alongside the means.
+validation entirely.
+
+Observability: every request runs under a :mod:`repro.obs` trace
+(spans ``proxy.validate``, ``cache.lookup``, ``engine.match`` here;
+``admission.chain``/``store.commit`` downstream in the API server), and
+:class:`ProxyStats` is a thin façade over a per-proxy
+:class:`~repro.obs.MetricsRegistry` -- the HTTP proxy serves it at
+``GET /metrics`` in Prometheus text format.  Denials are labeled by
+``operator``/``kind``/``reason`` so Table III mitigation runs can be
+read straight off a scrape.  ``REPRO_NO_OBS=1`` disables the layer.
 """
 
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
-from typing import Any
+from dataclasses import dataclass
+from typing import Any, Iterable
 
 from repro.core.compiled import DecisionCache, canonical_body_key
 from repro.core.enforcement import ValidationResult, Validator
 from repro.k8s.apiserver import APIServer, ApiRequest, ApiResponse
 from repro.k8s.errors import ApiError
+from repro.obs import current_trace_id, new_registry, obs_endpoint, span, trace
 
 #: Verbs whose payload is validated.
 _WRITE_VERBS = frozenset({"create", "update", "patch"})
@@ -56,40 +65,205 @@ class DenialRecord:
     violations: tuple[str, ...]
 
 
-@dataclass
+#: (substring of the first violation's reason, bounded metric label).
+_DENIAL_REASONS: tuple[tuple[str, str], ...] = (
+    ("not used by this workload", "kind-not-used"),
+    ("missing kind", "missing-kind"),
+    ("exceeds maximum depth", "depth-limit"),
+    ("field not allowed", "field-not-allowed"),
+    ("no allowed configuration matches", "list-entry-mismatch"),
+    ("required by security policy", "security-lock"),
+    ("expected an object", "shape-mismatch"),
+)
+
+
+def denial_reason(violations: Iterable[Any]) -> str:
+    """Map free-text violations to a *bounded* reason label (the
+    metrics cardinality guard requires a closed set)."""
+    for violation in violations:
+        text = str(getattr(violation, "reason", violation))
+        for needle, label in _DENIAL_REASONS:
+            if needle in text:
+                return label
+        return "value-not-allowed"
+    return "other"
+
+
 class ProxyStats:
-    """Runtime counters (overhead analysis, Table IV)."""
+    """Runtime counters (overhead analysis, Table IV).
 
-    requests_total: int = 0
-    requests_validated: int = 0
-    requests_denied: int = 0
-    validation_seconds: float = 0.0
-    #: decision-cache outcomes (hits skip validation entirely).
-    cache_hits: int = 0
-    cache_misses: int = 0
-    #: upstream keep-alive pooling (HTTP proxy only).
-    connections_opened: int = 0
-    connections_reused: int = 0
-    #: per-request validation latency samples (ns), bounded ring buffer.
-    validation_ns_samples: list = field(default_factory=list, repr=False)
-    _sample_cursor: int = field(default=0, repr=False)
+    Since the observability layer landed this is a thin façade over a
+    per-proxy :class:`~repro.obs.MetricsRegistry`: every counter the
+    old dataclass carried is now a named metric (``kubefence_*``)
+    scrapeable from ``/metrics``, while the attribute API
+    (``stats.cache_hits`` etc.) is preserved for callers.  Latency is
+    recorded twice: into a labeled Prometheus histogram
+    (``kubefence_validation_latency_ns{outcome="hit"|"miss"}``) and
+    into bounded sample rings for exact percentile math.
 
-    def record_validation_ns(self, elapsed_ns: int) -> None:
-        self.validation_seconds += elapsed_ns / 1e9
-        samples = self.validation_ns_samples
+    Cache **hits** record their (cheap) lookup latency as their own
+    sample instead of being silently dropped -- otherwise the Table IV
+    mean-latency math over ``requests_validated`` would be skewed
+    toward the miss cost.
+    """
+
+    def __init__(self, registry: Any | None = None):
+        reg = registry if registry is not None else new_registry()
+        self.registry = reg
+        self._requests = reg.counter(
+            "kubefence_requests_total", "API requests intercepted by the proxy."
+        )
+        self._validated = reg.counter(
+            "kubefence_requests_validated_total",
+            "Write requests whose body was checked against the policy.",
+        )
+        self._denied = reg.counter(
+            "kubefence_requests_denied_total", "Requests blocked by the policy."
+        )
+        self._denials = reg.counter(
+            "kubefence_denials_total",
+            "Denials by workload operator, resource kind, and reason category.",
+            labels=("operator", "kind", "reason"),
+            max_series=256,
+        )
+        self._cache_hits = reg.counter(
+            "kubefence_cache_hits_total", "Decision-cache hits (validation skipped)."
+        )
+        self._cache_misses = reg.counter(
+            "kubefence_cache_misses_total", "Decision-cache misses."
+        )
+        self._conn_opened = reg.counter(
+            "kubefence_connections_opened_total",
+            "Upstream keep-alive connections opened (HTTP proxy).",
+        )
+        self._conn_reused = reg.counter(
+            "kubefence_connections_reused_total",
+            "Upstream keep-alive connection reuses (HTTP proxy).",
+        )
+        self._latency = reg.histogram(
+            "kubefence_validation_latency_ns",
+            "Validation-gate latency per write request, by cache outcome.",
+            labels=("outcome",),
+        )
+        # Pre-bound hot series: labels() resolution off the request path.
+        self._latency_hit = self._latency.labels(outcome="hit")
+        self._latency_miss = self._latency.labels(outcome="miss")
+        self._http = reg.counter(
+            "http_requests_total",
+            "HTTP requests served, by method and status code.",
+            labels=("method", "code"),
+            max_series=128,
+        )
+        self._http_bound: dict[tuple[str, str], Any] = {}
+        #: per-request validation latency samples (ns), bounded rings:
+        #: full validations (cache misses) and cache-hit lookups.
+        self.validation_ns_samples: list[int] = []
+        self.cache_hit_ns_samples: list[int] = []
+        self._sample_cursor = 0
+        self._hit_cursor = 0
+
+    # -- mutation (proxy internals only) -----------------------------------
+
+    def count_request(self) -> None:
+        self._requests.inc()
+
+    def count_validated(self) -> None:
+        self._validated.inc()
+
+    def count_denial(self, operator: str, kind: str, reason: str) -> None:
+        self._denied.inc()
+        self._denials.labels(
+            operator=operator or "?", kind=kind or "?", reason=reason or "other"
+        ).inc()
+
+    def count_cache(self, hit: bool) -> None:
+        (self._cache_hits if hit else self._cache_misses).inc()
+
+    def count_connection(self, reused: bool) -> None:
+        (self._conn_reused if reused else self._conn_opened).inc()
+
+    def count_http_request(self, method: str, code: Any) -> None:
+        key = (str(method or "?"), str(getattr(code, "value", code)))
+        bound = self._http_bound.get(key)
+        if bound is None:
+            bound = self._http.labels(method=key[0], code=key[1])
+            self._http_bound[key] = bound
+        bound.inc()
+
+    @staticmethod
+    def _ring_append(samples: list[int], cursor: int, value: int) -> int:
         if len(samples) < _MAX_LATENCY_SAMPLES:
-            samples.append(elapsed_ns)
+            samples.append(value)
         else:
-            samples[self._sample_cursor % _MAX_LATENCY_SAMPLES] = elapsed_ns
-        self._sample_cursor += 1
+            samples[cursor % _MAX_LATENCY_SAMPLES] = value
+        return cursor + 1
 
-    def _percentile_ns(self, q: float) -> float:
-        samples = self.validation_ns_samples
+    def record_validation_ns(self, elapsed_ns: int, cache_hit: bool = False) -> None:
+        if cache_hit:
+            self._latency_hit.observe(elapsed_ns)
+            self._hit_cursor = self._ring_append(
+                self.cache_hit_ns_samples, self._hit_cursor, elapsed_ns
+            )
+        else:
+            self._latency_miss.observe(elapsed_ns)
+            self._sample_cursor = self._ring_append(
+                self.validation_ns_samples, self._sample_cursor, elapsed_ns
+            )
+
+    # -- read API (unchanged names) ----------------------------------------
+
+    @property
+    def requests_total(self) -> int:
+        return int(self._requests.value)
+
+    @property
+    def requests_validated(self) -> int:
+        return int(self._validated.value)
+
+    @property
+    def requests_denied(self) -> int:
+        return int(self._denied.value)
+
+    @property
+    def cache_hits(self) -> int:
+        return int(self._cache_hits.value)
+
+    @property
+    def cache_misses(self) -> int:
+        return int(self._cache_misses.value)
+
+    @property
+    def connections_opened(self) -> int:
+        return int(self._conn_opened.value)
+
+    @property
+    def connections_reused(self) -> int:
+        return int(self._conn_reused.value)
+
+    @property
+    def validation_seconds(self) -> float:
+        """Total wall time spent in the validation gate (hits + misses)."""
+        return (self._latency_hit.sum + self._latency_miss.sum) / 1e9
+
+    @property
+    def validation_ns_mean(self) -> float:
+        """Mean gate latency over *all* validated requests -- hits
+        contribute their lookup cost, so this is the honest Table IV
+        mean rather than the miss-only figure."""
+        hit, miss = self._latency_hit, self._latency_miss
+        observed = hit.count + miss.count
+        return (hit.sum + miss.sum) / observed if observed else 0.0
+
+    @staticmethod
+    def _percentile(samples: list[int], q: float) -> float:
         if not samples:
             return 0.0
         ordered = sorted(samples)
         index = max(0, min(len(ordered) - 1, round(q * (len(ordered) - 1))))
         return float(ordered[index])
+
+    def _percentile_ns(self, q: float) -> float:
+        return self._percentile(self.validation_ns_samples, q)
 
     @property
     def validation_ns_p50(self) -> float:
@@ -100,24 +274,48 @@ class ProxyStats:
         return self._percentile_ns(0.99)
 
     @property
+    def cache_hit_ns_p50(self) -> float:
+        return self._percentile(self.cache_hit_ns_samples, 0.50)
+
+    @property
     def cache_hit_rate(self) -> float:
         probed = self.cache_hits + self.cache_misses
         return self.cache_hits / probed if probed else 0.0
 
+    # -- windows and aggregation -------------------------------------------
+
+    def snapshot(self) -> dict[str, float]:
+        """Flat ``{series: value}`` view; diff two snapshots with
+        :func:`repro.obs.delta` to measure a window instead of
+        absolute counters."""
+        return self.registry.snapshot()
+
+    def reset(self) -> None:
+        """Zero every counter/histogram and drop the sample rings."""
+        self.registry.reset()
+        self.validation_ns_samples.clear()
+        self.cache_hit_ns_samples.clear()
+        self._sample_cursor = 0
+        self._hit_cursor = 0
+
     def merge(self, other: "ProxyStats") -> None:
         """Fold *other*'s counters into this instance (aggregation
         across repetitions/proxies for the overhead tables)."""
-        self.requests_total += other.requests_total
-        self.requests_validated += other.requests_validated
-        self.requests_denied += other.requests_denied
-        self.validation_seconds += other.validation_seconds
-        self.cache_hits += other.cache_hits
-        self.cache_misses += other.cache_misses
-        self.connections_opened += other.connections_opened
-        self.connections_reused += other.connections_reused
+        self.registry.merge_from(other.registry)
         room = _MAX_LATENCY_SAMPLES - len(self.validation_ns_samples)
         if room > 0:
             self.validation_ns_samples.extend(other.validation_ns_samples[:room])
+        room = _MAX_LATENCY_SAMPLES - len(self.cache_hit_ns_samples)
+        if room > 0:
+            self.cache_hit_ns_samples.extend(other.cache_hit_ns_samples[:room])
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"ProxyStats(requests_total={self.requests_total}, "
+            f"requests_validated={self.requests_validated}, "
+            f"requests_denied={self.requests_denied}, "
+            f"cache_hits={self.cache_hits}, cache_misses={self.cache_misses})"
+        )
 
 
 class ValidationGate:
@@ -165,22 +363,35 @@ class ValidationGate:
         return (id(self.validator), self.validator.policy_revision)
 
     def check(self, body: dict[str, Any]) -> ValidationResult:
-        """Validate *body*, consulting the decision cache first."""
+        """Validate *body*, consulting the decision cache first.
+
+        Every validated request records a latency sample: cache hits
+        record their lookup cost (``outcome="hit"``), misses the full
+        engine walk (``outcome="miss"``) -- so mean-latency math over
+        ``requests_validated`` is not skewed toward the miss cost.
+        """
         stats = self.stats
-        stats.requests_validated += 1
+        stats.count_validated()
         cache = self.cache
         key = None
         if cache is not None:
-            key = canonical_body_key(body)
+            lookup_started = time.perf_counter_ns()
+            with span("cache.lookup"):
+                key = canonical_body_key(body)
+                cached = (
+                    cache.get(key, self._revision()) if key is not None else None
+                )
+            if cached is not None:
+                stats.count_cache(hit=True)
+                stats.record_validation_ns(
+                    time.perf_counter_ns() - lookup_started, cache_hit=True
+                )
+                return cached
             if key is not None:
-                revision = self._revision()
-                cached = cache.get(key, revision)
-                if cached is not None:
-                    stats.cache_hits += 1
-                    return cached
-                stats.cache_misses += 1
+                stats.count_cache(hit=False)
         started = time.perf_counter_ns()
-        result = self._validate(body)
+        with span("engine.match"):
+            result = self._validate(body)
         stats.record_validation_ns(time.perf_counter_ns() - started)
         if key is not None and cache is not None:
             cache.put(key, result, self._revision())
@@ -212,19 +423,27 @@ class KubeFenceProxy:
         self.gate.install(validator)
 
     def submit(self, request: ApiRequest) -> ApiResponse:
-        """Intercept, validate, and forward or deny."""
-        self.stats.requests_total += 1
-        if request.verb in _WRITE_VERBS and isinstance(request.body, dict):
-            result = self.gate.check(request.body)
-            if not result.allowed:
-                return self._deny(request, result)
-        return self.api.handle(request)
+        """Intercept, validate, and forward or deny -- all under one
+        request trace (the API server joins it, so the audit event
+        carries the same trace id)."""
+        with trace("proxy.request"):
+            self.stats.count_request()
+            if request.verb in _WRITE_VERBS and isinstance(request.body, dict):
+                with span("proxy.validate"):
+                    result = self.gate.check(request.body)
+                if not result.allowed:
+                    return self._deny(request, result)
+            return self.api.handle(request)
 
     def _deny(self, request: ApiRequest, result: ValidationResult) -> ApiResponse:
-        self.stats.requests_denied += 1
         name = ""
         if request.body:
             name = request.body.get("metadata", {}).get("name", "")
+        self.stats.count_denial(
+            operator=self.validator.operator,
+            kind=request.kind,
+            reason=denial_reason(result.violations),
+        )
         record = DenialRecord(
             username=request.user.username,
             verb=request.verb,
@@ -253,6 +472,11 @@ class HttpKubeFenceProxy:
     HTTP/1.1), so the upstream hop does not pay a TCP handshake per
     request; ``ProxyStats.connections_opened/reused`` surface the pool
     behavior.
+
+    Observability surfaces: ``GET /metrics`` (Prometheus text),
+    ``/healthz``/``/readyz``, and ``/obs/traces``; each proxied request
+    runs under a trace whose id is forwarded upstream in the
+    ``X-Trace-Id`` header, so the API server's audit log correlates.
     """
 
     def __init__(self, upstream_base_url: str, validator: Validator,
@@ -281,10 +505,7 @@ class HttpKubeFenceProxy:
             if conn is None:
                 conn = http.client.HTTPConnection(upstream_host, upstream_port, timeout=30)
                 pool.conn = conn
-            if conn.sock is None:
-                proxy.stats.connections_opened += 1
-            else:
-                proxy.stats.connections_reused += 1
+            proxy.stats.count_connection(reused=conn.sock is not None)
             return conn
 
         def drop_connection() -> None:
@@ -301,6 +522,10 @@ class HttpKubeFenceProxy:
             def log_message(self, fmt: str, *args: Any) -> None:
                 pass
 
+            def log_request(self, code: Any = "-", size: Any = "-") -> None:
+                # Access "log": a labeled counter instead of stderr.
+                proxy.stats.count_http_request(getattr(self, "command", "?"), code)
+
             def _reply(self, code: int, payload: dict | list) -> None:
                 body = json.dumps(payload).encode()
                 self.send_response(code)
@@ -309,19 +534,38 @@ class HttpKubeFenceProxy:
                 self.end_headers()
                 self.wfile.write(body)
 
+            def _serve_obs(self) -> bool:
+                served = obs_endpoint(
+                    self.path,
+                    proxy.stats.registry,
+                    component="kubefence-proxy",
+                    ready_checks={"policy-bound": lambda: proxy.validator is not None},
+                )
+                if served is None:
+                    return False
+                status, content_type, body = served
+                self.send_response(status)
+                self.send_header("Content-Type", content_type)
+                self.send_header("Content-Length", str(len(body)))
+                self.end_headers()
+                self.wfile.write(body)
+                return True
+
             def _forward(self, method: str, body: bytes | None) -> None:
                 headers = {
                     "Content-Type": "application/json",
                     "X-Remote-User": self.headers.get("X-Remote-User", ""),
                     "X-Remote-Groups": self.headers.get("X-Remote-Groups", ""),
+                    "X-Trace-Id": current_trace_id() or "",
                 }
                 last_error: Exception | None = None
                 for attempt in (0, 1):
                     conn = upstream_connection()
                     try:
-                        conn.request(method, self.path, body=body, headers=headers)
-                        resp = conn.getresponse()
-                        data = resp.read()
+                        with span("proxy.forward"):
+                            conn.request(method, self.path, body=body, headers=headers)
+                            resp = conn.getresponse()
+                            data = resp.read()
                         self._reply(resp.status, json.loads(data or b"{}"))
                         return
                     except (http.client.HTTPException, OSError, ValueError) as err:
@@ -337,7 +581,12 @@ class HttpKubeFenceProxy:
                 )
 
             def _handle(self, method: str) -> None:
-                proxy.stats.requests_total += 1
+                incoming = self.headers.get("X-Trace-Id") or None
+                with trace("proxy.request", trace_id=incoming):
+                    self._handle_traced(method)
+
+            def _handle_traced(self, method: str) -> None:
+                proxy.stats.count_request()
                 length = int(self.headers.get("Content-Length") or 0)
                 raw = self.rfile.read(length) if length else None
                 if method in ("POST", "PUT", "PATCH") and raw:
@@ -359,9 +608,14 @@ class HttpKubeFenceProxy:
                              "message": "request body must be a JSON object"},
                         )
                         return
-                    result = proxy.gate.check(manifest)
+                    with span("proxy.validate"):
+                        result = proxy.gate.check(manifest)
                     if not result.allowed:
-                        proxy.stats.requests_denied += 1
+                        proxy.stats.count_denial(
+                            operator=proxy.validator.operator,
+                            kind=manifest.get("kind", ""),
+                            reason=denial_reason(result.violations),
+                        )
                         proxy.denials.append(
                             DenialRecord(
                                 username=self.headers.get("X-Remote-User", ""),
@@ -387,6 +641,8 @@ class HttpKubeFenceProxy:
                 self._forward(method, raw)
 
             def do_GET(self) -> None:
+                if self._serve_obs():
+                    return
                 self._handle("GET")
 
             def do_POST(self) -> None:
@@ -475,6 +731,14 @@ class MultiPolicyProxy:
         for proxy in self._proxies.values():
             out.extend(proxy.denials)
         return out
+
+    def stats_totals(self) -> ProxyStats:
+        """Aggregate per-identity proxy stats into one façade (the
+        cluster-wide scrape view)."""
+        totals = ProxyStats()
+        for proxy in self._proxies.values():
+            totals.merge(proxy.stats)
+        return totals
 
     def submit(self, request: ApiRequest) -> ApiResponse:
         proxy = self._proxies.get(request.user.username)

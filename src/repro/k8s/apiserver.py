@@ -21,6 +21,7 @@ matters for this paper's experiments:
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Protocol
 
@@ -30,6 +31,7 @@ from repro.k8s.gvk import ResourceRegistry, ResourceType, registry as default_re
 from repro.k8s.objects import K8sObject
 from repro.k8s.schema import SCALAR_TYPES, FieldSpec, SchemaCatalog, catalog as default_catalog
 from repro.k8s.store import ObjectStore
+from repro.obs import current_trace_id, new_registry, span
 
 
 @dataclass(frozen=True)
@@ -129,6 +131,7 @@ class APIServer:
         authorizer: Authorizer | None = None,
         version: str = "1.28.6",
         validate_schema: bool = True,
+        metrics: Any | None = None,
     ) -> None:
         # Explicit None checks: ObjectStore and ResourceRegistry define
         # __len__, so an empty instance is falsy and `or` would drop it.
@@ -140,6 +143,42 @@ class APIServer:
         self.admission_plugins: list[AdmissionPlugin] = []
         self.version = version
         self.validate_schema = validate_schema
+        #: observability: per-server metrics registry (scraped by
+        #: HttpApiServer's /metrics; REPRO_NO_OBS=1 makes it a no-op).
+        self.metrics = metrics if metrics is not None else new_registry()
+        self._m_requests = self.metrics.counter(
+            "kubefence_apiserver_requests_total",
+            "API-server requests, by verb and response code.",
+            labels=("verb", "code"),
+            max_series=256,
+        )
+        self._m_latency = self.metrics.histogram(
+            "kubefence_apiserver_latency_ns",
+            "Full request-pipeline latency (routing through audit).",
+        )
+        self._m_audit = self.metrics.counter(
+            "kubefence_audit_events_total", "Audit events recorded."
+        )
+        #: (verb, code) -> bound counter, so the hot path skips
+        #: labels() resolution on every request.
+        self._m_requests_bound: dict[tuple[str, str], Any] = {}
+        self._m_http = self.metrics.counter(
+            "http_requests_total",
+            "HTTP requests served, by method and status code.",
+            labels=("method", "code"),
+            max_series=128,
+        )
+        self._m_http_bound: dict[tuple[str, str], Any] = {}
+
+    def count_http_request(self, method: str, code: Any) -> None:
+        """Access-log replacement: ``http_requests_total{method,code}``
+        (called from the HTTP front end's ``log_request``)."""
+        key = (str(method or "?"), str(getattr(code, "value", code)))
+        bound = self._m_http_bound.get(key)
+        if bound is None:
+            bound = self._m_http.labels(method=key[0], code=key[1])
+            self._m_http_bound[key] = bound
+        bound.inc()
 
     # -- plugin management ---------------------------------------------------
 
@@ -150,13 +189,22 @@ class APIServer:
 
     def handle(self, request: ApiRequest) -> ApiResponse:
         """Run the full request pipeline and audit the outcome."""
+        started = time.perf_counter_ns()
         try:
             resource = self._route(request)
             self._authorize(request, resource)
             response = self._dispatch(request, resource)
         except ApiError as err:
             response = ApiResponse.from_error(err)
-        self._audit(request, response)
+        elapsed_ns = time.perf_counter_ns() - started
+        key = (request.verb or "?", str(response.code))
+        bound = self._m_requests_bound.get(key)
+        if bound is None:
+            bound = self._m_requests.labels(verb=key[0], code=key[1])
+            self._m_requests_bound[key] = bound
+        bound.inc()
+        self._m_latency.observe(elapsed_ns)
+        self._audit(request, response, latency_ns=elapsed_ns)
         return response
 
     def _route(self, request: ApiRequest) -> ResourceType:
@@ -213,20 +261,22 @@ class APIServer:
             obj.metadata.setdefault("namespace", request.namespace or "default")
         if self.validate_schema and obj.kind in self.schemas:
             self._validate_structure(obj)
-        for plugin in self.admission_plugins:
-            plugin(request, obj)
-        if request.verb == "create":
-            stored = self.store.create(obj)
-            return ApiResponse(201, stored.data)
-        if request.verb == "patch":
-            current = self.store.get(obj.kind, obj.namespace, obj.name)
-            from repro.yamlutil import deep_merge
+        with span("admission.chain"):
+            for plugin in self.admission_plugins:
+                plugin(request, obj)
+        with span("store.commit"):
+            if request.verb == "create":
+                stored = self.store.create(obj)
+                return ApiResponse(201, stored.data)
+            if request.verb == "patch":
+                current = self.store.get(obj.kind, obj.namespace, obj.name)
+                from repro.yamlutil import deep_merge
 
-            merged = K8sObject(deep_merge(current.data, obj.data, delete_on_none=True))
-            stored = self.store.update(merged)
+                merged = K8sObject(deep_merge(current.data, obj.data, delete_on_none=True))
+                stored = self.store.update(merged)
+                return ApiResponse(200, stored.data)
+            stored = self.store.update(obj)
             return ApiResponse(200, stored.data)
-        stored = self.store.update(obj)
-        return ApiResponse(200, stored.data)
 
     # -- structural (schema) validation -----------------------------------
 
@@ -308,13 +358,19 @@ class APIServer:
 
     # -- audit -------------------------------------------------------------
 
-    def _audit(self, request: ApiRequest, response: ApiResponse) -> None:
+    def _audit(
+        self,
+        request: ApiRequest,
+        response: ApiResponse,
+        latency_ns: int | None = None,
+    ) -> None:
         resource_plural = ""
         api_group = ""
         if request.kind in self.registry:
             rt = self.registry.by_kind(request.kind)
             resource_plural = rt.plural
             api_group = rt.gvk.group
+        self._m_audit.inc()
         self.audit_log.record(
             AuditEvent(
                 request_uri=(
@@ -330,6 +386,8 @@ class APIServer:
                 response_code=response.code,
                 request_object=request.body if request.verb in _WRITE_VERBS else None,
                 source_ip=request.source_ip,
+                trace_id=current_trace_id(),
+                latency_ns=latency_ns,
             )
         )
 

@@ -29,6 +29,11 @@ class AuditEvent:
     request_object: dict[str, Any] | None = None
     source_ip: str = "127.0.0.1"
     stage: str = "ResponseComplete"
+    #: observability correlation (annotations in the wire shape): the
+    #: request trace id assigned by the proxy/API server and the
+    #: server-side pipeline latency.
+    trace_id: str | None = None
+    latency_ns: int | None = None
 
     def to_dict(self) -> dict[str, Any]:
         """Render in the audit.k8s.io/v1 wire shape."""
@@ -50,6 +55,13 @@ class AuditEvent:
         }
         if self.request_object is not None:
             event["requestObject"] = self.request_object
+        annotations: dict[str, str] = {}
+        if self.trace_id:
+            annotations["kubefence.io/trace-id"] = self.trace_id
+        if self.latency_ns is not None:
+            annotations["kubefence.io/latency-ns"] = str(self.latency_ns)
+        if annotations:
+            event["annotations"] = annotations
         return event
 
     def to_json(self) -> str:
@@ -97,6 +109,8 @@ class AuditLog:
             data = json.loads(line)
             object_ref = data.get("objectRef") or {}
             request_object = data.get("requestObject")
+            annotations = data.get("annotations") or {}
+            raw_latency = annotations.get("kubefence.io/latency-ns")
             log.record(
                 AuditEvent(
                     request_uri=data.get("requestURI", ""),
@@ -111,6 +125,8 @@ class AuditLog:
                     request_object=request_object,
                     source_ip=(data.get("sourceIPs") or ["127.0.0.1"])[0],
                     stage=data.get("stage", "ResponseComplete"),
+                    trace_id=annotations.get("kubefence.io/trace-id"),
+                    latency_ns=int(raw_latency) if raw_latency is not None else None,
                 )
             )
         return log

@@ -28,6 +28,7 @@ from urllib.error import HTTPError
 from repro.k8s.apiserver import APIServer, ApiRequest, ApiResponse, User
 from repro.k8s.errors import ApiError
 from repro.k8s.gvk import ResourceRegistry, registry as default_registry
+from repro.obs import obs_endpoint, trace
 
 
 def parse_rest_path(path: str, reg: ResourceRegistry) -> tuple[str, str | None, str | None]:
@@ -64,9 +65,14 @@ class _Handler(BaseHTTPRequestHandler):
     protocol_version = "HTTP/1.1"
     api: APIServer  # injected by serve()
 
-    # Silence the default stderr request logging.
+    # Silence the default stderr request logging; access logs are not
+    # discarded, though -- log_request() routes them into the metrics
+    # registry as http_requests_total{method,code}.
     def log_message(self, fmt: str, *args: Any) -> None:  # noqa: D102
         pass
+
+    def log_request(self, code: Any = "-", size: Any = "-") -> None:
+        self.api.count_http_request(getattr(self, "command", "?") or "?", code)
 
     def _user(self) -> User:
         username = self.headers.get("X-Remote-User", "kubernetes-admin")
@@ -82,6 +88,25 @@ class _Handler(BaseHTTPRequestHandler):
         self.send_header("Content-Length", str(len(payload)))
         self.end_headers()
         self.wfile.write(payload)
+
+    def _serve_obs(self) -> bool:
+        """Observability surfaces: /metrics, /healthz, /readyz,
+        /obs/traces (served before REST routing)."""
+        served = obs_endpoint(
+            self.path,
+            self.api.metrics,
+            component="mini-apiserver",
+            ready_checks={"store": lambda: self.api.store is not None},
+        )
+        if served is None:
+            return False
+        status, content_type, body = served
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+        return True
 
     def _handle(self, method: str) -> None:
         # Drain the request body before any early reply: with HTTP/1.1
@@ -128,9 +153,17 @@ class _Handler(BaseHTTPRequestHandler):
             body=body,
             source_ip=self.client_address[0],
         )
-        self._respond(self.api.handle(request))
+        # Join the caller's trace when the KubeFence proxy forwarded an
+        # X-Trace-Id, so the audit event correlates with the proxy-side
+        # trace; otherwise open a fresh server-side trace.
+        incoming = self.headers.get("X-Trace-Id") or None
+        with trace("apiserver.request", trace_id=incoming):
+            response = self.api.handle(request)
+        self._respond(response)
 
     def do_GET(self) -> None:
+        if self._serve_obs():
+            return
         self._handle("GET")
 
     def do_POST(self) -> None:

@@ -1,0 +1,66 @@
+"""KubeFence observability: metrics registry, request tracing, and the
+``/metrics``/``/healthz`` HTTP surfaces.
+
+A dependency-free telemetry layer threaded through the enforcement
+stack (proxy -> validator engine -> API server) so the paper's
+evaluation quantities -- where latency goes (Table IV), which requests
+are denied and why (Table III), what the audit trail records
+(Fig. 11) -- can be read off a Prometheus scrape instead of ad-hoc
+counters.  ``REPRO_NO_OBS=1`` disables the layer entirely (the
+baseline arm of the observability-overhead benchmark).
+"""
+
+from repro.obs.metrics import (
+    CardinalityError,
+    Counter,
+    DEFAULT_LATENCY_BUCKETS_NS,
+    Gauge,
+    Histogram,
+    MAX_LABEL_SETS,
+    MetricError,
+    MetricsRegistry,
+    NULL_REGISTRY,
+    NullRegistry,
+    REGISTRY,
+    delta,
+    new_registry,
+    obs_enabled,
+)
+from repro.obs.http import METRICS_CONTENT_TYPE, obs_endpoint
+from repro.obs.tracing import (
+    Span,
+    Trace,
+    TraceBuffer,
+    TRACES,
+    current_trace_id,
+    new_trace_id,
+    span,
+    trace,
+)
+
+__all__ = [
+    "CardinalityError",
+    "Counter",
+    "DEFAULT_LATENCY_BUCKETS_NS",
+    "Gauge",
+    "Histogram",
+    "MAX_LABEL_SETS",
+    "METRICS_CONTENT_TYPE",
+    "MetricError",
+    "MetricsRegistry",
+    "NULL_REGISTRY",
+    "NullRegistry",
+    "REGISTRY",
+    "Span",
+    "TRACES",
+    "Trace",
+    "TraceBuffer",
+    "current_trace_id",
+    "delta",
+    "new_registry",
+    "new_trace_id",
+    "obs_endpoint",
+    "obs_enabled",
+    "span",
+    "trace",
+]

@@ -1,0 +1,70 @@
+"""Transport-agnostic observability HTTP surfaces.
+
+Both HTTP servers in the repo (the mini API server in
+:mod:`repro.k8s.http` and the KubeFence reverse proxy in
+:mod:`repro.core.proxy`) expose the same operational endpoints:
+
+- ``GET /metrics``    -- Prometheus text exposition (version 0.0.4);
+- ``GET /healthz``    -- liveness (``ok`` as long as the process runs);
+- ``GET /readyz``     -- readiness, with optional caller-supplied checks;
+- ``GET /obs/traces`` -- recent request traces as JSON (debug aid).
+
+:func:`obs_endpoint` keeps the handlers transport-agnostic: it maps a
+request path to ``(status, content_type, body)`` or ``None`` when the
+path is regular API traffic, so each ``BaseHTTPRequestHandler`` only
+needs a three-line branch.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Callable, Mapping
+
+from repro.obs.tracing import TRACES, TraceBuffer
+
+__all__ = ["METRICS_CONTENT_TYPE", "obs_endpoint"]
+
+METRICS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+_JSON = "application/json"
+
+#: Paths served by the observability layer.
+OBS_PATHS = ("/metrics", "/healthz", "/readyz", "/livez", "/obs/traces")
+
+
+def obs_endpoint(
+    path: str,
+    registry: Any,
+    component: str = "kubefence",
+    ready_checks: Mapping[str, Callable[[], bool]] | None = None,
+    traces: TraceBuffer = TRACES,
+) -> tuple[int, str, bytes] | None:
+    """Serve an observability path, or return ``None`` for API traffic.
+
+    ``ready_checks`` maps check names to callables; any falsy/raising
+    check flips ``/readyz`` to 503 with the failing checks named.
+    """
+    path = path.split("?", 1)[0]
+    if path == "/metrics":
+        return 200, METRICS_CONTENT_TYPE, registry.expose().encode()
+    if path in ("/healthz", "/livez"):
+        body = {"status": "ok", "component": component}
+        return 200, _JSON, json.dumps(body).encode()
+    if path == "/readyz":
+        failed: list[str] = []
+        for name, check in (ready_checks or {}).items():
+            try:
+                ok = bool(check())
+            except Exception:  # noqa: BLE001 - a raising check is a failing check
+                ok = False
+            if not ok:
+                failed.append(name)
+        status = 503 if failed else 200
+        body = {
+            "status": "ok" if not failed else "unready",
+            "component": component,
+            "failed": failed,
+        }
+        return status, _JSON, json.dumps(body).encode()
+    if path == "/obs/traces":
+        return 200, _JSON, traces.to_json().encode()
+    return None

@@ -1,0 +1,611 @@
+"""Dependency-free Prometheus-style metrics (the KubeFence telemetry
+substrate).
+
+The paper's evaluation (Table IV overhead, Fig. 11 audit events) needs
+to know *where* latency and denials happen along the
+proxy -> validator -> API-server chain.  This module provides the
+measurement substrate: a thread-safe :class:`MetricsRegistry` holding
+:class:`Counter`, :class:`Gauge`, and :class:`Histogram` instruments
+with label sets, rendered in the Prometheus text exposition format
+(scrapeable from the ``/metrics`` endpoints that
+:mod:`repro.k8s.http` and the HTTP proxy expose).
+
+Design points:
+
+- **No dependencies.**  Everything is stdlib; the registry is safe for
+  concurrent increments from the ThreadingHTTPServer worker threads.
+- **Bounded cardinality.**  Each metric rejects more than
+  :data:`MAX_LABEL_SETS` distinct label combinations with a clear
+  :class:`CardinalityError` -- a mislabeled denial reason must fail
+  loudly instead of silently eating memory under attack traffic.
+- **Fixed exponential buckets.**  Histograms default to ns-resolution
+  latency buckets (1us doubling to ~2s); quantiles are estimated by
+  linear interpolation inside the owning bucket, the standard
+  Prometheus ``histogram_quantile`` scheme.
+- **Windowed reads.**  ``snapshot()`` returns a flat
+  ``{series: value}`` dict and :func:`delta` diffs two snapshots, so
+  benchmarks can measure a window instead of absolute counters.
+- **Escape hatch.**  ``REPRO_NO_OBS=1`` disables the layer: registries
+  become no-op nulls (mirroring PR 1's ``REPRO_NO_COMPILE``), which the
+  observability-overhead benchmark uses as its baseline arm.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import threading
+from bisect import bisect_left
+from typing import Any, Iterator
+
+__all__ = [
+    "CardinalityError",
+    "Counter",
+    "DEFAULT_LATENCY_BUCKETS_NS",
+    "Gauge",
+    "Histogram",
+    "MAX_LABEL_SETS",
+    "MetricError",
+    "MetricsRegistry",
+    "NULL_REGISTRY",
+    "NullRegistry",
+    "delta",
+    "new_registry",
+    "obs_enabled",
+]
+
+#: Environment variable disabling the observability layer entirely.
+OBS_ENV = "REPRO_NO_OBS"
+
+#: Per-metric cap on distinct label-value combinations.
+MAX_LABEL_SETS = 64
+
+#: ns-resolution exponential latency buckets: 1us doubling to ~2.1s.
+DEFAULT_LATENCY_BUCKETS_NS: tuple[float, ...] = tuple(
+    1_000.0 * (2.0**i) for i in range(22)
+)
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+
+# ``os.environ.get`` costs ~1us per call (Mapping.get -> __getitem__ ->
+# decode); the underlying ``_data`` dict probe is ~30ns.  obs_enabled()
+# sits on the per-request path (one trace per request), so the fast
+# probe matters; writes through ``os.environ[...]``/``.pop`` keep
+# ``_data`` in sync, which is how the escape hatch is toggled.
+try:
+    _ENV_DATA: Any = os.environ._data  # type: ignore[attr-defined]
+    _OBS_KEY: Any = os.environ.encodekey(OBS_ENV)  # type: ignore[attr-defined]
+except AttributeError:  # pragma: no cover - non-CPython fallback
+    _ENV_DATA = None
+    _OBS_KEY = OBS_ENV
+
+
+def obs_enabled() -> bool:
+    """Whether telemetry is recorded (default on; ``REPRO_NO_OBS=1``
+    is the escape hatch, mirroring ``REPRO_NO_COMPILE``)."""
+    if _ENV_DATA is not None:
+        return not _ENV_DATA.get(_OBS_KEY)
+    return not os.environ.get(OBS_ENV)
+
+
+class MetricError(ValueError):
+    """Metric misuse: bad name, label mismatch, or type collision."""
+
+
+class CardinalityError(MetricError):
+    """A metric exceeded :data:`MAX_LABEL_SETS` distinct label sets."""
+
+
+def _format_value(value: float) -> str:
+    if value == float("inf"):
+        return "+Inf"
+    if float(value).is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def _escape_label_value(value: str) -> str:
+    return value.replace("\\", r"\\").replace('"', r"\"").replace("\n", r"\n")
+
+
+def _render_labels(names: tuple[str, ...], values: tuple[str, ...],
+                   extra: tuple[tuple[str, str], ...] = ()) -> str:
+    pairs = list(zip(names, values)) + list(extra)
+    if not pairs:
+        return ""
+    inner = ",".join(f'{k}="{_escape_label_value(v)}"' for k, v in pairs)
+    return "{" + inner + "}"
+
+
+class _Bound:
+    """An instrument bound to one concrete label-value tuple."""
+
+    __slots__ = ("_metric", "_key")
+
+    def __init__(self, metric: "_Metric", key: tuple[str, ...]):
+        self._metric = metric
+        self._key = key
+
+    def inc(self, amount: float = 1.0) -> None:
+        self._metric._inc(self._key, amount)
+
+    def dec(self, amount: float = 1.0) -> None:
+        self._metric._inc(self._key, -amount)
+
+    def set(self, value: float) -> None:
+        self._metric._set(self._key, value)
+
+    def observe(self, value: float) -> None:
+        self._metric._observe(self._key, value)
+
+    @property
+    def value(self) -> float:
+        return self._metric._value(self._key)
+
+    def quantile(self, q: float) -> float:
+        return self._metric._quantile(self._key, q)
+
+    @property
+    def sum(self) -> float:
+        return self._metric._sum_of(self._key)
+
+    @property
+    def count(self) -> float:
+        return self._metric._count_of(self._key)
+
+
+class _Metric:
+    """Common storage: one series per label-value tuple."""
+
+    kind = "untyped"
+
+    def __init__(self, name: str, help: str, label_names: tuple[str, ...],
+                 lock: threading.RLock, max_series: int = MAX_LABEL_SETS):
+        if not _NAME_RE.match(name):
+            raise MetricError(f"invalid metric name {name!r}")
+        for label in label_names:
+            if not _LABEL_RE.match(label) or label == "le":
+                raise MetricError(f"invalid label name {label!r} on metric {name!r}")
+        self.name = name
+        self.help = help
+        self.label_names = tuple(label_names)
+        self.max_series = max_series
+        self._lock = lock
+        self._series: dict[tuple[str, ...], Any] = {}
+        if not self.label_names:
+            self._series[()] = self._new_series()
+
+    # -- series management -------------------------------------------------
+
+    def _new_series(self) -> Any:
+        raise NotImplementedError
+
+    def _series_for(self, key: tuple[str, ...]) -> Any:
+        series = self._series.get(key)
+        if series is None:
+            if len(self._series) >= self.max_series:
+                raise CardinalityError(
+                    f"metric {self.name!r} already has {len(self._series)} label "
+                    f"sets (cap {self.max_series}); refusing to create "
+                    f"{dict(zip(self.label_names, key))!r} -- label values must "
+                    "be drawn from a bounded set"
+                )
+            series = self._new_series()
+            self._series[key] = series
+        return series
+
+    def labels(self, **labels: str) -> _Bound:
+        """The series for one concrete label-value combination."""
+        if tuple(sorted(labels)) != tuple(sorted(self.label_names)):
+            raise MetricError(
+                f"metric {self.name!r} takes labels {list(self.label_names)}, "
+                f"got {sorted(labels)}"
+            )
+        key = tuple(str(labels[name]) for name in self.label_names)
+        with self._lock:
+            self._series_for(key)  # cardinality guard fires at creation
+        return _Bound(self, key)
+
+    def _require_unlabeled(self) -> tuple[str, ...]:
+        if self.label_names:
+            raise MetricError(
+                f"metric {self.name!r} has labels {list(self.label_names)}; "
+                "use .labels(...)"
+            )
+        return ()
+
+    # -- direct (unlabeled) API -------------------------------------------
+
+    def inc(self, amount: float = 1.0) -> None:
+        self._inc(self._require_unlabeled(), amount)
+
+    def dec(self, amount: float = 1.0) -> None:
+        self._inc(self._require_unlabeled(), -amount)
+
+    def set(self, value: float) -> None:
+        self._set(self._require_unlabeled(), value)
+
+    def observe(self, value: float) -> None:
+        self._observe(self._require_unlabeled(), value)
+
+    @property
+    def value(self) -> float:
+        return self._value(self._require_unlabeled())
+
+    def quantile(self, q: float) -> float:
+        return self._quantile(self._require_unlabeled(), q)
+
+    @property
+    def sum(self) -> float:
+        return self._sum_of(self._require_unlabeled())
+
+    @property
+    def count(self) -> float:
+        return self._count_of(self._require_unlabeled())
+
+    # -- per-kind hooks ----------------------------------------------------
+
+    def _inc(self, key: tuple[str, ...], amount: float) -> None:
+        raise MetricError(f"{self.kind} {self.name!r} does not support inc()")
+
+    def _set(self, key: tuple[str, ...], value: float) -> None:
+        raise MetricError(f"{self.kind} {self.name!r} does not support set()")
+
+    def _observe(self, key: tuple[str, ...], value: float) -> None:
+        raise MetricError(f"{self.kind} {self.name!r} does not support observe()")
+
+    def _value(self, key: tuple[str, ...]) -> float:
+        with self._lock:
+            series = self._series.get(key)
+            return 0.0 if series is None else float(series)
+
+    def _quantile(self, key: tuple[str, ...], q: float) -> float:
+        raise MetricError(f"{self.kind} {self.name!r} has no quantiles")
+
+    def _sum_of(self, key: tuple[str, ...]) -> float:
+        return self._value(key)
+
+    def _count_of(self, key: tuple[str, ...]) -> float:
+        raise MetricError(f"{self.kind} {self.name!r} has no sample count")
+
+    def _reset(self) -> None:
+        with self._lock:
+            for key in self._series:
+                self._series[key] = self._new_series()
+
+    # -- export ------------------------------------------------------------
+
+    def _samples(self) -> Iterator[tuple[str, str, float]]:
+        """Yield (suffix, rendered_labels, value) under the lock."""
+        for key in sorted(self._series):
+            yield "", _render_labels(self.label_names, key), float(self._series[key])
+
+    def expose(self) -> str:
+        lines = [f"# HELP {self.name} {self.help}", f"# TYPE {self.name} {self.kind}"]
+        with self._lock:
+            for suffix, labels, value in self._samples():
+                lines.append(f"{self.name}{suffix}{labels} {_format_value(value)}")
+        return "\n".join(lines)
+
+    def snapshot_into(self, out: dict[str, float]) -> None:
+        with self._lock:
+            for suffix, labels, value in self._samples():
+                out[f"{self.name}{suffix}{labels}"] = value
+
+
+class Counter(_Metric):
+    """A monotonically increasing count."""
+
+    kind = "counter"
+
+    def _new_series(self) -> float:
+        return 0.0
+
+    def _inc(self, key: tuple[str, ...], amount: float) -> None:
+        if amount < 0:
+            raise MetricError(f"counter {self.name!r} cannot decrease")
+        series = self._series
+        with self._lock:
+            # Fast path: the series almost always exists already (bound
+            # instruments create it at labels() time).
+            if key in series:
+                series[key] += amount
+            else:
+                series[key] = self._series_for(key) + amount
+
+    def merge_from(self, other: "Counter") -> None:
+        with other._lock:
+            items = list(other._series.items())
+        with self._lock:
+            for key, value in items:
+                self._series[key] = self._series_for(key) + value
+
+
+class Gauge(_Metric):
+    """A value that can go up and down."""
+
+    kind = "gauge"
+
+    def _new_series(self) -> float:
+        return 0.0
+
+    def _inc(self, key: tuple[str, ...], amount: float) -> None:
+        with self._lock:
+            self._series[key] = self._series_for(key) + amount
+
+    def _set(self, key: tuple[str, ...], value: float) -> None:
+        with self._lock:
+            self._series_for(key)
+            self._series[key] = float(value)
+
+    def merge_from(self, other: "Gauge") -> None:
+        with other._lock:
+            items = list(other._series.items())
+        with self._lock:
+            for key, value in items:
+                self._series[key] = self._series_for(key) + value
+
+
+class Histogram(_Metric):
+    """Cumulative histogram over fixed exponential buckets.
+
+    Per-series state is ``[bucket_counts, sum, count]`` where
+    ``bucket_counts[i]`` counts observations ``<= bounds[i]`` minus the
+    lower buckets (i.e. non-cumulative internally; cumulated on
+    export, matching Prometheus ``_bucket{le=...}`` semantics).  The
+    final slot is the ``+Inf`` overflow bucket.
+    """
+
+    kind = "histogram"
+
+    def __init__(self, name: str, help: str, label_names: tuple[str, ...],
+                 lock: threading.RLock, buckets: tuple[float, ...] | None = None,
+                 max_series: int = MAX_LABEL_SETS):
+        bounds = tuple(sorted(buckets if buckets is not None else DEFAULT_LATENCY_BUCKETS_NS))
+        if not bounds:
+            raise MetricError(f"histogram {name!r} needs at least one bucket bound")
+        self.bounds = bounds
+        super().__init__(name, help, label_names, lock, max_series)
+
+    def _new_series(self) -> list[Any]:
+        return [[0] * (len(self.bounds) + 1), 0.0, 0]
+
+    def _observe(self, key: tuple[str, ...], value: float) -> None:
+        with self._lock:
+            series = self._series.get(key)
+            if series is None:
+                series = self._series_for(key)
+            series[0][bisect_left(self.bounds, value)] += 1
+            series[1] += value
+            series[2] += 1
+
+    def _value(self, key: tuple[str, ...]) -> float:
+        return self._sum_of(key)
+
+    def _sum_of(self, key: tuple[str, ...]) -> float:
+        with self._lock:
+            series = self._series.get(key)
+            return 0.0 if series is None else float(series[1])
+
+    def _count_of(self, key: tuple[str, ...]) -> float:
+        with self._lock:
+            series = self._series.get(key)
+            return 0.0 if series is None else float(series[2])
+
+    def _quantile(self, key: tuple[str, ...], q: float) -> float:
+        """Prometheus-style estimate: locate the owning bucket by rank
+        and interpolate linearly between its bounds."""
+        if not 0.0 <= q <= 1.0:
+            raise MetricError(f"quantile {q} out of [0, 1]")
+        with self._lock:
+            series = self._series.get(key)
+            if series is None or series[2] == 0:
+                return 0.0
+            counts, _total_sum, count = series[0][:], series[1], series[2]
+        rank = q * count
+        cumulative = 0.0
+        for idx, bucket_count in enumerate(counts):
+            cumulative += bucket_count
+            if cumulative >= rank and bucket_count:
+                if idx >= len(self.bounds):  # +Inf bucket: clamp to last bound
+                    return float(self.bounds[-1])
+                lower = self.bounds[idx - 1] if idx else 0.0
+                upper = self.bounds[idx]
+                within = (rank - (cumulative - bucket_count)) / bucket_count
+                return lower + (upper - lower) * min(max(within, 0.0), 1.0)
+        return float(self.bounds[-1])
+
+    def merge_from(self, other: "Histogram") -> None:
+        if other.bounds != self.bounds:
+            raise MetricError(f"histogram {self.name!r}: bucket bounds differ")
+        with other._lock:
+            items = [(k, [s[0][:], s[1], s[2]]) for k, s in other._series.items()]
+        with self._lock:
+            for key, (counts, total, count) in items:
+                series = self._series_for(key)
+                for idx, n in enumerate(counts):
+                    series[0][idx] += n
+                series[1] += total
+                series[2] += count
+
+    def _samples(self) -> Iterator[tuple[str, str, float]]:
+        for key in sorted(self._series):
+            counts, total, count = self._series[key]
+            cumulative = 0
+            for idx, bound in enumerate(self.bounds):
+                cumulative += counts[idx]
+                yield (
+                    "_bucket",
+                    _render_labels(self.label_names, key,
+                                   (("le", _format_value(bound)),)),
+                    float(cumulative),
+                )
+            yield (
+                "_bucket",
+                _render_labels(self.label_names, key, (("le", "+Inf"),)),
+                float(count),
+            )
+            yield "_sum", _render_labels(self.label_names, key), float(total)
+            yield "_count", _render_labels(self.label_names, key), float(count)
+
+
+class MetricsRegistry:
+    """A named collection of metrics with text exposition.
+
+    ``counter``/``gauge``/``histogram`` are get-or-create: asking for
+    an existing name with matching type and labels returns the same
+    instrument (so façades and handlers can re-derive instruments
+    cheaply); a mismatch raises :class:`MetricError`.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.RLock()
+        self._metrics: dict[str, _Metric] = {}
+
+    # -- instrument factories ---------------------------------------------
+
+    def _get_or_create(self, cls: type, name: str, help: str,
+                       labels: tuple[str, ...], **kwargs: Any) -> Any:
+        with self._lock:
+            existing = self._metrics.get(name)
+            if existing is not None:
+                if type(existing) is not cls or existing.label_names != tuple(labels):
+                    raise MetricError(
+                        f"metric {name!r} already registered as {existing.kind} "
+                        f"with labels {list(existing.label_names)}"
+                    )
+                if cls is Histogram and kwargs.get("buckets") is not None \
+                        and tuple(sorted(kwargs["buckets"])) != existing.bounds:
+                    raise MetricError(f"histogram {name!r}: bucket bounds differ")
+                return existing
+            metric = cls(name, help, tuple(labels), self._lock, **kwargs)
+            self._metrics[name] = metric
+            return metric
+
+    def counter(self, name: str, help: str = "", labels: tuple[str, ...] = (),
+                max_series: int = MAX_LABEL_SETS) -> Counter:
+        return self._get_or_create(Counter, name, help, labels, max_series=max_series)
+
+    def gauge(self, name: str, help: str = "", labels: tuple[str, ...] = (),
+              max_series: int = MAX_LABEL_SETS) -> Gauge:
+        return self._get_or_create(Gauge, name, help, labels, max_series=max_series)
+
+    def histogram(self, name: str, help: str = "", labels: tuple[str, ...] = (),
+                  buckets: tuple[float, ...] | None = None,
+                  max_series: int = MAX_LABEL_SETS) -> Histogram:
+        return self._get_or_create(
+            Histogram, name, help, labels, buckets=buckets, max_series=max_series
+        )
+
+    # -- collection-level operations --------------------------------------
+
+    def collect(self) -> list[_Metric]:
+        with self._lock:
+            return list(self._metrics.values())
+
+    def expose(self) -> str:
+        """Prometheus text exposition format (version 0.0.4)."""
+        blocks = [metric.expose() for metric in self.collect()]
+        return "\n".join(blocks) + ("\n" if blocks else "")
+
+    def snapshot(self) -> dict[str, float]:
+        """Flat ``{'name{labels}': value}`` view of every series."""
+        out: dict[str, float] = {}
+        for metric in self.collect():
+            metric.snapshot_into(out)
+        return out
+
+    def reset(self) -> None:
+        """Zero every series (label sets are kept)."""
+        for metric in self.collect():
+            metric._reset()
+
+    def merge_from(self, other: "MetricsRegistry") -> None:
+        """Fold *other*'s series into this registry (same-named metrics
+        are summed; used to aggregate per-proxy stats)."""
+        for metric in other.collect():
+            mine = self._get_or_create(
+                type(metric), metric.name, metric.help, metric.label_names,
+                **({"buckets": metric.bounds} if isinstance(metric, Histogram) else {}),
+            )
+            mine.max_series = max(mine.max_series, metric.max_series)
+            mine.merge_from(metric)
+
+
+def delta(before: dict[str, float], after: dict[str, float]) -> dict[str, float]:
+    """Per-series difference between two :meth:`MetricsRegistry.snapshot`
+    windows (series absent from *before* count from zero)."""
+    return {key: value - before.get(key, 0.0) for key, value in after.items()}
+
+
+# ---------------------------------------------------------------------------
+# Null objects: the REPRO_NO_OBS=1 fast path.
+# ---------------------------------------------------------------------------
+
+
+class _NullInstrument:
+    """Accepts the full instrument API and records nothing."""
+
+    def labels(self, **_labels: str) -> "_NullInstrument":
+        return self
+
+    def inc(self, amount: float = 1.0) -> None:
+        pass
+
+    def dec(self, amount: float = 1.0) -> None:
+        pass
+
+    def set(self, value: float) -> None:
+        pass
+
+    def observe(self, value: float) -> None:
+        pass
+
+    def quantile(self, q: float) -> float:
+        return 0.0
+
+    value = 0.0
+    sum = 0.0
+    count = 0.0
+
+
+_NULL_INSTRUMENT = _NullInstrument()
+
+
+class NullRegistry:
+    """Registry stand-in when ``REPRO_NO_OBS=1``: every instrument is
+    a shared no-op and exposition is empty."""
+
+    def counter(self, *args: Any, **kwargs: Any) -> _NullInstrument:
+        return _NULL_INSTRUMENT
+
+    gauge = counter
+    histogram = counter
+
+    def collect(self) -> list[Any]:
+        return []
+
+    def expose(self) -> str:
+        return ""
+
+    def snapshot(self) -> dict[str, float]:
+        return {}
+
+    def reset(self) -> None:
+        pass
+
+    def merge_from(self, other: Any) -> None:
+        pass
+
+
+NULL_REGISTRY = NullRegistry()
+
+#: Process-global default registry (ad-hoc instrumentation, CLI dumps).
+REGISTRY = MetricsRegistry()
+
+
+def new_registry() -> "MetricsRegistry | NullRegistry":
+    """A fresh registry, or the shared null when telemetry is off."""
+    return MetricsRegistry() if obs_enabled() else NULL_REGISTRY

@@ -1,0 +1,261 @@
+"""Request-scoped tracing via ``contextvars``.
+
+Every request through the enforcement stack gets a **trace**: a random
+16-hex-digit id plus a tree of timed **spans** naming the stages the
+paper's overhead analysis cares about (``proxy.validate``,
+``cache.lookup``, ``engine.match``, ``admission.chain``,
+``store.commit``).  The active trace rides the execution context, so
+in-process nesting (proxy -> API server -> store) needs no plumbing,
+and the HTTP topology forwards the id in an ``X-Trace-Id`` header so
+the proxy-side and server-side traces (and the resulting
+:class:`~repro.k8s.audit.AuditEvent`) correlate.
+
+``contextvars`` gives per-thread isolation for free: each
+``ThreadingHTTPServer`` worker sees its own active trace.
+
+Finished traces land in a bounded ring buffer
+(:data:`TRACES`) exportable as JSON -- the source for the
+``repro obs`` CLI snapshot and the ``/obs/traces`` debug endpoint.
+With ``REPRO_NO_OBS=1`` the whole layer is a no-op.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import threading
+import time
+from collections import deque
+from contextvars import ContextVar
+from typing import Any
+
+from repro.obs.metrics import obs_enabled
+
+__all__ = [
+    "Span",
+    "Trace",
+    "TraceBuffer",
+    "TRACES",
+    "current_trace_id",
+    "new_trace_id",
+    "span",
+    "trace",
+]
+
+
+def new_trace_id() -> str:
+    """A 16-hex-digit random trace id (64 bits, W3C-trace-style).
+
+    Uses ``random.getrandbits`` rather than ``os.urandom``: trace ids
+    need uniqueness, not cryptographic strength, and the PRNG avoids a
+    syscall on every request.
+    """
+    return f"{random.getrandbits(64):016x}"
+
+
+class Span:
+    """One timed stage inside a trace."""
+
+    __slots__ = ("name", "start_ns", "end_ns", "children")
+
+    def __init__(self, name: str, start_ns: int):
+        self.name = name
+        self.start_ns = start_ns
+        self.end_ns = 0
+        self.children: list[Span] = []
+
+    @property
+    def duration_ns(self) -> int:
+        return max(self.end_ns - self.start_ns, 0)
+
+    def to_dict(self) -> dict[str, Any]:
+        out: dict[str, Any] = {"name": self.name, "duration_ns": self.duration_ns}
+        if self.children:
+            out["children"] = [child.to_dict() for child in self.children]
+        return out
+
+
+class Trace:
+    """A request's span tree plus its correlation id."""
+
+    __slots__ = ("trace_id", "name", "start_ns", "end_ns", "spans", "_stack")
+
+    def __init__(self, name: str, trace_id: str | None = None):
+        self.trace_id = trace_id or new_trace_id()
+        self.name = name
+        self.start_ns = time.perf_counter_ns()
+        self.end_ns = 0
+        self.spans: list[Span] = []
+        self._stack: list[Span] = []
+
+    def begin_span(self, name: str) -> Span:
+        child = Span(name, time.perf_counter_ns())
+        stack = self._stack
+        (stack[-1].children if stack else self.spans).append(child)
+        stack.append(child)
+        return child
+
+    def end_span(self, child: Span) -> None:
+        child.end_ns = time.perf_counter_ns()
+        stack = self._stack
+        # Tolerate mismatched exits (exceptions unwinding several frames).
+        while stack:
+            if stack.pop() is child:
+                break
+
+    def finish(self) -> None:
+        while self._stack:
+            self.end_span(self._stack[-1])
+        self.end_ns = time.perf_counter_ns()
+
+    @property
+    def duration_ns(self) -> int:
+        end = self.end_ns or time.perf_counter_ns()
+        return max(end - self.start_ns, 0)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "trace_id": self.trace_id,
+            "name": self.name,
+            "duration_ns": self.duration_ns,
+            "spans": [s.to_dict() for s in self.spans],
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True)
+
+
+class TraceBuffer:
+    """Bounded, thread-safe ring of finished traces."""
+
+    def __init__(self, maxlen: int = 256):
+        self._traces: deque[Trace] = deque(maxlen=maxlen)
+        self._lock = threading.Lock()
+
+    def record(self, finished: Trace) -> None:
+        with self._lock:
+            self._traces.append(finished)
+
+    def traces(self) -> list[Trace]:
+        with self._lock:
+            return list(self._traces)
+
+    def find(self, trace_id: str) -> Trace | None:
+        with self._lock:
+            for candidate in reversed(self._traces):
+                if candidate.trace_id == trace_id:
+                    return candidate
+        return None
+
+    def clear(self) -> None:
+        with self._lock:
+            self._traces.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._traces)
+
+    def to_json(self, limit: int = 32) -> str:
+        return json.dumps(
+            [t.to_dict() for t in self.traces()[-limit:]], sort_keys=True
+        )
+
+
+#: Process-global sink for finished traces.
+TRACES = TraceBuffer()
+
+_ACTIVE: ContextVar[Trace | None] = ContextVar("repro_obs_trace", default=None)
+
+
+def current_trace_id() -> str | None:
+    """The id of the active trace, if any (audit correlation)."""
+    active = _ACTIVE.get()
+    return active.trace_id if active is not None else None
+
+
+class trace:
+    """Open (or join) a request trace (class-based for hot-path speed).
+
+    If a trace is already active on this context -- e.g. the in-process
+    API server running under the proxy's trace -- the block becomes a
+    nested span instead of a second trace, preserving one id per
+    request end-to-end.  With ``REPRO_NO_OBS=1`` the whole block is a
+    no-op yielding ``None``.
+    """
+
+    __slots__ = ("_name", "_trace_id", "_buffer", "_joined", "_child",
+                 "_opened", "_token")
+
+    def __init__(self, name: str, trace_id: str | None = None,
+                 buffer: TraceBuffer | None = TRACES):
+        self._name = name
+        self._trace_id = trace_id
+        self._buffer = buffer
+        self._joined: Trace | None = None
+        self._child: Span | None = None
+        self._opened: Trace | None = None
+        self._token = None
+
+    def __enter__(self) -> Trace | None:
+        if not obs_enabled():
+            return None
+        active = _ACTIVE.get()
+        if active is not None:
+            self._joined = active
+            self._child = active.begin_span(self._name)
+            return active
+        opened = Trace(self._name, self._trace_id)
+        self._opened = opened
+        self._token = _ACTIVE.set(opened)
+        return opened
+
+    def __exit__(self, *exc: Any) -> bool:
+        if self._joined is not None:
+            self._joined.end_span(self._child)  # type: ignore[arg-type]
+        elif self._opened is not None:
+            _ACTIVE.reset(self._token)
+            self._opened.finish()
+            if self._buffer is not None:
+                self._buffer.record(self._opened)
+        return False
+
+
+class span:
+    """A timed stage under the active trace (no-op without one).
+
+    The begin/end bookkeeping is inlined (rather than delegating to
+    :meth:`Trace.begin_span`/:meth:`Trace.end_span`) because spans run
+    several times per request -- the function-call overhead is the
+    dominant cost at that frequency.
+    """
+
+    __slots__ = ("_trace", "_span")
+
+    def __init__(self, name: str):
+        active = _ACTIVE.get()
+        self._trace = active
+        if active is None:
+            self._span = None
+        else:
+            child = Span(name, time.perf_counter_ns())
+            stack = active._stack
+            (stack[-1].children if stack else active.spans).append(child)
+            stack.append(child)
+            self._span = child
+
+    def __enter__(self) -> Span | None:
+        return self._span
+
+    def __exit__(self, *exc: Any) -> bool:
+        active = self._trace
+        if active is not None:
+            child = self._span
+            child.end_ns = time.perf_counter_ns()  # type: ignore[union-attr]
+            stack = active._stack
+            if stack and stack[-1] is child:
+                stack.pop()
+            else:  # exception unwound through nested spans
+                while stack:
+                    if stack.pop() is child:
+                        break
+        return False

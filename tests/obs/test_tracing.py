@@ -1,0 +1,154 @@
+"""Request-tracing unit tests: span trees, trace joining, the ring
+buffer, thread isolation, and the trace-id propagation contract."""
+
+import json
+import threading
+
+import pytest
+
+from repro.obs import TRACES, TraceBuffer, current_trace_id, new_trace_id, span, trace
+
+
+@pytest.fixture(autouse=True)
+def clean_buffer():
+    TRACES.clear()
+    yield
+    TRACES.clear()
+
+
+class TestTraceIds:
+    def test_shape(self):
+        tid = new_trace_id()
+        assert len(tid) == 16
+        int(tid, 16)  # hex
+
+    def test_unique(self):
+        assert len({new_trace_id() for _ in range(1000)}) == 1000
+
+    def test_no_active_trace_means_none(self):
+        assert current_trace_id() is None
+
+
+class TestTraceLifecycle:
+    def test_records_into_buffer_on_exit(self):
+        with trace("proxy.request") as t:
+            assert current_trace_id() == t.trace_id
+        assert current_trace_id() is None
+        assert len(TRACES) == 1
+        assert TRACES.traces()[0] is t
+
+    def test_explicit_trace_id_is_kept(self):
+        with trace("apiserver.request", trace_id="deadbeefdeadbeef") as t:
+            assert t.trace_id == "deadbeefdeadbeef"
+
+    def test_span_tree_structure(self):
+        with trace("proxy.request"):
+            with span("proxy.validate"):
+                with span("cache.lookup"):
+                    pass
+                with span("engine.match"):
+                    pass
+            with span("store.commit"):
+                pass
+        tree = TRACES.traces()[0].to_dict()
+        assert [s["name"] for s in tree["spans"]] == ["proxy.validate", "store.commit"]
+        children = tree["spans"][0]["children"]
+        assert [s["name"] for s in children] == ["cache.lookup", "engine.match"]
+        assert tree["duration_ns"] > 0
+        assert all(s["duration_ns"] >= 0 for s in tree["spans"])
+
+    def test_nested_trace_joins_instead_of_forking(self):
+        """The in-process API server runs under the proxy's trace: one
+        id per request end-to-end."""
+        with trace("proxy.request") as outer:
+            with trace("apiserver.request") as inner:
+                assert inner is outer
+                assert current_trace_id() == outer.trace_id
+        assert len(TRACES) == 1  # joined block does not re-record
+        names = [s["name"] for s in TRACES.traces()[0].to_dict()["spans"]]
+        assert names == ["apiserver.request"]
+
+    def test_span_without_trace_is_noop(self):
+        with span("orphan") as s:
+            assert s is None
+        assert len(TRACES) == 0
+
+    def test_exception_unwinds_open_spans(self):
+        with pytest.raises(RuntimeError):
+            with trace("proxy.request"):
+                with span("a"):
+                    with span("b"):
+                        raise RuntimeError("boom")
+        finished = TRACES.traces()[0]
+        assert finished.end_ns > 0
+        a = finished.spans[0]
+        assert a.end_ns >= a.start_ns
+        assert a.children[0].end_ns >= a.children[0].start_ns
+
+    def test_disabled_by_escape_hatch(self, monkeypatch):
+        monkeypatch.setenv("REPRO_NO_OBS", "1")
+        with trace("proxy.request") as t:
+            assert t is None
+            assert current_trace_id() is None
+        assert len(TRACES) == 0
+
+    def test_to_json_round_trips(self):
+        with trace("proxy.request"):
+            with span("proxy.validate"):
+                pass
+        parsed = json.loads(TRACES.traces()[0].to_json())
+        assert parsed["name"] == "proxy.request"
+        assert parsed["spans"][0]["name"] == "proxy.validate"
+
+
+class TestThreadIsolation:
+    def test_each_thread_gets_its_own_active_trace(self):
+        """contextvars isolate ThreadingHTTPServer workers: spans land
+        in the worker's own trace."""
+        seen: dict[str, str] = {}
+        barrier = threading.Barrier(4)
+
+        def worker(name: str) -> None:
+            with trace(name) as t:
+                barrier.wait(timeout=5)
+                with span(f"{name}.stage"):
+                    pass
+                seen[name] = t.trace_id
+
+        pool = [
+            threading.Thread(target=worker, args=(f"w{i}",)) for i in range(4)
+        ]
+        for t in pool:
+            t.start()
+        for t in pool:
+            t.join()
+        assert len(set(seen.values())) == 4
+        by_name = {t.name: t for t in TRACES.traces()}
+        for name, tid in seen.items():
+            assert by_name[name].trace_id == tid
+            assert by_name[name].spans[0].name == f"{name}.stage"
+
+
+class TestTraceBuffer:
+    def test_bounded_ring(self):
+        buffer = TraceBuffer(maxlen=4)
+        for i in range(10):
+            with trace(f"t{i}", buffer=buffer):
+                pass
+        assert len(buffer) == 4
+        assert [t.name for t in buffer.traces()] == ["t6", "t7", "t8", "t9"]
+
+    def test_find_by_id(self):
+        buffer = TraceBuffer()
+        with trace("wanted", buffer=buffer) as t:
+            pass
+        assert buffer.find(t.trace_id) is t
+        assert buffer.find("0" * 16) is None
+
+    def test_to_json_limit(self):
+        buffer = TraceBuffer()
+        for i in range(8):
+            with trace(f"t{i}", buffer=buffer):
+                pass
+        dumped = json.loads(buffer.to_json(limit=3))
+        assert [t["name"] for t in dumped] == ["t5", "t6", "t7"]
