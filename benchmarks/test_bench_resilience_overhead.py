@@ -1,0 +1,65 @@
+"""Fault-free cost of the resilience layer on the enforcement path.
+
+The guard (breaker admission + retry accounting + deadline checks)
+wraps every forwarded request, so its *happy-path* cost must be noise:
+this benchmark deploys the nginx chart through the in-process proxy
+with and without a :class:`~repro.resilience.ResilienceConfig` and
+gates the delta.  The chaos suite proves the layer works when faults
+happen; this proves it costs ~nothing when they do not -- the property
+that keeps the Table IV overhead numbers honest.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+import pytest
+
+from repro.core.proxy import KubeFenceProxy
+from repro.k8s.apiserver import Cluster
+from repro.operators import get_chart
+from repro.operators.client import OperatorClient
+from repro.resilience import DEFAULT_RESILIENCE
+
+#: The guard may add at most this much to the fault-free deploy RTT.
+RESILIENCE_OVERHEAD_LIMIT_PCT = 8.0
+REPETITIONS = 30
+
+
+def _deploy_ms(chart, validator, resilience) -> float:
+    """Median in-process full-deploy time, milliseconds."""
+    samples = []
+    for _ in range(REPETITIONS):
+        cluster = Cluster()
+        proxy = KubeFenceProxy(cluster.api, validator, resilience=resilience)
+        client = OperatorClient(proxy)
+        started = time.perf_counter()
+        result = client.deploy_chart(chart)
+        samples.append((time.perf_counter() - started) * 1000.0)
+        assert result.all_ok
+    samples.sort()
+    return samples[len(samples) // 2]
+
+
+@pytest.mark.bench_obs
+def test_resilience_guard_fault_free_overhead(validators, emit_artifact):
+    chart = get_chart("nginx")
+    validator = validators["nginx"]
+
+    # Warm both engines/caches outside the timed region.
+    _deploy_ms(chart, validator, None)
+
+    bare_ms = _deploy_ms(chart, validator, None)
+    guarded_ms = _deploy_ms(chart, validator, DEFAULT_RESILIENCE)
+    overhead_pct = (guarded_ms - bare_ms) / bare_ms * 100.0
+
+    result = {
+        "deploy_ms_bare": round(bare_ms, 4),
+        "deploy_ms_guarded": round(guarded_ms, 4),
+        "overhead_pct": round(overhead_pct, 2),
+        "limit_pct": RESILIENCE_OVERHEAD_LIMIT_PCT,
+        "repetitions": REPETITIONS,
+    }
+    emit_artifact("bench_resilience_overhead", json.dumps(result, indent=2))
+    assert overhead_pct < RESILIENCE_OVERHEAD_LIMIT_PCT, result

@@ -253,6 +253,66 @@ def _walk_spans(spans):
         yield from _walk_spans(s.children)
 
 
+def cmd_chaos(args: argparse.Namespace) -> int:
+    """Run scripted chaos scenarios against the enforcement stack and
+    print the survival report (see docs/RESILIENCE.md).
+
+    Exit code 1 if any scenario recorded a fail-open decision."""
+    import json as _json
+
+    from repro.core.pipeline import generate_policy
+    from repro.faults import SCENARIOS, render_survival_report, run_scenario
+
+    names = args.scenario or list(SCENARIOS)
+    unknown = [n for n in names if n not in SCENARIOS]
+    if unknown:
+        print(
+            f"unknown scenario(s): {', '.join(unknown)} "
+            f"(available: {', '.join(SCENARIOS)})",
+            file=sys.stderr,
+        )
+        return 2
+
+    chart = _load_chart(args.operator or "nginx")
+    validator = generate_policy(chart)
+    reports = [
+        run_scenario(
+            SCENARIOS[name],
+            chart=chart,
+            validator=validator,
+            seed=args.seed,
+            rounds=args.rounds,
+        )
+        for name in names
+    ]
+    if args.json:
+        print(_json.dumps(
+            [
+                {
+                    "scenario": r.name,
+                    "seed": r.seed,
+                    "rounds": r.rounds,
+                    "requests_total": r.requests_total,
+                    "benign_ok": r.benign_ok,
+                    "benign_refused": r.benign_refused,
+                    "denied": r.denied,
+                    "denial_attempts": r.denial_attempts,
+                    "fail_open": r.fail_open,
+                    "retries": r.retries,
+                    "degraded_refused": r.degraded_refused,
+                    "breaker_opens": r.breaker_opens,
+                    "injected": r.injected,
+                    "survived": r.survived,
+                }
+                for r in reports
+            ],
+            indent=2,
+        ))
+    else:
+        print(render_survival_report(reports))
+    return 0 if all(r.survived for r in reports) else 1
+
+
 def cmd_overhead(args: argparse.Namespace) -> int:
     from repro.analysis.overhead import OverheadConfig, measure_overhead
     from repro.analysis.report import render_table4
@@ -334,6 +394,20 @@ def build_parser() -> argparse.ArgumentParser:
     obs.add_argument("--traces", type=int, default=8, help="trace count to print")
     obs.add_argument("--json", action="store_true", help="machine-readable output")
 
+    chaos = sub.add_parser(
+        "chaos", help="run fault-injection scenarios; print the survival report"
+    )
+    chaos.add_argument(
+        "operator", nargs="?", help="operator chart to deploy (default: nginx)"
+    )
+    chaos.add_argument(
+        "--scenario", action="append",
+        help="scenario name (repeatable; default: all built-in scenarios)",
+    )
+    chaos.add_argument("--seed", type=int, default=1337, help="fault-injector seed")
+    chaos.add_argument("--rounds", type=int, default=10, help="apply rounds per scenario")
+    chaos.add_argument("--json", action="store_true", help="machine-readable output")
+
     return parser
 
 
@@ -349,6 +423,7 @@ _COMMANDS = {
     "coverage": cmd_coverage,
     "overhead": cmd_overhead,
     "obs": cmd_obs,
+    "chaos": cmd_chaos,
 }
 
 

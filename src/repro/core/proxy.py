@@ -30,10 +30,22 @@ Observability: every request runs under a :mod:`repro.obs` trace
 ``GET /metrics`` in Prometheus text format.  Denials are labeled by
 ``operator``/``kind``/``reason`` so Table III mitigation runs can be
 read straight off a scrape.  ``REPRO_NO_OBS=1`` disables the layer.
+
+Resilience: the upstream hop runs under the :mod:`repro.resilience`
+guard -- retry with decorrelated-jitter backoff, a per-request
+deadline, and a circuit breaker.  When the upstream is unavailable the
+proxy degrades **fail-closed** (refuse with 503) or, optionally,
+**fail-static** (serve recent cached reads only); a would-be denial is
+never converted into an allow, because the validation gate runs
+locally before any forwarding.  Every retry, breaker transition, and
+degraded answer is a ``kubefence_*`` metric; the chaos harness
+(:mod:`repro.faults`, ``repro chaos``) exercises all of it
+deterministically.  See ``docs/RESILIENCE.md``.
 """
 
 from __future__ import annotations
 
+import http.client
 import time
 from dataclasses import dataclass
 from typing import Any, Iterable
@@ -43,6 +55,17 @@ from repro.core.enforcement import ValidationResult, Validator
 from repro.k8s.apiserver import APIServer, ApiRequest, ApiResponse
 from repro.k8s.errors import ApiError
 from repro.obs import current_trace_id, new_registry, obs_endpoint, span, trace
+from repro.resilience import (
+    BREAKER_STATE_CODES,
+    CircuitOpenError,
+    DEFAULT_RESILIENCE,
+    DeadlineExceeded,
+    RETRYABLE_STATUS_CODES,
+    ResilienceConfig,
+    StaleReadCache,
+    UpstreamGuard,
+    UpstreamUnavailable,
+)
 
 #: Verbs whose payload is validated.
 _WRITE_VERBS = frozenset({"create", "update", "patch"})
@@ -140,6 +163,33 @@ class ProxyStats:
             "kubefence_connections_reused_total",
             "Upstream keep-alive connection reuses (HTTP proxy).",
         )
+        # -- resilience layer (docs/RESILIENCE.md) -------------------------
+        self._retries = reg.counter(
+            "kubefence_retries_total",
+            "Upstream retries performed by the resilience layer.",
+        )
+        self._breaker_state = reg.gauge(
+            "kubefence_breaker_state",
+            "Upstream circuit-breaker state (0=closed, 1=open, 2=half-open).",
+        )
+        self._breaker_transitions = reg.counter(
+            "kubefence_breaker_transitions_total",
+            "Circuit-breaker transitions, by target state.",
+            labels=("state",),
+        )
+        self._degraded = reg.counter(
+            "kubefence_degraded_requests_total",
+            "Requests answered in degraded mode while the upstream was "
+            "unavailable, by outcome (refused = fail-closed 503, "
+            "stale-read = fail-static cached GET).",
+            labels=("mode",),
+        )
+        self._upstream_errors = reg.counter(
+            "kubefence_upstream_errors_total",
+            "Upstream failures observed by the forwarding path, by kind.",
+            labels=("kind",),
+            max_series=16,
+        )
         self._latency = reg.histogram(
             "kubefence_validation_latency_ns",
             "Validation-gate latency per write request, by cache outcome.",
@@ -181,6 +231,19 @@ class ProxyStats:
 
     def count_connection(self, reused: bool) -> None:
         (self._conn_reused if reused else self._conn_opened).inc()
+
+    def count_retry(self) -> None:
+        self._retries.inc()
+
+    def count_degraded(self, mode: str) -> None:
+        self._degraded.labels(mode=mode).inc()
+
+    def count_upstream_error(self, kind: str) -> None:
+        self._upstream_errors.labels(kind=kind).inc()
+
+    def record_breaker_transition(self, new_state: str) -> None:
+        self._breaker_state.set(BREAKER_STATE_CODES.get(new_state, -1))
+        self._breaker_transitions.labels(state=new_state).inc()
 
     def count_http_request(self, method: str, code: Any) -> None:
         key = (str(method or "?"), str(getattr(code, "value", code)))
@@ -239,6 +302,19 @@ class ProxyStats:
     @property
     def connections_reused(self) -> int:
         return int(self._conn_reused.value)
+
+    @property
+    def retries_total(self) -> int:
+        return int(self._retries.value)
+
+    @property
+    def degraded_total(self) -> int:
+        snapshot_into = getattr(self._degraded, "snapshot_into", None)
+        if snapshot_into is None:  # REPRO_NO_OBS null instrument
+            return 0
+        snapshot: dict[str, float] = {}
+        snapshot_into(snapshot)
+        return int(sum(snapshot.values()))
 
     @property
     def validation_seconds(self) -> float:
@@ -316,6 +392,27 @@ class ProxyStats:
             f"requests_denied={self.requests_denied}, "
             f"cache_hits={self.cache_hits}, cache_misses={self.cache_misses})"
         )
+
+
+def upstream_failure_kind(failure: Any) -> str:
+    """Bounded ``kind`` label for an upstream failure observation --
+    either a transport exception or a retryable 5xx result (the
+    metrics cardinality guard requires a closed set)."""
+    if not isinstance(failure, BaseException):
+        return "5xx"  # a retryable-status response object/tuple
+    if isinstance(failure, http.client.IncompleteRead):
+        return "partial-response"
+    if isinstance(failure, TimeoutError):
+        return "timeout"
+    if isinstance(failure, ConnectionResetError):
+        return "connection-reset"
+    if isinstance(failure, ConnectionError):
+        return "connection"
+    if isinstance(failure, http.client.HTTPException):
+        return "protocol"
+    if isinstance(failure, OSError):
+        return "os-error"
+    return "other"
 
 
 class ValidationGate:
@@ -399,7 +496,16 @@ class ValidationGate:
 
 
 class KubeFenceProxy:
-    """In-process enforcement proxy implementing the client Transport."""
+    """In-process enforcement proxy implementing the client Transport.
+
+    With a :class:`~repro.resilience.ResilienceConfig` the upstream
+    hop runs under retry + circuit breaking + a per-request deadline;
+    when the upstream is unavailable the proxy **fails closed**:
+    validated writes are refused with 503 while denials keep being
+    issued locally (the validation gate needs no upstream).  The
+    default (``resilience=None``) leaves the upstream call untouched
+    -- zero added work on the fault-free benchmark path.
+    """
 
     def __init__(
         self,
@@ -407,11 +513,30 @@ class KubeFenceProxy:
         validator: Validator,
         cache_size: int = DEFAULT_DECISION_CACHE_SIZE,
         engine: str = "auto",
+        resilience: ResilienceConfig | None = None,
     ):
         self.api = api
         self.denials: list[DenialRecord] = []
         self.stats = ProxyStats()
         self.gate = ValidationGate(validator, self.stats, cache_size, engine)
+        self.resilience = resilience
+        self.breaker = None
+        self._guard: UpstreamGuard | None = None
+        if resilience is not None:
+            stats = self.stats
+            self.breaker = resilience.make_breaker(
+                on_transition=lambda _old, new: stats.record_breaker_transition(new)
+            )
+            self._guard = UpstreamGuard(
+                resilience.retry,
+                self.breaker,
+                # TimeoutError/ConnectionError are OSError subclasses.
+                retry_on=(OSError,),
+                on_retry=lambda _attempt, _delay: stats.count_retry(),
+                on_failure=lambda failure: stats.count_upstream_error(
+                    upstream_failure_kind(failure)
+                ),
+            )
 
     @property
     def validator(self) -> Validator:
@@ -433,7 +558,39 @@ class KubeFenceProxy:
                     result = self.gate.check(request.body)
                 if not result.allowed:
                     return self._deny(request, result)
+            return self._forward(request)
+
+    def _forward(self, request: ApiRequest) -> ApiResponse:
+        """The upstream hop, guarded when resilience is configured.
+
+        A retryable upstream 5xx that survives the whole schedule is
+        passed through (the upstream's own answer is information);
+        breaker refusals and exhausted transports become a local 503
+        -- never a silent allow.
+        """
+        if self._guard is None:
             return self.api.handle(request)
+        assert self.resilience is not None
+        try:
+            return self._guard.call(
+                lambda: self.api.handle(request),
+                deadline=self.resilience.deadline(),
+                is_failure=lambda resp: resp.code in RETRYABLE_STATUS_CODES,
+            )
+        except CircuitOpenError as err:
+            self.stats.count_upstream_error("breaker-open")
+            return self._refuse(err)
+        except (UpstreamUnavailable, DeadlineExceeded) as err:
+            return self._refuse(err)
+
+    def _refuse(self, err: Exception) -> ApiResponse:
+        """Fail closed: the upstream is unavailable, so the request is
+        refused locally with 503 (see docs/RESILIENCE.md)."""
+        self.stats.count_degraded("refused")
+        return ApiResponse.from_error(ApiError(
+            503, "ServiceUnavailable",
+            f"KubeFence: upstream API server unavailable; failing closed ({err})",
+        ))
 
     def _deny(self, request: ApiRequest, result: ValidationResult) -> ApiResponse:
         name = ""
@@ -482,29 +639,58 @@ class HttpKubeFenceProxy:
     def __init__(self, upstream_base_url: str, validator: Validator,
                  host: str = "127.0.0.1", port: int = 0,
                  cache_size: int = DEFAULT_DECISION_CACHE_SIZE,
-                 engine: str = "auto"):
-        import http.client
+                 engine: str = "auto",
+                 resilience: ResilienceConfig | None = None):
         import json
         import threading
-        from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+        from http.server import BaseHTTPRequestHandler
         from urllib.parse import urlsplit
+
+        from repro.k8s.http import QuietThreadingHTTPServer
 
         proxy = self
         self.upstream = upstream_base_url.rstrip("/")
         self.denials: list[DenialRecord] = []
         self.stats = ProxyStats()
         self.gate = ValidationGate(validator, self.stats, cache_size, engine)
+        self.resilience = res = (
+            resilience if resilience is not None else DEFAULT_RESILIENCE
+        )
+        stats = self.stats
+        self.breaker = res.make_breaker(
+            on_transition=lambda _old, new: stats.record_breaker_transition(new)
+        )
+        self._guard = UpstreamGuard(
+            res.retry,
+            self.breaker,
+            # IncompleteRead (truncated upstream reply) is an
+            # HTTPException; timeouts and resets are OSErrors.
+            retry_on=(http.client.HTTPException, OSError),
+            on_retry=lambda _attempt, _delay: stats.count_retry(),
+            on_failure=lambda failure: stats.count_upstream_error(
+                upstream_failure_kind(failure)
+            ),
+        )
+        self._read_cache: StaleReadCache | None = (
+            StaleReadCache(res.read_cache_size)
+            if res.degraded_mode == "fail-static" else None
+        )
 
         split = urlsplit(self.upstream)
         upstream_host = split.hostname or "127.0.0.1"
         upstream_port = split.port or 80
         pool = threading.local()
 
-        def upstream_connection() -> "http.client.HTTPConnection":
+        def upstream_connection(timeout: float) -> "http.client.HTTPConnection":
             conn = getattr(pool, "conn", None)
             if conn is None:
-                conn = http.client.HTTPConnection(upstream_host, upstream_port, timeout=30)
+                conn = http.client.HTTPConnection(
+                    upstream_host, upstream_port, timeout=timeout
+                )
                 pool.conn = conn
+            conn.timeout = timeout
+            if conn.sock is not None:
+                conn.sock.settimeout(timeout)
             proxy.stats.count_connection(reused=conn.sock is not None)
             return conn
 
@@ -513,6 +699,39 @@ class HttpKubeFenceProxy:
             if conn is not None:
                 conn.close()
                 pool.conn = None
+
+        def upstream_call(
+            method: str, path: str, body: bytes | None, headers: dict[str, str]
+        ) -> tuple[int, bytes]:
+            """One guarded upstream round trip: breaker admission,
+            retry with decorrelated backoff, per-attempt socket
+            timeouts clamped to the per-request deadline."""
+            deadline = res.deadline()
+
+            def attempt() -> tuple[int, bytes]:
+                timeout = res.request_timeout
+                if deadline is not None:
+                    timeout = max(0.05, deadline.clamp(timeout))
+                conn = upstream_connection(timeout)
+                try:
+                    with span("proxy.forward"):
+                        conn.request(method, path, body=body, headers=headers)
+                        resp = conn.getresponse()
+                        data = resp.read()
+                except BaseException:
+                    # Stale pooled socket, reset, timeout, truncated
+                    # read: the connection state is unknown -- drop it.
+                    drop_connection()
+                    raise
+                return resp.status, data
+
+            return proxy._guard.call(
+                attempt,
+                deadline=deadline,
+                is_failure=lambda r: r[0] in RETRYABLE_STATUS_CODES,
+            )
+
+        self._upstream_call = upstream_call
 
         class Handler(BaseHTTPRequestHandler):
             #: HTTP/1.1 enables keep-alive on the client-facing side
@@ -526,11 +745,14 @@ class HttpKubeFenceProxy:
                 # Access "log": a labeled counter instead of stderr.
                 proxy.stats.count_http_request(getattr(self, "command", "?"), code)
 
-            def _reply(self, code: int, payload: dict | list) -> None:
+            def _reply(self, code: int, payload: dict | list,
+                       extra_headers: tuple[tuple[str, str], ...] = ()) -> None:
                 body = json.dumps(payload).encode()
                 self.send_response(code)
                 self.send_header("Content-Type", "application/json")
                 self.send_header("Content-Length", str(len(body)))
+                for name, value in extra_headers:
+                    self.send_header(name, value)
                 self.end_headers()
                 self.wfile.write(body)
 
@@ -558,26 +780,56 @@ class HttpKubeFenceProxy:
                     "X-Remote-Groups": self.headers.get("X-Remote-Groups", ""),
                     "X-Trace-Id": current_trace_id() or "",
                 }
-                last_error: Exception | None = None
-                for attempt in (0, 1):
-                    conn = upstream_connection()
-                    try:
-                        with span("proxy.forward"):
-                            conn.request(method, self.path, body=body, headers=headers)
-                            resp = conn.getresponse()
-                            data = resp.read()
-                        self._reply(resp.status, json.loads(data or b"{}"))
+                try:
+                    status, data = proxy._upstream_call(
+                        method, self.path, body, headers
+                    )
+                except CircuitOpenError as err:
+                    proxy.stats.count_upstream_error("breaker-open")
+                    self._degraded_reply(method, err)
+                    return
+                except (UpstreamUnavailable, DeadlineExceeded) as err:
+                    self._degraded_reply(method, err)
+                    return
+                try:
+                    payload = json.loads(data or b"{}")
+                except ValueError:
+                    proxy.stats.count_upstream_error("bad-payload")
+                    self._reply(
+                        502,
+                        {"kind": "Status", "status": "Failure", "code": 502,
+                         "reason": "BadGateway",
+                         "message": "upstream returned an unparseable body"},
+                    )
+                    return
+                if (method == "GET" and status == 200
+                        and proxy._read_cache is not None):
+                    proxy._read_cache.put(self.path, payload)
+                self._reply(status, payload)
+
+            def _degraded_reply(self, method: str, err: Exception) -> None:
+                """The upstream is down.  fail-static may serve reads
+                from the stale cache; everything else is refused with
+                503 -- a would-be denial is never converted into an
+                allow (denials already happened before forwarding)."""
+                if method == "GET" and proxy._read_cache is not None:
+                    cached = proxy._read_cache.get(
+                        self.path, proxy.resilience.read_cache_ttl
+                    )
+                    if cached is not None:
+                        age, payload = cached
+                        proxy.stats.count_degraded("stale-read")
+                        self._reply(200, payload, extra_headers=(
+                            ("X-KubeFence-Degraded", f"stale-read; age={age:.1f}s"),
+                        ))
                         return
-                    except (http.client.HTTPException, OSError, ValueError) as err:
-                        # Stale pooled socket (or upstream hiccup):
-                        # drop it and retry once on a fresh connection.
-                        last_error = err
-                        drop_connection()
+                proxy.stats.count_degraded("refused")
                 self._reply(
-                    502,
-                    {"kind": "Status", "status": "Failure", "code": 502,
-                     "reason": "BadGateway",
-                     "message": f"upstream API server unreachable: {last_error}"},
+                    503,
+                    {"kind": "Status", "status": "Failure", "code": 503,
+                     "reason": "ServiceUnavailable",
+                     "message": "KubeFence: upstream API server unavailable; "
+                                f"failing closed ({err})"},
                 )
 
             def _handle(self, method: str) -> None:
@@ -657,7 +909,7 @@ class HttpKubeFenceProxy:
             def do_DELETE(self) -> None:
                 self._handle("DELETE")
 
-        self._httpd = ThreadingHTTPServer((host, port), Handler)
+        self._httpd = QuietThreadingHTTPServer((host, port), Handler)
         self._thread: Any = None
         self._threading = threading
 
@@ -686,6 +938,11 @@ class HttpKubeFenceProxy:
         self._httpd.server_close()
         if self._thread is not None:
             self._thread.join(timeout=5)
+            if self._thread.is_alive():  # pragma: no cover - hang guard
+                raise RuntimeError(
+                    "HttpKubeFenceProxy serve thread failed to stop within 5s"
+                )
+            self._thread = None
 
     def __enter__(self) -> "HttpKubeFenceProxy":
         return self.start()
@@ -705,10 +962,12 @@ class MultiPolicyProxy:
     """
 
     def __init__(self, api: APIServer, validators: dict[str, Validator],
-                 read_through: bool = True):
+                 read_through: bool = True,
+                 resilience: ResilienceConfig | None = None):
         self.api = api
+        self.resilience = resilience
         self._proxies = {
-            username: KubeFenceProxy(api, validator)
+            username: KubeFenceProxy(api, validator, resilience=resilience)
             for username, validator in validators.items()
         }
         self.read_through = read_through
@@ -720,7 +979,9 @@ class MultiPolicyProxy:
         if existing is not None:
             existing.install_validator(validator)
         else:
-            self._proxies[username] = KubeFenceProxy(self.api, validator)
+            self._proxies[username] = KubeFenceProxy(
+                self.api, validator, resilience=self.resilience
+            )
 
     def proxy_for(self, username: str) -> "KubeFenceProxy | None":
         return self._proxies.get(username)

@@ -1,0 +1,36 @@
+"""Deterministic fault injection and scripted chaos scenarios.
+
+Companion package to :mod:`repro.resilience`: where resilience is what
+the enforcement path *does* under failure, faults are how failure is
+*manufactured* -- reproducibly, from a seed -- so the fail-closed
+guarantees can be tested instead of asserted (``repro chaos``,
+``tests/integration/test_chaos.py``).
+"""
+
+from repro.faults.injector import (
+    FAULT_KINDS,
+    FaultDecision,
+    FaultInjector,
+    FaultPlan,
+    FaultyAPIServer,
+)
+from repro.faults.scenarios import (
+    SCENARIOS,
+    ScenarioReport,
+    hostile_mutations,
+    render_survival_report,
+    run_scenario,
+)
+
+__all__ = [
+    "FAULT_KINDS",
+    "FaultDecision",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultyAPIServer",
+    "SCENARIOS",
+    "ScenarioReport",
+    "hostile_mutations",
+    "render_survival_report",
+    "run_scenario",
+]

@@ -57,6 +57,32 @@ def parse_rest_path(path: str, reg: ResourceRegistry) -> tuple[str, str | None, 
 _METHOD_VERBS = {"POST": "create", "PUT": "update", "PATCH": "patch", "DELETE": "delete"}
 
 
+class QuietThreadingHTTPServer(ThreadingHTTPServer):
+    """A :class:`ThreadingHTTPServer` that does not spray tracebacks
+    for connection-level failures.
+
+    Clients that time out and hang up mid-reply (the KubeFence proxy
+    under a tight deadline, chaos clients, load balancers) produce
+    ``BrokenPipeError``/``ConnectionResetError`` in the worker thread;
+    injected faults (:mod:`repro.faults`) abort connections on
+    purpose.  Those are routine under load and are swallowed here --
+    genuine handler bugs still get the default traceback.
+    """
+
+    #: Workers must not block interpreter shutdown.
+    daemon_threads = True
+
+    def handle_error(self, request: Any, client_address: Any) -> None:
+        import sys
+
+        exc = sys.exc_info()[1]
+        if isinstance(exc, (ConnectionError, TimeoutError, BrokenPipeError)):
+            return
+        if isinstance(exc, OSError) and exc.errno in (9, 32, 104):  # EBADF/EPIPE/ECONNRESET
+            return
+        super().handle_error(request, client_address)
+
+
 class _Handler(BaseHTTPRequestHandler):
     server_version = "MiniKubeApiServer/1.0"
     #: HTTP/1.1 so pooled clients (notably the KubeFence proxy's
@@ -64,6 +90,10 @@ class _Handler(BaseHTTPRequestHandler):
     #: response path sends an explicit Content-Length.
     protocol_version = "HTTP/1.1"
     api: APIServer  # injected by serve()
+    #: Optional :class:`repro.faults.FaultInjector` applied at the wire
+    #: level (after the body drain, before routing).  ``None`` in the
+    #: normal, fault-free topology.
+    faults: Any = None
 
     # Silence the default stderr request logging; access logs are not
     # discarded, though -- log_request() routes them into the metrics
@@ -114,6 +144,14 @@ class _Handler(BaseHTTPRequestHandler):
         # on the same connection.
         length = int(self.headers.get("Content-Length") or 0)
         raw = self.rfile.read(length) if length else b""
+
+        # Wire-level chaos: the injector may 5xx, stall, truncate, or
+        # RST this request.  It runs after the body drain (keep-alive
+        # hygiene) and never touches the observability surfaces, so
+        # /metrics stays scrapeable mid-scenario.
+        faults = self.faults
+        if faults is not None and faults.apply_http(self):
+            return
 
         try:
             kind, namespace, name = parse_rest_path(self.path, self.api.registry)
@@ -182,9 +220,12 @@ class _Handler(BaseHTTPRequestHandler):
 class HttpApiServer:
     """Serve an :class:`APIServer` over a real TCP socket."""
 
-    def __init__(self, api: APIServer, host: str = "127.0.0.1", port: int = 0):
-        handler = type("BoundHandler", (_Handler,), {"api": api})
-        self._httpd = ThreadingHTTPServer((host, port), handler)
+    def __init__(self, api: APIServer, host: str = "127.0.0.1", port: int = 0,
+                 fault_injector: Any | None = None):
+        handler = type(
+            "BoundHandler", (_Handler,), {"api": api, "faults": fault_injector}
+        )
+        self._httpd = QuietThreadingHTTPServer((host, port), handler)
         self._thread: threading.Thread | None = None
 
     @property
@@ -206,6 +247,11 @@ class HttpApiServer:
         self._httpd.server_close()
         if self._thread is not None:
             self._thread.join(timeout=5)
+            if self._thread.is_alive():
+                raise RuntimeError(
+                    "HttpApiServer serve thread failed to stop within 5s"
+                )
+            self._thread = None
 
     def __enter__(self) -> "HttpApiServer":
         return self.start()

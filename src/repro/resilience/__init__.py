@@ -1,0 +1,53 @@
+"""KubeFence resilience layer: retry/backoff, deadlines, circuit
+breaking, and the guarded-upstream call discipline.
+
+The proxy is in-line on every API request, so its availability and
+fail-closed behaviour are as security-critical as its validators.
+This package provides the substrate the enforcement path degrades on
+(see ``docs/RESILIENCE.md`` for the failure-mode matrix and the chaos
+harness in :mod:`repro.faults` that exercises it).
+"""
+
+from repro.resilience.breaker import (
+    BREAKER_STATE_CODES,
+    CLOSED,
+    CircuitBreaker,
+    CircuitOpenError,
+    HALF_OPEN,
+    OPEN,
+)
+from repro.resilience.guard import (
+    DEFAULT_RESILIENCE,
+    RETRYABLE_STATUS_CODES,
+    ResilienceConfig,
+    StaleReadCache,
+    UpstreamGuard,
+    UpstreamUnavailable,
+)
+from repro.resilience.retry import (
+    Deadline,
+    DeadlineExceeded,
+    JITTER_MODES,
+    RetryPolicy,
+    retry_call,
+)
+
+__all__ = [
+    "BREAKER_STATE_CODES",
+    "CLOSED",
+    "CircuitBreaker",
+    "CircuitOpenError",
+    "DEFAULT_RESILIENCE",
+    "Deadline",
+    "DeadlineExceeded",
+    "HALF_OPEN",
+    "JITTER_MODES",
+    "OPEN",
+    "RETRYABLE_STATUS_CODES",
+    "ResilienceConfig",
+    "RetryPolicy",
+    "StaleReadCache",
+    "UpstreamGuard",
+    "UpstreamUnavailable",
+    "retry_call",
+]

@@ -1,0 +1,177 @@
+"""Thread-safe circuit breaker with closed/open/half-open probing.
+
+When the upstream API server is *down* (not merely hiccuping), retries
+only add load and latency.  The breaker converts a run of consecutive
+failures into fast local refusals (fail-closed -- see
+``docs/RESILIENCE.md`` for the degradation matrix), then probes the
+upstream with a bounded number of trial requests once the recovery
+timeout elapses:
+
+- **closed**: all calls pass; ``failure_threshold`` *consecutive*
+  failures trip the breaker (any success resets the run).
+- **open**: every call is refused locally until ``recovery_timeout``
+  seconds pass, at which point the next ``allow()`` moves to half-open.
+- **half-open**: at most ``half_open_max_probes`` calls are admitted
+  concurrently.  ``success_threshold`` probe successes close the
+  breaker; a single probe failure re-opens it and restarts the timer.
+
+The clock is injectable (tests advance time without sleeping), every
+transition invokes ``on_transition(old, new)`` under the state lock
+(the proxy uses it to keep the ``kubefence_breaker_state`` gauge and
+the transitions counter exact), and probe slots are reserved inside
+``allow()`` so concurrent half-open callers cannot stampede the
+recovering upstream (pinned by the thread-race tests in
+``tests/resilience/test_breaker.py``).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable
+
+__all__ = [
+    "BREAKER_STATE_CODES",
+    "CLOSED",
+    "CircuitBreaker",
+    "CircuitOpenError",
+    "HALF_OPEN",
+    "OPEN",
+]
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half-open"
+
+#: Numeric encoding for the ``kubefence_breaker_state`` gauge.
+BREAKER_STATE_CODES = {CLOSED: 0, OPEN: 1, HALF_OPEN: 2}
+
+
+class CircuitOpenError(Exception):
+    """The breaker refused the call locally (upstream presumed down)."""
+
+
+class CircuitBreaker:
+    """Consecutive-failure breaker with bounded half-open probing."""
+
+    def __init__(
+        self,
+        failure_threshold: int = 5,
+        recovery_timeout: float = 1.0,
+        success_threshold: int = 1,
+        half_open_max_probes: int = 1,
+        clock: Callable[[], float] = time.monotonic,
+        on_transition: Callable[[str, str], None] | None = None,
+    ):
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        if success_threshold < 1:
+            raise ValueError("success_threshold must be >= 1")
+        if half_open_max_probes < 1:
+            raise ValueError("half_open_max_probes must be >= 1")
+        self.failure_threshold = failure_threshold
+        self.recovery_timeout = recovery_timeout
+        self.success_threshold = success_threshold
+        self.half_open_max_probes = half_open_max_probes
+        self._clock = clock
+        self._on_transition = on_transition
+        self._lock = threading.RLock()
+        self._state = CLOSED
+        self._consecutive_failures = 0
+        self._opened_at = 0.0
+        self._probes_in_flight = 0
+        self._probe_successes = 0
+
+    # -- state ---------------------------------------------------------------
+
+    @property
+    def state(self) -> str:
+        """The stored state (reads do not advance the machine; only
+        ``allow()`` performs the open -> half-open transition)."""
+        with self._lock:
+            return self._state
+
+    def _transition(self, new_state: str) -> None:
+        old = self._state
+        if old == new_state:
+            return
+        self._state = new_state
+        if new_state == OPEN:
+            self._opened_at = self._clock()
+        if new_state == HALF_OPEN:
+            self._probes_in_flight = 0
+            self._probe_successes = 0
+        if new_state == CLOSED:
+            self._consecutive_failures = 0
+            self._probes_in_flight = 0
+            self._probe_successes = 0
+        if self._on_transition is not None:
+            self._on_transition(old, new_state)
+
+    # -- call admission ------------------------------------------------------
+
+    def allow(self) -> bool:
+        """Whether a call may proceed now.
+
+        In half-open this *reserves a probe slot*: the caller must
+        report the outcome via :meth:`record_success` /
+        :meth:`record_failure` to release it.
+        """
+        with self._lock:
+            if self._state == CLOSED:
+                return True
+            if self._state == OPEN:
+                if self._clock() - self._opened_at < self.recovery_timeout:
+                    return False
+                self._transition(HALF_OPEN)
+            # HALF_OPEN: bounded concurrent probes.
+            if self._probes_in_flight < self.half_open_max_probes:
+                self._probes_in_flight += 1
+                return True
+            return False
+
+    def call(self, fn: Callable[[], object]) -> object:
+        """Run *fn* under the breaker, raising :class:`CircuitOpenError`
+        when the call is refused.  Exceptions count as failures."""
+        if not self.allow():
+            raise CircuitOpenError(
+                f"circuit breaker is {self.state}; refusing call"
+            )
+        try:
+            result = fn()
+        except BaseException:
+            self.record_failure()
+            raise
+        self.record_success()
+        return result
+
+    # -- outcome reporting ---------------------------------------------------
+
+    def record_success(self) -> None:
+        with self._lock:
+            if self._state == HALF_OPEN:
+                self._probes_in_flight = max(0, self._probes_in_flight - 1)
+                self._probe_successes += 1
+                if self._probe_successes >= self.success_threshold:
+                    self._transition(CLOSED)
+            elif self._state == CLOSED:
+                self._consecutive_failures = 0
+            # OPEN: a straggler success from before the trip; ignore.
+
+    def record_failure(self) -> None:
+        with self._lock:
+            if self._state == HALF_OPEN:
+                self._probes_in_flight = max(0, self._probes_in_flight - 1)
+                self._transition(OPEN)  # one bad probe re-opens
+            elif self._state == CLOSED:
+                self._consecutive_failures += 1
+                if self._consecutive_failures >= self.failure_threshold:
+                    self._transition(OPEN)
+            # OPEN: already tripped; do not extend the recovery window.
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"CircuitBreaker(state={self.state!r}, "
+            f"failures={self._consecutive_failures}, "
+            f"threshold={self.failure_threshold})"
+        )

@@ -1,0 +1,262 @@
+"""UpstreamGuard: breaker + retry + deadline around one unreliable call.
+
+Both enforcement proxies (the in-process transport and the HTTP
+reverse proxy) forward validated requests to an upstream API server
+that can fail in transport space (resets, timeouts, truncated reads)
+or in protocol space (502/503/504 during rolling restarts).  The guard
+composes the resilience primitives into one call discipline:
+
+1. every attempt first asks the :class:`~repro.resilience.breaker.
+   CircuitBreaker` for admission (``CircuitOpenError`` when refused);
+2. transport exceptions in ``retry_on`` and results the caller marks
+   as failures (``is_failure`` -- e.g. a 503 response object) count
+   against the breaker and consume retry attempts with backoff sleeps
+   drawn from the :class:`~repro.resilience.retry.RetryPolicy`;
+3. sleeps are clamped to the per-request :class:`~repro.resilience.
+   retry.Deadline`; an exhausted budget aborts the schedule early.
+
+Outcome contract (pinned by ``tests/resilience/test_guard.py``):
+
+- success -> the result, breaker credited;
+- breaker refuses -> :class:`CircuitOpenError` (fast local refusal);
+- attempts exhausted on *failure results* -> the last failing result
+  is **returned** (an upstream 503 is information the client should
+  see, not something to mask);
+- attempts exhausted on *exceptions* (or deadline spent) ->
+  :class:`UpstreamUnavailable` chained to the last transport error.
+
+The degradation decision -- refuse fail-closed, or serve a stale
+cached read fail-static -- is the caller's: the guard only reports
+*that* the upstream is unavailable, never invents an answer.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.resilience.breaker import CircuitBreaker, CircuitOpenError
+from repro.resilience.retry import Deadline, DeadlineExceeded, RetryPolicy
+
+__all__ = [
+    "DEFAULT_RESILIENCE",
+    "ResilienceConfig",
+    "StaleReadCache",
+    "UpstreamGuard",
+    "UpstreamUnavailable",
+]
+
+#: Response codes treated as retryable upstream failures.
+RETRYABLE_STATUS_CODES = frozenset({502, 503, 504})
+
+_NO_RESULT = object()
+
+
+class UpstreamUnavailable(Exception):
+    """Retries/deadline exhausted without reaching the upstream."""
+
+    def __init__(self, message: str, attempts: int = 0):
+        super().__init__(message)
+        self.attempts = attempts
+
+
+class UpstreamGuard:
+    """One guarded upstream call path (shared by a proxy's workers)."""
+
+    def __init__(
+        self,
+        retry: RetryPolicy,
+        breaker: CircuitBreaker | None = None,
+        *,
+        retry_on: tuple[type[BaseException], ...] = (OSError,),
+        rng: random.Random | None = None,
+        sleep: Callable[[float], None] = time.sleep,
+        on_retry: Callable[[int, float], None] | None = None,
+        on_failure: Callable[[Any], None] | None = None,
+    ):
+        self.retry = retry
+        self.breaker = breaker
+        self.retry_on = retry_on
+        self._rng = rng
+        self._sleep = sleep
+        self._on_retry = on_retry
+        self._on_failure = on_failure
+
+    def _admit(self) -> None:
+        if self.breaker is not None and not self.breaker.allow():
+            raise CircuitOpenError(
+                f"circuit breaker is {self.breaker.state}; refusing upstream call"
+            )
+
+    def _credit(self) -> None:
+        if self.breaker is not None:
+            self.breaker.record_success()
+
+    def _debit(self, failure: Any) -> None:
+        if self.breaker is not None:
+            self.breaker.record_failure()
+        if self._on_failure is not None:
+            self._on_failure(failure)
+
+    def call(
+        self,
+        fn: Callable[[], Any],
+        *,
+        deadline: Deadline | None = None,
+        is_failure: Callable[[Any], bool] | None = None,
+    ) -> Any:
+        """Run *fn* under breaker + retry + deadline (see module doc)."""
+        delays = self.retry.delays(self._rng)
+        last_error: BaseException | None = None
+        last_result: Any = _NO_RESULT
+        attempts = 0
+        for attempt in range(1, self.retry.max_attempts + 1):
+            self._admit()  # every attempt is a separate admission
+            attempts = attempt
+            try:
+                result = fn()
+            except self.retry_on as err:
+                self._debit(err)
+                last_error, last_result = err, _NO_RESULT
+            else:
+                if is_failure is None or not is_failure(result):
+                    self._credit()
+                    return result
+                self._debit(result)
+                last_error, last_result = None, result
+            if attempt >= self.retry.max_attempts:
+                break
+            delay = next(delays)
+            if deadline is not None:
+                if deadline.expired:
+                    break
+                delay = deadline.clamp(delay)
+            if self._on_retry is not None:
+                self._on_retry(attempt, delay)
+            if delay > 0:
+                self._sleep(delay)
+        if last_result is not _NO_RESULT:
+            return last_result  # pass the upstream's own failure through
+        if deadline is not None and deadline.expired:
+            raise DeadlineExceeded(
+                f"upstream deadline of {deadline.budget:.3f}s exhausted "
+                f"after {attempts} attempt(s)"
+            ) from last_error
+        raise UpstreamUnavailable(
+            f"upstream unavailable after {attempts} attempt(s): {last_error}",
+            attempts=attempts,
+        ) from last_error
+
+
+@dataclass(frozen=True)
+class ResilienceConfig:
+    """Tuning knobs for one proxy's upstream path.
+
+    ``degraded_mode`` selects what happens when the upstream is down
+    (breaker open or retries exhausted):
+
+    - ``"fail-closed"``: every request that needs the upstream is
+      refused with 503.  Denials are unaffected -- the validation gate
+      runs locally and keeps answering 403.
+    - ``"fail-static"``: reads (GET) may be served from a bounded
+      stale-response cache (age-capped by ``read_cache_ttl``); writes
+      are still refused.  A would-be denial is **never** converted
+      into an allow in either mode.
+    """
+
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
+    request_timeout: float = 5.0
+    request_deadline: float | None = 10.0
+    failure_threshold: int = 5
+    recovery_timeout: float = 1.0
+    success_threshold: int = 1
+    half_open_max_probes: int = 1
+    degraded_mode: str = "fail-closed"
+    read_cache_size: int = 256
+    read_cache_ttl: float = 30.0
+
+    def __post_init__(self) -> None:
+        if self.degraded_mode not in ("fail-closed", "fail-static"):
+            raise ValueError(
+                f"unknown degraded_mode {self.degraded_mode!r}; "
+                "choose 'fail-closed' or 'fail-static'"
+            )
+        if self.request_timeout <= 0:
+            raise ValueError("request_timeout must be positive")
+
+    @property
+    def breaker_enabled(self) -> bool:
+        """``failure_threshold=0`` disables the breaker outright."""
+        return self.failure_threshold > 0
+
+    def make_breaker(
+        self,
+        on_transition: Callable[[str, str], None] | None = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> CircuitBreaker | None:
+        if not self.breaker_enabled:
+            return None
+        return CircuitBreaker(
+            failure_threshold=self.failure_threshold,
+            recovery_timeout=self.recovery_timeout,
+            success_threshold=self.success_threshold,
+            half_open_max_probes=self.half_open_max_probes,
+            clock=clock,
+            on_transition=on_transition,
+        )
+
+    def deadline(self) -> Deadline | None:
+        return Deadline(self.request_deadline) if self.request_deadline else None
+
+
+#: The HTTP proxy's out-of-the-box posture: three attempts with
+#: decorrelated jitter, a 5-failure breaker, fail-closed degradation.
+DEFAULT_RESILIENCE = ResilienceConfig()
+
+
+class StaleReadCache:
+    """Bounded LRU of recent successful read responses (fail-static).
+
+    Only ever consulted when the upstream is *unavailable*; entries
+    older than the caller's TTL are not served.  Thread-safe: the HTTP
+    proxy's worker threads share one instance.
+    """
+
+    def __init__(self, maxsize: int = 256,
+                 clock: Callable[[], float] = time.monotonic):
+        if maxsize <= 0:
+            raise ValueError("StaleReadCache maxsize must be positive")
+        self.maxsize = maxsize
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._entries: "OrderedDict[str, tuple[float, Any]]" = OrderedDict()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def put(self, key: str, payload: Any) -> None:
+        with self._lock:
+            self._entries[key] = (self._clock(), payload)
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.maxsize:
+                self._entries.popitem(last=False)
+
+    def get(self, key: str, ttl: float) -> tuple[float, Any] | None:
+        """``(age_seconds, payload)`` when present and younger than
+        *ttl*, else ``None``."""
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                return None
+            stored_at, payload = entry
+            age = self._clock() - stored_at
+            if age > ttl:
+                del self._entries[key]
+                return None
+            self._entries.move_to_end(key)
+            return age, payload

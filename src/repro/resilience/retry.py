@@ -1,0 +1,182 @@
+"""Retry policies: exponential backoff, jitter, and deadline budgets.
+
+The enforcement proxy sits in-line on every API request, so a
+transient upstream hiccup (stale pooled socket, etcd leader election,
+a 503 burst during a rolling restart) must not surface as a client
+failure -- but unbounded retries are their own outage amplifier.  This
+module provides the two primitives the resilience layer is built on:
+
+- :class:`RetryPolicy` -- a declarative schedule (attempt count,
+  exponential base/cap, jitter mode).  ``"decorrelated"`` jitter is
+  the AWS-style schedule (``sleep = uniform(base, prev * 3)`` capped)
+  that avoids retry synchronization across many clients hitting the
+  same recovering upstream; ``"full"`` draws uniformly from
+  ``[0, min(cap, base * mult^i)]``; ``"none"`` is the deterministic
+  textbook schedule (useful in tests).
+- :class:`Deadline` -- a total per-request time budget.  Retries are
+  pointless past the caller's patience: every backoff sleep is clamped
+  to the remaining budget and :class:`DeadlineExceeded` fires when the
+  budget is spent.
+
+Determinism: every random draw goes through an injectable
+``random.Random``, so a seeded policy replays the exact same schedule
+-- chaos runs are reproducible experiments, not dice rolls.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, Iterator
+
+__all__ = [
+    "Deadline",
+    "DeadlineExceeded",
+    "JITTER_MODES",
+    "RetryPolicy",
+    "retry_call",
+]
+
+#: Recognized jitter strategies.
+JITTER_MODES = ("decorrelated", "full", "none")
+
+
+class DeadlineExceeded(Exception):
+    """The per-request time budget ran out before the call succeeded."""
+
+
+class Deadline:
+    """A monotonic time budget shared across retry attempts.
+
+    The clock is injectable so breaker/backoff tests can advance time
+    without sleeping.
+    """
+
+    __slots__ = ("budget", "_clock", "_started")
+
+    def __init__(self, budget_seconds: float,
+                 clock: Callable[[], float] = time.monotonic):
+        if budget_seconds <= 0:
+            raise ValueError("deadline budget must be positive")
+        self.budget = float(budget_seconds)
+        self._clock = clock
+        self._started = clock()
+
+    def remaining(self) -> float:
+        """Seconds left in the budget (never negative)."""
+        return max(0.0, self.budget - (self._clock() - self._started))
+
+    @property
+    def expired(self) -> bool:
+        return self.remaining() <= 0.0
+
+    def clamp(self, timeout: float) -> float:
+        """*timeout* limited to the remaining budget."""
+        return min(float(timeout), self.remaining())
+
+    def require(self, minimum: float = 0.0) -> float:
+        """Remaining budget, raising :class:`DeadlineExceeded` when it
+        is at or below *minimum*."""
+        remaining = self.remaining()
+        if remaining <= minimum:
+            raise DeadlineExceeded(
+                f"deadline of {self.budget:.3f}s exhausted "
+                f"({remaining:.3f}s remaining, {minimum:.3f}s required)"
+            )
+        return remaining
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Deadline(budget={self.budget}, remaining={self.remaining():.3f})"
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Declarative retry schedule for one upstream call.
+
+    ``max_attempts`` counts the *total* number of tries (1 means no
+    retry at all); ``delays()`` therefore yields ``max_attempts - 1``
+    backoff sleeps.
+    """
+
+    max_attempts: int = 3
+    base_delay: float = 0.02
+    max_delay: float = 0.5
+    multiplier: float = 2.0
+    jitter: str = "decorrelated"
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if self.base_delay < 0 or self.max_delay < self.base_delay:
+            raise ValueError("need 0 <= base_delay <= max_delay")
+        if self.multiplier < 1.0:
+            raise ValueError("multiplier must be >= 1")
+        if self.jitter not in JITTER_MODES:
+            raise ValueError(f"unknown jitter mode {self.jitter!r}; "
+                             f"choose from {JITTER_MODES}")
+
+    def delays(self, rng: random.Random | None = None) -> Iterator[float]:
+        """The backoff sleeps between attempts.
+
+        Bounds (pinned by ``tests/resilience/test_retry.py``):
+
+        - ``decorrelated``: every delay is in ``[base_delay, max_delay]``;
+        - ``full``: every delay is in ``[0, min(max_delay, base*mult^i)]``;
+        - ``none``: the deterministic ``min(max_delay, base*mult^i)``.
+        """
+        draw = (rng if rng is not None else random).uniform
+        previous = self.base_delay
+        for attempt in range(self.max_attempts - 1):
+            ceiling = min(self.max_delay, self.base_delay * self.multiplier ** attempt)
+            if self.jitter == "decorrelated":
+                previous = min(self.max_delay,
+                               draw(self.base_delay, max(self.base_delay, previous * 3)))
+                yield previous
+            elif self.jitter == "full":
+                yield draw(0.0, ceiling)
+            else:  # "none"
+                yield ceiling
+
+
+def retry_call(
+    fn: Callable[[], Any],
+    policy: RetryPolicy,
+    *,
+    retry_on: tuple[type[BaseException], ...] = (OSError,),
+    deadline: Deadline | None = None,
+    rng: random.Random | None = None,
+    sleep: Callable[[float], None] = time.sleep,
+    on_retry: Callable[[int, float, BaseException], None] | None = None,
+) -> Any:
+    """Call *fn* under *policy*, retrying exceptions in *retry_on*.
+
+    Every backoff sleep is clamped to the deadline's remaining budget;
+    when the budget runs out mid-schedule, :class:`DeadlineExceeded` is
+    raised *from* the last transport error (so the cause survives into
+    logs).  ``on_retry(attempt, delay, error)`` fires once per retry
+    that will actually happen -- the hook the proxy uses to bump
+    ``kubefence_retries_total``.
+    """
+    delays = policy.delays(rng)
+    last_error: BaseException | None = None
+    for attempt in range(1, policy.max_attempts + 1):
+        try:
+            return fn()
+        except retry_on as err:
+            last_error = err
+        if attempt >= policy.max_attempts:
+            break
+        delay = next(delays)
+        if deadline is not None:
+            try:
+                deadline.require()
+            except DeadlineExceeded as exhausted:
+                raise exhausted from last_error
+            delay = deadline.clamp(delay)
+        if on_retry is not None:
+            on_retry(attempt, delay, last_error)  # type: ignore[arg-type]
+        if delay > 0:
+            sleep(delay)
+    assert last_error is not None
+    raise last_error

@@ -55,3 +55,20 @@ def nginx_deployment(default_manifests) -> dict:
     return deep_copy(
         next(m for m in default_manifests["nginx"] if m["kind"] == "Deployment")
     )
+
+
+@pytest.fixture()
+def free_port() -> int:
+    """An ephemeral TCP port that was free a moment ago.
+
+    The socket is bound with SO_REUSEADDR and closed before the port
+    number is handed out, so tests can (a) start their own server on a
+    known-free port or (b) use the *unbound* address as a
+    guaranteed-dead upstream (connection refused) in resilience tests.
+    """
+    import socket
+
+    with socket.socket(socket.AF_INET, socket.SOCK_STREAM) as sock:
+        sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        sock.bind(("127.0.0.1", 0))
+        return sock.getsockname()[1]

@@ -1,0 +1,202 @@
+"""Circuit breaker state machine, including half-open probe races."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.resilience import (
+    BREAKER_STATE_CODES,
+    CLOSED,
+    CircuitBreaker,
+    CircuitOpenError,
+    HALF_OPEN,
+    OPEN,
+)
+
+
+class FakeClock:
+    def __init__(self, start: float = 0.0):
+        self.now = start
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, dt: float) -> None:
+        self.now += dt
+
+
+def make(clock=None, **kwargs):
+    transitions: list[tuple[str, str]] = []
+    breaker = CircuitBreaker(
+        clock=clock if clock is not None else FakeClock(),
+        on_transition=lambda old, new: transitions.append((old, new)),
+        **kwargs,
+    )
+    return breaker, transitions
+
+
+# ---------------------------------------------------------------------------
+# Basic state machine
+# ---------------------------------------------------------------------------
+
+
+def test_state_codes_cover_all_states():
+    assert set(BREAKER_STATE_CODES) == {CLOSED, OPEN, HALF_OPEN}
+    assert len(set(BREAKER_STATE_CODES.values())) == 3
+
+
+def test_constructor_validation():
+    for kwargs in ({"failure_threshold": 0}, {"success_threshold": 0},
+                   {"half_open_max_probes": 0}):
+        with pytest.raises(ValueError):
+            CircuitBreaker(**kwargs)
+
+
+def test_trips_after_consecutive_failures_only():
+    breaker, transitions = make(failure_threshold=3)
+    breaker.record_failure()
+    breaker.record_failure()
+    breaker.record_success()  # resets the consecutive run
+    breaker.record_failure()
+    breaker.record_failure()
+    assert breaker.state == CLOSED
+    breaker.record_failure()
+    assert breaker.state == OPEN
+    assert transitions == [(CLOSED, OPEN)]
+
+
+def test_open_refuses_until_recovery_timeout():
+    clock = FakeClock()
+    breaker, _ = make(clock=clock, failure_threshold=1, recovery_timeout=10.0)
+    breaker.record_failure()
+    assert breaker.state == OPEN
+    assert not breaker.allow()
+    clock.advance(9.9)
+    assert not breaker.allow()
+    clock.advance(0.2)
+    assert breaker.allow()  # moves to half-open and reserves the probe
+    assert breaker.state == HALF_OPEN
+
+
+def test_half_open_probe_success_closes():
+    clock = FakeClock()
+    breaker, transitions = make(clock=clock, failure_threshold=1,
+                                recovery_timeout=1.0)
+    breaker.record_failure()
+    clock.advance(1.5)
+    assert breaker.allow()
+    breaker.record_success()
+    assert breaker.state == CLOSED
+    assert transitions == [(CLOSED, OPEN), (OPEN, HALF_OPEN), (HALF_OPEN, CLOSED)]
+
+
+def test_half_open_probe_failure_reopens_and_restarts_timer():
+    clock = FakeClock()
+    breaker, _ = make(clock=clock, failure_threshold=1, recovery_timeout=1.0)
+    breaker.record_failure()
+    clock.advance(1.5)
+    assert breaker.allow()
+    breaker.record_failure()
+    assert breaker.state == OPEN
+    assert not breaker.allow()  # timer restarted at the re-open
+    clock.advance(1.1)
+    assert breaker.allow()
+
+
+def test_success_threshold_requires_multiple_probes():
+    clock = FakeClock()
+    breaker, _ = make(clock=clock, failure_threshold=1, recovery_timeout=1.0,
+                      success_threshold=2, half_open_max_probes=2)
+    breaker.record_failure()
+    clock.advance(1.5)
+    assert breaker.allow()
+    breaker.record_success()
+    assert breaker.state == HALF_OPEN  # one success is not enough
+    assert breaker.allow()
+    breaker.record_success()
+    assert breaker.state == CLOSED
+
+
+def test_straggler_success_while_open_is_ignored():
+    breaker, _ = make(failure_threshold=1, recovery_timeout=100.0)
+    breaker.record_failure()
+    breaker.record_success()  # a late reply from before the trip
+    assert breaker.state == OPEN
+    assert not breaker.allow()
+
+
+def test_call_wrapper_counts_exceptions_and_refuses_when_open():
+    breaker, _ = make(failure_threshold=1, recovery_timeout=100.0)
+
+    with pytest.raises(ConnectionResetError):
+        breaker.call(lambda: (_ for _ in ()).throw(ConnectionResetError("boom")))
+    assert breaker.state == OPEN
+    with pytest.raises(CircuitOpenError):
+        breaker.call(lambda: "never reached")
+
+
+# ---------------------------------------------------------------------------
+# Half-open probe bounding under threads
+# ---------------------------------------------------------------------------
+
+
+def test_half_open_admits_at_most_max_probes_concurrently():
+    clock = FakeClock()
+    breaker, _ = make(clock=clock, failure_threshold=1, recovery_timeout=1.0,
+                      half_open_max_probes=2)
+    breaker.record_failure()
+    clock.advance(1.5)
+
+    admitted = sum(1 for _ in range(10) if breaker.allow())
+    assert admitted == 2  # slots are reserved inside allow()
+
+    breaker.record_failure()  # one probe fails -> reopen, slots void
+    assert breaker.state == OPEN
+    assert not breaker.allow()
+
+
+def test_half_open_probe_race_under_threads():
+    """Many threads racing allow() in half-open must never exceed the
+    probe bound, no matter the interleaving."""
+    clock = FakeClock()
+    breaker, _ = make(clock=clock, failure_threshold=1, recovery_timeout=1.0,
+                      half_open_max_probes=3)
+    breaker.record_failure()
+    clock.advance(2.0)
+
+    admitted: list[bool] = []
+    barrier = threading.Barrier(16)
+
+    def worker():
+        barrier.wait()
+        admitted.append(breaker.allow())
+
+    threads = [threading.Thread(target=worker) for _ in range(16)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=5)
+        assert not t.is_alive()
+    assert sum(admitted) == 3
+    assert breaker.state == HALF_OPEN
+
+
+def test_concurrent_failures_produce_exactly_one_open_transition():
+    breaker, transitions = make(failure_threshold=5)
+    barrier = threading.Barrier(8)
+
+    def worker():
+        barrier.wait()
+        for _ in range(4):
+            breaker.record_failure()
+
+    threads = [threading.Thread(target=worker) for _ in range(8)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=5)
+        assert not t.is_alive()
+    assert breaker.state == OPEN
+    assert transitions.count((CLOSED, OPEN)) == 1

@@ -1,0 +1,173 @@
+"""Fault injector determinism and the FaultyAPIServer wrapper."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.faults import (
+    FAULT_KINDS,
+    FaultInjector,
+    FaultPlan,
+    FaultyAPIServer,
+    SCENARIOS,
+)
+
+
+def drain(injector: FaultInjector, n: int) -> list[tuple[str, float]]:
+    return [tuple(injector.decide()) for _ in range(n)]
+
+
+# ---------------------------------------------------------------------------
+# Plan validation
+# ---------------------------------------------------------------------------
+
+
+def test_plan_rejects_rates_summing_past_one():
+    with pytest.raises(ValueError):
+        FaultPlan(error_rate=0.6, reset_rate=0.6)
+    with pytest.raises(ValueError):
+        FaultPlan(latency_rate=-0.1)
+    with pytest.raises(ValueError):
+        FaultPlan(error_code=404)  # must be 5xx
+    with pytest.raises(ValueError):
+        FaultPlan(fail_first_kind="none")
+
+
+def test_builtin_scenarios_are_valid_plans():
+    for name, plan in SCENARIOS.items():
+        assert plan.name == name
+
+
+# ---------------------------------------------------------------------------
+# Determinism
+# ---------------------------------------------------------------------------
+
+
+def test_same_seed_replays_the_exact_sequence():
+    plan = FaultPlan(error_rate=0.2, reset_rate=0.2, partial_rate=0.1,
+                     latency_rate=0.2)
+    a = drain(FaultInjector(plan, seed=99), 200)
+    b = drain(FaultInjector(plan, seed=99), 200)
+    assert a == b
+    assert a != drain(FaultInjector(plan, seed=100), 200)
+
+
+def test_reset_rewinds_the_sequence():
+    plan = FaultPlan(error_rate=0.5)
+    injector = FaultInjector(plan, seed=7)
+    first = drain(injector, 50)
+    injector.reset()
+    assert drain(injector, 50) == first
+    injector.reset(seed=8)
+    assert drain(injector, 50) != first
+
+
+def test_fail_first_scripts_a_deterministic_burst():
+    plan = FaultPlan(fail_first=4, fail_first_kind="reset")
+    injector = FaultInjector(plan, seed=0)
+    kinds = [d[0] for d in drain(injector, 6)]
+    assert kinds[:4] == ["reset"] * 4
+    assert kinds[4:] == ["none", "none"]  # no rates configured past the burst
+
+
+def test_counts_and_properties_track_every_decision():
+    plan = FaultPlan(error_rate=1.0)
+    injector = FaultInjector(plan, seed=0)
+    drain(injector, 10)
+    assert injector.requests_seen == 10
+    assert injector.faults_injected == 10
+    assert injector.counts["error"] == 10
+    assert set(injector.counts) == set(FAULT_KINDS)
+
+
+def test_rates_converge_on_the_plan_over_many_draws():
+    plan = FaultPlan(error_rate=0.3, reset_rate=0.2)
+    injector = FaultInjector(plan, seed=1234)
+    kinds = [d[0] for d in drain(injector, 4000)]
+    assert kinds.count("error") / 4000 == pytest.approx(0.3, abs=0.04)
+    assert kinds.count("reset") / 4000 == pytest.approx(0.2, abs=0.04)
+
+
+def test_threaded_draws_form_the_same_multiset_as_serial():
+    """Thread interleaving may permute the order requests observe the
+    sequence, but the multiset of decisions is invariant (one rng draw
+    per decide() under the lock)."""
+    plan = FaultPlan(error_rate=0.25, reset_rate=0.25)
+    serial = sorted(drain(FaultInjector(plan, seed=5), 400))
+
+    injector = FaultInjector(plan, seed=5)
+    out: list[tuple[str, float]] = []
+    lock = threading.Lock()
+
+    def worker():
+        for _ in range(100):
+            decision = tuple(injector.decide())
+            with lock:
+                out.append(decision)
+
+    threads = [threading.Thread(target=worker) for _ in range(4)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=10)
+        assert not t.is_alive()
+    assert sorted(out) == serial
+
+
+def test_injector_registry_metric(tmp_path):
+    from repro.obs import MetricsRegistry
+
+    registry = MetricsRegistry()
+    injector = FaultInjector(FaultPlan(error_rate=1.0), seed=0, registry=registry)
+    drain(injector, 3)
+    snapshot = registry.snapshot()
+    assert snapshot.get('kubefence_faults_injected_total{kind="error"}') == 3
+
+
+# ---------------------------------------------------------------------------
+# FaultyAPIServer (in-process transport faults)
+# ---------------------------------------------------------------------------
+
+
+class _StubApi:
+    def __init__(self):
+        self.handled = 0
+
+    def handle(self, request):
+        self.handled += 1
+        return type("R", (), {"code": 200, "ok": True})()
+
+
+def test_faulty_server_translates_decisions():
+    api = _StubApi()
+
+    # error -> 5xx ApiResponse, upstream never reached
+    server = FaultyAPIServer(api, FaultInjector(FaultPlan(error_rate=1.0), seed=0))
+    response = server.handle(object())
+    assert response.code == 503
+    assert api.handled == 0
+
+    # reset -> ConnectionResetError
+    server = FaultyAPIServer(api, FaultInjector(FaultPlan(reset_rate=1.0), seed=0))
+    with pytest.raises(ConnectionResetError):
+        server.handle(object())
+
+    # hang -> TimeoutError after the (tiny) sleep
+    server = FaultyAPIServer(
+        api, FaultInjector(FaultPlan(hang_rate=1.0, hang_seconds=0.001), seed=0)
+    )
+    with pytest.raises(TimeoutError):
+        server.handle(object())
+
+    # none -> falls through to the wrapped API
+    server = FaultyAPIServer(api, FaultInjector(FaultPlan(), seed=0))
+    assert server.handle(object()).ok
+    assert api.handled == 1
+
+
+def test_faulty_server_delegates_attributes():
+    api = _StubApi()
+    server = FaultyAPIServer(api, FaultInjector(FaultPlan(), seed=0))
+    assert server.handled == 0  # __getattr__ falls through

@@ -1,0 +1,170 @@
+"""UpstreamGuard outcome contract (see repro/resilience/guard.py)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.resilience import (
+    CircuitOpenError,
+    Deadline,
+    DeadlineExceeded,
+    ResilienceConfig,
+    RetryPolicy,
+    StaleReadCache,
+    UpstreamGuard,
+    UpstreamUnavailable,
+)
+
+
+class FakeClock:
+    def __init__(self, start: float = 0.0):
+        self.now = start
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, dt: float) -> None:
+        self.now += dt
+
+
+def make_guard(**kwargs):
+    kwargs.setdefault(
+        "retry", RetryPolicy(max_attempts=3, base_delay=0.0, max_delay=0.0,
+                             jitter="none")
+    )
+    kwargs.setdefault("sleep", lambda _dt: None)
+    return UpstreamGuard(kwargs.pop("retry"), kwargs.pop("breaker", None), **kwargs)
+
+
+def test_success_returns_result():
+    guard = make_guard()
+    assert guard.call(lambda: "hello") == "hello"
+
+
+def test_transient_exceptions_are_retried_then_succeed():
+    calls = []
+
+    def flaky():
+        calls.append(1)
+        if len(calls) < 3:
+            raise ConnectionResetError("transient")
+        return "ok"
+
+    retried = []
+    guard = make_guard(on_retry=lambda attempt, delay: retried.append(attempt))
+    assert guard.call(flaky) == "ok"
+    assert retried == [1, 2]
+
+
+def test_exhausted_exceptions_raise_upstream_unavailable_with_cause():
+    def down():
+        raise ConnectionRefusedError("nope")
+
+    guard = make_guard()
+    with pytest.raises(UpstreamUnavailable) as excinfo:
+        guard.call(down)
+    assert excinfo.value.attempts == 3
+    assert isinstance(excinfo.value.__cause__, ConnectionRefusedError)
+
+
+def test_exhausted_failure_results_are_returned_not_raised():
+    """An upstream 503 is information the client should see."""
+
+    class Resp:
+        def __init__(self, code):
+            self.code = code
+
+    guard = make_guard()
+    result = guard.call(lambda: Resp(503), is_failure=lambda r: r.code >= 500)
+    assert result.code == 503  # last failing result passed through
+
+
+def test_failure_results_count_against_breaker():
+    config = ResilienceConfig(failure_threshold=2, recovery_timeout=100.0)
+    breaker = config.make_breaker()
+    guard = make_guard(
+        retry=RetryPolicy(max_attempts=2, base_delay=0.0, max_delay=0.0,
+                          jitter="none"),
+        breaker=breaker,
+    )
+
+    class Resp:
+        code = 503
+
+    guard.call(lambda: Resp(), is_failure=lambda r: r.code >= 500)
+    assert breaker.state == "open"
+    with pytest.raises(CircuitOpenError):
+        guard.call(lambda: Resp())
+
+
+def test_deadline_expiry_aborts_schedule_early():
+    clock = FakeClock()
+    deadline = Deadline(0.05, clock=clock)
+
+    calls = []
+
+    def slow_failure():
+        calls.append(1)
+        clock.advance(0.06)  # first call blows the whole budget
+        raise TimeoutError("hung")
+
+    guard = make_guard(
+        retry=RetryPolicy(max_attempts=10, base_delay=0.0, max_delay=0.0,
+                          jitter="none"),
+        retry_on=(TimeoutError,),
+    )
+    with pytest.raises(DeadlineExceeded):
+        guard.call(slow_failure, deadline=deadline)
+    assert len(calls) == 1  # no pointless further attempts
+
+
+def test_on_failure_observes_both_exceptions_and_failure_results():
+    seen = []
+    guard = make_guard(
+        retry=RetryPolicy(max_attempts=2, base_delay=0.0, max_delay=0.0,
+                          jitter="none"),
+        on_failure=seen.append,
+    )
+
+    with pytest.raises(UpstreamUnavailable):
+        guard.call(lambda: (_ for _ in ()).throw(ConnectionResetError("x")))
+    assert all(isinstance(s, ConnectionResetError) for s in seen)
+
+    class Resp:
+        code = 502
+
+    seen.clear()
+    guard.call(lambda: Resp(), is_failure=lambda r: r.code >= 500)
+    assert len(seen) == 2 and all(s.code == 502 for s in seen)
+
+
+# ---------------------------------------------------------------------------
+# ResilienceConfig / StaleReadCache
+# ---------------------------------------------------------------------------
+
+
+def test_config_validation_and_breaker_toggle():
+    with pytest.raises(ValueError):
+        ResilienceConfig(degraded_mode="fail-open")  # never a thing
+    with pytest.raises(ValueError):
+        ResilienceConfig(request_timeout=0.0)
+    assert ResilienceConfig(failure_threshold=0).make_breaker() is None
+    assert ResilienceConfig(request_deadline=None).deadline() is None
+    assert ResilienceConfig().deadline().budget == pytest.approx(10.0)
+
+
+def test_stale_read_cache_ttl_and_lru_bound():
+    clock = FakeClock()
+    cache = StaleReadCache(maxsize=2, clock=clock)
+    cache.put("a", {"v": 1})
+    clock.advance(5.0)
+    cache.put("b", {"v": 2})
+
+    age, payload = cache.get("a", ttl=30.0)
+    assert age == pytest.approx(5.0) and payload == {"v": 1}
+    assert cache.get("a", ttl=1.0) is None  # too old for this caller's TTL
+
+    cache.put("a", {"v": 1})
+    cache.put("c", {"v": 3})  # evicts the LRU entry ("b")
+    assert cache.get("b", ttl=60.0) is None
+    assert len(cache) == 2

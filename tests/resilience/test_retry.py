@@ -1,0 +1,226 @@
+"""Backoff schedules: jitter bounds, determinism, deadline budgets."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.resilience import (
+    Deadline,
+    DeadlineExceeded,
+    JITTER_MODES,
+    RetryPolicy,
+    retry_call,
+)
+
+
+class FakeClock:
+    """A manually advanced monotonic clock."""
+
+    def __init__(self, start: float = 100.0):
+        self.now = start
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, dt: float) -> None:
+        self.now += dt
+
+
+# ---------------------------------------------------------------------------
+# RetryPolicy.delays(): bounds and determinism
+# ---------------------------------------------------------------------------
+
+
+def test_policy_validation():
+    with pytest.raises(ValueError):
+        RetryPolicy(max_attempts=0)
+    with pytest.raises(ValueError):
+        RetryPolicy(base_delay=0.5, max_delay=0.1)
+    with pytest.raises(ValueError):
+        RetryPolicy(multiplier=0.5)
+    with pytest.raises(ValueError):
+        RetryPolicy(jitter="bogus")
+
+
+def test_delays_yield_count_is_attempts_minus_one():
+    for attempts in (1, 2, 5):
+        policy = RetryPolicy(max_attempts=attempts, jitter="none")
+        assert len(list(policy.delays())) == attempts - 1
+
+
+def test_none_jitter_is_the_textbook_schedule():
+    policy = RetryPolicy(
+        max_attempts=6, base_delay=0.01, max_delay=0.05, multiplier=2.0, jitter="none"
+    )
+    assert list(policy.delays()) == [0.01, 0.02, 0.04, 0.05, 0.05]
+
+
+@pytest.mark.parametrize("seed", [0, 1, 1337])
+def test_decorrelated_jitter_bounds(seed):
+    policy = RetryPolicy(
+        max_attempts=50, base_delay=0.01, max_delay=0.25, jitter="decorrelated"
+    )
+    for delay in policy.delays(random.Random(seed)):
+        assert policy.base_delay <= delay <= policy.max_delay
+
+
+@pytest.mark.parametrize("seed", [0, 1, 1337])
+def test_full_jitter_bounds(seed):
+    policy = RetryPolicy(
+        max_attempts=50, base_delay=0.01, max_delay=0.25,
+        multiplier=2.0, jitter="full",
+    )
+    for attempt, delay in enumerate(policy.delays(random.Random(seed))):
+        ceiling = min(policy.max_delay, policy.base_delay * 2.0 ** attempt)
+        assert 0.0 <= delay <= ceiling
+
+
+@pytest.mark.parametrize("jitter", JITTER_MODES)
+def test_schedule_is_a_pure_function_of_the_seed(jitter):
+    policy = RetryPolicy(max_attempts=20, jitter=jitter)
+    a = list(policy.delays(random.Random(42)))
+    b = list(policy.delays(random.Random(42)))
+    c = list(policy.delays(random.Random(43)))
+    assert a == b
+    if jitter != "none":
+        assert a != c  # a different seed yields a different schedule
+
+
+# ---------------------------------------------------------------------------
+# Deadline
+# ---------------------------------------------------------------------------
+
+
+def test_deadline_remaining_and_expiry():
+    clock = FakeClock()
+    deadline = Deadline(2.0, clock=clock)
+    assert deadline.remaining() == pytest.approx(2.0)
+    assert not deadline.expired
+    clock.advance(1.5)
+    assert deadline.remaining() == pytest.approx(0.5)
+    assert deadline.clamp(10.0) == pytest.approx(0.5)
+    assert deadline.clamp(0.1) == pytest.approx(0.1)
+    clock.advance(1.0)
+    assert deadline.expired
+    assert deadline.remaining() == 0.0
+    with pytest.raises(DeadlineExceeded):
+        deadline.require()
+
+
+def test_deadline_rejects_nonpositive_budget():
+    with pytest.raises(ValueError):
+        Deadline(0.0)
+
+
+# ---------------------------------------------------------------------------
+# retry_call()
+# ---------------------------------------------------------------------------
+
+
+def test_retry_call_succeeds_after_transient_failures():
+    calls = []
+
+    def flaky():
+        calls.append(1)
+        if len(calls) < 3:
+            raise ConnectionResetError("transient")
+        return "ok"
+
+    slept = []
+    result = retry_call(
+        flaky,
+        RetryPolicy(max_attempts=4, base_delay=0.01, max_delay=0.02, jitter="none"),
+        sleep=slept.append,
+    )
+    assert result == "ok"
+    assert len(calls) == 3
+    assert slept == [0.01, 0.02]
+
+
+def test_retry_call_reraises_after_exhaustion():
+    def always_down():
+        raise ConnectionRefusedError("down")
+
+    with pytest.raises(ConnectionRefusedError):
+        retry_call(
+            always_down,
+            RetryPolicy(max_attempts=3, base_delay=0.0, max_delay=0.0, jitter="none"),
+            sleep=lambda _dt: None,
+        )
+
+
+def test_retry_call_does_not_catch_unlisted_exceptions():
+    def broken():
+        raise KeyError("logic bug, not transport")
+
+    with pytest.raises(KeyError):
+        retry_call(broken, RetryPolicy(max_attempts=5, jitter="none"),
+                   sleep=lambda _dt: None)
+
+
+def test_retry_call_deadline_exhaustion_chains_cause():
+    clock = FakeClock()
+    deadline = Deadline(0.05, clock=clock)
+
+    def always_down():
+        clock.advance(0.04)  # two calls exceed the budget
+        raise TimeoutError("slow upstream")
+
+    with pytest.raises(DeadlineExceeded) as excinfo:
+        retry_call(
+            always_down,
+            RetryPolicy(max_attempts=10, base_delay=0.01, max_delay=0.01,
+                        jitter="none"),
+            retry_on=(TimeoutError,),
+            deadline=deadline,
+            sleep=lambda _dt: None,
+        )
+    assert isinstance(excinfo.value.__cause__, TimeoutError)
+
+
+def test_retry_call_clamps_sleeps_to_remaining_budget():
+    clock = FakeClock()
+    deadline = Deadline(1.0, clock=clock)
+    slept: list[float] = []
+
+    def sleep(dt: float) -> None:
+        slept.append(dt)
+        clock.advance(dt)
+
+    attempts = []
+
+    def flaky():
+        attempts.append(1)
+        clock.advance(0.3)
+        if len(attempts) < 3:
+            raise OSError("transient")
+        return "ok"
+
+    retry_call(
+        flaky,
+        RetryPolicy(max_attempts=3, base_delay=0.3, max_delay=0.3, jitter="none"),
+        deadline=deadline,
+        sleep=sleep,
+    )
+    # Second sleep had only 1.0 - (0.3*2 + 0.3) = 0.1s of budget left.
+    assert slept[0] == pytest.approx(0.3)
+    assert slept[1] == pytest.approx(0.1)
+
+
+def test_on_retry_hook_fires_once_per_actual_retry():
+    events = []
+
+    def flaky():
+        if len(events) < 2:
+            raise OSError("transient")
+        return "ok"
+
+    retry_call(
+        flaky,
+        RetryPolicy(max_attempts=5, base_delay=0.0, max_delay=0.0, jitter="none"),
+        sleep=lambda _dt: None,
+        on_retry=lambda attempt, delay, err: events.append((attempt, type(err))),
+    )
+    assert events == [(1, OSError), (2, OSError)]
