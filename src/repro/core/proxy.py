@@ -55,6 +55,7 @@ from repro.core.enforcement import ValidationResult, Validator
 from repro.k8s.apiserver import APIServer, ApiRequest, ApiResponse
 from repro.k8s.errors import ApiError
 from repro.obs import current_trace_id, new_registry, obs_endpoint, span, trace
+from repro.yamlutil import deep_copy
 from repro.resilience import (
     BREAKER_STATE_CODES,
     CircuitOpenError,
@@ -65,10 +66,18 @@ from repro.resilience import (
     StaleReadCache,
     UpstreamGuard,
     UpstreamUnavailable,
+    stale_read_key,
 )
 
 #: Verbs whose payload is validated.
 _WRITE_VERBS = frozenset({"create", "update", "patch"})
+
+#: HTTP methods safe to re-execute after a transport error.  A reset
+#: or truncated read mid-write leaves it unknown whether the upstream
+#: already applied the request, so non-idempotent methods only retry
+#: on failure *results* (5xx responses, which imply non-processing) --
+#: see HttpKubeFenceProxy's upstream_call.
+_IDEMPOTENT_METHODS = frozenset({"GET", "HEAD"})
 
 #: Ring-buffer size for per-request validation latency samples.
 _MAX_LATENCY_SAMPLES = 8192
@@ -502,9 +511,13 @@ class KubeFenceProxy:
     hop runs under retry + circuit breaking + a per-request deadline;
     when the upstream is unavailable the proxy **fails closed**:
     validated writes are refused with 503 while denials keep being
-    issued locally (the validation gate needs no upstream).  The
-    default (``resilience=None``) leaves the upstream call untouched
-    -- zero added work on the fault-free benchmark path.
+    issued locally (the validation gate needs no upstream).  With
+    ``degraded_mode="fail-static"`` successful ``get`` responses are
+    additionally kept in an identity-keyed :class:`StaleReadCache`, so
+    reads survive an outage for the same user that originally fetched
+    them (writes still refuse; see docs/RESILIENCE.md).  The default
+    (``resilience=None``) leaves the upstream call untouched -- zero
+    added work on the fault-free benchmark path.
     """
 
     def __init__(
@@ -522,6 +535,7 @@ class KubeFenceProxy:
         self.resilience = resilience
         self.breaker = None
         self._guard: UpstreamGuard | None = None
+        self._read_cache: StaleReadCache | None = None
         if resilience is not None:
             stats = self.stats
             self.breaker = resilience.make_breaker(
@@ -537,6 +551,8 @@ class KubeFenceProxy:
                     upstream_failure_kind(failure)
                 ),
             )
+            if resilience.degraded_mode == "fail-static":
+                self._read_cache = StaleReadCache(resilience.read_cache_size)
 
     @property
     def validator(self) -> Validator:
@@ -572,16 +588,54 @@ class KubeFenceProxy:
             return self.api.handle(request)
         assert self.resilience is not None
         try:
-            return self._guard.call(
+            # In-process transport retries are replay-safe for every
+            # verb: the chaos wrapper (FaultyAPIServer) raises its
+            # injected resets/timeouts *instead of* handling, never
+            # after a write was applied.  The HTTP proxy cannot assume
+            # that about a real wire and restricts transport retries
+            # to idempotent methods.
+            response = self._guard.call(
                 lambda: self.api.handle(request),
                 deadline=self.resilience.deadline(),
                 is_failure=lambda resp: resp.code in RETRYABLE_STATUS_CODES,
             )
         except CircuitOpenError as err:
             self.stats.count_upstream_error("breaker-open")
-            return self._refuse(err)
+            return self._degrade(request, err)
         except (UpstreamUnavailable, DeadlineExceeded) as err:
-            return self._refuse(err)
+            return self._degrade(request, err)
+        if (self._read_cache is not None and request.verb == "get"
+                and response.code == 200 and response.body is not None):
+            self._read_cache.put(
+                self._stale_key(request), deep_copy(response.body)
+            )
+        return response
+
+    def _stale_key(self, request: ApiRequest) -> str:
+        """Stale-cache key scoped to the authenticated identity: the
+        upstream authorizes reads per user, so a cached 200 is only
+        valid for the identity it was originally served to."""
+        return stale_read_key(
+            request.user.username,
+            ",".join(request.user.groups),
+            f"{request.kind}/{request.namespace or ''}/{request.name or ''}",
+        )
+
+    def _degrade(self, request: ApiRequest, err: Exception) -> ApiResponse:
+        """The upstream is unavailable.  ``fail-static`` may serve a
+        same-identity stale read; everything else is refused with 503
+        -- a would-be denial is never converted into an allow (denials
+        already happened before forwarding)."""
+        if self._read_cache is not None and request.verb == "get":
+            assert self.resilience is not None
+            cached = self._read_cache.get(
+                self._stale_key(request), self.resilience.read_cache_ttl
+            )
+            if cached is not None:
+                _age, payload = cached
+                self.stats.count_degraded("stale-read")
+                return ApiResponse(code=200, body=deep_copy(payload))
+        return self._refuse(err)
 
     def _refuse(self, err: Exception) -> ApiResponse:
         """Fail closed: the upstream is unavailable, so the request is
@@ -705,7 +759,15 @@ class HttpKubeFenceProxy:
         ) -> tuple[int, bytes]:
             """One guarded upstream round trip: breaker admission,
             retry with decorrelated backoff, per-attempt socket
-            timeouts clamped to the per-request deadline."""
+            timeouts clamped to the per-request deadline.
+
+            Transport-level retries (reset, timeout, truncated read)
+            are restricted to idempotent methods: an IncompleteRead
+            after a POST may mean the upstream already applied the
+            create, and replaying it would apply the write twice.
+            Non-idempotent methods still retry on retryable 5xx
+            *results* -- those imply the request was not processed.
+            """
             deadline = res.deadline()
 
             def attempt() -> tuple[int, bytes]:
@@ -729,6 +791,7 @@ class HttpKubeFenceProxy:
                 attempt,
                 deadline=deadline,
                 is_failure=lambda r: r[0] in RETRYABLE_STATUS_CODES,
+                retry_transport_errors=method in _IDEMPOTENT_METHODS,
             )
 
         self._upstream_call = upstream_call
@@ -804,17 +867,35 @@ class HttpKubeFenceProxy:
                     return
                 if (method == "GET" and status == 200
                         and proxy._read_cache is not None):
-                    proxy._read_cache.put(self.path, payload)
+                    proxy._read_cache.put(self._stale_key(), payload)
                 self._reply(status, payload)
+
+            def _stale_key(self) -> str:
+                """Stale-cache key scoped to the authenticated identity.
+
+                The upstream authorizes per user (X-Remote-User /
+                X-Remote-Groups -> RBAC), so a cached 200 is only valid
+                for the identity that originally received it.  Keying
+                by path alone would serve one user's cached read to
+                another during an outage -- turning an upstream RBAC
+                denial into an allow.
+                """
+                return stale_read_key(
+                    self.headers.get("X-Remote-User", ""),
+                    self.headers.get("X-Remote-Groups", ""),
+                    self.path,
+                )
 
             def _degraded_reply(self, method: str, err: Exception) -> None:
                 """The upstream is down.  fail-static may serve reads
                 from the stale cache; everything else is refused with
                 503 -- a would-be denial is never converted into an
-                allow (denials already happened before forwarding)."""
+                allow (denials already happened before forwarding, and
+                stale reads are only served to the same authenticated
+                identity that originally fetched them)."""
                 if method == "GET" and proxy._read_cache is not None:
                     cached = proxy._read_cache.get(
-                        self.path, proxy.resilience.read_cache_ttl
+                        self._stale_key(), proxy.resilience.read_cache_ttl
                     )
                     if cached is not None:
                         age, payload = cached

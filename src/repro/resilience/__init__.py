@@ -23,6 +23,7 @@ from repro.resilience.guard import (
     StaleReadCache,
     UpstreamGuard,
     UpstreamUnavailable,
+    stale_read_key,
 )
 from repro.resilience.retry import (
     Deadline,
@@ -50,4 +51,5 @@ __all__ = [
     "UpstreamGuard",
     "UpstreamUnavailable",
     "retry_call",
+    "stale_read_key",
 ]

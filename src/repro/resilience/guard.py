@@ -48,6 +48,7 @@ __all__ = [
     "StaleReadCache",
     "UpstreamGuard",
     "UpstreamUnavailable",
+    "stale_read_key",
 ]
 
 #: Response codes treated as retryable upstream failures.
@@ -108,8 +109,20 @@ class UpstreamGuard:
         *,
         deadline: Deadline | None = None,
         is_failure: Callable[[Any], bool] | None = None,
+        retry_transport_errors: bool = True,
     ) -> Any:
-        """Run *fn* under breaker + retry + deadline (see module doc)."""
+        """Run *fn* under breaker + retry + deadline (see module doc).
+
+        ``retry_transport_errors=False`` disables re-execution after a
+        ``retry_on`` exception: the first transport failure still
+        debits the breaker but immediately becomes
+        :class:`UpstreamUnavailable`.  Callers use this for
+        non-idempotent requests, where a reset or truncated read leaves
+        it unknown whether the upstream already applied the request --
+        replaying it could apply a write twice.  Failure *results*
+        (e.g. an upstream 503, which implies the request was not
+        processed) are still retried.
+        """
         delays = self.retry.delays(self._rng)
         last_error: BaseException | None = None
         last_result: Any = _NO_RESULT
@@ -122,6 +135,18 @@ class UpstreamGuard:
             except self.retry_on as err:
                 self._debit(err)
                 last_error, last_result = err, _NO_RESULT
+                if not retry_transport_errors:
+                    break  # ambiguous upstream state: never replay
+            except BaseException:
+                # Not a retryable transport error -- but _admit() may
+                # have reserved a half-open probe slot that only an
+                # outcome report releases.  Without this, one stray
+                # exception would pin the breaker in half-open with the
+                # slot occupied forever (permanent 503).  Mirror
+                # CircuitBreaker.call: count it as a failure, re-raise.
+                if self.breaker is not None:
+                    self.breaker.record_failure()
+                raise
             else:
                 if is_failure is None or not is_failure(result):
                     self._credit()
@@ -164,8 +189,10 @@ class ResilienceConfig:
       runs locally and keeps answering 403.
     - ``"fail-static"``: reads (GET) may be served from a bounded
       stale-response cache (age-capped by ``read_cache_ttl``); writes
-      are still refused.  A would-be denial is **never** converted
-      into an allow in either mode.
+      are still refused.  Cached entries are keyed per authenticated
+      identity (:func:`stale_read_key`), so one user's cached read is
+      never served to another.  A would-be denial is **never**
+      converted into an allow in either mode.
     """
 
     retry: RetryPolicy = field(default_factory=RetryPolicy)
@@ -218,12 +245,32 @@ class ResilienceConfig:
 DEFAULT_RESILIENCE = ResilienceConfig()
 
 
+def stale_read_key(user: str, groups: str, path: str) -> str:
+    """Identity-scoped :class:`StaleReadCache` key.
+
+    The upstream authorizes reads *per user* (RBAC), so a cached
+    response is only valid for the identity it was originally served
+    to.  Keying by path alone would let any client replay another
+    user's cached 200 during an outage -- converting an upstream RBAC
+    denial into an allow.  Both proxies build their cache keys through
+    this helper so the identity scoping cannot be forgotten.  The unit
+    separator (0x1f) cannot appear in header values or URL paths, so
+    keys are unambiguous.
+    """
+    return "\x1f".join((user, groups, path))
+
+
 class StaleReadCache:
     """Bounded LRU of recent successful read responses (fail-static).
 
     Only ever consulted when the upstream is *unavailable*; entries
     older than the caller's TTL are not served.  Thread-safe: the HTTP
     proxy's worker threads share one instance.
+
+    Keys **must** be scoped to the authenticated identity (build them
+    with :func:`stale_read_key`): the cache itself is a dumb LRU and
+    will happily serve whatever key it is asked for, so authorization
+    isolation lives entirely in the key discipline.
     """
 
     def __init__(self, maxsize: int = 256,

@@ -180,3 +180,115 @@ class TestEngineSelection:
             ok = proxy.submit(ApiRequest.from_manifest(deployment, User.admin(), "create"))
             denied = proxy.submit(ApiRequest.from_manifest(bad, User.admin(), "update"))
             assert ok.ok and denied.code == 403, engine
+
+
+class TestFailStaticDegradation:
+    """In-process fail-static (previously silently ignored by
+    KubeFenceProxy): during an outage, stale reads are served -- but
+    only to the exact identity that originally fetched them, because
+    the upstream authorizes reads per user."""
+
+    @staticmethod
+    def _static_stack():
+        from repro.faults import FaultInjector, FaultPlan, FaultyAPIServer
+        from repro.resilience import ResilienceConfig, RetryPolicy
+
+        chart = get_chart("nginx")
+        cluster = Cluster()
+        injector = FaultInjector(FaultPlan(name="healthy"), seed=7)
+        config = ResilienceConfig(
+            retry=RetryPolicy(max_attempts=2, base_delay=0.0, max_delay=0.0,
+                              jitter="none"),
+            request_deadline=2.0,
+            failure_threshold=2,
+            recovery_timeout=60.0,  # breaker stays open for the test
+            degraded_mode="fail-static",
+        )
+        proxy = KubeFenceProxy(
+            FaultyAPIServer(cluster.api, injector),
+            generate_policy(chart),
+            resilience=config,
+        )
+        return chart, cluster, injector, proxy
+
+    def test_stale_read_served_to_same_identity_only(self):
+        from repro.faults import FaultPlan
+
+        chart, cluster, injector, proxy = self._static_stack()
+        operator = User("nginx-operator")
+        manifest = next(m for m in render_chart(chart) if m["kind"] == "Service")
+        name = manifest["metadata"]["name"]
+        assert proxy.submit(ApiRequest.from_manifest(manifest, operator)).ok
+        read = ApiRequest("get", "Service", operator, name=name)
+        assert proxy.submit(read).code == 200  # warm the stale cache
+
+        # Lights out: every upstream call 503s until the breaker trips.
+        injector.plan = FaultPlan(name="dark", error_rate=1.0)
+        update = ApiRequest.from_manifest(manifest, operator, "update")
+        assert proxy.submit(update).code == 503  # trips the breaker
+        assert proxy.breaker is not None and proxy.breaker.state == "open"
+
+        # Writes keep refusing closed ...
+        assert proxy.submit(update).code == 503
+        # ... the same identity gets its stale read back ...
+        stale = proxy.submit(read)
+        assert stale.code == 200
+        assert stale.body["metadata"]["name"] == name
+        # ... but a different identity is refused, never served another
+        # user's cached 200 (an upstream RBAC denial must not become an
+        # allow during an outage).
+        for other_user in (
+            User("eve"),
+            User("nginx-operator", ("system:masters",)),  # groups differ
+        ):
+            other = proxy.submit(
+                ApiRequest("get", "Service", other_user, name=name)
+            )
+            assert other.code == 503, other_user
+
+    def test_stale_payload_is_isolated_from_caller_mutation(self):
+        from repro.faults import FaultPlan
+
+        chart, cluster, injector, proxy = self._static_stack()
+        operator = User("nginx-operator")
+        manifest = next(m for m in render_chart(chart) if m["kind"] == "Service")
+        name = manifest["metadata"]["name"]
+        proxy.submit(ApiRequest.from_manifest(manifest, operator))
+        read = ApiRequest("get", "Service", operator, name=name)
+        warm = proxy.submit(read)
+        warm.body["metadata"]["name"] = "tampered"  # caller-side mutation
+
+        injector.plan = FaultPlan(name="dark", error_rate=1.0)
+        proxy.submit(ApiRequest.from_manifest(manifest, operator, "update"))
+        stale = proxy.submit(read)
+        assert stale.code == 200
+        assert stale.body["metadata"]["name"] == name  # copy, not alias
+        stale.body["metadata"]["name"] = "tampered-again"
+        assert proxy.submit(read).body["metadata"]["name"] == name
+
+    def test_fail_closed_mode_never_serves_stale(self):
+        from repro.faults import FaultInjector, FaultPlan, FaultyAPIServer
+        from repro.resilience import ResilienceConfig, RetryPolicy
+
+        chart = get_chart("nginx")
+        injector = FaultInjector(FaultPlan(name="healthy"), seed=7)
+        proxy = KubeFenceProxy(
+            FaultyAPIServer(Cluster().api, injector),
+            generate_policy(chart),
+            resilience=ResilienceConfig(
+                retry=RetryPolicy(max_attempts=2, base_delay=0.0,
+                                  max_delay=0.0, jitter="none"),
+                failure_threshold=2,
+                recovery_timeout=60.0,
+            ),
+        )
+        operator = User("nginx-operator")
+        manifest = next(m for m in render_chart(chart) if m["kind"] == "Service")
+        name = manifest["metadata"]["name"]
+        proxy.submit(ApiRequest.from_manifest(manifest, operator))
+        read = ApiRequest("get", "Service", operator, name=name)
+        assert proxy.submit(read).code == 200
+
+        injector.plan = FaultPlan(name="dark", error_rate=1.0)
+        proxy.submit(ApiRequest.from_manifest(manifest, operator, "update"))
+        assert proxy.submit(read).code == 503  # no stale cache in fail-closed

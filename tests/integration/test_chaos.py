@@ -10,6 +10,7 @@ admitted.  Denied (403) or refused (503), but never allowed.
 from __future__ import annotations
 
 import json
+import urllib.error
 import urllib.request
 
 import pytest
@@ -227,6 +228,48 @@ def test_dead_upstream_refuses_closed_and_still_denies(
             ) > 0
 
 
+def test_http_write_not_replayed_after_transport_error(
+    nginx_validator, nginx_chart
+):
+    """A reset/truncation mid-write leaves it unknown whether the
+    upstream already applied the request, so the proxy must NOT
+    re-send it (a single client create could be applied twice).
+    Reads are idempotent and still retry through transport faults."""
+    cluster = Cluster()
+    injector = FaultInjector(
+        FaultPlan(name="one-reset", fail_first=1, fail_first_kind="reset"),
+        seed=SEED,
+    )
+    with HttpApiServer(cluster.api, fault_injector=injector) as upstream:
+        with HttpKubeFenceProxy(
+            upstream.base_url, nginx_validator, resilience=TIGHT
+        ) as proxy:
+            client = HttpClient(proxy.base_url, username="nginx-operator")
+            manifest = next(
+                m for m in render_chart(nginx_chart) if m["kind"] == "Service"
+            )
+
+            # POST hits the scripted reset: exactly one upstream
+            # attempt (no transport-level replay), refused closed.
+            status, body = client.create(manifest)
+            assert status == 503, body
+            assert injector.requests_seen == 1
+            if OBS:
+                assert proxy.stats.snapshot().get(
+                    "kubefence_retries_total", 0
+                ) == 0
+
+            # Same fault against a GET: retried through the reset.
+            injector.reset()
+            status, _ = client.get("Service", manifest["metadata"]["name"])
+            assert injector.requests_seen >= 2  # transport retry happened
+            assert status == 404  # the POST was never applied upstream
+            if OBS:
+                assert proxy.stats.snapshot().get(
+                    "kubefence_retries_total", 0
+                ) >= 1
+
+
 def test_http_fail_static_serves_stale_reads(nginx_validator, nginx_chart):
     """fail-static mode: GETs survive a blackout from the stale cache
     (flagged via X-KubeFence-Degraded); writes still refuse closed."""
@@ -262,10 +305,13 @@ def test_http_fail_static_serves_stale_reads(nginx_validator, nginx_chart):
                 write_status, _ = client.apply(manifest)
             assert write_status == 503
 
-            # ... reads serve stale with the degraded header.
+            # ... reads serve stale with the degraded header -- but
+            # only for the exact identity that warmed the cache.
+            path = f"/api/v1/namespaces/default/services/{name}"
             req = urllib.request.Request(
-                proxy.base_url + f"/api/v1/namespaces/default/services/{name}",
-                headers={"X-Remote-User": "nginx-operator"},
+                proxy.base_url + path,
+                headers={"X-Remote-User": "nginx-operator",
+                         "X-Remote-Groups": "system:masters"},
             )
             with urllib.request.urlopen(req, timeout=5) as resp:
                 assert resp.status == 200
@@ -278,3 +324,20 @@ def test_http_fail_static_serves_stale_reads(nginx_validator, nginx_chart):
                 assert proxy.stats.snapshot().get(
                     'kubefence_degraded_requests_total{mode="stale-read"}', 0
                 ) > 0
+
+            # A different identity must NOT receive the cached 200:
+            # the upstream authorizes per user, so serving another
+            # user's cached read would convert an RBAC denial into an
+            # allow.  Same path, different user/groups -> 503.
+            for headers in (
+                {"X-Remote-User": "eve", "X-Remote-Groups": "system:masters"},
+                {"X-Remote-User": "nginx-operator"},  # groups differ
+                {"X-Remote-User": "nginx-operator",
+                 "X-Remote-Groups": "system:authenticated"},
+            ):
+                other = urllib.request.Request(
+                    proxy.base_url + path, headers=headers
+                )
+                with pytest.raises(urllib.error.HTTPError) as excinfo:
+                    urllib.request.urlopen(other, timeout=5)
+                assert excinfo.value.code == 503

@@ -13,6 +13,7 @@ from repro.resilience import (
     StaleReadCache,
     UpstreamGuard,
     UpstreamUnavailable,
+    stale_read_key,
 )
 
 
@@ -138,6 +139,80 @@ def test_on_failure_observes_both_exceptions_and_failure_results():
     assert len(seen) == 2 and all(s.code == 502 for s in seen)
 
 
+def test_non_retryable_exception_releases_breaker_admission():
+    """A bug raised inside fn() (not a transport error) must release
+    the admission the breaker reserved: with ``half_open_max_probes=1``
+    a leaked probe slot would pin the breaker in half-open forever
+    (every later call refused -- a permanent 503)."""
+    clock = FakeClock()
+    config = ResilienceConfig(
+        failure_threshold=1, recovery_timeout=1.0, half_open_max_probes=1
+    )
+    breaker = config.make_breaker(clock=clock)
+    guard = make_guard(
+        retry=RetryPolicy(max_attempts=1, base_delay=0.0, max_delay=0.0,
+                          jitter="none"),
+        breaker=breaker,
+    )
+
+    # Trip the breaker, then wait out the recovery window.
+    def down():
+        raise ConnectionResetError("down")
+
+    with pytest.raises(UpstreamUnavailable):
+        guard.call(down)
+    assert breaker.state == "open"
+    clock.advance(2.0)
+
+    # The half-open probe raises a NON-retryable exception.
+    def buggy():
+        raise ValueError("programming error, not a transport fault")
+
+    with pytest.raises(ValueError):
+        guard.call(buggy)
+    # The slot was released as a failure (re-opened, not stuck
+    # half-open); after another recovery window the next probe is
+    # admitted and can close the breaker.
+    assert breaker.state == "open"
+    clock.advance(2.0)
+    assert guard.call(lambda: "recovered") == "recovered"
+    assert breaker.state == "closed"
+
+
+def test_transport_retries_can_be_disabled_per_call():
+    """``retry_transport_errors=False`` (non-idempotent requests): a
+    transport exception is never replayed -- the upstream may already
+    have applied the write -- but failure *results* (an upstream 503,
+    which implies non-processing) still run the full schedule."""
+    calls = []
+
+    def resets():
+        calls.append(1)
+        raise ConnectionResetError("reset mid-request")
+
+    guard = make_guard()
+    with pytest.raises(UpstreamUnavailable) as excinfo:
+        guard.call(resets, retry_transport_errors=False)
+    assert len(calls) == 1  # exactly one send, no replay
+    assert excinfo.value.attempts == 1
+
+    class Resp:
+        code = 503
+
+    attempts = []
+
+    def responds_503():
+        attempts.append(1)
+        return Resp()
+
+    result = guard.call(
+        responds_503,
+        is_failure=lambda r: r.code >= 500,
+        retry_transport_errors=False,
+    )
+    assert result.code == 503 and len(attempts) == 3
+
+
 # ---------------------------------------------------------------------------
 # ResilienceConfig / StaleReadCache
 # ---------------------------------------------------------------------------
@@ -151,6 +226,20 @@ def test_config_validation_and_breaker_toggle():
     assert ResilienceConfig(failure_threshold=0).make_breaker() is None
     assert ResilienceConfig(request_deadline=None).deadline() is None
     assert ResilienceConfig().deadline().budget == pytest.approx(10.0)
+
+
+def test_stale_read_key_is_identity_scoped():
+    """The stale cache serves RBAC-authorized responses, so its keys
+    must separate identities: same path, different user/groups must
+    never collide (and concatenation must be unambiguous)."""
+    base = stale_read_key("alice", "dev", "/api/v1/pods")
+    assert stale_read_key("alice", "dev", "/api/v1/pods") == base
+    assert stale_read_key("bob", "dev", "/api/v1/pods") != base
+    assert stale_read_key("alice", "ops", "/api/v1/pods") != base
+    assert stale_read_key("alice", "dev", "/api/v1/secrets") != base
+    # Field boundaries cannot be forged by shifting content around.
+    assert stale_read_key("a", "b,c", "/p") != stale_read_key("a,b", "c", "/p")
+    assert stale_read_key("", "g", "/p") != stale_read_key("g", "", "/p")
 
 
 def test_stale_read_cache_ttl_and_lru_bound():
