@@ -1,0 +1,50 @@
+"""Analytics-pipeline-overhead gate (PR 5).
+
+The security-analytics pipeline -- audit + decision events published
+into the :class:`~repro.obs.analytics.events.EventBus` and fanned out
+to a live SLO engine and forensics engine on every request -- must
+stay cheap enough to leave on in deployment:
+
+1. < 5% added to the full-deploy RTT on the deployment-modeled link
+   (simulated client<->control-plane delay applied to both arms, the
+   same device ``analysis/overhead.py`` uses for Table IV), versus the
+   ``REPRO_NO_OBS=1`` escape hatch where publishers skip event
+   construction entirely;
+2. the absolute per-request pipeline cost is reported
+   (``pipeline_us_per_request``) for trend-watching, but the gate is
+   the modeled-link percentage.
+
+The measurement lands in
+``benchmarks/results/BENCH_analytics_overhead.json`` (the same JSON
+``python benchmarks/compare_bench.py`` writes).
+"""
+
+import json
+
+import pytest
+
+from benchmarks.compare_bench import (
+    ANALYTICS_RESULTS_PATH,
+    check_analytics_overhead,
+    measure_analytics_overhead,
+    write_results,
+)
+
+
+@pytest.mark.bench_analytics
+def test_analytics_overhead_gate(emit_artifact):
+    """The full pipeline adds < 5% to deploy RTT vs. ``REPRO_NO_OBS=1``."""
+    result = measure_analytics_overhead(repetitions=20)
+    write_results(result, ANALYTICS_RESULTS_PATH)
+
+    ok, message = check_analytics_overhead(result)
+    emit_artifact(
+        "bench_analytics_overhead",
+        json.dumps(result, indent=2, sort_keys=True) + "\n" + message,
+    )
+    assert ok, message
+    # Sanity on the measurement itself: both arms actually deployed,
+    # and the pipeline arm really had both subscribers attached.
+    assert result["deploy_ms_no_obs"] > 0
+    assert result["requests_per_deploy"] >= 3
+    assert set(result["subscribers"]) == {"slo-engine", "forensics-engine"}

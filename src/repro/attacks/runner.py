@@ -28,17 +28,24 @@ when requests got through.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Any
 
 from repro.attacks.catalog import ATTACKS, AttackSpec
 from repro.attacks.injector import MaliciousManifest, build_malicious_manifests
+from repro.core.anomaly import (
+    AnomalyAlert,
+    AnomalyMonitoringTransport,
+    ApiAnomalyDetector,
+)
 from repro.core.enforcement import Validator
 from repro.core.pipeline import generate_policy
 from repro.core.proxy import KubeFenceProxy
 from repro.helm.chart import Chart, render_chart
 from repro.k8s.apiserver import Cluster
 from repro.k8s.vulndb import ExploitEngine
+from repro.obs.analytics.events import SecurityEvent, new_event_bus
 from repro.operators.client import DirectTransport, OperatorClient
 from repro.rbac import RBACAuthorizer, infer_policy
 
@@ -62,6 +69,9 @@ class CampaignResult:
     rbac: list[AttackOutcome] = field(default_factory=list)
     kubefence: list[AttackOutcome] = field(default_factory=list)
     validator: Validator | None = None
+    #: Detection-mode alerts from the KubeFence phase, when the
+    #: campaign ran with ``anomaly=True``.
+    anomaly_alerts: list[AnomalyAlert] = field(default_factory=list)
 
     def mitigated_counts(self, outcomes: list[AttackOutcome]) -> tuple[int, int]:
         """(mitigated CVE exploits, mitigated misconfigurations)."""
@@ -91,10 +101,31 @@ def _attack(
     client: OperatorClient,
     malicious: list[MaliciousManifest],
     engine: ExploitEngine,
+    event_bus: Any | None = None,
+    identity: str = "",
 ) -> list[AttackOutcome]:
     outcomes: list[AttackOutcome] = []
     for item in malicious:
         engine.clear()
+        if event_bus is not None and event_bus.enabled:
+            # Campaign marker: keys the forensics engine's timeline
+            # split -- everything between this marker and the next one
+            # belongs to this attack.
+            event_bus.publish(
+                SecurityEvent(
+                    kind="marker",
+                    source="campaign",
+                    ts=time.time(),
+                    user=identity,
+                    detail={
+                        "attack_id": item.attack.attack_id,
+                        "reference": item.attack.reference,
+                        "title": item.attack.title,
+                        "targeted_fields": list(item.attack.targeted_fields),
+                        "user": identity,
+                    },
+                )
+            )
         response = client.submit_manifest(item.operator, item.manifest, verb="update")
         fired = item.attack.reference in engine.triggered_cves()
         outcomes.append(
@@ -113,8 +144,20 @@ def run_campaign(
     chart: Chart,
     attacks: tuple[AttackSpec, ...] = ATTACKS,
     validator: Validator | None = None,
+    event_bus: Any | None = None,
+    anomaly: bool = False,
 ) -> CampaignResult:
-    """Run the full Table III experiment for one operator chart."""
+    """Run the full Table III experiment for one operator chart.
+
+    With an ``event_bus``, the KubeFence phase publishes the unified
+    security-event stream (campaign markers + audit events + proxy
+    decisions) into it, ready for
+    :class:`~repro.obs.analytics.forensics.ForensicsEngine`.  With
+    ``anomaly=True``, an :class:`ApiAnomalyDetector` is bootstrapped
+    from the attack-free learning phase and runs in detection mode in
+    front of the proxy; its alerts land in
+    :attr:`CampaignResult.anomaly_alerts` (and on the bus).
+    """
     result = CampaignResult(operator=chart.name)
     legitimate = render_chart(chart)
     malicious = build_malicious_manifests(chart.name, legitimate, attacks)
@@ -138,11 +181,26 @@ def run_campaign(
     # ---- KubeFence ------------------------------------------------------
     validator = validator or generate_policy(chart)
     result.validator = validator
-    kf_cluster = Cluster()
+    bus = event_bus if event_bus is not None else new_event_bus()
+    kf_cluster = Cluster(event_bus=bus)
     kf_engine = ExploitEngine()
     kf_cluster.api.register_admission_plugin(kf_engine)
-    proxy = KubeFenceProxy(kf_cluster.api, validator)
-    kf_client = OperatorClient(proxy)
+    proxy = KubeFenceProxy(kf_cluster.api, validator, event_bus=bus)
+    transport: Any = proxy
+    monitor: AnomalyMonitoringTransport | None = None
+    if anomaly:
+        detector = ApiAnomalyDetector()
+        detector.learn_from_audit(learn_cluster.api.audit_log, username)
+        monitor = AnomalyMonitoringTransport(
+            proxy, detector,
+            registry=proxy.stats.registry, event_bus=bus,
+        )
+        transport = monitor
+    kf_client = OperatorClient(transport)
     _deploy_and_reconcile(kf_client, chart)
-    result.kubefence = _attack(kf_client, malicious, kf_engine)
+    result.kubefence = _attack(
+        kf_client, malicious, kf_engine, event_bus=bus, identity=username
+    )
+    if monitor is not None:
+        result.anomaly_alerts = list(monitor.alerts)
     return result

@@ -156,12 +156,19 @@ def cmd_campaign(args: argparse.Namespace) -> int:
     results = []
     for name in names:
         chart = _load_chart(name)
-        result = run_campaign(chart)
+        result = run_campaign(chart, anomaly=args.anomaly)
         results.append(result)
         fired = sorted({o.attack.reference for o in result.rbac if o.exploit_fired})
-        print(f"{name}: RBAC mitigated {sum(result.rbac_counts)}/15, "
-              f"KubeFence {sum(result.kubefence_counts)}/15; "
-              f"CVEs fired under RBAC: {len(fired)}")
+        line = (f"{name}: RBAC mitigated {sum(result.rbac_counts)}/15, "
+                f"KubeFence {sum(result.kubefence_counts)}/15; "
+                f"CVEs fired under RBAC: {len(fired)}")
+        if args.anomaly:
+            line += f"; anomaly alerts: {len(result.anomaly_alerts)}"
+        print(line)
+        if args.anomaly:
+            for alert in result.anomaly_alerts:
+                print(f"    anomaly: {alert.username} {alert.verb} "
+                      f"{alert.kind}/{alert.name} -- {alert.report.summary()}")
     print()
     print(render_table3(results))
     return 0
@@ -313,6 +320,96 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     return 0 if all(r.survived for r in reports) else 1
 
 
+def cmd_slo(args: argparse.Namespace) -> int:
+    """Drive traffic through the enforcement stack, feed the security
+    event stream into an SLO engine, and evaluate burn-rate alerts.
+
+    A clean run stays silent (exit 0); ``--chaos`` injects upstream
+    faults so the upstream-error / degraded SLIs burn through their
+    budget and the multi-window alert fires (exit 1)."""
+    import json as _json
+
+    from repro.core.pipeline import generate_policy
+    from repro.core.proxy import KubeFenceProxy
+    from repro.faults import SCENARIOS, FaultInjector, FaultyAPIServer
+    from repro.k8s.apiserver import Cluster
+    from repro.obs.analytics import EventBus, SloEngine
+    from repro.operators.client import OperatorClient
+
+    chart = _load_chart(args.operator or "nginx")
+    validator = generate_policy(chart)
+    bus = EventBus()
+    engine = SloEngine()
+    bus.subscribe(engine.observe)
+
+    # Populate the cluster attack-free (store contents are needed for
+    # the reconcile traffic) before any fault injection starts.
+    cluster = Cluster(event_bus=bus)
+    deployed = OperatorClient(
+        KubeFenceProxy(cluster.api, validator)
+    ).deploy_chart(chart)
+    if not deployed.all_ok:
+        print("warning: benign deployment was not fully admitted", file=sys.stderr)
+
+    upstream = cluster.api
+    if args.chaos:
+        plan = SCENARIOS[args.scenario or "blackout"]
+        upstream = FaultyAPIServer(cluster.api, FaultInjector(plan, seed=args.seed))
+    proxy = KubeFenceProxy(upstream, validator, event_bus=bus)
+    client = OperatorClient(proxy)
+    for _ in range(args.rounds):
+        client.reconcile(deployed)
+
+    report = engine.evaluate()
+    if args.json:
+        print(_json.dumps(report.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(report.render())
+    return 1 if report.firing else 0
+
+
+def cmd_forensics(args: argparse.Namespace) -> int:
+    """Reconstruct per-identity attack timelines from the unified
+    security-event stream.
+
+    Default mode runs the Table III campaign for one operator with the
+    analytics bus attached; ``--events FILE.jsonl`` replays a recorded
+    stream instead.  Exit 1 when any timeline shows post-denial
+    activity (events after the attack was supposedly mitigated)."""
+    import json as _json
+
+    from repro.obs.analytics import (
+        EventBus,
+        ForensicsEngine,
+        render_forensics_report,
+    )
+
+    engine = ForensicsEngine()
+    if args.events:
+        from repro.obs.analytics.events import load_jsonl
+
+        engine.ingest_many(load_jsonl(Path(args.events).read_text()))
+    else:
+        from repro.attacks.runner import run_campaign
+
+        bus = EventBus()
+        bus.subscribe(engine.ingest)
+        chart = _load_chart(args.operator or "nginx")
+        result = run_campaign(chart, event_bus=bus, anomaly=args.anomaly)
+        print(
+            f"campaign: KubeFence mitigated {sum(result.kubefence_counts)}/"
+            f"{len(result.kubefence)}; {len(engine)} event(s) on the bus",
+            file=sys.stderr,
+        )
+
+    timelines = engine.timelines(args.identity)
+    if args.json:
+        print(_json.dumps(engine.report(args.identity), indent=2, sort_keys=True))
+    else:
+        print(render_forensics_report(timelines))
+    return 1 if any(t.post_denial for t in timelines) else 0
+
+
 def cmd_overhead(args: argparse.Namespace) -> int:
     from repro.analysis.overhead import OverheadConfig, measure_overhead
     from repro.analysis.report import render_table4
@@ -376,6 +473,11 @@ def build_parser() -> argparse.ArgumentParser:
 
     campaign = sub.add_parser("campaign", help="run the Table III attack campaign")
     campaign.add_argument("operator", nargs="?", help="one operator (default: all five)")
+    campaign.add_argument(
+        "--anomaly", action="store_true",
+        help="run the anomaly detector in detection mode during the "
+             "KubeFence phase and report its alerts",
+    )
 
     sub.add_parser("surface", help="print Fig. 9 and Table I")
 
@@ -408,6 +510,44 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--rounds", type=int, default=10, help="apply rounds per scenario")
     chaos.add_argument("--json", action="store_true", help="machine-readable output")
 
+    slo = sub.add_parser(
+        "slo", help="evaluate SLO burn-rate alerts over live traffic"
+    )
+    slo.add_argument(
+        "operator", nargs="?", help="operator chart to deploy (default: nginx)"
+    )
+    slo.add_argument(
+        "--chaos", action="store_true",
+        help="inject upstream faults so the burn-rate alert fires",
+    )
+    slo.add_argument(
+        "--scenario",
+        help="fault scenario for --chaos (default: blackout)",
+    )
+    slo.add_argument("--seed", type=int, default=1337, help="fault-injector seed")
+    slo.add_argument(
+        "--rounds", type=int, default=3, help="reconcile rounds to drive"
+    )
+    slo.add_argument("--json", action="store_true", help="machine-readable output")
+
+    forensics = sub.add_parser(
+        "forensics", help="reconstruct per-identity attack timelines"
+    )
+    forensics.add_argument(
+        "operator", nargs="?", help="operator for campaign mode (default: nginx)"
+    )
+    forensics.add_argument(
+        "--events", help="replay a recorded JSONL event stream instead"
+    )
+    forensics.add_argument(
+        "--identity", help="only reconstruct this identity's timelines"
+    )
+    forensics.add_argument(
+        "--anomaly", action="store_true",
+        help="campaign mode: also run the anomaly detector",
+    )
+    forensics.add_argument("--json", action="store_true", help="machine-readable output")
+
     return parser
 
 
@@ -424,6 +564,8 @@ _COMMANDS = {
     "overhead": cmd_overhead,
     "obs": cmd_obs,
     "chaos": cmd_chaos,
+    "slo": cmd_slo,
+    "forensics": cmd_forensics,
 }
 
 

@@ -22,11 +22,14 @@ inside the policy but outside the behavioural norm still raises.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Any
 
 from repro.k8s.apiserver import ApiRequest, ApiResponse
 from repro.k8s.audit import AuditLog
+from repro.obs import current_trace_id
+from repro.obs.analytics.events import SecurityEvent
 from repro.yamlutil import walk_leaves
 
 
@@ -56,9 +59,29 @@ class AnomalyReport:
     novel_verb: bool = False
     novel_fields: list[str] = field(default_factory=list)
     novel_values: list[str] = field(default_factory=list)
+    #: True when the identity had no learned profile at all -- the
+    #: score is then a maximal 1.0 by construction, not by evidence.
+    no_baseline: bool = False
+
+    def reasons(self) -> list[str]:
+        """Bounded label vocabulary for metrics (never free text)."""
+        out: list[str] = []
+        if self.no_baseline:
+            out.append("no-baseline")
+        if self.novel_kind:
+            out.append("novel-kind")
+        if self.novel_verb:
+            out.append("novel-verb")
+        if self.novel_fields:
+            out.append("novel-fields")
+        if self.novel_values:
+            out.append("novel-values")
+        return out or ["none"]
 
     def summary(self) -> str:
         parts = []
+        if self.no_baseline:
+            parts.append("no baseline")
         if self.novel_kind:
             parts.append("novel kind")
         if self.novel_verb:
@@ -141,7 +164,9 @@ class ApiAnomalyDetector:
         profile = self._profiles.get(request.user.username)
         if profile is None or profile.observations == 0:
             # No baseline: everything is maximally anomalous.
-            return AnomalyReport(score=1.0, novel_kind=True, novel_verb=True)
+            return AnomalyReport(
+                score=1.0, novel_kind=True, novel_verb=True, no_baseline=True
+            )
         report = AnomalyReport(score=0.0)
         if (request.kind, request.verb) not in profile.kinds_verbs:
             known_kinds = {kind for kind, _ in profile.kinds_verbs}
@@ -179,32 +204,91 @@ class AnomalyAlert:
     report: AnomalyReport
 
 
+#: Histogram buckets for anomaly scores: dense around the default
+#: threshold (0.3) where the alerting decision is made.
+ANOMALY_SCORE_BUCKETS = (0.05, 0.1, 0.2, 0.3, 0.5, 0.75, 1.0)
+
+
 class AnomalyMonitoringTransport:
     """Detection-mode wrapper: score every request, alert on threshold,
-    forward regardless (complements, never replaces, enforcement)."""
+    forward regardless (complements, never replaces, enforcement).
+
+    With a metrics ``registry``, every score lands in the
+    ``kubefence_anomaly_score`` histogram and each alert increments
+    ``kubefence_anomaly_alerts_total{user,reason}`` (reason drawn from
+    the bounded :meth:`AnomalyReport.reasons` vocabulary).  With an
+    ``event_bus``, alerts are also published as ``kind="anomaly"``
+    security events so the forensics engine can stitch detection-only
+    hits into attack timelines.
+    """
 
     def __init__(self, inner: Any, detector: ApiAnomalyDetector,
-                 learn_online: bool = False):
+                 learn_online: bool = False,
+                 registry: Any | None = None,
+                 event_bus: Any | None = None):
         self.inner = inner
         self.detector = detector
         self.learn_online = learn_online
         self.alerts: list[AnomalyAlert] = []
+        self.events = event_bus
+        self._m_alerts = None
+        self._m_score = None
+        if registry is not None:
+            self._m_alerts = registry.counter(
+                "kubefence_anomaly_alerts_total",
+                "Anomaly alerts raised, by identity and reason.",
+                labels=("user", "reason"),
+                max_series=128,
+            )
+            self._m_score = registry.histogram(
+                "kubefence_anomaly_score",
+                "Anomaly score distribution over all scored requests.",
+                buckets=ANOMALY_SCORE_BUCKETS,
+            )
 
     def submit(self, request: ApiRequest) -> ApiResponse:
         report = self.detector.score(request)
+        if self._m_score is not None:
+            self._m_score.observe(report.score)
         if report.score >= self.detector.threshold:
             name = ""
             if request.body:
                 name = request.body.get("metadata", {}).get("name", "")
-            self.alerts.append(
-                AnomalyAlert(
-                    username=request.user.username,
-                    verb=request.verb,
-                    kind=request.kind,
-                    name=name or (request.name or ""),
-                    report=report,
-                )
+            alert = AnomalyAlert(
+                username=request.user.username,
+                verb=request.verb,
+                kind=request.kind,
+                name=name or (request.name or ""),
+                report=report,
             )
+            self.alerts.append(alert)
+            if self._m_alerts is not None:
+                for reason in report.reasons():
+                    self._m_alerts.labels(
+                        user=alert.username, reason=reason
+                    ).inc()
+            bus = self.events
+            if bus is not None and bus.enabled:
+                bus.publish(
+                    SecurityEvent(
+                        kind="anomaly",
+                        source="anomaly-detector",
+                        ts=time.time(),
+                        user=alert.username,
+                        verb=alert.verb,
+                        resource=alert.kind,
+                        name=alert.name,
+                        namespace=request.namespace or "",
+                        outcome="alert",
+                        trace_id=current_trace_id() or "",
+                        score=report.score,
+                        detail={
+                            "reasons": report.reasons(),
+                            "novel_fields": list(report.novel_fields),
+                            "summary": report.summary(),
+                        },
+                    )
+                )
         response = self.inner.submit(request)
         if self.learn_online and response.ok:
             self.detector.learn(request)

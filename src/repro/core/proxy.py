@@ -55,6 +55,7 @@ from repro.core.enforcement import ValidationResult, Validator
 from repro.k8s.apiserver import APIServer, ApiRequest, ApiResponse
 from repro.k8s.errors import ApiError
 from repro.obs import current_trace_id, new_registry, obs_endpoint, span, trace
+from repro.obs.analytics.events import SecurityEvent, new_event_bus
 from repro.yamlutil import deep_copy
 from repro.resilience import (
     BREAKER_STATE_CODES,
@@ -527,12 +528,16 @@ class KubeFenceProxy:
         cache_size: int = DEFAULT_DECISION_CACHE_SIZE,
         engine: str = "auto",
         resilience: ResilienceConfig | None = None,
+        event_bus: Any | None = None,
     ):
         self.api = api
         self.denials: list[DenialRecord] = []
         self.stats = ProxyStats()
         self.gate = ValidationGate(validator, self.stats, cache_size, engine)
         self.resilience = resilience
+        #: security-analytics stream; NULL under REPRO_NO_OBS=1 (the
+        #: ``enabled`` probe keeps event construction off the fast path).
+        self.events = event_bus if event_bus is not None else new_event_bus()
         self.breaker = None
         self._guard: UpstreamGuard | None = None
         self._read_cache: StaleReadCache | None = None
@@ -569,14 +574,69 @@ class KubeFenceProxy:
         carries the same trace id)."""
         with trace("proxy.request"):
             self.stats.count_request()
+            bus = self.events
+            started = time.perf_counter_ns() if bus.enabled else 0
             if request.verb in _WRITE_VERBS and isinstance(request.body, dict):
                 with span("proxy.validate"):
                     result = self.gate.check(request.body)
                 if not result.allowed:
-                    return self._deny(request, result)
-            return self._forward(request)
+                    response = self._deny(request, result)
+                    if bus.enabled:
+                        self._publish_decision(
+                            request, "deny", response.code,
+                            latency_ns=time.perf_counter_ns() - started,
+                            detail={
+                                "reason": denial_reason(result.violations),
+                                "violations": [str(v) for v in result.violations],
+                            },
+                        )
+                    return response
+            note: dict[str, str] | None = {} if bus.enabled else None
+            response = self._forward(request, note)
+            if bus.enabled:
+                assert note is not None
+                outcome = note.get("outcome") or (
+                    "allow" if response.ok else "error"
+                )
+                detail = {"mode": note["mode"]} if "mode" in note else {}
+                self._publish_decision(
+                    request, outcome, response.code,
+                    latency_ns=time.perf_counter_ns() - started,
+                    detail=detail,
+                )
+            return response
 
-    def _forward(self, request: ApiRequest) -> ApiResponse:
+    def _publish_decision(
+        self,
+        request: ApiRequest,
+        outcome: str,
+        code: int,
+        latency_ns: int = 0,
+        detail: dict[str, Any] | None = None,
+    ) -> None:
+        """One enforcement verdict onto the security-event stream."""
+        name = request.name or ""
+        if not name and isinstance(request.body, dict):
+            name = request.body.get("metadata", {}).get("name", "")
+        self.events.publish(SecurityEvent(
+            kind="decision",
+            source="proxy",
+            ts=time.time(),
+            user=request.user.username,
+            verb=request.verb,
+            resource=request.kind,
+            name=name,
+            namespace=request.namespace or "",
+            outcome=outcome,
+            code=code,
+            trace_id=current_trace_id() or "",
+            latency_ns=latency_ns,
+            detail=detail or {},
+        ))
+
+    def _forward(
+        self, request: ApiRequest, note: dict[str, str] | None = None
+    ) -> ApiResponse:
         """The upstream hop, guarded when resilience is configured.
 
         A retryable upstream 5xx that survives the whole schedule is
@@ -601,9 +661,9 @@ class KubeFenceProxy:
             )
         except CircuitOpenError as err:
             self.stats.count_upstream_error("breaker-open")
-            return self._degrade(request, err)
+            return self._degrade(request, err, note)
         except (UpstreamUnavailable, DeadlineExceeded) as err:
-            return self._degrade(request, err)
+            return self._degrade(request, err, note)
         if (self._read_cache is not None and request.verb == "get"
                 and response.code == 200 and response.body is not None):
             self._read_cache.put(
@@ -621,11 +681,18 @@ class KubeFenceProxy:
             f"{request.kind}/{request.namespace or ''}/{request.name or ''}",
         )
 
-    def _degrade(self, request: ApiRequest, err: Exception) -> ApiResponse:
+    def _degrade(
+        self,
+        request: ApiRequest,
+        err: Exception,
+        note: dict[str, str] | None = None,
+    ) -> ApiResponse:
         """The upstream is unavailable.  ``fail-static`` may serve a
         same-identity stale read; everything else is refused with 503
         -- a would-be denial is never converted into an allow (denials
-        already happened before forwarding)."""
+        already happened before forwarding).  *note*, when present, is
+        annotated with the degraded outcome so the caller publishes an
+        honest decision event."""
         if self._read_cache is not None and request.verb == "get":
             assert self.resilience is not None
             cached = self._read_cache.get(
@@ -634,13 +701,21 @@ class KubeFenceProxy:
             if cached is not None:
                 _age, payload = cached
                 self.stats.count_degraded("stale-read")
+                if note is not None:
+                    note["outcome"] = "degraded"
+                    note["mode"] = "stale-read"
                 return ApiResponse(code=200, body=deep_copy(payload))
-        return self._refuse(err)
+        return self._refuse(err, note)
 
-    def _refuse(self, err: Exception) -> ApiResponse:
+    def _refuse(
+        self, err: Exception, note: dict[str, str] | None = None
+    ) -> ApiResponse:
         """Fail closed: the upstream is unavailable, so the request is
         refused locally with 503 (see docs/RESILIENCE.md)."""
         self.stats.count_degraded("refused")
+        if note is not None:
+            note["outcome"] = "degraded"
+            note["mode"] = "refused"
         return ApiResponse.from_error(ApiError(
             503, "ServiceUnavailable",
             f"KubeFence: upstream API server unavailable; failing closed ({err})",
@@ -694,7 +769,9 @@ class HttpKubeFenceProxy:
                  host: str = "127.0.0.1", port: int = 0,
                  cache_size: int = DEFAULT_DECISION_CACHE_SIZE,
                  engine: str = "auto",
-                 resilience: ResilienceConfig | None = None):
+                 resilience: ResilienceConfig | None = None,
+                 event_bus: Any | None = None,
+                 slo: Any | None = None):
         import json
         import threading
         from http.server import BaseHTTPRequestHandler
@@ -707,6 +784,18 @@ class HttpKubeFenceProxy:
         self.denials: list[DenialRecord] = []
         self.stats = ProxyStats()
         self.gate = ValidationGate(validator, self.stats, cache_size, engine)
+        #: security-analytics stream (served at /obs/events); NULL
+        #: under REPRO_NO_OBS=1.
+        self.events = event_bus if event_bus is not None else new_event_bus()
+        #: SLO engine (served at /obs/slo): by default one per proxy,
+        #: subscribed to the bus, exporting kubefence_slo_* gauges on
+        #: the proxy registry.  Pass ``slo=`` to share an engine.
+        self.slo = slo
+        if self.slo is None and self.events.enabled:
+            from repro.obs.analytics.slo import SloEngine
+
+            self.slo = SloEngine(registry=self.stats.registry)
+            self.events.subscribe(self.slo.observe)
         self.resilience = res = (
             resilience if resilience is not None else DEFAULT_RESILIENCE
         )
@@ -825,6 +914,8 @@ class HttpKubeFenceProxy:
                     proxy.stats.registry,
                     component="kubefence-proxy",
                     ready_checks={"policy-bound": lambda: proxy.validator is not None},
+                    event_bus=proxy.events if proxy.events.enabled else None,
+                    slo=proxy.slo,
                 )
                 if served is None:
                     return False
@@ -836,7 +927,33 @@ class HttpKubeFenceProxy:
                 self.wfile.write(body)
                 return True
 
-            def _forward(self, method: str, body: bytes | None) -> None:
+            def _publish_decision(self, outcome: str, code: int,
+                                  resource: str = "", name: str = "",
+                                  detail: dict[str, Any] | None = None) -> None:
+                """One verdict onto the proxy's security-event stream."""
+                bus = proxy.events
+                if not bus.enabled:
+                    return
+                started = getattr(self, "_started_ns", 0)
+                bus.publish(SecurityEvent(
+                    kind="decision",
+                    source="proxy",
+                    ts=time.time(),
+                    user=self.headers.get("X-Remote-User", ""),
+                    verb=(getattr(self, "command", "") or "").lower(),
+                    resource=resource,
+                    name=name,
+                    outcome=outcome,
+                    code=code,
+                    trace_id=current_trace_id() or "",
+                    latency_ns=(
+                        time.perf_counter_ns() - started if started else 0
+                    ),
+                    detail={"path": self.path, **(detail or {})},
+                ))
+
+            def _forward(self, method: str, body: bytes | None,
+                         resource: str = "", name: str = "") -> None:
                 headers = {
                     "Content-Type": "application/json",
                     "X-Remote-User": self.headers.get("X-Remote-User", ""),
@@ -849,15 +966,17 @@ class HttpKubeFenceProxy:
                     )
                 except CircuitOpenError as err:
                     proxy.stats.count_upstream_error("breaker-open")
-                    self._degraded_reply(method, err)
+                    self._degraded_reply(method, err, resource, name)
                     return
                 except (UpstreamUnavailable, DeadlineExceeded) as err:
-                    self._degraded_reply(method, err)
+                    self._degraded_reply(method, err, resource, name)
                     return
                 try:
                     payload = json.loads(data or b"{}")
                 except ValueError:
                     proxy.stats.count_upstream_error("bad-payload")
+                    self._publish_decision("error", 502, resource, name,
+                                           detail={"reason": "bad-payload"})
                     self._reply(
                         502,
                         {"kind": "Status", "status": "Failure", "code": 502,
@@ -868,6 +987,10 @@ class HttpKubeFenceProxy:
                 if (method == "GET" and status == 200
                         and proxy._read_cache is not None):
                     proxy._read_cache.put(self._stale_key(), payload)
+                self._publish_decision(
+                    "allow" if 200 <= status < 300 else "error",
+                    status, resource, name,
+                )
                 self._reply(status, payload)
 
             def _stale_key(self) -> str:
@@ -886,7 +1009,8 @@ class HttpKubeFenceProxy:
                     self.path,
                 )
 
-            def _degraded_reply(self, method: str, err: Exception) -> None:
+            def _degraded_reply(self, method: str, err: Exception,
+                                resource: str = "", name: str = "") -> None:
                 """The upstream is down.  fail-static may serve reads
                 from the stale cache; everything else is refused with
                 503 -- a would-be denial is never converted into an
@@ -900,11 +1024,19 @@ class HttpKubeFenceProxy:
                     if cached is not None:
                         age, payload = cached
                         proxy.stats.count_degraded("stale-read")
+                        self._publish_decision(
+                            "degraded", 200, resource, name,
+                            detail={"mode": "stale-read"},
+                        )
                         self._reply(200, payload, extra_headers=(
                             ("X-KubeFence-Degraded", f"stale-read; age={age:.1f}s"),
                         ))
                         return
                 proxy.stats.count_degraded("refused")
+                self._publish_decision(
+                    "degraded", 503, resource, name,
+                    detail={"mode": "refused"},
+                )
                 self._reply(
                     503,
                     {"kind": "Status", "status": "Failure", "code": 503,
@@ -920,6 +1052,10 @@ class HttpKubeFenceProxy:
 
             def _handle_traced(self, method: str) -> None:
                 proxy.stats.count_request()
+                self._started_ns = (
+                    time.perf_counter_ns() if proxy.events.enabled else 0
+                )
+                resource = name = ""
                 length = int(self.headers.get("Content-Length") or 0)
                 raw = self.rfile.read(length) if length else None
                 if method in ("POST", "PUT", "PATCH") and raw:
@@ -941,22 +1077,34 @@ class HttpKubeFenceProxy:
                              "message": "request body must be a JSON object"},
                         )
                         return
+                    resource = manifest.get("kind", "")
+                    name = manifest.get("metadata", {}).get("name", "")
                     with span("proxy.validate"):
                         result = proxy.gate.check(manifest)
                     if not result.allowed:
+                        reason = denial_reason(result.violations)
                         proxy.stats.count_denial(
                             operator=proxy.validator.operator,
-                            kind=manifest.get("kind", ""),
-                            reason=denial_reason(result.violations),
+                            kind=resource,
+                            reason=reason,
                         )
                         proxy.denials.append(
                             DenialRecord(
                                 username=self.headers.get("X-Remote-User", ""),
                                 verb=method.lower(),
-                                kind=manifest.get("kind", ""),
-                                name=manifest.get("metadata", {}).get("name", ""),
+                                kind=resource,
+                                name=name,
                                 violations=tuple(str(v) for v in result.violations),
                             )
+                        )
+                        self._publish_decision(
+                            "deny", 403, resource, name,
+                            detail={
+                                "reason": reason,
+                                "violations": [
+                                    str(v) for v in result.violations
+                                ],
+                            },
                         )
                         self._reply(
                             403,
@@ -971,7 +1119,7 @@ class HttpKubeFenceProxy:
                             },
                         )
                         return
-                self._forward(method, raw)
+                self._forward(method, raw, resource, name)
 
             def do_GET(self) -> None:
                 if self._serve_obs():
@@ -1044,11 +1192,17 @@ class MultiPolicyProxy:
 
     def __init__(self, api: APIServer, validators: dict[str, Validator],
                  read_through: bool = True,
-                 resilience: ResilienceConfig | None = None):
+                 resilience: ResilienceConfig | None = None,
+                 event_bus: Any | None = None):
         self.api = api
         self.resilience = resilience
+        #: one shared stream across all per-identity proxies, so the
+        #: forensics layer sees the whole multi-tenant cluster.
+        self.events = event_bus if event_bus is not None else new_event_bus()
         self._proxies = {
-            username: KubeFenceProxy(api, validator, resilience=resilience)
+            username: KubeFenceProxy(
+                api, validator, resilience=resilience, event_bus=self.events
+            )
             for username, validator in validators.items()
         }
         self.read_through = read_through
@@ -1061,7 +1215,8 @@ class MultiPolicyProxy:
             existing.install_validator(validator)
         else:
             self._proxies[username] = KubeFenceProxy(
-                self.api, validator, resilience=self.resilience
+                self.api, validator, resilience=self.resilience,
+                event_bus=self.events,
             )
 
     def proxy_for(self, username: str) -> "KubeFenceProxy | None":

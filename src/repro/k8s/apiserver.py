@@ -32,6 +32,7 @@ from repro.k8s.objects import K8sObject
 from repro.k8s.schema import SCALAR_TYPES, FieldSpec, SchemaCatalog, catalog as default_catalog
 from repro.k8s.store import ObjectStore
 from repro.obs import current_trace_id, new_registry, span
+from repro.obs.analytics.events import SecurityEvent, new_event_bus
 
 
 @dataclass(frozen=True)
@@ -132,6 +133,7 @@ class APIServer:
         version: str = "1.28.6",
         validate_schema: bool = True,
         metrics: Any | None = None,
+        event_bus: Any | None = None,
     ) -> None:
         # Explicit None checks: ObjectStore and ResourceRegistry define
         # __len__, so an empty instance is falsy and `or` would drop it.
@@ -146,6 +148,10 @@ class APIServer:
         #: observability: per-server metrics registry (scraped by
         #: HttpApiServer's /metrics; REPRO_NO_OBS=1 makes it a no-op).
         self.metrics = metrics if metrics is not None else new_registry()
+        #: security-analytics: every audited request is also published
+        #: as a ``kind="audit"`` SecurityEvent (no-op bus when
+        #: REPRO_NO_OBS=1 or nothing subscribes a real bus).
+        self.event_bus = event_bus if event_bus is not None else new_event_bus()
         self._m_requests = self.metrics.counter(
             "kubefence_apiserver_requests_total",
             "API-server requests, by verb and response code.",
@@ -371,6 +377,10 @@ class APIServer:
             resource_plural = rt.plural
             api_group = rt.gvk.group
         self._m_audit.inc()
+        trace_id = current_trace_id()
+        object_name = request.name or (
+            K8sObject(request.body).name if request.body else None
+        )
         self.audit_log.record(
             AuditEvent(
                 request_uri=(
@@ -382,14 +392,32 @@ class APIServer:
                 resource=resource_plural,
                 api_group=api_group,
                 namespace=request.namespace,
-                name=request.name or (K8sObject(request.body).name if request.body else None),
+                name=object_name,
                 response_code=response.code,
                 request_object=request.body if request.verb in _WRITE_VERBS else None,
                 source_ip=request.source_ip,
-                trace_id=current_trace_id(),
+                trace_id=trace_id,
                 latency_ns=latency_ns,
             )
         )
+        bus = self.event_bus
+        if bus.enabled:
+            bus.publish(
+                SecurityEvent(
+                    kind="audit",
+                    source="apiserver",
+                    ts=time.time(),
+                    user=request.user.username,
+                    verb=request.verb,
+                    resource=resource_plural or request.kind,
+                    name=object_name or "",
+                    namespace=request.namespace or "",
+                    outcome="allow" if response.ok else "error",
+                    code=response.code,
+                    trace_id=trace_id or "",
+                    latency_ns=latency_ns or 0,
+                )
+            )
 
 
 class Cluster:
@@ -401,6 +429,7 @@ class Cluster:
         version: str = "1.28.6",
         authorizer: Authorizer | None = None,
         validate_schema: bool = True,
+        event_bus: Any | None = None,
     ) -> None:
         self.store = ObjectStore()
         self.api = APIServer(
@@ -408,6 +437,7 @@ class Cluster:
             authorizer=authorizer,
             version=version,
             validate_schema=validate_schema,
+            event_bus=event_bus,
         )
 
     def apply(

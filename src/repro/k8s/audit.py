@@ -9,6 +9,7 @@ paper shows in Fig. 11.  The audit log is the input to the
 from __future__ import annotations
 
 import json
+import threading
 from dataclasses import dataclass, field
 from typing import Any, Iterator
 
@@ -69,33 +70,44 @@ class AuditEvent:
 
 
 class AuditLog:
-    """An append-only audit sink with query helpers."""
+    """An append-only audit sink with query helpers.
+
+    Thread-safe: the API server records from every
+    ``ThreadingHTTPServer`` worker while audit2rbac / anomaly
+    bootstrap / forensics iterate concurrently, so every reader works
+    on a snapshot taken under the same lock the writer holds.
+    """
 
     def __init__(self) -> None:
+        self._lock = threading.Lock()
         self._events: list[AuditEvent] = []
 
     def record(self, event: AuditEvent) -> None:
-        self._events.append(event)
+        with self._lock:
+            self._events.append(event)
 
     def events(self) -> list[AuditEvent]:
-        return list(self._events)
+        with self._lock:
+            return list(self._events)
 
     def successful(self) -> Iterator[AuditEvent]:
         """Events whose request was accepted (2xx)."""
-        return (e for e in self._events if 200 <= e.response_code < 300)
+        return (e for e in self.events() if 200 <= e.response_code < 300)
 
     def for_user(self, username: str) -> list[AuditEvent]:
-        return [e for e in self._events if e.username == username]
+        return [e for e in self.events() if e.username == username]
 
     def clear(self) -> None:
-        self._events.clear()
+        with self._lock:
+            self._events.clear()
 
     def __len__(self) -> int:
-        return len(self._events)
+        with self._lock:
+            return len(self._events)
 
     def dump_jsonl(self) -> str:
         """The on-disk audit log format (one JSON event per line)."""
-        return "\n".join(e.to_json() for e in self._events)
+        return "\n".join(e.to_json() for e in self.events())
 
     @classmethod
     def from_jsonl(cls, text: str) -> "AuditLog":

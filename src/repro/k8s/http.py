@@ -90,6 +90,9 @@ class _Handler(BaseHTTPRequestHandler):
     #: response path sends an explicit Content-Length.
     protocol_version = "HTTP/1.1"
     api: APIServer  # injected by serve()
+    #: Optional :class:`repro.obs.analytics.slo.SloEngine` served at
+    #: ``/obs/slo``; injected by :class:`HttpApiServer` when wired.
+    slo: Any = None
     #: Optional :class:`repro.faults.FaultInjector` applied at the wire
     #: level (after the body drain, before routing).  ``None`` in the
     #: normal, fault-free topology.
@@ -122,11 +125,14 @@ class _Handler(BaseHTTPRequestHandler):
     def _serve_obs(self) -> bool:
         """Observability surfaces: /metrics, /healthz, /readyz,
         /obs/traces (served before REST routing)."""
+        bus = getattr(self.api, "event_bus", None)
         served = obs_endpoint(
             self.path,
             self.api.metrics,
             component="mini-apiserver",
             ready_checks={"store": lambda: self.api.store is not None},
+            event_bus=bus if (bus is not None and bus.enabled) else None,
+            slo=self.slo,
         )
         if served is None:
             return False
@@ -221,9 +227,10 @@ class HttpApiServer:
     """Serve an :class:`APIServer` over a real TCP socket."""
 
     def __init__(self, api: APIServer, host: str = "127.0.0.1", port: int = 0,
-                 fault_injector: Any | None = None):
+                 fault_injector: Any | None = None, slo: Any | None = None):
         handler = type(
-            "BoundHandler", (_Handler,), {"api": api, "faults": fault_injector}
+            "BoundHandler", (_Handler,),
+            {"api": api, "faults": fault_injector, "slo": slo},
         )
         self._httpd = QuietThreadingHTTPServer((host, port), handler)
         self._thread: threading.Thread | None = None

@@ -1,0 +1,427 @@
+"""Declarative SLIs and multi-window burn-rate alerting.
+
+Every SLI is a **good/bad classification** over the security-event
+stream plus an objective (the required good fraction).  This is the
+standard reduction: a latency-percentile target ("p99 of validation
+latency under 1 ms") becomes "at least 99% of decisions are faster
+than 1 ms", so latency, deny-rate, degraded-rate and upstream-error
+SLIs all share one evaluation path.
+
+Alerting follows the multi-window, multi-burn-rate scheme from the SRE
+workbook: an alert fires when the burn rate -- the observed bad
+fraction divided by the error budget ``1 - objective`` -- exceeds a
+factor over **both** a short and a long window.  The canonical
+production pairs (5m/1h at 14.4x for pages, 6h/3d at 6x for tickets)
+are scaled down to repro time (seconds instead of hours) so a chaos
+scenario can trip a page inside a test run; the factors are kept.
+
+Samples live in per-SLI ring buffers of ``(timestamp, bad)`` pairs,
+so the engine is bounded regardless of traffic volume, and every
+evaluation exports its state as ``kubefence_slo_*`` gauges on the
+registry it was built with.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.obs.analytics.events import SecurityEvent
+
+__all__ = [
+    "BurnRateWindow",
+    "DEFAULT_WINDOWS",
+    "SliSpec",
+    "SliStatus",
+    "SloAlert",
+    "SloEngine",
+    "SloReport",
+    "default_slis",
+]
+
+#: Default latency threshold for the validation-latency SLI (1 ms is
+#: ~20x the measured compiled-engine p50, so only pathological
+#: requests classify as bad).
+DEFAULT_LATENCY_THRESHOLD_NS = 1_000_000
+
+
+@dataclass(frozen=True)
+class SliSpec:
+    """One service-level indicator over the event stream.
+
+    ``selector`` picks the events that count (the denominator);
+    ``bad_when`` classifies each selected event.  ``objective`` is the
+    required good fraction (0.99 -> 1% error budget).
+
+    ``kinds`` is an optional fast-path hint: the set of event kinds the
+    selector could possibly match.  When **every** SLI in an engine
+    declares its kinds, ``observe`` drops events of other kinds before
+    running any selector -- the bus carries audit/marker/anomaly
+    traffic too, and the engine sits on the request path.  ``None``
+    means "no promise" and disables the shortcut for the whole engine.
+    """
+
+    name: str
+    objective: float
+    selector: Callable[[SecurityEvent], bool]
+    bad_when: Callable[[SecurityEvent], bool]
+    description: str = ""
+    kinds: frozenset[str] | None = None
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.objective < 1.0:
+            raise ValueError(
+                f"SLI {self.name!r}: objective must be in (0, 1), "
+                f"got {self.objective}"
+            )
+
+    @property
+    def error_budget(self) -> float:
+        return 1.0 - self.objective
+
+
+@dataclass(frozen=True)
+class BurnRateWindow:
+    """A (short, long) window pair with its firing factor.
+
+    Production shape: page on 14.4x over 5m *and* 1h; ticket on 6x
+    over 6h *and* 3d.  The repro defaults shrink minutes/hours to
+    seconds but keep the factors, so alert math transfers.
+    """
+
+    severity: str       # "page" | "ticket"
+    short_s: float
+    long_s: float
+    factor: float
+
+    def __post_init__(self) -> None:
+        if self.short_s <= 0 or self.long_s < self.short_s:
+            raise ValueError(
+                f"window {self.severity!r}: need 0 < short <= long, "
+                f"got {self.short_s}/{self.long_s}"
+            )
+
+
+#: Repro-scaled default pairs (5m/1h -> 5s/60s, 6h/3d -> 30s/180s).
+DEFAULT_WINDOWS: tuple[BurnRateWindow, ...] = (
+    BurnRateWindow(severity="page", short_s=5.0, long_s=60.0, factor=14.4),
+    BurnRateWindow(severity="ticket", short_s=30.0, long_s=180.0, factor=6.0),
+)
+
+
+def _is_decision(event: SecurityEvent) -> bool:
+    return event.kind == "decision"
+
+
+#: Kind hint shared by the default SLIs (all decision-only).
+_DECISION_KINDS = frozenset({"decision"})
+
+
+def default_slis(
+    latency_threshold_ns: int = DEFAULT_LATENCY_THRESHOLD_NS,
+) -> tuple[SliSpec, ...]:
+    """The four SLIs the paper's serving story cares about."""
+    return (
+        SliSpec(
+            name="validation-latency",
+            objective=0.99,
+            selector=lambda e: _is_decision(e) and e.latency_ns > 0,
+            kinds=_DECISION_KINDS,
+            bad_when=lambda e: e.latency_ns > latency_threshold_ns,
+            description=(
+                f"decisions slower than {latency_threshold_ns} ns are bad "
+                "(p99-under-threshold reduction)"
+            ),
+        ),
+        SliSpec(
+            name="deny-rate",
+            objective=0.95,
+            selector=_is_decision,
+            kinds=_DECISION_KINDS,
+            bad_when=lambda e: e.outcome == "deny",
+            description="policy denials on the request stream (benign "
+                        "traffic should rarely be denied)",
+        ),
+        SliSpec(
+            name="degraded-rate",
+            objective=0.99,
+            selector=_is_decision,
+            kinds=_DECISION_KINDS,
+            bad_when=lambda e: e.outcome == "degraded",
+            description="requests answered in degraded mode (stale read "
+                        "or fail-closed refusal)",
+        ),
+        SliSpec(
+            name="upstream-error-rate",
+            objective=0.99,
+            selector=_is_decision,
+            kinds=_DECISION_KINDS,
+            bad_when=lambda e: e.outcome in ("degraded", "error") or e.code >= 500,
+            description="upstream failures reaching the client (5xx "
+                        "pass-through or degraded answers)",
+        ),
+    )
+
+
+@dataclass(frozen=True)
+class SloAlert:
+    """One firing burn-rate alert."""
+
+    sli: str
+    severity: str
+    factor: float
+    short_burn: float
+    long_burn: float
+    short_s: float
+    long_s: float
+
+    def summary(self) -> str:
+        return (
+            f"[{self.severity}] {self.sli}: burn {self.short_burn:.1f}x/"
+            f"{self.long_burn:.1f}x over {self.short_s:.0f}s/{self.long_s:.0f}s "
+            f"(threshold {self.factor:.1f}x)"
+        )
+
+
+@dataclass
+class SliStatus:
+    """Evaluation snapshot for one SLI."""
+
+    name: str
+    objective: float
+    events: int
+    bad: int
+    burn_rates: dict[str, float] = field(default_factory=dict)  # "5s" -> burn
+    alerts: list[SloAlert] = field(default_factory=list)
+
+    @property
+    def bad_fraction(self) -> float:
+        return self.bad / self.events if self.events else 0.0
+
+    @property
+    def error_budget_remaining(self) -> float:
+        """Fraction of the (all-time) error budget left, clamped at 0."""
+        budget = 1.0 - self.objective
+        return max(0.0, 1.0 - self.bad_fraction / budget) if budget else 0.0
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "objective": self.objective,
+            "events": self.events,
+            "bad": self.bad,
+            "bad_fraction": round(self.bad_fraction, 6),
+            "error_budget_remaining": round(self.error_budget_remaining, 6),
+            "burn_rates": {k: round(v, 3) for k, v in self.burn_rates.items()},
+            "alerts": [a.summary() for a in self.alerts],
+        }
+
+
+@dataclass
+class SloReport:
+    """One evaluation pass over every SLI."""
+
+    statuses: list[SliStatus]
+
+    @property
+    def alerts(self) -> list[SloAlert]:
+        return [a for s in self.statuses for a in s.alerts]
+
+    @property
+    def firing(self) -> bool:
+        return bool(self.alerts)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "firing": self.firing,
+            "slis": [s.to_dict() for s in self.statuses],
+        }
+
+    def render(self) -> str:
+        lines = ["SLO report", "=" * 64]
+        for status in self.statuses:
+            burns = "  ".join(
+                f"{w}:{b:6.1f}x" for w, b in sorted(status.burn_rates.items())
+            )
+            lines.append(
+                f"{status.name:22s} obj={status.objective:.3f}  "
+                f"events={status.events:6d}  bad={status.bad:5d} "
+                f"({100 * status.bad_fraction:5.2f}%)  {burns}"
+            )
+            for alert in status.alerts:
+                lines.append(f"  !! {alert.summary()}")
+        lines.append("-" * 64)
+        lines.append(
+            f"{len(self.alerts)} alert(s) firing" if self.firing
+            else "all SLOs within budget (no alerts firing)"
+        )
+        return "\n".join(lines)
+
+
+class _SliState:
+    """Ring of (ts, bad) samples plus all-time totals for one SLI."""
+
+    __slots__ = ("spec", "samples", "events", "bad")
+
+    def __init__(self, spec: SliSpec, max_samples: int):
+        self.spec = spec
+        self.samples: deque[tuple[float, bool]] = deque(maxlen=max_samples)
+        self.events = 0
+        self.bad = 0
+
+
+class SloEngine:
+    """Consume events, maintain sliding windows, evaluate burn rates.
+
+    Subscribe :meth:`observe` to an :class:`~repro.obs.analytics.
+    events.EventBus`; call :meth:`evaluate` whenever alert state is
+    needed (the ``/obs/slo`` surface and ``repro slo`` evaluate on
+    read -- there is no background thread to leak).
+
+    ``min_events`` guards the short window against deciding off a
+    handful of samples; ``clock`` is injectable for deterministic
+    tests (defaults to ``time.monotonic``).
+    """
+
+    def __init__(
+        self,
+        slis: tuple[SliSpec, ...] | None = None,
+        registry: Any | None = None,
+        windows: tuple[BurnRateWindow, ...] = DEFAULT_WINDOWS,
+        clock: Callable[[], float] = time.monotonic,
+        max_samples: int = 16384,
+        min_events: int = 10,
+    ):
+        self._lock = threading.Lock()
+        self._clock = clock
+        self._windows = tuple(windows)
+        self._min_events = min_events
+        self._states = [
+            _SliState(spec, max_samples) for spec in (slis or default_slis())
+        ]
+        # Fast-path kind gate: valid only when every SLI promises the
+        # kinds it can match (see SliSpec.kinds).
+        hints = [state.spec.kinds for state in self._states]
+        self._kind_gate: frozenset[str] | None = (
+            frozenset().union(*hints)
+            if hints and all(h is not None for h in hints)
+            else None
+        )
+        self._g_burn = self._g_alert = self._g_budget = None
+        if registry is not None:
+            self._g_burn = registry.gauge(
+                "kubefence_slo_burn_rate",
+                "Error-budget burn rate per SLI and window (1.0 = burning "
+                "exactly the budget).",
+                labels=("sli", "window"),
+            )
+            self._g_alert = registry.gauge(
+                "kubefence_slo_alert_active",
+                "1 while the multi-window burn-rate alert fires.",
+                labels=("sli", "severity"),
+            )
+            self._g_budget = registry.gauge(
+                "kubefence_slo_error_budget_remaining",
+                "Remaining fraction of the all-time error budget per SLI.",
+                labels=("sli",),
+            )
+
+    @property
+    def sli_names(self) -> list[str]:
+        return [state.spec.name for state in self._states]
+
+    # -- ingest ------------------------------------------------------------
+
+    def observe(self, event: SecurityEvent) -> None:
+        """Classify one event into every matching SLI (bus subscriber)."""
+        gate = self._kind_gate
+        if gate is not None and event.kind not in gate:
+            return
+        now = self._clock()
+        with self._lock:
+            for state in self._states:
+                spec = state.spec
+                if not spec.selector(event):
+                    continue
+                bad = bool(spec.bad_when(event))
+                state.samples.append((now, bad))
+                state.events += 1
+                state.bad += bad
+
+    # -- evaluation --------------------------------------------------------
+
+    @staticmethod
+    def _window_counts(
+        samples: deque[tuple[float, bool]], cutoff: float
+    ) -> tuple[int, int]:
+        total = bad = 0
+        for ts, is_bad in reversed(samples):
+            if ts < cutoff:
+                break
+            total += 1
+            bad += is_bad
+        return total, bad
+
+    def evaluate(self) -> SloReport:
+        now = self._clock()
+        statuses: list[SliStatus] = []
+        with self._lock:
+            snapshot = [
+                (state.spec, list(state.samples), state.events, state.bad)
+                for state in self._states
+            ]
+        for spec, samples, events, bad in snapshot:
+            status = SliStatus(
+                name=spec.name, objective=spec.objective, events=events, bad=bad
+            )
+            ring = deque(samples)
+            budget = spec.error_budget
+            burn_by_window: dict[float, tuple[float, int]] = {}
+            for window in self._windows:
+                for seconds in (window.short_s, window.long_s):
+                    if seconds in burn_by_window:
+                        continue
+                    total, window_bad = self._window_counts(ring, now - seconds)
+                    fraction = window_bad / total if total else 0.0
+                    burn_by_window[seconds] = (fraction / budget, total)
+            for seconds, (burn, _total) in sorted(burn_by_window.items()):
+                status.burn_rates[f"{seconds:g}s"] = burn
+            for window in self._windows:
+                short_burn, short_n = burn_by_window[window.short_s]
+                long_burn, _long_n = burn_by_window[window.long_s]
+                if (short_n >= self._min_events
+                        and short_burn > window.factor
+                        and long_burn > window.factor):
+                    status.alerts.append(
+                        SloAlert(
+                            sli=spec.name,
+                            severity=window.severity,
+                            factor=window.factor,
+                            short_burn=short_burn,
+                            long_burn=long_burn,
+                            short_s=window.short_s,
+                            long_s=window.long_s,
+                        )
+                    )
+            statuses.append(status)
+        self._export(statuses)
+        return SloReport(statuses=statuses)
+
+    def _export(self, statuses: list[SliStatus]) -> None:
+        """Mirror evaluation state into the ``kubefence_slo_*`` gauges."""
+        if self._g_burn is None:
+            return
+        for status in statuses:
+            for window, burn in status.burn_rates.items():
+                self._g_burn.labels(sli=status.name, window=window).set(burn)
+            firing = {a.severity for a in status.alerts}
+            for window in self._windows:
+                self._g_alert.labels(
+                    sli=status.name, severity=window.severity
+                ).set(1.0 if window.severity in firing else 0.0)
+            self._g_budget.labels(sli=status.name).set(
+                status.error_budget_remaining
+            )

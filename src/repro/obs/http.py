@@ -7,7 +7,15 @@ Both HTTP servers in the repo (the mini API server in
 - ``GET /metrics``    -- Prometheus text exposition (version 0.0.4);
 - ``GET /healthz``    -- liveness (``ok`` as long as the process runs);
 - ``GET /readyz``     -- readiness, with optional caller-supplied checks;
-- ``GET /obs/traces`` -- recent request traces as JSON (debug aid).
+- ``GET /obs/traces`` -- recent request traces as JSON, bounded by
+  ``?limit=`` (default 32, cap 256) and filterable by ``?trace_id=``;
+- ``GET /obs/events`` -- the security-event stream ring (when an
+  :class:`~repro.obs.analytics.events.EventBus` is wired), bounded by
+  ``?limit=`` (default 64, cap 1024) and filterable by ``?kind=``,
+  ``?user=``, ``?trace_id=``;
+- ``GET /obs/slo``    -- SLO burn-rate evaluation (when an
+  :class:`~repro.obs.analytics.slo.SloEngine` is wired); evaluation
+  happens on read, so scraping this endpoint *is* the alert check.
 
 :func:`obs_endpoint` keeps the handlers transport-agnostic: it maps a
 request path to ``(status, content_type, body)`` or ``None`` when the
@@ -19,6 +27,7 @@ from __future__ import annotations
 
 import json
 from typing import Any, Callable, Mapping
+from urllib.parse import parse_qs
 
 from repro.obs.tracing import TRACES, TraceBuffer
 
@@ -28,7 +37,36 @@ METRICS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
 _JSON = "application/json"
 
 #: Paths served by the observability layer.
-OBS_PATHS = ("/metrics", "/healthz", "/readyz", "/livez", "/obs/traces")
+OBS_PATHS = (
+    "/metrics", "/healthz", "/readyz", "/livez",
+    "/obs/traces", "/obs/events", "/obs/slo",
+)
+
+#: Response-size bounds: a full TraceBuffer/EventBus dump must not be
+#: reachable from one unauthenticated GET.
+TRACES_DEFAULT_LIMIT = 32
+TRACES_MAX_LIMIT = 256
+EVENTS_DEFAULT_LIMIT = 64
+EVENTS_MAX_LIMIT = 1024
+
+
+def _int_param(params: Mapping[str, list[str]], name: str,
+               default: int, cap: int) -> int:
+    """Parse a bounded non-negative integer query parameter; bad input
+    falls back to the default rather than erroring a debug surface."""
+    raw = params.get(name, [None])[0]
+    if raw is None:
+        return default
+    try:
+        value = int(raw)
+    except ValueError:
+        return default
+    return max(0, min(value, cap))
+
+
+def _str_param(params: Mapping[str, list[str]], name: str) -> str | None:
+    raw = params.get(name, [None])[0]
+    return raw if raw else None
 
 
 def obs_endpoint(
@@ -37,13 +75,19 @@ def obs_endpoint(
     component: str = "kubefence",
     ready_checks: Mapping[str, Callable[[], bool]] | None = None,
     traces: TraceBuffer = TRACES,
+    event_bus: Any | None = None,
+    slo: Any | None = None,
 ) -> tuple[int, str, bytes] | None:
     """Serve an observability path, or return ``None`` for API traffic.
 
     ``ready_checks`` maps check names to callables; any falsy/raising
     check flips ``/readyz`` to 503 with the failing checks named.
+    ``event_bus``/``slo`` wire the ``/obs/events`` and ``/obs/slo``
+    analytics surfaces; unwired, those paths answer 404 with a hint
+    instead of falling through to API routing.
     """
-    path = path.split("?", 1)[0]
+    path, _, query = path.partition("?")
+    params = parse_qs(query) if query else {}
     if path == "/metrics":
         return 200, METRICS_CONTENT_TYPE, registry.expose().encode()
     if path in ("/healthz", "/livez"):
@@ -66,5 +110,35 @@ def obs_endpoint(
         }
         return status, _JSON, json.dumps(body).encode()
     if path == "/obs/traces":
-        return 200, _JSON, traces.to_json().encode()
+        trace_id = _str_param(params, "trace_id")
+        if trace_id is not None:
+            found = traces.find(trace_id)
+            payload = [found.to_dict()] if found is not None else []
+            return 200, _JSON, json.dumps(payload, sort_keys=True).encode()
+        limit = _int_param(
+            params, "limit", TRACES_DEFAULT_LIMIT, TRACES_MAX_LIMIT
+        )
+        return 200, _JSON, traces.to_json(limit).encode()
+    if path == "/obs/events":
+        if event_bus is None:
+            return 404, _JSON, json.dumps(
+                {"error": "no event bus wired on this component"}
+            ).encode()
+        limit = _int_param(
+            params, "limit", EVENTS_DEFAULT_LIMIT, EVENTS_MAX_LIMIT
+        )
+        body_text = event_bus.to_json(
+            limit=limit,
+            kind=_str_param(params, "kind"),
+            user=_str_param(params, "user"),
+            trace_id=_str_param(params, "trace_id"),
+        )
+        return 200, _JSON, body_text.encode()
+    if path == "/obs/slo":
+        if slo is None:
+            return 404, _JSON, json.dumps(
+                {"error": "no SLO engine wired on this component"}
+            ).encode()
+        report = slo.evaluate()
+        return 200, _JSON, json.dumps(report.to_dict(), sort_keys=True).encode()
     return None

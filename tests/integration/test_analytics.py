@@ -1,0 +1,217 @@
+"""Integration tests for the security-analytics pipeline.
+
+The acceptance criteria of the analytics layer, asserted end-to-end:
+
+- the forensics engine reconstructs a trace-correlated attack timeline
+  for **every** mitigated Table III attack (campaign markers + proxy
+  denials + audit events joined on trace ids);
+- the SLO engine fires a burn-rate alert under injected chaos and
+  stays silent on a clean run;
+- the ``repro slo`` / ``repro forensics`` CLI subcommands expose both
+  behaviours through their exit codes;
+- the HTTP surfaces (``/obs/events``, ``/obs/slo``) serve the live
+  pipeline state.
+"""
+
+import json
+import urllib.request
+
+import pytest
+
+from repro.attacks.runner import run_campaign
+from repro.cli import main
+from repro.core.pipeline import generate_policy
+from repro.core.proxy import KubeFenceProxy
+from repro.faults import SCENARIOS, FaultInjector, FaultyAPIServer
+from repro.k8s.apiserver import Cluster
+from repro.obs.analytics import (
+    EventBus,
+    ForensicsEngine,
+    SloEngine,
+    render_forensics_report,
+)
+from repro.operators import get_chart
+from repro.operators.client import OperatorClient
+
+
+@pytest.fixture(scope="module")
+def campaign_with_analytics():
+    """One nginx campaign with the full pipeline attached."""
+    bus = EventBus()
+    forensics = ForensicsEngine()
+    slo = SloEngine()
+    bus.subscribe(forensics.ingest)
+    bus.subscribe(slo.observe)
+    result = run_campaign(
+        get_chart("nginx"), event_bus=bus, anomaly=True
+    )
+    return result, bus, forensics, slo
+
+
+class TestForensicsOverCampaign:
+    def test_every_attack_yields_a_timeline(self, campaign_with_analytics):
+        result, _bus, forensics, _slo = campaign_with_analytics
+        timelines = forensics.timelines()
+        assert len(timelines) == len(result.kubefence)
+        assert ({t.attack_id for t in timelines}
+                == {o.attack.attack_id for o in result.kubefence})
+
+    def test_every_mitigated_attack_is_trace_correlated(
+        self, campaign_with_analytics
+    ):
+        """For each mitigated attack the timeline must carry a denial
+        point whose trace id joins back into the event stream."""
+        result, bus, forensics, _slo = campaign_with_analytics
+        mitigated_ids = {
+            o.attack.attack_id for o in result.kubefence if o.mitigated
+        }
+        assert mitigated_ids, "campaign mitigated nothing; fixture is broken"
+        by_attack = {t.attack_id: t for t in forensics.timelines()}
+        for attack_id in mitigated_ids:
+            timeline = by_attack[attack_id]
+            assert timeline.mitigated, f"{attack_id}: no denial point found"
+            denial = timeline.denial
+            assert denial.outcome == "deny" and denial.code == 403
+            assert denial.trace_id, f"{attack_id}: denial lacks a trace id"
+            assert denial.trace_id in timeline.trace_ids
+            joined = bus.events(trace_id=denial.trace_id)
+            assert denial in joined
+            # The denial names what the policy rejected.
+            assert denial.detail.get("violations")
+
+    def test_timelines_match_campaign_verdicts(self, campaign_with_analytics):
+        result, _bus, forensics, _slo = campaign_with_analytics
+        verdicts = {o.attack.attack_id: o.mitigated for o in result.kubefence}
+        for timeline in forensics.timelines():
+            assert timeline.mitigated == verdicts[timeline.attack_id]
+
+    def test_no_post_denial_activity_on_clean_campaign(
+        self, campaign_with_analytics
+    ):
+        _result, _bus, forensics, _slo = campaign_with_analytics
+        assert all(not t.post_denial for t in forensics.timelines())
+
+    def test_blast_radius_covers_targeted_fields(self, campaign_with_analytics):
+        result, _bus, forensics, _slo = campaign_with_analytics
+        by_attack = {t.attack_id: t for t in forensics.timelines()}
+        for outcome in result.kubefence:
+            timeline = by_attack[outcome.attack.attack_id]
+            for fieldname in outcome.attack.targeted_fields:
+                assert fieldname in timeline.blast_radius["fields"]
+
+    def test_anomaly_alerts_join_the_stream(self, campaign_with_analytics):
+        result, bus, _forensics, _slo = campaign_with_analytics
+        assert result.anomaly_alerts
+        scored = bus.events(kind="anomaly")
+        assert len(scored) == len(result.anomaly_alerts)
+        assert all(e.score >= 0.3 for e in scored)
+
+    def test_rendered_report_mentions_every_attack(
+        self, campaign_with_analytics
+    ):
+        _result, _bus, forensics, _slo = campaign_with_analytics
+        text = render_forensics_report(forensics.timelines())
+        for attack_id in ("E1", "M1"):
+            assert attack_id in text
+
+
+class TestSloUnderChaos:
+    @staticmethod
+    def _drive(chaos: bool) -> "SloEngine":
+        chart = get_chart("nginx")
+        validator = generate_policy(chart)
+        bus = EventBus()
+        engine = SloEngine()
+        bus.subscribe(engine.observe)
+        cluster = Cluster(event_bus=bus)
+        deployed = OperatorClient(
+            KubeFenceProxy(cluster.api, validator)
+        ).deploy_chart(chart)
+        assert deployed.all_ok
+        upstream = cluster.api
+        if chaos:
+            upstream = FaultyAPIServer(
+                cluster.api, FaultInjector(SCENARIOS["blackout"], seed=7)
+            )
+        client = OperatorClient(KubeFenceProxy(upstream, validator, event_bus=bus))
+        for _ in range(3):
+            client.reconcile(deployed)
+        return engine
+
+    def test_clean_run_is_silent(self):
+        report = self._drive(chaos=False).evaluate()
+        assert not report.firing, [a.summary() for a in report.alerts]
+
+    def test_blackout_fires_burn_rate_alert(self):
+        report = self._drive(chaos=True).evaluate()
+        assert report.firing
+        slis = {a.sli for a in report.alerts}
+        assert "upstream-error-rate" in slis
+        assert any(a.severity == "page" for a in report.alerts)
+
+
+class TestCli:
+    def test_slo_clean_exits_zero(self, capsys):
+        assert main(["slo", "nginx"]) == 0
+        assert "no alerts firing" in capsys.readouterr().out
+
+    def test_slo_chaos_exits_one_with_alert(self, capsys):
+        assert main(["slo", "nginx", "--chaos", "--json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["firing"] is True
+
+    def test_forensics_campaign_mode(self, capsys):
+        assert main(["forensics", "nginx"]) == 0
+        out = capsys.readouterr().out
+        assert "MITIGATED" in out and "E1" in out
+
+    def test_forensics_replays_jsonl_and_flags_post_denial(
+        self, tmp_path, capsys
+    ):
+        from repro.obs.analytics.events import SecurityEvent, dump_jsonl
+
+        events = [
+            SecurityEvent(kind="marker", user="eve",
+                          detail={"attack_id": "E1", "user": "eve"}),
+            SecurityEvent(kind="decision", user="eve", outcome="deny",
+                          code=403, trace_id="t1"),
+            SecurityEvent(kind="decision", user="eve", outcome="allow",
+                          code=200, trace_id="t2"),
+        ]
+        stream = tmp_path / "events.jsonl"
+        stream.write_text(dump_jsonl(events))
+        assert main(["forensics", "--events", str(stream)]) == 1
+        assert "POST-DENIAL ACTIVITY" in capsys.readouterr().out
+
+
+class TestHttpSurfaces:
+    def test_proxy_serves_events_and_slo(self):
+        from repro.core.proxy import HttpKubeFenceProxy
+        from repro.helm.chart import render_chart
+        from repro.k8s.http import HttpApiServer, HttpClient
+
+        chart = get_chart("nginx")
+        validator = generate_policy(chart)
+        cluster = Cluster()
+        server = HttpApiServer(cluster.api).start()
+        proxy = HttpKubeFenceProxy(server.base_url, validator).start()
+        try:
+            client = HttpClient(proxy.base_url, username="nginx-operator")
+            for manifest in render_chart(chart):
+                status, _body = client.apply(manifest)
+                assert status in (200, 201), manifest["kind"]
+            base = proxy.base_url
+            with urllib.request.urlopen(base + "/obs/events?limit=500") as resp:
+                payload = json.loads(resp.read())
+            assert payload["events"], "proxy published no events"
+            kinds = {e["kind"] for e in payload["events"]}
+            assert "decision" in kinds
+            with urllib.request.urlopen(base + "/obs/slo") as resp:
+                slo_payload = json.loads(resp.read())
+            assert slo_payload["firing"] is False
+            assert {s["name"] for s in slo_payload["slis"]} >= {
+                "deny-rate", "upstream-error-rate"
+            }
+        finally:
+            proxy.stop()
+            server.stop()

@@ -1,0 +1,103 @@
+"""Concurrency hammer for the audit log.
+
+Under the HTTP topology every ThreadingHTTPServer worker records into
+one :class:`AuditLog` while audit2rbac / the anomaly bootstrap /
+forensics iterate it.  Without the log's internal lock this test
+fails with ``RuntimeError: list changed size during iteration`` or a
+torn JSONL dump.
+"""
+
+import threading
+
+from repro.k8s.audit import AuditEvent, AuditLog
+
+WRITERS = 4
+RECORDS_PER_WRITER = 400
+READ_ROUNDS = 150
+
+
+def _event(worker: int, seq: int) -> AuditEvent:
+    return AuditEvent(
+        request_uri=f"/api/v1/namespaces/default/pods/p{worker}-{seq}",
+        verb="update",
+        username=f"writer-{worker}",
+        groups=("system:authenticated",),
+        resource="pods",
+        api_group="",
+        namespace="default",
+        name=f"p{worker}-{seq}",
+        response_code=200 if seq % 3 else 403,
+    )
+
+
+class TestAuditLogHammer:
+    def test_record_while_iterating(self):
+        log = AuditLog()
+        errors: list[BaseException] = []
+        start = threading.Barrier(WRITERS + 2)
+
+        def write(worker: int) -> None:
+            try:
+                start.wait()
+                for seq in range(RECORDS_PER_WRITER):
+                    log.record(_event(worker, seq))
+            except BaseException as exc:  # noqa: BLE001 - the assertion
+                errors.append(exc)
+
+        def read() -> None:
+            try:
+                start.wait()
+                for _ in range(READ_ROUNDS):
+                    for event in log.successful():
+                        assert 200 <= event.response_code < 300
+                    log.for_user("writer-0")
+                    len(log)
+            except BaseException as exc:  # noqa: BLE001
+                errors.append(exc)
+
+        def dump() -> None:
+            try:
+                start.wait()
+                for _ in range(READ_ROUNDS // 3):
+                    text = log.dump_jsonl()
+                    if text:
+                        # Every dumped line must be complete JSON: a
+                        # torn dump would blow up the reparse.
+                        AuditLog.from_jsonl(text)
+            except BaseException as exc:  # noqa: BLE001
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=write, args=(n,)) for n in range(WRITERS)
+        ] + [threading.Thread(target=read), threading.Thread(target=dump)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60)
+        assert not errors, errors
+        assert len(log) == WRITERS * RECORDS_PER_WRITER
+
+    def test_clear_while_recording(self):
+        log = AuditLog()
+        errors: list[BaseException] = []
+        done = threading.Event()
+
+        def write() -> None:
+            try:
+                seq = 0
+                while not done.is_set():
+                    log.record(_event(0, seq))
+                    seq += 1
+            except BaseException as exc:  # noqa: BLE001
+                errors.append(exc)
+
+        thread = threading.Thread(target=write)
+        thread.start()
+        try:
+            for _ in range(200):
+                log.clear()
+                log.events()
+        finally:
+            done.set()
+            thread.join(timeout=30)
+        assert not errors, errors

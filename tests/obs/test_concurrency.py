@@ -1,0 +1,93 @@
+"""Concurrency hammer for the trace ring buffer.
+
+The buffer is written by every ThreadingHTTPServer worker while the
+``/obs/traces`` surface exports it; this test drives that
+append-while-export interleaving hard enough that a missing lock
+fails with RuntimeError (deque mutated during iteration) or corrupt
+JSON.
+"""
+
+import json
+import threading
+
+from repro.obs import TraceBuffer
+from repro.obs.tracing import Trace
+
+WRITERS = 4
+RECORDS_PER_WRITER = 500
+READ_ROUNDS = 200
+
+
+def _finished(name: str) -> Trace:
+    t = Trace(name)
+    t.finish()
+    return t
+
+
+class TestTraceBufferHammer:
+    def test_append_while_export(self):
+        buffer = TraceBuffer(maxlen=256)
+        errors: list[BaseException] = []
+        start = threading.Barrier(WRITERS + 2)
+
+        def write(worker: int) -> None:
+            try:
+                start.wait()
+                for i in range(RECORDS_PER_WRITER):
+                    buffer.record(_finished(f"w{worker}.{i}"))
+            except BaseException as exc:  # noqa: BLE001 - the assertion
+                errors.append(exc)
+
+        def export() -> None:
+            try:
+                start.wait()
+                for _ in range(READ_ROUNDS):
+                    payload = json.loads(buffer.to_json(limit=64))
+                    assert isinstance(payload, list)
+                    for snapshot in buffer.traces():
+                        assert snapshot.trace_id
+            except BaseException as exc:  # noqa: BLE001
+                errors.append(exc)
+
+        def probe() -> None:
+            try:
+                start.wait()
+                for _ in range(READ_ROUNDS):
+                    buffer.find("0" * 16)
+                    len(buffer)
+            except BaseException as exc:  # noqa: BLE001
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=write, args=(n,)) for n in range(WRITERS)
+        ] + [threading.Thread(target=export), threading.Thread(target=probe)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=30)
+        assert not errors, errors
+        # The ring keeps exactly its bound once overfilled.
+        assert len(buffer) == 256
+
+    def test_clear_while_recording(self):
+        buffer = TraceBuffer(maxlen=64)
+        errors: list[BaseException] = []
+        done = threading.Event()
+
+        def write() -> None:
+            try:
+                while not done.is_set():
+                    buffer.record(_finished("churn"))
+            except BaseException as exc:  # noqa: BLE001
+                errors.append(exc)
+
+        thread = threading.Thread(target=write)
+        thread.start()
+        try:
+            for _ in range(200):
+                buffer.clear()
+                buffer.to_json()
+        finally:
+            done.set()
+            thread.join(timeout=30)
+        assert not errors, errors

@@ -1,0 +1,194 @@
+"""Unit tests for the forensics engine: session reconstruction,
+marker-keyed timeline splitting, denial-point/post-denial analysis,
+blast radius, and the rendered report."""
+
+from repro.obs.analytics.events import SecurityEvent, dump_jsonl
+from repro.obs.analytics.forensics import (
+    AttackTimeline,
+    ForensicsEngine,
+    render_forensics_report,
+)
+
+
+def _marker(user: str, attack_id: str, fields=("hostNetwork",)) -> SecurityEvent:
+    return SecurityEvent(
+        kind="marker", source="campaign", user=user,
+        detail={
+            "attack_id": attack_id,
+            "reference": f"CVE-{attack_id}",
+            "title": f"attack {attack_id}",
+            "targeted_fields": list(fields),
+            "user": user,
+        },
+    )
+
+
+def _deny(user: str, trace_id: str) -> SecurityEvent:
+    return SecurityEvent(
+        kind="decision", source="proxy", user=user, verb="update",
+        resource="Deployment", name="web", outcome="deny", code=403,
+        trace_id=trace_id,
+        detail={"reason": "field-not-allowed",
+                "violations": ["spec.hostNetwork: not allowed"]},
+    )
+
+
+def _allow(user: str, trace_id: str = "") -> SecurityEvent:
+    return SecurityEvent(
+        kind="decision", source="proxy", user=user, verb="update",
+        resource="Deployment", name="web", outcome="allow", code=200,
+        trace_id=trace_id,
+    )
+
+
+def _audit(user: str, code: int, trace_id: str = "") -> SecurityEvent:
+    return SecurityEvent(
+        kind="audit", source="apiserver", user=user, verb="update",
+        resource="deployments", name="web",
+        outcome="allow" if code < 400 else "error",
+        code=code, trace_id=trace_id,
+    )
+
+
+class TestSessions:
+    def test_events_grouped_by_identity(self):
+        engine = ForensicsEngine()
+        engine.ingest(_allow("alice"))
+        engine.ingest(_deny("eve", "t1"))
+        engine.ingest(_allow("alice"))
+        sessions = engine.sessions()
+        assert set(sessions) == {"alice", "eve"}
+        assert len(sessions["alice"]) == 2
+
+    def test_markers_keyed_into_detail_identity(self):
+        engine = ForensicsEngine()
+        engine.ingest(SecurityEvent(kind="marker", detail={"user": "eve"}))
+        assert set(engine.sessions()) == {"eve"}
+
+
+class TestTimelines:
+    def test_marker_split_produces_one_timeline_per_attack(self):
+        engine = ForensicsEngine()
+        engine.ingest(_marker("eve", "E1"))
+        engine.ingest(_deny("eve", "t1"))
+        engine.ingest(_audit("eve", 403, "t1"))  # echo of the denial
+        engine.ingest(_marker("eve", "E2", fields=("externalIPs",)))
+        engine.ingest(_deny("eve", "t2"))
+        timelines = engine.timelines()
+        assert [t.attack_id for t in timelines] == ["E1", "E2"]
+        assert all(t.identity == "eve" for t in timelines)
+        e1 = timelines[0]
+        assert e1.reference == "CVE-E1"
+        assert e1.mitigated
+        assert e1.denial is not None and e1.denial.trace_id == "t1"
+        # The audit echo shares the denial's trace id: not post-denial.
+        assert e1.post_denial == []
+
+    def test_post_denial_activity_is_the_smoking_gun(self):
+        engine = ForensicsEngine()
+        engine.ingest(_marker("eve", "E1"))
+        engine.ingest(_deny("eve", "t1"))
+        engine.ingest(_allow("eve", "t9"))  # slipped through afterwards
+        (timeline,) = engine.timelines()
+        assert timeline.mitigated
+        assert [e.trace_id for e in timeline.post_denial] == ["t9"]
+        report = engine.report()
+        assert report["post_denial_activity"] == 1
+
+    def test_unmitigated_attack(self):
+        engine = ForensicsEngine()
+        engine.ingest(_marker("eve", "E5"))
+        engine.ingest(_allow("eve", "t3"))
+        engine.ingest(_audit("eve", 200, "t3"))
+        (timeline,) = engine.timelines()
+        assert not timeline.mitigated
+        assert timeline.denial is None
+
+    def test_audit_4xx_counts_as_denial_point(self):
+        """When only the API server refused (no proxy deny), the 403
+        audit outcome is the denial point."""
+        engine = ForensicsEngine()
+        engine.ingest(_marker("eve", "E6"))
+        engine.ingest(_audit("eve", 403, "t4"))
+        (timeline,) = engine.timelines()
+        assert timeline.mitigated
+        assert timeline.denial.kind == "audit"
+
+    def test_markerless_benign_session_is_not_an_attack(self):
+        engine = ForensicsEngine()
+        engine.ingest(_allow("operator"))
+        engine.ingest(_allow("operator"))
+        assert engine.timelines() == []
+
+    def test_markerless_suspicious_session_is_reconstructed(self):
+        engine = ForensicsEngine()
+        engine.ingest(_allow("eve"))
+        engine.ingest(_deny("eve", "t1"))
+        (timeline,) = engine.timelines()
+        assert timeline.attack_id == ""
+        assert len(timeline.entries) == 2
+
+    def test_identity_filter(self):
+        engine = ForensicsEngine()
+        engine.ingest(_marker("eve", "E1"))
+        engine.ingest(_deny("eve", "t1"))
+        engine.ingest(_marker("mallory", "E2"))
+        engine.ingest(_deny("mallory", "t2"))
+        assert [t.identity for t in engine.timelines("mallory")] == ["mallory"]
+
+
+class TestDerived:
+    def test_blast_radius_merges_marker_and_violations(self):
+        engine = ForensicsEngine()
+        engine.ingest(_marker("eve", "E1", fields=("hostNetwork", "hostPID")))
+        engine.ingest(_deny("eve", "t1"))
+        (timeline,) = engine.timelines()
+        radius = timeline.blast_radius
+        assert "Deployment/web" in radius["resources"]
+        assert "hostNetwork" in radius["fields"]
+        assert any("spec.hostNetwork" in f for f in radius["fields"])
+
+    def test_trace_ids_deduplicated_in_order(self):
+        timeline = AttackTimeline(
+            identity="eve",
+            entries=[_deny("eve", "t1"), _audit("eve", 403, "t1"),
+                     _allow("eve", "t2")],
+        )
+        assert timeline.trace_ids == ["t1", "t2"]
+
+    def test_anomaly_scores_collected(self):
+        timeline = AttackTimeline(
+            identity="eve",
+            entries=[SecurityEvent(kind="anomaly", user="eve", score=0.8)],
+        )
+        assert timeline.anomaly_scores == [0.8]
+
+    def test_to_dict_shape(self):
+        engine = ForensicsEngine()
+        engine.ingest(_marker("eve", "E1"))
+        engine.ingest(_deny("eve", "t1"))
+        (timeline,) = engine.timelines()
+        data = timeline.to_dict()
+        assert data["attack_id"] == "E1"
+        assert data["mitigated"] is True
+        assert data["denial"]["trace_id"] == "t1"
+
+
+class TestIngestAndRender:
+    def test_from_jsonl(self):
+        events = [_marker("eve", "E1"), _deny("eve", "t1")]
+        engine = ForensicsEngine.from_jsonl(dump_jsonl(events))
+        assert len(engine) == 2
+        assert engine.timelines()[0].attack_id == "E1"
+
+    def test_report_render(self):
+        engine = ForensicsEngine()
+        engine.ingest(_marker("eve", "E1"))
+        engine.ingest(_deny("eve", "t1"))
+        engine.ingest(_allow("eve", "t9"))
+        text = render_forensics_report(engine.timelines())
+        assert "E1" in text and "MITIGATED" in text
+        assert "POST-DENIAL ACTIVITY" in text
+
+    def test_empty_report(self):
+        assert "clean stream" in render_forensics_report([])

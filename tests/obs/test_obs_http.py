@@ -1,0 +1,147 @@
+"""Unit tests for the transport-agnostic observability endpoint
+dispatcher: query-bounded /obs/traces, the /obs/events and /obs/slo
+surfaces, and fall-through to API routing."""
+
+import json
+
+from repro.obs.analytics.events import EventBus, SecurityEvent
+from repro.obs.analytics.slo import SloEngine
+from repro.obs.http import (
+    EVENTS_DEFAULT_LIMIT,
+    TRACES_DEFAULT_LIMIT,
+    TRACES_MAX_LIMIT,
+    obs_endpoint,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracing import Trace, TraceBuffer
+
+
+def _registry() -> MetricsRegistry:
+    registry = MetricsRegistry()
+    registry.counter("demo_total", "demo").inc()
+    return registry
+
+
+def _traces(count: int) -> TraceBuffer:
+    buffer = TraceBuffer(maxlen=1024)
+    for i in range(count):
+        t = Trace(f"req.{i}", trace_id=f"{i:016x}")
+        t.finish()
+        buffer.record(t)
+    return buffer
+
+
+def _serve(path: str, **kwargs):
+    result = obs_endpoint(path, _registry(), **kwargs)
+    assert result is not None, f"{path} fell through to API routing"
+    return result
+
+
+class TestCoreSurfaces:
+    def test_api_paths_fall_through(self):
+        assert obs_endpoint("/api/v1/namespaces/default/pods", _registry()) is None
+
+    def test_metrics(self):
+        status, content_type, body = _serve("/metrics")
+        assert status == 200
+        assert "demo_total 1" in body.decode()
+        assert content_type.startswith("text/plain")
+
+    def test_readyz_reports_failing_checks(self):
+        status, _, body = _serve(
+            "/readyz", ready_checks={"store": lambda: False}
+        )
+        assert status == 503
+        assert json.loads(body)["failed"] == ["store"]
+
+
+class TestTracesQuery:
+    def test_default_limit(self):
+        _, _, body = _serve("/obs/traces", traces=_traces(100))
+        assert len(json.loads(body)) == TRACES_DEFAULT_LIMIT
+
+    def test_explicit_limit(self):
+        _, _, body = _serve("/obs/traces?limit=5", traces=_traces(100))
+        payload = json.loads(body)
+        assert len(payload) == 5
+        # Newest traces win.
+        assert payload[-1]["name"] == "req.99"
+
+    def test_limit_capped(self):
+        _, _, body = _serve(
+            f"/obs/traces?limit={TRACES_MAX_LIMIT * 10}", traces=_traces(600)
+        )
+        assert len(json.loads(body)) == TRACES_MAX_LIMIT
+
+    def test_bad_limit_falls_back_to_default(self):
+        _, _, body = _serve("/obs/traces?limit=banana", traces=_traces(100))
+        assert len(json.loads(body)) == TRACES_DEFAULT_LIMIT
+
+    def test_trace_id_lookup(self):
+        wanted = f"{7:016x}"
+        _, _, body = _serve(
+            f"/obs/traces?trace_id={wanted}", traces=_traces(20)
+        )
+        payload = json.loads(body)
+        assert [t["trace_id"] for t in payload] == [wanted]
+
+    def test_trace_id_miss_is_empty_list(self):
+        status, _, body = _serve(
+            "/obs/traces?trace_id=ffffffffffffffff", traces=_traces(5)
+        )
+        assert status == 200
+        assert json.loads(body) == []
+
+
+class TestEventsSurface:
+    def _bus(self) -> EventBus:
+        bus = EventBus()
+        for i in range(100):
+            bus.publish(SecurityEvent(
+                kind="decision", user="eve" if i % 2 else "alice",
+                outcome="deny" if i % 4 == 0 else "allow",
+                trace_id=f"t{i}",
+            ))
+        return bus
+
+    def test_unwired_is_404_with_hint(self):
+        status, _, body = _serve("/obs/events")
+        assert status == 404
+        assert "no event bus" in json.loads(body)["error"]
+
+    def test_default_limit_and_schema(self):
+        _, _, body = _serve("/obs/events", event_bus=self._bus())
+        payload = json.loads(body)
+        assert payload["schema"] == 1
+        assert len(payload["events"]) == EVENTS_DEFAULT_LIMIT
+        assert payload["published"] == 100
+
+    def test_filters(self):
+        bus = self._bus()
+        _, _, body = _serve("/obs/events?user=alice&limit=500", event_bus=bus)
+        events = json.loads(body)["events"]
+        assert events and all(e["user"] == "alice" for e in events)
+        _, _, body = _serve("/obs/events?trace_id=t8", event_bus=bus)
+        assert [e["trace_id"] for e in json.loads(body)["events"]] == ["t8"]
+
+
+class TestSloSurface:
+    def test_unwired_is_404_with_hint(self):
+        status, _, body = _serve("/obs/slo")
+        assert status == 404
+        assert "no SLO engine" in json.loads(body)["error"]
+
+    def test_evaluation_on_read(self):
+        engine = SloEngine()
+        for _ in range(20):
+            engine.observe(SecurityEvent(
+                kind="decision", outcome="error", code=503, latency_ns=100
+            ))
+        status, _, body = _serve("/obs/slo", slo=engine)
+        payload = json.loads(body)
+        assert status == 200
+        assert payload["firing"] is True
+        assert any(
+            s["alerts"] for s in payload["slis"]
+            if s["name"] == "upstream-error-rate"
+        )

@@ -1,0 +1,164 @@
+"""Unit tests for the SLO engine: SLI classification, sliding-window
+burn-rate math, multi-window alert gating, and gauge export.
+
+All tests drive a fake clock so window membership is deterministic.
+"""
+
+import pytest
+
+from repro.obs.analytics.events import SecurityEvent
+from repro.obs.analytics.slo import (
+    DEFAULT_WINDOWS,
+    BurnRateWindow,
+    SliSpec,
+    SloEngine,
+    default_slis,
+)
+from repro.obs.metrics import MetricsRegistry
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 1000.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+def _decision(outcome="allow", latency_ns=1_000, code=200) -> SecurityEvent:
+    return SecurityEvent(
+        kind="decision", source="proxy", outcome=outcome,
+        latency_ns=latency_ns, code=code,
+    )
+
+
+def _engine(clock, registry=None, min_events=10) -> SloEngine:
+    return SloEngine(registry=registry, clock=clock, min_events=min_events)
+
+
+class TestSliSpecs:
+    def test_objective_bounds_validated(self):
+        with pytest.raises(ValueError, match="objective"):
+            SliSpec(name="x", objective=1.0,
+                    selector=lambda e: True, bad_when=lambda e: False)
+
+    def test_default_slis_classify(self):
+        by_name = {s.name: s for s in default_slis(latency_threshold_ns=100)}
+        slow = _decision(latency_ns=101)
+        deny = _decision(outcome="deny", code=403)
+        degraded = _decision(outcome="degraded", code=503)
+        audit = SecurityEvent(kind="audit", outcome="error", code=500)
+        assert by_name["validation-latency"].bad_when(slow)
+        assert by_name["deny-rate"].bad_when(deny)
+        assert by_name["degraded-rate"].bad_when(degraded)
+        assert by_name["upstream-error-rate"].bad_when(degraded)
+        # Non-decision events never enter the denominators.
+        assert not any(s.selector(audit) for s in by_name.values())
+
+
+class TestBurnRateAlerting:
+    def test_clean_traffic_is_silent(self):
+        clock = FakeClock()
+        engine = _engine(clock)
+        for _ in range(50):
+            engine.observe(_decision())
+        report = engine.evaluate()
+        assert not report.firing
+        assert all(not s.alerts for s in report.statuses)
+
+    def test_total_failure_pages(self):
+        clock = FakeClock()
+        engine = _engine(clock)
+        for _ in range(20):
+            engine.observe(_decision(outcome="error", code=503))
+        report = engine.evaluate()
+        severities = {a.severity for a in report.alerts}
+        slis = {a.sli for a in report.alerts}
+        assert "page" in severities
+        assert "upstream-error-rate" in slis
+        # Burn = bad_fraction / budget = 1.0 / 0.01 = 100x.
+        status = next(
+            s for s in report.statuses if s.name == "upstream-error-rate"
+        )
+        assert status.burn_rates["5s"] == pytest.approx(100.0)
+        assert status.error_budget_remaining == 0.0
+
+    def test_min_events_guards_small_samples(self):
+        clock = FakeClock()
+        engine = _engine(clock, min_events=10)
+        for _ in range(5):  # fewer than min_events, all bad
+            engine.observe(_decision(outcome="error", code=503))
+        assert not engine.evaluate().firing
+
+    def test_short_spike_outside_long_window_does_not_fire(self):
+        """Multi-window gating: bad burst, then the short window goes
+        quiet -- a page needs BOTH windows above the factor."""
+        clock = FakeClock()
+        engine = SloEngine(
+            clock=clock, min_events=5,
+            windows=(BurnRateWindow("page", short_s=5.0, long_s=60.0, factor=14.4),),
+        )
+        for _ in range(20):
+            engine.observe(_decision(outcome="error", code=503))
+        clock.advance(10.0)  # burst leaves the 5s window, stays in 60s
+        for _ in range(20):
+            engine.observe(_decision())
+        report = engine.evaluate()
+        assert not report.firing
+        status = next(
+            s for s in report.statuses if s.name == "upstream-error-rate"
+        )
+        assert status.burn_rates["5s"] == 0.0
+        assert status.burn_rates["60s"] > 14.4  # long window still hot
+
+    def test_old_samples_age_out_of_every_window(self):
+        clock = FakeClock()
+        engine = _engine(clock)
+        for _ in range(20):
+            engine.observe(_decision(outcome="error", code=503))
+        clock.advance(max(w.long_s for w in DEFAULT_WINDOWS) + 1)
+        for _ in range(20):
+            engine.observe(_decision())
+        assert not engine.evaluate().firing
+
+    def test_latency_sli_uses_threshold(self):
+        clock = FakeClock()
+        engine = SloEngine(
+            slis=default_slis(latency_threshold_ns=1_000),
+            clock=clock, min_events=5,
+        )
+        for _ in range(20):
+            engine.observe(_decision(latency_ns=50_000))
+        report = engine.evaluate()
+        assert any(a.sli == "validation-latency" for a in report.alerts)
+
+
+class TestExportAndReport:
+    def test_gauges_exported_on_evaluate(self):
+        clock = FakeClock()
+        registry = MetricsRegistry()
+        engine = _engine(clock, registry=registry)
+        for _ in range(20):
+            engine.observe(_decision(outcome="error", code=503))
+        engine.evaluate()
+        text = registry.expose()
+        assert "kubefence_slo_burn_rate" in text
+        assert ('kubefence_slo_alert_active{sli="upstream-error-rate",'
+                'severity="page"} 1' in text)
+        assert ('kubefence_slo_error_budget_remaining'
+                '{sli="upstream-error-rate"} 0' in text)
+
+    def test_report_render_and_dict(self):
+        clock = FakeClock()
+        engine = _engine(clock)
+        for _ in range(20):
+            engine.observe(_decision(outcome="error", code=503))
+        report = engine.evaluate()
+        text = report.render()
+        assert "!!" in text and "upstream-error-rate" in text
+        data = report.to_dict()
+        assert data["firing"] is True
+        assert {s["name"] for s in data["slis"]} == set(engine.sli_names)
