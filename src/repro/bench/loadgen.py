@@ -1,0 +1,333 @@
+"""Closed-loop multi-identity load generator (``repro loadtest``).
+
+The single-request microbenchmarks (``benchmarks/compare_bench.py``)
+measure *latency* of one thread doing one thing; they cannot see lock
+convoys.  This harness measures the enforcement data plane the way the
+paper's Table IV topology stresses it: N worker threads, each bound to
+an identity, drive a :class:`~repro.core.proxy.KubeFenceProxy` in a
+closed loop (next request issued the moment the previous one returns)
+against an echo upstream stub -- so the proxy's validate/cache/
+telemetry path is the measured bottleneck, not a simulated cluster.
+
+Two arms, same machine, same workload:
+
+- **sharded** -- the default data plane: sharded decision cache
+  (:mod:`repro.core.shards`), lock-free per-thread metric cells
+  (:meth:`repro.obs.metrics._Metric.local`), and 1-in-N head sampling
+  of routine security events;
+- **legacy** -- ``REPRO_NO_SHARDS=1``: the pre-sharding layout (one
+  global-lock cache, every metric write under the registry lock,
+  every event published).
+
+Each arm gets a warmup window (cache fill, thread start, allocator
+steady-state) before the measurement window; throughput is requests
+completed inside the window, latency is per-request wall time from
+``submit`` call to return (p50/p99 over the merged samples).  Results
+go to ``benchmarks/results/BENCH_throughput.json`` with
+:func:`~repro.bench.environment_metadata` attached.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from dataclasses import asdict, dataclass, field
+from typing import Any
+
+from repro.bench import environment_metadata
+from repro.core.shards import SHARDS_ENV
+from repro.k8s.apiserver import ApiRequest, ApiResponse, User
+from repro.obs.tracing import TRACE_SAMPLE_ENV
+
+__all__ = [
+    "ArmResult",
+    "LoadConfig",
+    "run_arm",
+    "run_loadtest",
+]
+
+_OK_BODY = {"kind": "Status", "status": "Success"}
+
+
+@dataclass(frozen=True)
+class LoadConfig:
+    """One loadtest run (both arms share it verbatim)."""
+
+    operator: str = "nginx"
+    #: Closed-loop worker threads (concurrent in-flight requests).
+    workers: int = 8
+    #: Distinct identities, round-robined across workers -- several
+    #: workers share an identity, as operator replicas would.
+    identities: int = 4
+    #: Fraction of requests that are writes (validated bodies); the
+    #: rest are GETs that exercise only the forwarding path.
+    write_ratio: float = 0.8
+    #: Distinct manifest bodies in the write mix.  Small on purpose:
+    #: a steady operator reconciling resubmits the same few objects,
+    #: which is exactly the decision-cache-hit regime where lock
+    #: contention (not validation CPU) dominates.
+    distinct_bodies: int = 4
+    warmup_s: float = 0.75
+    duration_s: float = 3.0
+    #: Routine-event head sampling for the sharded arm (the legacy
+    #: arm publishes every event, as the pre-sharding plane did).
+    sample_every: int = 8
+    #: Request-trace head sampling for the sharded arm (the legacy
+    #: arm traces every request, as the pre-sharding plane did).
+    trace_sample_every: int = 8
+
+    @classmethod
+    def smoke(cls) -> "LoadConfig":
+        """CI-sized run: seconds, not minutes."""
+        return cls(workers=4, warmup_s=0.25, duration_s=0.75)
+
+
+@dataclass
+class ArmResult:
+    """One arm's saturated steady-state numbers."""
+
+    arm: str
+    requests: int
+    duration_s: float
+    throughput_rps: float
+    p50_us: float
+    p99_us: float
+    denied: int
+    cache_hits: int
+    cache_misses: int
+    events_published: int
+    workers: int
+
+    def to_dict(self) -> dict[str, Any]:
+        return asdict(self)
+
+
+class _EchoUpstream:
+    """Answers every request instantly (no store, no audit): the proxy
+    data plane is the only thing between two timestamps."""
+
+    def handle(self, request: ApiRequest) -> ApiResponse:
+        return ApiResponse(200, body=request.body if request.body is not None else _OK_BODY)
+
+
+class _RunState:
+    """Shared worker flags; plain attributes read GIL-atomically on
+    the hot loop (no lock, no Event.is_set() call overhead)."""
+
+    __slots__ = ("recording", "stop")
+
+    def __init__(self) -> None:
+        self.recording = False
+        self.stop = False
+
+
+def _write_manifests(operator: str, count: int) -> list[dict[str, Any]]:
+    """The *count* smallest chart manifests (by JSON size): real
+    policy-allowed bodies, but small enough that the shared
+    ``canonical_body_key`` serialization cost does not drown the
+    cache/telemetry contention being measured."""
+    from repro.helm.chart import render_chart
+    from repro.operators import get_chart
+
+    manifests = sorted(
+        render_chart(get_chart(operator)), key=lambda m: len(json.dumps(m))
+    )
+    if not manifests:
+        raise ValueError(f"operator {operator!r} rendered no manifests")
+    return [m for m in manifests[: max(1, count)]]
+
+
+def _request_script(
+    config: LoadConfig, manifests: list[dict[str, Any]], identity: User
+) -> list[ApiRequest]:
+    """A deterministic per-worker request cycle honouring the
+    read/write mix -- prebuilt so the measured loop allocates
+    nothing but the timestamps."""
+    writes = [
+        ApiRequest.from_manifest(manifest, identity, verb="update")
+        for manifest in manifests
+    ]
+    template = writes[0]
+    read = ApiRequest(
+        verb="get",
+        kind=template.kind,
+        user=identity,
+        namespace=template.namespace,
+        name=template.name or "loadgen",
+    )
+    script: list[ApiRequest] = []
+    slots = 10
+    write_slots = max(0, min(slots, round(config.write_ratio * slots)))
+    cursor = 0
+    for slot in range(slots):
+        if slot < write_slots:
+            script.append(writes[cursor % len(writes)])
+            cursor += 1
+        else:
+            script.append(read)
+    return script
+
+
+def _build_proxy(config: LoadConfig, validator: Any, sharded: bool) -> Any:
+    from repro.core.proxy import KubeFenceProxy
+    from repro.obs.analytics.events import EventBus
+
+    bus = EventBus(sample_every=config.sample_every if sharded else 1)
+    return KubeFenceProxy(_EchoUpstream(), validator, event_bus=bus)
+
+
+def _worker_loop(
+    proxy: Any,
+    script: list[ApiRequest],
+    state: _RunState,
+    index: int,
+    counts: list[int],
+    latencies: list[list[int]],
+) -> None:
+    submit = proxy.submit
+    perf = time.perf_counter_ns
+    recorded = 0
+    samples = latencies[index]
+    i = 0
+    n = len(script)
+    while not state.stop:
+        request = script[i]
+        i += 1
+        if i == n:
+            i = 0
+        started = perf()
+        submit(request)
+        elapsed = perf() - started
+        if state.recording:
+            recorded += 1
+            samples.append(elapsed)
+    counts[index] = recorded
+
+
+def _percentile(ordered: list[int], q: float) -> float:
+    if not ordered:
+        return 0.0
+    index = max(0, min(len(ordered) - 1, round(q * (len(ordered) - 1))))
+    return float(ordered[index])
+
+
+def run_arm(config: LoadConfig, validator: Any, sharded: bool) -> ArmResult:
+    """Run one arm to saturation and report steady-state numbers.
+
+    The arm is selected via ``REPRO_NO_SHARDS`` around *construction*
+    only -- the flag binds cache, metric handles, and frontend at
+    build time, so the measured loop runs with the env untouched.
+    ``REPRO_TRACE_SAMPLE`` is the exception: tracing reads it per
+    request, so the sharded arm holds it for the whole run (it is part
+    of that arm's data-plane configuration, like event sampling).
+    """
+    previous = os.environ.pop(SHARDS_ENV, None)
+    if not sharded:
+        os.environ[SHARDS_ENV] = "1"
+    try:
+        proxy = _build_proxy(config, validator, sharded)
+    finally:
+        if previous is not None:
+            os.environ[SHARDS_ENV] = previous
+        elif not sharded:
+            os.environ.pop(SHARDS_ENV, None)
+
+    trace_previous = os.environ.pop(TRACE_SAMPLE_ENV, None)
+    if sharded and config.trace_sample_every > 1:
+        os.environ[TRACE_SAMPLE_ENV] = str(config.trace_sample_every)
+
+    manifests = _write_manifests(config.operator, config.distinct_bodies)
+    identities = [
+        User(f"loadgen-{i}", ("system:serviceaccounts", "system:authenticated"))
+        for i in range(max(1, config.identities))
+    ]
+    state = _RunState()
+    counts = [0] * config.workers
+    latencies: list[list[int]] = [[] for _ in range(config.workers)]
+    threads = []
+    try:
+        for index in range(config.workers):
+            script = _request_script(
+                config, manifests, identities[index % len(identities)]
+            )
+            thread = threading.Thread(
+                target=_worker_loop,
+                args=(proxy, script, state, index, counts, latencies),
+                name=f"loadgen-{index}",
+                daemon=True,
+            )
+            thread.start()
+            threads.append(thread)
+
+        time.sleep(config.warmup_s)
+        state.recording = True
+        window_started = time.perf_counter()
+        time.sleep(config.duration_s)
+        state.recording = False
+        window = time.perf_counter() - window_started
+        state.stop = True
+        for thread in threads:
+            thread.join(timeout=10)
+    finally:
+        state.stop = True
+        if trace_previous is not None:
+            os.environ[TRACE_SAMPLE_ENV] = trace_previous
+        else:
+            os.environ.pop(TRACE_SAMPLE_ENV, None)
+
+    merged = sorted(sample for worker in latencies for sample in worker)
+    requests = sum(counts)
+    stats = proxy.stats
+    return ArmResult(
+        arm="sharded" if sharded else "legacy",
+        requests=requests,
+        duration_s=round(window, 4),
+        throughput_rps=round(requests / window, 1) if window else 0.0,
+        p50_us=round(_percentile(merged, 0.50) / 1000.0, 2),
+        p99_us=round(_percentile(merged, 0.99) / 1000.0, 2),
+        denied=stats.requests_denied,
+        cache_hits=stats.cache_hits,
+        cache_misses=stats.cache_misses,
+        events_published=getattr(proxy.events, "published", 0),
+        workers=config.workers,
+    )
+
+
+def run_loadtest(config: LoadConfig | None = None, validator: Any | None = None) -> dict[str, Any]:
+    """Both arms on the same machine and workload; the comparison
+    document written to ``BENCH_throughput.json``.
+
+    The sharded arm runs first and the legacy arm second, so any
+    second-run interpreter/allocator warmth accrues to the *legacy*
+    arm -- the reported speedup is conservative.
+    """
+    config = config or LoadConfig()
+    if validator is None:
+        from repro.core.pipeline import generate_policy
+        from repro.operators import get_chart
+
+        validator = generate_policy(get_chart(config.operator))
+
+    sharded = run_arm(config, validator, sharded=True)
+    legacy = run_arm(config, validator, sharded=False)
+    speedup = (
+        sharded.throughput_rps / legacy.throughput_rps
+        if legacy.throughput_rps
+        else 0.0
+    )
+    p99_ratio = sharded.p99_us / legacy.p99_us if legacy.p99_us else 0.0
+    return {
+        "benchmark": "throughput_loadtest",
+        "description": (
+            "Closed-loop saturated throughput of the enforcement data "
+            "plane: sharded (default) vs legacy (REPRO_NO_SHARDS=1) "
+            "on identical workload and hardware."
+        ),
+        "config": asdict(config),
+        "environment": environment_metadata(),
+        "arms": {"sharded": sharded.to_dict(), "legacy": legacy.to_dict()},
+        "speedup": round(speedup, 3),
+        "p99_ratio": round(p99_ratio, 3),
+    }

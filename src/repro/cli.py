@@ -9,6 +9,7 @@ Commands mirror how a downstream user would operate KubeFence:
 - ``surface``   -- print the Fig. 9 usage heatmap and Table I.
 - ``coverage``  -- print the Fig. 5 e2e-coverage analysis.
 - ``overhead``  -- measure the Table IV RTT overhead.
+- ``loadtest``  -- saturated throughput, sharded vs legacy data plane.
 - ``obs``       -- dump a metrics/trace snapshot (docs/OBSERVABILITY.md).
 - ``operators`` -- list the built-in evaluation operators.
 """
@@ -17,6 +18,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+from dataclasses import replace
 from pathlib import Path
 
 import yaml
@@ -410,6 +412,64 @@ def cmd_forensics(args: argparse.Namespace) -> int:
     return 1 if any(t.post_denial for t in timelines) else 0
 
 
+def cmd_loadtest(args: argparse.Namespace) -> int:
+    """Closed-loop saturated-throughput comparison of the sharded data
+    plane vs the legacy layout (``REPRO_NO_SHARDS=1``); see
+    docs/PERFORMANCE.md.
+
+    Exit 1 when ``--min-speedup`` is given and the measured sharded/
+    legacy throughput ratio falls below it (the CI gate)."""
+    import json as _json
+
+    from repro.bench.loadgen import LoadConfig, run_loadtest
+
+    if args.smoke:
+        config = LoadConfig.smoke()
+        if args.operator:
+            config = replace(config, operator=args.operator)
+    else:
+        config = LoadConfig(operator=args.operator or "nginx")
+    if args.workers:
+        config = replace(config, workers=args.workers)
+    if args.duration:
+        config = replace(config, duration_s=args.duration)
+    if args.warmup is not None:
+        config = replace(config, warmup_s=args.warmup)
+
+    print(
+        f"loadtest: operator={config.operator} workers={config.workers} "
+        f"warmup={config.warmup_s}s window={config.duration_s}s x2 arms ...",
+        file=sys.stderr,
+    )
+    result = run_loadtest(config)
+    text = _json.dumps(result, indent=2, sort_keys=True)
+    if args.output:
+        out = Path(args.output)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(text + "\n")
+        print(f"wrote {out}", file=sys.stderr)
+    if args.json or not args.output:
+        print(text)
+    else:
+        for arm in ("sharded", "legacy"):
+            numbers = result["arms"][arm]
+            print(
+                f"{arm:8s} {numbers['throughput_rps']:>10.1f} req/s  "
+                f"p50 {numbers['p50_us']:>8.2f}us  "
+                f"p99 {numbers['p99_us']:>8.2f}us"
+            )
+        print(f"speedup  {result['speedup']:.3f}x  "
+              f"(p99 ratio {result['p99_ratio']:.3f})")
+    if args.min_speedup and result["speedup"] < args.min_speedup:
+        print(
+            f"FAIL: speedup {result['speedup']:.3f}x is below the "
+            f"--min-speedup {args.min_speedup:.3f}x gate",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
 def cmd_overhead(args: argparse.Namespace) -> int:
     from repro.analysis.overhead import OverheadConfig, measure_overhead
     from repro.analysis.report import render_table4
@@ -489,6 +549,35 @@ def build_parser() -> argparse.ArgumentParser:
     overhead.add_argument("-r", "--repetitions", type=int, default=10)
     overhead.add_argument("--network-delay-ms", type=float, default=4.0)
 
+    loadtest = sub.add_parser(
+        "loadtest",
+        help="closed-loop throughput: sharded vs legacy data plane",
+    )
+    loadtest.add_argument(
+        "operator", nargs="?", help="operator workload (default: nginx)"
+    )
+    loadtest.add_argument(
+        "--workers", type=int, help="closed-loop worker threads per arm"
+    )
+    loadtest.add_argument(
+        "--duration", type=float, help="measurement window seconds per arm"
+    )
+    loadtest.add_argument("--warmup", type=float, help="warmup seconds per arm")
+    loadtest.add_argument(
+        "--smoke", action="store_true",
+        help="CI-sized run (fewer workers, sub-second windows)",
+    )
+    loadtest.add_argument(
+        "--min-speedup", type=float, default=0.0,
+        help="exit 1 if sharded/legacy throughput falls below this ratio",
+    )
+    loadtest.add_argument(
+        "-o", "--output",
+        help="write the full JSON result here "
+             "(e.g. benchmarks/results/BENCH_throughput.json)",
+    )
+    loadtest.add_argument("--json", action="store_true", help="print full JSON")
+
     obs = sub.add_parser(
         "obs", help="dump a metrics/trace snapshot of the enforcement stack"
     )
@@ -562,6 +651,7 @@ _COMMANDS = {
     "surface": cmd_surface,
     "coverage": cmd_coverage,
     "overhead": cmd_overhead,
+    "loadtest": cmd_loadtest,
     "obs": cmd_obs,
     "chaos": cmd_chaos,
     "slo": cmd_slo,

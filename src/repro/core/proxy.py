@@ -52,6 +52,12 @@ from typing import Any, Iterable
 
 from repro.core.compiled import DecisionCache, canonical_body_key
 from repro.core.enforcement import ValidationResult, Validator
+from repro.core.shards import (
+    ShardedDecisionCache,
+    fast_body_key,
+    new_decision_cache,
+    shards_enabled,
+)
 from repro.k8s.apiserver import APIServer, ApiRequest, ApiResponse
 from repro.k8s.errors import ApiError
 from repro.obs import current_trace_id, new_registry, obs_endpoint, span, trace
@@ -143,13 +149,19 @@ class ProxyStats:
     def __init__(self, registry: Any | None = None):
         reg = registry if registry is not None else new_registry()
         self.registry = reg
-        self._requests = reg.counter(
+        # Sharded data plane: hot instruments write through lock-free
+        # per-thread cells (folded at scrape time); REPRO_NO_SHARDS=1
+        # keeps every write under the registry lock as before.
+        self._sharded = shards_enabled()
+        requests = reg.counter(
             "kubefence_requests_total", "API requests intercepted by the proxy."
         )
-        self._validated = reg.counter(
+        self._requests = self._bind(requests)
+        validated = reg.counter(
             "kubefence_requests_validated_total",
             "Write requests whose body was checked against the policy.",
         )
+        self._validated = self._bind(validated)
         self._denied = reg.counter(
             "kubefence_requests_denied_total", "Requests blocked by the policy."
         )
@@ -159,12 +171,12 @@ class ProxyStats:
             labels=("operator", "kind", "reason"),
             max_series=256,
         )
-        self._cache_hits = reg.counter(
+        self._cache_hits = self._bind(reg.counter(
             "kubefence_cache_hits_total", "Decision-cache hits (validation skipped)."
-        )
-        self._cache_misses = reg.counter(
+        ))
+        self._cache_misses = self._bind(reg.counter(
             "kubefence_cache_misses_total", "Decision-cache misses."
-        )
+        ))
         self._conn_opened = reg.counter(
             "kubefence_connections_opened_total",
             "Upstream keep-alive connections opened (HTTP proxy).",
@@ -206,8 +218,8 @@ class ProxyStats:
             labels=("outcome",),
         )
         # Pre-bound hot series: labels() resolution off the request path.
-        self._latency_hit = self._latency.labels(outcome="hit")
-        self._latency_miss = self._latency.labels(outcome="miss")
+        self._latency_hit = self._bind(self._latency, outcome="hit")
+        self._latency_miss = self._bind(self._latency, outcome="miss")
         self._http = reg.counter(
             "http_requests_total",
             "HTTP requests served, by method and status code.",
@@ -215,14 +227,32 @@ class ProxyStats:
             max_series=128,
         )
         self._http_bound: dict[tuple[str, str], Any] = {}
+        self._denial_bound: dict[tuple[str, str, str], Any] = {}
         #: per-request validation latency samples (ns), bounded rings:
         #: full validations (cache misses) and cache-hit lookups.
         self.validation_ns_samples: list[int] = []
         self.cache_hit_ns_samples: list[int] = []
         self._sample_cursor = 0
         self._hit_cursor = 0
+        # Hot-path shortcut: these run unconditionally on every
+        # request, so skip the wrapper frame (see comment above
+        # the def-forms).
+        self.count_request = self._requests.inc
+        self.count_validated = self._validated.inc
+
+    def _bind(self, metric: Any, **labels: str) -> Any:
+        """A write handle for one series: lock-free per-thread cells on
+        the sharded data plane (:meth:`_Metric.local`), the classic
+        pre-bound locked series under ``REPRO_NO_SHARDS=1``."""
+        if self._sharded:
+            return metric.local(**labels)
+        return metric.labels(**labels) if labels else metric
 
     # -- mutation (proxy internals only) -----------------------------------
+    # The unconditional once-per-request counters are rebound to the
+    # write handle's own ``inc`` at the end of __init__ (one call
+    # frame less on the hot path); the def-forms below keep the
+    # methods documented and are what subclasses would override.
 
     def count_request(self) -> None:
         self._requests.inc()
@@ -232,9 +262,17 @@ class ProxyStats:
 
     def count_denial(self, operator: str, kind: str, reason: str) -> None:
         self._denied.inc()
-        self._denials.labels(
-            operator=operator or "?", kind=kind or "?", reason=reason or "other"
-        ).inc()
+        # Precomputed {operator,kind,reason} handles: repeat denials
+        # (the interesting, attack-shaped case) skip labels() parsing
+        # and -- on the sharded plane -- the registry lock entirely.
+        key = (operator or "?", kind or "?", reason or "other")
+        bound = self._denial_bound.get(key)
+        if bound is None:
+            bound = self._bind(
+                self._denials, operator=key[0], kind=key[1], reason=key[2]
+            )
+            self._denial_bound[key] = bound
+        bound.inc()
 
     def count_cache(self, hit: bool) -> None:
         (self._cache_hits if hit else self._cache_misses).inc()
@@ -259,7 +297,7 @@ class ProxyStats:
         key = (str(method or "?"), str(getattr(code, "value", code)))
         bound = self._http_bound.get(key)
         if bound is None:
-            bound = self._http.labels(method=key[0], code=key[1])
+            bound = self._bind(self._http, method=key[0], code=key[1])
             self._http_bound[key] = bound
         bound.inc()
 
@@ -445,8 +483,18 @@ class ValidationGate:
             raise ValueError(f"unknown validation engine {engine!r}")
         self.stats = stats
         self.engine = engine
-        self.cache: DecisionCache | None = (
-            DecisionCache(cache_size) if cache_size else None
+        # Sharded by default (lock-free read fast path, per-shard write
+        # locks); REPRO_NO_SHARDS=1 selects the legacy single cache.
+        self.cache: ShardedDecisionCache | DecisionCache | None = (
+            new_decision_cache(cache_size) if cache_size else None
+        )
+        # The sharded cache fingerprints bodies with marshal (C-speed,
+        # order-sensitive, collision-free); the legacy cache keeps its
+        # canonical-JSON key byte-for-byte.
+        self._body_key = (
+            fast_body_key
+            if isinstance(self.cache, ShardedDecisionCache)
+            else canonical_body_key
         )
         self.validator = validator
         self._bind(validator)
@@ -484,7 +532,7 @@ class ValidationGate:
         if cache is not None:
             lookup_started = time.perf_counter_ns()
             with span("cache.lookup"):
-                key = canonical_body_key(body)
+                key = self._body_key(body)
                 cached = (
                     cache.get(key, self._revision()) if key is not None else None
                 )
@@ -598,12 +646,15 @@ class KubeFenceProxy:
                 outcome = note.get("outcome") or (
                     "allow" if response.ok else "error"
                 )
-                detail = {"mode": note["mode"]} if "mode" in note else {}
-                self._publish_decision(
-                    request, outcome, response.code,
-                    latency_ns=time.perf_counter_ns() - started,
-                    detail=detail,
-                )
+                # Routine allows are head-sampled (REPRO_EVENT_SAMPLE);
+                # anything security-relevant always publishes.
+                if outcome != "allow" or bus.sampled():
+                    detail = {"mode": note["mode"]} if "mode" in note else {}
+                    self._publish_decision(
+                        request, outcome, response.code,
+                        latency_ns=time.perf_counter_ns() - started,
+                        detail=detail,
+                    )
             return response
 
     def _publish_decision(
@@ -777,7 +828,7 @@ class HttpKubeFenceProxy:
         from http.server import BaseHTTPRequestHandler
         from urllib.parse import urlsplit
 
-        from repro.k8s.http import QuietThreadingHTTPServer
+        from repro.k8s.http import new_http_server
 
         proxy = self
         self.upstream = upstream_base_url.rstrip("/")
@@ -934,6 +985,8 @@ class HttpKubeFenceProxy:
                 bus = proxy.events
                 if not bus.enabled:
                     return
+                if outcome == "allow" and not bus.sampled():
+                    return  # routine allows are head-sampled
                 started = getattr(self, "_started_ns", 0)
                 bus.publish(SecurityEvent(
                     kind="decision",
@@ -1138,7 +1191,7 @@ class HttpKubeFenceProxy:
             def do_DELETE(self) -> None:
                 self._handle("DELETE")
 
-        self._httpd = QuietThreadingHTTPServer((host, port), Handler)
+        self._httpd = new_http_server((host, port), Handler)
         self._thread: Any = None
         self._threading = threading
 

@@ -31,6 +31,7 @@ from repro.k8s.gvk import ResourceRegistry, ResourceType, registry as default_re
 from repro.k8s.objects import K8sObject
 from repro.k8s.schema import SCALAR_TYPES, FieldSpec, SchemaCatalog, catalog as default_catalog
 from repro.k8s.store import ObjectStore
+from repro.core.shards import shards_enabled
 from repro.obs import current_trace_id, new_registry, span
 from repro.obs.analytics.events import SecurityEvent, new_event_bus
 
@@ -158,13 +159,17 @@ class APIServer:
             labels=("verb", "code"),
             max_series=256,
         )
-        self._m_latency = self.metrics.histogram(
+        # Hot-path write handles: per-thread cells on the sharded data
+        # plane, the classic locked series under REPRO_NO_SHARDS=1
+        # (see repro.core.shards / _Metric.local).
+        self._sharded_telemetry = shards_enabled()
+        self._m_latency = self._m_bind(self.metrics.histogram(
             "kubefence_apiserver_latency_ns",
             "Full request-pipeline latency (routing through audit).",
-        )
-        self._m_audit = self.metrics.counter(
+        ))
+        self._m_audit = self._m_bind(self.metrics.counter(
             "kubefence_audit_events_total", "Audit events recorded."
-        )
+        ))
         #: (verb, code) -> bound counter, so the hot path skips
         #: labels() resolution on every request.
         self._m_requests_bound: dict[tuple[str, str], Any] = {}
@@ -176,13 +181,18 @@ class APIServer:
         )
         self._m_http_bound: dict[tuple[str, str], Any] = {}
 
+    def _m_bind(self, metric: Any, **labels: str) -> Any:
+        if self._sharded_telemetry:
+            return metric.local(**labels)
+        return metric.labels(**labels) if labels else metric
+
     def count_http_request(self, method: str, code: Any) -> None:
         """Access-log replacement: ``http_requests_total{method,code}``
         (called from the HTTP front end's ``log_request``)."""
         key = (str(method or "?"), str(getattr(code, "value", code)))
         bound = self._m_http_bound.get(key)
         if bound is None:
-            bound = self._m_http.labels(method=key[0], code=key[1])
+            bound = self._m_bind(self._m_http, method=key[0], code=key[1])
             self._m_http_bound[key] = bound
         bound.inc()
 
@@ -206,7 +216,7 @@ class APIServer:
         key = (request.verb or "?", str(response.code))
         bound = self._m_requests_bound.get(key)
         if bound is None:
-            bound = self._m_requests.labels(verb=key[0], code=key[1])
+            bound = self._m_bind(self._m_requests, verb=key[0], code=key[1])
             self._m_requests_bound[key] = bound
         bound.inc()
         self._m_latency.observe(elapsed_ns)
@@ -401,7 +411,10 @@ class APIServer:
             )
         )
         bus = self.event_bus
-        if bus.enabled:
+        # Successful audits are head-sampled (REPRO_EVENT_SAMPLE); the
+        # durable AuditLog above always records, and failed requests
+        # always reach the stream.
+        if bus.enabled and (not response.ok or bus.sampled()):
             bus.publish(
                 SecurityEvent(
                     kind="audit",

@@ -19,16 +19,45 @@ Bodies are JSON; failures return Kubernetes ``Status`` objects.
 from __future__ import annotations
 
 import json
+import os
+import queue
 import threading
-from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from http.server import BaseHTTPRequestHandler, HTTPServer, ThreadingHTTPServer
 from typing import Any, Callable
 from urllib import request as urllib_request
 from urllib.error import HTTPError
 
+from repro.core.shards import shards_enabled
 from repro.k8s.apiserver import APIServer, ApiRequest, ApiResponse, User
 from repro.k8s.errors import ApiError
 from repro.k8s.gvk import ResourceRegistry, registry as default_registry
 from repro.obs import obs_endpoint, trace
+
+#: Worker threads in the bounded frontend pool.  A worker serves one
+#: TCP connection at a time (HTTP/1.1 keep-alive loops inside
+#: finish_request), so the pool bounds *concurrent connections*, not
+#: in-flight requests; size it above the expected client fan-in.
+HTTP_WORKERS_ENV = "REPRO_HTTP_WORKERS"
+DEFAULT_HTTP_WORKERS = 32
+
+#: Accepted connections parked while every worker is busy.  Beyond
+#: this, new connections get an immediate 503 instead of silently
+#: growing an unbounded queue (accept-queue backpressure).
+HTTP_QUEUE_ENV = "REPRO_HTTP_QUEUE"
+DEFAULT_HTTP_QUEUE = 64
+
+#: Explicit listen(2) backlog for every frontend (kernel-side accept
+#: queue, distinct from the worker pool's).
+LISTEN_BACKLOG = 128
+
+
+def _env_int(name: str, default: int) -> int:
+    raw = os.environ.get(name, "")
+    try:
+        value = int(raw) if raw else default
+    except ValueError:
+        return default
+    return value if value > 0 else default
 
 
 def parse_rest_path(path: str, reg: ResourceRegistry) -> tuple[str, str | None, str | None]:
@@ -57,9 +86,9 @@ def parse_rest_path(path: str, reg: ResourceRegistry) -> tuple[str, str | None, 
 _METHOD_VERBS = {"POST": "create", "PUT": "update", "PATCH": "patch", "DELETE": "delete"}
 
 
-class QuietThreadingHTTPServer(ThreadingHTTPServer):
-    """A :class:`ThreadingHTTPServer` that does not spray tracebacks
-    for connection-level failures.
+class _QuietErrorsMixin:
+    """Swallow connection-level failures instead of spraying
+    tracebacks.
 
     Clients that time out and hang up mid-reply (the KubeFence proxy
     under a tight deadline, chaos clients, load balancers) produce
@@ -69,9 +98,6 @@ class QuietThreadingHTTPServer(ThreadingHTTPServer):
     genuine handler bugs still get the default traceback.
     """
 
-    #: Workers must not block interpreter shutdown.
-    daemon_threads = True
-
     def handle_error(self, request: Any, client_address: Any) -> None:
         import sys
 
@@ -80,7 +106,143 @@ class QuietThreadingHTTPServer(ThreadingHTTPServer):
             return
         if isinstance(exc, OSError) and exc.errno in (9, 32, 104):  # EBADF/EPIPE/ECONNRESET
             return
-        super().handle_error(request, client_address)
+        super().handle_error(request, client_address)  # type: ignore[misc]
+
+
+class QuietThreadingHTTPServer(_QuietErrorsMixin, ThreadingHTTPServer):
+    """The legacy unbounded thread-per-connection frontend (one daemon
+    thread per accepted socket), kept as the ``REPRO_NO_SHARDS=1``
+    arm and for fault-injection topologies."""
+
+    #: Workers must not block interpreter shutdown.
+    daemon_threads = True
+    #: Explicit lifecycle knobs: rebind a just-closed port immediately
+    #: (start/stop cycles in tests) and a deterministic accept backlog.
+    allow_reuse_address = True
+    request_queue_size = LISTEN_BACKLOG
+
+
+#: Raw saturation reply, prebuilt: sent on the accept path without a
+#: handler (there is no worker to run one).  ``Connection: close`` so
+#: keep-alive clients do not retry on the dead socket.
+_SATURATED_BODY = (
+    b'{"kind":"Status","apiVersion":"v1","status":"Failure",'
+    b'"message":"server saturated: worker pool and accept queue full",'
+    b'"reason":"ServerSaturated","code":503}'
+)
+_SATURATED_RESPONSE = (
+    b"HTTP/1.1 503 Service Unavailable\r\n"
+    b"Content-Type: application/json\r\n"
+    b"Content-Length: " + str(len(_SATURATED_BODY)).encode() + b"\r\n"
+    b"Connection: close\r\n"
+    b"\r\n" + _SATURATED_BODY
+)
+
+
+class WorkerPoolHTTPServer(_QuietErrorsMixin, HTTPServer):
+    """Bounded worker-pool frontend (the sharded data plane's default).
+
+    ``ThreadingHTTPServer`` spawns one thread per connection with no
+    ceiling: under saturation the thread count, memory, and scheduler
+    load grow with offered load and latency collapses.  This frontend
+    accepts on one thread and hands sockets to a **fixed pool**:
+
+    - ``workers`` threads (``REPRO_HTTP_WORKERS``, default 32) each
+      serve one connection to completion, keep-alive included;
+    - a bounded hand-off queue (``REPRO_HTTP_QUEUE``, default 64)
+      absorbs bursts;
+    - when the queue is full the connection is answered immediately
+      with a prebuilt ``503 ServerSaturated`` and closed -- explicit
+      backpressure instead of silent queue growth
+      (:attr:`saturation_rejects` counts these).
+    """
+
+    allow_reuse_address = True
+    request_queue_size = LISTEN_BACKLOG
+
+    def __init__(
+        self,
+        server_address: tuple[str, int],
+        RequestHandlerClass: Any,
+        workers: int | None = None,
+        queue_size: int | None = None,
+    ):
+        super().__init__(server_address, RequestHandlerClass)
+        self.workers = workers or _env_int(HTTP_WORKERS_ENV, DEFAULT_HTTP_WORKERS)
+        self._queue: "queue.Queue[tuple[Any, Any] | None]" = queue.Queue(
+            maxsize=queue_size or _env_int(HTTP_QUEUE_ENV, DEFAULT_HTTP_QUEUE)
+        )
+        self._threads: list[threading.Thread] = []
+        self._pool_lock = threading.Lock()
+        #: Connections refused with the prebuilt 503.
+        self.saturation_rejects = 0
+
+    def _ensure_pool(self) -> None:
+        if self._threads:
+            return
+        with self._pool_lock:
+            if self._threads:
+                return
+            threads = []
+            for index in range(self.workers):
+                thread = threading.Thread(
+                    target=self._worker,
+                    name=f"http-pool-{self.server_address[1]}-{index}",
+                    daemon=True,
+                )
+                thread.start()
+                threads.append(thread)
+            self._threads = threads
+
+    def _worker(self) -> None:
+        while True:
+            item = self._queue.get()
+            if item is None:
+                return
+            request, client_address = item
+            try:
+                self.finish_request(request, client_address)
+            except Exception:  # noqa: BLE001 - mirror ThreadingMixIn
+                self.handle_error(request, client_address)
+            finally:
+                self.shutdown_request(request)
+
+    def process_request(self, request: Any, client_address: Any) -> None:
+        """Accept-path hand-off: enqueue or reject, never block."""
+        self._ensure_pool()
+        try:
+            self._queue.put_nowait((request, client_address))
+        except queue.Full:
+            self.saturation_rejects += 1
+            try:
+                request.sendall(_SATURATED_RESPONSE)
+            except OSError:
+                pass
+            self.shutdown_request(request)
+
+    def server_close(self) -> None:
+        super().server_close()
+        with self._pool_lock:
+            threads, self._threads = self._threads, []
+        for _ in threads:
+            self._queue.put(None)
+        for thread in threads:
+            thread.join(timeout=5)
+
+
+def new_http_server(
+    address: tuple[str, int],
+    handler: Any,
+    workers: int | None = None,
+    queue_size: int | None = None,
+) -> "WorkerPoolHTTPServer | QuietThreadingHTTPServer":
+    """The HTTP frontend for one server: the bounded worker pool on
+    the sharded data plane, thread-per-connection under
+    ``REPRO_NO_SHARDS=1`` (chosen at bind time, like the decision
+    cache)."""
+    if not shards_enabled():
+        return QuietThreadingHTTPServer(address, handler)
+    return WorkerPoolHTTPServer(address, handler, workers=workers, queue_size=queue_size)
 
 
 class _Handler(BaseHTTPRequestHandler):
@@ -227,12 +389,15 @@ class HttpApiServer:
     """Serve an :class:`APIServer` over a real TCP socket."""
 
     def __init__(self, api: APIServer, host: str = "127.0.0.1", port: int = 0,
-                 fault_injector: Any | None = None, slo: Any | None = None):
+                 fault_injector: Any | None = None, slo: Any | None = None,
+                 workers: int | None = None, queue_size: int | None = None):
         handler = type(
             "BoundHandler", (_Handler,),
             {"api": api, "faults": fault_injector, "slo": slo},
         )
-        self._httpd = QuietThreadingHTTPServer((host, port), handler)
+        self._httpd = new_http_server(
+            (host, port), handler, workers=workers, queue_size=queue_size
+        )
         self._thread: threading.Thread | None = None
 
     @property

@@ -24,6 +24,7 @@ event -- the analytics-overhead benchmark's baseline arm.
 from __future__ import annotations
 
 import json
+import os
 import threading
 import time
 from collections import deque
@@ -34,6 +35,7 @@ from repro.obs.metrics import obs_enabled
 
 __all__ = [
     "EVENT_KINDS",
+    "EVENT_SAMPLE_ENV",
     "EVENT_SCHEMA_VERSION",
     "EventBus",
     "JsonlSink",
@@ -55,6 +57,19 @@ EVENT_KINDS = ("audit", "decision", "anomaly", "marker")
 
 #: Decision outcomes (closed set; doubles as a metrics label domain).
 DECISION_OUTCOMES = ("allow", "deny", "degraded", "error")
+
+#: Environment variable: sample 1-in-N *routine* events (allow
+#: decisions, successful audits).  Default 1 = publish everything;
+#: security-relevant events (deny/degraded/error) are never sampled.
+EVENT_SAMPLE_ENV = "REPRO_EVENT_SAMPLE"
+
+
+def _env_sample_every() -> int:
+    raw = os.environ.get(EVENT_SAMPLE_ENV, "")
+    try:
+        return max(1, int(raw)) if raw else 1
+    except ValueError:
+        return 1
 
 
 @dataclass(frozen=True, slots=True)
@@ -160,21 +175,51 @@ class EventBus:
     #: Publishers may probe this before building an event.
     enabled = True
 
-    def __init__(self, maxlen: int = 4096):
+    def __init__(self, maxlen: int = 4096, sample_every: int | None = None):
         self._ring: deque[SecurityEvent] = deque(maxlen=maxlen)
         self._lock = threading.Lock()
         self._subscribers: list[Subscriber] = []
         self._errors: dict[int, int] = {}
         self.published = 0
         self.dropped_subscribers = 0
+        #: 1-in-N head sampling for routine events (see :meth:`sampled`).
+        self.sample_every = max(
+            1, int(sample_every if sample_every is not None else _env_sample_every())
+        )
+        self._sample_threads = threading.local()
 
     # -- publishing --------------------------------------------------------
+
+    def sampled(self) -> bool:
+        """Deterministic 1-in-N head-sampling gate for **routine**
+        events (allow decisions, successful audits).
+
+        Publishers probe this *before constructing* the event, so at
+        ``sample_every=N`` the hot path skips ``N-1`` of every N
+        SecurityEvent builds and fan-outs entirely.  The counter is
+        per publishing thread (no lock, no shared state); the first
+        event of each thread's window publishes, so low-rate threads
+        are still represented.  Security-relevant events -- denials,
+        degraded answers, upstream errors -- must bypass this gate and
+        always publish.
+        """
+        n = self.sample_every
+        if n <= 1:
+            return True
+        try:
+            count = self._sample_threads.count
+        except AttributeError:
+            count = 0
+        self._sample_threads.count = count + 1
+        return count % n == 0
 
     def publish(self, event: SecurityEvent) -> None:
         with self._lock:
             self._ring.append(event)
             self.published += 1
-            subscribers = tuple(self._subscribers)
+            # No-subscriber fast path: most request-path buses have
+            # pull-mode consumers only, so skip the snapshot tuple.
+            subscribers = tuple(self._subscribers) if self._subscribers else ()
         for subscriber in subscribers:
             try:
                 subscriber(event)
@@ -267,6 +312,10 @@ class NullEventBus:
     published = 0
     dropped_subscribers = 0
     subscriber_count = 0
+    sample_every = 1
+
+    def sampled(self) -> bool:
+        return False
 
     def publish(self, event: Any) -> None:
         pass
@@ -293,9 +342,13 @@ class NullEventBus:
 NULL_EVENT_BUS = NullEventBus()
 
 
-def new_event_bus(maxlen: int = 4096) -> "EventBus | NullEventBus":
+def new_event_bus(
+    maxlen: int = 4096, sample_every: int | None = None
+) -> "EventBus | NullEventBus":
     """A fresh bus, or the shared null when telemetry is off."""
-    return EventBus(maxlen=maxlen) if obs_enabled() else NULL_EVENT_BUS
+    if not obs_enabled():
+        return NULL_EVENT_BUS
+    return EventBus(maxlen=maxlen, sample_every=sample_every)
 
 
 # ---------------------------------------------------------------------------

@@ -128,6 +128,11 @@ class _Bound:
         self._metric = metric
         self._key = key
 
+    def local(self) -> Any:
+        """A lock-free per-thread write handle for this series (see
+        :meth:`_Metric.local`)."""
+        return self._metric._local_for(self._key)
+
     def inc(self, amount: float = 1.0) -> None:
         self._metric._inc(self._key, amount)
 
@@ -161,6 +166,10 @@ class _Metric:
 
     kind = "untyped"
 
+    #: Per-kind local-handle class (thread-local accumulation cells);
+    #: ``None`` means the kind has no lock-free write path.
+    _local_cls: Any = None
+
     def __init__(self, name: str, help: str, label_names: tuple[str, ...],
                  lock: threading.RLock, max_series: int = MAX_LABEL_SETS):
         if not _NAME_RE.match(name):
@@ -174,6 +183,9 @@ class _Metric:
         self.max_series = max_series
         self._lock = lock
         self._series: dict[tuple[str, ...], Any] = {}
+        #: key -> list of local handles whose per-thread cells fold
+        #: into the stored series at read time (scrape-time merge).
+        self._locals: dict[tuple[str, ...], list[Any]] = {}
         if not self.label_names:
             self._series[()] = self._new_series()
 
@@ -207,6 +219,57 @@ class _Metric:
         with self._lock:
             self._series_for(key)  # cardinality guard fires at creation
         return _Bound(self, key)
+
+    def local(self, **labels: str) -> Any:
+        """A **lock-free** write handle for one series.
+
+        The handle accumulates into per-thread cells (one plain list
+        slot per writer thread, no lock, no CAS -- the GIL makes the
+        float add atomic enough) and the owning metric folds every
+        cell in lazily whenever the series is *read*: ``expose()``,
+        ``snapshot()``, ``value``/``sum``/``count``/``quantile``, and
+        ``merge_from`` all see stored + pending-local.  This is the
+        hot-path layout of the sharded data plane: worker threads
+        record telemetry with zero shared-state contention and the
+        ``/metrics`` scrape pays the merge.
+
+        Caveats: ``reset()`` concurrent with active writers may lose
+        in-flight increments (each cell is zeroed without stopping its
+        owner), and a scrape racing a histogram observation may see
+        ``sum``/``count`` momentarily skewed by one sample.  Both
+        settle at quiescence; neither can corrupt state.
+        """
+        if tuple(sorted(labels)) != tuple(sorted(self.label_names)):
+            raise MetricError(
+                f"metric {self.name!r} takes labels {list(self.label_names)}, "
+                f"got {sorted(labels)}"
+            )
+        key = tuple(str(labels[name]) for name in self.label_names)
+        return self._local_for(key)
+
+    def _local_for(self, key: tuple[str, ...]) -> Any:
+        cls = self._local_cls
+        if cls is None:
+            raise MetricError(
+                f"{self.kind} {self.name!r} does not support local() handles"
+            )
+        handle = cls(self, key)
+        with self._lock:
+            self._series_for(key)  # cardinality guard + stored cell
+            self._locals.setdefault(key, []).append(handle)
+        return handle
+
+    def _local_totals(self, key: tuple[str, ...]) -> float:
+        """Sum of all pending per-thread cells for *key* (counters)."""
+        handles = self._locals.get(key)
+        if not handles:
+            return 0.0
+        return sum(cell[0] for handle in handles for cell in handle._cells)
+
+    def _zero_locals(self) -> None:
+        for handles in self._locals.values():
+            for handle in handles:
+                handle._zero()
 
     def _require_unlabeled(self) -> tuple[str, ...]:
         if self.label_names:
@@ -274,6 +337,7 @@ class _Metric:
         with self._lock:
             for key in self._series:
                 self._series[key] = self._new_series()
+            self._zero_locals()
 
     # -- export ------------------------------------------------------------
 
@@ -295,10 +359,105 @@ class _Metric:
                 out[f"{self.name}{suffix}{labels}"] = value
 
 
+class _LocalCounter:
+    """Per-thread accumulation cells for one counter series.
+
+    Writes touch only the calling thread's cell; the owning metric
+    folds every cell in at read time (:meth:`_Metric.local`).
+    """
+
+    __slots__ = ("_metric", "_key", "_threads", "_cells")
+
+    def __init__(self, metric: "_Metric", key: tuple[str, ...]):
+        self._metric = metric
+        self._key = key
+        self._threads = threading.local()
+        self._cells: list[list[float]] = []
+        # Bind the constructing thread's cell eagerly: handles are
+        # created at instrument-construction time (ProxyStats /
+        # APIServer __init__), so the common writer's first inc pays
+        # no lock -- only threads that join later bind lazily.
+        self._bind_cell()
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise MetricError(f"counter {self._metric.name!r} cannot decrease")
+        try:
+            cell = self._threads.cell
+        except AttributeError:
+            cell = self._bind_cell()
+        cell[0] += amount
+
+    def _bind_cell(self) -> list[float]:
+        cell = [0.0]
+        with self._metric._lock:
+            self._cells.append(cell)
+        self._threads.cell = cell
+        return cell
+
+    def _zero(self) -> None:
+        for cell in self._cells:
+            cell[0] = 0.0
+
+    # Read-side conveniences fold across *all* writers of the series.
+    @property
+    def value(self) -> float:
+        return self._metric._value(self._key)
+
+
+class _LocalHistogram:
+    """Per-thread ``[bucket_counts, sum, count]`` cells for one
+    histogram series, folded at read time."""
+
+    __slots__ = ("_metric", "_key", "_bounds", "_threads", "_cells")
+
+    def __init__(self, metric: "Histogram", key: tuple[str, ...]):
+        self._metric = metric
+        self._key = key
+        self._bounds = metric.bounds
+        self._threads = threading.local()
+        self._cells: list[list[Any]] = []
+        self._bind_cell()  # constructing thread binds eagerly (see _LocalCounter)
+
+    def observe(self, value: float) -> None:
+        try:
+            cell = self._threads.cell
+        except AttributeError:
+            cell = self._bind_cell()
+        cell[0][bisect_left(self._bounds, value)] += 1
+        cell[1] += value
+        cell[2] += 1
+
+    def _bind_cell(self) -> list[Any]:
+        cell = [[0] * (len(self._bounds) + 1), 0.0, 0]
+        with self._metric._lock:
+            self._cells.append(cell)
+        self._threads.cell = cell
+        return cell
+
+    def _zero(self) -> None:
+        for cell in self._cells:
+            cell[0] = [0] * (len(self._bounds) + 1)
+            cell[1] = 0.0
+            cell[2] = 0
+
+    @property
+    def sum(self) -> float:
+        return self._metric._sum_of(self._key)
+
+    @property
+    def count(self) -> float:
+        return self._metric._count_of(self._key)
+
+    def quantile(self, q: float) -> float:
+        return self._metric._quantile(self._key, q)
+
+
 class Counter(_Metric):
     """A monotonically increasing count."""
 
     kind = "counter"
+    _local_cls = _LocalCounter
 
     def _new_series(self) -> float:
         return 0.0
@@ -315,9 +474,26 @@ class Counter(_Metric):
             else:
                 series[key] = self._series_for(key) + amount
 
+    def _value(self, key: tuple[str, ...]) -> float:
+        with self._lock:
+            series = self._series.get(key)
+            stored = 0.0 if series is None else float(series)
+            return stored + self._local_totals(key)
+
+    def _samples(self) -> Iterator[tuple[str, str, float]]:
+        for key in sorted(self._series):
+            yield (
+                "",
+                _render_labels(self.label_names, key),
+                float(self._series[key]) + self._local_totals(key),
+            )
+
     def merge_from(self, other: "Counter") -> None:
         with other._lock:
-            items = list(other._series.items())
+            items = [
+                (key, value + other._local_totals(key))
+                for key, value in other._series.items()
+            ]
         with self._lock:
             for key, value in items:
                 self._series[key] = self._series_for(key) + value
@@ -359,6 +535,7 @@ class Histogram(_Metric):
     """
 
     kind = "histogram"
+    _local_cls = _LocalHistogram
 
     def __init__(self, name: str, help: str, label_names: tuple[str, ...],
                  lock: threading.RLock, buckets: tuple[float, ...] | None = None,
@@ -381,18 +558,36 @@ class Histogram(_Metric):
             series[1] += value
             series[2] += 1
 
+    def _folded(self, key: tuple[str, ...]) -> list[Any]:
+        """``[counts, sum, count]`` snapshot of stored + pending-local
+        state for *key*.  Caller holds the lock."""
+        series = self._series.get(key)
+        if series is None:
+            folded = self._new_series()
+        else:
+            folded = [series[0][:], series[1], series[2]]
+        handles = self._locals.get(key)
+        if handles:
+            counts = folded[0]
+            for handle in handles:
+                for cell in handle._cells:
+                    for idx, n in enumerate(cell[0]):
+                        if n:
+                            counts[idx] += n
+                    folded[1] += cell[1]
+                    folded[2] += cell[2]
+        return folded
+
     def _value(self, key: tuple[str, ...]) -> float:
         return self._sum_of(key)
 
     def _sum_of(self, key: tuple[str, ...]) -> float:
         with self._lock:
-            series = self._series.get(key)
-            return 0.0 if series is None else float(series[1])
+            return float(self._folded(key)[1])
 
     def _count_of(self, key: tuple[str, ...]) -> float:
         with self._lock:
-            series = self._series.get(key)
-            return 0.0 if series is None else float(series[2])
+            return float(self._folded(key)[2])
 
     def _quantile(self, key: tuple[str, ...], q: float) -> float:
         """Prometheus-style estimate: locate the owning bucket by rank
@@ -400,10 +595,9 @@ class Histogram(_Metric):
         if not 0.0 <= q <= 1.0:
             raise MetricError(f"quantile {q} out of [0, 1]")
         with self._lock:
-            series = self._series.get(key)
-            if series is None or series[2] == 0:
+            counts, _total_sum, count = self._folded(key)
+            if count == 0:
                 return 0.0
-            counts, _total_sum, count = series[0][:], series[1], series[2]
         rank = q * count
         cumulative = 0.0
         for idx, bucket_count in enumerate(counts):
@@ -421,7 +615,7 @@ class Histogram(_Metric):
         if other.bounds != self.bounds:
             raise MetricError(f"histogram {self.name!r}: bucket bounds differ")
         with other._lock:
-            items = [(k, [s[0][:], s[1], s[2]]) for k, s in other._series.items()]
+            items = [(k, other._folded(k)) for k in other._series]
         with self._lock:
             for key, (counts, total, count) in items:
                 series = self._series_for(key)
@@ -432,7 +626,7 @@ class Histogram(_Metric):
 
     def _samples(self) -> Iterator[tuple[str, str, float]]:
         for key in sorted(self._series):
-            counts, total, count = self._series[key]
+            counts, total, count = self._folded(key)
             cumulative = 0
             for idx, bound in enumerate(self.bounds):
                 cumulative += counts[idx]
@@ -549,6 +743,9 @@ class _NullInstrument:
     """Accepts the full instrument API and records nothing."""
 
     def labels(self, **_labels: str) -> "_NullInstrument":
+        return self
+
+    def local(self, **_labels: str) -> "_NullInstrument":
         return self
 
     def inc(self, amount: float = 1.0) -> None:

@@ -22,6 +22,7 @@ With ``REPRO_NO_OBS=1`` the whole layer is a no-op.
 from __future__ import annotations
 
 import json
+import os
 import random
 import threading
 import time
@@ -33,6 +34,7 @@ from repro.obs.metrics import obs_enabled
 
 __all__ = [
     "Span",
+    "TRACE_SAMPLE_ENV",
     "Trace",
     "TraceBuffer",
     "TRACES",
@@ -41,6 +43,55 @@ __all__ = [
     "span",
     "trace",
 ]
+
+#: Head-sample 1-in-N request traces (default 1 = trace everything).
+#: Part of the sharded data plane's telemetry teardown: at N>1 the
+#: unsampled requests skip Trace/Span construction and the global
+#: TRACES ring entirely (nested spans inside a *sampled* trace are
+#: always kept, so sampled traces stay complete).
+TRACE_SAMPLE_ENV = "REPRO_TRACE_SAMPLE"
+
+# Same fast-probe pattern as metrics.obs_enabled(): the gate runs once
+# per request, so the ~1us os.environ.get is worth skipping.
+try:
+    _ENV_DATA: Any = os.environ._data  # type: ignore[attr-defined]
+    _SAMPLE_KEY: Any = os.environ.encodekey(TRACE_SAMPLE_ENV)  # type: ignore[attr-defined]
+except AttributeError:  # pragma: no cover - non-CPython fallback
+    _ENV_DATA = None
+    _SAMPLE_KEY = TRACE_SAMPLE_ENV
+
+#: (last raw env value, parsed N) -- re-parsed only when the env flips.
+_SAMPLE_PARSED: tuple[Any, int] = (None, 1)
+
+_SAMPLE_THREADS = threading.local()
+
+
+def _trace_sample_every() -> int:
+    global _SAMPLE_PARSED
+    if _ENV_DATA is not None:
+        raw = _ENV_DATA.get(_SAMPLE_KEY)
+    else:  # pragma: no cover - non-CPython fallback
+        raw = os.environ.get(TRACE_SAMPLE_ENV)
+    cached_raw, value = _SAMPLE_PARSED
+    if raw == cached_raw:
+        return value
+    try:
+        value = max(1, int(raw)) if raw else 1
+    except ValueError:
+        value = 1
+    _SAMPLE_PARSED = (raw, value)
+    return value
+
+
+def _trace_sampled() -> bool:
+    """Per-thread deterministic 1-in-N draw (first of each window
+    publishes, so low-rate threads stay represented)."""
+    n = _trace_sample_every()
+    if n <= 1:
+        return True
+    count = getattr(_SAMPLE_THREADS, "count", 0)
+    _SAMPLE_THREADS.count = count + 1
+    return count % n == 0
 
 
 def new_trace_id() -> str:
@@ -54,15 +105,40 @@ def new_trace_id() -> str:
 
 
 class Span:
-    """One timed stage inside a trace."""
+    """One timed stage inside a trace.
 
-    __slots__ = ("name", "start_ns", "end_ns", "children")
+    Doubles as its own context manager (``with span("..."):``): the
+    span object *is* the node stored in the trace tree, so the traced
+    hot path allocates exactly one object per stage -- no separate
+    wrapper.  The owning-trace backref (set by :func:`span`) exists
+    only to pop the open-span stack on exit; it is not serialized.
+    """
 
-    def __init__(self, name: str, start_ns: int):
+    __slots__ = ("name", "start_ns", "end_ns", "children", "_trace")
+
+    def __init__(self, name: str, start_ns: int, trace: "Trace | None" = None):
         self.name = name
         self.start_ns = start_ns
         self.end_ns = 0
         self.children: list[Span] = []
+        self._trace = trace
+
+    def __enter__(self) -> "Span":
+        return self
+
+    def __exit__(self, *exc: Any) -> bool:
+        self.end_ns = time.perf_counter_ns()
+        owner = self._trace
+        if owner is None:
+            return False
+        stack = owner._stack
+        if stack and stack[-1] is self:
+            stack.pop()
+        else:  # exception unwound through nested spans
+            while stack:
+                if stack.pop() is self:
+                    break
+        return False
 
     @property
     def duration_ns(self) -> int:
@@ -76,9 +152,18 @@ class Span:
 
 
 class Trace:
-    """A request's span tree plus its correlation id."""
+    """A request's span tree plus its correlation id.
 
-    __slots__ = ("trace_id", "name", "start_ns", "end_ns", "spans", "_stack")
+    Doubles as the context manager :func:`trace` returns for a newly
+    opened (root) trace: ``__enter__`` installs it as the active trace
+    and ``__exit__`` finishes it and records it into the destination
+    buffer -- one allocation per traced request, no wrapper object.
+    """
+
+    __slots__ = (
+        "trace_id", "name", "start_ns", "end_ns", "spans", "_stack",
+        "_buffer", "_token",
+    )
 
     def __init__(self, name: str, trace_id: str | None = None):
         self.trace_id = trace_id or new_trace_id()
@@ -87,6 +172,19 @@ class Trace:
         self.end_ns = 0
         self.spans: list[Span] = []
         self._stack: list[Span] = []
+        self._buffer: TraceBuffer | None = None
+        self._token: Any = None
+
+    def __enter__(self) -> "Trace":
+        self._token = _ACTIVE.set(self)
+        return self
+
+    def __exit__(self, *exc: Any) -> bool:
+        _ACTIVE.reset(self._token)
+        self.finish()
+        if self._buffer is not None:
+            self._buffer.record(self)
+        return False
 
     def begin_span(self, name: str) -> Span:
         child = Span(name, time.perf_counter_ns())
@@ -173,89 +271,91 @@ def current_trace_id() -> str | None:
     return active.trace_id if active is not None else None
 
 
-class trace:
-    """Open (or join) a request trace (class-based for hot-path speed).
+class _NoopContext:
+    """Shared do-nothing context: what an untraced request holds.
+
+    A single module-level instance serves every disabled/unsampled
+    ``trace()`` and every ``span()`` outside a trace -- the untraced
+    fast path allocates nothing.
+    """
+
+    __slots__ = ()
+
+    def __enter__(self) -> None:
+        return None
+
+    def __exit__(self, *exc: Any) -> bool:
+        return False
+
+
+_NOOP = _NoopContext()
+
+
+class _JoinedTrace:
+    """Context manager for a block nested under an existing trace."""
+
+    __slots__ = ("_active", "_child")
+
+    def __init__(self, active: Trace, name: str):
+        self._active = active
+        self._child = active.begin_span(name)
+
+    def __enter__(self) -> Trace:
+        return self._active
+
+    def __exit__(self, *exc: Any) -> bool:
+        self._active.end_span(self._child)
+        return False
+
+
+def trace(name: str, trace_id: str | None = None,
+          buffer: TraceBuffer | None = TRACES) -> Any:
+    """Open (or join) a request trace.
 
     If a trace is already active on this context -- e.g. the in-process
     API server running under the proxy's trace -- the block becomes a
     nested span instead of a second trace, preserving one id per
-    request end-to-end.  With ``REPRO_NO_OBS=1`` the whole block is a
-    no-op yielding ``None``.
+    request end-to-end (and inheriting the root's sampling decision, so
+    sampled traces stay complete).  With ``REPRO_NO_OBS=1``, or when
+    the 1-in-N draw (``REPRO_TRACE_SAMPLE``) skips this request, the
+    block is a shared no-op yielding ``None`` -- the decision is made
+    *here*, before any Trace/Span allocation, which is what keeps the
+    unsampled hot path nearly free.
     """
-
-    __slots__ = ("_name", "_trace_id", "_buffer", "_joined", "_child",
-                 "_opened", "_token")
-
-    def __init__(self, name: str, trace_id: str | None = None,
-                 buffer: TraceBuffer | None = TRACES):
-        self._name = name
-        self._trace_id = trace_id
-        self._buffer = buffer
-        self._joined: Trace | None = None
-        self._child: Span | None = None
-        self._opened: Trace | None = None
-        self._token = None
-
-    def __enter__(self) -> Trace | None:
-        if not obs_enabled():
-            return None
-        active = _ACTIVE.get()
-        if active is not None:
-            self._joined = active
-            self._child = active.begin_span(self._name)
-            return active
-        opened = Trace(self._name, self._trace_id)
-        self._opened = opened
-        self._token = _ACTIVE.set(opened)
-        return opened
-
-    def __exit__(self, *exc: Any) -> bool:
-        if self._joined is not None:
-            self._joined.end_span(self._child)  # type: ignore[arg-type]
-        elif self._opened is not None:
-            _ACTIVE.reset(self._token)
-            self._opened.finish()
-            if self._buffer is not None:
-                self._buffer.record(self._opened)
-        return False
+    if not obs_enabled():
+        return _NOOP
+    active = _ACTIVE.get()
+    if active is not None:
+        return _JoinedTrace(active, name)
+    # The 1-in-N draw, inlined (same logic as _trace_sampled): this
+    # runs once per request, so one avoided call frame is measurable
+    # in the in-process overhead gate.
+    n = _trace_sample_every()
+    if n > 1:
+        count = getattr(_SAMPLE_THREADS, "count", 0)
+        _SAMPLE_THREADS.count = count + 1
+        if count % n:
+            return _NOOP
+    opened = Trace(name, trace_id)
+    opened._buffer = buffer
+    return opened
 
 
-class span:
-    """A timed stage under the active trace (no-op without one).
+def span(name: str) -> Any:
+    """A timed stage under the active trace (shared no-op without
+    one -- untraced requests allocate nothing per span).
 
-    The begin/end bookkeeping is inlined (rather than delegating to
-    :meth:`Trace.begin_span`/:meth:`Trace.end_span`) because spans run
-    several times per request -- the function-call overhead is the
-    dominant cost at that frequency.
+    The begin bookkeeping is inlined (rather than delegating to
+    :meth:`Trace.begin_span`) and the :class:`Span` node itself is the
+    context manager: spans run several times per request, so one
+    allocation and no delegation is the difference that shows up in
+    the in-process overhead gate.
     """
-
-    __slots__ = ("_trace", "_span")
-
-    def __init__(self, name: str):
-        active = _ACTIVE.get()
-        self._trace = active
-        if active is None:
-            self._span = None
-        else:
-            child = Span(name, time.perf_counter_ns())
-            stack = active._stack
-            (stack[-1].children if stack else active.spans).append(child)
-            stack.append(child)
-            self._span = child
-
-    def __enter__(self) -> Span | None:
-        return self._span
-
-    def __exit__(self, *exc: Any) -> bool:
-        active = self._trace
-        if active is not None:
-            child = self._span
-            child.end_ns = time.perf_counter_ns()  # type: ignore[union-attr]
-            stack = active._stack
-            if stack and stack[-1] is child:
-                stack.pop()
-            else:  # exception unwound through nested spans
-                while stack:
-                    if stack.pop() is child:
-                        break
-        return False
+    active = _ACTIVE.get()
+    if active is None:
+        return _NOOP
+    child = Span(name, time.perf_counter_ns(), active)
+    stack = active._stack
+    (stack[-1].children if stack else active.spans).append(child)
+    stack.append(child)
+    return child

@@ -1,0 +1,144 @@
+"""Loadtest harness tests: environment stamping, workload scripting,
+arm isolation, the two-arm comparison document, and the ``repro
+loadtest`` CLI.
+
+Runs use millisecond-scale windows -- the point here is harness
+correctness, not statistically meaningful throughput."""
+
+import json
+import os
+
+import pytest
+
+from repro.bench import environment_metadata
+from repro.bench.loadgen import (
+    ArmResult,
+    LoadConfig,
+    _request_script,
+    _write_manifests,
+    run_arm,
+    run_loadtest,
+)
+from repro.core.shards import SHARDS_ENV
+from repro.k8s.apiserver import User
+
+TINY = LoadConfig(
+    workers=2, identities=2, warmup_s=0.05, duration_s=0.15, distinct_bodies=2
+)
+
+
+class TestEnvironmentMetadata:
+    def test_required_keys(self):
+        meta = environment_metadata()
+        for key in ("python", "implementation", "platform", "machine", "cpu_count"):
+            assert key in meta
+        assert meta["cpu_count"] >= 1
+        assert meta["python"].count(".") == 2
+
+    def test_json_serializable(self):
+        json.dumps(environment_metadata())
+
+
+class TestWorkloadScript:
+    def test_manifests_are_policy_shaped(self):
+        manifests = _write_manifests("nginx", 3)
+        assert 1 <= len(manifests) <= 3
+        assert all(m.get("kind") for m in manifests)
+
+    def test_script_honours_write_ratio(self):
+        manifests = _write_manifests("nginx", 2)
+        user = User("loadgen-0", ("system:authenticated",))
+        script = _request_script(
+            LoadConfig(write_ratio=0.8), manifests, user
+        )
+        writes = [r for r in script if r.verb == "update"]
+        reads = [r for r in script if r.verb == "get"]
+        assert len(script) == 10
+        assert len(writes) == 8
+        assert len(reads) == 2
+        assert all(r.user is user for r in script)
+
+    def test_all_reads_when_ratio_zero(self):
+        manifests = _write_manifests("nginx", 1)
+        script = _request_script(
+            LoadConfig(write_ratio=0.0),
+            manifests,
+            User("u", ("system:authenticated",)),
+        )
+        assert all(r.verb == "get" for r in script)
+
+
+class TestRunArm:
+    def test_arm_completes_and_counts(self, nginx_validator):
+        result = run_arm(TINY, nginx_validator, sharded=True)
+        assert isinstance(result, ArmResult)
+        assert result.arm == "sharded"
+        assert result.requests > 0
+        assert result.throughput_rps > 0
+        assert result.p99_us >= result.p50_us > 0
+        assert result.denied == 0
+        assert result.cache_hits > 0
+
+    def test_arm_env_restored(self, nginx_validator, monkeypatch):
+        monkeypatch.delenv(SHARDS_ENV, raising=False)
+        monkeypatch.delenv("REPRO_TRACE_SAMPLE", raising=False)
+        run_arm(TINY, nginx_validator, sharded=False)
+        assert SHARDS_ENV not in os.environ
+        run_arm(TINY, nginx_validator, sharded=True)
+        assert "REPRO_TRACE_SAMPLE" not in os.environ
+
+    def test_legacy_arm_publishes_every_event(self, nginx_validator):
+        legacy = run_arm(TINY, nginx_validator, sharded=False)
+        assert legacy.arm == "legacy"
+        # Every validated write publishes on the legacy arm.
+        assert legacy.events_published > 0
+
+
+class TestRunLoadtest:
+    @pytest.fixture(scope="class")
+    def result(self, validators):
+        return run_loadtest(TINY, validator=validators["nginx"])
+
+    def test_document_shape(self, result):
+        assert result["benchmark"] == "throughput_loadtest"
+        assert set(result["arms"]) == {"sharded", "legacy"}
+        assert result["environment"]["cpu_count"] >= 1
+        assert result["config"]["workers"] == 2
+        assert result["speedup"] > 0
+        assert result["p99_ratio"] > 0
+        json.dumps(result)  # the whole document must serialize
+
+    def test_arms_do_identical_decision_work(self, result):
+        for arm in ("sharded", "legacy"):
+            numbers = result["arms"][arm]
+            assert numbers["denied"] == 0
+            assert numbers["cache_misses"] <= result["config"]["distinct_bodies"]
+
+
+class TestCli:
+    def test_loadtest_writes_result_file(self, tmp_path, capsys):
+        from repro.cli import main
+
+        out = tmp_path / "BENCH_throughput.json"
+        code = main([
+            "loadtest", "--smoke", "--workers", "2",
+            "--warmup", "0.05", "--duration", "0.15",
+            "-o", str(out),
+        ])
+        assert code == 0
+        document = json.loads(out.read_text())
+        assert document["benchmark"] == "throughput_loadtest"
+        stdout = capsys.readouterr().out
+        assert "speedup" in stdout
+
+    def test_min_speedup_gate_fails_on_impossible_bar(self, tmp_path, capsys):
+        from repro.cli import main
+
+        code = main([
+            "loadtest", "--smoke", "--workers", "2",
+            "--warmup", "0.05", "--duration", "0.15",
+            "--min-speedup", "1000",
+            "-o", str(tmp_path / "r.json"),
+        ])
+        assert code == 1
+        assert "below the --min-speedup" in capsys.readouterr().err

@@ -182,3 +182,55 @@ class TestSerialization:
         assert events[0].latency_ns == 77
         assert events[1].code == 403
         assert all(e.kind == "audit" for e in events)
+
+
+# ---------------------------------------------------------------------------
+# Head sampling of routine events (the sharded data plane's gate)
+# ---------------------------------------------------------------------------
+
+
+class TestSampling:
+    def test_default_publishes_everything(self):
+        bus = EventBus()
+        assert bus.sample_every == 1
+        assert all(bus.sampled() for _ in range(32))
+
+    def test_one_in_n_per_thread(self):
+        bus = EventBus(sample_every=4)
+        draws = [bus.sampled() for _ in range(12)]
+        # Deterministic head sampling: the first of each window wins.
+        assert draws == [True, False, False, False] * 3
+
+    def test_threads_sample_independently(self):
+        bus = EventBus(sample_every=4)
+        results = {}
+
+        def drain(name):
+            results[name] = [bus.sampled() for _ in range(4)]
+
+        threads = [
+            threading.Thread(target=drain, args=(i,)) for i in range(3)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        # Each thread gets its own window, so each publishes its first.
+        assert all(r == [True, False, False, False] for r in results.values())
+
+    def test_env_default(self, monkeypatch):
+        monkeypatch.setenv("REPRO_EVENT_SAMPLE", "8")
+        assert EventBus().sample_every == 8
+        monkeypatch.setenv("REPRO_EVENT_SAMPLE", "garbage")
+        assert EventBus().sample_every == 1
+
+    def test_explicit_overrides_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_EVENT_SAMPLE", "8")
+        assert EventBus(sample_every=2).sample_every == 2
+
+    def test_minimum_is_one(self):
+        assert EventBus(sample_every=0).sample_every == 1
+        assert EventBus(sample_every=-5).sample_every == 1
+
+    def test_null_bus_never_samples(self):
+        assert NULL_EVENT_BUS.sampled() is False

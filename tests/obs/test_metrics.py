@@ -324,3 +324,101 @@ class TestEscapeHatch:
     def test_new_registry_is_real_when_enabled(self, monkeypatch):
         monkeypatch.delenv("REPRO_NO_OBS", raising=False)
         assert isinstance(new_registry(), MetricsRegistry)
+
+
+# ---------------------------------------------------------------------------
+# Thread-local write handles (the sharded data plane's hot path)
+# ---------------------------------------------------------------------------
+
+
+class TestLocalHandles:
+    def test_counter_local_folds_into_value(self, registry):
+        c = registry.counter("reqs_total")
+        handle = c.local()
+        handle.inc()
+        handle.inc(3)
+        assert c.value == 4
+        c.inc(2)  # locked path and local cells fold together
+        assert c.value == 6
+
+    def test_labeled_counter_local(self, registry):
+        c = registry.counter("denials_total", labels=("reason",))
+        c.local(reason="field-not-allowed").inc(2)
+        c.labels(reason="field-not-allowed").inc()
+        assert c.labels(reason="field-not-allowed").value == 3
+
+    def test_bound_local_shortcut(self, registry):
+        c = registry.counter("reqs_total", labels=("code",))
+        bound = c.labels(code="200")
+        bound.local().inc(5)
+        assert bound.value == 5
+
+    def test_local_rejects_label_mismatch(self, registry):
+        c = registry.counter("denials_total", labels=("reason",))
+        with pytest.raises(MetricError, match="takes labels"):
+            c.local(kind="Pod")
+
+    def test_local_respects_cardinality_guard(self, registry):
+        c = registry.counter("x_total", labels=("id",), max_series=2)
+        c.local(id="a")
+        c.local(id="b")
+        with pytest.raises(CardinalityError):
+            c.local(id="c")
+
+    def test_counter_local_cannot_decrease(self, registry):
+        with pytest.raises(MetricError, match="cannot decrease"):
+            registry.counter("reqs_total").local().inc(-1)
+
+    def test_gauge_has_no_local(self, registry):
+        with pytest.raises(MetricError, match="local"):
+            registry.gauge("up").local()
+
+    def test_histogram_local_folds(self, registry):
+        h = registry.histogram("lat_ns", buckets=(10.0, 100.0, 1000.0))
+        handle = h.local()
+        for v in (5.0, 50.0, 500.0, 5000.0):
+            handle.observe(v)
+        assert h.count == 4
+        assert h.sum == 5555.0
+        assert h.quantile(0.5) > 0
+
+    def test_local_cells_are_per_thread_and_exact(self, registry):
+        c = registry.counter("reqs_total")
+        handle = c.local()
+        threads = [
+            threading.Thread(
+                target=lambda: [handle.inc() for _ in range(10_000)]
+            )
+            for _ in range(8)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert c.value == 80_000
+
+    def test_exposition_sees_pending_locals(self, registry):
+        c = registry.counter("reqs_total", "requests")
+        c.local().inc(7)
+        assert "reqs_total 7" in registry.expose()
+
+    def test_reset_zeroes_local_cells(self, registry):
+        c = registry.counter("reqs_total")
+        handle = c.local()
+        handle.inc(9)
+        registry.reset()
+        assert c.value == 0
+        handle.inc()  # handle stays usable after reset
+        assert c.value == 1
+
+    def test_merge_from_folds_source_locals(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        b.counter("reqs_total").local().inc(4)
+        b.histogram("lat_ns", buckets=(10.0,)).local().observe(3.0)
+        a.merge_from(b)
+        assert a.counter("reqs_total").value == 4
+        assert a.histogram("lat_ns", buckets=(10.0,)).count == 1
+
+    def test_null_registry_local_is_noop(self):
+        NULL_REGISTRY.counter("x_total").local().inc()
+        assert NULL_REGISTRY.expose() == ""

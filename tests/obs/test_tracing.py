@@ -152,3 +152,73 @@ class TestTraceBuffer:
                 pass
         dumped = json.loads(buffer.to_json(limit=3))
         assert [t["name"] for t in dumped] == ["t5", "t6", "t7"]
+
+
+# ---------------------------------------------------------------------------
+# Head sampling of request traces (REPRO_TRACE_SAMPLE)
+# ---------------------------------------------------------------------------
+
+
+class TestTraceSampling:
+    @pytest.fixture(autouse=True)
+    def fresh_counters(self, monkeypatch):
+        """Each test gets a virgin per-thread sampling counter."""
+        from repro.obs import tracing
+
+        monkeypatch.setattr(tracing, "_SAMPLE_THREADS", threading.local())
+        monkeypatch.delenv("REPRO_TRACE_SAMPLE", raising=False)
+
+    def test_default_traces_everything(self):
+        for _ in range(8):
+            with trace("proxy.request") as t:
+                assert t is not None
+        assert len(TRACES) == 8
+
+    def test_one_in_n_head_sampling(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TRACE_SAMPLE", "4")
+        opened = []
+        for _ in range(12):
+            with trace("proxy.request") as t:
+                opened.append(t is not None)
+        assert opened == [True, False, False, False] * 3
+        assert len(TRACES) == 3
+
+    def test_unsampled_request_has_no_trace_id_and_cheap_spans(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TRACE_SAMPLE", "2")
+        with trace("proxy.request"):
+            pass  # sampled
+        with trace("proxy.request") as t:
+            assert t is None
+            assert current_trace_id() is None
+            with span("proxy.validate") as s:
+                assert s is None  # span is a no-op without a trace
+        assert len(TRACES) == 1
+
+    def test_joined_trace_ignores_sampling(self, monkeypatch):
+        # The root made the sampling decision; sampled traces must keep
+        # every nested stage.
+        monkeypatch.setenv("REPRO_TRACE_SAMPLE", "1000")
+        with trace("proxy.request") as root:  # first of the window
+            assert root is not None
+            with trace("apiserver.request") as joined:
+                assert joined is root
+        finished = TRACES.traces()[-1]
+        assert [s.name for s in finished.spans] == ["apiserver.request"]
+
+    def test_invalid_and_unset_values_mean_one(self, monkeypatch):
+        from repro.obs.tracing import _trace_sample_every
+
+        monkeypatch.setenv("REPRO_TRACE_SAMPLE", "nonsense")
+        assert _trace_sample_every() == 1
+        monkeypatch.setenv("REPRO_TRACE_SAMPLE", "0")
+        assert _trace_sample_every() == 1
+        monkeypatch.delenv("REPRO_TRACE_SAMPLE")
+        assert _trace_sample_every() == 1
+
+    def test_env_flip_reparses(self, monkeypatch):
+        from repro.obs.tracing import _trace_sample_every
+
+        monkeypatch.setenv("REPRO_TRACE_SAMPLE", "3")
+        assert _trace_sample_every() == 3
+        monkeypatch.setenv("REPRO_TRACE_SAMPLE", "5")
+        assert _trace_sample_every() == 5
