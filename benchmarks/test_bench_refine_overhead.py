@@ -1,0 +1,58 @@
+"""Refinement-loop overhead gate (policy-refinement PR).
+
+Audit-driven policy refinement rides the proxy hot path in two
+mutually exclusive phases (``RefineController`` enforces the
+exclusivity): the **profile** phase extracts a field sample from
+every allowed write, and the **canary** phase re-validates 1-in-8
+live writes against the tightened candidate.  Neither ever affects a
+served decision, but both must stay cheap enough to leave on against
+production traffic:
+
+1. < 5% added to the full-deploy RTT on the deployment-modeled link
+   (same device as the obs and analytics gates) by the *worst* of the
+   two phases, each measured against the same plain-stack baseline;
+2. the absolute worst-phase per-request cost is reported
+   (``refine_us_per_request``) for trend-watching, but the gate is
+   the modeled-link percentage.
+
+The measurement lands in
+``benchmarks/results/BENCH_refine_overhead.json`` (the same JSON
+``python benchmarks/compare_bench.py`` writes).
+"""
+
+import json
+
+import pytest
+
+from benchmarks.compare_bench import (
+    REFINE_RESULTS_PATH,
+    check_refine_overhead,
+    measure_refine_overhead,
+    write_results,
+)
+
+
+@pytest.mark.bench_refine
+def test_refine_overhead_gate(emit_artifact):
+    """Each refinement phase adds < 5% to deploy RTT."""
+    result = measure_refine_overhead(repetitions=20)
+    write_results(result, REFINE_RESULTS_PATH)
+
+    ok, message = check_refine_overhead(result)
+    emit_artifact(
+        "bench_refine_overhead",
+        json.dumps(result, indent=2, sort_keys=True) + "\n" + message,
+    )
+    assert ok, message
+    # Sanity on the measurement itself: all arms actually deployed,
+    # the candidate really tightened something, and the canary arm
+    # really evaluated live traffic at the configured fraction.
+    assert result["deploy_ms_baseline"] > 0
+    assert result["requests_per_deploy"] >= 3
+    assert result["candidate_actions"] > 0
+    assert result["shadow_evaluations_per_deploy"] > 0
+    assert result["shadow_fraction"] == 0.125
+    assert result["overhead_percent"] == max(
+        result["profile_overhead_percent"],
+        result["canary_overhead_percent"],
+    )

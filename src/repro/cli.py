@@ -370,6 +370,90 @@ def cmd_slo(args: argparse.Namespace) -> int:
     return 1 if report.firing else 0
 
 
+def cmd_refine(args: argparse.Namespace) -> int:
+    """Run the audit-driven policy-refinement loop end to end.
+
+    Deploys the operator through the enforcement stack with field
+    observation on, profiles live traffic into the observed-vs-
+    permitted matrix, synthesizes a tightened candidate policy, shadow-
+    evaluates it against further live traffic, and prints the
+    promotion verdict (``--promote`` installs the candidate when the
+    verdict clears the gate).  Exit 1 when the candidate would widen
+    deny divergence -- i.e. shadow-denies traffic the active policy
+    allows beyond tolerance."""
+    import json as _json
+
+    from repro.core.pipeline import generate_policy
+    from repro.core.proxy import KubeFenceProxy
+    from repro.k8s.apiserver import Cluster
+    from repro.obs.analytics import EventBus, SloEngine
+    from repro.obs.refine import RefineController
+    from repro.operators.client import OperatorClient
+
+    chart = _load_chart(args.operator or "nginx")
+    validator = generate_policy(chart)
+    bus = EventBus()
+    engine = SloEngine()
+    bus.subscribe(engine.observe)
+
+    cluster = Cluster(event_bus=bus)
+    proxy = KubeFenceProxy(cluster.api, validator, event_bus=bus)
+    controller = RefineController(
+        proxy,
+        slo=engine,
+        min_samples=args.min_samples,
+        shadow_fraction=args.shadow_fraction,
+        shadow_min_samples=args.min_shadow_samples,
+    )
+    client = OperatorClient(proxy)
+
+    # Phase 1: profile live traffic against the active policy.
+    deployed = client.deploy_chart(chart)
+    if not deployed.all_ok:
+        print("warning: benign deployment was not fully admitted", file=sys.stderr)
+    for _ in range(args.rounds):
+        client.reconcile(deployed)
+
+    # Phase 2: synthesize the tightened candidate.
+    candidate = controller.build_candidate()
+
+    # Phase 3: shadow-evaluate the candidate on further live traffic.
+    controller.start_shadow()
+    for _ in range(args.rounds):
+        client.reconcile(deployed)
+    verdict = controller.verdict()
+
+    promoted_revision = None
+    if args.promote and verdict.promote:
+        promoted_revision = controller.promote()
+
+    if args.json:
+        payload = controller.status()
+        payload["verdict"] = verdict.to_dict()
+        payload["promoted_revision"] = promoted_revision
+        print(_json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        print(controller.profiler.usage().render())
+        print()
+        print(
+            f"candidate policy: {candidate.pruned} field(s) pruned, "
+            f"{candidate.specialized} placeholder(s) specialized "
+            f"(base revision {candidate.base_revision} -> "
+            f"{candidate.validator.policy_revision})"
+        )
+        for action in candidate.actions:
+            print(f"  {action.action:10s} {action.kind}.{action.path}")
+        print()
+        print(f"shadow verdict: {verdict.decision}")
+        for reason in verdict.reasons:
+            print(f"  - {reason}")
+        if promoted_revision is not None:
+            print(f"promoted: active policy_revision is now {promoted_revision}")
+        elif args.promote:
+            print("not promoted: verdict did not clear the gate")
+    return 1 if verdict.widens_deny_divergence else 0
+
+
 def cmd_forensics(args: argparse.Namespace) -> int:
     """Reconstruct per-identity attack timelines from the unified
     security-event stream.
@@ -619,6 +703,36 @@ def build_parser() -> argparse.ArgumentParser:
     )
     slo.add_argument("--json", action="store_true", help="machine-readable output")
 
+    refine = sub.add_parser(
+        "refine",
+        help="audit-driven policy refinement with shadow-mode canary",
+    )
+    refine.add_argument(
+        "operator", nargs="?", help="operator chart to deploy (default: nginx)"
+    )
+    refine.add_argument(
+        "--rounds", type=int, default=8,
+        help="reconcile rounds per phase (profile, then shadow)",
+    )
+    refine.add_argument(
+        "--shadow-fraction", type=float, default=1.0,
+        help="fraction of live writes shadow-evaluated (default 1.0; "
+             "production posture is 0.125)",
+    )
+    refine.add_argument(
+        "--min-samples", type=int, default=5,
+        help="minimum allowed requests per kind before refining it",
+    )
+    refine.add_argument(
+        "--min-shadow-samples", type=int, default=10,
+        help="minimum shadow evaluations before a promote/rollback verdict",
+    )
+    refine.add_argument(
+        "--promote", action="store_true",
+        help="install the candidate when the verdict clears the gate",
+    )
+    refine.add_argument("--json", action="store_true", help="machine-readable output")
+
     forensics = sub.add_parser(
         "forensics", help="reconstruct per-identity attack timelines"
     )
@@ -655,6 +769,7 @@ _COMMANDS = {
     "obs": cmd_obs,
     "chaos": cmd_chaos,
     "slo": cmd_slo,
+    "refine": cmd_refine,
     "forensics": cmd_forensics,
 }
 

@@ -62,6 +62,7 @@ from repro.k8s.apiserver import APIServer, ApiRequest, ApiResponse
 from repro.k8s.errors import ApiError
 from repro.obs import current_trace_id, new_registry, obs_endpoint, span, trace
 from repro.obs.analytics.events import SecurityEvent, new_event_bus
+from repro.obs.refine.profiler import manifest_field_sample
 from repro.yamlutil import deep_copy
 from repro.resilience import (
     BREAKER_STATE_CODES,
@@ -586,6 +587,15 @@ class KubeFenceProxy:
         #: security-analytics stream; NULL under REPRO_NO_OBS=1 (the
         #: ``enabled`` probe keeps event construction off the fast path).
         self.events = event_bus if event_bus is not None else new_event_bus()
+        #: shadow-mode canary evaluator (a RefineController installs
+        #: one via start_shadow); never affects served decisions.
+        self.shadow: Any | None = None
+        #: when True, published allow decisions carry their manifest
+        #: field sample in detail["fields"]/["values"] (profiler food;
+        #: off by default so the extraction cost stays off the hot path).
+        self.observe_fields = False
+        #: the /obs/refine controller, when a refinement loop is wired.
+        self.refine: Any | None = None
         self.breaker = None
         self._guard: UpstreamGuard | None = None
         self._read_cache: StaleReadCache | None = None
@@ -627,6 +637,12 @@ class KubeFenceProxy:
             if request.verb in _WRITE_VERBS and isinstance(request.body, dict):
                 with span("proxy.validate"):
                     result = self.gate.check(request.body)
+                shadow = self.shadow
+                if shadow is not None:
+                    shadow.observe(
+                        request.body, result.allowed,
+                        user=request.user.username, verb=request.verb,
+                    )
                 if not result.allowed:
                     response = self._deny(request, result)
                     if bus.enabled:
@@ -669,6 +685,16 @@ class KubeFenceProxy:
         name = request.name or ""
         if not name and isinstance(request.body, dict):
             name = request.body.get("metadata", {}).get("name", "")
+        if (
+            self.observe_fields
+            and outcome == "allow"
+            and request.verb in _WRITE_VERBS
+            and isinstance(request.body, dict)
+        ):
+            fields, values = manifest_field_sample(request.body)
+            detail = dict(detail or {})
+            detail["fields"] = fields
+            detail["values"] = values
         self.events.publish(SecurityEvent(
             kind="decision",
             source="proxy",
@@ -847,6 +873,12 @@ class HttpKubeFenceProxy:
 
             self.slo = SloEngine(registry=self.stats.registry)
             self.events.subscribe(self.slo.observe)
+        #: shadow-mode canary evaluator (RefineController.start_shadow).
+        self.shadow: Any | None = None
+        #: when True, allow decisions carry their manifest field sample.
+        self.observe_fields = False
+        #: the /obs/refine controller, when a refinement loop is wired.
+        self.refine: Any | None = None
         self.resilience = res = (
             resilience if resilience is not None else DEFAULT_RESILIENCE
         )
@@ -967,6 +999,7 @@ class HttpKubeFenceProxy:
                     ready_checks={"policy-bound": lambda: proxy.validator is not None},
                     event_bus=proxy.events if proxy.events.enabled else None,
                     slo=proxy.slo,
+                    refine=proxy.refine,
                 )
                 if served is None:
                     return False
@@ -988,6 +1021,12 @@ class HttpKubeFenceProxy:
                 if outcome == "allow" and not bus.sampled():
                     return  # routine allows are head-sampled
                 started = getattr(self, "_started_ns", 0)
+                sample = getattr(self, "_field_sample", None)
+                if sample is not None and outcome == "allow":
+                    fields, values = sample
+                    detail = dict(detail or {})
+                    detail["fields"] = fields
+                    detail["values"] = values
                 bus.publish(SecurityEvent(
                     kind="decision",
                     source="proxy",
@@ -1108,6 +1147,7 @@ class HttpKubeFenceProxy:
                 self._started_ns = (
                     time.perf_counter_ns() if proxy.events.enabled else 0
                 )
+                self._field_sample = None
                 resource = name = ""
                 length = int(self.headers.get("Content-Length") or 0)
                 raw = self.rfile.read(length) if length else None
@@ -1134,6 +1174,15 @@ class HttpKubeFenceProxy:
                     name = manifest.get("metadata", {}).get("name", "")
                     with span("proxy.validate"):
                         result = proxy.gate.check(manifest)
+                    shadow = proxy.shadow
+                    if shadow is not None:
+                        shadow.observe(
+                            manifest, result.allowed,
+                            user=self.headers.get("X-Remote-User", ""),
+                            verb=method.lower(),
+                        )
+                    if proxy.observe_fields and result.allowed:
+                        self._field_sample = manifest_field_sample(manifest)
                     if not result.allowed:
                         reason = denial_reason(result.violations)
                         proxy.stats.count_denial(

@@ -255,6 +255,9 @@ class _Handler(BaseHTTPRequestHandler):
     #: Optional :class:`repro.obs.analytics.slo.SloEngine` served at
     #: ``/obs/slo``; injected by :class:`HttpApiServer` when wired.
     slo: Any = None
+    #: Optional :class:`repro.obs.refine.RefineController` served at
+    #: ``/obs/refine``; injected by :class:`HttpApiServer` when wired.
+    refine: Any = None
     #: Optional :class:`repro.faults.FaultInjector` applied at the wire
     #: level (after the body drain, before routing).  ``None`` in the
     #: normal, fault-free topology.
@@ -295,6 +298,7 @@ class _Handler(BaseHTTPRequestHandler):
             ready_checks={"store": lambda: self.api.store is not None},
             event_bus=bus if (bus is not None and bus.enabled) else None,
             slo=self.slo,
+            refine=self.refine,
         )
         if served is None:
             return False
@@ -390,10 +394,12 @@ class HttpApiServer:
 
     def __init__(self, api: APIServer, host: str = "127.0.0.1", port: int = 0,
                  fault_injector: Any | None = None, slo: Any | None = None,
+                 refine: Any | None = None,
                  workers: int | None = None, queue_size: int | None = None):
         handler = type(
             "BoundHandler", (_Handler,),
-            {"api": api, "faults": fault_injector, "slo": slo},
+            {"api": api, "faults": fault_injector, "slo": slo,
+             "refine": refine},
         )
         self._httpd = new_http_server(
             (host, port), handler, workers=workers, queue_size=queue_size

@@ -11,7 +11,10 @@ three producers:
 - the anomaly detector (``kind="anomaly"``, carrying the score);
 - campaign markers (``kind="marker"``) that the Table III attack
   runner emits around each malicious submission, so forensics can key
-  timelines by attack id.
+  timelines by attack id;
+- shadow-mode canary evaluations (``kind="shadow"``) that the policy
+  refinement loop emits when a candidate policy revision is evaluated
+  side-by-side with the active one (see :mod:`repro.obs.refine`).
 
 Events flow through a bounded, thread-safe :class:`EventBus`: a ring
 buffer (query surface for ``/obs/events`` and the CLI) plus a
@@ -53,7 +56,7 @@ __all__ = [
 EVENT_SCHEMA_VERSION = 1
 
 #: The closed set of event kinds on the stream.
-EVENT_KINDS = ("audit", "decision", "anomaly", "marker")
+EVENT_KINDS = ("audit", "decision", "anomaly", "marker", "shadow")
 
 #: Decision outcomes (closed set; doubles as a metrics label domain).
 DECISION_OUTCOMES = ("allow", "deny", "degraded", "error")

@@ -40,6 +40,7 @@ __all__ = [
     "SloEngine",
     "SloReport",
     "default_slis",
+    "shadow_sli",
 ]
 
 #: Default latency threshold for the validation-latency SLI (1 ms is
@@ -120,10 +121,33 @@ def _is_decision(event: SecurityEvent) -> bool:
 _DECISION_KINDS = frozenset({"decision"})
 
 
+def shadow_sli() -> SliSpec:
+    """The shadow-deny-rate SLI over ``kind="shadow"`` canary events.
+
+    The refinement loop (:mod:`repro.obs.refine`) publishes one shadow
+    event per candidate-policy evaluation; its deny fraction is
+    compared against the active ``deny-rate`` SLI before a candidate
+    revision may be promoted -- a candidate burning faster than the
+    active policy would widen deny divergence on live traffic.
+    """
+    return SliSpec(
+        name="shadow-deny-rate",
+        objective=0.95,
+        selector=lambda e: e.kind == "shadow",
+        kinds=frozenset({"shadow"}),
+        bad_when=lambda e: e.outcome == "deny",
+        description="candidate-policy denials during shadow-mode canary "
+                    "evaluation (promotion gate: compare against deny-rate)",
+    )
+
+
 def default_slis(
     latency_threshold_ns: int = DEFAULT_LATENCY_THRESHOLD_NS,
 ) -> tuple[SliSpec, ...]:
-    """The four SLIs the paper's serving story cares about."""
+    """The four decision SLIs the paper's serving story cares about,
+    plus the shadow-deny-rate canary SLI (zero events until a shadow
+    evaluation is running; its kind gate keeps it off the decision
+    path)."""
     return (
         SliSpec(
             name="validation-latency",
@@ -163,6 +187,7 @@ def default_slis(
             description="upstream failures reaching the client (5xx "
                         "pass-through or degraded answers)",
         ),
+        shadow_sli(),
     )
 
 

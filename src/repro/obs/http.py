@@ -15,7 +15,10 @@ Both HTTP servers in the repo (the mini API server in
   ``?user=``, ``?trace_id=``;
 - ``GET /obs/slo``    -- SLO burn-rate evaluation (when an
   :class:`~repro.obs.analytics.slo.SloEngine` is wired); evaluation
-  happens on read, so scraping this endpoint *is* the alert check.
+  happens on read, so scraping this endpoint *is* the alert check;
+- ``GET /obs/refine`` -- the policy-refinement loop's state (when a
+  :class:`~repro.obs.refine.RefineController` is wired): field-usage
+  matrix, candidate-policy diff, and the shadow-mode canary verdict.
 
 :func:`obs_endpoint` keeps the handlers transport-agnostic: it maps a
 request path to ``(status, content_type, body)`` or ``None`` when the
@@ -29,6 +32,7 @@ import json
 from typing import Any, Callable, Mapping
 from urllib.parse import parse_qs
 
+from repro.obs.analytics.events import EVENT_KINDS
 from repro.obs.tracing import TRACES, TraceBuffer
 
 __all__ = ["METRICS_CONTENT_TYPE", "obs_endpoint"]
@@ -39,7 +43,7 @@ _JSON = "application/json"
 #: Paths served by the observability layer.
 OBS_PATHS = (
     "/metrics", "/healthz", "/readyz", "/livez",
-    "/obs/traces", "/obs/events", "/obs/slo",
+    "/obs/traces", "/obs/events", "/obs/slo", "/obs/refine",
 )
 
 #: Response-size bounds: a full TraceBuffer/EventBus dump must not be
@@ -77,14 +81,16 @@ def obs_endpoint(
     traces: TraceBuffer = TRACES,
     event_bus: Any | None = None,
     slo: Any | None = None,
+    refine: Any | None = None,
 ) -> tuple[int, str, bytes] | None:
     """Serve an observability path, or return ``None`` for API traffic.
 
     ``ready_checks`` maps check names to callables; any falsy/raising
     check flips ``/readyz`` to 503 with the failing checks named.
-    ``event_bus``/``slo`` wire the ``/obs/events`` and ``/obs/slo``
-    analytics surfaces; unwired, those paths answer 404 with a hint
-    instead of falling through to API routing.
+    ``event_bus``/``slo``/``refine`` wire the ``/obs/events``,
+    ``/obs/slo`` and ``/obs/refine`` analytics surfaces; unwired,
+    those paths answer 404 with a hint instead of falling through to
+    API routing.
     """
     path, _, query = path.partition("?")
     params = parse_qs(query) if query else {}
@@ -124,12 +130,20 @@ def obs_endpoint(
             return 404, _JSON, json.dumps(
                 {"error": "no event bus wired on this component"}
             ).encode()
+        kind = _str_param(params, "kind")
+        if kind is not None and kind not in EVENT_KINDS:
+            # A typo'd kind would silently filter everything out; fail
+            # the query instead, naming the valid kinds.
+            return 400, _JSON, json.dumps({
+                "error": f"unknown event kind {kind!r}",
+                "valid_kinds": list(EVENT_KINDS),
+            }, sort_keys=True).encode()
         limit = _int_param(
             params, "limit", EVENTS_DEFAULT_LIMIT, EVENTS_MAX_LIMIT
         )
         body_text = event_bus.to_json(
             limit=limit,
-            kind=_str_param(params, "kind"),
+            kind=kind,
             user=_str_param(params, "user"),
             trace_id=_str_param(params, "trace_id"),
         )
@@ -141,4 +155,12 @@ def obs_endpoint(
             ).encode()
         report = slo.evaluate()
         return 200, _JSON, json.dumps(report.to_dict(), sort_keys=True).encode()
+    if path == "/obs/refine":
+        if refine is None:
+            return 404, _JSON, json.dumps(
+                {"error": "no refinement controller wired on this component"}
+            ).encode()
+        return 200, _JSON, json.dumps(
+            refine.status(), sort_keys=True
+        ).encode()
     return None

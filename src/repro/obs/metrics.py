@@ -32,16 +32,20 @@ Design points:
 
 from __future__ import annotations
 
+import logging
 import os
 import re
 import threading
 from bisect import bisect_left
 from typing import Any, Iterator
 
+logger = logging.getLogger(__name__)
+
 __all__ = [
     "CardinalityError",
     "Counter",
     "DEFAULT_LATENCY_BUCKETS_NS",
+    "DROPPED_SERIES_METRIC",
     "Gauge",
     "Histogram",
     "MAX_LABEL_SETS",
@@ -59,6 +63,12 @@ OBS_ENV = "REPRO_NO_OBS"
 
 #: Per-metric cap on distinct label-value combinations.
 MAX_LABEL_SETS = 64
+
+#: Self-metric counting label sets refused by the cardinality guard,
+#: labeled by the offending metric.  Without it a guard trip is only
+#: visible to the caller that got the CardinalityError -- the scrape
+#: side would never learn that series are being dropped.
+DROPPED_SERIES_METRIC = "repro_label_sets_dropped_total"
 
 #: ns-resolution exponential latency buckets: 1us doubling to ~2.1s.
 DEFAULT_LATENCY_BUCKETS_NS: tuple[float, ...] = tuple(
@@ -171,7 +181,8 @@ class _Metric:
     _local_cls: Any = None
 
     def __init__(self, name: str, help: str, label_names: tuple[str, ...],
-                 lock: threading.RLock, max_series: int = MAX_LABEL_SETS):
+                 lock: threading.RLock, max_series: int = MAX_LABEL_SETS,
+                 registry: "MetricsRegistry | None" = None):
         if not _NAME_RE.match(name):
             raise MetricError(f"invalid metric name {name!r}")
         for label in label_names:
@@ -181,6 +192,8 @@ class _Metric:
         self.help = help
         self.label_names = tuple(label_names)
         self.max_series = max_series
+        self._registry = registry
+        self._drop_warned = False
         self._lock = lock
         self._series: dict[tuple[str, ...], Any] = {}
         #: key -> list of local handles whose per-thread cells fold
@@ -198,6 +211,7 @@ class _Metric:
         series = self._series.get(key)
         if series is None:
             if len(self._series) >= self.max_series:
+                self._record_dropped(key)
                 raise CardinalityError(
                     f"metric {self.name!r} already has {len(self._series)} label "
                     f"sets (cap {self.max_series}); refusing to create "
@@ -207,6 +221,28 @@ class _Metric:
             series = self._new_series()
             self._series[key] = series
         return series
+
+    def _record_dropped(self, key: tuple[str, ...]) -> None:
+        """Make a cardinality-guard trip visible on the scrape side:
+        count the refused series in :data:`DROPPED_SERIES_METRIC` and
+        warn once per metric.  Called under the registry lock (an
+        RLock, so creating the self-metric here cannot deadlock)."""
+        registry = self._registry
+        if registry is not None and self.name != DROPPED_SERIES_METRIC:
+            registry.counter(
+                DROPPED_SERIES_METRIC,
+                "Label sets refused by the per-metric cardinality guard, "
+                "by offending metric.",
+                labels=("metric",),
+            ).labels(metric=self.name).inc()
+        if not self._drop_warned:
+            self._drop_warned = True
+            logger.warning(
+                "metric %r hit its label-set cap (%d); dropping new series %r "
+                "(further drops counted in %s, not logged)",
+                self.name, self.max_series,
+                dict(zip(self.label_names, key)), DROPPED_SERIES_METRIC,
+            )
 
     def labels(self, **labels: str) -> _Bound:
         """The series for one concrete label-value combination."""
@@ -539,12 +575,13 @@ class Histogram(_Metric):
 
     def __init__(self, name: str, help: str, label_names: tuple[str, ...],
                  lock: threading.RLock, buckets: tuple[float, ...] | None = None,
-                 max_series: int = MAX_LABEL_SETS):
+                 max_series: int = MAX_LABEL_SETS,
+                 registry: "MetricsRegistry | None" = None):
         bounds = tuple(sorted(buckets if buckets is not None else DEFAULT_LATENCY_BUCKETS_NS))
         if not bounds:
             raise MetricError(f"histogram {name!r} needs at least one bucket bound")
         self.bounds = bounds
-        super().__init__(name, help, label_names, lock, max_series)
+        super().__init__(name, help, label_names, lock, max_series, registry)
 
     def _new_series(self) -> list[Any]:
         return [[0] * (len(self.bounds) + 1), 0.0, 0]
@@ -674,7 +711,8 @@ class MetricsRegistry:
                         and tuple(sorted(kwargs["buckets"])) != existing.bounds:
                     raise MetricError(f"histogram {name!r}: bucket bounds differ")
                 return existing
-            metric = cls(name, help, tuple(labels), self._lock, **kwargs)
+            metric = cls(name, help, tuple(labels), self._lock,
+                         registry=self, **kwargs)
             self._metrics[name] = metric
             return metric
 

@@ -1,0 +1,42 @@
+"""Audit-driven policy refinement (profiler, refiner, shadow canary).
+
+The closed loop over a running KubeFence proxy:
+
+    live traffic -> FieldUsageProfiler (observed vs permitted matrix)
+                 -> PolicyRefiner     (tightened candidate + diff)
+                 -> ShadowEvaluator   (canary on live traffic, no effect
+                                       on served decisions)
+                 -> promotion gate    (divergence + SLO burn rate)
+                 -> install_validator (revision bump, caches drop)
+
+:class:`RefineController` wires all of it onto a proxy and doubles as
+the ``/obs/refine`` payload.  ``repro refine`` drives the loop from
+the CLI.
+"""
+
+from repro.obs.refine.controller import RefineController
+from repro.obs.refine.profiler import (
+    FieldUsageProfiler,
+    KindUsage,
+    UsageReport,
+    manifest_field_sample,
+)
+from repro.obs.refine.refiner import (
+    CandidatePolicy,
+    PolicyRefiner,
+    RefinementAction,
+)
+from repro.obs.refine.shadow import ShadowEvaluator, ShadowVerdict
+
+__all__ = [
+    "CandidatePolicy",
+    "FieldUsageProfiler",
+    "KindUsage",
+    "PolicyRefiner",
+    "RefineController",
+    "RefinementAction",
+    "ShadowEvaluator",
+    "ShadowVerdict",
+    "UsageReport",
+    "manifest_field_sample",
+]

@@ -1,0 +1,483 @@
+"""Field-usage profiling over the security-event stream.
+
+KubeFence's core idea is specializing the attack surface to the fields
+a workload actually uses (Fig. 9 / Table I), but the generated policy
+is an *upper bound*: it permits every field any chart variant could
+render.  The :class:`FieldUsageProfiler` closes the loop at runtime --
+it subscribes to the :class:`~repro.obs.analytics.events.EventBus` and
+builds, per ``(identity, kind)``, the matrix of **observed** fields and
+verbs against the **permitted** set from the bound validator
+(:meth:`~repro.core.enforcement.Validator.allowed_field_paths`).
+
+Two refinement signals fall out of the matrix:
+
+- **permitted-but-never-exercised fields** -- subtrees the policy
+  allows that no live write ever touched (candidates for pruning);
+- **over-broad placeholders** -- ``⟨string⟩``-style wildcards where
+  live traffic only ever carried one constant (or a small enum),
+  candidates for specialization.
+
+Decision events carry their manifest's field sample in
+``detail["fields"]``/``detail["values"]`` only when a proxy has field
+observation switched on (:class:`~repro.obs.refine.RefineController`
+flips ``proxy.observe_fields``), so the profiling cost stays off the
+hot path until a refinement loop is actually running.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Mapping
+
+from repro.core import placeholders
+from repro.core.enforcement import SERVER_MANAGED_METADATA
+
+__all__ = [
+    "FieldUsageProfiler",
+    "KindUsage",
+    "UsageReport",
+    "manifest_field_sample",
+]
+
+#: Bounds on the per-event field sample (a crafted manifest must not
+#: inflate every decision event it generates).
+MAX_SAMPLE_FIELDS = 256
+MAX_SAMPLE_VALUES = 64
+MAX_VALUE_CHARS = 120
+
+#: Sentinel marking a field whose observed values exceeded the
+#: distinct-value bound -- too diverse to specialize.
+DIVERSE = "__diverse__"
+
+
+def manifest_field_sample(
+    body: Mapping[str, Any],
+    max_fields: int = MAX_SAMPLE_FIELDS,
+    max_values: int = MAX_SAMPLE_VALUES,
+) -> tuple[list[str], dict[str, list[Any]]]:
+    """``(field_paths, scalar_values)`` for one write body.
+
+    Paths are dot-joined with list indexes stripped -- the same schema
+    coordinates :meth:`Validator.allowed_field_paths` uses, so observed
+    and permitted sets are directly comparable.  The ``status`` subtree
+    and server-managed metadata are skipped (enforcement ignores them
+    too).  Scalar leaf values are recorded for placeholder
+    specialization, long strings truncated.
+    """
+    # Iterative walk with inlined bookkeeping: this runs on every
+    # allowed write while a refinement loop is observing, so it is hot
+    # enough for Python call overhead (recursion + a per-leaf helper)
+    # to dominate.  The explicit stack halves the cost on a typical
+    # Deployment manifest.
+    seen: set[str] = set()
+    seen_add = seen.add
+    values: dict[str, list[Any]] = {}
+    values_get = values.get
+    #: remaining new-path budget; decremented on add so the hot loop
+    #: never calls len() per key.
+    room = max_fields
+    value_room = max_values
+    # Every scalar occurrence is recorded (bounded): a path repeated
+    # across list elements (env vars, containers) with different
+    # values must surface ALL of them, or the refiner would
+    # "specialize" a placeholder to the first element's value and
+    # start shadow-denying the rest of the list.
+    #
+    # Stack entries carry an under-metadata flag computed at push time
+    # (exact: a dict is under metadata iff its own key is "metadata"),
+    # avoiding a per-node endswith() probe.
+    stack: list[tuple[Any, str, int, bool]] = [(body, "", 0, False)]
+    stack_pop = stack.pop
+    stack_append = stack.append
+    while stack:
+        node, prefix, depth, under_metadata = stack_pop()
+        if room <= 0 or depth > 32:
+            continue
+        if type(node) is list:
+            # Reversed pushes keep the LIFO pop in document order, so
+            # repeated paths accumulate their values in occurrence
+            # order (the refiner treats them as a set, but the sample
+            # itself is part of the event payload contract).
+            for child in reversed(node):
+                if type(child) is dict or type(child) is list:
+                    stack_append((child, prefix, depth + 1, under_metadata))
+            continue
+        pending: list[tuple[Any, str, int, bool]] = []
+        for key, child in node.items():
+            if not prefix and key == "status":
+                continue
+            if under_metadata and key in SERVER_MANAGED_METADATA:
+                continue
+            path = f"{prefix}.{key}" if prefix else str(key)
+            if path not in seen:
+                if room <= 0:
+                    break
+                seen_add(path)
+                room -= 1
+            if type(child) is dict or type(child) is list:
+                pending.append((child, path, depth + 1, key == "metadata"))
+            else:
+                bucket = values_get(path)
+                if bucket is None:
+                    if value_room <= 0:
+                        continue
+                    bucket = values[path] = []
+                    value_room -= 1
+                if len(bucket) >= 8:
+                    continue
+                if type(child) is str and len(child) > MAX_VALUE_CHARS:
+                    child = child[:MAX_VALUE_CHARS]
+                bucket.append(child)
+        if pending:
+            stack.extend(reversed(pending))
+    return sorted(seen), values
+
+
+def _placeholder_leaves(tree: Mapping[str, Any]) -> dict[str, str]:
+    """``{dot_path: placeholder_type}`` for every whole-placeholder
+    leaf in one kind's allowed-configuration tree."""
+    out: dict[str, str] = {}
+
+    def walk(node: Any, prefix: str) -> None:
+        if isinstance(node, dict):
+            for key, child in node.items():
+                walk(child, f"{prefix}.{key}" if prefix else str(key))
+        elif isinstance(node, list):
+            for child in node:
+                walk(child, prefix)
+        else:
+            ptype = placeholders.placeholder_type(node)
+            if ptype is not None and prefix not in out:
+                out[prefix] = ptype
+
+    walk(tree, "")
+    return out
+
+
+class _Usage:
+    """Mutable per-(identity, kind) cell of the matrix."""
+
+    __slots__ = ("requests", "verbs", "fields")
+
+    def __init__(self) -> None:
+        self.requests = 0
+        self.verbs: set[str] = set()
+        self.fields: set[str] = set()
+
+
+@dataclass
+class KindUsage:
+    """Aggregated observed-vs-permitted usage for one resource kind."""
+
+    kind: str
+    requests: int
+    identities: list[str]
+    verbs: list[str]
+    observed_fields: list[str]
+    permitted_fields: list[str]
+    unused_fields: list[str]          # topmost permitted-but-never-exercised
+    overbroad: list[dict[str, Any]]   # over-broad placeholder flags
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "requests": self.requests,
+            "identities": self.identities,
+            "verbs": self.verbs,
+            "observed_fields": len(self.observed_fields),
+            "permitted_fields": len(self.permitted_fields),
+            "unused_fields": self.unused_fields,
+            "overbroad_placeholders": self.overbroad,
+        }
+
+
+@dataclass
+class UsageReport:
+    """One profiling pass: the usage matrix plus refinement flags."""
+
+    operator: str
+    rows: list[KindUsage]
+    identity_matrix: list[dict[str, Any]] = field(default_factory=list)
+    events_seen: int = 0
+    decisions: int = 0
+    audits: int = 0
+
+    @property
+    def unused_total(self) -> int:
+        return sum(len(row.unused_fields) for row in self.rows)
+
+    @property
+    def overbroad_total(self) -> int:
+        return sum(len(row.overbroad) for row in self.rows)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "operator": self.operator,
+            "events_seen": self.events_seen,
+            "decisions": self.decisions,
+            "audits": self.audits,
+            "unused_fields_total": self.unused_total,
+            "overbroad_placeholders_total": self.overbroad_total,
+            "kinds": [row.to_dict() for row in self.rows],
+            "identities": self.identity_matrix,
+        }
+
+    def render(self) -> str:
+        lines = [f"field-usage matrix for {self.operator!r}", "=" * 64]
+        for row in self.rows:
+            lines.append(
+                f"{row.kind:24s} requests={row.requests:5d}  "
+                f"observed={len(row.observed_fields):4d}/"
+                f"{len(row.permitted_fields):4d} permitted  "
+                f"unused={len(row.unused_fields):3d}  "
+                f"overbroad={len(row.overbroad):2d}"
+            )
+            for path in row.unused_fields[:6]:
+                lines.append(f"    never exercised: {path}")
+            if len(row.unused_fields) > 6:
+                lines.append(
+                    f"    ... and {len(row.unused_fields) - 6} more"
+                )
+            for flag in row.overbroad:
+                lines.append(
+                    f"    over-broad {flag['path']} ({flag['placeholder']}): "
+                    f"{flag['samples']} sample(s), "
+                    f"values {flag['values']!r} -> {flag['suggestion']}"
+                )
+        lines.append("-" * 64)
+        lines.append(
+            f"{self.unused_total} unused permitted field(s), "
+            f"{self.overbroad_total} over-broad placeholder(s) flagged"
+        )
+        return "\n".join(lines)
+
+
+class FieldUsageProfiler:
+    """EventBus subscriber building the observed-vs-permitted matrix.
+
+    Subscribe :meth:`ingest` to a live bus (``bus.subscribe(p.ingest)``)
+    or replay a recorded stream with :meth:`ingest_many`.  Only
+    **allowed** decisions count as usage -- a denied manifest's fields
+    are attack shape, not workload shape.  Audit events contribute the
+    verb/operator side of the matrix for identities whose traffic
+    reaches the API server.
+    """
+
+    def __init__(
+        self,
+        validator: Any | None = None,
+        max_distinct_values: int = 8,
+        max_tracked_fields: int = 4096,
+    ):
+        self._lock = threading.Lock()
+        self._matrix: dict[tuple[str, str], _Usage] = {}
+        #: (kind, path) -> set of observed scalar values (or DIVERSE).
+        self._values: dict[tuple[str, str], Any] = {}
+        self._value_samples: dict[tuple[str, str], int] = {}
+        self.max_distinct_values = max_distinct_values
+        self.max_tracked_fields = max_tracked_fields
+        self.events_seen = 0
+        self.decisions = 0
+        self.audits = 0
+        self.validator = validator
+
+    def bind(self, validator: Any) -> None:
+        """(Re)bind the active policy the matrix is compared against."""
+        with self._lock:
+            self.validator = validator
+
+    # -- ingest ------------------------------------------------------------
+
+    def ingest(self, event: Any) -> None:
+        """Consume one security event (bus-subscriber signature)."""
+        kind = event.kind
+        if kind == "decision":
+            self._ingest_decision(event)
+        elif kind == "audit":
+            self._ingest_audit(event)
+
+    def ingest_many(self, events: Iterable[Any]) -> None:
+        for event in events:
+            self.ingest(event)
+
+    def _cell(self, user: str, resource: str) -> _Usage:
+        key = (user or "?", resource)
+        cell = self._matrix.get(key)
+        if cell is None:
+            cell = self._matrix[key] = _Usage()
+        return cell
+
+    def _ingest_decision(self, event: Any) -> None:
+        if event.outcome != "allow" or not event.resource:
+            return
+        detail = event.detail or {}
+        with self._lock:
+            self.events_seen += 1
+            self.decisions += 1
+            cell = self._cell(event.user, event.resource)
+            cell.requests += 1
+            if event.verb:
+                cell.verbs.add(event.verb)
+            fields = detail.get("fields")
+            if fields:
+                cell.fields.update(fields)
+            values = detail.get("values")
+            if values:
+                self._note_values(event.resource, values)
+
+    def _ingest_audit(self, event: Any) -> None:
+        if event.outcome != "allow" or not event.resource:
+            return
+        with self._lock:
+            self.events_seen += 1
+            self.audits += 1
+            cell = self._cell(event.user, event.resource)
+            if event.verb:
+                cell.verbs.add(event.verb)
+
+    def _note_values(self, kind: str, values: Mapping[str, Any]) -> None:
+        for path, observed in values.items():
+            key = (kind, path)
+            # Back-compat: a scalar is one observation, a list is the
+            # per-occurrence sample from manifest_field_sample.
+            occurrences = observed if isinstance(observed, list) else [observed]
+            self._value_samples[key] = (
+                self._value_samples.get(key, 0) + len(occurrences)
+            )
+            bucket = self._values.get(key)
+            if bucket is DIVERSE:
+                continue
+            if bucket is None:
+                if len(self._values) >= self.max_tracked_fields:
+                    continue
+                bucket = self._values[key] = set()
+            for value in occurrences:
+                try:
+                    bucket.add(value)
+                except TypeError:  # unhashable (shouldn't happen for scalars)
+                    continue
+            if len(bucket) > self.max_distinct_values:
+                self._values[key] = DIVERSE
+
+    # -- reporting ---------------------------------------------------------
+
+    @staticmethod
+    def _topmost(paths: set[tuple[str, ...]]) -> list[tuple[str, ...]]:
+        """Keep only paths whose parent is not itself in the set, so a
+        whole unused subtree reports (and prunes) as one entry."""
+        return sorted(p for p in paths if p[:-1] not in paths)
+
+    def usage(self, min_value_samples: int = 3) -> UsageReport:
+        """Evaluate the matrix against the bound validator."""
+        with self._lock:
+            validator = self.validator
+            matrix = {
+                key: (cell.requests, set(cell.verbs), set(cell.fields))
+                for key, cell in self._matrix.items()
+            }
+            value_sets = dict(self._values)
+            value_samples = dict(self._value_samples)
+            events_seen, decisions, audits = (
+                self.events_seen, self.decisions, self.audits
+            )
+        operator = getattr(validator, "operator", "") if validator else ""
+        kinds = sorted({kind for (_user, kind) in matrix})
+        rows: list[KindUsage] = []
+        identity_matrix: list[dict[str, Any]] = []
+        for kind in kinds:
+            observed: set[str] = set()
+            verbs: set[str] = set()
+            identities: list[str] = []
+            requests = 0
+            for (user, row_kind), (n, row_verbs, row_fields) in matrix.items():
+                if row_kind != kind:
+                    continue
+                identities.append(user)
+                requests += n
+                verbs |= row_verbs
+                observed |= row_fields
+            permitted_tuples = (
+                validator.allowed_field_paths(kind) if validator else set()
+            )
+            permitted = {".".join(p) for p in permitted_tuples}
+            observed_tuples = {tuple(p.split(".")) for p in observed}
+            unused_tuples = {
+                p for p in permitted_tuples
+                if ".".join(p) not in observed
+                # an observed descendant keeps every ancestor "used"
+                and not any(o[: len(p)] == p for o in observed_tuples)
+            }
+            unused = [".".join(p) for p in self._topmost(unused_tuples)]
+            overbroad = self._overbroad_for(
+                kind, validator, observed, value_sets, value_samples,
+                min_value_samples,
+            )
+            rows.append(KindUsage(
+                kind=kind,
+                requests=requests,
+                identities=sorted(set(identities)),
+                verbs=sorted(verbs),
+                observed_fields=sorted(observed),
+                permitted_fields=sorted(permitted),
+                unused_fields=unused,
+                overbroad=overbroad,
+            ))
+            for (user, row_kind), (n, row_verbs, row_fields) in sorted(
+                matrix.items()
+            ):
+                if row_kind != kind:
+                    continue
+                identity_matrix.append({
+                    "identity": user,
+                    "kind": kind,
+                    "requests": n,
+                    "verbs": sorted(row_verbs),
+                    "observed_fields": len(row_fields),
+                    "permitted_fields": len(permitted),
+                })
+        return UsageReport(
+            operator=operator,
+            rows=rows,
+            identity_matrix=identity_matrix,
+            events_seen=events_seen,
+            decisions=decisions,
+            audits=audits,
+        )
+
+    def _overbroad_for(
+        self,
+        kind: str,
+        validator: Any,
+        observed: set[str],
+        value_sets: Mapping[tuple[str, str], Any],
+        value_samples: Mapping[tuple[str, str], int],
+        min_value_samples: int,
+    ) -> list[dict[str, Any]]:
+        """Placeholder leaves whose live traffic was far narrower than
+        the placeholder admits."""
+        if validator is None:
+            return []
+        tree = validator.kinds.get(kind)
+        if tree is None:
+            return []
+        out: list[dict[str, Any]] = []
+        for path, ptype in sorted(_placeholder_leaves(tree).items()):
+            if path not in observed:
+                continue  # never exercised -> the pruning signal owns it
+            bucket = value_sets.get((kind, path))
+            samples = value_samples.get((kind, path), 0)
+            if bucket is None or bucket is DIVERSE:
+                continue
+            if samples < min_value_samples or not bucket:
+                continue
+            distinct = sorted(bucket, key=repr)
+            suggestion = "constant" if len(distinct) == 1 else "enum"
+            out.append({
+                "path": path,
+                "placeholder": ptype,
+                "values": distinct,
+                "samples": samples,
+                "suggestion": suggestion,
+            })
+        return out

@@ -1,0 +1,250 @@
+"""Candidate-policy synthesis from a field-usage report.
+
+The :class:`PolicyRefiner` turns the profiler's refinement flags into a
+**candidate** validator revision:
+
+- permitted-but-never-exercised subtrees are pruned (an unused allowed
+  field is pure attack surface -- exactly the specialization argument
+  of KubeFence Sec. IV, applied a second time with runtime evidence);
+- over-broad placeholders that only ever carried one constant are
+  specialized down to that constant.
+
+The candidate is **never installed directly**.  It is an input to the
+:class:`~repro.obs.refine.shadow.ShadowEvaluator`, which must clear it
+against live traffic before :class:`~repro.obs.refine.RefineController`
+promotes it.  Structural safety rails regardless of what the profiler
+observed:
+
+- the root ``kind``/``apiVersion``/``metadata`` fields survive (every
+  manifest carries them; pruning them would deny all traffic);
+- any field a *required* security lock asserts survives (the lock
+  says the field must be present -- the policy must keep allowing it);
+- a kind with fewer than ``min_samples`` allowed requests is left
+  untouched (no evidence, no refinement).
+"""
+
+from __future__ import annotations
+
+import copy
+import json
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.core.enforcement import Validator
+from repro.core.placeholders import to_paper_form
+
+from .profiler import UsageReport
+
+__all__ = ["CandidatePolicy", "PolicyRefiner", "RefinementAction"]
+
+#: Root-level manifest fields every request carries.
+PROTECTED_ROOTS = frozenset({"kind", "apiVersion", "metadata"})
+
+
+@dataclass(frozen=True)
+class RefinementAction:
+    """One machine-readable entry of the candidate diff."""
+
+    action: str       # "prune" | "specialize"
+    kind: str
+    path: str
+    before: Any = None
+    after: Any = None
+    reason: str = ""
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "action": self.action,
+            "kind": self.kind,
+            "path": self.path,
+            "before": self.before,
+            "after": self.after,
+            "reason": self.reason,
+        }
+
+
+@dataclass
+class CandidatePolicy:
+    """A tightened validator revision plus the diff that produced it."""
+
+    validator: Validator
+    base_revision: int
+    actions: list[RefinementAction] = field(default_factory=list)
+    skipped_kinds: list[dict[str, Any]] = field(default_factory=list)
+
+    @property
+    def pruned(self) -> int:
+        return sum(1 for a in self.actions if a.action == "prune")
+
+    @property
+    def specialized(self) -> int:
+        return sum(1 for a in self.actions if a.action == "specialize")
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "operator": self.validator.operator,
+            "base_revision": self.base_revision,
+            "candidate_revision": self.validator.policy_revision,
+            "pruned": self.pruned,
+            "specialized": self.specialized,
+            "actions": [a.to_dict() for a in self.actions],
+            "skipped_kinds": self.skipped_kinds,
+        }
+
+    def diff_json(self) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True, indent=2)
+
+
+class PolicyRefiner:
+    """Synthesize a tightened candidate from usage evidence."""
+
+    def __init__(self, min_samples: int = 5):
+        self.min_samples = min_samples
+
+    def refine(self, active: Validator, usage: UsageReport) -> CandidatePolicy:
+        """Build the candidate; ``active`` is never mutated."""
+        candidate = Validator(
+            operator=active.operator,
+            kinds=copy.deepcopy(active.kinds),
+            locks=list(active.locks),
+            meta=dict(active.meta),
+        )
+        # The candidate is the *next* revision: caches keyed on
+        # (validator id, revision) must treat promoted decisions as a
+        # different policy generation from the active one.
+        candidate.policy_revision = active.policy_revision + 1
+        lock_heads = {
+            lock.path.split(".")[0]
+            for lock in active.locks
+            if lock.mode == "required"
+        }
+        actions: list[RefinementAction] = []
+        skipped: list[dict[str, Any]] = []
+        for row in usage.rows:
+            tree = candidate.kinds.get(row.kind)
+            if tree is None:
+                continue
+            if row.requests < self.min_samples:
+                skipped.append({
+                    "kind": row.kind,
+                    "requests": row.requests,
+                    "reason": f"below min_samples={self.min_samples}",
+                })
+                continue
+            for path in row.unused_fields:
+                pruned = self._prune(tree, path.split("."), lock_heads)
+                if pruned is not None:
+                    actions.append(RefinementAction(
+                        action="prune",
+                        kind=row.kind,
+                        path=path,
+                        before=_render(pruned),
+                        reason="permitted but never exercised by live traffic",
+                    ))
+            for flag in row.overbroad:
+                if flag["suggestion"] != "constant" or len(flag["values"]) != 1:
+                    continue
+                constant = flag["values"][0]
+                replaced = self._specialize(
+                    tree, flag["path"].split("."), constant
+                )
+                if replaced is not None:
+                    actions.append(RefinementAction(
+                        action="specialize",
+                        kind=row.kind,
+                        path=flag["path"],
+                        before=to_paper_form(str(replaced)),
+                        after=constant,
+                        reason=(
+                            f"placeholder only ever carried this value "
+                            f"({flag['samples']} samples)"
+                        ),
+                    ))
+        if actions:
+            # Content changed relative to the deep copy: make sure no
+            # stale compiled engine survives (deepcopy skipped it --
+            # _compiled_engine is init=False -- but be explicit).
+            candidate._compiled_engine = None
+        return CandidatePolicy(
+            validator=candidate,
+            base_revision=active.policy_revision,
+            actions=actions,
+            skipped_kinds=skipped,
+        )
+
+    # -- tree surgery ------------------------------------------------------
+
+    def _prune(
+        self,
+        tree: dict[str, Any],
+        parts: list[str],
+        lock_heads: set[str],
+    ) -> Any:
+        """Delete the subtree at *parts* from every matching list
+        branch; returns the removed value (from the first match) or
+        ``None`` when protected/absent."""
+        if not parts:
+            return None
+        if parts[-1] in lock_heads:
+            return None
+
+        def drop(node: Any, segments: list[str], at_root: bool) -> Any:
+            if isinstance(node, list):
+                removed = None
+                for child in node:
+                    got = drop(child, segments, at_root)
+                    if removed is None:
+                        removed = got
+                return removed
+            if not isinstance(node, dict):
+                return None
+            key, tail = segments[0], segments[1:]
+            if key not in node:
+                return None
+            if not tail:
+                if at_root and key in PROTECTED_ROOTS:
+                    return None
+                return node.pop(key)
+            return drop(node[key], tail, False)
+
+        return drop(tree, parts, True)
+
+    def _specialize(
+        self, tree: dict[str, Any], parts: list[str], constant: Any
+    ) -> Any:
+        """Replace the placeholder leaf at *parts* with *constant*;
+        returns the replaced placeholder or ``None``."""
+
+        def visit(node: Any, segments: list[str]) -> Any:
+            if isinstance(node, list):
+                replaced = None
+                for child in node:
+                    got = visit(child, segments)
+                    if replaced is None:
+                        replaced = got
+                return replaced
+            if not isinstance(node, dict):
+                return None
+            key, tail = segments[0], segments[1:]
+            if key not in node:
+                return None
+            if tail:
+                return visit(node[key], tail)
+            leaf = node[key]
+            if isinstance(leaf, (dict, list)):
+                return None
+            node[key] = constant
+            return leaf
+
+        return visit(tree, parts)
+
+
+def _render(node: Any) -> Any:
+    """JSON-safe rendering of a pruned subtree for the diff."""
+    if isinstance(node, dict):
+        return {k: _render(v) for k, v in node.items()}
+    if isinstance(node, list):
+        return [_render(v) for v in node]
+    if isinstance(node, str):
+        return to_paper_form(node)
+    return node

@@ -1,0 +1,278 @@
+"""Shadow-mode canary evaluation of a candidate policy.
+
+The :class:`ShadowEvaluator` sits next to the validation gate in both
+proxies.  For a configurable fraction of live write traffic it
+evaluates the request body against the **candidate** policy revision,
+side by side with the active one.  The shadow verdict **never**
+affects the served decision -- the active policy answers the client;
+the candidate only accumulates evidence:
+
+- ``kubefence_shadow_evaluations_total`` counts sampled bodies;
+- ``kubefence_shadow_divergence_total{direction}`` counts
+  disagreements: ``tighten`` (active allow, candidate deny -- the
+  candidate would newly block this traffic) and ``loosen`` (active
+  deny, candidate allow -- the candidate would newly admit it);
+- every shadow evaluation publishes a ``kind="shadow"`` event, which
+  feeds the ``shadow-deny-rate`` SLI so the
+  :class:`~repro.obs.analytics.slo.SloEngine`'s multi-window burn
+  rates gate promotion the same way they gate the active deny rate.
+
+Sampling is per-thread 1-in-N head sampling (the same deterministic
+discipline as ``EventBus.sampled``): thread-local counters mean no
+shared atomic on the hot path, and ``fraction=1.0`` shadows every
+write (tests), ``fraction=0.125`` is the production posture the
+overhead benchmark gates at <5%.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.obs.analytics.events import NULL_EVENT_BUS, SecurityEvent
+
+__all__ = ["ShadowEvaluator", "ShadowVerdict"]
+
+#: Default fraction of live writes shadow-evaluated.
+DEFAULT_FRACTION = 0.125
+#: Minimum sampled evaluations before a promote/rollback verdict.
+DEFAULT_MIN_SAMPLES = 25
+#: Allowed excess of shadow deny-fraction over active deny-fraction
+#: before the candidate counts as widening deny divergence.
+DEFAULT_TOLERANCE = 0.02
+
+_PROMOTE, _HOLD, _ROLLBACK = "promote", "hold", "rollback"
+
+
+@dataclass
+class ShadowVerdict:
+    """Promotion-gate outcome for one candidate revision."""
+
+    decision: str                      # "promote" | "hold" | "rollback"
+    reasons: list[str] = field(default_factory=list)
+    widens_deny_divergence: bool = False
+    evaluations: int = 0
+    agreements: int = 0
+    tighten: int = 0
+    loosen: int = 0
+    shadow_deny_fraction: float = 0.0
+    active_deny_fraction: float = 0.0
+
+    @property
+    def promote(self) -> bool:
+        return self.decision == _PROMOTE
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "decision": self.decision,
+            "reasons": self.reasons,
+            "widens_deny_divergence": self.widens_deny_divergence,
+            "evaluations": self.evaluations,
+            "agreements": self.agreements,
+            "divergence": {"tighten": self.tighten, "loosen": self.loosen},
+            "shadow_deny_fraction": round(self.shadow_deny_fraction, 6),
+            "active_deny_fraction": round(self.active_deny_fraction, 6),
+        }
+
+
+class ShadowEvaluator:
+    """Evaluate a fraction of live traffic against a candidate policy."""
+
+    def __init__(
+        self,
+        candidate: Any,
+        fraction: float = DEFAULT_FRACTION,
+        event_bus: Any = NULL_EVENT_BUS,
+        metrics: Any | None = None,
+        min_samples: int = DEFAULT_MIN_SAMPLES,
+        tolerance: float = DEFAULT_TOLERANCE,
+    ):
+        self.candidate = candidate
+        self.fraction = fraction
+        # 1-in-N head sampling; fraction <= 0 disables shadowing.
+        self._stride = (
+            0 if fraction <= 0 else max(1, round(1.0 / min(fraction, 1.0)))
+        )
+        self._tls = threading.local()
+        self.events = event_bus
+        self.min_samples = min_samples
+        self.tolerance = tolerance
+        self._lock = threading.Lock()
+        self.evaluations = 0
+        self.agreements = 0
+        self.tighten = 0
+        self.loosen = 0
+        self.shadow_denies = 0
+        self.active_denies = 0
+        self._m_evals = None
+        self._m_divergence = None
+        if metrics is not None:
+            self._m_evals = metrics.counter(
+                "kubefence_shadow_evaluations_total",
+                "Live write bodies shadow-evaluated against the candidate "
+                "policy revision.",
+            )
+            self._m_divergence = metrics.counter(
+                "kubefence_shadow_divergence_total",
+                "Active/candidate disagreements, by direction (tighten = "
+                "active allow but candidate deny; loosen = active deny but "
+                "candidate allow).",
+                labels=("direction",),
+            )
+
+    # -- hot path ----------------------------------------------------------
+
+    def sampled(self) -> bool:
+        """Deterministic per-thread 1-in-N gate (first hit samples)."""
+        stride = self._stride
+        if stride == 0:
+            return False
+        if stride == 1:
+            return True
+        count = getattr(self._tls, "count", 0)
+        self._tls.count = count + 1
+        return count % stride == 0
+
+    def observe(
+        self,
+        body: Any,
+        active_allowed: bool,
+        user: str = "",
+        verb: str = "",
+    ) -> None:
+        """Shadow-evaluate one live write (post-gate, pre-forward).
+
+        Must never raise and never influences the served decision.
+        """
+        if not self.sampled():
+            return
+        try:
+            result = self.candidate.validate(body)
+            candidate_allowed = bool(result.allowed)
+        except Exception:  # noqa: BLE001 - a broken candidate must not break serving
+            return
+        direction = None
+        if active_allowed and not candidate_allowed:
+            direction = "tighten"
+        elif candidate_allowed and not active_allowed:
+            direction = "loosen"
+        with self._lock:
+            self.evaluations += 1
+            if direction is None:
+                self.agreements += 1
+            elif direction == "tighten":
+                self.tighten += 1
+            else:
+                self.loosen += 1
+            if not candidate_allowed:
+                self.shadow_denies += 1
+            if not active_allowed:
+                self.active_denies += 1
+        if self._m_evals is not None:
+            self._m_evals.inc()
+            if direction is not None:
+                self._m_divergence.labels(direction=direction).inc()
+        bus = self.events
+        if bus is not None and bus.enabled:
+            detail: dict[str, Any] = {
+                "candidate_revision": getattr(
+                    self.candidate, "policy_revision", 0
+                ),
+                "active_allowed": active_allowed,
+            }
+            if direction is not None:
+                detail["direction"] = direction
+            bus.publish(SecurityEvent(
+                kind="shadow",
+                source="shadow-evaluator",
+                ts=time.time(),
+                user=user,
+                verb=verb,
+                resource=str((body or {}).get("kind", "")),
+                outcome="allow" if candidate_allowed else "deny",
+                detail=detail,
+            ))
+
+    # -- reporting / gating ------------------------------------------------
+
+    def snapshot(self) -> dict[str, Any]:
+        with self._lock:
+            evaluations = self.evaluations
+            return {
+                "fraction": self.fraction,
+                "candidate_revision": getattr(
+                    self.candidate, "policy_revision", 0
+                ),
+                "evaluations": evaluations,
+                "agreements": self.agreements,
+                "divergence": {
+                    "tighten": self.tighten, "loosen": self.loosen,
+                },
+                "shadow_denies": self.shadow_denies,
+                "active_denies": self.active_denies,
+            }
+
+    def verdict(self, slo_report: Any | None = None) -> ShadowVerdict:
+        """Promotion gate: compare candidate behaviour with the active
+        policy (and, when given, the shadow SLI's burn rate)."""
+        with self._lock:
+            evaluations = self.evaluations
+            agreements = self.agreements
+            tighten = self.tighten
+            loosen = self.loosen
+            shadow_denies = self.shadow_denies
+            active_denies = self.active_denies
+        shadow_frac = shadow_denies / evaluations if evaluations else 0.0
+        active_frac = active_denies / evaluations if evaluations else 0.0
+        reasons: list[str] = []
+        widens = shadow_frac > active_frac + self.tolerance
+        decision = _PROMOTE
+        if evaluations < self.min_samples:
+            decision = _HOLD
+            reasons.append(
+                f"insufficient shadow samples "
+                f"({evaluations} < {self.min_samples})"
+            )
+        elif loosen > 0:
+            decision = _ROLLBACK
+            reasons.append(
+                f"candidate would admit {loosen} request(s) the active "
+                f"policy denies (loosen divergence)"
+            )
+        elif widens:
+            decision = _ROLLBACK
+            reasons.append(
+                f"candidate widens deny divergence: shadow deny fraction "
+                f"{shadow_frac:.4f} vs active {active_frac:.4f} "
+                f"(+{self.tolerance:.2f} tolerance)"
+            )
+        if decision != _HOLD and slo_report is not None:
+            shadow_alerts = [
+                a for a in getattr(slo_report, "alerts", [])
+                if getattr(a, "sli", "") == "shadow-deny-rate"
+            ]
+            if shadow_alerts:
+                decision = _ROLLBACK
+                reasons.append(
+                    "shadow-deny-rate SLO burn alert firing: "
+                    + "; ".join(a.summary() for a in shadow_alerts)
+                )
+        if decision == _PROMOTE:
+            reasons.append(
+                f"{evaluations} shadow evaluations, {agreements} in "
+                f"agreement, {tighten} tightened, no loosening, deny "
+                f"divergence within tolerance"
+            )
+        return ShadowVerdict(
+            decision=decision,
+            reasons=reasons,
+            widens_deny_divergence=widens,
+            evaluations=evaluations,
+            agreements=agreements,
+            tighten=tighten,
+            loosen=loosen,
+            shadow_deny_fraction=shadow_frac,
+            active_deny_fraction=active_frac,
+        )

@@ -1,6 +1,7 @@
 """Metrics registry unit tests: instruments, buckets/quantiles,
 cardinality guard, thread safety, and the Prometheus exposition."""
 
+import logging
 import threading
 
 import pytest
@@ -16,6 +17,7 @@ from repro.obs import (
     new_registry,
     obs_enabled,
 )
+from repro.obs.metrics import DROPPED_SERIES_METRIC
 
 
 @pytest.fixture()
@@ -185,6 +187,47 @@ class TestCardinalityGuard:
         c.labels(code="404").inc()
         with pytest.raises(CardinalityError):
             c.labels(code="500")
+
+    def test_drops_are_counted_in_self_metric(self, registry):
+        c = registry.counter("denials_total", labels=("reason",), max_series=2)
+        c.labels(reason="a").inc()
+        c.labels(reason="b").inc()
+        for _ in range(3):
+            with pytest.raises(CardinalityError):
+                c.labels(reason="overflow")
+        dropped = registry.counter(
+            DROPPED_SERIES_METRIC, labels=("metric",)
+        ).labels(metric="denials_total")
+        assert dropped.value == 3
+        # The drop counter is visible on scrape, labeled by offender.
+        assert (
+            f'{DROPPED_SERIES_METRIC}{{metric="denials_total"}} 3'
+            in registry.expose()
+        )
+
+    def test_drop_warning_logged_once(self, registry, caplog):
+        c = registry.counter("noisy_total", labels=("k",), max_series=1)
+        c.labels(k="ok").inc()
+        with caplog.at_level(logging.WARNING, logger="repro.obs.metrics"):
+            for i in range(5):
+                with pytest.raises(CardinalityError):
+                    c.labels(k=f"drop{i}")
+        warnings = [
+            r for r in caplog.records if "label-set cap" in r.getMessage()
+        ]
+        assert len(warnings) == 1
+        assert "noisy_total" in warnings[0].getMessage()
+
+    def test_two_metrics_account_drops_separately(self, registry):
+        a = registry.counter("a_total", labels=("x",), max_series=1)
+        b = registry.counter("b_total", labels=("x",), max_series=1)
+        for m in (a, b):
+            m.labels(x="ok").inc()
+            with pytest.raises(CardinalityError):
+                m.labels(x="nope")
+        dropped = registry.counter(DROPPED_SERIES_METRIC, labels=("metric",))
+        assert dropped.labels(metric="a_total").value == 1
+        assert dropped.labels(metric="b_total").value == 1
 
 
 # ---------------------------------------------------------------------------

@@ -4,7 +4,7 @@ surfaces, and fall-through to API routing."""
 
 import json
 
-from repro.obs.analytics.events import EventBus, SecurityEvent
+from repro.obs.analytics.events import EVENT_KINDS, EventBus, SecurityEvent
 from repro.obs.analytics.slo import SloEngine
 from repro.obs.http import (
     EVENTS_DEFAULT_LIMIT,
@@ -124,6 +124,22 @@ class TestEventsSurface:
         _, _, body = _serve("/obs/events?trace_id=t8", event_bus=bus)
         assert [e["trace_id"] for e in json.loads(body)["events"]] == ["t8"]
 
+    def test_known_kind_filter_passes(self):
+        _, _, body = _serve("/obs/events?kind=decision", event_bus=self._bus())
+        events = json.loads(body)["events"]
+        assert events and all(e["kind"] == "decision" for e in events)
+
+    def test_unknown_kind_is_400_with_valid_kinds(self):
+        # A typo'd kind must not silently filter everything out.
+        status, _, body = _serve(
+            "/obs/events?kind=decisions", event_bus=self._bus()
+        )
+        payload = json.loads(body)
+        assert status == 400
+        assert "decisions" in payload["error"]
+        assert payload["valid_kinds"] == list(EVENT_KINDS)
+        assert "decision" in payload["valid_kinds"]
+
 
 class TestSloSurface:
     def test_unwired_is_404_with_hint(self):
@@ -145,3 +161,29 @@ class TestSloSurface:
             s["alerts"] for s in payload["slis"]
             if s["name"] == "upstream-error-rate"
         )
+
+
+class TestRefineSurface:
+    def test_unwired_is_404_with_hint(self):
+        status, _, body = _serve("/obs/refine")
+        assert status == 404
+        assert "no refinement controller" in json.loads(body)["error"]
+
+    def test_status_payload_served(self):
+        class FakeController:
+            def status(self):
+                return {
+                    "active_revision": 3,
+                    "candidate": None,
+                    "shadow": None,
+                    "usage": {"kinds": []},
+                }
+
+        status, content_type, body = _serve(
+            "/obs/refine", refine=FakeController()
+        )
+        payload = json.loads(body)
+        assert status == 200
+        assert content_type == "application/json"
+        assert payload["active_revision"] == 3
+        assert payload["usage"] == {"kinds": []}

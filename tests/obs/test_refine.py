@@ -1,0 +1,380 @@
+"""Unit tests for the policy-refinement loop: field sampling, the
+usage profiler, candidate synthesis, and the shadow evaluator."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.core.enforcement import Validator
+from repro.core.security import SCOPE_CONTAINER, SecurityLock
+from repro.obs.analytics.events import EventBus, SecurityEvent
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.refine import (
+    FieldUsageProfiler,
+    PolicyRefiner,
+    ShadowEvaluator,
+    manifest_field_sample,
+)
+
+
+def _decision(resource: str, fields: list[str], values: dict | None = None,
+              outcome: str = "allow", user: str = "op") -> SecurityEvent:
+    return SecurityEvent(
+        kind="decision", source="proxy", ts=time.time(), user=user,
+        verb="create", resource=resource, outcome=outcome,
+        detail={"fields": fields, "values": values or {}},
+    )
+
+
+def _validator(kinds: dict, locks: list | None = None) -> Validator:
+    return Validator(operator="demo", kinds=kinds, locks=locks or [])
+
+
+class TestManifestFieldSample:
+    def test_paths_are_index_stripped_and_prefixed(self):
+        body = {
+            "kind": "Deployment",
+            "spec": {"containers": [{"name": "web", "image": "nginx"}]},
+        }
+        paths, _ = manifest_field_sample(body)
+        assert "spec.containers.name" in paths
+        assert "spec.containers.image" in paths
+        assert "spec.containers" in paths
+        assert "spec" in paths
+        assert not any("[" in p for p in paths)
+
+    def test_status_and_server_managed_metadata_skipped(self):
+        body = {
+            "kind": "Pod",
+            "metadata": {"name": "web", "uid": "123", "resourceVersion": "9"},
+            "status": {"phase": "Running"},
+        }
+        paths, _ = manifest_field_sample(body)
+        assert "metadata.name" in paths
+        assert "metadata.uid" not in paths
+        assert "metadata.resourceVersion" not in paths
+        assert not any(p.startswith("status") for p in paths)
+
+    def test_values_capture_all_list_occurrences(self):
+        body = {
+            "kind": "Deployment",
+            "spec": {"env": [{"value": "a"}, {"value": "b"}]},
+        }
+        _, values = manifest_field_sample(body)
+        assert values["spec.env.value"] == ["a", "b"]
+
+    def test_field_bound_holds(self):
+        body = {"kind": "X", "spec": {f"k{i}": i for i in range(1000)}}
+        paths, _ = manifest_field_sample(body, max_fields=50)
+        assert len(paths) <= 50
+
+
+class TestFieldUsageProfiler:
+    def _validator(self) -> Validator:
+        return _validator({
+            "Deployment": {
+                "kind": "Deployment",
+                "metadata": {"name": "⟨string⟩"},
+                "spec": {
+                    "replicas": "⟨int⟩",
+                    "hostNetwork": "⟨bool⟩",
+                    "image": "⟨string⟩",
+                },
+            },
+        })
+
+    def test_unused_permitted_fields_flagged_topmost(self):
+        profiler = FieldUsageProfiler(validator=self._validator())
+        profiler.ingest(_decision(
+            "Deployment",
+            ["kind", "metadata", "metadata.name", "spec", "spec.replicas"],
+        ))
+        report = profiler.usage()
+        row = report.rows[0]
+        assert "spec.hostNetwork" in row.unused_fields
+        assert "spec.image" in row.unused_fields
+        # Used prefixes are not unused.
+        assert "spec" not in row.unused_fields
+        assert report.unused_total == 2
+
+    def test_denied_decisions_do_not_count_as_usage(self):
+        profiler = FieldUsageProfiler(validator=self._validator())
+        profiler.ingest(_decision(
+            "Deployment", ["kind", "spec", "spec.hostNetwork"], outcome="deny",
+        ))
+        report = profiler.usage()
+        # The denial contributed nothing: every permitted field unused.
+        assert not report.rows or report.decisions == 0
+
+    def test_overbroad_placeholder_single_constant(self):
+        profiler = FieldUsageProfiler(validator=self._validator())
+        for _ in range(4):
+            profiler.ingest(_decision(
+                "Deployment",
+                ["kind", "spec", "spec.replicas"],
+                values={"spec.replicas": [3]},
+            ))
+        report = profiler.usage(min_value_samples=3)
+        flags = report.rows[0].overbroad
+        assert any(
+            f["path"] == "spec.replicas" and f["suggestion"] == "constant"
+            and f["values"] == [3]
+            for f in flags
+        )
+
+    def test_diverse_values_not_flagged(self):
+        profiler = FieldUsageProfiler(
+            validator=self._validator(), max_distinct_values=2
+        )
+        for i in range(6):
+            profiler.ingest(_decision(
+                "Deployment", ["spec", "spec.replicas"],
+                values={"spec.replicas": [i]},
+            ))
+        report = profiler.usage(min_value_samples=3)
+        assert not any(
+            f["path"] == "spec.replicas" for f in report.rows[0].overbroad
+        )
+
+    def test_identity_matrix_rows(self):
+        profiler = FieldUsageProfiler(validator=self._validator())
+        profiler.ingest(_decision("Deployment", ["kind"], user="alice"))
+        profiler.ingest(_decision("Deployment", ["kind"], user="bob"))
+        report = profiler.usage()
+        identities = {r["identity"] for r in report.identity_matrix}
+        assert identities == {"alice", "bob"}
+
+    def test_bus_subscription_end_to_end(self):
+        bus = EventBus()
+        profiler = FieldUsageProfiler(validator=self._validator())
+        bus.subscribe(profiler.ingest)
+        bus.publish(_decision("Deployment", ["kind", "spec"]))
+        assert profiler.decisions == 1
+
+
+class TestPolicyRefiner:
+    def _active(self) -> Validator:
+        return _validator(
+            {
+                "Deployment": {
+                    "kind": "Deployment",
+                    "apiVersion": "apps/v1",
+                    "metadata": {"name": "⟨string⟩"},
+                    "spec": {
+                        "replicas": "⟨int⟩",
+                        "hostNetwork": "⟨bool⟩",
+                        "resources": {"limits": {"cpu": "⟨quantity⟩"}},
+                    },
+                },
+            },
+            locks=[SecurityLock(
+                mode="required", path="resources.limits",
+                scope=SCOPE_CONTAINER, rationale="limits required",
+            )],
+        )
+
+    def _usage(self, profiler_validator: Validator, events: int = 6):
+        profiler = FieldUsageProfiler(validator=profiler_validator)
+        for _ in range(events):
+            profiler.ingest(_decision(
+                "Deployment",
+                ["kind", "apiVersion", "metadata", "metadata.name",
+                 "spec", "spec.replicas", "spec.resources",
+                 "spec.resources.limits", "spec.resources.limits.cpu"],
+                values={"spec.replicas": [3]},
+            ))
+        return profiler.usage(min_value_samples=3)
+
+    def test_prunes_unused_and_specializes_constant(self):
+        active = self._active()
+        candidate = PolicyRefiner(min_samples=5).refine(
+            active, self._usage(active)
+        )
+        assert candidate.base_revision == active.policy_revision
+        assert candidate.validator.policy_revision == active.policy_revision + 1
+        pruned = {a.path for a in candidate.actions if a.action == "prune"}
+        assert pruned == {"spec.hostNetwork"}
+        specialized = {
+            a.path: a.after for a in candidate.actions
+            if a.action == "specialize"
+        }
+        assert specialized.get("spec.replicas") == 3
+        # The active policy is untouched.
+        assert "hostNetwork" in active.kinds["Deployment"]["spec"]
+        assert active.kinds["Deployment"]["spec"]["replicas"] == "⟨int⟩"
+        # The candidate enforces the tightened tree.
+        tree = candidate.validator.kinds["Deployment"]["spec"]
+        assert "hostNetwork" not in tree
+        assert tree["replicas"] == 3
+
+    def test_root_fields_and_lock_paths_protected(self):
+        active = self._active()
+        profiler = FieldUsageProfiler(validator=active)
+        # Traffic that never touches metadata or resources.limits.
+        for _ in range(6):
+            profiler.ingest(_decision(
+                "Deployment", ["kind", "apiVersion", "spec", "spec.replicas"],
+            ))
+        candidate = PolicyRefiner(min_samples=5).refine(
+            active, profiler.usage()
+        )
+        tree = candidate.validator.kinds["Deployment"]
+        # Root metadata survives even though it was never observed.
+        assert "metadata" in tree
+        # The required-lock field (resources.limits) survives pruning.
+        assert "limits" in tree["spec"]["resources"]
+
+    def test_min_samples_gate_skips_thin_kinds(self):
+        active = self._active()
+        candidate = PolicyRefiner(min_samples=50).refine(
+            active, self._usage(active, events=6)
+        )
+        assert candidate.actions == []
+        assert candidate.skipped_kinds
+        assert candidate.skipped_kinds[0]["kind"] == "Deployment"
+
+    def test_diff_is_machine_readable(self):
+        import json
+
+        active = self._active()
+        candidate = PolicyRefiner(min_samples=5).refine(
+            active, self._usage(active)
+        )
+        payload = json.loads(candidate.diff_json())
+        assert payload["pruned"] == 1
+        assert payload["candidate_revision"] == payload["base_revision"] + 1
+        assert all(
+            {"action", "kind", "path", "reason"} <= set(a)
+            for a in payload["actions"]
+        )
+
+
+class TestShadowEvaluator:
+    def _policies(self):
+        active = _validator({
+            "Pod": {
+                "kind": "Pod",
+                "metadata": {"name": "⟨string⟩"},
+                "spec": {"image": "⟨string⟩", "hostPID": "⟨bool⟩"},
+            },
+        })
+        tight = _validator({
+            "Pod": {
+                "kind": "Pod",
+                "metadata": {"name": "⟨string⟩"},
+                "spec": {"image": "nginx"},
+            },
+        })
+        tight.policy_revision = active.policy_revision + 1
+        return active, tight
+
+    def _body(self, image: str = "nginx", **spec) -> dict:
+        return {
+            "kind": "Pod",
+            "metadata": {"name": "web"},
+            "spec": {"image": image, **spec},
+        }
+
+    def test_agreement_and_divergence_directions(self):
+        active, tight = self._policies()
+        shadow = ShadowEvaluator(tight, fraction=1.0, min_samples=1)
+        agree = self._body()
+        shadow.observe(agree, active.validate(agree).allowed)
+        tighten = self._body(hostPID=True)  # active allows, candidate denies
+        shadow.observe(tighten, active.validate(tighten).allowed)
+        loosen = self._body()               # pretend active denied it
+        shadow.observe(loosen, False)
+        snap = shadow.snapshot()
+        assert snap["evaluations"] == 3
+        assert snap["divergence"] == {"tighten": 1, "loosen": 1}
+
+    def test_fraction_gates_evaluations_per_thread(self):
+        _, tight = self._policies()
+        shadow = ShadowEvaluator(tight, fraction=0.25, min_samples=1)
+        for _ in range(20):
+            shadow.observe(self._body(), True)
+        assert shadow.snapshot()["evaluations"] == 5
+
+    def test_fraction_zero_disables(self):
+        _, tight = self._policies()
+        shadow = ShadowEvaluator(tight, fraction=0.0, min_samples=1)
+        for _ in range(10):
+            shadow.observe(self._body(), True)
+        assert shadow.snapshot()["evaluations"] == 0
+
+    def test_metrics_recorded(self):
+        registry = MetricsRegistry()
+        active, tight = self._policies()
+        shadow = ShadowEvaluator(
+            tight, fraction=1.0, metrics=registry, min_samples=1
+        )
+        shadow.observe(self._body(), True)
+        bad = self._body(hostPID=True)
+        shadow.observe(bad, active.validate(bad).allowed)
+        text = registry.expose()
+        assert "kubefence_shadow_evaluations_total 2" in text
+        assert (
+            'kubefence_shadow_divergence_total{direction="tighten"} 1' in text
+        )
+
+    def test_shadow_events_feed_the_bus(self):
+        bus = EventBus()
+        _, tight = self._policies()
+        shadow = ShadowEvaluator(tight, fraction=1.0, event_bus=bus)
+        shadow.observe(self._body(), True)
+        shadow.observe(self._body(hostPID=True), True)
+        kinds = [e.kind for e in bus.events()]
+        outcomes = [e.outcome for e in bus.events()]
+        assert kinds == ["shadow", "shadow"]
+        assert outcomes == ["allow", "deny"]
+        assert bus.events()[1].detail["direction"] == "tighten"
+
+    def test_verdict_hold_on_insufficient_samples(self):
+        _, tight = self._policies()
+        shadow = ShadowEvaluator(tight, fraction=1.0, min_samples=10)
+        shadow.observe(self._body(), True)
+        verdict = shadow.verdict()
+        assert verdict.decision == "hold"
+        assert not verdict.promote
+
+    def test_verdict_rollback_on_loosening(self):
+        _, tight = self._policies()
+        shadow = ShadowEvaluator(tight, fraction=1.0, min_samples=1)
+        shadow.observe(self._body(), False)  # active denied, candidate allows
+        verdict = shadow.verdict()
+        assert verdict.decision == "rollback"
+        assert "loosen" in verdict.reasons[0]
+
+    def test_verdict_rollback_when_deny_divergence_widens(self):
+        active, tight = self._policies()
+        shadow = ShadowEvaluator(tight, fraction=1.0, min_samples=2)
+        for _ in range(5):
+            body = self._body(hostPID=True)
+            shadow.observe(body, active.validate(body).allowed)
+        verdict = shadow.verdict()
+        assert verdict.decision == "rollback"
+        assert verdict.widens_deny_divergence
+        assert verdict.shadow_deny_fraction == 1.0
+        assert verdict.active_deny_fraction == 0.0
+
+    def test_verdict_promote_on_clean_agreement(self):
+        _, tight = self._policies()
+        shadow = ShadowEvaluator(tight, fraction=1.0, min_samples=3)
+        for _ in range(5):
+            shadow.observe(self._body(), True)
+        verdict = shadow.verdict()
+        assert verdict.promote
+        assert not verdict.widens_deny_divergence
+
+    def test_broken_candidate_never_raises(self):
+        class Broken:
+            policy_revision = 1
+
+            def validate(self, body):
+                raise RuntimeError("boom")
+
+        shadow = ShadowEvaluator(Broken(), fraction=1.0, min_samples=1)
+        shadow.observe(self._body(), True)  # must not raise
+        assert shadow.snapshot()["evaluations"] == 0

@@ -1,0 +1,148 @@
+"""Multi-threaded event-sampling guarantees on the live proxy path.
+
+``REPRO_EVENT_SAMPLE`` (EventBus ``sample_every``) head-samples
+*routine allow* decisions only.  Under concurrency the contract must
+hold exactly: every denial and every upstream error is published from
+every thread (they are the security signal), while allow publishing
+follows each thread's deterministic 1-in-N counter.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.core.proxy import KubeFenceProxy
+from repro.k8s.apiserver import ApiRequest, Cluster, User
+from repro.obs.analytics.events import EventBus
+from repro.yamlutil import deep_copy
+
+THREADS = 6
+ALLOWS_PER_THREAD = 40
+DENIES_PER_THREAD = 5
+ERRORS_PER_THREAD = 3
+SAMPLE_EVERY = 4
+
+
+@pytest.fixture()
+def stack(nginx_validator, nginx_deployment):
+    bus = EventBus(maxlen=8192, sample_every=SAMPLE_EVERY)
+    # The cluster gets no bus: only proxy decisions land on it, so the
+    # outcome counts below are exact.
+    cluster = Cluster()
+    proxy = KubeFenceProxy(cluster.api, nginx_validator, event_bus=bus)
+    # Seed the deployment so threaded updates are allowed+applied.
+    seeded = proxy.submit(
+        ApiRequest(
+            "create", "Deployment", User.admin(),
+            name=nginx_deployment["metadata"]["name"],
+            body=deep_copy(nginx_deployment),
+        )
+    )
+    assert seeded.ok
+    bus.clear()
+    return bus, proxy, nginx_deployment
+
+
+def _denied_manifest(deployment: dict) -> dict:
+    bad = deep_copy(deployment)
+    bad["spec"]["template"]["spec"]["hostNetwork"] = True
+    return bad
+
+
+def _ghost_manifest(deployment: dict) -> dict:
+    # A policy-valid name (the validator pins the "-nginx" suffix) for
+    # an object that does not exist: passes the gate, 404s upstream.
+    ghost = deep_copy(deployment)
+    ghost["metadata"]["name"] = "ghost-nginx"
+    return ghost
+
+
+class TestConcurrentSampling:
+    def test_denials_and_errors_never_sampled_out(self, stack):
+        bus, proxy, deployment = stack
+        name = deployment["metadata"]["name"]
+        errors: list[Exception] = []
+
+        def worker() -> None:
+            try:
+                allowed = deep_copy(deployment)
+                denied = _denied_manifest(deployment)
+                ghost = _ghost_manifest(deployment)
+                # Interleave outcomes the way mixed traffic would.
+                for i in range(ALLOWS_PER_THREAD):
+                    response = proxy.submit(ApiRequest(
+                        "update", "Deployment", User.admin(),
+                        name=name, body=allowed,
+                    ))
+                    assert response.ok
+                    if i < DENIES_PER_THREAD:
+                        response = proxy.submit(ApiRequest(
+                            "create", "Deployment", User.admin(),
+                            name=name, body=denied,
+                        ))
+                        assert response.code == 403
+                    if i < ERRORS_PER_THREAD:
+                        response = proxy.submit(ApiRequest(
+                            "update", "Deployment", User.admin(),
+                            name="ghost-nginx", body=ghost,
+                        ))
+                        assert response.code == 404
+            except Exception as exc:  # pragma: no cover - surfaced below
+                errors.append(exc)
+
+        pool = [threading.Thread(target=worker) for _ in range(THREADS)]
+        for t in pool:
+            t.start()
+        for t in pool:
+            t.join()
+        assert not errors, errors
+
+        events = bus.events(limit=8192)
+        by_outcome: dict[str, int] = {}
+        for event in events:
+            assert event.kind == "decision"
+            by_outcome[event.outcome] = by_outcome.get(event.outcome, 0) + 1
+
+        # Security-relevant outcomes are NEVER dropped by sampling.
+        assert by_outcome.get("deny", 0) == THREADS * DENIES_PER_THREAD
+        assert by_outcome.get("error", 0) == THREADS * ERRORS_PER_THREAD
+
+        # Routine allows follow each thread's deterministic 1-in-N
+        # head-sampling counter: first of every window publishes.
+        expected_allow_per_thread = -(-ALLOWS_PER_THREAD // SAMPLE_EVERY)
+        assert by_outcome.get("allow", 0) == THREADS * expected_allow_per_thread
+        # And the sampled volume is a fraction of the traffic, within
+        # tolerance of the configured rate.
+        allow_fraction = by_outcome["allow"] / (THREADS * ALLOWS_PER_THREAD)
+        assert abs(allow_fraction - 1 / SAMPLE_EVERY) < 0.05
+
+    def test_sample_every_one_publishes_everything(
+        self, nginx_validator, nginx_deployment
+    ):
+        bus = EventBus(sample_every=1)
+        cluster = Cluster()
+        proxy = KubeFenceProxy(cluster.api, nginx_validator, event_bus=bus)
+        name = nginx_deployment["metadata"]["name"]
+        proxy.submit(ApiRequest(
+            "create", "Deployment", User.admin(),
+            name=name, body=deep_copy(nginx_deployment),
+        ))
+        bus.clear()
+
+        def worker() -> None:
+            for _ in range(10):
+                proxy.submit(ApiRequest(
+                    "update", "Deployment", User.admin(),
+                    name=name, body=deep_copy(nginx_deployment),
+                ))
+
+        pool = [threading.Thread(target=worker) for _ in range(4)]
+        for t in pool:
+            t.start()
+        for t in pool:
+            t.join()
+        events = bus.events(limit=8192)
+        assert len(events) == 40
+        assert all(e.outcome == "allow" for e in events)
