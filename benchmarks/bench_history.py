@@ -59,6 +59,25 @@ _EXTRACT: dict[str, tuple[str, tuple[str, ...]]] = {
             "candidate_actions",
         ),
     ),
+    "BENCH_scan_overhead.json": (
+        "scan",
+        (
+            "overhead_percent",
+            "inprocess_overhead_percent",
+            "scan_ticks_during_measurement",
+        ),
+    ),
+    "BENCH_campaign.json": (
+        "campaign",
+        (
+            "cells_run",
+            "breached_cells",
+            "containment_rate",
+            "baseline_mitigated",
+            "mitigation_gap",
+            "wall_time_s",
+        ),
+    ),
 }
 
 

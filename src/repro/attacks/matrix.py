@@ -1,0 +1,647 @@
+"""The scenario-diverse attack campaign matrix.
+
+Table III evaluates KubeFence against 15 single-attacker attacks; this
+engine grows that table into the cross-product of attack specs ×
+scenario dimensions:
+
+- **tenancy** -- ``single`` (the insider operator identity) or
+  ``multi`` (three distinct tenant identities attacking concurrently
+  on real threads);
+- **chaos** -- ``none`` or ``faults``: a seeded
+  :class:`~repro.faults.FaultInjector` (5xx + latency mix) sits on the
+  upstream during the attack window while benign reconcile traffic
+  keeps flowing;
+- **variant** -- ``canonical`` (the Sec. VI-D injected manifest) or
+  ``fuzz-N`` (a schema-valid manifest from
+  :class:`~repro.fuzz.generator.ManifestFuzzer`, mutated by the same
+  attack injector);
+- **delivery** -- ``helm`` (rendered chart) or ``kustomize`` (the
+  manifests and the policy both built through :mod:`repro.kustomize`).
+
+Every cell's verdict is *proven*, not eyeballed: the
+:class:`~repro.obs.analytics.forensics.ForensicsEngine` must show a
+denial point and zero post-denial activity for every attacker, no
+committed (successful-audit) resources in the attack window, the store
+must be byte-identical to its pre-attack state, and the
+:class:`~repro.scan.CVEScanner` must confirm no *new* finding survives
+in the store.  An unprotected-baseline arm replays each attack against
+a permissive cluster to reproduce the Table III mitigation gap.
+
+Determinism is a hard contract: the same seed produces a byte-identical
+report (wall-clock timestamps, latencies and trace ids are excluded;
+all randomness — fuzz variants, fault schedules — derives from the
+seed), which is what makes the matrix a regression gate rather than a
+demo.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.attacks.catalog import ATTACKS, AttackSpec
+from repro.attacks.injector import build_malicious_manifests
+from repro.core.enforcement import Validator
+from repro.core.pipeline import generate_policy
+from repro.core.proxy import KubeFenceProxy
+from repro.faults.injector import FaultInjector, FaultPlan, FaultyAPIServer
+from repro.fuzz.generator import ManifestFuzzer
+from repro.helm.chart import render_chart
+from repro.k8s.apiserver import ApiRequest, Cluster, User
+from repro.k8s.vulndb import ExploitEngine
+from repro.kustomize import Kustomization, build, generate_policy_from_kustomize
+from repro.obs.analytics.events import EventBus, SecurityEvent
+from repro.obs.analytics.forensics import ForensicsEngine
+from repro.operators import get_chart
+from repro.operators.client import DirectTransport, OperatorClient
+from repro.scan import CVEScanner
+from repro.yamlutil import deep_copy
+
+__all__ = [
+    "CellVerdict",
+    "MatrixCell",
+    "MatrixConfig",
+    "MatrixReport",
+    "derive_seed",
+    "run_matrix",
+]
+
+#: The distinct identities used by multi-tenant cells.
+TENANT_IDENTITIES = ("tenant-a", "tenant-b", "tenant-c")
+
+#: Chaos overlay for the attack window: in-process-safe faults only
+#: (5xx bursts + small latency); resets/hangs are wire-level faults
+#: exercised by the dedicated chaos harness.
+CHAOS_PLAN = FaultPlan(
+    name="matrix-overlay",
+    error_rate=0.25,
+    latency_rate=0.25,
+    latency_ms=0.2,
+)
+
+
+def derive_seed(seed: int, *parts: str) -> int:
+    """A stable 63-bit sub-seed for one cell/component."""
+    digest = hashlib.sha256(
+        ("%d|" % seed + "|".join(parts)).encode()
+    ).digest()
+    return int.from_bytes(digest[:8], "big") >> 1
+
+
+@dataclass(frozen=True)
+class MatrixCell:
+    """One point in the scenario cross-product."""
+
+    attack_id: str
+    reference: str
+    tenancy: str      # "single" | "multi"
+    chaos: str        # "none" | "faults"
+    variant: str      # "canonical" | "fuzz-N"
+    delivery: str     # "helm" | "kustomize"
+
+    @property
+    def cell_id(self) -> str:
+        return "/".join((
+            self.attack_id, self.tenancy, self.chaos,
+            self.variant, self.delivery,
+        ))
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "cell_id": self.cell_id,
+            "attack_id": self.attack_id,
+            "reference": self.reference,
+            "tenancy": self.tenancy,
+            "chaos": self.chaos,
+            "variant": self.variant,
+            "delivery": self.delivery,
+        }
+
+
+@dataclass
+class CellVerdict:
+    """The forensics + scanner verdict for one cell."""
+
+    cell: MatrixCell
+    attackers: tuple[str, ...]
+    response_codes: dict[str, int]
+    denial_present: bool
+    post_denial_events: int
+    committed_resources: list[str]
+    store_clean: bool
+    scan_clean: bool
+    exploit_fired: bool
+    chaos_faults: int
+    timeline_digest: dict[str, list[list[Any]]]
+    scan_new_findings: list[str]
+
+    @property
+    def mitigated(self) -> bool:
+        return all(code == 403 for code in self.response_codes.values())
+
+    @property
+    def contained(self) -> bool:
+        return (
+            self.mitigated
+            and self.denial_present
+            and self.post_denial_events == 0
+            and not self.committed_resources
+            and self.store_clean
+            and self.scan_clean
+            and not self.exploit_fired
+        )
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            **self.cell.to_dict(),
+            "attackers": list(self.attackers),
+            "response_codes": dict(sorted(self.response_codes.items())),
+            "mitigated": self.mitigated,
+            "denial_present": self.denial_present,
+            "post_denial_events": self.post_denial_events,
+            "committed_resources": self.committed_resources,
+            "store_clean": self.store_clean,
+            "scan_clean": self.scan_clean,
+            "scan_new_findings": self.scan_new_findings,
+            "exploit_fired": self.exploit_fired,
+            "chaos_faults": self.chaos_faults,
+            "contained": self.contained,
+            "timelines": {
+                user: digest
+                for user, digest in sorted(self.timeline_digest.items())
+            },
+        }
+
+
+@dataclass
+class MatrixConfig:
+    """Which slice of the cross-product to run."""
+
+    operator: str = "nginx"
+    seed: int = 0
+    attacks: tuple[AttackSpec, ...] = ATTACKS
+    tenancies: tuple[str, ...] = ("single", "multi")
+    chaos_modes: tuple[str, ...] = ("none", "faults")
+    deliveries: tuple[str, ...] = ("helm", "kustomize")
+    #: Fuzz-variant cells per CVE attack (run single/no-chaos/helm).
+    fuzz_variants: int = 1
+    #: Benign reconcile rounds driven during each attack window.
+    window_reconciles: int = 2
+
+    @classmethod
+    def smoke(cls, seed: int = 0, operator: str = "nginx") -> "MatrixConfig":
+        """The reduced matrix CI runs: 6 attacks, helm-only, still
+        covering every tenancy/chaos/fuzz dimension (>= 24 cells + fuzz)."""
+        return cls(
+            operator=operator,
+            seed=seed,
+            attacks=tuple(ATTACKS[:6]),
+            deliveries=("helm",),
+            fuzz_variants=1,
+            window_reconciles=1,
+        )
+
+
+@dataclass
+class MatrixReport:
+    """The full matrix result; :meth:`to_json` is byte-deterministic
+    for a given config + seed."""
+
+    operator: str
+    seed: int
+    cells: list[CellVerdict] = field(default_factory=list)
+    baseline: list[dict[str, Any]] = field(default_factory=list)
+    wall_time_s: float = 0.0
+
+    @property
+    def breached(self) -> list[CellVerdict]:
+        return [c for c in self.cells if not c.contained]
+
+    @property
+    def containment_rate(self) -> float:
+        if not self.cells:
+            return 0.0
+        return (len(self.cells) - len(self.breached)) / len(self.cells)
+
+    @property
+    def baseline_mitigated(self) -> int:
+        return sum(1 for b in self.baseline if b["mitigated"])
+
+    @property
+    def mitigation_gap(self) -> float:
+        """KubeFence containment rate minus the unprotected baseline's
+        mitigation rate (Table III reproduces as ~1.0 - 0.0)."""
+        if not self.baseline:
+            return self.containment_rate
+        return self.containment_rate - self.baseline_mitigated / len(self.baseline)
+
+    def to_dict(self) -> dict[str, Any]:
+        """Deterministic report body: no wall-clock, no trace ids."""
+        return {
+            "schema": 1,
+            "operator": self.operator,
+            "seed": self.seed,
+            "cells_total": len(self.cells),
+            "contained": len(self.cells) - len(self.breached),
+            "breached": [c.cell.cell_id for c in self.breached],
+            "containment_rate": round(self.containment_rate, 6),
+            "baseline": {
+                "attacks": len(self.baseline),
+                "mitigated": self.baseline_mitigated,
+                "exploits_fired": sum(
+                    1 for b in self.baseline if b["exploit_fired"]
+                ),
+                "outcomes": sorted(
+                    self.baseline, key=lambda b: (b["attack_id"], b["variant"])
+                ),
+            },
+            "mitigation_gap": round(self.mitigation_gap, 6),
+            "cells": [
+                c.to_dict()
+                for c in sorted(self.cells, key=lambda c: c.cell.cell_id)
+            ],
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True, indent=1)
+
+    def bench_dict(self) -> dict[str, Any]:
+        """The BENCH_campaign.json headline figures (wall clock lives
+        here, outside the deterministic report)."""
+        return {
+            "cells_run": len(self.cells),
+            "breached_cells": len(self.breached),
+            "containment_rate": round(self.containment_rate, 6),
+            "baseline_attacks": len(self.baseline),
+            "baseline_mitigated": self.baseline_mitigated,
+            "mitigation_gap": round(self.mitigation_gap, 6),
+            "wall_time_s": round(self.wall_time_s, 3),
+        }
+
+
+# ---------------------------------------------------------------------------
+# Attack payload construction
+# ---------------------------------------------------------------------------
+
+
+def _fuzz_kind(attack: AttackSpec) -> str:
+    """Deterministic target kind for a fuzz variant of *attack*."""
+    priority = {"Deployment": 0, "StatefulSet": 1, "DaemonSet": 2,
+                "Job": 3, "Pod": 4, "Service": 5}
+    return sorted(attack.kinds, key=lambda k: priority.get(k, 9))[0]
+
+
+def _ensure_limits(body: dict[str, Any]) -> None:
+    """Give every container resource limits so removal-style attacks
+    (e.g. E5) have something to strip from a fuzzed body."""
+    spec = body.get("spec", {})
+    pod = spec.get("template", {}).get("spec", spec)
+    for container in pod.get("containers", []) if isinstance(pod, dict) else []:
+        resources = container.setdefault("resources", {})
+        resources.setdefault("limits", {"cpu": "500m", "memory": "256Mi"})
+
+
+def _fuzz_payload(
+    attack: AttackSpec, seed: int, variant: int
+) -> tuple[dict[str, Any], str]:
+    """A fuzz-generated manifest carrying *attack*'s mutation.
+
+    Retries a few sub-seeds until the injector actually mutates the
+    fuzzed body (e.g. the fuzzer already emitted resource limits that
+    M-class attacks need to strip).
+    """
+    kind = _fuzz_kind(attack)
+    for salt in range(16):
+        fuzzer = ManifestFuzzer(
+            seed=derive_seed(seed, "fuzz", attack.attack_id,
+                             str(variant), str(salt)),
+        )
+        body = fuzzer.manifest(kind)
+        _ensure_limits(body)
+        # A unique, deterministic name per (attack, variant): fuzzer
+        # names can collide across variants sharing one cluster.
+        body.setdefault("metadata", {})["name"] = (
+            f"fuzz-{attack.attack_id.lower()}-{variant}"
+        )
+        mutated = deep_copy(body)
+        attack.inject(mutated)
+        if mutated != body:
+            return mutated, kind
+    raise RuntimeError(
+        f"fuzz variant of {attack.attack_id} never mutated a {kind}"
+    )
+
+
+def _canonical_payload(
+    attack: AttackSpec, manifests: list[dict[str, Any]], operator: str
+) -> dict[str, Any]:
+    return build_malicious_manifests(operator, manifests, (attack,))[0].manifest
+
+
+# ---------------------------------------------------------------------------
+# Store normalization (byte-level pre/post attack comparison)
+# ---------------------------------------------------------------------------
+
+
+def _store_state(cluster: Cluster) -> dict[tuple[str, str, str], str]:
+    """Normalized store content keyed by object identity; the churn
+    fields (resourceVersion) are excluded so benign reconcile traffic
+    during the window does not read as attack impact."""
+    _, objects = cluster.store.snapshot()
+    state: dict[tuple[str, str, str], str] = {}
+    for obj in objects:
+        data = deep_copy(obj.data)
+        data.get("metadata", {}).pop("resourceVersion", None)
+        state[obj.key()] = json.dumps(data, sort_keys=True)
+    return state
+
+
+# ---------------------------------------------------------------------------
+# Cell execution
+# ---------------------------------------------------------------------------
+
+
+def _benign_stack(
+    config: MatrixConfig, delivery: str,
+    cache: dict[str, tuple[list[dict[str, Any]], Validator]],
+) -> tuple[list[dict[str, Any]], Validator]:
+    """(manifests, validator) for one delivery mode, cached across
+    cells — policy generation is the expensive step."""
+    if delivery not in cache:
+        chart = get_chart(config.operator)
+        if delivery == "kustomize":
+            base = Kustomization(
+                name=f"{config.operator}-base",
+                manifests=render_chart(chart),
+            )
+            cache[delivery] = (
+                build(base),
+                generate_policy_from_kustomize(base, operator=config.operator),
+            )
+        else:
+            cache[delivery] = (render_chart(chart), generate_policy(chart))
+    manifests, validator = cache[delivery]
+    return deep_copy(manifests), validator
+
+
+def _attack_window(
+    proxy: KubeFenceProxy,
+    bus: EventBus,
+    attack: AttackSpec,
+    payload: dict[str, Any],
+    attackers: tuple[str, ...],
+    verb: str,
+) -> dict[str, int]:
+    """Run the attack for every attacker; multi-tenant cells use one
+    real thread per identity, synchronized on a start barrier."""
+
+    codes: dict[str, int] = {}
+    lock = threading.Lock()
+
+    def attempt(identity: str) -> None:
+        bus.publish(SecurityEvent(
+            kind="marker",
+            source="campaign",
+            ts=time.time(),
+            user=identity,
+            detail={
+                "attack_id": attack.attack_id,
+                "reference": attack.reference,
+                "title": attack.title,
+                "targeted_fields": list(attack.targeted_fields),
+                "user": identity,
+            },
+        ))
+        request = ApiRequest.from_manifest(
+            deep_copy(payload), User(identity), verb=verb
+        )
+        response = proxy.submit(request)
+        with lock:
+            codes[identity] = response.code
+
+    if len(attackers) == 1:
+        attempt(attackers[0])
+        return codes
+
+    barrier = threading.Barrier(len(attackers))
+
+    def runner(identity: str) -> None:
+        barrier.wait()
+        attempt(identity)
+
+    threads = [
+        threading.Thread(target=runner, args=(identity,), daemon=True)
+        for identity in attackers
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    return codes
+
+
+def _run_cell(
+    config: MatrixConfig,
+    cell: MatrixCell,
+    attack: AttackSpec,
+    payload: dict[str, Any],
+    verb: str,
+    manifests: list[dict[str, Any]],
+    validator: Validator,
+) -> CellVerdict:
+    bus = EventBus(maxlen=16384)
+    forensics = ForensicsEngine()
+    bus.subscribe(forensics.ingest)
+    cluster = Cluster(event_bus=bus)
+    engine = ExploitEngine()
+    cluster.api.register_admission_plugin(engine)
+
+    # Benign deploy runs fault-free (the chaos overlay models faults
+    # during the attack window, not a broken install).
+    deploy_proxy = KubeFenceProxy(cluster.api, validator, event_bus=bus)
+    operator_client = OperatorClient(deploy_proxy)
+    deployed = operator_client.deploy_chart(get_chart(config.operator))
+    if not deployed.all_ok:
+        denied = [(m.get("kind"), r.code) for m, r in deployed.denied]
+        raise RuntimeError(f"benign deploy blocked in {cell.cell_id}: {denied}")
+    operator_client.reconcile(deployed)
+
+    scanner = CVEScanner(
+        cluster, assume_vulnerable=True, event_bus=bus, validator=validator
+    )
+    baseline_keys = scanner.scan_once().finding_keys()
+    pre_state = _store_state(cluster)
+    engine.clear()
+
+    injector: FaultInjector | None = None
+    attack_upstream: Any = cluster.api
+    if cell.chaos == "faults":
+        injector = FaultInjector(
+            CHAOS_PLAN, seed=derive_seed(config.seed, "chaos", cell.cell_id)
+        )
+        attack_upstream = FaultyAPIServer(cluster.api, injector)
+    attack_proxy = KubeFenceProxy(attack_upstream, validator, event_bus=bus)
+
+    attackers = (
+        TENANT_IDENTITIES if cell.tenancy == "multi"
+        else (f"{config.operator}-operator",)
+    )
+    codes = _attack_window(attack_proxy, bus, attack, payload, attackers, verb)
+
+    # Benign traffic keeps flowing through the (possibly faulty)
+    # upstream during the window — the chaos overlay must have
+    # something to chew on, and the store comparison must stay clean
+    # through it.  It runs under the controller identity so the
+    # attackers' forensic timelines contain only their own activity.
+    window_client = OperatorClient(
+        attack_proxy, username=f"{config.operator}-controller"
+    )
+    for _ in range(config.window_reconciles):
+        window_client.reconcile(deployed)
+
+    post_keys = scanner.scan_once().finding_keys()
+    new_keys = sorted(
+        "/".join(k) for k in post_keys - baseline_keys
+    )
+    post_state = _store_state(cluster)
+
+    timelines = {
+        t.identity: t
+        for t in forensics.timelines()
+        if t.identity in attackers and t.attack_id == attack.attack_id
+    }
+    denial_present = bool(timelines) and all(
+        identity in timelines and timelines[identity].mitigated
+        for identity in attackers
+    )
+    post_denial = sum(
+        len(t.post_denial) for t in timelines.values()
+    )
+    committed: list[str] = sorted({
+        event.resource + (f"/{event.name}" if event.name else "")
+        for t in timelines.values()
+        for event in t.entries
+        if event.kind == "audit" and event.code < 400
+    })
+    digest = {
+        identity: [
+            [e.kind, e.outcome, e.code] for e in t.entries
+        ]
+        for identity, t in timelines.items()
+    }
+    return CellVerdict(
+        cell=cell,
+        attackers=attackers,
+        response_codes=codes,
+        denial_present=denial_present,
+        post_denial_events=post_denial,
+        committed_resources=committed,
+        store_clean=post_state == pre_state,
+        scan_clean=not new_keys,
+        exploit_fired=attack.reference in engine.triggered_cves(),
+        chaos_faults=injector.faults_injected if injector else 0,
+        timeline_digest=digest,
+        scan_new_findings=new_keys,
+    )
+
+
+def _run_baseline(
+    config: MatrixConfig,
+    payloads: list[tuple[AttackSpec, str, dict[str, Any], str]],
+) -> list[dict[str, Any]]:
+    """The unprotected arm: the same payloads against a permissive
+    cluster with no KubeFence in the path (sequential, chaos-free, so
+    the arm stays deterministic)."""
+    out: list[dict[str, Any]] = []
+    cluster = Cluster()
+    engine = ExploitEngine()
+    cluster.api.register_admission_plugin(engine)
+    client = OperatorClient(DirectTransport(cluster.api))
+    deployed = client.deploy_chart(get_chart(config.operator))
+    if not deployed.all_ok:
+        raise RuntimeError("unprotected baseline deploy failed")
+    for attack, variant, payload, verb in payloads:
+        engine.clear()
+        request = ApiRequest.from_manifest(
+            deep_copy(payload), User(f"{config.operator}-operator"), verb=verb
+        )
+        response = cluster.api.handle(request)
+        out.append({
+            "attack_id": attack.attack_id,
+            "reference": attack.reference,
+            "variant": variant,
+            "code": response.code,
+            "mitigated": not response.ok,
+            "exploit_fired": attack.reference in engine.triggered_cves(),
+        })
+    return out
+
+
+def run_matrix(config: MatrixConfig | None = None) -> MatrixReport:
+    """Run the full campaign matrix and the unprotected baseline arm."""
+    config = config or MatrixConfig()
+    started = time.perf_counter()
+    report = MatrixReport(operator=config.operator, seed=config.seed)
+    stack_cache: dict[str, tuple[list[dict[str, Any]], Validator]] = {}
+
+    # Canonical cells: attacks × tenancy × chaos × delivery.
+    baseline_payloads: list[tuple[AttackSpec, str, dict[str, Any], str]] = []
+    for attack in config.attacks:
+        canonical: dict[str, dict[str, Any]] = {}
+        for delivery in config.deliveries:
+            manifests, validator = _benign_stack(config, delivery, stack_cache)
+            canonical[delivery] = _canonical_payload(
+                attack, manifests, config.operator
+            )
+            for tenancy in config.tenancies:
+                for chaos in config.chaos_modes:
+                    cell = MatrixCell(
+                        attack_id=attack.attack_id,
+                        reference=attack.reference,
+                        tenancy=tenancy,
+                        chaos=chaos,
+                        variant="canonical",
+                        delivery=delivery,
+                    )
+                    report.cells.append(_run_cell(
+                        config, cell, attack, canonical[delivery],
+                        "update", manifests, validator,
+                    ))
+        baseline_payloads.append(
+            (attack, "canonical",
+             canonical[config.deliveries[0]], "update")
+        )
+
+    # Fuzz-variant cells: CVE attacks, single-tenant, helm delivery
+    # (the variant dimension is about the payload, not the topology).
+    fuzz_delivery = "helm" if "helm" in config.deliveries else config.deliveries[0]
+    for attack in config.attacks:
+        if not attack.is_cve:
+            continue
+        for index in range(config.fuzz_variants):
+            payload, _kind = _fuzz_payload(attack, config.seed, index)
+            manifests, validator = _benign_stack(
+                config, fuzz_delivery, stack_cache
+            )
+            cell = MatrixCell(
+                attack_id=attack.attack_id,
+                reference=attack.reference,
+                tenancy="single",
+                chaos="none",
+                variant=f"fuzz-{index}",
+                delivery=fuzz_delivery,
+            )
+            report.cells.append(_run_cell(
+                config, cell, attack, payload, "create", manifests, validator,
+            ))
+            baseline_payloads.append(
+                (attack, f"fuzz-{index}", payload, "create")
+            )
+
+    report.baseline = _run_baseline(config, baseline_payloads)
+    report.wall_time_s = time.perf_counter() - started
+    return report

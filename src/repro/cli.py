@@ -572,6 +572,160 @@ def cmd_overhead(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_scan(args: argparse.Namespace) -> int:
+    """The continuous CVE scanner service (docs/SECURITY_SCANNING.md).
+
+    Deploys the operator (through KubeFence by default), then runs the
+    scanner loop against the live store: every tick refreshes the
+    vulndb feed, matches version-live CVE triggers against a store
+    snapshot, and publishes ``kind="scan"`` events +
+    ``kubefence_scan_findings_total`` metrics.  ``--once`` runs a
+    single tick; ``--ticks N`` a bounded loop; default loops until
+    interrupted.  Exit 1 when findings at or above ``--fail-severity``
+    are unmitigated (not fenced by the active policy)."""
+    import json as _json
+
+    from repro.attacks.catalog import cve_attacks
+    from repro.attacks.injector import build_malicious_manifests
+    from repro.core.pipeline import generate_policy
+    from repro.core.proxy import KubeFenceProxy
+    from repro.helm.chart import render_chart
+    from repro.k8s.apiserver import Cluster
+    from repro.obs.analytics import EventBus
+    from repro.obs.metrics import REGISTRY
+    from repro.operators.client import DirectTransport, OperatorClient
+    from repro.scan import CVEScanner, JsonFeed
+
+    chart = _load_chart(args.operator or "nginx")
+    validator = generate_policy(chart)
+    bus = EventBus()
+    cluster = Cluster(event_bus=bus)
+    if args.unprotected:
+        client = OperatorClient(DirectTransport(cluster.api))
+    else:
+        client = OperatorClient(KubeFenceProxy(cluster.api, validator, event_bus=bus))
+    deployed = client.deploy_chart(chart)
+    if not deployed.all_ok:
+        print("error: benign deployment was blocked", file=sys.stderr)
+        return 2
+    if args.hostile:
+        # Pre-existing exposure: hostile manifests admitted straight
+        # into the store (as if committed before KubeFence was added).
+        direct = OperatorClient(DirectTransport(cluster.api))
+        malicious = build_malicious_manifests(
+            chart.name, render_chart(chart), tuple(cve_attacks()[: args.hostile])
+        )
+        for item in malicious:
+            direct.submit_manifest(chart.name, item.manifest, verb="update")
+
+    scanner = CVEScanner(
+        cluster,
+        feed=JsonFeed(args.feed) if args.feed else None,
+        cluster_version=args.cluster_version,
+        assume_vulnerable=args.assume_vulnerable,
+        interval=args.interval,
+        event_bus=bus,
+        registry=REGISTRY,
+        validator=None if args.unprotected else validator,
+    )
+    ticks = 1 if args.once else args.ticks
+    try:
+        report = scanner.run(ticks=ticks)
+    except KeyboardInterrupt:  # pragma: no cover - interactive mode
+        report = scanner.latest
+    if report is None:  # pragma: no cover - stop before first tick
+        return 2
+    scan_events = len(bus.events(kind="scan"))
+    if args.json:
+        print(_json.dumps(scanner.status(), indent=2, sort_keys=True))
+    else:
+        counts = report.counts
+        print(
+            f"scan tick {report.tick}: {report.objects_scanned} object(s) at "
+            f"revision {report.store_revision}, feed serial "
+            f"{report.feed_serial} ({report.feed_entries} entries, "
+            f"{report.live_cves} live), {len(report.findings)} finding(s) "
+            f"[{', '.join(f'{s}={n}' for s, n in counts.items() if n)}]"
+            if report.findings else
+            f"scan tick {report.tick}: {report.objects_scanned} object(s), "
+            f"no findings ({report.live_cves} live CVE(s) checked)"
+        )
+        for finding in sorted(report.findings, key=lambda f: f.key):
+            state = "mitigated" if finding.mitigated else "OPEN"
+            print(
+                f"  {finding.cve_id} [{finding.severity}] "
+                f"{finding.kind}/{finding.name} {finding.field} ({state})"
+            )
+        print(f"  {scan_events} scan event(s) published on the bus",
+              file=sys.stderr)
+    failing = report.unmitigated(args.fail_severity)
+    return 1 if failing else 0
+
+
+def cmd_campaign_matrix(args: argparse.Namespace) -> int:
+    """The scenario-diverse campaign matrix (docs/SECURITY_SCANNING.md).
+
+    Runs attacks × {single, multi-tenant} × {no-chaos, chaos} ×
+    delivery plus fuzz-variant cells; every cell's verdict comes from
+    the forensics engine + the CVE scanner.  Exit 1 on any breached
+    (non-contained) cell."""
+    import json as _json
+
+    from repro.attacks.catalog import get_attack
+    from repro.attacks.matrix import MatrixConfig, run_matrix
+
+    if args.smoke:
+        config = MatrixConfig.smoke(
+            seed=args.seed, operator=args.operator or "nginx"
+        )
+    else:
+        config = MatrixConfig(
+            operator=args.operator or "nginx", seed=args.seed
+        )
+    if args.attacks:
+        config = replace(
+            config,
+            attacks=tuple(
+                get_attack(a.strip()) for a in args.attacks.split(",")
+            ),
+        )
+    if args.fuzz_variants is not None:
+        config = replace(config, fuzz_variants=args.fuzz_variants)
+
+    report = run_matrix(config)
+    if args.output:
+        out = Path(args.output)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(report.to_json() + "\n")
+        print(f"wrote {out}", file=sys.stderr)
+    if args.bench_out:
+        bench = Path(args.bench_out)
+        bench.parent.mkdir(parents=True, exist_ok=True)
+        bench.write_text(
+            _json.dumps(report.bench_dict(), indent=2, sort_keys=True) + "\n"
+        )
+        print(f"wrote {bench}", file=sys.stderr)
+    if args.json:
+        print(report.to_json())
+    else:
+        print(
+            f"campaign matrix: {len(report.cells)} cell(s), "
+            f"{len(report.cells) - len(report.breached)} contained, "
+            f"{len(report.breached)} breached "
+            f"({report.containment_rate:.1%} containment) "
+            f"in {report.wall_time_s:.1f}s"
+        )
+        print(
+            f"unprotected baseline: {report.baseline_mitigated}/"
+            f"{len(report.baseline)} mitigated -> mitigation gap "
+            f"{report.mitigation_gap:.1%}"
+        )
+        for verdict in report.breached:
+            print(f"  BREACH {verdict.cell.cell_id}: "
+                  f"{_json.dumps(verdict.to_dict(), sort_keys=True)}")
+    return 1 if report.breached else 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -751,6 +905,81 @@ def build_parser() -> argparse.ArgumentParser:
     )
     forensics.add_argument("--json", action="store_true", help="machine-readable output")
 
+    scan = sub.add_parser(
+        "scan", help="continuous CVE scanning of the live cluster store"
+    )
+    scan.add_argument(
+        "operator", nargs="?", help="operator chart to deploy (default: nginx)"
+    )
+    scan.add_argument(
+        "--once", action="store_true", help="run exactly one scan tick"
+    )
+    scan.add_argument(
+        "--ticks", type=int, default=None,
+        help="run this many ticks then exit (default: loop until ^C)",
+    )
+    scan.add_argument(
+        "--interval", type=float, default=5.0,
+        help="seconds between ticks in looping mode (default 5)",
+    )
+    scan.add_argument(
+        "--feed", help="JSON vulnerability feed file (re-read every tick)"
+    )
+    scan.add_argument(
+        "--cluster-version", default="1.28.6",
+        help="cluster version for the fixed-in predicate (default 1.28.6)",
+    )
+    scan.add_argument(
+        "--assume-vulnerable", action="store_true",
+        help="treat every triggerable CVE as live regardless of version "
+             "(the Table II/III posture)",
+    )
+    scan.add_argument(
+        "--unprotected", action="store_true",
+        help="deploy without KubeFence in the path (findings stay "
+             "unmitigated; demo/baseline mode)",
+    )
+    scan.add_argument(
+        "--hostile", type=int, default=0, metavar="N",
+        help="admit N hostile manifests directly into the store first "
+             "(pre-existing exposure demo)",
+    )
+    scan.add_argument(
+        "--fail-severity", default="critical",
+        choices=("critical", "high", "medium", "low"),
+        help="exit 1 when unmitigated findings at or above this severity "
+             "remain (default: critical)",
+    )
+    scan.add_argument("--json", action="store_true", help="machine-readable output")
+
+    matrix = sub.add_parser(
+        "campaign-matrix",
+        help="scenario-diverse attack matrix with forensics-proven containment",
+    )
+    matrix.add_argument(
+        "operator", nargs="?", help="operator chart to attack (default: nginx)"
+    )
+    matrix.add_argument("--seed", type=int, default=1337, help="matrix seed")
+    matrix.add_argument(
+        "--smoke", action="store_true",
+        help="CI-sized matrix (6 attacks, helm delivery only)",
+    )
+    matrix.add_argument(
+        "--attacks", help="comma-separated attack ids (e.g. E1,E2,M1)"
+    )
+    matrix.add_argument(
+        "--fuzz-variants", type=int, default=None,
+        help="fuzz-variant cells per CVE attack (default 1)",
+    )
+    matrix.add_argument(
+        "-o", "--output", help="write the deterministic matrix report here"
+    )
+    matrix.add_argument(
+        "--bench-out",
+        help="write BENCH_campaign.json headline figures here",
+    )
+    matrix.add_argument("--json", action="store_true", help="print the full report")
+
     return parser
 
 
@@ -771,6 +1000,8 @@ _COMMANDS = {
     "slo": cmd_slo,
     "refine": cmd_refine,
     "forensics": cmd_forensics,
+    "scan": cmd_scan,
+    "campaign-matrix": cmd_campaign_matrix,
 }
 
 

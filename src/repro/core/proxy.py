@@ -596,6 +596,8 @@ class KubeFenceProxy:
         self.observe_fields = False
         #: the /obs/refine controller, when a refinement loop is wired.
         self.refine: Any | None = None
+        #: the /obs/scan CVE scanner, when one is wired.
+        self.scanner: Any | None = None
         self.breaker = None
         self._guard: UpstreamGuard | None = None
         self._read_cache: StaleReadCache | None = None
@@ -879,6 +881,8 @@ class HttpKubeFenceProxy:
         self.observe_fields = False
         #: the /obs/refine controller, when a refinement loop is wired.
         self.refine: Any | None = None
+        #: the /obs/scan CVE scanner, when one is wired.
+        self.scanner: Any | None = None
         self.resilience = res = (
             resilience if resilience is not None else DEFAULT_RESILIENCE
         )
@@ -1000,6 +1004,7 @@ class HttpKubeFenceProxy:
                     event_bus=proxy.events if proxy.events.enabled else None,
                     slo=proxy.slo,
                     refine=proxy.refine,
+                    scanner=proxy.scanner,
                 )
                 if served is None:
                     return False

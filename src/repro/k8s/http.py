@@ -258,6 +258,9 @@ class _Handler(BaseHTTPRequestHandler):
     #: Optional :class:`repro.obs.refine.RefineController` served at
     #: ``/obs/refine``; injected by :class:`HttpApiServer` when wired.
     refine: Any = None
+    #: Optional :class:`repro.scan.CVEScanner` served at ``/obs/scan``;
+    #: injected by :class:`HttpApiServer` when wired.
+    scanner: Any = None
     #: Optional :class:`repro.faults.FaultInjector` applied at the wire
     #: level (after the body drain, before routing).  ``None`` in the
     #: normal, fault-free topology.
@@ -299,6 +302,7 @@ class _Handler(BaseHTTPRequestHandler):
             event_bus=bus if (bus is not None and bus.enabled) else None,
             slo=self.slo,
             refine=self.refine,
+            scanner=self.scanner,
         )
         if served is None:
             return False
@@ -394,12 +398,12 @@ class HttpApiServer:
 
     def __init__(self, api: APIServer, host: str = "127.0.0.1", port: int = 0,
                  fault_injector: Any | None = None, slo: Any | None = None,
-                 refine: Any | None = None,
+                 refine: Any | None = None, scanner: Any | None = None,
                  workers: int | None = None, queue_size: int | None = None):
         handler = type(
             "BoundHandler", (_Handler,),
             {"api": api, "faults": fault_injector, "slo": slo,
-             "refine": refine},
+             "refine": refine, "scanner": scanner},
         )
         self._httpd = new_http_server(
             (host, port), handler, workers=workers, queue_size=queue_size

@@ -4,10 +4,16 @@ The store keeps Kubernetes objects keyed by ``(kind, namespace, name)``
 with a monotonically increasing cluster-wide ``resourceVersion``,
 optimistic-concurrency checks on update, and an event stream that
 controllers consume (a simplified watch).
+
+All operations are guarded by a reentrant lock so HTTP worker threads,
+controllers and the CVE scanner loop can share one store:
+:meth:`ObjectStore.snapshot` gives readers a torn-read-free view —
+every write that returned before the snapshot call is included.
 """
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 from typing import Callable, Iterator
 
@@ -31,13 +37,17 @@ class ObjectStore:
         self._objects: dict[tuple[str, str, str], K8sObject] = {}
         self._revision = 0
         self._watchers: list[Callable[[StoreEvent], None]] = []
+        # Reentrant: watch callbacks fire under the lock and controllers
+        # may re-enter the store from them.
+        self._lock = threading.RLock()
 
     # -- versioning --------------------------------------------------------
 
     @property
     def revision(self) -> int:
         """Current cluster-wide resource version."""
-        return self._revision
+        with self._lock:
+            return self._revision
 
     def _bump(self, obj: K8sObject) -> None:
         self._revision += 1
@@ -46,82 +56,102 @@ class ObjectStore:
     # -- CRUD --------------------------------------------------------------
 
     def create(self, obj: K8sObject) -> K8sObject:
-        key = obj.key()
-        if key in self._objects:
-            raise ApiError.conflict(obj.kind, obj.name)
-        stored = obj.copy()
-        self._bump(stored)
-        stored.metadata.setdefault("uid", f"uid-{self._revision:08d}")
-        self._objects[key] = stored
-        self._emit(StoreEvent("ADDED", stored.copy(), self._revision))
-        return stored.copy()
+        with self._lock:
+            key = obj.key()
+            if key in self._objects:
+                raise ApiError.conflict(obj.kind, obj.name)
+            stored = obj.copy()
+            self._bump(stored)
+            stored.metadata.setdefault("uid", f"uid-{self._revision:08d}")
+            self._objects[key] = stored
+            self._emit(StoreEvent("ADDED", stored.copy(), self._revision))
+            return stored.copy()
 
     def get(self, kind: str, namespace: str, name: str) -> K8sObject:
-        try:
-            return self._objects[(kind, namespace, name)].copy()
-        except KeyError:
-            raise ApiError.not_found(kind, name) from None
+        with self._lock:
+            try:
+                return self._objects[(kind, namespace, name)].copy()
+            except KeyError:
+                raise ApiError.not_found(kind, name) from None
 
     def exists(self, kind: str, namespace: str, name: str) -> bool:
-        return (kind, namespace, name) in self._objects
+        with self._lock:
+            return (kind, namespace, name) in self._objects
 
     def update(self, obj: K8sObject, check_version: bool = False) -> K8sObject:
-        key = obj.key()
-        if key not in self._objects:
-            raise ApiError.not_found(obj.kind, obj.name)
-        if check_version:
-            current = self._objects[key]
-            if obj.resource_version is not None and obj.resource_version != current.resource_version:
-                raise ApiError.conflict(
-                    obj.kind,
-                    obj.name,
-                    message=(
-                        f"Operation cannot be fulfilled on {obj.kind} {obj.name!r}: "
-                        "the object has been modified"
-                    ),
-                )
-        stored = obj.copy()
-        # Preserve the uid assigned at creation time.
-        stored.metadata["uid"] = self._objects[key].metadata.get("uid")
-        self._bump(stored)
-        self._objects[key] = stored
-        self._emit(StoreEvent("MODIFIED", stored.copy(), self._revision))
-        return stored.copy()
+        with self._lock:
+            key = obj.key()
+            if key not in self._objects:
+                raise ApiError.not_found(obj.kind, obj.name)
+            if check_version:
+                current = self._objects[key]
+                if obj.resource_version is not None and obj.resource_version != current.resource_version:
+                    raise ApiError.conflict(
+                        obj.kind,
+                        obj.name,
+                        message=(
+                            f"Operation cannot be fulfilled on {obj.kind} {obj.name!r}: "
+                            "the object has been modified"
+                        ),
+                    )
+            stored = obj.copy()
+            # Preserve the uid assigned at creation time.
+            stored.metadata["uid"] = self._objects[key].metadata.get("uid")
+            self._bump(stored)
+            self._objects[key] = stored
+            self._emit(StoreEvent("MODIFIED", stored.copy(), self._revision))
+            return stored.copy()
 
     def delete(self, kind: str, namespace: str, name: str) -> K8sObject:
-        key = (kind, namespace, name)
-        if key not in self._objects:
-            raise ApiError.not_found(kind, name)
-        obj = self._objects.pop(key)
-        self._revision += 1
-        self._emit(StoreEvent("DELETED", obj.copy(), self._revision))
-        return obj.copy()
+        with self._lock:
+            key = (kind, namespace, name)
+            if key not in self._objects:
+                raise ApiError.not_found(kind, name)
+            obj = self._objects.pop(key)
+            self._revision += 1
+            self._emit(StoreEvent("DELETED", obj.copy(), self._revision))
+            return obj.copy()
 
     def list(self, kind: str, namespace: str | None = None) -> list[K8sObject]:
-        out = [
-            o.copy()
-            for (k, ns, _), o in self._objects.items()
-            if k == kind and (namespace is None or ns == namespace)
-        ]
+        with self._lock:
+            out = [
+                o.copy()
+                for (k, ns, _), o in self._objects.items()
+                if k == kind and (namespace is None or ns == namespace)
+            ]
         out.sort(key=lambda o: (o.namespace, o.name))
         return out
 
     def all_objects(self) -> Iterator[K8sObject]:
-        for obj in self._objects.values():
-            yield obj.copy()
+        with self._lock:
+            items = [obj.copy() for obj in self._objects.values()]
+        yield from items
+
+    def snapshot(self) -> tuple[int, list[K8sObject]]:
+        """Atomic ``(revision, objects)`` view of the store.
+
+        Any write whose call returned before ``snapshot()`` was entered
+        is guaranteed to be reflected — the contract the scanner relies
+        on to never miss an object committed before a scan tick.
+        """
+        with self._lock:
+            return self._revision, [o.copy() for o in self._objects.values()]
 
     def __len__(self) -> int:
-        return len(self._objects)
+        with self._lock:
+            return len(self._objects)
 
     # -- watch -------------------------------------------------------------
 
     def watch(self, callback: Callable[[StoreEvent], None]) -> Callable[[], None]:
         """Register a watcher; returns an unsubscribe function."""
-        self._watchers.append(callback)
+        with self._lock:
+            self._watchers.append(callback)
 
         def unsubscribe() -> None:
-            if callback in self._watchers:
-                self._watchers.remove(callback)
+            with self._lock:
+                if callback in self._watchers:
+                    self._watchers.remove(callback)
 
         return unsubscribe
 

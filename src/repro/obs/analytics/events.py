@@ -55,8 +55,9 @@ __all__ = [
 #: to reject a future, incompatible shape instead of mis-parsing it).
 EVENT_SCHEMA_VERSION = 1
 
-#: The closed set of event kinds on the stream.
-EVENT_KINDS = ("audit", "decision", "anomaly", "marker", "shadow")
+#: The closed set of event kinds on the stream.  ``scan`` events are
+#: CVE-scanner findings (one per newly observed finding per tick).
+EVENT_KINDS = ("audit", "decision", "anomaly", "marker", "shadow", "scan")
 
 #: Decision outcomes (closed set; doubles as a metrics label domain).
 DECISION_OUTCOMES = ("allow", "deny", "degraded", "error")

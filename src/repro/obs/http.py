@@ -18,7 +18,10 @@ Both HTTP servers in the repo (the mini API server in
   happens on read, so scraping this endpoint *is* the alert check;
 - ``GET /obs/refine`` -- the policy-refinement loop's state (when a
   :class:`~repro.obs.refine.RefineController` is wired): field-usage
-  matrix, candidate-policy diff, and the shadow-mode canary verdict.
+  matrix, candidate-policy diff, and the shadow-mode canary verdict;
+- ``GET /obs/scan``   -- the CVE scanner's status and latest findings
+  report (when a :class:`~repro.scan.CVEScanner` is wired); optional
+  ``?severity=`` filters the reported findings.
 
 :func:`obs_endpoint` keeps the handlers transport-agnostic: it maps a
 request path to ``(status, content_type, body)`` or ``None`` when the
@@ -43,7 +46,7 @@ _JSON = "application/json"
 #: Paths served by the observability layer.
 OBS_PATHS = (
     "/metrics", "/healthz", "/readyz", "/livez",
-    "/obs/traces", "/obs/events", "/obs/slo", "/obs/refine",
+    "/obs/traces", "/obs/events", "/obs/slo", "/obs/refine", "/obs/scan",
 )
 
 #: Response-size bounds: a full TraceBuffer/EventBus dump must not be
@@ -82,15 +85,16 @@ def obs_endpoint(
     event_bus: Any | None = None,
     slo: Any | None = None,
     refine: Any | None = None,
+    scanner: Any | None = None,
 ) -> tuple[int, str, bytes] | None:
     """Serve an observability path, or return ``None`` for API traffic.
 
     ``ready_checks`` maps check names to callables; any falsy/raising
     check flips ``/readyz`` to 503 with the failing checks named.
-    ``event_bus``/``slo``/``refine`` wire the ``/obs/events``,
-    ``/obs/slo`` and ``/obs/refine`` analytics surfaces; unwired,
-    those paths answer 404 with a hint instead of falling through to
-    API routing.
+    ``event_bus``/``slo``/``refine``/``scanner`` wire the
+    ``/obs/events``, ``/obs/slo``, ``/obs/refine`` and ``/obs/scan``
+    analytics surfaces; unwired, those paths answer 404 with a hint
+    instead of falling through to API routing.
     """
     path, _, query = path.partition("?")
     params = parse_qs(query) if query else {}
@@ -163,4 +167,25 @@ def obs_endpoint(
         return 200, _JSON, json.dumps(
             refine.status(), sort_keys=True
         ).encode()
+    if path == "/obs/scan":
+        if scanner is None:
+            return 404, _JSON, json.dumps(
+                {"error": "no CVE scanner wired on this component"}
+            ).encode()
+        status = scanner.status()
+        severity = _str_param(params, "severity")
+        if severity is not None:
+            from repro.scan.scanner import SEVERITIES
+            if severity not in SEVERITIES:
+                return 400, _JSON, json.dumps({
+                    "error": f"unknown severity {severity!r}",
+                    "valid_severities": list(SEVERITIES),
+                }, sort_keys=True).encode()
+            report = status.get("last_report")
+            if report:
+                report["findings"] = [
+                    f for f in report["findings"]
+                    if f["severity"] == severity
+                ]
+        return 200, _JSON, json.dumps(status, sort_keys=True).encode()
     return None

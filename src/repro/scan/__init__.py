@@ -1,0 +1,41 @@
+"""Continuous CVE scanning of the live cluster store.
+
+A long-running service loop (modelled on kure-monitor's scanner) that
+refreshes a vulnerability feed, matches version-live CVE triggers
+against an atomic store snapshot, publishes ``kind="scan"`` events and
+``kubefence_scan_findings_total`` metrics, and feeds the ``/obs/scan``
+surface on both HTTP components.
+
+- :mod:`repro.scan.feed` -- feed sources (in-process + JSON document).
+- :mod:`repro.scan.scanner` -- the :class:`CVEScanner` service loop.
+"""
+
+from repro.scan.feed import (
+    FeedSnapshot,
+    JsonFeed,
+    StaticFeed,
+    TRIGGER_REGISTRY,
+    parse_feed_document,
+)
+from repro.scan.scanner import (
+    CVEScanner,
+    DEFAULT_CLUSTER_VERSION,
+    SEVERITIES,
+    ScanFinding,
+    ScanReport,
+    severity_for,
+)
+
+__all__ = [
+    "CVEScanner",
+    "DEFAULT_CLUSTER_VERSION",
+    "FeedSnapshot",
+    "JsonFeed",
+    "SEVERITIES",
+    "ScanFinding",
+    "ScanReport",
+    "StaticFeed",
+    "TRIGGER_REGISTRY",
+    "parse_feed_document",
+    "severity_for",
+]

@@ -1,0 +1,187 @@
+"""Vulnerability feed sources for the CVE scanner.
+
+The scanner refreshes its :class:`~repro.k8s.vulndb.VulnerabilityDatabase`
+from a *feed* at the top of every tick, the way kure-monitor's scanner
+re-pulls the upstream CVE feed before each scan.  Two sources:
+
+- :class:`StaticFeed` wraps an in-process database (default: the
+  built-in 49-CVE window).  Entries can be added at runtime, which is
+  how tests and demos model the upstream feed publishing a new CVE
+  between ticks.
+- :class:`JsonFeed` parses a JSON document (a file path or any
+  zero-argument fetcher returning text), resolving trigger predicates
+  by name from :data:`TRIGGER_REGISTRY` so a feed document can carry
+  executable API-exploitability triggers without shipping code.
+
+Both report a monotonically increasing ``serial`` that bumps only when
+the entry set actually changed, so consumers can cheaply detect "the
+feed moved" without diffing entries themselves.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Callable
+
+from repro.k8s.vulndb import (
+    CVEEntry,
+    Trigger,
+    VulnerabilityDatabase,
+    container_field_trigger,
+    external_ips_trigger,
+    missing_limits_trigger,
+    pod_flag_trigger,
+    subpath_injection_trigger,
+    subpath_trigger,
+    symlink_exchange_trigger,
+    vulndb,
+)
+
+__all__ = [
+    "FeedSnapshot",
+    "JsonFeed",
+    "StaticFeed",
+    "TRIGGER_REGISTRY",
+    "parse_feed_document",
+]
+
+#: Named trigger predicates a JSON feed document may reference.  Entries
+#: whose ``trigger`` names a factory are given the factory's result for
+#: the supplied arguments; unknown names fail the parse loudly.
+TRIGGER_REGISTRY: dict[str, Callable[..., Trigger]] = {
+    "pod_flag": pod_flag_trigger,
+    "container_field": container_field_trigger,
+    "subpath": lambda: subpath_trigger,
+    "subpath_injection": lambda: subpath_injection_trigger,
+    "missing_limits": lambda: missing_limits_trigger,
+    "symlink_exchange": lambda: symlink_exchange_trigger,
+    "external_ips": lambda: external_ips_trigger,
+}
+
+
+@dataclass(frozen=True)
+class FeedSnapshot:
+    """One refresh result: the database plus change metadata."""
+
+    db: VulnerabilityDatabase
+    serial: int
+    changed: bool
+    source: str
+
+    @property
+    def entry_count(self) -> int:
+        return len(self.db)
+
+
+def _entry_fingerprint(entries: list[CVEEntry]) -> tuple:
+    """Identity of a feed state: which CVEs, at which fix levels."""
+    return tuple(sorted((e.cve_id, e.cvss, e.fixed_in or "") for e in entries))
+
+
+class StaticFeed:
+    """An in-process feed over a fixed (but growable) entry list."""
+
+    def __init__(self, db: VulnerabilityDatabase | None = None) -> None:
+        base = db if db is not None else vulndb
+        self._lock = threading.Lock()
+        self._entries: list[CVEEntry] = list(base)
+        self._serial = 1
+        self._last_fingerprint: tuple | None = None
+
+    def add(self, entry: CVEEntry) -> None:
+        """Publish a new entry (models the upstream feed moving)."""
+        with self._lock:
+            self._entries.append(entry)
+
+    def refresh(self) -> FeedSnapshot:
+        with self._lock:
+            entries = list(self._entries)
+            fingerprint = _entry_fingerprint(entries)
+            changed = fingerprint != self._last_fingerprint
+            if changed and self._last_fingerprint is not None:
+                self._serial += 1
+            self._last_fingerprint = fingerprint
+            return FeedSnapshot(
+                db=VulnerabilityDatabase(entries),
+                serial=self._serial,
+                changed=changed,
+                source="static",
+            )
+
+
+def parse_feed_document(doc: Any) -> list[CVEEntry]:
+    """Parse a feed JSON document into CVE entries.
+
+    Expected shape (a subset of what a real aggregated feed carries)::
+
+        {"cves": [{"cve_id": "CVE-...", "summary": "...", "cvss": 8.8,
+                   "component": "kubelet", "fixed_in": "1.28.1",
+                   "vulnerable_files": ["pkg/kubelet/x.go"],
+                   "trigger": {"name": "pod_flag",
+                               "args": ["hostNetwork"]},
+                   "effect": "..."}]}
+    """
+    if not isinstance(doc, dict) or not isinstance(doc.get("cves"), list):
+        raise ValueError("feed document must be a dict with a 'cves' list")
+    entries: list[CVEEntry] = []
+    for item in doc["cves"]:
+        trigger: Trigger | None = None
+        spec = item.get("trigger")
+        if spec:
+            name = spec.get("name")
+            factory = TRIGGER_REGISTRY.get(name)
+            if factory is None:
+                raise ValueError(
+                    f"feed entry {item.get('cve_id')!r} references unknown "
+                    f"trigger {name!r} (known: {sorted(TRIGGER_REGISTRY)})"
+                )
+            trigger = factory(*spec.get("args", []))
+        entries.append(CVEEntry(
+            cve_id=item["cve_id"],
+            summary=item.get("summary", ""),
+            cvss=float(item.get("cvss", 0.0)),
+            component=item.get("component", "unknown"),
+            vulnerable_files=tuple(item.get("vulnerable_files", ())),
+            fixed_in=item.get("fixed_in"),
+            trigger=trigger,
+            effect=item.get("effect", ""),
+        ))
+    return entries
+
+
+class JsonFeed:
+    """A feed backed by a JSON document (file path or fetch callable)."""
+
+    def __init__(
+        self,
+        source: str | Path | Callable[[], str],
+        name: str | None = None,
+    ) -> None:
+        if callable(source):
+            self._fetch = source
+            self._name = name or "callable"
+        else:
+            path = Path(source)
+            self._fetch = path.read_text
+            self._name = name or str(path)
+        self._lock = threading.Lock()
+        self._serial = 0
+        self._last_fingerprint: tuple | None = None
+
+    def refresh(self) -> FeedSnapshot:
+        entries = parse_feed_document(json.loads(self._fetch()))
+        with self._lock:
+            fingerprint = _entry_fingerprint(entries)
+            changed = fingerprint != self._last_fingerprint
+            if changed:
+                self._serial += 1
+            self._last_fingerprint = fingerprint
+            return FeedSnapshot(
+                db=VulnerabilityDatabase(entries),
+                serial=self._serial,
+                changed=changed,
+                source=self._name,
+            )

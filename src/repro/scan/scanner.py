@@ -1,0 +1,377 @@
+"""The continuous CVE scanner service loop.
+
+Modelled on kure-monitor's ``CVEScanner``: a long-running loop that, on
+every tick,
+
+1. refreshes the vulnerability feed (:mod:`repro.scan.feed`),
+2. narrows the database to entries *live* for the cluster version
+   (``version_in_range`` predicate, or everything exploitable when
+   ``assume_vulnerable`` — the paper's Table II/III posture),
+3. matches each live entry's trigger against an atomic snapshot of the
+   object store (:meth:`repro.k8s.store.ObjectStore.snapshot`), and
+4. publishes one schema-versioned ``kind="scan"`` event per *newly*
+   observed finding, increments
+   ``kubefence_scan_findings_total{cve,severity}``, and retains the
+   report for the ``/obs/scan`` surface.
+
+A finding is *mitigated* when the wired KubeFence validator would deny
+the matching manifest today — the exposure is already fenced off for
+future writes even though the object predates the policy.  Unmitigated
+critical findings are what ``repro scan`` exits non-zero on.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Iterable
+
+from repro.k8s.store import ObjectStore
+from repro.k8s.vulndb import CVEEntry, VulnerabilityDatabase, version_in_range
+from repro.obs.analytics.events import SecurityEvent, now
+from repro.scan.feed import FeedSnapshot, StaticFeed
+
+__all__ = [
+    "CVEScanner",
+    "DEFAULT_CLUSTER_VERSION",
+    "SEVERITIES",
+    "ScanFinding",
+    "ScanReport",
+    "severity_for",
+]
+
+DEFAULT_CLUSTER_VERSION = "1.28.6"
+
+#: Ordered worst-first; doubles as the metrics label domain.
+SEVERITIES = ("critical", "high", "medium", "low")
+
+
+def severity_for(cvss: float) -> str:
+    """CVSS v3 qualitative rating bands."""
+    if cvss >= 9.0:
+        return "critical"
+    if cvss >= 7.0:
+        return "high"
+    if cvss >= 4.0:
+        return "medium"
+    return "low"
+
+
+@dataclass(frozen=True)
+class ScanFinding:
+    """One (CVE, object) match: a live vulnerability the store exposes."""
+
+    cve_id: str
+    severity: str
+    cvss: float
+    component: str
+    kind: str
+    namespace: str
+    name: str
+    field: str
+    fixed_in: str | None = None
+    effect: str = ""
+    mitigated: bool = False
+
+    @property
+    def key(self) -> tuple[str, str, str, str, str]:
+        return (self.cve_id, self.kind, self.namespace, self.name, self.field)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "cve": self.cve_id,
+            "severity": self.severity,
+            "cvss": self.cvss,
+            "component": self.component,
+            "kind": self.kind,
+            "namespace": self.namespace,
+            "name": self.name,
+            "field": self.field,
+            "fixed_in": self.fixed_in,
+            "effect": self.effect,
+            "mitigated": self.mitigated,
+        }
+
+
+@dataclass
+class ScanReport:
+    """The result of one scan tick."""
+
+    tick: int
+    store_revision: int
+    objects_scanned: int
+    cluster_version: str
+    feed_serial: int
+    feed_entries: int
+    live_cves: int
+    findings: list[ScanFinding] = field(default_factory=list)
+    new_findings: int = 0
+    duration_ms: float = 0.0
+
+    @property
+    def counts(self) -> dict[str, int]:
+        out = {s: 0 for s in SEVERITIES}
+        for f in self.findings:
+            out[f.severity] += 1
+        return out
+
+    def unmitigated(self, threshold: str = "critical") -> list[ScanFinding]:
+        """Findings at or above *threshold* severity, not yet fenced."""
+        rank = SEVERITIES.index(threshold)
+        return [
+            f for f in self.findings
+            if not f.mitigated and SEVERITIES.index(f.severity) <= rank
+        ]
+
+    def finding_keys(self) -> set[tuple[str, str, str, str, str]]:
+        return {f.key for f in self.findings}
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "tick": self.tick,
+            "store_revision": self.store_revision,
+            "objects_scanned": self.objects_scanned,
+            "cluster_version": self.cluster_version,
+            "feed": {
+                "serial": self.feed_serial,
+                "entries": self.feed_entries,
+                "live_cves": self.live_cves,
+            },
+            "counts": self.counts,
+            "new_findings": self.new_findings,
+            "duration_ms": round(self.duration_ms, 3),
+            "findings": [
+                f.to_dict()
+                for f in sorted(self.findings, key=lambda f: f.key)
+            ],
+        }
+
+
+class CVEScanner:
+    """Periodic vulndb-vs-store matcher publishing scan events.
+
+    ``store`` may be an :class:`~repro.k8s.store.ObjectStore` or
+    anything carrying one as ``.store`` (a ``Cluster``).  ``validator``
+    is optional; when wired, each finding is checked against the active
+    policy to decide ``mitigated``.
+    """
+
+    def __init__(
+        self,
+        store: Any,
+        feed: Any | None = None,
+        db: VulnerabilityDatabase | None = None,
+        cluster_version: str = DEFAULT_CLUSTER_VERSION,
+        assume_vulnerable: bool = False,
+        interval: float = 30.0,
+        event_bus: Any | None = None,
+        registry: Any | None = None,
+        validator: Any | None = None,
+    ) -> None:
+        if not isinstance(store, ObjectStore):
+            store = store.store
+        self.store: ObjectStore = store
+        self.feed = feed if feed is not None else StaticFeed(db)
+        self.cluster_version = cluster_version
+        self.assume_vulnerable = assume_vulnerable
+        self.interval = interval
+        self.event_bus = event_bus
+        self.validator = validator
+        self._lock = threading.Lock()
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+        self._tick = 0
+        self._seen: set[tuple[str, str, str, str, str]] = set()
+        self._latest: ScanReport | None = None
+        self._last_feed: FeedSnapshot | None = None
+        self._feed_refreshes = 0
+        self._feed_changes = 0
+        self._m_findings = None
+        self._m_ticks = None
+        self._m_open = None
+        if registry is not None:
+            self._m_findings = registry.counter(
+                "kubefence_scan_findings_total",
+                "Newly observed CVE scan findings, by CVE and severity.",
+                labels=("cve", "severity"),
+            )
+            self._m_ticks = registry.counter(
+                "kubefence_scan_ticks_total",
+                "Completed scanner ticks (feed refresh + store scan).",
+            )
+            self._m_open = registry.gauge(
+                "kubefence_scan_open_findings",
+                "Findings present in the store as of the last scan tick.",
+            )
+
+    # -- matching ----------------------------------------------------------
+
+    def live_entries(self, db: VulnerabilityDatabase) -> list[CVEEntry]:
+        """Triggerable entries whose version predicate holds for this
+        cluster (or all of them under ``assume_vulnerable``)."""
+        out = []
+        for entry in db.api_exploitable():
+            if self.assume_vulnerable or version_in_range(
+                self.cluster_version, entry.fixed_in
+            ):
+                out.append(entry)
+        return out
+
+    def _mitigated(self, obj: Any) -> bool:
+        if self.validator is None:
+            return False
+        try:
+            return not self.validator.validate(obj.data).allowed
+        except Exception:  # noqa: BLE001 - treat validator errors as unmitigated
+            return False
+
+    def scan_once(self) -> ScanReport:
+        """One full tick: refresh the feed, scan the store, publish."""
+        started = time.perf_counter()
+        snapshot = self.feed.refresh()
+        live = self.live_entries(snapshot.db)
+        revision, objects = self.store.snapshot()
+        findings: list[ScanFinding] = []
+        for entry in live:
+            severity = severity_for(entry.cvss)
+            for obj in objects:
+                matched = entry.trigger(obj) if entry.trigger else None
+                if matched is None:
+                    continue
+                findings.append(ScanFinding(
+                    cve_id=entry.cve_id,
+                    severity=severity,
+                    cvss=entry.cvss,
+                    component=entry.component,
+                    kind=obj.kind,
+                    namespace=obj.namespace,
+                    name=obj.name,
+                    field=matched,
+                    fixed_in=entry.fixed_in,
+                    effect=entry.effect,
+                    mitigated=self._mitigated(obj),
+                ))
+        with self._lock:
+            self._tick += 1
+            self._feed_refreshes += 1
+            if snapshot.changed:
+                self._feed_changes += 1
+            self._last_feed = snapshot
+            fresh = [f for f in findings if f.key not in self._seen]
+            self._seen.update(f.key for f in fresh)
+            report = ScanReport(
+                tick=self._tick,
+                store_revision=revision,
+                objects_scanned=len(objects),
+                cluster_version=self.cluster_version,
+                feed_serial=snapshot.serial,
+                feed_entries=snapshot.entry_count,
+                live_cves=len(live),
+                findings=findings,
+                new_findings=len(fresh),
+                duration_ms=(time.perf_counter() - started) * 1e3,
+            )
+            self._latest = report
+        self._publish(fresh)
+        if self._m_ticks is not None:
+            self._m_ticks.inc()
+        if self._m_open is not None:
+            self._m_open.set(float(len(findings)))
+        return report
+
+    def _publish(self, fresh: Iterable[ScanFinding]) -> None:
+        for finding in fresh:
+            if self._m_findings is not None:
+                self._m_findings.labels(
+                    cve=finding.cve_id, severity=finding.severity
+                ).inc()
+            if self.event_bus is not None:
+                self.event_bus.publish(SecurityEvent(
+                    kind="scan",
+                    source="scanner",
+                    ts=now(),
+                    resource=finding.kind,
+                    name=finding.name,
+                    namespace=finding.namespace,
+                    outcome="mitigated" if finding.mitigated else "open",
+                    detail={
+                        "cve": finding.cve_id,
+                        "severity": finding.severity,
+                        "cvss": finding.cvss,
+                        "field": finding.field,
+                        "fixed_in": finding.fixed_in,
+                        "component": finding.component,
+                    },
+                ))
+
+    # -- service loop ------------------------------------------------------
+
+    def run(self, ticks: int | None = None) -> ScanReport | None:
+        """Blocking loop; *ticks* bounds iterations (None = forever)."""
+        report = None
+        remaining = ticks
+        while not self._stop.is_set():
+            report = self.scan_once()
+            if remaining is not None:
+                remaining -= 1
+                if remaining <= 0:
+                    break
+            if self._stop.wait(self.interval):
+                break
+        return report
+
+    def start(self) -> "CVEScanner":
+        """Run the loop on a daemon thread; idempotent."""
+        if self._thread is not None and self._thread.is_alive():
+            return self
+        self._stop.clear()
+        self._thread = threading.Thread(
+            target=self.run, name="cve-scanner", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self, timeout: float = 5.0) -> None:
+        self._stop.set()
+        thread = self._thread
+        if thread is not None:
+            thread.join(timeout)
+            if thread.is_alive():  # pragma: no cover - defensive
+                raise RuntimeError("cve-scanner thread failed to stop")
+        self._thread = None
+
+    @property
+    def running(self) -> bool:
+        return self._thread is not None and self._thread.is_alive()
+
+    # -- surfaces ----------------------------------------------------------
+
+    @property
+    def latest(self) -> ScanReport | None:
+        with self._lock:
+            return self._latest
+
+    def status(self) -> dict[str, Any]:
+        """The ``/obs/scan`` payload."""
+        with self._lock:
+            latest = self._latest
+            return {
+                "running": self.running,
+                "interval_s": self.interval,
+                "cluster_version": self.cluster_version,
+                "assume_vulnerable": self.assume_vulnerable,
+                "ticks": self._tick,
+                "feed": {
+                    "refreshes": self._feed_refreshes,
+                    "changes": self._feed_changes,
+                    "serial": (
+                        self._last_feed.serial if self._last_feed else 0
+                    ),
+                    "source": (
+                        self._last_feed.source if self._last_feed else None
+                    ),
+                },
+                "seen_findings": len(self._seen),
+                "last_report": latest.to_dict() if latest else None,
+            }

@@ -57,18 +57,107 @@ def nginx_deployment(default_manifests) -> dict:
     )
 
 
-@pytest.fixture()
-def free_port() -> int:
-    """An ephemeral TCP port that was free a moment ago.
+#: Ports already handed out this session; a kernel can (and under
+#: parallel test churn does) recycle an ephemeral port the moment the
+#: probing socket closes, so handing the same number to two tests is a
+#: real race, not a theoretical one.
+_HANDED_PORTS: set[int] = set()
 
-    The socket is bound with SO_REUSEADDR and closed before the port
-    number is handed out, so tests can (a) start their own server on a
-    known-free port or (b) use the *unbound* address as a
-    guaranteed-dead upstream (connection refused) in resilience tests.
-    """
+
+def _probe_free_port() -> int:
     import socket
 
     with socket.socket(socket.AF_INET, socket.SOCK_STREAM) as sock:
         sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
         sock.bind(("127.0.0.1", 0))
         return sock.getsockname()[1]
+
+
+@pytest.fixture()
+def free_port() -> int:
+    """An ephemeral TCP port that was free a moment ago.
+
+    Bind-retry: the port is probed with SO_REUSEADDR and re-probed
+    until the kernel hands one this session has not already given out,
+    so tests can (a) start their own server on a known-free port or
+    (b) use the *unbound* address as a dead upstream (connection
+    refused) in resilience tests.
+    """
+    for _ in range(32):
+        port = _probe_free_port()
+        if port not in _HANDED_PORTS:
+            _HANDED_PORTS.add(port)
+            return port
+    raise RuntimeError("could not find an unused ephemeral port in 32 probes")
+
+
+@pytest.fixture()
+def dead_port():
+    """A port guaranteed to refuse connections for the whole test.
+
+    Unlike ``free_port`` (closed before handing out the number, so
+    another process may grab it), this keeps the socket *bound but not
+    listening* — connects get ECONNREFUSED and nobody else can take
+    the port while the test runs.
+    """
+    import socket
+
+    sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+    sock.bind(("127.0.0.1", 0))
+    try:
+        yield sock.getsockname()[1]
+    finally:
+        sock.close()
+
+
+def _fd_count() -> int | None:
+    import os
+
+    try:
+        return len(os.listdir("/proc/self/fd"))
+    except OSError:  # pragma: no cover - non-procfs platforms
+        return None
+
+
+class _LeakChecker:
+    """fd/thread-leak assertions around server start/stop cycles.
+
+    Session-scoped so module-scoped server fixtures can use it::
+
+        token = leak_checker.begin()
+        server = HttpApiServer(...).start()
+        yield ...
+        server.stop()
+        leak_checker.end(token)
+    """
+
+    def begin(self) -> tuple[int, int | None]:
+        import threading
+
+        return threading.active_count(), _fd_count()
+
+    def end(self, token: tuple[int, int | None],
+            fd_tolerance: int = 4, settle_s: float = 5.0) -> None:
+        import threading
+        import time
+
+        threads_before, fds_before = token
+        deadline = time.monotonic() + settle_s
+        while (threading.active_count() > threads_before
+               and time.monotonic() < deadline):
+            time.sleep(0.02)
+        assert threading.active_count() <= threads_before, (
+            f"server stop() leaked threads: "
+            f"{[t.name for t in threading.enumerate()]}"
+        )
+        fds_after = _fd_count()
+        if fds_before is not None and fds_after is not None:
+            assert fds_after <= fds_before + fd_tolerance, (
+                f"server stop() leaked fds: {fds_before} -> {fds_after}"
+            )
+
+
+@pytest.fixture(scope="session")
+def leak_checker() -> _LeakChecker:
+    return _LeakChecker()

@@ -185,7 +185,7 @@ class TestCli:
 
 
 class TestHttpSurfaces:
-    def test_proxy_serves_events_and_slo(self):
+    def test_proxy_serves_events_and_slo(self, leak_checker):
         from repro.core.proxy import HttpKubeFenceProxy
         from repro.helm.chart import render_chart
         from repro.k8s.http import HttpApiServer, HttpClient
@@ -193,6 +193,7 @@ class TestHttpSurfaces:
         chart = get_chart("nginx")
         validator = generate_policy(chart)
         cluster = Cluster()
+        token = leak_checker.begin()
         server = HttpApiServer(cluster.api).start()
         proxy = HttpKubeFenceProxy(server.base_url, validator).start()
         try:
@@ -215,3 +216,4 @@ class TestHttpSurfaces:
         finally:
             proxy.stop()
             server.stop()
+        leak_checker.end(token)

@@ -203,12 +203,14 @@ def test_http_blackout_breaker_opens_then_recovers(nginx_validator, nginx_chart)
 
 
 def test_dead_upstream_refuses_closed_and_still_denies(
-    free_port, nginx_validator, nginx_chart
+    dead_port, nginx_validator, nginx_chart
 ):
     """Proxy pointed at a port nothing listens on (connection refused
-    on every attempt): allowed writes refuse 503, denials still 403."""
+    on every attempt): allowed writes refuse 503, denials still 403.
+    ``dead_port`` stays bound-but-not-listening for the whole test, so
+    no other process can claim it mid-run."""
     with HttpKubeFenceProxy(
-        f"http://127.0.0.1:{free_port}", nginx_validator, resilience=TIGHT
+        f"http://127.0.0.1:{dead_port}", nginx_validator, resilience=TIGHT
     ) as proxy:
         operator = HttpClient(proxy.base_url, username="nginx-operator")
         attacker = HttpClient(proxy.base_url, username="eve", groups=())

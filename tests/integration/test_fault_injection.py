@@ -117,13 +117,15 @@ class TestProxyFailsClosed:
 
 class TestHttpRobustness:
     @pytest.fixture()
-    def http_stack(self, validator):
+    def http_stack(self, validator, leak_checker):
         cluster = Cluster()
+        token = leak_checker.begin()
         server = HttpApiServer(cluster.api).start()
         proxy = HttpKubeFenceProxy(server.base_url, validator).start()
         yield cluster, server, proxy
         proxy.stop()
         server.stop()
+        leak_checker.end(token)
 
     def _post(self, url: str, path: str, payload: bytes) -> tuple[int, dict]:
         req = urllib_request.Request(

@@ -14,15 +14,17 @@ from repro.yamlutil import deep_copy, set_path
 
 
 @pytest.fixture(scope="module")
-def topology():
+def topology(leak_checker):
     chart = get_chart("nginx")
     validator = generate_policy(chart)
     cluster = Cluster()
+    token = leak_checker.begin()
     server = HttpApiServer(cluster.api).start()
     proxy = HttpKubeFenceProxy(server.base_url, validator).start()
     yield chart, cluster, server, proxy
     proxy.stop()
     server.stop()
+    leak_checker.end(token)
 
 
 class TestHttpMediation:

@@ -51,7 +51,7 @@ def _parse_exposition(text: str) -> dict[str, float]:
 
 
 @pytest.fixture(scope="module")
-def deployed():
+def deployed(leak_checker):
     """One deploy + one denial through the HTTP topology."""
     from repro.core.proxy import HttpKubeFenceProxy
 
@@ -60,6 +60,7 @@ def deployed():
     validator = generate_policy(chart)
     manifests = render_chart(chart)
     cluster = Cluster()
+    token = leak_checker.begin()
     server = HttpApiServer(cluster.api).start()
     proxy = HttpKubeFenceProxy(server.base_url, validator).start()
     client = HttpClient(proxy.base_url, username=f"{chart.name}-operator")
@@ -84,6 +85,7 @@ def deployed():
     }
     proxy.stop()
     server.stop()
+    leak_checker.end(token)
 
 
 class TestEndToEndScrape:

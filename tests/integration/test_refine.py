@@ -188,15 +188,17 @@ class TestHttpRefineSurface:
     rides the HTTP hot path and /obs/refine serves the loop state."""
 
     @pytest.fixture()
-    def topology(self):
+    def topology(self, leak_checker):
         chart = get_chart("nginx")
         validator = generate_policy(chart)
         cluster = Cluster()
+        token = leak_checker.begin()
         server = HttpApiServer(cluster.api).start()
         proxy = HttpKubeFenceProxy(server.base_url, validator).start()
         yield chart, proxy
         proxy.stop()
         server.stop()
+        leak_checker.end(token)
 
     def _apply(self, proxy, manifest) -> int:
         data = json.dumps(manifest).encode()

@@ -1,0 +1,211 @@
+"""End-to-end CVE scanner service: the loop over real sockets, the
+``/obs/scan`` surface on BOTH HTTP components, scan metrics in the
+exposition, and the ``repro scan`` / ``repro campaign-matrix`` CLI
+exit-code contracts."""
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.cli import main
+from repro.core.pipeline import generate_policy
+from repro.core.proxy import HttpKubeFenceProxy
+from repro.helm.chart import render_chart
+from repro.k8s.apiserver import Cluster
+from repro.k8s.http import HttpApiServer, HttpClient
+from repro.obs.analytics import EventBus
+from repro.operators import get_chart
+from repro.scan import CVEScanner
+
+HOSTNET_POD = {
+    "apiVersion": "v1",
+    "kind": "Pod",
+    "metadata": {"name": "exposed", "namespace": "default"},
+    "spec": {
+        "hostNetwork": True,
+        "containers": [{"name": "c", "image": "busybox"}],
+    },
+}
+
+
+def _get(url: str) -> tuple[int, dict]:
+    try:
+        with urllib.request.urlopen(url) as resp:
+            return resp.status, json.loads(resp.read())
+    except urllib.error.HTTPError as err:
+        return err.code, json.loads(err.read())
+
+
+class TestObsScanOverHttp:
+    @pytest.fixture()
+    def topology(self, leak_checker):
+        """API server + proxy on real sockets, one shared scanner on
+        the server and a second scanner wired on the proxy."""
+        chart = get_chart("nginx")
+        validator = generate_policy(chart)
+        bus = EventBus()
+        cluster = Cluster(event_bus=bus)
+        # The mini API server's /metrics serves the APIServer's own
+        # registry, so the scanner writes its series there.
+        scanner = CVEScanner(
+            cluster, event_bus=bus, registry=cluster.api.metrics,
+            validator=validator, interval=0.05,
+        )
+        token = leak_checker.begin()
+        server = HttpApiServer(cluster.api, scanner=scanner).start()
+        proxy = HttpKubeFenceProxy(server.base_url, validator).start()
+        proxy.scanner = scanner
+        scanner.start()
+        yield server, proxy, scanner
+        scanner.stop()
+        proxy.stop()
+        server.stop()
+        leak_checker.end(token)
+
+    def test_both_components_serve_obs_scan(self, topology):
+        server, proxy, scanner = topology
+        client = HttpClient(proxy.base_url, username="nginx-operator")
+        for manifest in render_chart(get_chart("nginx")):
+            status, _ = client.apply(manifest)
+            assert status in (200, 201)
+        # Sneak an exposure in behind the proxy (pre-policy object).
+        status, _ = HttpClient(server.base_url).create(HOSTNET_POD)
+        assert status == 201
+
+        import time
+        deadline = time.monotonic() + 10
+        while True:
+            status, payload = _get(server.base_url + "/obs/scan")
+            assert status == 200
+            report = payload.get("last_report") or {}
+            if any(
+                f["cve"] == "CVE-2020-15257"
+                for f in report.get("findings", ())
+            ):
+                break
+            assert time.monotonic() < deadline, "scanner never flagged the pod"
+            time.sleep(0.05)
+
+        assert payload["running"] is True
+        finding = next(
+            f for f in report["findings"] if f["cve"] == "CVE-2020-15257"
+        )
+        # The nginx policy denies hostNetwork, so the finding is fenced.
+        assert finding["mitigated"] is True
+
+        # The proxy serves the same scanner state on its own socket.
+        status, proxied = _get(proxy.base_url + "/obs/scan")
+        assert status == 200
+        assert proxied["cluster_version"] == payload["cluster_version"]
+        assert proxied["last_report"]["findings"]
+
+    def test_severity_filter_and_bad_severity(self, topology):
+        server, _proxy, scanner = topology
+        status, _ = HttpClient(server.base_url).create(HOSTNET_POD)
+        assert status == 201
+        scanner.scan_once()
+        status, filtered = _get(
+            server.base_url + "/obs/scan?severity=medium"
+        )
+        assert status == 200
+        findings = filtered["last_report"]["findings"]
+        assert findings and all(f["severity"] == "medium" for f in findings)
+        status, critical_only = _get(
+            server.base_url + "/obs/scan?severity=critical"
+        )
+        assert status == 200
+        assert critical_only["last_report"]["findings"] == []
+        status, err = _get(server.base_url + "/obs/scan?severity=bogus")
+        assert status == 400
+        assert err["valid_severities"] == ["critical", "high", "medium", "low"]
+
+    def test_metrics_exposition_carries_scan_series(self, topology):
+        server, _proxy, scanner = topology
+        status, _ = HttpClient(server.base_url).create(HOSTNET_POD)
+        assert status == 201
+        scanner.scan_once()
+        text = urllib.request.urlopen(
+            server.base_url + "/metrics"
+        ).read().decode()
+        assert "kubefence_scan_ticks_total" in text
+        assert "kubefence_scan_open_findings" in text
+        assert (
+            'kubefence_scan_findings_total{cve="CVE-2020-15257"' in text
+        )
+
+
+class TestObsScanUnwired:
+    def test_404_hint_on_both_components(self, leak_checker):
+        validator = generate_policy(get_chart("nginx"))
+        cluster = Cluster()
+        token = leak_checker.begin()
+        server = HttpApiServer(cluster.api).start()
+        proxy = HttpKubeFenceProxy(server.base_url, validator).start()
+        try:
+            for base in (server.base_url, proxy.base_url):
+                status, payload = _get(base + "/obs/scan")
+                assert status == 404
+                assert "no CVE scanner wired" in payload["error"]
+        finally:
+            proxy.stop()
+            server.stop()
+        leak_checker.end(token)
+
+
+class TestCliExitCodes:
+    def test_scan_once_protected_is_clean(self, capsys):
+        assert main(["scan", "--once"]) == 0
+        out = capsys.readouterr().out
+        assert "findings" in out.lower()
+
+    def test_scan_unprotected_hostile_fails_at_high(self, capsys):
+        code = main([
+            "scan", "--once", "--unprotected", "--hostile", "3",
+            "--assume-vulnerable", "--fail-severity", "high", "--json",
+        ])
+        assert code == 1
+        payload = json.loads(capsys.readouterr().out)
+        findings = payload["last_report"]["findings"]
+        assert findings
+        assert all(f["mitigated"] is False for f in findings)
+
+    def test_scan_hostile_protected_is_mitigated(self, capsys):
+        # Same exposure, but with KubeFence wired: every finding is
+        # fenced for future writes, so even --fail-severity low passes.
+        code = main([
+            "scan", "--once", "--hostile", "3", "--assume-vulnerable",
+            "--fail-severity", "low", "--json",
+        ])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        findings = payload["last_report"]["findings"]
+        assert findings
+        assert all(f["mitigated"] is True for f in findings)
+
+    def test_campaign_matrix_smoke_writes_artifacts(self, tmp_path, capsys):
+        report_path = tmp_path / "matrix.json"
+        bench_path = tmp_path / "BENCH_campaign.json"
+        code = main([
+            "campaign-matrix", "--smoke", "--seed", "11",
+            "-o", str(report_path), "--bench-out", str(bench_path),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "BREACH" not in out
+        report = json.loads(report_path.read_text())
+        assert report["cells_total"] >= 24
+        assert report["breached"] == []
+        bench = json.loads(bench_path.read_text())
+        assert bench["containment_rate"] == 1.0
+        assert bench["mitigation_gap"] == 1.0
+
+    def test_campaign_matrix_attack_subset(self, capsys):
+        assert main([
+            "campaign-matrix", "--attacks", "E1", "--fuzz-variants", "0",
+            "--json",
+        ]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert {c["attack_id"] for c in payload["cells"]} == {"E1"}
+        assert payload["breached"] == []

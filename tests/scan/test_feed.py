@@ -1,0 +1,107 @@
+"""Feed sources: refresh semantics, change detection, JSON parsing."""
+
+import json
+
+import pytest
+
+from repro.k8s.objects import K8sObject
+from repro.k8s.vulndb import CVEEntry, vulndb
+from repro.scan import JsonFeed, StaticFeed, parse_feed_document
+
+
+class TestStaticFeed:
+    def test_first_refresh_reports_change(self):
+        feed = StaticFeed()
+        snapshot = feed.refresh()
+        assert snapshot.changed is True
+        assert snapshot.serial == 1
+        assert snapshot.entry_count == len(vulndb)
+
+    def test_stable_feed_stops_reporting_changes(self):
+        feed = StaticFeed()
+        feed.refresh()
+        again = feed.refresh()
+        assert again.changed is False
+        assert again.serial == 1
+
+    def test_added_entry_bumps_serial(self):
+        feed = StaticFeed()
+        feed.refresh()
+        feed.add(CVEEntry(
+            cve_id="CVE-2099-0001", summary="new", cvss=9.9,
+            component="apiserver", vulnerable_files=(),
+        ))
+        snapshot = feed.refresh()
+        assert snapshot.changed is True
+        assert snapshot.serial == 2
+        assert "CVE-2099-0001" in snapshot.db
+
+
+FEED_DOC = {
+    "cves": [
+        {
+            "cve_id": "CVE-2099-1234",
+            "summary": "host network exposure",
+            "cvss": 9.1,
+            "component": "kubelet",
+            "fixed_in": None,
+            "vulnerable_files": ["pkg/kubelet/net.go"],
+            "trigger": {"name": "pod_flag", "args": ["hostNetwork"]},
+            "effect": "container escape",
+        },
+        {
+            "cve_id": "CVE-2099-5678",
+            "summary": "metadata only",
+            "cvss": 5.0,
+            "component": "apiserver",
+        },
+    ]
+}
+
+
+class TestJsonFeed:
+    def test_parse_resolves_named_triggers(self):
+        entries = parse_feed_document(FEED_DOC)
+        assert len(entries) == 2
+        triggered = entries[0]
+        assert triggered.api_exploitable
+        pod = K8sObject({
+            "apiVersion": "v1", "kind": "Pod",
+            "metadata": {"name": "p", "namespace": "default"},
+            "spec": {"hostNetwork": True, "containers": [{"name": "c"}]},
+        })
+        assert triggered.trigger(pod) == "spec.hostNetwork"
+        assert entries[1].trigger is None
+
+    def test_unknown_trigger_name_fails_loudly(self):
+        bad = {"cves": [{"cve_id": "CVE-1", "trigger": {"name": "nope"}}]}
+        with pytest.raises(ValueError, match="unknown trigger"):
+            parse_feed_document(bad)
+
+    def test_malformed_document_rejected(self):
+        with pytest.raises(ValueError):
+            parse_feed_document(["not", "a", "dict"])
+
+    def test_file_feed_picks_up_edits(self, tmp_path):
+        path = tmp_path / "feed.json"
+        path.write_text(json.dumps(FEED_DOC))
+        feed = JsonFeed(path)
+        first = feed.refresh()
+        assert first.changed is True
+        assert first.serial == 1
+        assert feed.refresh().changed is False
+
+        grown = {"cves": FEED_DOC["cves"] + [
+            {"cve_id": "CVE-2099-9999", "cvss": 3.0, "component": "kubectl"}
+        ]}
+        path.write_text(json.dumps(grown))
+        snapshot = feed.refresh()
+        assert snapshot.changed is True
+        assert snapshot.serial == 2
+        assert snapshot.entry_count == 3
+
+    def test_callable_source(self):
+        feed = JsonFeed(lambda: json.dumps(FEED_DOC), name="unit")
+        snapshot = feed.refresh()
+        assert snapshot.source == "unit"
+        assert snapshot.entry_count == 2

@@ -1,0 +1,266 @@
+"""CVE scanner unit tests: matching, dedupe, events, metrics, loop."""
+
+import json
+import time
+
+import pytest
+
+from repro.core.pipeline import generate_policy
+from repro.k8s.apiserver import ApiRequest, Cluster, User
+from repro.k8s.vulndb import CVEEntry, pod_flag_trigger
+from repro.obs.analytics import EventBus
+from repro.obs.metrics import MetricsRegistry
+from repro.operators import get_chart
+from repro.scan import (
+    CVEScanner,
+    DEFAULT_CLUSTER_VERSION,
+    SEVERITIES,
+    StaticFeed,
+    severity_for,
+)
+
+HOSTNET_POD = {
+    "apiVersion": "v1",
+    "kind": "Pod",
+    "metadata": {"name": "escape", "namespace": "default"},
+    "spec": {
+        "hostNetwork": True,
+        "containers": [{"name": "c", "image": "busybox"}],
+    },
+}
+
+
+def _admit(cluster: Cluster, manifest) -> None:
+    response = cluster.api.handle(
+        ApiRequest.from_manifest(manifest, User.admin())
+    )
+    assert response.ok, response.message
+
+
+def _cluster_with(*manifests) -> Cluster:
+    cluster = Cluster()
+    for manifest in manifests:
+        _admit(cluster, manifest)
+    return cluster
+
+
+class TestSeverity:
+    def test_bands(self):
+        assert severity_for(9.8) == "critical"
+        assert severity_for(9.0) == "critical"
+        assert severity_for(8.8) == "high"
+        assert severity_for(7.0) == "high"
+        assert severity_for(5.2) == "medium"
+        assert severity_for(4.0) == "medium"
+        assert severity_for(3.9) == "low"
+        assert severity_for(0.0) == "low"
+
+    def test_band_names_are_the_metric_domain(self):
+        assert SEVERITIES == ("critical", "high", "medium", "low")
+
+
+class TestVersionPredicate:
+    def test_default_version_excludes_fixed_cves(self):
+        scanner = CVEScanner(Cluster())
+        report = scanner.scan_once()
+        assert report.cluster_version == DEFAULT_CLUSTER_VERSION
+        # Only the never-fixed entries are live at 1.28.6.
+        assert report.live_cves == 3
+
+    def test_assume_vulnerable_widens_to_all_exploitable(self):
+        scanner = CVEScanner(Cluster(), assume_vulnerable=True)
+        report = scanner.scan_once()
+        assert report.live_cves == 8
+
+    def test_old_cluster_version_is_live_for_more(self):
+        scanner = CVEScanner(Cluster(), cluster_version="1.20.0")
+        report = scanner.scan_once()
+        assert report.live_cves > 3
+
+
+class TestScanOnce:
+    def test_empty_store_finds_nothing(self):
+        report = CVEScanner(Cluster(), assume_vulnerable=True).scan_once()
+        assert report.findings == []
+        assert report.new_findings == 0
+        assert report.objects_scanned == 0
+
+    def test_hostnetwork_pod_is_flagged(self):
+        cluster = _cluster_with(HOSTNET_POD)
+        scanner = CVEScanner(cluster)
+        report = scanner.scan_once()
+        flagged = [f for f in report.findings if f.cve_id == "CVE-2020-15257"]
+        assert len(flagged) == 1
+        finding = flagged[0]
+        assert finding.severity == "medium"
+        assert finding.kind == "Pod"
+        assert finding.name == "escape"
+        assert finding.field == "spec.hostNetwork"
+        assert finding.mitigated is False  # no validator wired
+        assert finding.key in report.finding_keys()
+
+    def test_accepts_cluster_or_bare_store(self):
+        cluster = _cluster_with(HOSTNET_POD)
+        via_cluster = CVEScanner(cluster).scan_once()
+        via_store = CVEScanner(cluster.store).scan_once()
+        assert via_cluster.finding_keys() == via_store.finding_keys()
+
+    def test_report_revision_matches_store(self):
+        cluster = _cluster_with(HOSTNET_POD)
+        report = CVEScanner(cluster).scan_once()
+        assert report.store_revision == cluster.store.revision
+        assert report.objects_scanned == 1
+
+    def test_validator_marks_fenced_findings_mitigated(self):
+        validator = generate_policy(get_chart("nginx"))
+        cluster = _cluster_with(HOSTNET_POD)
+        scanner = CVEScanner(cluster, validator=validator)
+        report = scanner.scan_once()
+        finding = next(
+            f for f in report.findings if f.cve_id == "CVE-2020-15257"
+        )
+        # The nginx policy denies hostNetwork pods, so the exposure is
+        # fenced for future writes: mitigated, hence not actionable.
+        assert finding.mitigated is True
+        assert report.unmitigated("low") == []
+
+    def test_unmitigated_threshold_ranks(self):
+        cluster = _cluster_with(HOSTNET_POD)
+        report = CVEScanner(cluster).scan_once()
+        assert report.unmitigated("critical") == []
+        assert len(report.unmitigated("medium")) >= 1
+        assert len(report.unmitigated("low")) >= len(
+            report.unmitigated("medium")
+        )
+
+
+class TestEventAndMetricDedupe:
+    def test_new_finding_publishes_once(self):
+        bus = EventBus()
+        registry = MetricsRegistry()
+        cluster = _cluster_with(HOSTNET_POD)
+        scanner = CVEScanner(cluster, event_bus=bus, registry=registry)
+
+        first = scanner.scan_once()
+        assert first.new_findings == len(first.findings) > 0
+        events = bus.events(kind="scan")
+        assert len(events) == first.new_findings
+        event = next(
+            e for e in events if e.detail["cve"] == "CVE-2020-15257"
+        )
+        assert event.source == "scanner"
+        assert event.outcome == "open"
+        assert event.detail["severity"] == "medium"
+        assert event.resource == "Pod" and event.name == "escape"
+
+        second = scanner.scan_once()
+        assert second.new_findings == 0
+        assert second.findings  # still present, just not re-announced
+        assert len(bus.events(kind="scan")) == len(events)
+
+        exposition = registry.expose()
+        assert (
+            'kubefence_scan_findings_total{cve="CVE-2020-15257",'
+            'severity="medium"} 1' in exposition
+        )
+        assert "kubefence_scan_ticks_total 2" in exposition
+
+    def test_object_added_between_ticks_is_announced(self):
+        bus = EventBus()
+        cluster = Cluster()
+        scanner = CVEScanner(cluster, event_bus=bus)
+        assert scanner.scan_once().new_findings == 0
+        _admit(cluster, HOSTNET_POD)
+        report = scanner.scan_once()
+        assert report.new_findings >= 1
+        assert bus.events(kind="scan")
+
+    def test_open_findings_gauge_tracks_store(self):
+        registry = MetricsRegistry()
+        cluster = _cluster_with(HOSTNET_POD)
+        scanner = CVEScanner(cluster, registry=registry)
+        scanner.scan_once()
+        assert "kubefence_scan_open_findings" in registry.expose()
+        response = cluster.api.handle(ApiRequest(
+            "delete", "Pod", User.admin(), namespace="default", name="escape",
+        ))
+        assert response.ok
+        scanner.scan_once()
+        assert "kubefence_scan_open_findings 0" in registry.expose()
+
+
+class TestFeedRefreshMidRun:
+    def test_added_cve_is_picked_up_next_tick(self):
+        feed = StaticFeed()
+        bus = EventBus()
+        cluster = _cluster_with({
+            "apiVersion": "v1",
+            "kind": "Pod",
+            "metadata": {"name": "quiet", "namespace": "default"},
+            "spec": {
+                "hostPID": True,
+                "containers": [{
+                    "name": "c", "image": "busybox",
+                    "resources": {"limits": {"cpu": "1", "memory": "1Gi"}},
+                }],
+            },
+        })
+        scanner = CVEScanner(cluster, feed=feed, event_bus=bus)
+        before = scanner.scan_once()
+        assert "CVE-2099-0001" not in {f.cve_id for f in before.findings}
+
+        feed.add(CVEEntry(
+            cve_id="CVE-2099-0001", summary="hostPID escape", cvss=9.3,
+            component="kubelet", vulnerable_files=(),
+            trigger=pod_flag_trigger("hostPID"), effect="node takeover",
+        ))
+        after = scanner.scan_once()
+        assert after.feed_serial == before.feed_serial + 1
+        fresh = [f for f in after.findings if f.cve_id == "CVE-2099-0001"]
+        assert len(fresh) == 1
+        assert fresh[0].severity == "critical"
+        assert any(
+            e.detail["cve"] == "CVE-2099-0001"
+            for e in bus.events(kind="scan")
+        )
+
+
+class TestServiceLoop:
+    def test_run_bounded_ticks(self):
+        scanner = CVEScanner(Cluster(), interval=0.0)
+        report = scanner.run(ticks=3)
+        assert report is not None and report.tick == 3
+
+    def test_start_stop_lifecycle(self):
+        scanner = CVEScanner(Cluster(), interval=0.01)
+        assert scanner.running is False
+        scanner.start()
+        assert scanner.running is True
+        assert scanner.start() is scanner  # idempotent
+        deadline = time.monotonic() + 5
+        while scanner.latest is None:
+            assert time.monotonic() < deadline, "scanner never ticked"
+            time.sleep(0.005)
+        scanner.stop()
+        assert scanner.running is False
+        ticks = scanner.status()["ticks"]
+        assert ticks >= 1
+        time.sleep(0.05)
+        assert scanner.status()["ticks"] == ticks  # loop really stopped
+
+    def test_status_is_json_serializable(self):
+        cluster = _cluster_with(HOSTNET_POD)
+        scanner = CVEScanner(cluster, assume_vulnerable=True)
+        scanner.scan_once()
+        status = scanner.status()
+        payload = json.loads(json.dumps(status, sort_keys=True))
+        assert payload["running"] is False
+        assert payload["assume_vulnerable"] is True
+        assert payload["feed"]["refreshes"] == 1
+        assert payload["seen_findings"] >= 1
+        assert payload["last_report"]["counts"]["medium"] >= 1
+        findings = payload["last_report"]["findings"]
+        assert findings == sorted(
+            findings, key=lambda f: (f["cve"], f["kind"], f["namespace"],
+                                     f["name"], f["field"])
+        )
