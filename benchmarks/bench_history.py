@@ -67,6 +67,14 @@ _EXTRACT: dict[str, tuple[str, tuple[str, ...]]] = {
             "scan_ticks_during_measurement",
         ),
     ),
+    "BENCH_wal_overhead.json": (
+        "wal",
+        (
+            "overhead_percent",
+            "inprocess_overhead_percent",
+            "wal_appends",
+        ),
+    ),
     "BENCH_campaign.json": (
         "campaign",
         (

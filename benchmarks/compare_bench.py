@@ -50,6 +50,7 @@ OBS_RESULTS_PATH = BENCH_DIR / "results" / "BENCH_obs_overhead.json"
 ANALYTICS_RESULTS_PATH = BENCH_DIR / "results" / "BENCH_analytics_overhead.json"
 REFINE_RESULTS_PATH = BENCH_DIR / "results" / "BENCH_refine_overhead.json"
 SCAN_RESULTS_PATH = BENCH_DIR / "results" / "BENCH_scan_overhead.json"
+WAL_RESULTS_PATH = BENCH_DIR / "results" / "BENCH_wal_overhead.json"
 
 #: Hard floor required of the compiled engine (acceptance criterion).
 SPEEDUP_FLOOR = 3.0
@@ -1074,6 +1075,145 @@ def check_scan_overhead(
     )
 
 
+# ---------------------------------------------------------------------------
+# WAL (durability) overhead gate
+# ---------------------------------------------------------------------------
+
+
+#: Ceiling on what write-ahead logging may add to the sustained
+#: reconcile RTT versus the in-memory store (acceptance criterion).
+WAL_OVERHEAD_LIMIT_PCT = 8.0
+
+#: Fsync policy of the measured durable arm: the production default
+#: (group fsync every BATCH_FSYNC_EVERY appends).
+WAL_BENCH_FSYNC = "batch"
+
+
+def measure_wal_overhead(repetitions: int = 30) -> dict[str, Any]:
+    """Sustained reconcile RTT with a WAL-backed store vs in-memory.
+
+    Two warm stacks (cluster + proxy + deployed nginx release) differ
+    in exactly one thing: the durable arm's ``ObjectStore`` appends
+    every acknowledged write to a write-ahead log (:mod:`repro.k8s.wal`,
+    ``fsync=batch``) before mutating memory, the baseline arm is the
+    plain in-memory store.  Each sample times a batch of Day-2
+    reconcile passes (every pass is ``2 * len(manifests)`` requests,
+    half of them writes, so every sample exercises the append path).
+    Same modeled-link composition as the other gates: the gated
+    percentage is the compute-only delta over the deterministic link
+    RTT, with the in-process ratio reported alongside.
+    """
+    import shutil
+    import tempfile
+
+    from repro.core.pipeline import generate_policy
+    from repro.core.proxy import KubeFenceProxy
+    from repro.helm.chart import render_chart
+    from repro.k8s.apiserver import Cluster
+    from repro.operators import get_chart
+    from repro.operators.client import OperatorClient
+
+    chart = get_chart("nginx")
+    validator = generate_policy(chart)
+    validator.compiled()  # warm the engine outside the timed region
+    manifests = render_chart(chart)
+    requests_per_reconcile = 2 * len(manifests)
+
+    data_dir = tempfile.mkdtemp(prefix="kubefence-walbench-")
+    batch = 8
+    try:
+        durable_cluster = Cluster(data_dir=data_dir, fsync=WAL_BENCH_FSYNC)
+        memory_cluster = Cluster()
+        arms: dict[bool, Any] = {}
+        for durable, cluster in ((True, durable_cluster), (False, memory_cluster)):
+            client = OperatorClient(KubeFenceProxy(cluster.api, validator))
+            deployed = client.apply_manifests(chart.name, manifests)
+            if not deployed.all_ok:
+                raise RuntimeError("benign deployment blocked during wal-overhead run")
+            client.reconcile(deployed)  # warm caches, thread cells
+            arms[durable] = (client, deployed)
+
+        def reconcile_cost(durable: bool) -> float:
+            client, deployed = arms[durable]
+            started = time.perf_counter()
+            for _ in range(batch):
+                responses = client.reconcile(deployed)
+            elapsed = (time.perf_counter() - started) / batch
+            if not all(r.ok for r in responses):
+                raise RuntimeError("reconcile failed during wal-overhead run")
+            return elapsed
+
+        with_wal: list[float] = []
+        without_wal: list[float] = []
+        gc_was_enabled = gc.isenabled()
+        gc.disable()
+        try:
+            for rep in range(repetitions):
+                # Alternate arm order (see the obs gate: the
+                # post-collect slot is systematically slower).
+                order = (False, True) if rep % 2 == 0 else (True, False)
+                for durable in order:
+                    sample = reconcile_cost(durable)
+                    (with_wal if durable else without_wal).append(sample)
+                gc.collect()
+        finally:
+            if gc_was_enabled:
+                gc.enable()
+
+        wal = durable_cluster.store.wal
+        appends = wal.appends if wal is not None else 0
+        durable_cluster.store.close()
+    finally:
+        shutil.rmtree(data_dir, ignore_errors=True)
+
+    best_with = min(with_wal)
+    best_without = min(without_wal)
+    link_s = requests_per_reconcile * OBS_NETWORK_DELAY_MS / 1000.0
+    modeled_baseline = best_without + link_s
+    overhead_pct = 100.0 * (best_with - best_without) / modeled_baseline
+    return {
+        "operator": chart.name,
+        "transport": "in-process + simulated link",
+        "workload": "sustained reconcile (warm pipeline)",
+        "repetitions": repetitions,
+        "batch": batch,
+        "network_delay_ms": OBS_NETWORK_DELAY_MS,
+        "requests_per_reconcile": requests_per_reconcile,
+        "fsync": WAL_BENCH_FSYNC,
+        "wal_appends": appends,
+        "reconcile_ms_with_wal": round(best_with * 1000.0, 3),
+        "reconcile_ms_in_memory": round(best_without * 1000.0, 3),
+        "overhead_percent": round(overhead_pct, 3),
+        "limit_percent": WAL_OVERHEAD_LIMIT_PCT,
+        "inprocess_overhead_percent": round(
+            100.0 * (best_with - best_without) / best_without, 3
+        ),
+    }
+
+
+def check_wal_overhead(
+    result: dict[str, Any], limit_pct: float = WAL_OVERHEAD_LIMIT_PCT
+) -> tuple[bool, str]:
+    """(ok, message) -- durability gate: relative RTT increase of the
+    sustained reconcile workload on the modeled link."""
+    overhead = result["overhead_percent"]
+    if overhead >= limit_pct:
+        return False, (
+            f"WAL adds {overhead:.2f}% to reconcile RTT, over the "
+            f"{limit_pct:.0f}% limit (durable: "
+            f"{result['reconcile_ms_with_wal']:.3f} ms, in-memory: "
+            f"{result['reconcile_ms_in_memory']:.3f} ms, "
+            f"{result['wal_appends']} appends, fsync={result['fsync']})"
+        )
+    return True, (
+        f"wal overhead {overhead:+.2f}% of reconcile RTT (durable: "
+        f"{result['reconcile_ms_with_wal']:.3f} ms, in-memory: "
+        f"{result['reconcile_ms_in_memory']:.3f} ms; limit "
+        f"{limit_pct:.0f}%; {result['wal_appends']} appends at "
+        f"fsync={result['fsync']}) -- ok"
+    )
+
+
 def load_baseline() -> dict[str, Any] | None:
     if BASELINE_PATH.exists():
         return json.loads(BASELINE_PATH.read_text())
@@ -1119,6 +1259,10 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--skip-scan", action="store_true",
         help="skip the CVE-scanner-overhead gate",
+    )
+    parser.add_argument(
+        "--skip-wal", action="store_true",
+        help="skip the WAL-durability-overhead gate",
     )
     args = parser.parse_args(argv)
 
@@ -1174,7 +1318,18 @@ def main(argv: list[str] | None = None) -> int:
         scan_ok, scan_message = check_scan_overhead(scan_result)
         print(scan_message)
 
-    return 0 if (ok and obs_ok and analytics_ok and refine_ok and scan_ok) else 1
+    wal_ok = True
+    if not args.skip_wal:
+        wal_result = measure_wal_overhead(args.obs_repetitions)
+        write_results(wal_result, WAL_RESULTS_PATH)
+        print(json.dumps(wal_result, indent=2, sort_keys=True))
+        print(f"wrote {WAL_RESULTS_PATH}")
+        wal_ok, wal_message = check_wal_overhead(wal_result)
+        print(wal_message)
+
+    return 0 if (
+        ok and obs_ok and analytics_ok and refine_ok and scan_ok and wal_ok
+    ) else 1
 
 
 if __name__ == "__main__":

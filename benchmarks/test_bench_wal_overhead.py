@@ -1,0 +1,47 @@
+"""WAL-durability-overhead gate (crash-only durability PR).
+
+Every acknowledged write now goes through the write-ahead log
+(:mod:`repro.k8s.wal`) before the store mutates memory, so the append
+path sits squarely on the enforcement hot path.  The gate:
+
+1. < 8% added to the sustained reconcile RTT on the deployment-modeled
+   link, versus an identical in-memory stack, with the durable arm
+   running the production fsync policy (``batch``);
+2. the append count observed inside the measured arm is reported and
+   must be non-zero -- a gate that never logged a write proves
+   nothing.
+
+The measurement lands in
+``benchmarks/results/BENCH_wal_overhead.json`` (the same JSON
+``python benchmarks/compare_bench.py`` writes).
+"""
+
+import json
+
+import pytest
+
+from benchmarks.compare_bench import (
+    WAL_RESULTS_PATH,
+    check_wal_overhead,
+    measure_wal_overhead,
+    write_results,
+)
+
+
+@pytest.mark.bench_wal
+def test_wal_overhead_gate(emit_artifact):
+    """The WAL adds < 8% to reconcile RTT on the modeled link."""
+    result = measure_wal_overhead(repetitions=20)
+    write_results(result, WAL_RESULTS_PATH)
+
+    ok, message = check_wal_overhead(result)
+    emit_artifact(
+        "bench_wal_overhead",
+        json.dumps(result, indent=2, sort_keys=True) + "\n" + message,
+    )
+    assert ok, message
+    # Sanity on the measurement itself: the durable arm really logged
+    # writes, and both arms produced a usable baseline.
+    assert result["wal_appends"] > 0
+    assert result["reconcile_ms_in_memory"] > 0
+    assert result["fsync"] == "batch"

@@ -11,6 +11,8 @@ Commands mirror how a downstream user would operate KubeFence:
 - ``overhead``  -- measure the Table IV RTT overhead.
 - ``loadtest``  -- saturated throughput, sharded vs legacy data plane.
 - ``obs``       -- dump a metrics/trace snapshot (docs/OBSERVABILITY.md).
+- ``crashtest`` -- SIGKILL a durable API-server child at WAL commit
+  points and verify crash/restart recovery (docs/RESILIENCE.md).
 - ``operators`` -- list the built-in evaluation operators.
 """
 
@@ -320,6 +322,39 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     else:
         print(render_survival_report(reports))
     return 0 if all(r.survived for r in reports) else 1
+
+
+def cmd_crashtest(args: argparse.Namespace) -> int:
+    """SIGKILL a durable API-server child at WAL commit points across
+    seeded kill/restart cycles; verify the crash-only invariants
+    (no acknowledged write lost, no unacknowledged write resurrected,
+    no fail-open during the blackout).  Exit 1 on any violation."""
+    import json as _json
+
+    from repro.core.pipeline import generate_policy
+    from repro.faults import render_crash_report, run_crashtest
+
+    chart = _load_chart(args.operator or "nginx")
+    validator = generate_policy(chart)
+    cycles = max(10, args.cycles) if args.smoke else args.cycles
+    writes = 4 if args.smoke else args.writes
+    report = run_crashtest(
+        chart,
+        validator,
+        seed=args.seed,
+        cycles=cycles,
+        writes_per_cycle=writes,
+        data_dir=args.data_dir,
+        fsync=args.fsync,
+    )
+    payload = report.to_dict()
+    if args.output:
+        Path(args.output).write_text(_json.dumps(payload, indent=2) + "\n")
+    if args.json:
+        print(_json.dumps(payload, indent=2))
+    else:
+        print(render_crash_report(report))
+    return 0 if report.survived else 1
 
 
 def cmd_slo(args: argparse.Namespace) -> int:
@@ -837,6 +872,37 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--rounds", type=int, default=10, help="apply rounds per scenario")
     chaos.add_argument("--json", action="store_true", help="machine-readable output")
 
+    crashtest = sub.add_parser(
+        "crashtest",
+        help="kill/restart a durable API server at WAL commit points; "
+             "verify no write is lost, resurrected, or failed open",
+    )
+    crashtest.add_argument(
+        "operator", nargs="?", help="operator chart to deploy (default: nginx)"
+    )
+    crashtest.add_argument("--seed", type=int, default=1337, help="kill-schedule seed")
+    crashtest.add_argument(
+        "--cycles", type=int, default=10, help="kill/restart cycles"
+    )
+    crashtest.add_argument(
+        "--writes", type=int, default=6,
+        help="in-range writes per cycle (the kill ordinal is drawn from these)",
+    )
+    crashtest.add_argument(
+        "--fsync", default="batch", choices=["always", "batch", "never"],
+        help="WAL fsync policy for the child (default: batch)",
+    )
+    crashtest.add_argument(
+        "--data-dir",
+        help="durable state directory (default: fresh tempdir, removed after)",
+    )
+    crashtest.add_argument(
+        "--smoke", action="store_true",
+        help="CI-sized run: 10 cycles, 4 writes/cycle",
+    )
+    crashtest.add_argument("--json", action="store_true", help="machine-readable output")
+    crashtest.add_argument("-o", "--output", help="write the JSON report here")
+
     slo = sub.add_parser(
         "slo", help="evaluate SLO burn-rate alerts over live traffic"
     )
@@ -997,6 +1063,7 @@ _COMMANDS = {
     "loadtest": cmd_loadtest,
     "obs": cmd_obs,
     "chaos": cmd_chaos,
+    "crashtest": cmd_crashtest,
     "slo": cmd_slo,
     "refine": cmd_refine,
     "forensics": cmd_forensics,

@@ -5,8 +5,23 @@ the enforcement path *does* under failure, faults are how failure is
 *manufactured* -- reproducibly, from a seed -- so the fail-closed
 guarantees can be tested instead of asserted (``repro chaos``,
 ``tests/integration/test_chaos.py``).
+
+Two fault planes:
+
+- :mod:`repro.faults.injector` mauls the *wire* (5xx, stalls,
+  truncation, resets) under a running server;
+- :mod:`repro.faults.crash` kills the *process* (SIGKILL at WAL commit
+  points) and proves crash/restart durability (``repro crashtest``).
 """
 
+from repro.faults.crash import (
+    CrashInjector,
+    CrashReport,
+    KillSpec,
+    SupervisedApiServer,
+    render_crash_report,
+    run_crashtest,
+)
 from repro.faults.injector import (
     FAULT_KINDS,
     FaultDecision,
@@ -23,14 +38,20 @@ from repro.faults.scenarios import (
 )
 
 __all__ = [
+    "CrashInjector",
+    "CrashReport",
     "FAULT_KINDS",
     "FaultDecision",
     "FaultInjector",
     "FaultPlan",
     "FaultyAPIServer",
+    "KillSpec",
     "SCENARIOS",
     "ScenarioReport",
+    "SupervisedApiServer",
     "hostile_mutations",
+    "render_crash_report",
     "render_survival_report",
+    "run_crashtest",
     "run_scenario",
 ]

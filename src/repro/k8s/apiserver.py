@@ -153,6 +153,11 @@ class APIServer:
         #: as a ``kind="audit"`` SecurityEvent (no-op bus when
         #: REPRO_NO_OBS=1 or nothing subscribes a real bus).
         self.event_bus = event_bus if event_bus is not None else new_event_bus()
+        # Durability + watch observability land on this server's
+        # registry (kubefence_wal_appends_total, kubefence_recovery_*,
+        # kubefence_watcher_errors_total) so /metrics exposes them.
+        self.store.bind_metrics(self.metrics)
+        self._announce_recovery()
         self._m_requests = self.metrics.counter(
             "kubefence_apiserver_requests_total",
             "API-server requests, by verb and response code.",
@@ -180,6 +185,35 @@ class APIServer:
             max_series=128,
         )
         self._m_http_bound: dict[tuple[str, str], Any] = {}
+
+    def _announce_recovery(self) -> None:
+        """Publish one ``kind="recovery"`` SecurityEvent when fronting a
+        store that was rebuilt from snapshot+WAL (exactly once per
+        recovery, however many servers share the store)."""
+        recovery = getattr(self.store, "recovery", None)
+        if recovery is None or recovery.announced or not self.event_bus.enabled:
+            return
+        recovery.announced = True
+        self.event_bus.publish(
+            SecurityEvent(
+                kind="recovery",
+                source="apiserver",
+                ts=time.time(),
+                verb="recover",
+                resource="objectstore",
+                name=recovery.path,
+                outcome="allow",
+                code=200,
+                latency_ns=int(recovery.duration_s * 1e9),
+                detail={
+                    "revision": recovery.revision,
+                    "snapshot_objects": recovery.snapshot_objects,
+                    "replayed": recovery.replayed,
+                    "truncated_bytes": recovery.truncated_bytes,
+                    "torn_reason": recovery.torn_reason or "",
+                },
+            )
+        )
 
     def _m_bind(self, metric: Any, **labels: str) -> Any:
         if self._sharded_telemetry:
@@ -443,8 +477,17 @@ class Cluster:
         authorizer: Authorizer | None = None,
         validate_schema: bool = True,
         event_bus: Any | None = None,
+        data_dir: Any | None = None,
+        fsync: str | None = None,
     ) -> None:
-        self.store = ObjectStore()
+        # ``data_dir`` makes the cluster durable: the store recovers
+        # from (and write-ahead-logs into) that directory.  Under
+        # REPRO_NO_WAL=1, recover() degrades to a plain in-memory
+        # store, so the escape hatch covers this path too.
+        if data_dir is not None:
+            self.store = ObjectStore.recover(data_dir, fsync=fsync)
+        else:
+            self.store = ObjectStore()
         self.api = APIServer(
             store=self.store,
             authorizer=authorizer,

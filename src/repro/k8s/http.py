@@ -31,6 +31,7 @@ from repro.core.shards import shards_enabled
 from repro.k8s.apiserver import APIServer, ApiRequest, ApiResponse, User
 from repro.k8s.errors import ApiError
 from repro.k8s.gvk import ResourceRegistry, registry as default_registry
+from repro.k8s.wal import crashpoint
 from repro.obs import obs_endpoint, trace
 
 #: Worker threads in the bounded frontend pool.  A worker serves one
@@ -374,6 +375,11 @@ class _Handler(BaseHTTPRequestHandler):
         with trace("apiserver.request", trace_id=incoming):
             response = self.api.handle(request)
         self._respond(response)
+        # Commit point 3: the response bytes for a successful write are
+        # on the socket (wfile is unbuffered) — the client will observe
+        # this write as acknowledged.  No-op outside the chaos child.
+        if response.ok and verb in ("create", "update", "patch", "delete"):
+            crashpoint("post-ack")
 
     def do_GET(self) -> None:
         if self._serve_obs():

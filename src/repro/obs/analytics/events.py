@@ -56,8 +56,10 @@ __all__ = [
 EVENT_SCHEMA_VERSION = 1
 
 #: The closed set of event kinds on the stream.  ``scan`` events are
-#: CVE-scanner findings (one per newly observed finding per tick).
-EVENT_KINDS = ("audit", "decision", "anomaly", "marker", "shadow", "scan")
+#: CVE-scanner findings (one per newly observed finding per tick);
+#: ``recovery`` events announce a store rebuilt from snapshot+WAL
+#: after a crash (one per recovery, published by the fronting server).
+EVENT_KINDS = ("audit", "decision", "anomaly", "marker", "shadow", "scan", "recovery")
 
 #: Decision outcomes (closed set; doubles as a metrics label domain).
 DECISION_OUTCOMES = ("allow", "deny", "degraded", "error")

@@ -18,6 +18,7 @@ from repro.resilience.breaker import (
 )
 from repro.resilience.guard import (
     DEFAULT_RESILIENCE,
+    DEGRADED_MODES,
     RETRYABLE_STATUS_CODES,
     ResilienceConfig,
     StaleReadCache,
@@ -39,6 +40,7 @@ __all__ = [
     "CircuitBreaker",
     "CircuitOpenError",
     "DEFAULT_RESILIENCE",
+    "DEGRADED_MODES",
     "Deadline",
     "DeadlineExceeded",
     "HALF_OPEN",

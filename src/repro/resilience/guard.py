@@ -177,6 +177,12 @@ class UpstreamGuard:
         ) from last_error
 
 
+#: The closed set of degradation postures (what a proxy does when its
+#: upstream is down); the chaos and crashtest harnesses iterate this
+#: to prove neither posture can fail open.
+DEGRADED_MODES = ("fail-closed", "fail-static")
+
+
 @dataclass(frozen=True)
 class ResilienceConfig:
     """Tuning knobs for one proxy's upstream path.
@@ -207,7 +213,7 @@ class ResilienceConfig:
     read_cache_ttl: float = 30.0
 
     def __post_init__(self) -> None:
-        if self.degraded_mode not in ("fail-closed", "fail-static"):
+        if self.degraded_mode not in DEGRADED_MODES:
             raise ValueError(
                 f"unknown degraded_mode {self.degraded_mode!r}; "
                 "choose 'fail-closed' or 'fail-static'"

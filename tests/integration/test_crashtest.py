@@ -1,0 +1,149 @@
+"""Process-level chaos: SIGKILL a durable API-server child at WAL
+commit points, restart it, and verify the crash-only invariants.
+
+Unlike :mod:`tests.integration.test_chaos` (wire faults under a live
+server), these tests kill a real subprocess mid-write -- the fault
+model of an OOM-killed or power-cycled control plane -- and check the
+recovery ledger: acknowledged writes survive, unacknowledged writes
+stay dead, and the proxy never fails open while the upstream is a
+corpse.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.faults import CrashInjector, SupervisedApiServer, run_crashtest
+from repro.faults.crash import GHOST_WRITES, _try_create
+from repro.k8s.http import HttpClient
+from repro.k8s.wal import CRASH_POINTS
+
+SEED = 1337
+
+
+def configmap(name: str, seq: str = "1") -> dict:
+    return {
+        "apiVersion": "v1",
+        "kind": "ConfigMap",
+        "metadata": {"name": name, "namespace": "default"},
+        "data": {"seq": seq},
+    }
+
+
+class TestSupervisedApiServer:
+    def test_restart_is_recovery(self, tmp_path, free_port):
+        supervisor = SupervisedApiServer(tmp_path, free_port)
+        try:
+            supervisor.start()
+            admin = HttpClient(supervisor.base_url)
+            status, body = admin.create(configmap("survivor"))
+            assert status == 201
+            revision = body["metadata"]["resourceVersion"]
+            supervisor.stop()
+
+            supervisor.start()
+            status, body = admin.get("ConfigMap", "survivor")
+            assert status == 200
+            assert body["metadata"]["resourceVersion"] == revision
+            assert body["data"] == {"seq": "1"}
+        finally:
+            supervisor.stop()
+
+    def test_post_append_kill_is_durable_but_unacknowledged(
+        self, tmp_path, free_port
+    ):
+        supervisor = SupervisedApiServer(tmp_path, free_port)
+        try:
+            supervisor.start(crash_spec="post-append:1")
+            admin = HttpClient(supervisor.base_url)
+            status, _ = _try_create(admin, configmap("logged"))
+            assert status is None  # the child died before responding
+            assert supervisor.wait_dead() != 0
+
+            supervisor.start()  # recovery
+            status, body = admin.get("ConfigMap", "logged")
+            assert status == 200  # append == commit: the record was durable
+            assert body["data"] == {"seq": "1"}
+        finally:
+            supervisor.stop()
+
+    def test_pre_append_kill_leaves_nothing(self, tmp_path, free_port):
+        supervisor = SupervisedApiServer(tmp_path, free_port)
+        try:
+            supervisor.start(crash_spec="pre-append:1")
+            admin = HttpClient(supervisor.base_url)
+            status, _ = _try_create(admin, configmap("ghost"))
+            assert status is None
+            supervisor.wait_dead()
+
+            supervisor.start()
+            status, _ = admin.get("ConfigMap", "ghost")
+            assert status == 404  # never durable, never resurrected
+        finally:
+            supervisor.stop()
+
+    def test_post_ack_kill_preserves_the_acknowledged_write(
+        self, tmp_path, free_port
+    ):
+        supervisor = SupervisedApiServer(tmp_path, free_port)
+        try:
+            supervisor.start(crash_spec="post-ack:1")
+            admin = HttpClient(supervisor.base_url)
+            status, body = _try_create(admin, configmap("acked"))
+            assert status == 201  # response bytes beat the SIGKILL
+            revision = body["metadata"]["resourceVersion"]
+            supervisor.wait_dead()
+
+            supervisor.start()
+            status, body = admin.get("ConfigMap", "acked")
+            assert status == 200
+            assert body["metadata"]["resourceVersion"] == revision
+        finally:
+            supervisor.stop()
+
+
+class TestCrashInjector:
+    def test_seeded_schedule_is_deterministic(self):
+        a = CrashInjector(SEED, writes_per_cycle=5)
+        b = CrashInjector(SEED, writes_per_cycle=5)
+        schedule_a = [a.next_kill() for _ in range(20)]
+        schedule_b = [b.next_kill() for _ in range(20)]
+        assert schedule_a == schedule_b
+        assert {k.point for k in schedule_a} <= set(CRASH_POINTS)
+        assert all(1 <= k.nth <= 5 for k in schedule_a)
+
+    def test_rejects_empty_cycle(self):
+        with pytest.raises(ValueError):
+            CrashInjector(SEED, writes_per_cycle=0)
+
+
+class TestRunCrashtest:
+    def test_small_suite_survives(self, nginx_chart, nginx_validator):
+        report = run_crashtest(
+            nginx_chart, nginx_validator, seed=SEED,
+            cycles=3, writes_per_cycle=3,
+        )
+        assert report.survived, report.to_dict()
+        assert report.lost_writes == 0
+        assert report.resurrected_writes == 0
+        assert report.corrupted_writes == 0
+        assert report.fail_open == 0
+        # 3 armed recoveries + the final verification restart.
+        assert report.recoveries == 4
+        assert len(report.schedule) == 3
+        assert report.writes_attempted == 3 * (3 + GHOST_WRITES)
+        # The blackout probes actually exercised both degraded modes.
+        assert report.blackout_denials > 0
+        assert report.blackout_writes_refused == 3
+        assert report.stale_reads_served == 3
+        assert report.stale_reads_refused == 3
+
+    def test_report_serializes(self, nginx_chart, nginx_validator):
+        report = run_crashtest(
+            nginx_chart, nginx_validator, seed=7, cycles=1, writes_per_cycle=2,
+        )
+        payload = report.to_dict()
+        assert payload["survived"] is True
+        assert payload["cycles"] == 1
+        assert payload["schedule"] == report.schedule
+        assert set(payload["kills"]) <= set(CRASH_POINTS)

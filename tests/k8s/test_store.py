@@ -112,3 +112,87 @@ class TestWatch:
             store.create(make_pod(name))
         assert revisions == sorted(revisions)
         assert len(set(revisions)) == 3
+
+
+class TestDeleteRevision:
+    def test_delete_stamps_deletion_revision(self):
+        # Regression: delete() used to return the object with its
+        # *pre-deletion* resourceVersion while the DELETED watch event
+        # carried the bumped one -- response body and event disagreed.
+        store = ObjectStore()
+        store.create(make_pod("a"))  # rev 1
+        store.create(make_pod("b"))  # rev 2
+        events = []
+        store.watch(lambda e: events.append(e))
+        deleted = store.delete("Pod", "default", "a")  # rev 3
+        assert deleted.resource_version == 3
+        assert store.revision == 3
+        event = events[-1]
+        assert event.type == "DELETED"
+        assert event.resource_version == 3
+        assert event.obj.resource_version == deleted.resource_version
+
+
+class TestWatcherFailureContainment:
+    def test_raising_watcher_does_not_fail_the_write(self):
+        # Regression: an exception out of a watch callback used to
+        # propagate to the writer *after* the write had committed --
+        # the caller saw a failure for a write that happened (the
+        # store-level fail-open twin of the EventBus bug).
+        store = ObjectStore()
+
+        def bad(_event):
+            raise RuntimeError("boom")
+
+        seen = []
+        store.watch(bad)
+        store.watch(lambda e: seen.append(e.obj.name))
+        created = store.create(make_pod("a"))
+        assert created.resource_version == 1
+        assert store.exists("Pod", "default", "a")
+        assert seen == ["a"]  # later watchers are not starved
+        assert store.watcher_errors == 1
+
+    def test_repeat_offender_detached_after_threshold(self):
+        store = ObjectStore()
+        calls = []
+
+        def bad(_event):
+            calls.append(1)
+            raise RuntimeError("boom")
+
+        store.watch(bad)
+        for i in range(store.MAX_WATCHER_ERRORS + 3):
+            store.create(make_pod(f"p{i}"))
+        assert len(calls) == store.MAX_WATCHER_ERRORS
+        assert store.dropped_watchers == 1
+        assert store.watcher_errors == store.MAX_WATCHER_ERRORS
+
+    def test_success_resets_consecutive_count(self):
+        store = ObjectStore()
+        fail = True
+
+        def flaky(_event):
+            if fail:
+                raise RuntimeError("boom")
+
+        store.watch(flaky)
+        for i in range(store.MAX_WATCHER_ERRORS - 1):
+            store.create(make_pod(f"a{i}"))
+        fail = False
+        store.create(make_pod("ok"))
+        fail = True
+        for i in range(store.MAX_WATCHER_ERRORS - 1):
+            store.create(make_pod(f"b{i}"))
+        assert store.dropped_watchers == 0  # never hit the threshold twice
+
+    def test_watcher_errors_land_on_bound_metrics(self):
+        from repro.obs.metrics import MetricsRegistry
+
+        registry = MetricsRegistry()
+        store = ObjectStore()
+        store.bind_metrics(registry)
+        store.watch(lambda e: (_ for _ in ()).throw(RuntimeError("boom")))
+        store.create(make_pod("a"))
+        assert registry.counter("kubefence_watcher_errors_total").value == 1
+        assert "kubefence_watcher_errors_total 1" in registry.expose()
