@@ -75,6 +75,15 @@ _EXTRACT: dict[str, tuple[str, tuple[str, ...]]] = {
             "wal_appends",
         ),
     ),
+    "BENCH_profile_overhead.json": (
+        "profiler",
+        (
+            "overhead_percent",
+            "inprocess_overhead_percent",
+            "profile_hz",
+            "profile_samples_during_measurement",
+        ),
+    ),
     "BENCH_campaign.json": (
         "campaign",
         (

@@ -560,7 +560,26 @@ def cmd_loadtest(args: argparse.Namespace) -> int:
         f"warmup={config.warmup_s}s window={config.duration_s}s x2 arms ...",
         file=sys.stderr,
     )
-    result = run_loadtest(config)
+    profiler = None
+    if args.profile_out:
+        from repro.obs import PROFILER as profiler
+
+        profiler.acquire()
+        profiler.reset()
+    try:
+        result = run_loadtest(config)
+    finally:
+        if profiler is not None:
+            collapsed = profiler.collapsed()
+            samples = profiler.stats(top=0)["samples"]
+            profiler.release()
+            prof_out = Path(args.profile_out)
+            prof_out.parent.mkdir(parents=True, exist_ok=True)
+            prof_out.write_text(collapsed)
+            print(
+                f"wrote {prof_out} ({samples} samples, collapsed stacks)",
+                file=sys.stderr,
+            )
     text = _json.dumps(result, indent=2, sort_keys=True)
     if args.output:
         out = Path(args.output)
@@ -587,6 +606,180 @@ def cmd_loadtest(args: argparse.Namespace) -> int:
         )
         return 1
     return 0
+
+
+def _series_sum(values: dict, name: str) -> float:
+    """Sum every label set of ``name`` in one time-series point."""
+    prefix = name + "{"
+    return sum(
+        v for k, v in values.items() if k == name or k.startswith(prefix)
+    )
+
+
+def _bucket_deltas(values: dict, name: str) -> list[tuple[float, float]]:
+    """Aggregate ``<name>{...,le="..."}`` cells into sorted cumulative
+    ``(le, count)`` pairs.  Deltas of cumulative buckets stay cumulative
+    in ``le``, so the quantile math below works on ring deltas as-is."""
+    import re as _re
+
+    buckets: dict[float, float] = {}
+    prefix = name + "{"
+    for key, value in values.items():
+        if not key.startswith(prefix):
+            continue
+        match = _re.search(r'le="([^"]+)"', key)
+        if not match:
+            continue
+        le = float("inf") if match.group(1) == "+Inf" else float(match.group(1))
+        buckets[le] = buckets.get(le, 0.0) + value
+    return sorted(buckets.items())
+
+
+def _hist_quantile(buckets: list[tuple[float, float]], q: float) -> float:
+    """Upper-bound quantile estimate from cumulative histogram buckets."""
+    if not buckets:
+        return 0.0
+    total = buckets[-1][1]
+    if total <= 0:
+        return 0.0
+    target = q * total
+    previous_le = 0.0
+    previous_count = 0.0
+    for le, count in buckets:
+        if count >= target:
+            if le == float("inf"):
+                return previous_le
+            span = count - previous_count
+            if span <= 0:
+                return le
+            return previous_le + (le - previous_le) * (target - previous_count) / span
+        previous_le, previous_count = le, count
+    return previous_le
+
+
+def render_top(payload: dict, url: str = "") -> str:
+    """Render one ``repro top`` frame from an ``/obs/timeseries`` payload.
+
+    Pure so tests can feed it canned payloads; ``cmd_top`` owns the
+    fetch/clear/sleep loop."""
+    points = payload.get("points") or []
+    interval = float(payload.get("interval_s") or 1.0) or 1.0
+    state = "running" if payload.get("running") else "stopped"
+    header = (
+        f"repro top -- {url or 'timeseries'}  "
+        f"(interval {interval:g}s, {len(points)}/{payload.get('retention', '?')} "
+        f"points, {state})"
+    )
+    if not points:
+        return header + "\n\n  no samples yet -- is the ring started?"
+    values = points[-1].get("values", {})
+    lines = [header, ""]
+
+    requests = (
+        _series_sum(values, "kubefence_requests_total")
+        or _series_sum(values, "kubefence_apiserver_requests_total")
+    )
+    denied = _series_sum(values, "kubefence_requests_denied_total")
+    hits = _series_sum(values, "kubefence_cache_hits_total")
+    misses = _series_sum(values, "kubefence_cache_misses_total")
+    probes = hits + misses
+    hit_pct = f"{100.0 * hits / probes:5.1f}%" if probes else "    --"
+    lines.append(
+        f"  requests {requests / interval:>9.1f}/s   denied "
+        f"{denied / interval:>7.1f}/s   cache hit {hit_pct}"
+    )
+
+    for metric, tag in (
+        ("kubefence_validation_latency_ns", "validation"),
+        ("kubefence_apiserver_latency_ns", "apiserver"),
+    ):
+        buckets = _bucket_deltas(values, metric + "_bucket")
+        if buckets and buckets[-1][1] > 0:
+            p50 = _hist_quantile(buckets, 0.50) / 1e3
+            p99 = _hist_quantile(buckets, 0.99) / 1e3
+            lines.append(
+                f"  latency  p50 {p50:>8.1f}us   p99 {p99:>8.1f}us   ({tag})"
+            )
+            break
+
+    import re as _re
+
+    phase_ns: dict[str, float] = {}
+    for key, value in values.items():
+        if key.startswith("kubefence_phase_ns_total{"):
+            match = _re.search(r'phase="([^"]+)"', key)
+            if match:
+                phase_ns[match.group(1)] = phase_ns.get(match.group(1), 0.0) + value
+    wall_ns = _series_sum(values, "kubefence_request_wall_ns_total")
+    denominator = wall_ns or sum(phase_ns.values())
+    if phase_ns and denominator > 0:
+        lines.append("")
+        for phase, ns in sorted(phase_ns.items(), key=lambda kv: -kv[1]):
+            share = ns / denominator
+            bar = "#" * max(1, int(round(share * 24))) if ns else ""
+            lines.append(f"  {phase:<13s} {bar:<24s} {100.0 * share:5.1f}%")
+        attributed = sum(phase_ns.values())
+        if wall_ns:
+            lines.append(
+                f"  {'(attributed)':<13s} {'':<24s} "
+                f"{100.0 * attributed / wall_ns:5.1f}% of wall"
+            )
+
+    footer: list[str] = []
+    breaker = values.get("kubefence_breaker_state")
+    if breaker is not None:
+        names = {0: "closed", 1: "open", 2: "half-open"}
+        footer.append(f"breaker {names.get(int(breaker), breaker)}")
+    degraded = _series_sum(values, "kubefence_degraded_requests_total")
+    if degraded:
+        footer.append(f"degraded {degraded / interval:.1f}/s")
+    burn = _series_sum(values, "kubefence_slo_burn_rate")
+    if burn:
+        footer.append(f"slo burn {burn:.2f}")
+    divergence = _series_sum(values, "kubefence_shadow_divergence_total")
+    if divergence:
+        footer.append(f"shadow divergence {divergence / interval:.1f}/s")
+    findings = values.get("kubefence_scan_open_findings")
+    if findings:
+        footer.append(f"open CVE findings {int(findings)}")
+    if footer:
+        lines.extend(["", "  " + "   ".join(footer)])
+    return "\n".join(lines)
+
+
+def cmd_top(args: argparse.Namespace) -> int:
+    """Live terminal dashboard over ``GET <url>/obs/timeseries``; the
+    in-process ring (``REPRO_TS_RETENTION``) is the only data source, so
+    it works against any running proxy or API server."""
+    import json as _json
+    import time as _time
+    import urllib.request
+
+    base = args.url.rstrip("/")
+    count = 0
+    while True:
+        try:
+            with urllib.request.urlopen(
+                base + "/obs/timeseries", timeout=5
+            ) as response:
+                payload = _json.loads(response.read())
+        except (OSError, ValueError) as err:
+            print(f"top: {base}/obs/timeseries: {err}", file=sys.stderr)
+            return 1
+        if args.json:
+            last = payload["points"][-1] if payload.get("points") else {}
+            print(_json.dumps(last, sort_keys=True))
+        else:
+            if sys.stdout.isatty():  # pragma: no cover - interactive only
+                print("\x1b[2J\x1b[H", end="")
+            print(render_top(payload, base))
+        count += 1
+        if args.iterations and count >= args.iterations:
+            return 0
+        try:
+            _time.sleep(args.interval)
+        except KeyboardInterrupt:  # pragma: no cover - interactive only
+            return 0
 
 
 def cmd_overhead(args: argparse.Namespace) -> int:
@@ -850,6 +1043,28 @@ def build_parser() -> argparse.ArgumentParser:
              "(e.g. benchmarks/results/BENCH_throughput.json)",
     )
     loadtest.add_argument("--json", action="store_true", help="print full JSON")
+    loadtest.add_argument(
+        "--profile-out",
+        help="sample the run with the wall-clock profiler and write "
+             "flamegraph-ready collapsed stacks here",
+    )
+
+    top = sub.add_parser(
+        "top",
+        help="live terminal dashboard over a server's /obs/timeseries ring",
+    )
+    top.add_argument("url", help="base URL of a running proxy or API server")
+    top.add_argument(
+        "--interval", type=float, default=2.0, help="refresh seconds"
+    )
+    top.add_argument(
+        "--iterations", type=int, default=0,
+        help="stop after N refreshes (0 = run until interrupted)",
+    )
+    top.add_argument(
+        "--json", action="store_true",
+        help="print the newest ring point as JSON instead of the dashboard",
+    )
 
     obs = sub.add_parser(
         "obs", help="dump a metrics/trace snapshot of the enforcement stack"
@@ -1061,6 +1276,7 @@ _COMMANDS = {
     "coverage": cmd_coverage,
     "overhead": cmd_overhead,
     "loadtest": cmd_loadtest,
+    "top": cmd_top,
     "obs": cmd_obs,
     "chaos": cmd_chaos,
     "crashtest": cmd_crashtest,

@@ -60,7 +60,16 @@ from repro.core.shards import (
 )
 from repro.k8s.apiserver import APIServer, ApiRequest, ApiResponse
 from repro.k8s.errors import ApiError
-from repro.obs import current_trace_id, new_registry, obs_endpoint, span, trace
+from repro.obs import (
+    PROFILER,
+    TimeSeriesRing,
+    current_trace_id,
+    new_phase_clock,
+    new_registry,
+    obs_endpoint,
+    span,
+    trace,
+)
 from repro.obs.analytics.events import SecurityEvent, new_event_bus
 from repro.obs.refine.profiler import manifest_field_sample
 from repro.yamlutil import deep_copy
@@ -229,6 +238,10 @@ class ProxyStats:
         )
         self._http_bound: dict[tuple[str, str], Any] = {}
         self._denial_bound: dict[tuple[str, str, str], Any] = {}
+        # Per-request phase attribution (kubefence_phase_ns_total):
+        # a bound-``inc`` per phase, the null clock when telemetry is
+        # off (phases.enabled gates any extra clock reads).
+        self.phases = new_phase_clock(reg, sharded=self._sharded)
         #: per-request validation latency samples (ns), bounded rings:
         #: full validations (cache misses) and cache-hit lookups.
         self.validation_ns_samples: list[int] = []
@@ -311,12 +324,18 @@ class ProxyStats:
         return cursor + 1
 
     def record_validation_ns(self, elapsed_ns: int, cache_hit: bool = False) -> None:
+        # Phase attribution rides the clock reads the gate already
+        # takes: a cache hit's whole cost is the probe, a miss's is
+        # the compiled validation (its probe share, when a cache is
+        # bound, is stamped separately by ValidationGate.check).
         if cache_hit:
+            self.phases.cache_probe(elapsed_ns)
             self._latency_hit.observe(elapsed_ns)
             self._hit_cursor = self._ring_append(
                 self.cache_hit_ns_samples, self._hit_cursor, elapsed_ns
             )
         else:
+            self.phases.validation(elapsed_ns)
             self._latency_miss.observe(elapsed_ns)
             self._sample_cursor = self._ring_append(
                 self.validation_ns_samples, self._sample_cursor, elapsed_ns
@@ -546,6 +565,10 @@ class ValidationGate:
             if key is not None:
                 stats.count_cache(hit=False)
         started = time.perf_counter_ns()
+        if cache is not None:
+            # The probed-miss path already holds both clock reads; the
+            # probe share costs one subtraction, not a new clock read.
+            stats.phases.cache_probe(started - lookup_started)
         with span("engine.match"):
             result = self._validate(body)
         stats.record_validation_ns(time.perf_counter_ns() - started)
@@ -883,6 +906,9 @@ class HttpKubeFenceProxy:
         self.refine: Any | None = None
         #: the /obs/scan CVE scanner, when one is wired.
         self.scanner: Any | None = None
+        #: in-process metrics ring (served at /obs/timeseries, the
+        #: ``repro top`` data source); ticking starts with the server.
+        self.timeseries = TimeSeriesRing(self.stats.registry)
         self.resilience = res = (
             resilience if resilience is not None else DEFAULT_RESILIENCE
         )
@@ -986,6 +1012,8 @@ class HttpKubeFenceProxy:
 
             def _reply(self, code: int, payload: dict | list,
                        extra_headers: tuple[tuple[str, str], ...] = ()) -> None:
+                phases = proxy.stats.phases
+                started = time.perf_counter_ns() if phases.enabled else 0
                 body = json.dumps(payload).encode()
                 self.send_response(code)
                 self.send_header("Content-Type", "application/json")
@@ -994,8 +1022,10 @@ class HttpKubeFenceProxy:
                     self.send_header(name, value)
                 self.end_headers()
                 self.wfile.write(body)
+                if started:
+                    phases.serialization(time.perf_counter_ns() - started)
 
-            def _serve_obs(self) -> bool:
+            def _serve_obs(self, head: bool = False) -> bool:
                 served = obs_endpoint(
                     self.path,
                     proxy.stats.registry,
@@ -1005,6 +1035,9 @@ class HttpKubeFenceProxy:
                     slo=proxy.slo,
                     refine=proxy.refine,
                     scanner=proxy.scanner,
+                    profiler=PROFILER,
+                    timeseries=proxy.timeseries,
+                    accept=self.headers.get("Accept", ""),
                 )
                 if served is None:
                     return False
@@ -1013,7 +1046,8 @@ class HttpKubeFenceProxy:
                 self.send_header("Content-Type", content_type)
                 self.send_header("Content-Length", str(len(body)))
                 self.end_headers()
-                self.wfile.write(body)
+                if not head:
+                    self.wfile.write(body)
                 return True
 
             def _publish_decision(self, outcome: str, code: int,
@@ -1023,6 +1057,10 @@ class HttpKubeFenceProxy:
                 bus = proxy.events
                 if not bus.enabled:
                     return
+                phases = proxy.stats.phases
+                publish_started = (
+                    time.perf_counter_ns() if phases.enabled else 0
+                )
                 if outcome == "allow" and not bus.sampled():
                     return  # routine allows are head-sampled
                 started = getattr(self, "_started_ns", 0)
@@ -1048,19 +1086,32 @@ class HttpKubeFenceProxy:
                     ),
                     detail={"path": self.path, **(detail or {})},
                 ))
+                if publish_started:
+                    phases.telemetry(
+                        time.perf_counter_ns() - publish_started
+                    )
 
             def _forward(self, method: str, body: bytes | None,
                          resource: str = "", name: str = "") -> None:
+                phases = proxy.stats.phases
+                started = time.perf_counter_ns() if phases.enabled else 0
                 headers = {
                     "Content-Type": "application/json",
                     "X-Remote-User": self.headers.get("X-Remote-User", ""),
                     "X-Remote-Groups": self.headers.get("X-Remote-Groups", ""),
                     "X-Trace-Id": current_trace_id() or "",
                 }
+                if started:
+                    # The proxy's authn share: extracting and re-asserting
+                    # the caller identity headers the upstream trusts.
+                    sent = time.perf_counter_ns()
+                    phases.authn(sent - started)
                 try:
                     status, data = proxy._upstream_call(
                         method, self.path, body, headers
                     )
+                    if started:
+                        phases.upstream(time.perf_counter_ns() - sent)
                 except CircuitOpenError as err:
                     proxy.stats.count_upstream_error("breaker-open")
                     self._degraded_reply(method, err, resource, name)
@@ -1144,8 +1195,21 @@ class HttpKubeFenceProxy:
 
             def _handle(self, method: str) -> None:
                 incoming = self.headers.get("X-Trace-Id") or None
+                phases = proxy.stats.phases
+                if not phases.enabled:
+                    with trace("proxy.request", trace_id=incoming):
+                        self._handle_traced(method)
+                    return
+                # Wall-clock denominator for the phase breakdown: the
+                # phase shares below divide into this total.  Stamped
+                # inside the trace bracket so tracer bookkeeping (span
+                # record under the buffer lock, which a concurrent
+                # /obs/traces reader can hold) stays out of the
+                # denominator instead of reading as unattributed time.
                 with trace("proxy.request", trace_id=incoming):
+                    wall_started = time.perf_counter_ns()
                     self._handle_traced(method)
+                    phases.wall(time.perf_counter_ns() - wall_started)
 
             def _handle_traced(self, method: str) -> None:
                 proxy.stats.count_request()
@@ -1157,6 +1221,10 @@ class HttpKubeFenceProxy:
                 length = int(self.headers.get("Content-Length") or 0)
                 raw = self.rfile.read(length) if length else None
                 if method in ("POST", "PUT", "PATCH") and raw:
+                    phases = proxy.stats.phases
+                    parse_started = (
+                        time.perf_counter_ns() if phases.enabled else 0
+                    )
                     try:
                         manifest = json.loads(raw)
                     except (ValueError, RecursionError):
@@ -1177,6 +1245,10 @@ class HttpKubeFenceProxy:
                         return
                     resource = manifest.get("kind", "")
                     name = manifest.get("metadata", {}).get("name", "")
+                    if parse_started:
+                        phases.serialization(
+                            time.perf_counter_ns() - parse_started
+                        )
                     with span("proxy.validate"):
                         result = proxy.gate.check(manifest)
                     shadow = proxy.shadow
@@ -1233,6 +1305,17 @@ class HttpKubeFenceProxy:
                     return
                 self._handle("GET")
 
+            def do_HEAD(self) -> None:
+                # HEAD on the observability surfaces: full headers
+                # (correct Content-Length), no body.  API paths are
+                # proxied as GETs by clients; HEAD is obs-only here.
+                if self._serve_obs(head=True):
+                    return
+                self.send_response(405)
+                self.send_header("Allow", "GET, POST, PUT, PATCH, DELETE")
+                self.send_header("Content-Length", "0")
+                self.end_headers()
+
             def do_POST(self) -> None:
                 self._handle("POST")
 
@@ -1263,6 +1346,10 @@ class HttpKubeFenceProxy:
         return f"http://{host}:{port}"
 
     def start(self) -> "HttpKubeFenceProxy":
+        # Refcounted: the profiler thread is shared process-wide and
+        # stops with the last component that acquired it.
+        PROFILER.acquire()
+        self.timeseries.start()
         self._thread = self._threading.Thread(
             target=self._httpd.serve_forever, daemon=True
         )
@@ -1279,6 +1366,8 @@ class HttpKubeFenceProxy:
                     "HttpKubeFenceProxy serve thread failed to stop within 5s"
                 )
             self._thread = None
+            self.timeseries.stop()
+            PROFILER.release()
 
     def __enter__(self) -> "HttpKubeFenceProxy":
         return self.start()

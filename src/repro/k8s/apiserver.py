@@ -32,7 +32,7 @@ from repro.k8s.objects import K8sObject
 from repro.k8s.schema import SCALAR_TYPES, FieldSpec, SchemaCatalog, catalog as default_catalog
 from repro.k8s.store import ObjectStore
 from repro.core.shards import shards_enabled
-from repro.obs import current_trace_id, new_registry, span
+from repro.obs import current_trace_id, new_phase_clock, new_registry, span
 from repro.obs.analytics.events import SecurityEvent, new_event_bus
 
 
@@ -185,6 +185,12 @@ class APIServer:
             max_series=128,
         )
         self._m_http_bound: dict[tuple[str, str], Any] = {}
+        # Per-request phase attribution (kubefence_phase_ns_total):
+        # the null clock when telemetry is off, so handle() skips the
+        # extra perf_counter_ns reads entirely.
+        self.phases = new_phase_clock(
+            self.metrics, sharded=self._sharded_telemetry
+        )
 
     def _announce_recovery(self) -> None:
         """Publish one ``kind="recovery"`` SecurityEvent when fronting a
@@ -238,13 +244,31 @@ class APIServer:
     # -- request handling ------------------------------------------------
 
     def handle(self, request: ApiRequest) -> ApiResponse:
-        """Run the full request pipeline and audit the outcome."""
+        """Run the full request pipeline and audit the outcome.
+
+        Phase attribution (when telemetry is on): routing+authorization
+        is the server's **authn** share, dispatch (admission chain and
+        store commit) its **upstream** share, and the request counter /
+        latency histogram / audit write its **telemetry** share.  The
+        **wall** denominator is stamped by the HTTP frontend
+        (:mod:`repro.k8s.http`), whose handler also covers the
+        serialization share -- body parse and reply encode happen
+        outside this method.
+        """
+        attributed = self.phases.enabled
         started = time.perf_counter_ns()
+        authed = started
         try:
             resource = self._route(request)
             self._authorize(request, resource)
+            if attributed:
+                authed = time.perf_counter_ns()
             response = self._dispatch(request, resource)
         except ApiError as err:
+            if authed == started and attributed:
+                # Failed before/inside authorization: the whole pipeline
+                # share so far is authn.
+                authed = time.perf_counter_ns()
             response = ApiResponse.from_error(err)
         elapsed_ns = time.perf_counter_ns() - started
         key = (request.verb or "?", str(response.code))
@@ -255,6 +279,17 @@ class APIServer:
         bound.inc()
         self._m_latency.observe(elapsed_ns)
         self._audit(request, response, latency_ns=elapsed_ns)
+        if attributed:
+            done = started + elapsed_ns
+            final = time.perf_counter_ns()
+            phases = self.phases
+            phases.authn(authed - started)
+            phases.upstream(done - authed)
+            phases.telemetry(final - done)
+            # The HTTP frontend brackets this call together with the
+            # trace open/close; exporting the interior span lets it
+            # attribute the tracer bookkeeping without double-counting.
+            response.handle_ns = final - started
         return response
 
     def _route(self, request: ApiRequest) -> ResourceType:

@@ -22,6 +22,7 @@ import json
 import os
 import queue
 import threading
+import time
 from http.server import BaseHTTPRequestHandler, HTTPServer, ThreadingHTTPServer
 from typing import Any, Callable
 from urllib import request as urllib_request
@@ -32,7 +33,7 @@ from repro.k8s.apiserver import APIServer, ApiRequest, ApiResponse, User
 from repro.k8s.errors import ApiError
 from repro.k8s.gvk import ResourceRegistry, registry as default_registry
 from repro.k8s.wal import crashpoint
-from repro.obs import obs_endpoint, trace
+from repro.obs import PROFILER, TimeSeriesRing, obs_endpoint, trace
 
 #: Worker threads in the bounded frontend pool.  A worker serves one
 #: TCP connection at a time (HTTP/1.1 keep-alive loops inside
@@ -266,6 +267,9 @@ class _Handler(BaseHTTPRequestHandler):
     #: level (after the body drain, before routing).  ``None`` in the
     #: normal, fault-free topology.
     faults: Any = None
+    #: Optional :class:`repro.obs.TimeSeriesRing` served at
+    #: ``/obs/timeseries``; injected by :class:`HttpApiServer`.
+    timeseries: Any = None
 
     # Silence the default stderr request logging; access logs are not
     # discarded, though -- log_request() routes them into the metrics
@@ -284,14 +288,18 @@ class _Handler(BaseHTTPRequestHandler):
         return User(username, groups + ("system:authenticated",))
 
     def _respond(self, response: ApiResponse) -> None:
+        phases = self.api.phases
+        started = time.perf_counter_ns() if phases.enabled else 0
         payload = json.dumps(response.body if response.body is not None else {}).encode()
         self.send_response(response.code)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(payload)))
         self.end_headers()
         self.wfile.write(payload)
+        if started:
+            phases.serialization(time.perf_counter_ns() - started)
 
-    def _serve_obs(self) -> bool:
+    def _serve_obs(self, head: bool = False) -> bool:
         """Observability surfaces: /metrics, /healthz, /readyz,
         /obs/traces (served before REST routing)."""
         bus = getattr(self.api, "event_bus", None)
@@ -304,6 +312,9 @@ class _Handler(BaseHTTPRequestHandler):
             slo=self.slo,
             refine=self.refine,
             scanner=self.scanner,
+            profiler=PROFILER,
+            timeseries=self.timeseries,
+            accept=self.headers.get("Accept", ""),
         )
         if served is None:
             return False
@@ -312,15 +323,40 @@ class _Handler(BaseHTTPRequestHandler):
         self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
         self.end_headers()
-        self.wfile.write(body)
+        if not head:
+            self.wfile.write(body)
         return True
 
     def _handle(self, method: str) -> None:
+        # Wall-clock denominator for the phase breakdown
+        # (kubefence_request_wall_ns_total): stamped here, at HTTP
+        # ingress, so the serialization shares recorded below are
+        # inside the total.
+        phases = self.api.phases
+        if not phases.enabled:
+            self._handle_timed(method)
+            return
+        wall_started = time.perf_counter_ns()
+        self._handle_timed(method)
+        phases.wall(time.perf_counter_ns() - wall_started)
+
+    def _handle_timed(self, method: str) -> None:
         # Drain the request body before any early reply: with HTTP/1.1
         # keep-alive, unread body bytes would corrupt the next request
-        # on the same connection.
+        # on the same connection.  The drain is wire deserialization --
+        # it counts toward the serialization phase share.
+        phases = self.api.phases
+        attributed = phases.enabled
+        drain_started = time.perf_counter_ns() if attributed else 0
         length = int(self.headers.get("Content-Length") or 0)
         raw = self.rfile.read(length) if length else b""
+        # `mark` threads through the method: everything between the
+        # stamped regions (fault checks, REST-path routing, ApiRequest
+        # construction with identity extraction) is attributed to authn
+        # so the coverage denominator holds >=90% on validated writes.
+        mark = time.perf_counter_ns() if attributed else 0
+        if attributed and raw:
+            phases.serialization(mark - drain_started)
 
         # Wire-level chaos: the injector may 5xx, stall, truncate, or
         # RST this request.  It runs after the body drain (keep-alive
@@ -345,6 +381,9 @@ class _Handler(BaseHTTPRequestHandler):
 
         body: dict | None = None
         if raw:
+            parse_started = time.perf_counter_ns() if attributed else 0
+            if attributed:
+                phases.authn(parse_started - mark)
             try:
                 body = json.loads(raw)
             except (ValueError, RecursionError):
@@ -354,6 +393,9 @@ class _Handler(BaseHTTPRequestHandler):
                     )
                 )
                 return
+            if parse_started:
+                mark = time.perf_counter_ns()
+                phases.serialization(mark - parse_started)
 
         if method == "GET":
             verb = "get" if name else "list"
@@ -368,12 +410,25 @@ class _Handler(BaseHTTPRequestHandler):
             body=body,
             source_ip=self.client_address[0],
         )
+        if attributed:
+            now = time.perf_counter_ns()
+            phases.authn(now - mark)
+            mark = now
         # Join the caller's trace when the KubeFence proxy forwarded an
         # X-Trace-Id, so the audit event correlates with the proxy-side
         # trace; otherwise open a fresh server-side trace.
         incoming = self.headers.get("X-Trace-Id") or None
         with trace("apiserver.request", trace_id=incoming):
             response = self.api.handle(request)
+        if attributed:
+            # Everything in this bracket outside handle()'s own span is
+            # tracer bookkeeping (trace open, span record under the
+            # buffer lock) -- telemetry, and the largest unstamped gap
+            # on the server path when a scrape holds that lock.
+            phases.telemetry(
+                time.perf_counter_ns() - mark
+                - getattr(response, "handle_ns", 0)
+            )
         self._respond(response)
         # Commit point 3: the response bytes for a successful write are
         # on the socket (wfile is unbuffered) — the client will observe
@@ -385,6 +440,17 @@ class _Handler(BaseHTTPRequestHandler):
         if self._serve_obs():
             return
         self._handle("GET")
+
+    def do_HEAD(self) -> None:
+        # HEAD on the observability surfaces: full headers (correct
+        # Content-Length), no body.  REST paths answer 405 -- the mini
+        # API has no HEAD semantics.
+        if self._serve_obs(head=True):
+            return
+        self.send_response(405)
+        self.send_header("Allow", "GET, POST, PUT, PATCH, DELETE")
+        self.send_header("Content-Length", "0")
+        self.end_headers()
 
     def do_POST(self) -> None:
         self._handle("POST")
@@ -406,10 +472,14 @@ class HttpApiServer:
                  fault_injector: Any | None = None, slo: Any | None = None,
                  refine: Any | None = None, scanner: Any | None = None,
                  workers: int | None = None, queue_size: int | None = None):
+        #: in-process metrics ring (served at /obs/timeseries, the
+        #: ``repro top`` data source); ticking starts with the server.
+        self.timeseries = TimeSeriesRing(api.metrics)
         handler = type(
             "BoundHandler", (_Handler,),
             {"api": api, "faults": fault_injector, "slo": slo,
-             "refine": refine, "scanner": scanner},
+             "refine": refine, "scanner": scanner,
+             "timeseries": self.timeseries},
         )
         self._httpd = new_http_server(
             (host, port), handler, workers=workers, queue_size=queue_size
@@ -426,6 +496,10 @@ class HttpApiServer:
         return f"http://{host}:{port}"
 
     def start(self) -> "HttpApiServer":
+        # Refcounted: the profiler thread is shared process-wide and
+        # stops with the last component that acquired it.
+        PROFILER.acquire()
+        self.timeseries.start()
         self._thread = threading.Thread(target=self._httpd.serve_forever, daemon=True)
         self._thread.start()
         return self
@@ -440,6 +514,8 @@ class HttpApiServer:
                     "HttpApiServer serve thread failed to stop within 5s"
                 )
             self._thread = None
+            self.timeseries.stop()
+            PROFILER.release()
 
     def __enter__(self) -> "HttpApiServer":
         return self.start()

@@ -294,14 +294,30 @@ CRASH_POINT_ENV = "REPRO_CRASH_POINT"
 
 
 class _CrashPoint:
-    __slots__ = ("point", "target", "seen")
+    __slots__ = ("point", "target", "seen", "appends")
 
     def __init__(self, point: str, target: int):
         self.point = point
         self.target = target
         self.seen = 0
+        self.appends = 0
 
     def hit(self, name: str) -> None:
+        if self.point == "post-ack" and name == "pre-append":
+            # An armed post-ack kill has a window: between the fatal
+            # ack reaching the socket and the handler thread getting
+            # scheduled to run its crashpoint, the client's *next*
+            # write (sent the instant that ack lands) can be picked up
+            # by another pool worker and become durable -- a write the
+            # client will never see acknowledged, which recovery would
+            # then "resurrect".  Once the armed ordinal's appends are
+            # exhausted the kill is inevitable, so a further append
+            # means that race was lost: die here, before anything
+            # beyond the fatal ack hits the log.
+            self.appends += 1
+            if self.appends > self.target:
+                os.kill(os.getpid(), signal.SIGKILL)
+            return
         if name != self.point:
             return
         self.seen += 1

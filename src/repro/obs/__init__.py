@@ -26,7 +26,21 @@ from repro.obs.metrics import (
     new_registry,
     obs_enabled,
 )
-from repro.obs.http import METRICS_CONTENT_TYPE, obs_endpoint
+from repro.obs.http import (
+    METRICS_CONTENT_TYPE,
+    OPENMETRICS_CONTENT_TYPE,
+    obs_endpoint,
+)
+from repro.obs.profile import (
+    NULL_PHASE_CLOCK,
+    PHASES,
+    PROFILER,
+    PhaseClock,
+    SamplingProfiler,
+    TimeSeriesRing,
+    new_phase_clock,
+    phase_totals,
+)
 from repro.obs.tracing import (
     Span,
     Trace,
@@ -48,18 +62,27 @@ __all__ = [
     "METRICS_CONTENT_TYPE",
     "MetricError",
     "MetricsRegistry",
+    "NULL_PHASE_CLOCK",
     "NULL_REGISTRY",
     "NullRegistry",
+    "OPENMETRICS_CONTENT_TYPE",
+    "PHASES",
+    "PROFILER",
+    "PhaseClock",
     "REGISTRY",
+    "SamplingProfiler",
     "Span",
+    "TimeSeriesRing",
     "TRACES",
     "Trace",
     "TraceBuffer",
     "current_trace_id",
     "delta",
+    "new_phase_clock",
     "new_registry",
     "new_trace_id",
     "obs_endpoint",
+    "phase_totals",
     "obs_enabled",
     "span",
     "trace",

@@ -21,12 +21,25 @@ Both HTTP servers in the repo (the mini API server in
   matrix, candidate-policy diff, and the shadow-mode canary verdict;
 - ``GET /obs/scan``   -- the CVE scanner's status and latest findings
   report (when a :class:`~repro.scan.CVEScanner` is wired); optional
-  ``?severity=`` filters the reported findings.
+  ``?severity=`` filters the reported findings;
+- ``GET /obs/profile`` -- the sampling wall-clock profiler's collapsed
+  stacks (when a :class:`~repro.obs.profile.SamplingProfiler` is
+  wired): JSON by default, flamegraph-ready text with
+  ``?format=collapsed``, ``?top=`` bounds the JSON tables;
+- ``GET /obs/timeseries`` -- the in-process metrics ring (when a
+  :class:`~repro.obs.profile.TimeSeriesRing` is wired), filterable by
+  ``?series=`` (substring) and ``?since=`` (epoch seconds) -- the data
+  source for ``repro top``.
+
+``/metrics`` speaks both expositions: classic Prometheus text 0.0.4 by
+default, OpenMetrics 1.0 (exemplars, ``# EOF``) when the request asks
+via ``?format=openmetrics`` or an ``application/openmetrics-text``
+Accept header.
 
 :func:`obs_endpoint` keeps the handlers transport-agnostic: it maps a
 request path to ``(status, content_type, body)`` or ``None`` when the
 path is regular API traffic, so each ``BaseHTTPRequestHandler`` only
-needs a three-line branch.
+needs a three-line branch (plus a no-body variant for ``HEAD``).
 """
 
 from __future__ import annotations
@@ -38,15 +51,24 @@ from urllib.parse import parse_qs
 from repro.obs.analytics.events import EVENT_KINDS
 from repro.obs.tracing import TRACES, TraceBuffer
 
-__all__ = ["METRICS_CONTENT_TYPE", "obs_endpoint"]
+__all__ = [
+    "METRICS_CONTENT_TYPE",
+    "OPENMETRICS_CONTENT_TYPE",
+    "obs_endpoint",
+]
 
 METRICS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+OPENMETRICS_CONTENT_TYPE = (
+    "application/openmetrics-text; version=1.0.0; charset=utf-8"
+)
 _JSON = "application/json"
+_TEXT = "text/plain; charset=utf-8"
 
 #: Paths served by the observability layer.
 OBS_PATHS = (
     "/metrics", "/healthz", "/readyz", "/livez",
     "/obs/traces", "/obs/events", "/obs/slo", "/obs/refine", "/obs/scan",
+    "/obs/profile", "/obs/timeseries",
 )
 
 #: Response-size bounds: a full TraceBuffer/EventBus dump must not be
@@ -76,6 +98,17 @@ def _str_param(params: Mapping[str, list[str]], name: str) -> str | None:
     return raw if raw else None
 
 
+def _float_param(params: Mapping[str, list[str]], name: str,
+                 default: float) -> float:
+    raw = params.get(name, [None])[0]
+    if raw is None:
+        return default
+    try:
+        return float(raw)
+    except ValueError:
+        return default
+
+
 def obs_endpoint(
     path: str,
     registry: Any,
@@ -86,19 +119,32 @@ def obs_endpoint(
     slo: Any | None = None,
     refine: Any | None = None,
     scanner: Any | None = None,
+    profiler: Any | None = None,
+    timeseries: Any | None = None,
+    accept: str = "",
 ) -> tuple[int, str, bytes] | None:
     """Serve an observability path, or return ``None`` for API traffic.
 
     ``ready_checks`` maps check names to callables; any falsy/raising
     check flips ``/readyz`` to 503 with the failing checks named.
-    ``event_bus``/``slo``/``refine``/``scanner`` wire the
-    ``/obs/events``, ``/obs/slo``, ``/obs/refine`` and ``/obs/scan``
-    analytics surfaces; unwired, those paths answer 404 with a hint
-    instead of falling through to API routing.
+    ``event_bus``/``slo``/``refine``/``scanner``/``profiler``/
+    ``timeseries`` wire the ``/obs/events``, ``/obs/slo``,
+    ``/obs/refine``, ``/obs/scan``, ``/obs/profile`` and
+    ``/obs/timeseries`` surfaces; unwired, those paths answer 404 with
+    a hint instead of falling through to API routing.  ``accept`` is
+    the request's Accept header, used by ``/metrics`` to negotiate the
+    OpenMetrics exposition.
     """
     path, _, query = path.partition("?")
     params = parse_qs(query) if query else {}
     if path == "/metrics":
+        openmetrics = (
+            _str_param(params, "format") == "openmetrics"
+            or "application/openmetrics-text" in accept
+        )
+        if openmetrics:
+            body = registry.expose(openmetrics=True).encode()
+            return 200, OPENMETRICS_CONTENT_TYPE, body
         return 200, METRICS_CONTENT_TYPE, registry.expose().encode()
     if path in ("/healthz", "/livez"):
         body = {"status": "ok", "component": component}
@@ -188,4 +234,27 @@ def obs_endpoint(
                     if f["severity"] == severity
                 ]
         return 200, _JSON, json.dumps(status, sort_keys=True).encode()
+    if path == "/obs/profile":
+        if profiler is None:
+            return 404, _JSON, json.dumps(
+                {"error": "no profiler wired on this component"}
+            ).encode()
+        if _str_param(params, "format") == "collapsed":
+            return 200, _TEXT, profiler.collapsed().encode()
+        top = _int_param(params, "top", 50, 1000)
+        return 200, _JSON, json.dumps(
+            profiler.stats(top=top), sort_keys=True
+        ).encode()
+    if path == "/obs/timeseries":
+        if timeseries is None:
+            return 404, _JSON, json.dumps(
+                {"error": "no timeseries ring wired on this component"}
+            ).encode()
+        limit = _int_param(params, "limit", 0, 100_000) or None
+        payload = timeseries.to_dict(
+            series=_str_param(params, "series"),
+            since=_float_param(params, "since", 0.0),
+            limit=limit,
+        )
+        return 200, _JSON, json.dumps(payload, sort_keys=True).encode()
     return None

@@ -36,8 +36,9 @@ import logging
 import os
 import re
 import threading
+import time
 from bisect import bisect_left
-from typing import Any, Iterator
+from typing import Any, Callable, Iterator
 
 logger = logging.getLogger(__name__)
 
@@ -56,6 +57,7 @@ __all__ = [
     "delta",
     "new_registry",
     "obs_enabled",
+    "set_exemplar_trace_provider",
 ]
 
 #: Environment variable disabling the observability layer entirely.
@@ -77,6 +79,24 @@ DEFAULT_LATENCY_BUCKETS_NS: tuple[float, ...] = tuple(
 
 _NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
 _LABEL_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+
+# Exemplar capture needs the active trace id, but repro.obs.tracing
+# imports this module -- so the provider is injected: tracing registers
+# ``current_trace_id`` here at import time.  Until then (or with the
+# tracing layer absent) exemplars are simply not recorded.
+def _no_trace() -> "str | None":
+    return None
+
+
+_TRACE_PROVIDER: Callable[[], "str | None"] = _no_trace
+
+
+def set_exemplar_trace_provider(provider: Callable[[], "str | None"]) -> None:
+    """Register the callable that yields the active trace id (exemplar
+    capture); called by :mod:`repro.obs.tracing` at import."""
+    global _TRACE_PROVIDER
+    _TRACE_PROVIDER = provider
 
 
 # ``os.environ.get`` costs ~1us per call (Mapping.get -> __getitem__ ->
@@ -382,11 +402,27 @@ class _Metric:
         for key in sorted(self._series):
             yield "", _render_labels(self.label_names, key), float(self._series[key])
 
-    def expose(self) -> str:
-        lines = [f"# HELP {self.name} {self.help}", f"# TYPE {self.name} {self.kind}"]
+    def _om_lines(self) -> Iterator[str]:
+        """OpenMetrics sample lines (histograms override to attach
+        exemplars); caller holds the lock."""
+        for suffix, labels, value in self._samples():
+            yield f"{self.name}{suffix}{labels} {_format_value(value)}"
+
+    def expose(self, openmetrics: bool = False) -> str:
+        family = self.name
+        if openmetrics and self.kind == "counter" and family.endswith("_total"):
+            # OpenMetrics names the *family* without the _total suffix;
+            # the sample lines keep it.
+            family = family[: -len("_total")]
+        lines = [f"# HELP {family} {self.help}", f"# TYPE {family} {self.kind}"]
         with self._lock:
-            for suffix, labels, value in self._samples():
-                lines.append(f"{self.name}{suffix}{labels} {_format_value(value)}")
+            if openmetrics:
+                lines.extend(self._om_lines())
+            else:
+                for suffix, labels, value in self._samples():
+                    lines.append(
+                        f"{self.name}{suffix}{labels} {_format_value(value)}"
+                    )
         return "\n".join(lines)
 
     def snapshot_into(self, out: dict[str, float]) -> None:
@@ -445,7 +481,7 @@ class _LocalHistogram:
     """Per-thread ``[bucket_counts, sum, count]`` cells for one
     histogram series, folded at read time."""
 
-    __slots__ = ("_metric", "_key", "_bounds", "_threads", "_cells")
+    __slots__ = ("_metric", "_key", "_bounds", "_threads", "_cells", "_exslots")
 
     def __init__(self, metric: "Histogram", key: tuple[str, ...]):
         self._metric = metric
@@ -453,6 +489,7 @@ class _LocalHistogram:
         self._bounds = metric.bounds
         self._threads = threading.local()
         self._cells: list[list[Any]] = []
+        self._exslots = metric._exemplar_slots(key)
         self._bind_cell()  # constructing thread binds eagerly (see _LocalCounter)
 
     def observe(self, value: float) -> None:
@@ -460,9 +497,15 @@ class _LocalHistogram:
             cell = self._threads.cell
         except AttributeError:
             cell = self._bind_cell()
-        cell[0][bisect_left(self._bounds, value)] += 1
+        idx = bisect_left(self._bounds, value)
+        cell[0][idx] += 1
         cell[1] += value
         cell[2] += 1
+        trace_id = _TRACE_PROVIDER()
+        if trace_id:
+            # GIL-atomic slot assignment: latest traced observation per
+            # bucket (emitted only in OpenMetrics exposition).
+            self._exslots[idx] = (float(value), trace_id, time.time())
 
     def _bind_cell(self) -> list[Any]:
         cell = [[0] * (len(self._bounds) + 1), 0.0, 0]
@@ -581,19 +624,35 @@ class Histogram(_Metric):
         if not bounds:
             raise MetricError(f"histogram {name!r} needs at least one bucket bound")
         self.bounds = bounds
+        #: key -> per-bucket exemplar slots: ``(value, trace_id, ts)``
+        #: or None, latest traced observation per bucket.
+        self._exemplars: dict[tuple[str, ...], list[Any]] = {}
         super().__init__(name, help, label_names, lock, max_series, registry)
+
+    def _exemplar_slots(self, key: tuple[str, ...]) -> list[Any]:
+        slots = self._exemplars.get(key)
+        if slots is None:
+            with self._lock:
+                slots = self._exemplars.setdefault(
+                    key, [None] * (len(self.bounds) + 1)
+                )
+        return slots
 
     def _new_series(self) -> list[Any]:
         return [[0] * (len(self.bounds) + 1), 0.0, 0]
 
     def _observe(self, key: tuple[str, ...], value: float) -> None:
+        idx = bisect_left(self.bounds, value)
         with self._lock:
             series = self._series.get(key)
             if series is None:
                 series = self._series_for(key)
-            series[0][bisect_left(self.bounds, value)] += 1
+            series[0][idx] += 1
             series[1] += value
             series[2] += 1
+        trace_id = _TRACE_PROVIDER()
+        if trace_id:
+            self._exemplar_slots(key)[idx] = (float(value), trace_id, time.time())
 
     def _folded(self, key: tuple[str, ...]) -> list[Any]:
         """``[counts, sum, count]`` snapshot of stored + pending-local
@@ -681,6 +740,57 @@ class Histogram(_Metric):
             yield "_sum", _render_labels(self.label_names, key), float(total)
             yield "_count", _render_labels(self.label_names, key), float(count)
 
+    @staticmethod
+    def _format_exemplar(exemplar: tuple[float, str, float]) -> str:
+        value, trace_id, ts = exemplar
+        return (
+            f' # {{trace_id="{_escape_label_value(trace_id)}"}} '
+            f"{_format_value(value)} {ts:.3f}"
+        )
+
+    def _om_lines(self) -> Iterator[str]:
+        """Bucket lines carry their exemplar (`` # {trace_id="..."}
+        value ts``); sum/count lines are plain.  Caller holds the
+        lock."""
+        name = self.name
+        for key in sorted(self._series):
+            counts, total, count = self._folded(key)
+            slots = self._exemplars.get(key)
+            cumulative = 0
+            for idx, bound in enumerate(self.bounds):
+                cumulative += counts[idx]
+                labels = _render_labels(self.label_names, key,
+                                        (("le", _format_value(bound)),))
+                line = f"{name}_bucket{labels} {_format_value(float(cumulative))}"
+                exemplar = slots[idx] if slots else None
+                if exemplar is not None:
+                    line += self._format_exemplar(exemplar)
+                yield line
+            labels = _render_labels(self.label_names, key, (("le", "+Inf"),))
+            line = f"{name}_bucket{labels} {_format_value(float(count))}"
+            exemplar = slots[-1] if slots else None
+            if exemplar is not None:
+                line += self._format_exemplar(exemplar)
+            yield line
+            plain = _render_labels(self.label_names, key)
+            yield f"{name}_sum{plain} {_format_value(float(total))}"
+            yield f"{name}_count{plain} {_format_value(float(count))}"
+
+    def exemplar_for(self, slowest: bool = True, **labels: str) -> \
+            "tuple[float, str, float] | None":
+        """The exemplar joining this histogram to a trace: with
+        *slowest* (default) the highest occupied bucket's, else the
+        lowest.  ``None`` when no traced observation was captured."""
+        key = tuple(str(labels[n]) for n in self.label_names) if labels else ()
+        slots = self._exemplars.get(key)
+        if not slots:
+            return None
+        ordered = reversed(slots) if slowest else iter(slots)
+        for exemplar in ordered:
+            if exemplar is not None:
+                return exemplar
+        return None
+
 
 class MetricsRegistry:
     """A named collection of metrics with text exposition.
@@ -737,10 +847,17 @@ class MetricsRegistry:
         with self._lock:
             return list(self._metrics.values())
 
-    def expose(self) -> str:
-        """Prometheus text exposition format (version 0.0.4)."""
-        blocks = [metric.expose() for metric in self.collect()]
-        return "\n".join(blocks) + ("\n" if blocks else "")
+    def expose(self, openmetrics: bool = False) -> str:
+        """Prometheus text exposition format (version 0.0.4), or -- with
+        *openmetrics* -- OpenMetrics 1.0: ``_total``-stripped counter
+        families, per-bucket exemplars, and the mandatory ``# EOF``
+        terminator.  The classic output is byte-stable regardless of
+        any exemplar state."""
+        blocks = [metric.expose(openmetrics) for metric in self.collect()]
+        text = "\n".join(blocks) + ("\n" if blocks else "")
+        if openmetrics:
+            text += "# EOF\n"
+        return text
 
     def snapshot(self) -> dict[str, float]:
         """Flat ``{'name{labels}': value}`` view of every series."""
@@ -822,8 +939,8 @@ class NullRegistry:
     def collect(self) -> list[Any]:
         return []
 
-    def expose(self) -> str:
-        return ""
+    def expose(self, openmetrics: bool = False) -> str:
+        return "# EOF\n" if openmetrics else ""
 
     def snapshot(self) -> dict[str, float]:
         return {}

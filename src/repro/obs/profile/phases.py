@@ -1,0 +1,148 @@
+"""Per-request phase attribution (``kubefence_phase_ns_total``).
+
+The sampling profiler says where the *process* spends wall time; the
+phase clock says where each *request* does.  Both hot paths (the
+KubeFence proxy and the mini API server) stamp ``perf_counter_ns``
+deltas into one of six phases:
+
+======================  ====================================================
+``authn``               identity extraction + authorization (proxy: the
+                        forwarded-identity headers; API server: routing +
+                        RBAC authorize)
+``cache-probe``         decision-cache key + lookup (hits *and* the probe
+                        cost of misses)
+``validation``          the compiled policy-engine walk on a cache miss
+``upstream``            the proxied upstream round trip (API server: the
+                        admission chain + store commit it performs)
+``telemetry``           event publication, shadow evaluation, audit, and
+                        metric recording -- the in-process observability
+                        cost the ROADMAP teardown tracks
+``serialization``       request-body read/JSON parse + response encoding
+======================  ====================================================
+
+plus ``kubefence_request_wall_ns_total``, the handler-measured wall
+time of the same requests, so coverage (``sum(phases)/wall``) is a
+scrapeable honesty check -- the acceptance bar is >=90% for a
+validated write.
+
+Cost model: each phase attribute *is* the bound write handle's ``inc``
+(per-thread lock-free cells on the sharded data plane, the classic
+locked series under ``REPRO_NO_SHARDS=1``), so a phase stamp is one
+attribute load plus one GIL-atomic float add.  Under ``REPRO_NO_OBS=1``
+:func:`new_phase_clock` returns the shared :data:`NULL_PHASE_CLOCK`:
+no metric, no cells, and ``enabled=False`` lets hot paths skip their
+``perf_counter_ns`` reads entirely.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.obs.metrics import MetricsRegistry, obs_enabled
+
+__all__ = [
+    "NULL_PHASE_CLOCK",
+    "PHASES",
+    "PHASE_METRIC",
+    "PhaseClock",
+    "WALL_METRIC",
+    "new_phase_clock",
+    "phase_totals",
+]
+
+#: The closed phase taxonomy (metric label values; attribute names use
+#: ``_`` for ``-``).
+PHASES = (
+    "authn",
+    "cache-probe",
+    "validation",
+    "upstream",
+    "telemetry",
+    "serialization",
+)
+
+PHASE_METRIC = "kubefence_phase_ns_total"
+WALL_METRIC = "kubefence_request_wall_ns_total"
+
+_PHASE_HELP = (
+    "Wall nanoseconds attributed to each request-processing phase "
+    "(authn, cache-probe, validation, upstream, telemetry, "
+    "serialization)."
+)
+_WALL_HELP = (
+    "Handler-measured wall nanoseconds of the same requests; "
+    "sum(kubefence_phase_ns_total)/this is the attribution coverage."
+)
+
+
+def _noop(_amount: float = 1.0) -> None:
+    pass
+
+
+class NullPhaseClock:
+    """Shared do-nothing clock: what ``REPRO_NO_OBS=1`` hot paths hold.
+
+    Allocates no metric series and no per-thread cells; ``enabled`` is
+    False so instrumented paths skip their clock reads.
+    """
+
+    enabled = False
+    authn = staticmethod(_noop)
+    cache_probe = staticmethod(_noop)
+    validation = staticmethod(_noop)
+    upstream = staticmethod(_noop)
+    telemetry = staticmethod(_noop)
+    serialization = staticmethod(_noop)
+    wall = staticmethod(_noop)
+
+
+NULL_PHASE_CLOCK = NullPhaseClock()
+
+
+class PhaseClock:
+    """Pre-bound phase write handles over one registry.
+
+    Each attribute (``authn``, ``cache_probe``, ...) is the bound
+    series' ``inc`` itself -- ``clock.validation(elapsed_ns)`` is the
+    whole hot-path API.
+    """
+
+    __slots__ = (
+        "enabled", "authn", "cache_probe", "validation", "upstream",
+        "telemetry", "serialization", "wall",
+    )
+
+    def __init__(self, registry: Any, sharded: bool = True):
+        self.enabled = True
+        counter = registry.counter(PHASE_METRIC, _PHASE_HELP, labels=("phase",))
+        bind = counter.local if sharded else counter.labels
+        self.authn = bind(phase="authn").inc
+        self.cache_probe = bind(phase="cache-probe").inc
+        self.validation = bind(phase="validation").inc
+        self.upstream = bind(phase="upstream").inc
+        self.telemetry = bind(phase="telemetry").inc
+        self.serialization = bind(phase="serialization").inc
+        wall = registry.counter(WALL_METRIC, _WALL_HELP)
+        self.wall = (wall.local() if sharded else wall).inc
+
+
+def new_phase_clock(registry: Any, sharded: bool = True) -> Any:
+    """A :class:`PhaseClock` over *registry*, or the shared
+    :data:`NULL_PHASE_CLOCK` when telemetry is off (``REPRO_NO_OBS=1``
+    or a null registry) -- the null path allocates nothing."""
+    if registry is None or not obs_enabled():
+        return NULL_PHASE_CLOCK
+    if not isinstance(registry, MetricsRegistry):
+        return NULL_PHASE_CLOCK
+    return PhaseClock(registry, sharded=sharded)
+
+
+def phase_totals(registry: Any) -> dict[str, float]:
+    """``{phase: ns, ..., "wall": ns}`` read off *registry* (scrape-side
+    helper for ``repro top`` and the coverage acceptance check)."""
+    out: dict[str, float] = {}
+    snapshot = registry.snapshot()
+    for phase in PHASES:
+        out[phase] = snapshot.get(f'{PHASE_METRIC}{{phase="{phase}"}}', 0.0)
+    out["wall"] = snapshot.get(WALL_METRIC, 0.0)
+    return out

@@ -30,7 +30,7 @@ from collections import deque
 from contextvars import ContextVar
 from typing import Any
 
-from repro.obs.metrics import obs_enabled
+from repro.obs.metrics import obs_enabled, set_exemplar_trace_provider
 
 __all__ = [
     "Span",
@@ -269,6 +269,12 @@ def current_trace_id() -> str | None:
     """The id of the active trace, if any (audit correlation)."""
     active = _ACTIVE.get()
     return active.trace_id if active is not None else None
+
+
+# Histogram exemplar capture joins a latency bucket to the trace that
+# produced it; the provider is injected to avoid a metrics -> tracing
+# import cycle.
+set_exemplar_trace_provider(current_trace_id)
 
 
 class _NoopContext:
